@@ -1,0 +1,127 @@
+// Ablation for the §6.1 index choice: hash vs red-black tree for the
+// equality lookups that dominate the rule workload (condition joins and
+// per-key view updates), plus the tree's exclusive capability (ranges).
+
+#include <benchmark/benchmark.h>
+
+#include "strip/storage/table.h"
+
+namespace strip {
+namespace {
+
+Schema KV() {
+  Schema s;
+  s.AddColumn("k", ValueType::kString);
+  s.AddColumn("v", ValueType::kDouble);
+  return s;
+}
+
+std::unique_ptr<Table> MakeIndexed(int n, IndexKind kind) {
+  auto t = std::make_unique<Table>("t", KV());
+  Status st = t->CreateTableIndex("k", kind);
+  if (!st.ok()) std::abort();
+  for (int i = 0; i < n; ++i) {
+    auto r = t->Insert(MakeRecord(
+        {Value::Str("key" + std::to_string(i)), Value::Double(i)}));
+    if (!r.ok()) std::abort();
+  }
+  return t;
+}
+
+void EqualityLookup(benchmark::State& state, IndexKind kind) {
+  int n = static_cast<int>(state.range(0));
+  auto t = MakeIndexed(n, kind);
+  int i = 0;
+  for (auto _ : state) {
+    Value key = Value::Str("key" + std::to_string(i % n));
+    auto rows = t->IndexLookup(0, key);
+    benchmark::DoNotOptimize(rows);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_EqualityLookup_Hash(benchmark::State& state) {
+  EqualityLookup(state, IndexKind::kHash);
+}
+void BM_EqualityLookup_RbTree(benchmark::State& state) {
+  EqualityLookup(state, IndexKind::kRbTree);
+}
+BENCHMARK(BM_EqualityLookup_Hash)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_EqualityLookup_RbTree)->Arg(1000)->Arg(100000);
+
+void InsertWithIndex(benchmark::State& state, IndexKind kind) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Table t("t", KV());
+    Status st = t.CreateTableIndex("k", kind);
+    if (!st.ok()) std::abort();
+    state.ResumeTiming();
+    for (int i = 0; i < n; ++i) {
+      auto r = t.Insert(MakeRecord(
+          {Value::Str("key" + std::to_string(i)), Value::Double(i)}));
+      benchmark::DoNotOptimize(r.ok());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_IndexedInsert_Hash(benchmark::State& state) {
+  InsertWithIndex(state, IndexKind::kHash);
+}
+void BM_IndexedInsert_RbTree(benchmark::State& state) {
+  InsertWithIndex(state, IndexKind::kRbTree);
+}
+BENCHMARK(BM_IndexedInsert_Hash)->Arg(10000);
+BENCHMARK(BM_IndexedInsert_RbTree)->Arg(10000);
+
+/// Copy-on-write update through the index (the maintenance hot path).
+void UpdateThroughIndex(benchmark::State& state, IndexKind kind) {
+  int n = static_cast<int>(state.range(0));
+  auto t = MakeIndexed(n, kind);
+  int i = 0;
+  for (auto _ : state) {
+    Value key = Value::Str("key" + std::to_string(i % n));
+    auto rows = t->IndexLookup(0, key);
+    Status st = t->Update(
+        rows[0], MakeRecord({key, Value::Double(i)}));
+    benchmark::DoNotOptimize(st);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_IndexedUpdate_Hash(benchmark::State& state) {
+  UpdateThroughIndex(state, IndexKind::kHash);
+}
+void BM_IndexedUpdate_RbTree(benchmark::State& state) {
+  UpdateThroughIndex(state, IndexKind::kRbTree);
+}
+BENCHMARK(BM_IndexedUpdate_Hash)->Arg(100000);
+BENCHMARK(BM_IndexedUpdate_RbTree)->Arg(100000);
+
+/// What only the tree can do: ordered range scans.
+void BM_RangeScan_RbTree(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  Table t("t", KV());
+  Status st = t.CreateTableIndex("v", IndexKind::kRbTree);
+  if (!st.ok()) std::abort();
+  for (int i = 0; i < n; ++i) {
+    auto r = t.Insert(MakeRecord(
+        {Value::Str("key" + std::to_string(i)), Value::Double(i)}));
+    if (!r.ok()) std::abort();
+  }
+  auto* idx = static_cast<RbTreeIndex*>(t.FindIndex("v"));
+  for (auto _ : state) {
+    std::vector<RowIter> out;
+    idx->LookupRange(Value::Double(n / 4), Value::Double(n / 4 + 100), out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_RangeScan_RbTree)->Arg(100000);
+
+}  // namespace
+}  // namespace strip
+
+BENCHMARK_MAIN();

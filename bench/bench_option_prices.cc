@@ -1,0 +1,90 @@
+// Figures 12, 13, 14: maintaining the materialized view option_prices
+// (§5.2) — non-incremental (Black-Scholes) recomputation with high fan-out
+// from stocks to options.
+//
+//   Figure 12 - CPU fraction spent maintaining option_prices vs delay
+//   Figure 13 - number of recomputations N_r vs delay
+//   Figure 14 - average recompute transaction length vs delay
+//
+// Series: non-unique (do_options1, horizontal), unique (coarse), unique on
+// stock symbol. As in the paper, unique on option_symbol is omitted from
+// the series: the stock->option fan-out makes the number of queued
+// transactions unmanageable (§5.2) — run the pta_integration_test to see
+// that behavior demonstrated.
+
+#include "pta_bench_common.h"
+
+namespace strip::bench {
+namespace {
+
+int Run(const SweepOptions& opts) {
+  TraceOptions trace_opts = TraceOptions::Scaled(opts.scale);
+  trace_opts.seed = opts.seed;
+  std::printf("generating trace: %d stocks, %.0f s, ~%d updates ...\n",
+              trace_opts.num_stocks, trace_opts.duration_seconds,
+              trace_opts.target_updates);
+  MarketTrace trace = MarketTrace::Generate(trace_opts);
+  PtaConfig cfg = PtaConfig::PaperScale();
+
+  auto run_one = [&](const std::string& rule_sql) -> PtaRunResult {
+    auto r = RunPtaExperiment(trace, cfg, rule_sql);
+    if (!r.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    return *r;
+  };
+
+  Sweep sweep;
+  sweep.delays = opts.delays;
+  sweep.variant_names = {"non-unique", "unique", "unique_on_symbol"};
+
+  std::printf("running update-only baseline ...\n");
+  sweep.baseline = run_one("");
+
+  std::printf("running non-unique (do_options1) ...\n");
+  PtaRunResult nonunique =
+      run_one(OptionRuleSql(OptionRuleVariant::kNonUnique, 0));
+  sweep.results.push_back(
+      std::vector<PtaRunResult>(sweep.delays.size(), nonunique));
+
+  const OptionRuleVariant kVariants[] = {OptionRuleVariant::kUnique,
+                                         OptionRuleVariant::kUniqueOnSymbol};
+  for (OptionRuleVariant v : kVariants) {
+    std::vector<PtaRunResult> row;
+    for (double delay : sweep.delays) {
+      std::printf("running %s, delay %.2f s ...\n", OptionRuleVariantName(v),
+                  delay);
+      row.push_back(run_one(OptionRuleSql(v, delay)));
+    }
+    sweep.results.push_back(std::move(row));
+  }
+
+  std::printf("\nbaseline (no rule): %zu updates, %.3f s update CPU\n",
+              static_cast<size_t>(sweep.baseline.num_updates),
+              sweep.baseline.total_cpu_seconds);
+
+  PrintSeries(sweep,
+              "Figure 12: CPU fraction maintaining option_prices vs delay "
+              "window (non-unique is the paper's horizontal line)",
+              [&](const PtaRunResult& r) {
+                return MaintenanceFraction(r, sweep.baseline);
+              });
+  PrintSeries(sweep, "Figure 13: number of recomputations N_r vs delay window",
+              [](const PtaRunResult& r) {
+                return static_cast<double>(r.num_recomputes);
+              });
+  PrintSeries(sweep,
+              "Figure 14: average recompute transaction length (us) vs "
+              "delay window",
+              [](const PtaRunResult& r) { return r.avg_recompute_micros; });
+  return 0;
+}
+
+}  // namespace
+}  // namespace strip::bench
+
+int main(int argc, char** argv) {
+  return strip::bench::Run(strip::bench::ParseArgs(argc, argv));
+}

@@ -1,0 +1,88 @@
+// Scheduler-policy bench (§6.2): under an overloaded burst of deadline-
+// carrying tasks, earliest-deadline-first meets far more deadlines than
+// FIFO, and value-density-first accrues more value — the reason a
+// real-time database offers these policies. Custom harness main: prints a
+// paper-style table rather than google-benchmark timings.
+
+#include <cstdio>
+
+#include "strip/common/rng.h"
+#include "strip/txn/simulated_executor.h"
+
+namespace strip {
+namespace {
+
+struct PolicyResult {
+  uint64_t tasks = 0;
+  uint64_t deadline_met = 0;
+  double value_accrued = 0;
+  Timestamp makespan = 0;
+};
+
+PolicyResult RunPolicy(SchedulingPolicy policy, double load, uint64_t seed) {
+  SimulatedExecutor ex(policy, /*advance_clock_by_cost=*/true);
+  Rng rng(seed);
+  PolicyResult result;
+
+  // 400 tasks costing 100-900 us (mean 500) with deadlines 1-10 ms after
+  // release, spread over a window sized for the requested utilization.
+  Timestamp window =
+      static_cast<Timestamp>(400 * 500 / load);  // total work / load
+  for (int i = 0; i < 400; ++i) {
+    auto task = std::make_shared<TaskControlBlock>(
+        static_cast<uint64_t>(i + 1));
+    task->release_time = rng.UniformInt(0, window);
+    task->fixed_cost_micros = rng.UniformInt(100, 900);
+    task->deadline = task->release_time + rng.UniformInt(1'000, 10'000);
+    task->value = static_cast<double>(rng.UniformInt(1, 100));
+    task->work = [](TaskControlBlock&) { return Status::OK(); };
+    ex.Submit(task);
+  }
+  ex.set_task_observer([&](const TaskControlBlock& t) {
+    ++result.tasks;
+    if (t.finish_time <= t.deadline) {
+      ++result.deadline_met;
+      result.value_accrued += t.value;
+    }
+    if (t.finish_time > result.makespan) result.makespan = t.finish_time;
+  });
+  ex.RunUntilQuiescent();
+  return result;
+}
+
+int Run() {
+  // Two regimes: near-capacity (EDF's home turf — it is optimal whenever a
+  // feasible schedule exists) and 4x overload (where EDF famously suffers
+  // the domino effect and value-density triage wins).
+  const struct {
+    const char* name;
+    double load;
+  } kScenarios[] = {{"load 0.8 (feasible)", 0.8}, {"load 4.0 (overload)", 4.0}};
+  const SchedulingPolicy kPolicies[] = {
+      SchedulingPolicy::kFifo, SchedulingPolicy::kEarliestDeadlineFirst,
+      SchedulingPolicy::kValueDensityFirst};
+  for (const auto& scenario : kScenarios) {
+    std::printf("\n# Scheduler ablation: 400 deadline tasks, %s, "
+                "mean over 5 seeds\n",
+                scenario.name);
+    std::printf("%-16s  %-14s  %-14s\n", "policy", "deadlines_met",
+                "value_accrued");
+    for (SchedulingPolicy p : kPolicies) {
+      double met = 0, value = 0, tasks = 0;
+      for (uint64_t seed = 1; seed <= 5; ++seed) {
+        PolicyResult r = RunPolicy(p, scenario.load, seed);
+        met += static_cast<double>(r.deadline_met);
+        value += r.value_accrued;
+        tasks += static_cast<double>(r.tasks);
+      }
+      std::printf("%-16s  %6.1f/%.0f  %14.1f\n", SchedulingPolicyName(p),
+                  met / 5, tasks / 5, value / 5);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace strip
+
+int main() { return strip::Run(); }

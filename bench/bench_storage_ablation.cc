@@ -1,0 +1,127 @@
+// Ablation for the §6.1 temporary-table design: STRIP stores temp tuples
+// as pointers into standard records plus a static column map, instead of
+// copying attribute values. This bench quantifies that choice for the
+// rule system's hottest paths: building transition tables at commit and
+// reading bound-table columns in the action function.
+
+#include <benchmark/benchmark.h>
+
+#include "strip/rules/transition_tables.h"
+#include "strip/storage/table.h"
+#include "strip/storage/temp_table.h"
+
+namespace strip {
+namespace {
+
+Schema WideSchema() {
+  Schema s;
+  s.AddColumn("symbol", ValueType::kString);
+  s.AddColumn("price", ValueType::kDouble);
+  s.AddColumn("bid", ValueType::kDouble);
+  s.AddColumn("ask", ValueType::kDouble);
+  s.AddColumn("volume", ValueType::kInt);
+  s.AddColumn("exchange", ValueType::kString);
+  return s;
+}
+
+std::unique_ptr<Table> FillTable(int n) {
+  auto t = std::make_unique<Table>("t", WideSchema());
+  for (int i = 0; i < n; ++i) {
+    auto r = t->Insert(MakeRecord(
+        {Value::Str("sym" + std::to_string(i)), Value::Double(i * 1.5),
+         Value::Double(i * 1.49), Value::Double(i * 1.51),
+         Value::Int(i * 100), Value::Str("nyse")}));
+    if (!r.ok()) std::abort();
+  }
+  return t;
+}
+
+/// Pointer scheme (§6.1): one RecordRef per tuple, values read through the
+/// static map.
+void BM_BuildTempTable_PointerScheme(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto table = FillTable(n);
+  Schema schema = TransitionSchema(*table);
+  std::vector<TempColumnMap> map;
+  for (int c = 0; c < 6; ++c) map.push_back(TempColumnMap{0, c});
+  map.push_back(TempColumnMap{TempColumnMap::kMaterializedSlot, 0});
+  for (auto _ : state) {
+    TempTable t("x", schema, map, 1, 1);
+    int seq = 0;
+    for (const Row& row : table->rows()) {
+      t.Append(TempTuple{{row.rec}, {Value::Int(++seq)}});
+    }
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BuildTempTable_PointerScheme)->Arg(64)->Arg(1024)->Arg(16384);
+
+/// The alternative STRIP rejects: copy every attribute value into the
+/// temporary tuple.
+void BM_BuildTempTable_ValueCopy(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto table = FillTable(n);
+  Schema schema = TransitionSchema(*table);
+  for (auto _ : state) {
+    TempTable t = TempTable::Materialized("x", schema);
+    int seq = 0;
+    for (const Row& row : table->rows()) {
+      std::vector<Value> copy = row.rec->values;
+      copy.push_back(Value::Int(++seq));
+      t.Append(TempTuple{{}, std::move(copy)});
+    }
+    benchmark::DoNotOptimize(t.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BuildTempTable_ValueCopy)->Arg(64)->Arg(1024)->Arg(16384);
+
+/// Read path: scanning two columns of every tuple (what a maintenance
+/// function does to its bound table).
+template <bool kPointer>
+void ReadBench(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto table = FillTable(n);
+  Schema schema = TransitionSchema(*table);
+  TempTable t = TempTable::Materialized("x", schema);
+  if (kPointer) {
+    std::vector<TempColumnMap> map;
+    for (int c = 0; c < 6; ++c) map.push_back(TempColumnMap{0, c});
+    map.push_back(TempColumnMap{TempColumnMap::kMaterializedSlot, 0});
+    t = TempTable("x", schema, map, 1, 1);
+    int seq = 0;
+    for (const Row& row : table->rows()) {
+      t.Append(TempTuple{{row.rec}, {Value::Int(++seq)}});
+    }
+  } else {
+    int seq = 0;
+    for (const Row& row : table->rows()) {
+      std::vector<Value> copy = row.rec->values;
+      copy.push_back(Value::Int(++seq));
+      t.Append(TempTuple{{}, std::move(copy)});
+    }
+  }
+  for (auto _ : state) {
+    double acc = 0;
+    for (size_t i = 0; i < t.size(); ++i) {
+      acc += t.Get(i, 1).as_double() + t.Get(i, 3).as_double();
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_ReadTempTable_PointerScheme(benchmark::State& state) {
+  ReadBench<true>(state);
+}
+void BM_ReadTempTable_ValueCopy(benchmark::State& state) {
+  ReadBench<false>(state);
+}
+BENCHMARK(BM_ReadTempTable_PointerScheme)->Arg(1024)->Arg(16384);
+BENCHMARK(BM_ReadTempTable_ValueCopy)->Arg(1024)->Arg(16384);
+
+}  // namespace
+}  // namespace strip
+
+BENCHMARK_MAIN();

@@ -1,0 +1,170 @@
+// Table 1 reproduction: timing measurements of STRIP's basic operations —
+// begin/end task, begin/commit transaction, get/release lock, and the four
+// cursor operations — plus the composed single-tuple cursor update whose
+// cost the paper derives as ~172 us (~5814 TPS on an HP-735).
+//
+// Absolute numbers on modern hardware are far smaller; the shape to check
+// is that task/transaction overhead stays small relative to query work
+// (§4.4), which is what makes fine-grained unique batching viable.
+
+#include <benchmark/benchmark.h>
+
+#include "strip/engine/cursor.h"
+#include "strip/engine/database.h"
+
+namespace strip {
+namespace {
+
+/// A database with one table of `n` rows: t(k string, v double), k indexed.
+std::unique_ptr<Database> MakeDb(int n) {
+  Database::Options opts;
+  opts.mode = ExecutorMode::kSimulated;
+  auto db = std::make_unique<Database>(opts);
+  Status st = db->ExecuteScript(
+      "create table t (k string, v double); create index on t (k)");
+  if (!st.ok()) std::abort();
+  Table* t = db->catalog().FindTable("t");
+  for (int i = 0; i < n; ++i) {
+    auto r = t->Insert(MakeRecord(
+        {Value::Str("k" + std::to_string(i)), Value::Double(i)}));
+    if (!r.ok()) std::abort();
+  }
+  return db;
+}
+
+void BM_BeginEndTask(benchmark::State& state) {
+  auto db = MakeDb(1);
+  for (auto _ : state) {
+    TaskPtr task = db->NewTask();
+    task->work = [](TaskControlBlock&) { return Status::OK(); };
+    db->Submit(task);
+    db->simulated()->RunUntilQuiescent();
+  }
+}
+BENCHMARK(BM_BeginEndTask);
+
+void BM_BeginCommitTransaction(benchmark::State& state) {
+  auto db = MakeDb(1);
+  for (auto _ : state) {
+    auto txn = db->Begin();
+    Status st = db->Commit(*txn);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_BeginCommitTransaction);
+
+void BM_GetReleaseLock(benchmark::State& state) {
+  auto db = MakeDb(1);
+  Table* t = db->catalog().FindTable("t");
+  auto txn = db->Begin();
+  for (auto _ : state) {
+    Status st = db->locks().Acquire(*txn, LockKey::ForRow(t, 1),
+                                    LockMode::kExclusive);
+    benchmark::DoNotOptimize(st);
+    db->locks().ReleaseAll(*txn);
+  }
+  Status st = db->Commit(*txn);
+  (void)st;
+}
+BENCHMARK(BM_GetReleaseLock);
+
+void BM_OpenCloseCursor(benchmark::State& state) {
+  auto db = MakeDb(1024);
+  Table* t = db->catalog().FindTable("t");
+  auto txn = db->Begin();
+  for (auto _ : state) {
+    auto cur = Cursor::OpenIndexed(t, *txn, "k", Value::Str("k100"));
+    benchmark::DoNotOptimize(cur);
+    cur->Close();
+  }
+  Status st = db->Commit(*txn);
+  (void)st;
+}
+BENCHMARK(BM_OpenCloseCursor);
+
+void BM_FetchCursor(benchmark::State& state) {
+  auto db = MakeDb(1024);
+  Table* t = db->catalog().FindTable("t");
+  auto txn = db->Begin();
+  for (auto _ : state) {
+    state.PauseTiming();
+    Cursor c = Cursor::OpenIndexed(t, *txn, "k", Value::Str("k100")).take();
+    state.ResumeTiming();
+    bool got = c.Fetch();
+    benchmark::DoNotOptimize(got);
+  }
+  Status st = db->Commit(*txn);
+  (void)st;
+}
+BENCHMARK(BM_FetchCursor);
+
+void BM_UpdateCursor(benchmark::State& state) {
+  auto db = MakeDb(1024);
+  Table* t = db->catalog().FindTable("t");
+  auto txn = db->Begin();
+  double v = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    Cursor c = Cursor::OpenIndexed(t, *txn, "k", Value::Str("k100")).take();
+    c.Fetch();
+    state.ResumeTiming();
+    Status st = c.UpdateCurrent({Value::Str("k100"), Value::Double(v)});
+    benchmark::DoNotOptimize(st);
+    v += 1.0;
+  }
+  Status st = db->Abort(*txn);  // discard the pile of log entries
+  (void)st;
+}
+BENCHMARK(BM_UpdateCursor);
+
+/// The paper's composed sequence (§4.4): begin task + begin transaction +
+/// get lock + open cursor + fetch + update + close + release lock (at
+/// commit) + commit + end task, all for one tuple. Reports TPS, the
+/// paper's 5814-TPS derived figure.
+void BM_SimpleUpdateTransactionCursor(benchmark::State& state) {
+  auto db = MakeDb(1024);
+  Table* t = db->catalog().FindTable("t");
+  double v = 0;
+  for (auto _ : state) {
+    TaskPtr task = db->NewTask();
+    task->work = [&](TaskControlBlock&) -> Status {
+      STRIP_ASSIGN_OR_RETURN(Transaction * txn, db->Begin());
+      STRIP_RETURN_IF_ERROR(db->locks().Acquire(
+          txn, LockKey::WholeTable(t), LockMode::kExclusive));
+      STRIP_ASSIGN_OR_RETURN(
+          Cursor cur, Cursor::OpenIndexed(t, txn, "k", Value::Str("k512")));
+      if (!cur.Fetch()) return Status::Internal("row not found");
+      STRIP_RETURN_IF_ERROR(
+          cur.UpdateCurrent({Value::Str("k512"), Value::Double(v)}));
+      cur.Close();
+      v += 1.0;
+      return db->Commit(txn);
+    };
+    db->Submit(task);
+    db->simulated()->RunUntilQuiescent();
+  }
+  state.counters["TPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimpleUpdateTransactionCursor);
+
+/// The same single-tuple update through the SQL front end (parse + plan +
+/// execute), for comparison with the prepared cursor path.
+void BM_SimpleUpdateTransactionSql(benchmark::State& state) {
+  auto db = MakeDb(1024);
+  double v = 0;
+  for (auto _ : state) {
+    auto rs = db->Execute(
+        "update t set v = " + std::to_string(v) + " where k = 'k512'");
+    benchmark::DoNotOptimize(rs);
+    v += 1.0;
+  }
+  state.counters["TPS"] = benchmark::Counter(
+      static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimpleUpdateTransactionSql);
+
+}  // namespace
+}  // namespace strip
+
+BENCHMARK_MAIN();

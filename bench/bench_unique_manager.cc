@@ -1,0 +1,102 @@
+// Ablation for the §6.3 unique-transaction machinery: the cost of the
+// per-function hash table (merge vs create) and of the Appendix A
+// partitioning step, as a function of the number of distinct unique keys —
+// the knob behind the paper's "critical region" discussion (§5.1).
+
+#include <benchmark/benchmark.h>
+
+#include "strip/rules/unique_manager.h"
+
+namespace strip {
+namespace {
+
+TempTable MakeBoundTable(int rows, int distinct_keys) {
+  Schema s;
+  s.AddColumn("comp", ValueType::kString);
+  s.AddColumn("delta", ValueType::kDouble);
+  TempTable t = TempTable::Materialized("m", std::move(s));
+  for (int i = 0; i < rows; ++i) {
+    t.Append(TempTuple{
+        {},
+        {Value::Str("c" + std::to_string(i % distinct_keys)),
+         Value::Double(i)}});
+  }
+  return t;
+}
+
+/// Partitioning cost per firing: rows spread over K distinct keys.
+void BM_PartitionByUniqueColumns(benchmark::State& state) {
+  int rows = static_cast<int>(state.range(0));
+  int keys = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    BoundTableSet set;
+    Status st = set.Add(MakeBoundTable(rows, keys));
+    if (!st.ok()) std::abort();
+    auto parts = PartitionByUniqueColumns(std::move(set), {"comp"});
+    benchmark::DoNotOptimize(parts->size());
+  }
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_PartitionByUniqueColumns)
+    ->Args({12, 1})
+    ->Args({12, 12})
+    ->Args({400, 400})
+    ->Args({4096, 64});
+
+/// Steady-state merge into an already-queued task (the common case during
+/// a burst).
+void BM_MergeIntoQueuedTask(benchmark::State& state) {
+  UniqueTxnManager mgr;
+  uint64_t ids = 1;
+  auto factory = [&](const std::vector<Value>&, BoundTableSet&& tables) {
+    auto task = std::make_shared<TaskControlBlock>(ids++);
+    task->function_name = "fn";
+    task->bound_tables = std::move(tables);
+    return task;
+  };
+  std::vector<Value> key = {Value::Str("c1")};
+  // Seed the queued task.
+  BoundTableSet first;
+  Status st = first.Add(MakeBoundTable(1, 1));
+  if (!st.ok()) std::abort();
+  auto seeded = mgr.MergeOrCreate("fn", key, std::move(first), factory);
+  if (!seeded.ok()) std::abort();
+  for (auto _ : state) {
+    BoundTableSet set;
+    st = set.Add(MakeBoundTable(1, 1));
+    auto r = mgr.MergeOrCreate("fn", key, std::move(set), factory);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MergeIntoQueuedTask);
+
+/// Create-new-task path: every firing hits a different key (the
+/// unmanageable unique-on-option_symbol regime of §5.2).
+void BM_CreatePerDistinctKey(benchmark::State& state) {
+  UniqueTxnManager mgr;
+  uint64_t ids = 1;
+  auto factory = [&](const std::vector<Value>&, BoundTableSet&& tables) {
+    auto task = std::make_shared<TaskControlBlock>(ids++);
+    task->function_name = "fn";
+    task->bound_tables = std::move(tables);
+    return task;
+  };
+  int64_t i = 0;
+  for (auto _ : state) {
+    BoundTableSet set;
+    Status st = set.Add(MakeBoundTable(1, 1));
+    if (!st.ok()) std::abort();
+    auto r = mgr.MergeOrCreate(
+        "fn", {Value::Str("k" + std::to_string(i++))}, std::move(set),
+        factory);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CreatePerDistinctKey);
+
+}  // namespace
+}  // namespace strip
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+#ifndef STRIP_BENCH_PTA_BENCH_COMMON_H_
+#define STRIP_BENCH_PTA_BENCH_COMMON_H_
+
+// Shared sweep harness for the Figure 9-14 benchmarks: runs the PTA
+// experiment for each (rule variant, delay window) and prints one section
+// per figure with the same rows/series the paper reports.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "strip/market/app_functions.h"
+#include "strip/market/pta_runner.h"
+
+namespace strip::bench {
+
+struct SweepOptions {
+  /// Fraction of the paper's trace volume (1.0 = 30 min / ~60k updates).
+  double scale = 0.05;
+  /// Delay windows on the x-axis (the paper sweeps 0.5 - 3 s).
+  std::vector<double> delays = {0.5, 1.0, 1.5, 2.0, 2.5, 3.0};
+  uint64_t seed = 42;
+};
+
+inline SweepOptions ParseArgs(int argc, char** argv) {
+  SweepOptions o;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) {
+      o.scale = 1.0;
+    } else if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+      o.scale = std::atof(argv[i] + 8);
+    } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      o.seed = static_cast<uint64_t>(std::atoll(argv[i] + 7));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--full | --scale=F] [--seed=N]\n", argv[0]);
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+/// One measured series cell.
+struct Cell {
+  PtaRunResult r;
+};
+
+struct Sweep {
+  std::vector<std::string> variant_names;  // columns
+  std::vector<double> delays;              // rows
+  // results[variant][delay_index]; non-delay variants replicate one run.
+  std::vector<std::vector<PtaRunResult>> results;
+  PtaRunResult baseline;  // no rule at all: pure update cost
+};
+
+/// Maintenance CPU fraction: everything the rule adds on top of the
+/// update-only baseline (condition evaluation, task management, and the
+/// recompute transactions), over the trading window — the quantity of
+/// Figures 9 and 12.
+inline double MaintenanceFraction(const PtaRunResult& r,
+                                  const PtaRunResult& baseline) {
+  double extra = r.total_cpu_seconds - baseline.total_cpu_seconds;
+  if (extra < 0) extra = 0;
+  return extra / r.duration_seconds;
+}
+
+inline void PrintHeader(const Sweep& s, const char* title) {
+  std::printf("\n# %s\n", title);
+  std::printf("%-8s", "delay_s");
+  for (const auto& name : s.variant_names) {
+    std::printf("  %-18s", name.c_str());
+  }
+  std::printf("\n");
+}
+
+template <typename Fn>
+void PrintSeries(const Sweep& s, const char* title, Fn metric) {
+  PrintHeader(s, title);
+  for (size_t d = 0; d < s.delays.size(); ++d) {
+    std::printf("%-8.2f", s.delays[d]);
+    for (size_t v = 0; v < s.variant_names.size(); ++v) {
+      std::printf("  %-18.6g", metric(s.results[v][d]));
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace strip::bench
+
+#endif  // STRIP_BENCH_PTA_BENCH_COMMON_H_

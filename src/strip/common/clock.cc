@@ -1,0 +1,37 @@
+#include "strip/common/clock.h"
+
+#include <chrono>
+
+namespace strip {
+
+namespace {
+
+Timestamp SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+RealClock::RealClock() : epoch_(SteadyNowMicros()) {}
+
+Timestamp RealClock::Now() const { return SteadyNowMicros() - epoch_; }
+
+StopWatch::StopWatch() : start_(SteadyNowNanos()) {}
+
+Timestamp StopWatch::ElapsedMicros() const {
+  return (SteadyNowNanos() - start_) / 1000;
+}
+
+int64_t StopWatch::ElapsedNanos() const { return SteadyNowNanos() - start_; }
+
+void StopWatch::Restart() { start_ = SteadyNowNanos(); }
+
+}  // namespace strip

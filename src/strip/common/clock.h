@@ -1,0 +1,81 @@
+#ifndef STRIP_COMMON_CLOCK_H_
+#define STRIP_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace strip {
+
+/// Microseconds since an arbitrary epoch. All timing in the library —
+/// transaction commit times, task release times, delay windows — is expressed
+/// in Timestamp units so that the whole system can run either against the
+/// wall clock or against a simulated clock.
+using Timestamp = int64_t;
+
+constexpr Timestamp kMicrosPerSecond = 1'000'000;
+
+/// Converts seconds (as used in rule `after` clauses) to Timestamp units.
+constexpr Timestamp SecondsToMicros(double seconds) {
+  return static_cast<Timestamp>(seconds * kMicrosPerSecond);
+}
+
+constexpr double MicrosToSeconds(Timestamp t) {
+  return static_cast<double>(t) / kMicrosPerSecond;
+}
+
+/// Time source abstraction. The paper's experiments replay a trace in real
+/// time on a real machine; our reproduction supports both a RealClock (for
+/// the threaded executor and examples) and a VirtualClock (for deterministic
+/// discrete-event benchmark runs; see DESIGN.md §4).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds since this clock's epoch.
+  virtual Timestamp Now() const = 0;
+};
+
+/// Monotonic wall clock.
+class RealClock final : public Clock {
+ public:
+  RealClock();
+  Timestamp Now() const override;
+
+ private:
+  Timestamp epoch_;  // steady_clock reading at construction
+};
+
+/// Manually advanced clock for simulation and tests.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp Now() const override { return now_; }
+
+  /// Moves time forward to `t`; time never goes backwards.
+  void AdvanceTo(Timestamp t) {
+    if (t > now_) now_ = t;
+  }
+  void Advance(Timestamp delta) { now_ += delta; }
+
+ private:
+  Timestamp now_;
+};
+
+/// Measures real CPU-ish busy time (monotonic clock) for a code region.
+/// Used by the simulated executor to attribute real execution cost to tasks
+/// while the simulation clock stands still.
+class StopWatch {
+ public:
+  StopWatch();
+  /// Microseconds of wall time since construction or the last Restart().
+  Timestamp ElapsedMicros() const;
+  /// Nanoseconds; use for sub-microsecond task bodies.
+  int64_t ElapsedNanos() const;
+  void Restart();
+
+ private:
+  int64_t start_;  // nanoseconds
+};
+
+}  // namespace strip
+
+#endif  // STRIP_COMMON_CLOCK_H_

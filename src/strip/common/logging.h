@@ -1,0 +1,31 @@
+#ifndef STRIP_COMMON_LOGGING_H_
+#define STRIP_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace strip {
+
+/// Aborts the process with a message; used for unrecoverable invariant
+/// violations where returning Status::Internal is impossible (destructors,
+/// noexcept paths).
+[[noreturn]] inline void FatalError(const char* file, int line,
+                                    const char* msg) {
+  std::fprintf(stderr, "STRIP FATAL %s:%d: %s\n", file, line, msg);
+  std::abort();
+}
+
+}  // namespace strip
+
+/// Invariant check active in all build modes (cheap conditions only).
+#define STRIP_CHECK(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::strip::FatalError(__FILE__, __LINE__, "check failed: " #cond); \
+  } while (0)
+
+#define STRIP_CHECK_MSG(cond, msg)                                     \
+  do {                                                                 \
+    if (!(cond)) ::strip::FatalError(__FILE__, __LINE__, msg);         \
+  } while (0)
+
+#endif  // STRIP_COMMON_LOGGING_H_

@@ -1,0 +1,65 @@
+#include "strip/common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "strip/common/logging.h"
+
+namespace strip {
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  std::uniform_int_distribution<int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::UniformReal(double lo, double hi) {
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::Bernoulli(double p) {
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+double Rng::Exponential(double mean) {
+  STRIP_CHECK(mean > 0);
+  std::exponential_distribution<double> d(1.0 / mean);
+  return d(engine_);
+}
+
+int64_t Rng::Geometric(int64_t min_value, double p) {
+  STRIP_CHECK(p > 0 && p <= 1);
+  std::geometric_distribution<int64_t> d(p);
+  return min_value + d(engine_);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> d(mean, stddev);
+  return d(engine_);
+}
+
+ZipfDistribution::ZipfDistribution(int64_t n, double s) {
+  STRIP_CHECK(n > 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+int64_t ZipfDistribution::Sample(Rng& rng) const {
+  double u = rng.UniformReal(0.0, 1.0);
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it - cdf_.begin();
+}
+
+double ZipfDistribution::Pmf(int64_t i) const {
+  STRIP_CHECK(i >= 0 && i < n());
+  return i == 0 ? cdf_[0] : cdf_[i] - cdf_[i - 1];
+}
+
+}  // namespace strip

@@ -1,0 +1,63 @@
+#ifndef STRIP_COMMON_RNG_H_
+#define STRIP_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace strip {
+
+/// Seeded random source used by the market-trace generator and the property
+/// tests. All distributions needed to model the TAQ-like workload live here
+/// so that a single seed reproduces a whole experiment.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double UniformReal(double lo, double hi);
+
+  /// True with probability p.
+  bool Bernoulli(double p);
+
+  /// Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Geometric number of trials >= 1 with success probability p in (0, 1]:
+  /// models burst lengths.
+  int64_t Geometric(int64_t min_value, double p);
+
+  /// Standard normal.
+  double Gaussian(double mean, double stddev);
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// Zipf(s) sampler over ranks 1..n, precomputing the CDF once. Rank 1 is the
+/// most popular item. Models the heavy skew of per-stock trading activity.
+class ZipfDistribution {
+ public:
+  /// `n` items, exponent `s` (s = 0 is uniform; s ~ 1 is classic Zipf).
+  ZipfDistribution(int64_t n, double s);
+
+  /// Returns a rank in [0, n): 0 is the hottest item.
+  int64_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank `i` (0-based).
+  double Pmf(int64_t i) const;
+
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1.0
+};
+
+}  // namespace strip
+
+#endif  // STRIP_COMMON_RNG_H_

@@ -1,0 +1,42 @@
+#ifndef STRIP_COMMON_SPIN_LOCK_H_
+#define STRIP_COMMON_SPIN_LOCK_H_
+
+#include <atomic>
+
+namespace strip {
+
+/// Minimal test-and-set spinlock. The paper (§6.3) guards the unique
+/// transaction hash tables with spinlocks; critical sections there are a few
+/// pointer operations, so spinning beats a mutex under the threaded executor.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void Lock() {
+    while (flag_.test_and_set(std::memory_order_acquire)) {
+      // Spin; the critical sections protected by this lock are tiny.
+    }
+  }
+  void Unlock() { flag_.clear(std::memory_order_release); }
+
+ private:
+  std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/// RAII guard for SpinLock.
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.Lock(); }
+  ~SpinLockGuard() { lock_.Unlock(); }
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_COMMON_SPIN_LOCK_H_

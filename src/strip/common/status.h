@@ -1,0 +1,160 @@
+#ifndef STRIP_COMMON_STATUS_H_
+#define STRIP_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace strip {
+
+/// Error category for a failed operation. Kept deliberately small: the
+/// library does not throw; every fallible public API returns a Status or a
+/// Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   // malformed input (bad SQL, bad schema, ...)
+  kNotFound,          // named table / rule / function / column missing
+  kAlreadyExists,     // duplicate table / rule / function name
+  kFailedPrecondition,// operation illegal in the current state
+  kAborted,           // transaction aborted (deadlock victim, explicit abort)
+  kInternal,          // invariant violation inside the library
+  kUnimplemented,     // feature outside the supported SQL subset
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation with no payload.
+///
+/// Usage mirrors absl::Status / rocksdb::Status:
+///
+///   Status s = db.Execute("create table t (x int)");
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of a
+/// failed Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return some_t;` in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}
+  /// Implicit from error status: allows `return Status::NotFound(...)`.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T&& take() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+
+ private:
+  Status status_;           // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define STRIP_RETURN_IF_ERROR(expr)            \
+  do {                                         \
+    ::strip::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns its Status, otherwise
+/// move-assigns the value into `lhs` (which it declares).
+#define STRIP_ASSIGN_OR_RETURN(lhs, expr)      \
+  STRIP_ASSIGN_OR_RETURN_IMPL(                 \
+      STRIP_CONCAT_(_res_, __LINE__), lhs, expr)
+
+#define STRIP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = tmp.take()
+
+#define STRIP_CONCAT_INNER_(a, b) a##b
+#define STRIP_CONCAT_(a, b) STRIP_CONCAT_INNER_(a, b)
+
+inline const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kAborted: return "Aborted";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+inline std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string s = StatusCodeName(code_);
+  s += ": ";
+  s += message_;
+  return s;
+}
+
+}  // namespace strip
+
+#endif  // STRIP_COMMON_STATUS_H_

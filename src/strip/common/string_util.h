@@ -1,0 +1,24 @@
+#ifndef STRIP_COMMON_STRING_UTIL_H_
+#define STRIP_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace strip {
+
+/// ASCII lower-casing; SQL identifiers and keywords are case-insensitive.
+std::string ToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace strip
+
+#endif  // STRIP_COMMON_STRING_UTIL_H_

@@ -1,0 +1,94 @@
+#include "strip/engine/cursor.h"
+
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+Cursor::Cursor(Table* table, Transaction* txn)
+    : table_(table), txn_(txn), indexed_(false) {}
+
+Cursor::Cursor(Table* table, Transaction* txn, std::vector<RowIter> rows)
+    : table_(table), txn_(txn), indexed_(true),
+      index_rows_(std::move(rows)) {}
+
+Result<Cursor> Cursor::OpenIndexed(Table* table, Transaction* txn,
+                                   const std::string& column,
+                                   const Value& key) {
+  int pos = table->schema().FindColumn(column);
+  if (pos < 0) {
+    return Status::NotFound(StrFormat("no column '%s' in table '%s'",
+                                      column.c_str(),
+                                      table->name().c_str()));
+  }
+  if (table->FindIndexByPosition(pos) == nullptr) {
+    return Status::FailedPrecondition(StrFormat(
+        "column '%s' of table '%s' is not indexed", column.c_str(),
+        table->name().c_str()));
+  }
+  return Cursor(table, txn, table->IndexLookup(pos, key));
+}
+
+bool Cursor::Fetch() {
+  if (done_) return false;
+  if (indexed_) {
+    if (index_pos_ >= index_rows_.size()) {
+      has_current_ = false;
+      return false;
+    }
+    current_ = index_rows_[index_pos_++];
+    has_current_ = true;
+    return true;
+  }
+  if (!scan_started_) {
+    scan_it_ = table_->rows().begin();
+    scan_started_ = true;
+  } else if (fetch_no_advance_) {
+    fetch_no_advance_ = false;
+  } else if (has_current_) {
+    ++scan_it_;
+  }
+  if (scan_it_ == table_->rows().end()) {
+    has_current_ = false;
+    return false;
+  }
+  current_ = scan_it_;
+  has_current_ = true;
+  return true;
+}
+
+Status Cursor::UpdateCurrent(std::vector<Value> values) {
+  if (!has_current_) {
+    return Status::FailedPrecondition("cursor has no current row");
+  }
+  RecordRef old_rec = current_->rec;
+  STRIP_RETURN_IF_ERROR(table_->Update(current_, MakeRecord(std::move(values))));
+  if (txn_ != nullptr) {
+    txn_->log().Append(LogOp::kUpdate, table_, current_->id, old_rec,
+                       current_->rec);
+  }
+  return Status::OK();
+}
+
+Status Cursor::DeleteCurrent() {
+  if (!has_current_) {
+    return Status::FailedPrecondition("cursor has no current row");
+  }
+  if (txn_ != nullptr) {
+    txn_->log().Append(LogOp::kDelete, table_, current_->id, current_->rec,
+                       nullptr);
+  }
+  if (!indexed_) {
+    RowIter next = std::next(current_);
+    table_->Erase(current_);
+    scan_it_ = next;
+    has_current_ = false;
+    scan_started_ = true;
+    fetch_no_advance_ = true;  // next Fetch() examines `next` directly
+    return Status::OK();
+  }
+  table_->Erase(current_);
+  has_current_ = false;
+  return Status::OK();
+}
+
+}  // namespace strip

@@ -1,0 +1,72 @@
+#ifndef STRIP_ENGINE_CURSOR_H_
+#define STRIP_ENGINE_CURSOR_H_
+
+#include <string>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/storage/table.h"
+#include "strip/txn/transaction.h"
+
+namespace strip {
+
+/// Low-level cursor over a standard table, mirroring STRIP's cursor API
+/// whose per-operation costs Table 1 reports (open / fetch / update /
+/// close). Supports a full scan or an index-equality scan.
+///
+/// Locking is the caller's responsibility (the paper's op sequence takes
+/// the lock before opening the cursor); updates/deletes are logged into
+/// the supplied transaction.
+class Cursor {
+ public:
+  /// Full-scan cursor.
+  Cursor(Table* table, Transaction* txn);
+
+  /// Index-equality cursor over `column == key`; the column must be
+  /// indexed.
+  static Result<Cursor> OpenIndexed(Table* table, Transaction* txn,
+                                    const std::string& column,
+                                    const Value& key);
+
+  /// Advances to the next row. Returns false at end of scan.
+  bool Fetch();
+
+  /// The current row's record (valid after a successful Fetch()).
+  const Record& Current() const { return *current_->rec; }
+  uint64_t CurrentRowId() const { return current_->id; }
+
+  /// Replaces the current row with a new record version (§6.1
+  /// copy-on-write) and logs the update.
+  Status UpdateCurrent(std::vector<Value> values);
+
+  /// Erases the current row and logs the delete. The cursor stays valid;
+  /// the next Fetch() continues after the erased row.
+  Status DeleteCurrent();
+
+  /// Releases the cursor (no-op placeholder mirroring the paper's API).
+  void Close() { done_ = true; }
+
+ private:
+  Cursor(Table* table, Transaction* txn, std::vector<RowIter> index_rows);
+
+  Table* table_;
+  Transaction* txn_;
+  bool indexed_;
+  // Full scan state.
+  RowIter scan_it_;
+  bool scan_started_ = false;
+  // Index scan state.
+  std::vector<RowIter> index_rows_;
+  size_t index_pos_ = 0;
+
+  RowIter current_;
+  bool has_current_ = false;
+  bool done_ = false;
+  // After a delete during a scan, the iterator already points at the next
+  // row; the following Fetch() must not advance.
+  bool fetch_no_advance_ = false;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_ENGINE_CURSOR_H_

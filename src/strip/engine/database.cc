@@ -1,0 +1,438 @@
+#include "strip/engine/database.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "strip/common/string_util.h"
+#include "strip/viewmaint/view_def.h"
+
+namespace strip {
+
+Database::Database() : Database(Options{}) {}
+
+Database::Database(Options options)
+    : options_(options),
+      scalar_funcs_(ScalarFuncRegistry::WithBuiltins()) {
+  if (options_.mode == ExecutorMode::kSimulated) {
+    sim_ = std::make_unique<SimulatedExecutor>(
+        options_.policy, options_.advance_clock_by_cost);
+    executor_ = sim_.get();
+  } else {
+    threaded_ = std::make_unique<ThreadedExecutor>(options_.num_workers,
+                                                   options_.policy);
+    executor_ = threaded_.get();
+  }
+  RuleEngineDeps deps;
+  deps.catalog = &catalog_;
+  deps.locks = &locks_;
+  deps.scalar_funcs = &scalar_funcs_;
+  deps.task_ids = &next_task_id_;
+  deps.action_runner = [this](TaskControlBlock& task) {
+    return RunActionTask(task);
+  };
+  rules_ = std::make_unique<RuleEngine>(std::move(deps));
+  views_ = std::make_unique<ViewManager>(this);
+}
+
+Database::~Database() {
+  if (threaded_ != nullptr) threaded_->Shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+Result<Transaction*> Database::Begin(uint64_t priority) {
+  uint64_t id = next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  auto txn = std::make_unique<Transaction>(id, Now(), priority);
+  Transaction* ptr = txn.get();
+  {
+    std::lock_guard<std::mutex> lk(txns_mu_);
+    txns_.emplace(id, std::move(txn));
+  }
+  return ptr;
+}
+
+Status Database::Commit(Transaction* txn) {
+  if (txn == nullptr || !txn->active()) {
+    return Status::FailedPrecondition("commit of a non-active transaction");
+  }
+  // Event checking occurs at the end of the transaction prior to commit
+  // (§2); conditions run inside the triggering transaction.
+  Timestamp commit_time = Now();
+  auto tasks = rules_->ProcessCommit(txn, commit_time);
+  if (!tasks.ok()) {
+    Status ignored = Abort(txn);
+    (void)ignored;
+    return tasks.status();
+  }
+  txn->MarkCommitted(commit_time);
+  locks_.ReleaseAll(txn);
+  {
+    std::lock_guard<std::mutex> lk(txns_mu_);
+    txns_.erase(txn->id());
+  }
+  // Action tasks are released as soon as the triggering transaction
+  // commits, or after their delay window (§2).
+  for (TaskPtr& t : *tasks) {
+    executor_->Submit(std::move(t));
+  }
+  return Status::OK();
+}
+
+Status Database::Abort(Transaction* txn) {
+  if (txn == nullptr || !txn->active()) {
+    return Status::FailedPrecondition("abort of a non-active transaction");
+  }
+  Status undo = txn->log().Undo();
+  txn->MarkAborted();
+  locks_.ReleaseAll(txn);
+  {
+    std::lock_guard<std::mutex> lk(txns_mu_);
+    txns_.erase(txn->id());
+  }
+  return undo;
+}
+
+// ---------------------------------------------------------------------------
+// Functions and tasks
+// ---------------------------------------------------------------------------
+
+Status Database::RegisterFunction(const std::string& name, UserFunction fn) {
+  return functions_.Register(name, std::move(fn));
+}
+
+Status Database::RegisterScalarFunction(const std::string& name,
+                                        ScalarFunc fn) {
+  return scalar_funcs_.Register(name, std::move(fn));
+}
+
+TaskPtr Database::NewTask() {
+  return std::make_shared<TaskControlBlock>(
+      next_task_id_.fetch_add(1, std::memory_order_relaxed));
+}
+
+void Database::Submit(TaskPtr task) { executor_->Submit(std::move(task)); }
+
+Status Database::SchedulePeriodic(const std::string& name,
+                                  double period_seconds,
+                                  const std::string& function_name) {
+  if (period_seconds <= 0) {
+    return Status::InvalidArgument("period must be positive");
+  }
+  if (functions_.Find(function_name) == nullptr) {
+    return Status::NotFound(
+        StrFormat("no user function '%s'", function_name.c_str()));
+  }
+  std::shared_ptr<std::atomic<bool>> cancelled;
+  {
+    std::lock_guard<std::mutex> lk(periodic_mu_);
+    if (periodic_.count(name) > 0) {
+      return Status::AlreadyExists(
+          StrFormat("periodic job '%s' already scheduled", name.c_str()));
+    }
+    cancelled = std::make_shared<std::atomic<bool>>(false);
+    periodic_.emplace(name, cancelled);
+  }
+  SubmitPeriodicTick(function_name, SecondsToMicros(period_seconds),
+                     std::move(cancelled));
+  return Status::OK();
+}
+
+Status Database::CancelPeriodic(const std::string& name) {
+  std::lock_guard<std::mutex> lk(periodic_mu_);
+  auto it = periodic_.find(name);
+  if (it == periodic_.end()) {
+    return Status::NotFound(
+        StrFormat("no periodic job '%s'", name.c_str()));
+  }
+  it->second->store(true);
+  periodic_.erase(it);
+  return Status::OK();
+}
+
+void Database::SubmitPeriodicTick(
+    const std::string& function_name, Timestamp period,
+    std::shared_ptr<std::atomic<bool>> cancelled) {
+  TaskPtr task = NewTask();
+  task->release_time = Now() + period;
+  task->function_name = function_name;
+  task->work = [this, function_name, period,
+                cancelled](TaskControlBlock& tcb) -> Status {
+    if (cancelled->load()) return Status::OK();
+    const UserFunction* fn = functions_.Find(function_name);
+    if (fn == nullptr) {
+      return Status::NotFound(
+          StrFormat("no user function '%s'", function_name.c_str()));
+    }
+    STRIP_ASSIGN_OR_RETURN(Transaction * txn, Begin());
+    FunctionContext ctx(*this, *txn, tcb);
+    Status st = (*fn)(ctx);
+    if (st.ok()) {
+      st = Commit(txn);
+    } else {
+      Status ignored = Abort(txn);
+      (void)ignored;
+    }
+    // Re-arm regardless of this tick's outcome (transient aborts must not
+    // kill the job), unless cancelled meanwhile.
+    if (!cancelled->load()) {
+      SubmitPeriodicTick(function_name, period, cancelled);
+    }
+    return st;
+  };
+  Submit(std::move(task));
+}
+
+Status Database::RunActionTask(TaskControlBlock& task) {
+  // Once running, the task's bound tables are fixed; remove its unique
+  // hash-table entry so later firings start a new transaction (§6.3).
+  rules_->unique_manager().OnTaskStart(task);
+
+  const UserFunction* fn = functions_.Find(task.function_name);
+  if (fn == nullptr) {
+    return Status::NotFound(StrFormat("no user function '%s'",
+                                      task.function_name.c_str()));
+  }
+  Status last;
+  uint64_t priority = 0;  // first attempt's id, kept across retries
+  for (int attempt = 0; attempt <= options_.action_retry_limit; ++attempt) {
+    STRIP_ASSIGN_OR_RETURN(Transaction * txn, Begin(priority));
+    if (priority == 0) priority = txn->priority();
+    FunctionContext ctx(*this, *txn, task);
+    Status st = (*fn)(ctx);
+    if (st.ok()) {
+      st = Commit(txn);
+      if (st.ok()) return Status::OK();
+    } else {
+      Status ignored = Abort(txn);
+      (void)ignored;
+    }
+    if (st.code() != StatusCode::kAborted) return st;  // real failure
+    last = st;  // wait-die victim: restart with the ORIGINAL priority
+    if (threaded_ != nullptr) {
+      // Back off so the conflicting older transaction can finish; the
+      // simulated executor is single-threaded and never needs this.
+      auto delay = std::chrono::milliseconds(
+          std::min(1 << std::min(attempt, 5), 32));
+      std::this_thread::sleep_for(delay);
+    }
+  }
+  return last;
+}
+
+// ---------------------------------------------------------------------------
+// SQL execution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+ResultSet RowsAffected(int n) {
+  ResultSet rs;
+  rs.schema.AddColumn("rows_affected", ValueType::kInt);
+  rs.rows.push_back({Value::Int(n)});
+  return rs;
+}
+
+bool IsDdl(const Statement& stmt) {
+  return std::holds_alternative<CreateTableStmt>(stmt) ||
+         std::holds_alternative<DropTableStmt>(stmt) ||
+         std::holds_alternative<CreateIndexStmt>(stmt) ||
+         std::holds_alternative<CreateViewStmt>(stmt) ||
+         std::holds_alternative<CreateRuleStmt>(stmt) ||
+         std::holds_alternative<DropRuleStmt>(stmt);
+}
+
+}  // namespace
+
+Result<ResultSet> Database::ExecuteDdl(const Statement& stmt) {
+  if (const auto* s = std::get_if<CreateTableStmt>(&stmt)) {
+    STRIP_ASSIGN_OR_RETURN(Table * t,
+                           catalog_.CreateTable(s->name, s->schema));
+    (void)t;
+    return ResultSet{};
+  }
+  if (const auto* s = std::get_if<DropTableStmt>(&stmt)) {
+    STRIP_RETURN_IF_ERROR(catalog_.DropTable(s->name));
+    return ResultSet{};
+  }
+  if (const auto* s = std::get_if<CreateIndexStmt>(&stmt)) {
+    STRIP_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(s->table));
+    STRIP_RETURN_IF_ERROR(t->CreateTableIndex(s->column, s->kind));
+    return ResultSet{};
+  }
+  if (const auto* s = std::get_if<CreateViewStmt>(&stmt)) {
+    CreateViewStmt copy;
+    copy.name = s->name;
+    copy.materialized = s->materialized;
+    copy.query = s->query.Clone();
+    STRIP_RETURN_IF_ERROR(views_->CreateView(std::move(copy)));
+    return ResultSet{};
+  }
+  if (const auto* s = std::get_if<CreateRuleStmt>(&stmt)) {
+    CreateRuleStmt copy;
+    copy.rule_name = s->rule_name;
+    copy.table = s->table;
+    copy.events = s->events;
+    for (const auto& rq : s->condition) copy.condition.push_back(rq.Clone());
+    for (const auto& rq : s->evaluate) copy.evaluate.push_back(rq.Clone());
+    copy.function_name = s->function_name;
+    copy.unique = s->unique;
+    copy.unique_columns = s->unique_columns;
+    copy.delay_seconds = s->delay_seconds;
+    STRIP_RETURN_IF_ERROR(rules_->CreateRule(std::move(copy)));
+    return ResultSet{};
+  }
+  if (const auto* s = std::get_if<DropRuleStmt>(&stmt)) {
+    STRIP_RETURN_IF_ERROR(rules_->DropRule(s->name));
+    return ResultSet{};
+  }
+  return Status::Internal("unhandled DDL statement");
+}
+
+Result<ResultSet> Database::ExecuteStatement(Transaction* txn,
+                                             const Statement& stmt,
+                                             TaskControlBlock* task,
+                                             const std::vector<Value>* params) {
+  if (IsDdl(stmt)) {
+    return Status::InvalidArgument(
+        "DDL cannot run inside a transaction; use Execute()");
+  }
+  ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.locks = &locks_;
+  ctx.txn = txn;
+  ctx.bound = task != nullptr ? &task->bound_tables : nullptr;
+  ctx.funcs = &scalar_funcs_;
+  ctx.params = params;
+  SqlExecutor executor(ctx);
+
+  if (const auto* s = std::get_if<SelectStmt>(&stmt)) {
+    STRIP_ASSIGN_OR_RETURN(TempTable t, executor.ExecuteSelect(*s));
+    return t.Materialize();
+  }
+  if (const auto* s = std::get_if<InsertStmt>(&stmt)) {
+    STRIP_ASSIGN_OR_RETURN(int n, executor.ExecuteInsert(*s));
+    return RowsAffected(n);
+  }
+  if (const auto* s = std::get_if<UpdateStmt>(&stmt)) {
+    STRIP_ASSIGN_OR_RETURN(int n, executor.ExecuteUpdate(*s));
+    return RowsAffected(n);
+  }
+  if (const auto* s = std::get_if<DeleteStmt>(&stmt)) {
+    STRIP_ASSIGN_OR_RETURN(int n, executor.ExecuteDelete(*s));
+    return RowsAffected(n);
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Result<TempTable> Database::Query(Transaction* txn, const SelectStmt& stmt,
+                                  TaskControlBlock* task,
+                                  const std::vector<Value>* params) {
+  ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.locks = &locks_;
+  ctx.txn = txn;
+  ctx.bound = task != nullptr ? &task->bound_tables : nullptr;
+  ctx.funcs = &scalar_funcs_;
+  ctx.params = params;
+  SqlExecutor executor(ctx);
+  return executor.ExecuteSelect(stmt);
+}
+
+Result<int> Database::ExecuteDml(Transaction* txn, const Statement& stmt,
+                                 const std::vector<Value>& params,
+                                 TaskControlBlock* task) {
+  ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.locks = &locks_;
+  ctx.txn = txn;
+  ctx.bound = task != nullptr ? &task->bound_tables : nullptr;
+  ctx.funcs = &scalar_funcs_;
+  ctx.params = &params;
+  SqlExecutor executor(ctx);
+  if (const auto* s = std::get_if<InsertStmt>(&stmt)) {
+    return executor.ExecuteInsert(*s);
+  }
+  if (const auto* s = std::get_if<UpdateStmt>(&stmt)) {
+    return executor.ExecuteUpdate(*s);
+  }
+  if (const auto* s = std::get_if<DeleteStmt>(&stmt)) {
+    return executor.ExecuteDelete(*s);
+  }
+  return Status::InvalidArgument("ExecuteDml takes INSERT/UPDATE/DELETE");
+}
+
+Result<ResultSet> Database::Execute(const std::string& sql) {
+  STRIP_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseStatement(sql));
+  return Execute(stmt);
+}
+
+Result<ResultSet> Database::Execute(const Statement& stmt) {
+  if (IsDdl(stmt)) return ExecuteDdl(stmt);
+  STRIP_ASSIGN_OR_RETURN(Transaction * txn, Begin());
+  auto result = ExecuteStatement(txn, stmt);
+  if (!result.ok()) {
+    Status ignored = Abort(txn);
+    (void)ignored;
+    return result.status();
+  }
+  STRIP_RETURN_IF_ERROR(Commit(txn));
+  return result;
+}
+
+Status Database::ExecuteScript(const std::string& sql) {
+  STRIP_ASSIGN_OR_RETURN(std::vector<Statement> stmts,
+                         Parser::ParseScript(sql));
+  for (const Statement& stmt : stmts) {
+    if (IsDdl(stmt)) {
+      STRIP_RETURN_IF_ERROR(ExecuteDdl(stmt).status());
+      continue;
+    }
+    STRIP_ASSIGN_OR_RETURN(Transaction * txn, Begin());
+    auto result = ExecuteStatement(txn, stmt);
+    if (!result.ok()) {
+      Status ignored = Abort(txn);
+      (void)ignored;
+      return result.status();
+    }
+    STRIP_RETURN_IF_ERROR(Commit(txn));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> Database::Explain(const std::string& sql) {
+  STRIP_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseStatement(sql));
+  const auto* select = std::get_if<SelectStmt>(&stmt);
+  if (select == nullptr) {
+    return Status::InvalidArgument("Explain() takes a SELECT statement");
+  }
+  STRIP_ASSIGN_OR_RETURN(Transaction * txn, Begin());
+  std::vector<std::string> trace;
+  ExecContext ctx;
+  ctx.catalog = &catalog_;
+  ctx.locks = &locks_;
+  ctx.txn = txn;
+  ctx.funcs = &scalar_funcs_;
+  ctx.plan_trace = &trace;
+  SqlExecutor executor(ctx);
+  auto result = executor.ExecuteSelect(*select);
+  if (!result.ok()) {
+    Status ignored = Abort(txn);
+    (void)ignored;
+    return result.status();
+  }
+  STRIP_RETURN_IF_ERROR(Commit(txn));
+  trace.push_back(StrFormat("-> %zu row(s)", result->size()));
+  return trace;
+}
+
+Result<ResultSet> Database::ExecuteInTxn(Transaction* txn,
+                                         const std::string& sql,
+                                         TaskControlBlock* task) {
+  STRIP_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseStatement(sql));
+  return ExecuteStatement(txn, stmt, task);
+}
+
+}  // namespace strip

@@ -1,0 +1,194 @@
+#ifndef STRIP_ENGINE_DATABASE_H_
+#define STRIP_ENGINE_DATABASE_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "strip/common/status.h"
+#include "strip/engine/function_registry.h"
+#include "strip/rules/rule_engine.h"
+#include "strip/sql/executor.h"
+#include "strip/sql/parser.h"
+#include "strip/storage/catalog.h"
+#include "strip/txn/simulated_executor.h"
+#include "strip/txn/threaded_executor.h"
+
+namespace strip {
+
+class ViewManager;
+
+/// How tasks are executed (DESIGN.md §4).
+enum class ExecutorMode {
+  /// Discrete-event simulation on a virtual clock; deterministic,
+  /// single-server. Drive time with simulated()->RunUntil(...).
+  kSimulated,
+  /// Real worker threads on the wall clock.
+  kThreaded,
+};
+
+/// The STRIP database engine: a main-memory DBMS with the rule system of
+/// §2/§6 on top. This is the library's primary entry point.
+///
+///   strip::Database db;
+///   db.ExecuteScript("create table stocks (symbol string, price double);");
+///   db.RegisterFunction("recompute", ...);
+///   db.Execute("create rule r on stocks when updated price then "
+///              "execute recompute unique after 1.0 seconds");
+class Database {
+ public:
+  struct Options {
+    ExecutorMode mode = ExecutorMode::kSimulated;
+    SchedulingPolicy policy = SchedulingPolicy::kFifo;
+    /// Threaded mode: size of the process (worker) pool.
+    int num_workers = 2;
+    /// Simulated mode: advance virtual time by each task's measured cost
+    /// (single-CPU model). Disable for pure logical-time tests.
+    bool advance_clock_by_cost = true;
+    /// Rule-action transactions aborted by wait-die are retried this many
+    /// times before the task fails.
+    int action_retry_limit = 10;
+  };
+
+  Database();
+  explicit Database(Options options);
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // --- SQL entry points --------------------------------------------------
+  /// Parses and executes one statement. DML / SELECT run in their own
+  /// transaction (committed on success — firing rules); DDL is immediate.
+  Result<ResultSet> Execute(const std::string& sql);
+
+  /// Executes one pre-parsed statement with the same semantics.
+  Result<ResultSet> Execute(const Statement& stmt);
+
+  /// Executes a ';'-separated script, stopping at the first error.
+  Status ExecuteScript(const std::string& sql);
+
+  /// Executes a SELECT and returns the plan decisions the executor made
+  /// (scan methods, join order and algorithms, aggregation, sorting) —
+  /// EXPLAIN-ANALYZE-style: the query really runs, in its own transaction.
+  Result<std::vector<std::string>> Explain(const std::string& sql);
+
+  /// Executes one statement inside the caller's transaction (DML / SELECT
+  /// only). `task` (optional) makes that task's bound tables visible.
+  Result<ResultSet> ExecuteInTxn(Transaction* txn, const std::string& sql,
+                                 TaskControlBlock* task = nullptr);
+
+  /// Executes a pre-parsed statement inside a transaction. Parsing once
+  /// and re-executing with '?' placeholder bindings in `params` is the
+  /// engine's prepared-statement path; rule action functions use it to
+  /// avoid per-invocation parse cost.
+  Result<ResultSet> ExecuteStatement(Transaction* txn, const Statement& stmt,
+                                     TaskControlBlock* task = nullptr,
+                                     const std::vector<Value>* params = nullptr);
+
+  /// Convenience: runs a SELECT inside a transaction returning the temp
+  /// table (pointer-backed; cheaper than materializing a ResultSet).
+  Result<TempTable> Query(Transaction* txn, const SelectStmt& stmt,
+                          TaskControlBlock* task = nullptr,
+                          const std::vector<Value>* params = nullptr);
+
+  /// Prepared-DML fast path: executes an UPDATE / INSERT / DELETE with
+  /// bound parameters, returning affected rows without building a
+  /// ResultSet. This is what rule-action functions call per maintained
+  /// tuple (the paper's user functions issue such updates, Figures 3-8).
+  Result<int> ExecuteDml(Transaction* txn, const Statement& stmt,
+                         const std::vector<Value>& params,
+                         TaskControlBlock* task = nullptr);
+
+  // --- transactions ------------------------------------------------------
+  /// Starts a transaction. The pointer stays valid until Commit / Abort.
+  /// `priority` (0 = the new id) sets the wait-die age; a retried
+  /// transaction passes its predecessor's priority so it cannot starve.
+  Result<Transaction*> Begin(uint64_t priority = 0);
+
+  /// Commits: event-checks the log against the rules (§6.3), stamps the
+  /// commit time, releases locks, then enqueues triggered action tasks.
+  Status Commit(Transaction* txn);
+
+  /// Rolls back every logged change and releases locks.
+  Status Abort(Transaction* txn);
+
+  // --- rule actions / functions -------------------------------------------
+  /// Registers a user (rule action) function.
+  Status RegisterFunction(const std::string& name, UserFunction fn);
+
+  /// Registers a scalar SQL function (e.g. the Black-Scholes pricer).
+  Status RegisterScalarFunction(const std::string& name, ScalarFunc fn);
+
+  // --- tasks ---------------------------------------------------------------
+  /// Creates an application task (caller fills in work / release time).
+  TaskPtr NewTask();
+
+  /// Enqueues a task with the executor.
+  void Submit(TaskPtr task);
+
+  // --- periodic recomputation -----------------------------------------------
+  /// Runs the registered user function `function_name` every `period`
+  /// seconds (first run one period from now), each run in its own
+  /// transaction with no bound tables. This is STRIP's periodic
+  /// recomputation facility — e.g. refreshing stock_stdev outside trading
+  /// hours (§3). Fails if the name is taken or the function is unknown.
+  Status SchedulePeriodic(const std::string& name, double period_seconds,
+                          const std::string& function_name);
+
+  /// Stops the named periodic job (takes effect at its next release).
+  Status CancelPeriodic(const std::string& name);
+
+  // --- components ----------------------------------------------------------
+  Catalog& catalog() { return catalog_; }
+  LockManager& locks() { return locks_; }
+  RuleEngine& rules() { return *rules_; }
+  FunctionRegistry& functions() { return functions_; }
+  const ScalarFuncRegistry& scalar_funcs() const { return scalar_funcs_; }
+  ViewManager& views() { return *views_; }
+  Executor& executor() { return *executor_; }
+  /// Non-null iff mode == kSimulated / kThreaded respectively.
+  SimulatedExecutor* simulated() { return sim_.get(); }
+  ThreadedExecutor* threaded() { return threaded_.get(); }
+  Timestamp Now() const { return executor_->Now(); }
+
+ private:
+  /// The action runner installed into rule tasks: unhooks the task from
+  /// the unique hash table, then runs the user function in a fresh
+  /// transaction, retrying wait-die aborts.
+  Status RunActionTask(TaskControlBlock& task);
+
+  /// Immediate (non-transactional) DDL execution.
+  Result<ResultSet> ExecuteDdl(const Statement& stmt);
+
+  Options options_;
+  Catalog catalog_;
+  LockManager locks_;
+  ScalarFuncRegistry scalar_funcs_;
+  FunctionRegistry functions_;
+  std::unique_ptr<SimulatedExecutor> sim_;
+  std::unique_ptr<ThreadedExecutor> threaded_;
+  Executor* executor_ = nullptr;
+  std::unique_ptr<RuleEngine> rules_;
+  std::unique_ptr<ViewManager> views_;
+
+  std::atomic<uint64_t> next_txn_id_{1};
+  std::atomic<uint64_t> next_task_id_{1};
+
+  /// One tick of a periodic job: run the function, reschedule.
+  void SubmitPeriodicTick(const std::string& function_name,
+                          Timestamp period,
+                          std::shared_ptr<std::atomic<bool>> cancelled);
+
+  std::mutex txns_mu_;
+  std::map<uint64_t, std::unique_ptr<Transaction>> txns_;
+
+  std::mutex periodic_mu_;
+  std::map<std::string, std::shared_ptr<std::atomic<bool>>> periodic_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_ENGINE_DATABASE_H_

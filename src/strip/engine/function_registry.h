@@ -1,0 +1,78 @@
+#ifndef STRIP_ENGINE_FUNCTION_REGISTRY_H_
+#define STRIP_ENGINE_FUNCTION_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "strip/common/status.h"
+#include "strip/sql/ast.h"
+#include "strip/storage/temp_table.h"
+#include "strip/txn/task.h"
+#include "strip/txn/transaction.h"
+
+namespace strip {
+
+class Database;
+
+/// Execution context handed to a user (rule action) function. The function
+/// runs inside a fresh transaction and can read its bound tables by name
+/// (resolved before the catalog, §6.3) as well as issue SQL against the
+/// database within that transaction.
+class FunctionContext {
+ public:
+  FunctionContext(Database& db, Transaction& txn, TaskControlBlock& task)
+      : db_(db), txn_(txn), task_(task) {}
+
+  Database& db() { return db_; }
+  Transaction& txn() { return txn_; }
+  TaskControlBlock& task() { return task_; }
+
+  /// The bound table named `name` (read-only), or nullptr.
+  const TempTable* BoundTable(const std::string& name) const {
+    return task_.bound_tables.Find(name);
+  }
+
+  /// Runs a SELECT within the action transaction; bound tables are visible
+  /// as FROM sources. `params` binds '?' placeholders.
+  Result<TempTable> Query(const std::string& sql);
+  Result<TempTable> Query(const SelectStmt& stmt,
+                          const std::vector<Value>* params = nullptr);
+
+  /// Runs INSERT / UPDATE / DELETE within the action transaction; returns
+  /// affected rows. The prepared form with `params` is the fast path for
+  /// per-tuple maintenance updates.
+  Result<int> Exec(const std::string& sql);
+  Result<int> Exec(const Statement& stmt);
+  Result<int> Exec(const Statement& stmt, const std::vector<Value>& params);
+
+ private:
+  Database& db_;
+  Transaction& txn_;
+  TaskControlBlock& task_;
+};
+
+/// A user-provided rule action: a black-box function linked into the
+/// database (§2).
+using UserFunction = std::function<Status(FunctionContext&)>;
+
+/// Name -> user function registry.
+class FunctionRegistry {
+ public:
+  FunctionRegistry() = default;
+  FunctionRegistry(const FunctionRegistry&) = delete;
+  FunctionRegistry& operator=(const FunctionRegistry&) = delete;
+
+  /// Registers `fn` under `name` (case-insensitive); duplicates fail.
+  Status Register(const std::string& name, UserFunction fn);
+
+  /// The function, or nullptr.
+  const UserFunction* Find(const std::string& name) const;
+
+ private:
+  std::map<std::string, UserFunction> funcs_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_ENGINE_FUNCTION_REGISTRY_H_

@@ -1,0 +1,185 @@
+#include "strip/feed/feed.h"
+
+#include "strip/common/string_util.h"
+#include "strip/sql/parser.h"
+
+namespace strip {
+
+// ---------------------------------------------------------------------------
+// FeedImporter
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<FeedImporter>> FeedImporter::Create(
+    Database* db, const std::string& table_name) {
+  STRIP_ASSIGN_OR_RETURN(Table * table, db->catalog().GetTable(table_name));
+  const Schema& schema = table->schema();
+  if (schema.num_columns() < 2) {
+    return Status::InvalidArgument(
+        "feed tables need a key column plus at least one value column");
+  }
+  if (table->FindIndexByPosition(0) == nullptr) {
+    return Status::FailedPrecondition(StrFormat(
+        "feed table '%s' must be indexed on its key column '%s'",
+        table->name().c_str(), schema.column(0).name.c_str()));
+  }
+
+  // update t set c1 = ?, ..., cn = ? where key = ?
+  std::string update_sql = "update " + table->name() + " set ";
+  for (int c = 1; c < schema.num_columns(); ++c) {
+    if (c > 1) update_sql += ", ";
+    update_sql += schema.column(c).name + " = ?";
+  }
+  update_sql += " where " + schema.column(0).name + " = ?";
+  STRIP_ASSIGN_OR_RETURN(Statement update_stmt,
+                         Parser::ParseStatement(update_sql));
+
+  std::string insert_sql = "insert into " + table->name() + " values (";
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    insert_sql += c > 0 ? ", ?" : "?";
+  }
+  insert_sql += ")";
+  STRIP_ASSIGN_OR_RETURN(Statement insert_stmt,
+                         Parser::ParseStatement(insert_sql));
+
+  return std::unique_ptr<FeedImporter>(new FeedImporter(
+      db, table, std::move(update_stmt), std::move(insert_stmt)));
+}
+
+FeedImporter::FeedImporter(Database* db, Table* table, Statement update_stmt,
+                           Statement insert_stmt)
+    : db_(db),
+      table_(table),
+      update_stmt_(std::move(update_stmt)),
+      insert_stmt_(std::move(insert_stmt)) {}
+
+Status FeedImporter::Apply(const FeedRecord& rec) {
+  STRIP_ASSIGN_OR_RETURN(Transaction * txn, db_->Begin());
+  auto run = [&]() -> Status {
+    // Upsert: try the keyed update, insert on miss.
+    std::vector<Value> update_params(rec.values.begin() + 1,
+                                     rec.values.end());
+    update_params.push_back(rec.values[0]);
+    STRIP_ASSIGN_OR_RETURN(int n,
+                           db_->ExecuteDml(txn, update_stmt_, update_params));
+    if (n == 0) {
+      STRIP_ASSIGN_OR_RETURN(n,
+                             db_->ExecuteDml(txn, insert_stmt_, rec.values));
+    }
+    if (n != 1) {
+      return Status::Internal(StrFormat(
+          "feed upsert touched %d rows in '%s'", n, table_->name().c_str()));
+    }
+    return Status::OK();
+  };
+  Status st = run();
+  if (!st.ok()) {
+    Status ignored = db_->Abort(txn);
+    (void)ignored;
+    failed_.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  st = db_->Commit(txn);
+  if (st.ok()) {
+    applied_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return st;
+}
+
+Status FeedImporter::Submit(FeedRecord rec) {
+  if (static_cast<int>(rec.values.size()) !=
+      table_->schema().num_columns()) {
+    return Status::InvalidArgument(StrFormat(
+        "feed record arity %zu does not match table '%s'",
+        rec.values.size(), table_->name().c_str()));
+  }
+  TaskPtr task = db_->NewTask();
+  task->release_time = rec.at;
+  task->work = [this, rec = std::move(rec)](TaskControlBlock&) {
+    return Apply(rec);
+  };
+  db_->Submit(std::move(task));
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FeedImporter::SubmitAll(const std::vector<FeedRecord>& stream) {
+  for (const FeedRecord& rec : stream) {
+    STRIP_RETURN_IF_ERROR(Submit(rec));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// TableExporter
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<TableExporter>> TableExporter::Create(
+    Database* db, const std::string& table_name, double delay_seconds,
+    ExportSink sink) {
+  STRIP_ASSIGN_OR_RETURN(Table * table, db->catalog().GetTable(table_name));
+  std::string rule_name = "export_" + table->name();
+  std::string fn_name = rule_name + "_fn";
+  auto batches = std::make_shared<std::atomic<uint64_t>>(0);
+
+  // The action materializes its three bound tables into an ExportBatch.
+  STRIP_RETURN_IF_ERROR(db->RegisterFunction(
+      fn_name,
+      [db, sink = std::move(sink), batches](FunctionContext& ctx) -> Status {
+        ExportBatch batch;
+        batch.delivered_at = db->Now();
+        auto fill = [&](const char* name,
+                        std::vector<std::vector<Value>>& out) -> Status {
+          const TempTable* t = ctx.BoundTable(name);
+          if (t == nullptr) {
+            return Status::Internal("export bound table missing");
+          }
+          for (size_t i = 0; i < t->size(); ++i) {
+            out.push_back(t->MaterializeRow(i));
+          }
+          return Status::OK();
+        };
+        STRIP_RETURN_IF_ERROR(fill("_export_ins", batch.inserted));
+        STRIP_RETURN_IF_ERROR(fill("_export_upd", batch.updated_new));
+        STRIP_RETURN_IF_ERROR(fill("_export_del", batch.deleted));
+        batches->fetch_add(1, std::memory_order_relaxed);
+        sink(batch);
+        return Status::OK();
+      }));
+
+  // Rule: any change to the table binds all three transition views. The
+  // evaluate clause is used so an empty kind (e.g. no deletes) does not
+  // make the condition false.
+  CreateRuleStmt rule;
+  rule.rule_name = rule_name;
+  rule.table = table->name();
+  rule.events = {RuleEvent{RuleEventKind::kInserted, {}},
+                 RuleEvent{RuleEventKind::kDeleted, {}},
+                 RuleEvent{RuleEventKind::kUpdated, {}}};
+  auto star_query = [&](const char* from, const char* bind) {
+    RuleQuery rq;
+    rq.query.star = true;
+    rq.query.from.push_back(TableRef{from, ""});
+    rq.bind_as = bind;
+    return rq;
+  };
+  rule.evaluate.push_back(star_query("inserted", "_export_ins"));
+  rule.evaluate.push_back(star_query("new", "_export_upd"));
+  rule.evaluate.push_back(star_query("deleted", "_export_del"));
+  rule.function_name = fn_name;
+  rule.unique = true;  // batch everything in the window into one delivery
+  rule.delay_seconds = delay_seconds;
+  STRIP_RETURN_IF_ERROR(db->rules().CreateRule(std::move(rule)));
+
+  return std::unique_ptr<TableExporter>(
+      new TableExporter(db, std::move(rule_name), std::move(batches)));
+}
+
+TableExporter::~TableExporter() {
+  // Stop exporting; the function registration stays (cheap, inert).
+  Status ignored = db_->rules().DropRule(rule_name_);
+  (void)ignored;
+}
+
+}  // namespace strip

@@ -1,0 +1,342 @@
+#include "strip/market/app_functions.h"
+
+#include <memory>
+#include <unordered_map>
+
+#include "strip/common/string_util.h"
+#include "strip/market/black_scholes.h"
+#include "strip/sql/parser.h"
+
+namespace strip {
+
+namespace {
+
+/// Column positions of the `matches` bound table, resolved once per call.
+struct MatchesColumns {
+  int comp = -1, weight = -1, old_price = -1, new_price = -1;
+  int option_symbol = -1, stock_symbol = -1, strike = -1, expiration = -1;
+
+  static Result<MatchesColumns> Resolve(const TempTable& t, bool options) {
+    MatchesColumns c;
+    const Schema& s = t.schema();
+    auto need = [&](const char* name) -> Result<int> {
+      int i = s.FindColumn(name);
+      if (i < 0) {
+        return Status::NotFound(StrFormat(
+            "bound table '%s' lacks column '%s'", t.name().c_str(), name));
+      }
+      return i;
+    };
+    if (options) {
+      STRIP_ASSIGN_OR_RETURN(c.option_symbol, need("option_symbol"));
+      STRIP_ASSIGN_OR_RETURN(c.stock_symbol, need("stock_symbol"));
+      STRIP_ASSIGN_OR_RETURN(c.strike, need("strike"));
+      STRIP_ASSIGN_OR_RETURN(c.expiration, need("expiration"));
+      STRIP_ASSIGN_OR_RETURN(c.new_price, need("new_price"));
+    } else {
+      STRIP_ASSIGN_OR_RETURN(c.comp, need("comp"));
+      STRIP_ASSIGN_OR_RETURN(c.weight, need("weight"));
+      STRIP_ASSIGN_OR_RETURN(c.old_price, need("old_price"));
+      STRIP_ASSIGN_OR_RETURN(c.new_price, need("new_price"));
+    }
+    return c;
+  }
+};
+
+/// Statements the maintenance functions execute, parsed once at
+/// registration. The functions issue the same SQL as the paper's
+/// pseudo-code (Figures 3, 6, 7, 8), through the prepared-statement path.
+struct PreparedStmts {
+  Statement update_comp;    // update comp_prices set price += ?1 where comp = ?2
+  Statement update_option;  // update option_prices set price = ?1 where option_symbol = ?2
+  SelectStmt select_stdev;  // select stdev from stock_stdev where symbol = ?1
+
+  static Result<std::shared_ptr<const PreparedStmts>> Make() {
+    auto p = std::make_shared<PreparedStmts>();
+    STRIP_ASSIGN_OR_RETURN(
+        p->update_comp,
+        Parser::ParseStatement(
+            "update comp_prices set price += ? where comp = ?"));
+    STRIP_ASSIGN_OR_RETURN(
+        p->update_option,
+        Parser::ParseStatement(
+            "update option_prices set price = ? where option_symbol = ?"));
+    STRIP_ASSIGN_OR_RETURN(Statement sel,
+                           Parser::ParseStatement(
+                               "select stdev from stock_stdev "
+                               "where symbol = ?"));
+    p->select_stdev = std::move(std::get<SelectStmt>(sel));
+    return std::shared_ptr<const PreparedStmts>(std::move(p));
+  }
+};
+
+/// Applies one composite delta:
+///   update comp_prices set price += change where comp = r.comp
+Status ApplyCompChange(FunctionContext& ctx, const PreparedStmts& stmts,
+                       const Value& comp, double change) {
+  STRIP_ASSIGN_OR_RETURN(
+      int n, ctx.Exec(stmts.update_comp, {Value::Double(change), comp}));
+  if (n != 1) {
+    return Status::Internal(StrFormat(
+        "comp_prices update for '%s' touched %d rows",
+        comp.ToString().c_str(), n));
+  }
+  return Status::OK();
+}
+
+// --- compute_comps1 (Figure 3): one update per matches row ----------------
+Status ComputeComps1(FunctionContext& ctx, const PreparedStmts& stmts) {
+  const TempTable* matches = ctx.BoundTable("matches");
+  if (matches == nullptr) {
+    return Status::NotFound("bound table 'matches' missing");
+  }
+  STRIP_ASSIGN_OR_RETURN(MatchesColumns c,
+                         MatchesColumns::Resolve(*matches, false));
+  for (size_t i = 0; i < matches->size(); ++i) {
+    double change = matches->Get(i, c.weight).as_double() *
+                    (matches->Get(i, c.new_price).as_double() -
+                     matches->Get(i, c.old_price).as_double());
+    STRIP_RETURN_IF_ERROR(
+        ApplyCompChange(ctx, stmts, matches->Get(i, c.comp), change));
+  }
+  return Status::OK();
+}
+
+// --- compute_comps2 (Figure 6): aggregate per composite, then apply --------
+Status ComputeComps2(FunctionContext& ctx, const PreparedStmts& stmts) {
+  const TempTable* matches = ctx.BoundTable("matches");
+  if (matches == nullptr) {
+    return Status::NotFound("bound table 'matches' missing");
+  }
+  STRIP_ASSIGN_OR_RETURN(MatchesColumns c,
+                         MatchesColumns::Resolve(*matches, false));
+  // select comp, sum((new - old) * weight) as diff from matches group by
+  // comp — computed in application code as in STRIP v2.0 (§4.3).
+  std::unordered_map<std::string, double> diff;
+  for (size_t i = 0; i < matches->size(); ++i) {
+    diff[matches->Get(i, c.comp).as_string()] +=
+        matches->Get(i, c.weight).as_double() *
+        (matches->Get(i, c.new_price).as_double() -
+         matches->Get(i, c.old_price).as_double());
+  }
+  for (const auto& [comp, change] : diff) {
+    STRIP_RETURN_IF_ERROR(
+        ApplyCompChange(ctx, stmts, Value::Str(comp), change));
+  }
+  return Status::OK();
+}
+
+// --- compute_comps3 (Figure 7): matches holds one composite ---------------
+Status ComputeComps3(FunctionContext& ctx, const PreparedStmts& stmts) {
+  const TempTable* matches = ctx.BoundTable("matches");
+  if (matches == nullptr) {
+    return Status::NotFound("bound table 'matches' missing");
+  }
+  if (matches->size() == 0) return Status::OK();
+  STRIP_ASSIGN_OR_RETURN(MatchesColumns c,
+                         MatchesColumns::Resolve(*matches, false));
+  double change = 0.0;
+  for (size_t i = 0; i < matches->size(); ++i) {
+    change += matches->Get(i, c.weight).as_double() *
+              (matches->Get(i, c.new_price).as_double() -
+               matches->Get(i, c.old_price).as_double());
+  }
+  return ApplyCompChange(ctx, stmts, matches->Get(0, c.comp), change);
+}
+
+// --- compute_options1/2 (Figure 8 / §5.2) -----------------------------------
+Status ComputeOptions(FunctionContext& ctx, const PreparedStmts& stmts,
+                      double risk_free_rate, bool batched) {
+  const TempTable* matches = ctx.BoundTable("matches");
+  if (matches == nullptr) {
+    return Status::NotFound("bound table 'matches' missing");
+  }
+  STRIP_ASSIGN_OR_RETURN(MatchesColumns c,
+                         MatchesColumns::Resolve(*matches, true));
+
+  // stdev = select stdev from stock_stdev where symbol = r.stock_symbol
+  // (Figure 8), cached per call since a batch repeats stocks.
+  std::unordered_map<std::string, double> stdev_cache;
+  auto stdev_of = [&](const Value& symbol) -> Result<double> {
+    auto it = stdev_cache.find(symbol.as_string());
+    if (it != stdev_cache.end()) return it->second;
+    std::vector<Value> params = {symbol};
+    STRIP_ASSIGN_OR_RETURN(TempTable rows,
+                           ctx.Query(stmts.select_stdev, &params));
+    if (rows.size() != 1) {
+      return Status::Internal(StrFormat("no stdev for stock '%s'",
+                                        symbol.ToString().c_str()));
+    }
+    double sd = rows.Get(0, 0).as_double();
+    stdev_cache.emplace(symbol.as_string(), sd);
+    return sd;
+  };
+
+  auto reprice = [&](size_t i, double spot) -> Status {
+    STRIP_ASSIGN_OR_RETURN(double sd,
+                           stdev_of(matches->Get(i, c.stock_symbol)));
+    double price = BlackScholesCall(
+        spot, matches->Get(i, c.strike).as_double(), risk_free_rate, sd,
+        matches->Get(i, c.expiration).as_double());
+    STRIP_ASSIGN_OR_RETURN(
+        int n, ctx.Exec(stmts.update_option,
+                        {Value::Double(price),
+                         matches->Get(i, c.option_symbol)}));
+    if (n != 1) {
+      return Status::Internal(StrFormat(
+          "option_prices update for '%s' touched %d rows",
+          matches->Get(i, c.option_symbol).ToString().c_str(), n));
+    }
+    return Status::OK();
+  };
+
+  if (!batched) {
+    // Figure 8: every row — hence every change — is processed.
+    for (size_t i = 0; i < matches->size(); ++i) {
+      STRIP_RETURN_IF_ERROR(
+          reprice(i, matches->Get(i, c.new_price).as_double()));
+    }
+    return Status::OK();
+  }
+
+  // Batched (§5.2): if a stock changed several times inside the window,
+  // only its last value matters; each option is repriced once. Bound rows
+  // arrive in commit order, so later rows supersede earlier ones.
+  std::unordered_map<std::string, size_t> last_row_of_option;
+  std::unordered_map<std::string, double> last_price_of_stock;
+  for (size_t i = 0; i < matches->size(); ++i) {
+    last_row_of_option[matches->Get(i, c.option_symbol).as_string()] = i;
+    last_price_of_stock[matches->Get(i, c.stock_symbol).as_string()] =
+        matches->Get(i, c.new_price).as_double();
+  }
+  for (const auto& [opt, i] : last_row_of_option) {
+    double spot =
+        last_price_of_stock[matches->Get(i, c.stock_symbol).as_string()];
+    STRIP_RETURN_IF_ERROR(reprice(i, spot));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RegisterPtaFunctions(Database& db, double risk_free_rate) {
+  STRIP_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedStmts> stmts,
+                         PreparedStmts::Make());
+  STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+      "compute_comps1",
+      [stmts](FunctionContext& ctx) { return ComputeComps1(ctx, *stmts); }));
+  STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+      "compute_comps2",
+      [stmts](FunctionContext& ctx) { return ComputeComps2(ctx, *stmts); }));
+  STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+      "compute_comps3",
+      [stmts](FunctionContext& ctx) { return ComputeComps3(ctx, *stmts); }));
+  STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+      "compute_options1", [stmts, risk_free_rate](FunctionContext& ctx) {
+        return ComputeOptions(ctx, *stmts, risk_free_rate,
+                              /*batched=*/false);
+      }));
+  STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+      "compute_options2", [stmts, risk_free_rate](FunctionContext& ctx) {
+        return ComputeOptions(ctx, *stmts, risk_free_rate,
+                              /*batched=*/true);
+      }));
+  return Status::OK();
+}
+
+const char* CompRuleVariantName(CompRuleVariant v) {
+  switch (v) {
+    case CompRuleVariant::kNonUnique: return "non-unique";
+    case CompRuleVariant::kUnique: return "unique";
+    case CompRuleVariant::kUniqueOnSymbol: return "unique on symbol";
+    case CompRuleVariant::kUniqueOnComp: return "unique on comp";
+  }
+  return "?";
+}
+
+const char* OptionRuleVariantName(OptionRuleVariant v) {
+  switch (v) {
+    case OptionRuleVariant::kNonUnique: return "non-unique";
+    case OptionRuleVariant::kUnique: return "unique";
+    case OptionRuleVariant::kUniqueOnSymbol: return "unique on symbol";
+    case OptionRuleVariant::kUniqueOnOptionSymbol:
+      return "unique on option_symbol";
+  }
+  return "?";
+}
+
+std::string CompRuleFunction(CompRuleVariant v) {
+  switch (v) {
+    case CompRuleVariant::kNonUnique: return "compute_comps1";
+    case CompRuleVariant::kUnique: return "compute_comps2";
+    case CompRuleVariant::kUniqueOnSymbol: return "compute_comps2";
+    case CompRuleVariant::kUniqueOnComp: return "compute_comps3";
+  }
+  return "";
+}
+
+std::string OptionRuleFunction(OptionRuleVariant v) {
+  return v == OptionRuleVariant::kNonUnique ? "compute_options1"
+                                            : "compute_options2";
+}
+
+std::string CompRuleSql(CompRuleVariant v, double delay_seconds) {
+  std::string sql = StrFormat(R"sql(
+    create rule do_comps on stocks
+    when updated price
+    if
+      select comp, comps_list.symbol as symbol, weight,
+             old.price as old_price, new.price as new_price
+      from comps_list, new, old
+      where comps_list.symbol = new.symbol
+        and new.execute_order = old.execute_order
+      bind as matches
+    then execute %s)sql",
+                              CompRuleFunction(v).c_str());
+  switch (v) {
+    case CompRuleVariant::kNonUnique:
+      return sql;
+    case CompRuleVariant::kUnique:
+      sql += " unique";
+      break;
+    case CompRuleVariant::kUniqueOnSymbol:
+      sql += " unique on symbol";
+      break;
+    case CompRuleVariant::kUniqueOnComp:
+      sql += " unique on comp";
+      break;
+  }
+  sql += StrFormat(" after %f seconds", delay_seconds);
+  return sql;
+}
+
+std::string OptionRuleSql(OptionRuleVariant v, double delay_seconds) {
+  std::string sql = StrFormat(R"sql(
+    create rule do_options on stocks
+    when updated price
+    if
+      select option_symbol, stock_symbol, strike, expiration,
+             new.price as new_price
+      from options_list, new
+      where options_list.stock_symbol = new.symbol
+      bind as matches
+    then execute %s)sql",
+                              OptionRuleFunction(v).c_str());
+  switch (v) {
+    case OptionRuleVariant::kNonUnique:
+      return sql;
+    case OptionRuleVariant::kUnique:
+      sql += " unique";
+      break;
+    case OptionRuleVariant::kUniqueOnSymbol:
+      sql += " unique on stock_symbol";
+      break;
+    case OptionRuleVariant::kUniqueOnOptionSymbol:
+      sql += " unique on option_symbol";
+      break;
+  }
+  sql += StrFormat(" after %f seconds", delay_seconds);
+  return sql;
+}
+
+}  // namespace strip

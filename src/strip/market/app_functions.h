@@ -1,0 +1,53 @@
+#ifndef STRIP_MARKET_APP_FUNCTIONS_H_
+#define STRIP_MARKET_APP_FUNCTIONS_H_
+
+#include <string>
+
+#include "strip/common/status.h"
+#include "strip/engine/database.h"
+
+namespace strip {
+
+/// Registers the program-trading application's rule-action functions:
+///   compute_comps1   (Figure 3)  one read-modify-write per matches row
+///   compute_comps2   (Figure 6)  group changes per composite, then apply
+///   compute_comps3   (Figure 7)  matches holds a single composite
+///   compute_options1 (Figure 8)  reprice every option of every change
+///   compute_options2 (§5.2)      batched: last price per stock wins
+/// `risk_free_rate` parameterizes the Black-Scholes pricer.
+///
+/// As in STRIP v2.0, aggregation inside the functions is done in
+/// application code rather than SQL (§4.3).
+Status RegisterPtaFunctions(Database& db, double risk_free_rate = 0.05);
+
+/// Batching variants for maintaining comp_prices (§5.1).
+enum class CompRuleVariant {
+  kNonUnique,        // Figure 3 (do_comps1)
+  kUnique,           // Figure 6 (do_comps2): coarse, whole table
+  kUniqueOnSymbol,   // unique on symbol
+  kUniqueOnComp,     // Figure 7 (do_comps3): unique on comp
+};
+
+/// Batching variants for maintaining option_prices (§5.2).
+enum class OptionRuleVariant {
+  kNonUnique,            // Figure 8 (do_options1)
+  kUnique,               // coarse
+  kUniqueOnSymbol,       // unique on stock_symbol
+  kUniqueOnOptionSymbol, // unique on option_symbol (unmanageable, §5.2)
+};
+
+const char* CompRuleVariantName(CompRuleVariant v);
+const char* OptionRuleVariantName(OptionRuleVariant v);
+
+/// The user function each variant executes.
+std::string CompRuleFunction(CompRuleVariant v);
+std::string OptionRuleFunction(OptionRuleVariant v);
+
+/// CREATE RULE statement for the variant with the given delay window
+/// (delay ignored for the non-unique variants, which run immediately).
+std::string CompRuleSql(CompRuleVariant v, double delay_seconds);
+std::string OptionRuleSql(OptionRuleVariant v, double delay_seconds);
+
+}  // namespace strip
+
+#endif  // STRIP_MARKET_APP_FUNCTIONS_H_

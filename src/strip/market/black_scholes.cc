@@ -1,0 +1,24 @@
+#include "strip/market/black_scholes.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace strip {
+
+double NormCdf(double x) {
+  return 0.5 * (1.0 + std::erf(x / std::sqrt(2.0)));
+}
+
+double BlackScholesCall(double s, double k, double r, double sigma,
+                        double t) {
+  // Degenerate limits: at (or past) expiry, or with zero volatility, the
+  // call is worth its discounted intrinsic value.
+  if (t <= 0.0) return std::max(s - k, 0.0);
+  if (sigma <= 0.0) return std::max(s - k * std::exp(-r * t), 0.0);
+  double sq = sigma * std::sqrt(t);
+  double d1 = (std::log(s / k) + (r + 0.5 * sigma * sigma) * t) / sq;
+  double d2 = d1 - sq;
+  return s * NormCdf(d1) - k * std::exp(-r * t) * NormCdf(d2);
+}
+
+}  // namespace strip

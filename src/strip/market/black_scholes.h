@@ -1,0 +1,25 @@
+#ifndef STRIP_MARKET_BLACK_SCHOLES_H_
+#define STRIP_MARKET_BLACK_SCHOLES_H_
+
+namespace strip {
+
+/// Cumulative distribution function of the standard normal, computed from
+/// the C math library error function (§4.3).
+double NormCdf(double x);
+
+/// Black-Scholes price of a European call option (Appendix B, [BS73]):
+///
+///   p = s * Phi(d1) - k * e^{-r t} * Phi(d2)
+///   d1 = (ln(s / k) + (r + sigma^2 / 2) t) / (sigma sqrt(t))
+///   d2 = d1 - sigma sqrt(t)
+///
+/// \param s      current price of the underlying stock
+/// \param k      exercise (strike) price
+/// \param r      continuously compounded risk-free rate of return
+/// \param sigma  standard deviation of the annualized rate of return
+/// \param t      time to expiration as a fraction of a year
+double BlackScholesCall(double s, double k, double r, double sigma, double t);
+
+}  // namespace strip
+
+#endif  // STRIP_MARKET_BLACK_SCHOLES_H_

@@ -1,0 +1,167 @@
+#include "strip/market/populate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "strip/common/rng.h"
+#include "strip/common/string_util.h"
+#include "strip/market/black_scholes.h"
+
+namespace strip {
+
+PtaConfig PtaConfig::Scaled(double fraction) {
+  PtaConfig c;
+  c.num_composites =
+      std::max(8, static_cast<int>(c.num_composites * fraction));
+  c.num_options = std::max(100, static_cast<int>(c.num_options * fraction));
+  return c;
+}
+
+std::string StockSymbol(int i) { return StrFormat("s%04d", i); }
+std::string CompSymbol(int i) { return StrFormat("c%03d", i); }
+std::string OptionSymbol(int i) { return StrFormat("o%05d", i); }
+
+namespace {
+
+/// Weighted sample of `k` distinct indexes with probability proportional
+/// to `weights` (exponential-keys method).
+std::vector<int> WeightedSampleWithoutReplacement(
+    const std::vector<double>& weights, int k, Rng& rng) {
+  std::vector<std::pair<double, int>> keys;
+  keys.reserve(weights.size());
+  for (size_t i = 0; i < weights.size(); ++i) {
+    double w = std::max(weights[i], 1e-9);
+    double u = rng.UniformReal(1e-12, 1.0);
+    keys.emplace_back(-std::log(u) / w, static_cast<int>(i));
+  }
+  size_t kk = std::min(static_cast<size_t>(k), keys.size());
+  std::partial_sort(keys.begin(), keys.begin() + static_cast<long>(kk),
+                    keys.end());
+  std::vector<int> out;
+  out.reserve(kk);
+  for (size_t i = 0; i < kk; ++i) out.push_back(keys[i].second);
+  return out;
+}
+
+Status BulkInsert(Table* table, std::vector<Value> values) {
+  return table->Insert(MakeRecord(std::move(values))).status();
+}
+
+}  // namespace
+
+Status PopulatePtaTables(Database& db, const MarketTrace& trace,
+                         const PtaConfig& cfg) {
+  const int num_stocks = trace.options().num_stocks;
+  Rng rng(cfg.seed);
+
+  // The Black-Scholes pricer as a scalar SQL function, as in the
+  // option_prices view definition (§3).
+  double r = cfg.risk_free_rate;
+  STRIP_RETURN_IF_ERROR(db.RegisterScalarFunction(
+      "f_bs", [r](const std::vector<Value>& args) -> Result<Value> {
+        if (args.size() != 4) {
+          return Status::InvalidArgument(
+              "f_bs(price, strike, expiration, stdev) takes 4 arguments");
+        }
+        for (const Value& v : args) {
+          if (!v.is_numeric()) {
+            return Status::InvalidArgument("f_bs: numeric arguments only");
+          }
+        }
+        return Value::Double(BlackScholesCall(
+            args[0].as_double(), args[1].as_double(), r, args[3].as_double(),
+            args[2].as_double()));
+      }));
+
+  STRIP_RETURN_IF_ERROR(db.ExecuteScript(R"sql(
+    create table stocks (symbol string, price double);
+    create index on stocks (symbol);
+    create table stock_stdev (symbol string, stdev double);
+    create index on stock_stdev (symbol);
+    create table comps_list (comp string, symbol string, weight double);
+    create index on comps_list (symbol);
+    create table options_list (option_symbol string, stock_symbol string,
+                               strike double, expiration double);
+    create index on options_list (stock_symbol);
+  )sql"));
+
+  // Bulk population bypasses transactions (setup phase; no rules exist
+  // yet), exactly like the paper's pre-experiment load.
+  Table* stocks = db.catalog().FindTable("stocks");
+  Table* stdevs = db.catalog().FindTable("stock_stdev");
+  Table* comps_list = db.catalog().FindTable("comps_list");
+  Table* options_list = db.catalog().FindTable("options_list");
+
+  for (int i = 0; i < num_stocks; ++i) {
+    STRIP_RETURN_IF_ERROR(BulkInsert(
+        stocks, {Value::Str(StockSymbol(i)),
+                 Value::Double(trace.initial_prices()[static_cast<size_t>(i)])}));
+    // Annualized volatilities in a reasonable equity range.
+    STRIP_RETURN_IF_ERROR(BulkInsert(
+        stdevs, {Value::Str(StockSymbol(i)),
+                 Value::Double(rng.UniformReal(0.10, 0.60))}));
+  }
+
+  // Composite membership: stocks chosen randomly but in direct proportion
+  // to trading activity (§4.2). Uses the trace's expected activity shares
+  // (scale-invariant) rather than realized counts — see
+  // MarketTrace::activity_weights().
+  std::vector<double> weights = trace.activity_weights();
+  for (int c = 0; c < cfg.num_composites; ++c) {
+    std::vector<int> members = WeightedSampleWithoutReplacement(
+        weights, cfg.stocks_per_composite, rng);
+    for (int s : members) {
+      STRIP_RETURN_IF_ERROR(BulkInsert(
+          comps_list,
+          {Value::Str(CompSymbol(c)), Value::Str(StockSymbol(s)),
+           Value::Double(rng.UniformReal(0.05, 0.50))}));
+    }
+  }
+
+  // Options: the expected number of listed options for a stock is the
+  // total number of options times the stock's fraction of the trace
+  // (§4.2). Strike and expiration are drawn from reasonable ranges; the
+  // pricing model is not data dependent (§4.2).
+  double total_activity = 0;
+  for (double w : weights) total_activity += w;
+  std::vector<double> cum(weights.size());
+  double acc = 0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += total_activity > 0 ? weights[i] / total_activity
+                              : 1.0 / static_cast<double>(weights.size());
+    cum[i] = acc;
+  }
+  if (!cum.empty()) cum.back() = 1.0;
+  for (int o = 0; o < cfg.num_options; ++o) {
+    double u = rng.UniformReal(0.0, 1.0);
+    auto it = std::lower_bound(cum.begin(), cum.end(), u);
+    int s = static_cast<int>(it - cum.begin());
+    double spot = trace.initial_prices()[static_cast<size_t>(s)];
+    STRIP_RETURN_IF_ERROR(BulkInsert(
+        options_list,
+        {Value::Str(OptionSymbol(o)), Value::Str(StockSymbol(s)),
+         Value::Double(spot * rng.UniformReal(0.8, 1.2)),
+         Value::Double(rng.UniformReal(0.05, 0.75))}));
+  }
+
+  // The two materialized views of §3, then indexes on their key columns so
+  // the maintenance functions can update single tuples cheaply.
+  STRIP_RETURN_IF_ERROR(db.ExecuteScript(R"sql(
+    create materialized view comp_prices as
+      select comp, sum(stocks.price * weight) as price
+      from stocks, comps_list
+      where stocks.symbol = comps_list.symbol
+      group by comp;
+    create materialized view option_prices as
+      select option_symbol,
+             f_bs(stocks.price, strike, expiration, stdev) as price
+      from stocks, stock_stdev, options_list
+      where stocks.symbol = options_list.stock_symbol
+        and stocks.symbol = stock_stdev.symbol;
+    create index on comp_prices (comp);
+    create index on option_prices (option_symbol);
+  )sql"));
+  return Status::OK();
+}
+
+}  // namespace strip

@@ -1,0 +1,53 @@
+#ifndef STRIP_MARKET_POPULATE_H_
+#define STRIP_MARKET_POPULATE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "strip/common/status.h"
+#include "strip/engine/database.h"
+#include "strip/market/trace.h"
+
+namespace strip {
+
+/// Sizing of the program-trading-application database (§4.2).
+struct PtaConfig {
+  int num_composites = 400;
+  int stocks_per_composite = 200;
+  int num_options = 50000;
+  /// Continuously compounded risk-free rate used by f_bs.
+  double risk_free_rate = 0.05;
+  uint64_t seed = 7;
+
+  /// The paper's baseline sizing (the defaults).
+  static PtaConfig PaperScale() { return PtaConfig{}; }
+
+  /// Smaller derived-data population for quick runs; fan-in per composite
+  /// is preserved (it drives the temporal-spatial locality that batching
+  /// exploits, §5.2).
+  static PtaConfig Scaled(double fraction);
+};
+
+/// Stock symbol for trace index `i` ("s0000", "s0001", ...).
+std::string StockSymbol(int i);
+/// Composite symbol ("c000", ...).
+std::string CompSymbol(int i);
+/// Option symbol ("o00000", ...).
+std::string OptionSymbol(int i);
+
+/// Creates and populates the six PTA tables of §3:
+///   stocks(symbol, price)              base data, from the trace
+///   stock_stdev(symbol, stdev)         base data, random annualized vols
+///   comps_list(comp, symbol, weight)   membership ~ trading activity
+///   comp_prices(comp, price)           materialized view (weighted sums)
+///   options_list(option_symbol, stock_symbol, strike, expiration)
+///   option_prices(option_symbol, price) materialized view (Black-Scholes)
+///
+/// Also registers the scalar function f_bs (the paper's f_BS) and builds
+/// hash indexes on the join / update columns. Deterministic in cfg.seed.
+Status PopulatePtaTables(Database& db, const MarketTrace& trace,
+                         const PtaConfig& cfg);
+
+}  // namespace strip
+
+#endif  // STRIP_MARKET_POPULATE_H_

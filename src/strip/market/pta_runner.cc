@@ -1,0 +1,188 @@
+#include "strip/market/pta_runner.h"
+
+#include <cmath>
+#include <map>
+
+#include "strip/common/string_util.h"
+#include "strip/market/app_functions.h"
+#include "strip/sql/parser.h"
+
+namespace strip {
+
+namespace {
+
+bool IsRecomputeFunction(const std::string& name) {
+  return name.rfind("compute_", 0) == 0;
+}
+
+}  // namespace
+
+PtaExperiment::PtaExperiment(const MarketTrace& trace, const PtaConfig& cfg)
+    : trace_(trace), cfg_(cfg) {
+  Database::Options opts;
+  opts.mode = ExecutorMode::kSimulated;
+  opts.advance_clock_by_cost = true;
+  db_ = std::make_unique<Database>(opts);
+}
+
+PtaExperiment::~PtaExperiment() = default;
+
+Database& PtaExperiment::db() { return *db_; }
+
+Status PtaExperiment::Setup(const std::string& rule_sql) {
+    STRIP_RETURN_IF_ERROR(PopulatePtaTables(*db_, trace_, cfg_));
+    STRIP_RETURN_IF_ERROR(RegisterPtaFunctions(*db_, cfg_.risk_free_rate));
+    if (!rule_sql.empty()) {
+      STRIP_RETURN_IF_ERROR(db_->Execute(rule_sql).status());
+    }
+    STRIP_ASSIGN_OR_RETURN(
+        update_stmt_,
+        Parser::ParseStatement(
+            "update stocks set price = ? where symbol = ?"));
+    symbols_.reserve(static_cast<size_t>(trace_.options().num_stocks));
+    for (int i = 0; i < trace_.options().num_stocks; ++i) {
+      symbols_.push_back(Value::Str(StockSymbol(i)));
+    }
+  return Status::OK();
+}
+
+Result<PtaRunResult> PtaExperiment::Run() {
+  PtaRunResult result;
+    result.duration_seconds = trace_.options().duration_seconds;
+    result.num_updates = trace_.quotes().size();
+
+    double update_response_total = 0;
+    db_->executor().set_task_observer([&](const TaskControlBlock& t) {
+      double cpu = static_cast<double>(t.cpu_nanos) / 1000.0;
+      if (IsRecomputeFunction(t.function_name)) {
+        ++result.num_recomputes;
+        result.recompute_cpu_seconds += cpu / 1e6;
+      } else {
+        result.update_cpu_seconds += cpu / 1e6;
+        double response =
+            static_cast<double>(t.finish_time - t.release_time);
+        update_response_total += response;
+        if (response > result.max_update_response_micros) {
+          result.max_update_response_micros = response;
+        }
+      }
+      if (!t.result.ok()) ++result.failed_tasks;
+    });
+
+    // Replay: one update transaction per price change, released at the
+    // quote's trace time (the paper pre-loads the trace, §4.1).
+    for (const Quote& q : trace_.quotes()) {
+      TaskPtr task = db_->NewTask();
+      task->release_time = q.time;
+      task->work = [this, q](TaskControlBlock&) { return ApplyQuote(q); };
+      db_->Submit(task);
+    }
+    db_->simulated()->RunUntilQuiescent();
+
+    result.total_cpu_seconds =
+        result.update_cpu_seconds + result.recompute_cpu_seconds;
+    result.recompute_cpu_fraction =
+        result.recompute_cpu_seconds / result.duration_seconds;
+    result.total_cpu_fraction =
+        result.total_cpu_seconds / result.duration_seconds;
+    result.avg_recompute_micros =
+        result.num_recomputes > 0
+            ? result.recompute_cpu_seconds * 1e6 /
+                  static_cast<double>(result.num_recomputes)
+            : 0.0;
+    result.avg_update_response_micros =
+        result.num_updates > 0
+            ? update_response_total / static_cast<double>(result.num_updates)
+            : 0.0;
+    result.tasks_created = db_->rules().stats().tasks_created;
+    result.firings_merged = db_->rules().stats().firings_merged;
+  db_->executor().set_task_observer(nullptr);
+  return result;
+}
+
+Status PtaExperiment::ApplyQuote(const Quote& q) {
+  // `update stocks set price = ?1 where symbol = ?2` through the prepared
+  // statement path — one ordinary single-tuple update transaction per
+  // price change, like the paper's feed-driven update transactions (§4.3).
+  STRIP_ASSIGN_OR_RETURN(Transaction * txn, db_->Begin());
+  auto n = db_->ExecuteDml(
+      txn, update_stmt_,
+      {Value::Double(q.price), symbols_[static_cast<size_t>(q.stock)]});
+  if (!n.ok() || *n != 1) {
+    Status ignored = db_->Abort(txn);
+    (void)ignored;
+    if (!n.ok()) return n.status();
+    return Status::Internal(StrFormat("stock %d not found", q.stock));
+  }
+  return db_->Commit(txn);
+}
+
+Result<PtaRunResult> RunPtaExperiment(const MarketTrace& trace,
+                                      const PtaConfig& cfg,
+                                      const std::string& rule_sql) {
+  PtaExperiment exp(trace, cfg);
+  STRIP_RETURN_IF_ERROR(exp.Setup(rule_sql));
+  return exp.Run();
+}
+
+Status CheckDerivedDataConsistency(Database& db, double risk_free_rate,
+                                   double tolerance, bool check_comps,
+                                   bool check_options) {
+  (void)risk_free_rate;  // f_bs is already registered with the right rate
+  auto compare = [&](const std::string& view, const std::string& key_col,
+                     const std::string& recompute_sql) -> Status {
+    STRIP_ASSIGN_OR_RETURN(ResultSet expected,
+                           db.Execute(recompute_sql));
+    STRIP_ASSIGN_OR_RETURN(
+        ResultSet actual,
+        db.Execute(StrFormat("select %s, price from %s", key_col.c_str(),
+                             view.c_str())));
+    if (expected.num_rows() != actual.num_rows()) {
+      return Status::Internal(StrFormat(
+          "%s: %zu rows maintained vs %zu recomputed", view.c_str(),
+          actual.num_rows(), expected.num_rows()));
+    }
+    std::map<std::string, double> want;
+    for (const auto& row : expected.rows) {
+      want[row[0].as_string()] = row[1].as_double();
+    }
+    for (const auto& row : actual.rows) {
+      auto it = want.find(row[0].as_string());
+      if (it == want.end()) {
+        return Status::Internal(StrFormat(
+            "%s: unexpected key '%s'", view.c_str(),
+            row[0].as_string().c_str()));
+      }
+      double got = row[1].as_double();
+      double exp_v = it->second;
+      double err = std::fabs(got - exp_v);
+      double rel = err / std::max(1.0, std::fabs(exp_v));
+      if (err > tolerance && rel > tolerance) {
+        return Status::Internal(StrFormat(
+            "%s['%s'] = %.9f maintained vs %.9f recomputed (err %.3g)",
+            view.c_str(), row[0].as_string().c_str(), got, exp_v, err));
+      }
+    }
+    return Status::OK();
+  };
+
+  if (check_comps) {
+    STRIP_RETURN_IF_ERROR(compare(
+        "comp_prices", "comp",
+        "select comp, sum(stocks.price * weight) as price "
+        "from stocks, comps_list where stocks.symbol = comps_list.symbol "
+        "group by comp"));
+  }
+  if (check_options) {
+    STRIP_RETURN_IF_ERROR(compare(
+        "option_prices", "option_symbol",
+        "select option_symbol, "
+        "f_bs(stocks.price, strike, expiration, stdev) as price "
+        "from stocks, stock_stdev, options_list "
+        "where stocks.symbol = options_list.stock_symbol "
+        "and stocks.symbol = stock_stdev.symbol"));
+  }
+  return Status::OK();
+}
+
+}  // namespace strip

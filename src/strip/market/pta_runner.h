@@ -1,0 +1,89 @@
+#ifndef STRIP_MARKET_PTA_RUNNER_H_
+#define STRIP_MARKET_PTA_RUNNER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/market/populate.h"
+#include "strip/market/trace.h"
+#include "strip/sql/ast.h"
+
+namespace strip {
+
+/// Measurements of one program-trading experiment (the quantities reported
+/// by Figures 9-14).
+struct PtaRunResult {
+  double duration_seconds = 0;        // simulated trading window
+  uint64_t num_updates = 0;           // update transactions applied
+  uint64_t num_recomputes = 0;        // N_r: recompute transactions run
+  uint64_t tasks_created = 0;         // action tasks enqueued
+  uint64_t firings_merged = 0;        // firings batched into queued tasks
+  double update_cpu_seconds = 0;      // update txns incl. rule processing
+  double recompute_cpu_seconds = 0;   // recompute transactions
+  double total_cpu_seconds = 0;
+  /// CPU fraction attributable to maintaining the view: recompute CPU plus
+  /// the rule-processing share of update transactions, over the window.
+  double recompute_cpu_fraction = 0;
+  double total_cpu_fraction = 0;
+  double avg_recompute_micros = 0;    // recompute transaction length
+  /// Response time of update transactions (release -> finish on the
+  /// virtual clock): the schedulability metric behind the paper's
+  /// preference for short recompute transactions (§5.1). Long-running
+  /// coarse batches occupy the CPU and delay updates released meanwhile.
+  double avg_update_response_micros = 0;
+  double max_update_response_micros = 0;
+  uint64_t failed_tasks = 0;
+};
+
+/// One experiment: a fresh simulated-mode database populated with the PTA
+/// tables from `trace`, the maintenance functions registered, `rule_sql`
+/// installed (empty = no rule, the update-only baseline), and the trace
+/// replayed as one update transaction per quote released at its trace time
+/// — exactly like the paper's real-time replay (§4.1) but on the virtual
+/// clock. Run() drives the discrete-event simulation to quiescence.
+///
+/// Recompute transactions are the tasks whose function name starts with
+/// "compute_"; everything else is an update transaction.
+class PtaExperiment {
+ public:
+  PtaExperiment(const MarketTrace& trace, const PtaConfig& cfg);
+  ~PtaExperiment();
+
+  /// Populates tables, registers functions, installs the rule.
+  Status Setup(const std::string& rule_sql);
+
+  /// Replays the trace to quiescence and reports the measurements.
+  Result<PtaRunResult> Run();
+
+  /// The experiment's database (e.g. for post-run consistency checks).
+  Database& db();
+
+ private:
+  Status ApplyQuote(const Quote& q);
+
+  const MarketTrace& trace_;
+  PtaConfig cfg_;
+  std::unique_ptr<Database> db_;
+  Statement update_stmt_;   // update stocks set price = ?1 where symbol = ?2
+  std::vector<Value> symbols_;
+};
+
+/// Convenience wrapper: Setup + Run.
+Result<PtaRunResult> RunPtaExperiment(const MarketTrace& trace,
+                                      const PtaConfig& cfg,
+                                      const std::string& rule_sql);
+
+/// Verifies derived-data consistency after a run: recomputes comp_prices
+/// (and option_prices when `check_options`) from base data and compares to
+/// the maintained tables within `tolerance`. Used by the integration /
+/// property tests — this is the paper's implicit correctness requirement.
+Status CheckDerivedDataConsistency(Database& db, double risk_free_rate,
+                                   double tolerance, bool check_comps,
+                                   bool check_options);
+
+}  // namespace strip
+
+#endif  // STRIP_MARKET_PTA_RUNNER_H_

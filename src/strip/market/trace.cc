@@ -1,0 +1,77 @@
+#include "strip/market/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "strip/common/logging.h"
+
+namespace strip {
+
+MarketTrace MarketTrace::Generate(const TraceOptions& options) {
+  STRIP_CHECK(options.num_stocks > 0);
+  STRIP_CHECK(options.duration_seconds > 0);
+  MarketTrace trace;
+  trace.options_ = options;
+
+  Rng rng(options.seed);
+  ZipfDistribution zipf(options.num_stocks, options.zipf_s);
+
+  trace.initial_prices_.resize(static_cast<size_t>(options.num_stocks));
+  std::vector<double> price(static_cast<size_t>(options.num_stocks));
+  for (int s = 0; s < options.num_stocks; ++s) {
+    // Snap initial prices to the tick grid.
+    double p = rng.UniformReal(options.initial_price_min,
+                               options.initial_price_max);
+    p = std::round(p / options.tick) * options.tick;
+    trace.initial_prices_[static_cast<size_t>(s)] = p;
+    price[static_cast<size_t>(s)] = p;
+  }
+
+  const double window = options.duration_seconds;
+  trace.quotes_.reserve(static_cast<size_t>(options.target_updates) + 64);
+  trace.activity_.assign(static_cast<size_t>(options.num_stocks), 0);
+  trace.activity_weights_.resize(static_cast<size_t>(options.num_stocks));
+  for (int s = 0; s < options.num_stocks; ++s) {
+    trace.activity_weights_[static_cast<size_t>(s)] = zipf.Pmf(s);
+  }
+
+  // Generate bursts until the target volume is reached. Each burst belongs
+  // to one stock (chosen by Zipf activity), starts at a uniform time in the
+  // window, and contains a geometric number of quotes a fraction of a
+  // second apart — the market makers settling on a new price (§1).
+  double p_burst = 1.0 / std::max(1.0, options.mean_burst_length);
+  while (static_cast<int>(trace.quotes_.size()) < options.target_updates) {
+    int32_t stock = static_cast<int32_t>(zipf.Sample(rng));
+    double start = rng.UniformReal(0.0, window);
+    int64_t burst_len = rng.Geometric(1, p_burst);
+    double t = start;
+    for (int64_t q = 0; q < burst_len && t < window; ++q) {
+      // Move the price by one to three ticks, keeping it positive.
+      double delta = options.tick *
+                     static_cast<double>(rng.UniformInt(1, 3)) *
+                     (rng.Bernoulli(0.5) ? 1.0 : -1.0);
+      double& p = price[static_cast<size_t>(stock)];
+      if (p + delta < options.tick) delta = -delta;
+      p += delta;
+      trace.quotes_.push_back(Quote{stock, SecondsToMicros(t), p});
+      ++trace.activity_[static_cast<size_t>(stock)];
+      t += rng.Exponential(options.mean_intra_burst_gap);
+    }
+  }
+
+  std::sort(trace.quotes_.begin(), trace.quotes_.end(),
+            [](const Quote& a, const Quote& b) { return a.time < b.time; });
+
+  // Spread quotes that landed in the same second evenly across it, as the
+  // paper does with TAQ's second-resolution timestamps (§4.1). Our
+  // generator already has sub-second times, so we only re-space quotes
+  // with identical timestamps to keep the stream strictly ordered.
+  for (size_t i = 1; i < trace.quotes_.size(); ++i) {
+    if (trace.quotes_[i].time <= trace.quotes_[i - 1].time) {
+      trace.quotes_[i].time = trace.quotes_[i - 1].time + 1;
+    }
+  }
+  return trace;
+}
+
+}  // namespace strip

@@ -1,0 +1,142 @@
+#include "strip/rules/net_effect.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "strip/rules/transition_tables.h"
+
+namespace strip {
+
+namespace {
+
+enum class EventKind { kInsert, kDelete, kUpdate };
+
+struct Event {
+  int seq = 0;
+  EventKind kind = EventKind::kInsert;
+  RecordRef old_rec;  // update / delete
+  RecordRef new_rec;  // update / insert
+};
+
+/// A row's life within the transaction.
+struct Chain {
+  bool born_here = false;  // started with an insert in this transaction
+  RecordRef first_old;     // pre-transaction image (when !born_here)
+  RecordRef current;       // latest image
+};
+
+Status ExtractEvents(const BoundTableSet& transition,
+                     std::vector<Event>& out) {
+  const TempTable* inserted = transition.Find("inserted");
+  const TempTable* deleted = transition.Find("deleted");
+  const TempTable* old_t = transition.Find("old");
+  const TempTable* new_t = transition.Find("new");
+  if (inserted == nullptr || deleted == nullptr || old_t == nullptr ||
+      new_t == nullptr) {
+    return Status::InvalidArgument(
+        "net effect needs the four transition tables "
+        "(inserted/deleted/old/new)");
+  }
+  int seq_col = inserted->schema().FindColumn(kExecuteOrderColumn);
+  if (seq_col < 0) {
+    return Status::InvalidArgument("transition tables lack execute_order");
+  }
+  auto rec_of = [](const TempTuple& t) { return t.slots.at(0); };
+  for (const TempTuple& t : inserted->tuples()) {
+    out.push_back(Event{
+        static_cast<int>(inserted->Get(t, seq_col).as_int()),
+        EventKind::kInsert, nullptr, rec_of(t)});
+  }
+  for (const TempTuple& t : deleted->tuples()) {
+    out.push_back(Event{
+        static_cast<int>(deleted->Get(t, seq_col).as_int()),
+        EventKind::kDelete, rec_of(t), nullptr});
+  }
+  // Updates: pair old and new rows through their shared execute_order.
+  std::unordered_map<int, RecordRef> old_by_seq;
+  for (const TempTuple& t : old_t->tuples()) {
+    old_by_seq[static_cast<int>(old_t->Get(t, seq_col).as_int())] = rec_of(t);
+  }
+  for (const TempTuple& t : new_t->tuples()) {
+    int seq = static_cast<int>(new_t->Get(t, seq_col).as_int());
+    auto it = old_by_seq.find(seq);
+    if (it == old_by_seq.end()) {
+      return Status::InvalidArgument(
+          "old/new transition tables do not pair up by execute_order");
+    }
+    out.push_back(Event{seq, EventKind::kUpdate, it->second, rec_of(t)});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Event& a, const Event& b) { return a.seq < b.seq; });
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<NetEffect> ComputeNetEffect(const BoundTableSet& transition) {
+  std::vector<Event> events;
+  STRIP_RETURN_IF_ERROR(ExtractEvents(transition, events));
+
+  // Chains keyed by the identity of the row's CURRENT record.
+  std::unordered_map<const Record*, Chain> chains;
+  NetEffect net;
+
+  for (const Event& e : events) {
+    switch (e.kind) {
+      case EventKind::kInsert: {
+        chains[e.new_rec.get()] = Chain{true, nullptr, e.new_rec};
+        break;
+      }
+      case EventKind::kUpdate: {
+        auto it = chains.find(e.old_rec.get());
+        if (it == chains.end()) {
+          // First touch of a pre-existing row.
+          chains[e.new_rec.get()] = Chain{false, e.old_rec, e.new_rec};
+        } else {
+          Chain chain = it->second;
+          chains.erase(it);
+          chain.current = e.new_rec;
+          chains[e.new_rec.get()] = std::move(chain);
+        }
+        break;
+      }
+      case EventKind::kDelete: {
+        auto it = chains.find(e.old_rec.get());
+        if (it == chains.end()) {
+          net.deleted.push_back(e.old_rec);  // untouched row deleted
+        } else {
+          Chain chain = it->second;
+          chains.erase(it);
+          if (!chain.born_here) {
+            net.deleted.push_back(chain.first_old);
+          }
+          // Inserted-then-deleted rows collapse to nothing (§2's
+          // audit-trail example).
+        }
+        break;
+      }
+    }
+  }
+
+  // Flush surviving chains in the order of their finalizing event (the
+  // one that installed the chain's current record), so output order is
+  // deterministic and follows the transaction.
+  for (const Event& e : events) {
+    if (e.new_rec == nullptr) continue;
+    auto it = chains.find(e.new_rec.get());
+    if (it == chains.end() || it->second.current.get() != e.new_rec.get()) {
+      continue;  // superseded image, not a chain end
+    }
+    Chain& chain = it->second;
+    if (chain.born_here) {
+      net.inserted.push_back(chain.current);
+    } else if (chain.first_old->values != chain.current->values) {
+      net.updated.emplace_back(chain.first_old, chain.current);
+    }
+    // A chain ending exactly where it started (a -> b -> a) is a no-op.
+    chains.erase(it);
+  }
+  return net;
+}
+
+}  // namespace strip

@@ -1,0 +1,39 @@
+#ifndef STRIP_RULES_NET_EFFECT_H_
+#define STRIP_RULES_NET_EFFECT_H_
+
+#include <utility>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/storage/bound_table_set.h"
+#include "strip/storage/record.h"
+
+namespace strip {
+
+/// The collapsed ("net") effect of a transaction's changes to one table.
+///
+/// STRIP deliberately does NOT reduce transition or bound tables to net
+/// effect — the full audit trail is exposed and "it is always possible for
+/// the application to calculate net effect on its own using the transition
+/// tables as provided" (§2). This utility is that calculation, offered as
+/// a library helper for action functions that want collapsed semantics.
+struct NetEffect {
+  /// Rows that exist after the transaction but did not before.
+  std::vector<RecordRef> inserted;
+  /// Rows that existed before but not after (their pre-transaction image).
+  std::vector<RecordRef> deleted;
+  /// Rows changed in place: (pre-transaction image, final image).
+  /// Chains that end at a value identical to where they started (e.g.
+  /// a -> b -> a) collapse to nothing and are omitted.
+  std::vector<std::pair<RecordRef, RecordRef>> updated;
+};
+
+/// Computes the net effect from the four transition tables (`inserted`,
+/// `deleted`, `old`, `new`), as built by BuildTransitionTables. Change
+/// chains are reconstructed through record identity: an update's old image
+/// is the record installed by the previous event of the same row.
+Result<NetEffect> ComputeNetEffect(const BoundTableSet& transition);
+
+}  // namespace strip
+
+#endif  // STRIP_RULES_NET_EFFECT_H_

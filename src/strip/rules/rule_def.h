@@ -1,0 +1,68 @@
+#ifndef STRIP_RULES_RULE_DEF_H_
+#define STRIP_RULES_RULE_DEF_H_
+
+#include <string>
+#include <vector>
+
+#include "strip/common/clock.h"
+#include "strip/common/status.h"
+#include "strip/sql/ast.h"
+#include "strip/storage/catalog.h"
+#include "strip/txn/txn_log.h"
+
+namespace strip {
+
+/// A validated rule (Figure 2 semantics). Built from a parsed
+/// CreateRuleStmt; owns deep copies of the condition / evaluate queries.
+class RuleDef {
+ public:
+  /// Validates `stmt` against the catalog:
+  ///  - the target table exists,
+  ///  - `updated` column lists name real columns,
+  ///  - bind-as names do not collide with catalog tables or the transition
+  ///    table names,
+  ///  - `unique on` columns appear in the output of at least one bound
+  ///    query,
+  ///  - `unique on` without any bound query is rejected.
+  static Result<RuleDef> Create(CreateRuleStmt stmt, const Catalog& catalog);
+
+  RuleDef(RuleDef&&) = default;
+  RuleDef& operator=(RuleDef&&) = default;
+
+  const std::string& name() const { return stmt_.rule_name; }
+  const std::string& table() const { return stmt_.table; }
+  const std::vector<RuleEvent>& events() const { return stmt_.events; }
+  const std::vector<RuleQuery>& condition() const { return stmt_.condition; }
+  const std::vector<RuleQuery>& evaluate() const { return stmt_.evaluate; }
+  const std::string& function_name() const { return stmt_.function_name; }
+  bool unique() const { return stmt_.unique; }
+  const std::vector<std::string>& unique_columns() const {
+    return stmt_.unique_columns;
+  }
+  Timestamp delay_micros() const {
+    return SecondsToMicros(stmt_.delay_seconds);
+  }
+  double delay_seconds() const { return stmt_.delay_seconds; }
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Names of the tables bound by this rule's condition + evaluate
+  /// queries, in definition order.
+  std::vector<std::string> BoundTableNames() const;
+
+ private:
+  explicit RuleDef(CreateRuleStmt stmt) : stmt_(std::move(stmt)) {}
+
+  CreateRuleStmt stmt_;
+  bool enabled_ = true;
+};
+
+/// True iff a log operation satisfies one of the rule's events.
+/// For `updated [cols]`, the update must change at least one named column.
+bool EventMatches(const RuleEvent& event, LogOp op, const Schema& schema,
+                  const RecordRef& old_rec, const RecordRef& new_rec);
+
+}  // namespace strip
+
+#endif  // STRIP_RULES_RULE_DEF_H_

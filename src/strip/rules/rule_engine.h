@@ -1,0 +1,98 @@
+#ifndef STRIP_RULES_RULE_ENGINE_H_
+#define STRIP_RULES_RULE_ENGINE_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "strip/common/clock.h"
+#include "strip/common/status.h"
+#include "strip/rules/rule_def.h"
+#include "strip/rules/unique_manager.h"
+#include "strip/sql/expr_eval.h"
+#include "strip/storage/catalog.h"
+#include "strip/txn/lock_manager.h"
+#include "strip/txn/task.h"
+#include "strip/txn/transaction.h"
+
+namespace strip {
+
+/// Wiring the rule engine needs from the database engine.
+struct RuleEngineDeps {
+  Catalog* catalog = nullptr;
+  LockManager* locks = nullptr;
+  const ScalarFuncRegistry* scalar_funcs = nullptr;
+  /// Runs a rule task: looks up the user function, opens the action
+  /// transaction, executes, commits. Installed into every created task.
+  std::function<Status(TaskControlBlock&)> action_runner;
+  /// Shared task-id allocator.
+  std::atomic<uint64_t>* task_ids = nullptr;
+};
+
+/// Rule-processing statistics (feed the paper's metrics).
+struct RuleStats {
+  uint64_t commits_checked = 0;    // transactions event-checked
+  uint64_t rules_triggered = 0;    // event matched
+  uint64_t conditions_true = 0;
+  uint64_t tasks_created = 0;      // new action tasks enqueued
+  uint64_t firings_merged = 0;     // batched into a queued unique task
+};
+
+/// The STRIP rule system (§2, §6.3). Holds rule definitions; at the end of
+/// each transaction (prior to commit) scans its log for triggering events,
+/// evaluates conditions, binds tables, and creates / merges action tasks.
+class RuleEngine {
+ public:
+  explicit RuleEngine(RuleEngineDeps deps) : deps_(std::move(deps)) {}
+
+  RuleEngine(const RuleEngine&) = delete;
+  RuleEngine& operator=(const RuleEngine&) = delete;
+
+  /// Validates and registers a rule. Rules sharing a user function must
+  /// define their bound tables identically (§2); this is checked here.
+  Status CreateRule(CreateRuleStmt stmt);
+
+  Status DropRule(const std::string& name);
+
+  /// Rule de/re-activation (§7 discusses emulating uniqueness with it).
+  Status SetRuleEnabled(const std::string& name, bool enabled);
+
+  const RuleDef* FindRule(const std::string& name) const;
+  std::vector<std::string> ListRules() const;
+
+  /// Event checking + condition evaluation + action-task creation for a
+  /// committing transaction (§6.3). `commit_time` is the timestamp the
+  /// engine will commit the transaction with; it stamps `commit_time`
+  /// pseudo-columns and anchors delay windows. Returns the new tasks the
+  /// caller must submit to the executor once the commit is durable;
+  /// firings merged into already-queued unique tasks return no task.
+  Result<std::vector<TaskPtr>> ProcessCommit(Transaction* txn,
+                                             Timestamp commit_time);
+
+  UniqueTxnManager& unique_manager() { return unique_; }
+  const RuleStats& stats() const { return stats_; }
+
+ private:
+  /// Runs one rule against a committing transaction; appends any created
+  /// tasks to `out`.
+  Status FireRule(const RuleDef& rule, Transaction* txn,
+                  Timestamp commit_time, const BoundTableSet& transition,
+                  std::vector<TaskPtr>& out);
+
+  TaskPtr NewActionTask(const RuleDef& rule, Timestamp commit_time,
+                        BoundTableSet&& tables);
+
+  RuleEngineDeps deps_;
+  // Definition order matters for deterministic processing; the paper notes
+  // rule consideration order is semantically unimportant (§2).
+  std::vector<std::unique_ptr<RuleDef>> rules_;
+  UniqueTxnManager unique_;
+  RuleStats stats_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_RULES_RULE_ENGINE_H_

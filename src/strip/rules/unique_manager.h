@@ -1,0 +1,86 @@
+#ifndef STRIP_RULES_UNIQUE_MANAGER_H_
+#define STRIP_RULES_UNIQUE_MANAGER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "strip/common/spin_lock.h"
+#include "strip/common/status.h"
+#include "strip/storage/bound_table_set.h"
+#include "strip/txn/task.h"
+
+namespace strip {
+
+/// Splits a rule firing's bound tables into per-unique-key partitions
+/// (Appendix A). Tables containing unique columns are partitioned by the
+/// distinct combinations of their unique-column values; tables containing
+/// none are passed whole (cloned) to every partition. With no unique
+/// columns, the result is a single partition with an empty key (coarse
+/// `unique`). Fails if a unique column appears in no table or in several.
+Result<std::vector<std::pair<std::vector<Value>, BoundTableSet>>>
+PartitionByUniqueColumns(BoundTableSet&& tables,
+                         const std::vector<std::string>& unique_columns);
+
+/// Implements unique transactions (§6.3): one hash table per user function
+/// mapping unique-column values to the queued (not yet started) task. A new
+/// firing either merges its bound tables into the queued task or registers
+/// a fresh one. All hash-table accesses are spinlock-guarded, as in STRIP.
+class UniqueTxnManager {
+ public:
+  UniqueTxnManager() = default;
+  UniqueTxnManager(const UniqueTxnManager&) = delete;
+  UniqueTxnManager& operator=(const UniqueTxnManager&) = delete;
+
+  /// Builds (if needed) the per-function hash table; the paper creates it
+  /// when the first rule executing the function is defined.
+  void EnsureFunction(const std::string& function_name);
+
+  /// Factory for a fresh task; receives the unique key and the partition's
+  /// bound tables.
+  using TaskFactory = std::function<TaskPtr(const std::vector<Value>& key,
+                                            BoundTableSet&& tables)>;
+
+  /// Either appends `tables` to the queued task for (function, key) —
+  /// returning nullptr — or creates, registers, and returns a new task the
+  /// caller must submit to the executor. A queued task that has already
+  /// started no longer accepts merges (§2): a fresh task replaces it.
+  Result<TaskPtr> MergeOrCreate(const std::string& function_name,
+                                const std::vector<Value>& key,
+                                BoundTableSet&& tables,
+                                const TaskFactory& factory);
+
+  /// Removes the task's hash entry; called when the task begins to run
+  /// (§6.3). Idempotent.
+  void OnTaskStart(const TaskControlBlock& task);
+
+  /// Number of queued unique tasks for a function (diagnostics / tests).
+  size_t NumQueued(const std::string& function_name) const;
+
+  /// Total bound-table merges performed (batched firings).
+  uint64_t merge_count() const { return merge_count_; }
+
+ private:
+  struct FuncTable {
+    mutable SpinLock lock;
+    std::unordered_map<std::vector<Value>, TaskPtr, ValueVectorHash,
+                       ValueVectorEq>
+        queued;
+  };
+
+  FuncTable* GetOrCreate(const std::string& function_name);
+  const FuncTable* Find(const std::string& function_name) const;
+
+  mutable SpinLock tables_lock_;
+  std::map<std::string, std::unique_ptr<FuncTable>> tables_;
+  std::atomic<uint64_t> merge_count_{0};
+};
+
+}  // namespace strip
+
+#endif  // STRIP_RULES_UNIQUE_MANAGER_H_

@@ -1,0 +1,214 @@
+#include "strip/sql/ast.h"
+
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "and";
+    case BinaryOp::kOr: return "or";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kLiteral:
+      return literal.type() == ValueType::kString
+                 ? "'" + literal.ToString() + "'"
+                 : literal.ToString();
+    case ExprKind::kColumnRef:
+      return qualifier.empty() ? column : qualifier + "." + column;
+    case ExprKind::kParameter:
+      return StrFormat("?%d", param_index + 1);
+    case ExprKind::kBinary:
+      return "(" + args[0]->ToString() + " " + BinaryOpName(bin_op) + " " +
+             args[1]->ToString() + ")";
+    case ExprKind::kUnary:
+      return std::string(un_op == UnaryOp::kNeg ? "-" : "not ") +
+             args[0]->ToString();
+    case ExprKind::kFuncCall:
+    case ExprKind::kAggregate: {
+      std::string s = func_name + "(";
+      if (star_arg) s += "*";
+      for (size_t i = 0; i < args.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += args[i]->ToString();
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+ExprPtr Expr::Clone() const {
+  auto out = std::make_unique<Expr>();
+  out->kind = kind;
+  out->literal = literal;
+  out->qualifier = qualifier;
+  out->column = column;
+  out->bin_op = bin_op;
+  out->un_op = un_op;
+  out->func_name = func_name;
+  out->star_arg = star_arg;
+  out->param_index = param_index;
+  out->args.reserve(args.size());
+  for (const auto& a : args) out->args.push_back(a->Clone());
+  return out;
+}
+
+bool Expr::ContainsAggregate() const {
+  if (kind == ExprKind::kAggregate) return true;
+  for (const auto& a : args) {
+    if (a->ContainsAggregate()) return true;
+  }
+  return false;
+}
+
+ExprPtr MakeLiteral(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr MakeColumnRef(std::string qualifier, std::string column) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kColumnRef;
+  e->qualifier = ToLower(qualifier);
+  e->column = ToLower(column);
+  return e;
+}
+
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->bin_op = op;
+  e->args.push_back(std::move(lhs));
+  e->args.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->un_op = op;
+  e->args.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kFuncCall;
+  e->func_name = ToLower(name);
+  e->args = std::move(args);
+  return e;
+}
+
+ExprPtr MakeAggregate(std::string name, std::vector<ExprPtr> args,
+                      bool star_arg) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kAggregate;
+  e->func_name = ToLower(name);
+  e->args = std::move(args);
+  e->star_arg = star_arg;
+  return e;
+}
+
+ExprPtr MakeParameter(int index) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kParameter;
+  e->param_index = index;
+  return e;
+}
+
+bool IsAggregateName(const std::string& name) {
+  std::string n = ToLower(name);
+  return n == "sum" || n == "count" || n == "avg" || n == "min" || n == "max";
+}
+
+std::string SelectItem::OutputName(int position) const {
+  if (!alias.empty()) return ToLower(alias);
+  if (expr->kind == ExprKind::kColumnRef) return expr->column;
+  return StrFormat("_col%d", position);
+}
+
+SelectStmt SelectStmt::Clone() const {
+  SelectStmt out;
+  out.star = star;
+  out.distinct = distinct;
+  out.having = having ? having->Clone() : nullptr;
+  out.limit = limit;
+  out.items.reserve(items.size());
+  for (const auto& it : items) {
+    out.items.push_back(SelectItem{it.expr->Clone(), it.alias});
+  }
+  out.from = from;
+  out.where = where ? where->Clone() : nullptr;
+  out.group_by.reserve(group_by.size());
+  for (const auto& g : group_by) out.group_by.push_back(g->Clone());
+  out.order_by.reserve(order_by.size());
+  for (const auto& o : order_by) {
+    out.order_by.push_back(OrderByItem{o.expr->Clone(), o.descending});
+  }
+  return out;
+}
+
+std::string SelectStmt::ToString() const {
+  std::string s = "select ";
+  if (distinct) s += "distinct ";
+  if (star) {
+    s += "*";
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += items[i].expr->ToString();
+      if (!items[i].alias.empty()) s += " as " + items[i].alias;
+    }
+  }
+  s += " from ";
+  for (size_t i = 0; i < from.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += from[i].table;
+    if (!from[i].alias.empty()) s += " " + from[i].alias;
+  }
+  if (where) s += " where " + where->ToString();
+  if (!group_by.empty()) {
+    s += " group by ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += group_by[i]->ToString();
+    }
+  }
+  if (having) s += " having " + having->ToString();
+  if (!order_by.empty()) {
+    s += " order by ";
+    for (size_t i = 0; i < order_by.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += order_by[i].expr->ToString();
+      if (order_by[i].descending) s += " desc";
+    }
+  }
+  if (limit >= 0) s += StrFormat(" limit %lld", static_cast<long long>(limit));
+  return s;
+}
+
+RuleQuery RuleQuery::Clone() const {
+  RuleQuery out;
+  out.query = query.Clone();
+  out.bind_as = bind_as;
+  return out;
+}
+
+}  // namespace strip

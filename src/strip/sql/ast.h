@@ -1,0 +1,248 @@
+#ifndef STRIP_SQL_AST_H_
+#define STRIP_SQL_AST_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "strip/storage/index.h"
+#include "strip/storage/schema.h"
+#include "strip/storage/value.h"
+
+namespace strip {
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind {
+  kLiteral,    // 42, 3.5, 'abc', null
+  kColumnRef,  // col or tbl.col
+  kBinary,
+  kUnary,
+  kFuncCall,   // scalar function: f(args...)
+  kAggregate,  // sum/count/avg/min/max (count(*) has no args)
+  kParameter,  // ?: prepared-statement placeholder, bound at execution
+};
+
+enum class BinaryOp {
+  kAdd, kSub, kMul, kDiv,
+  kEq, kNe, kLt, kLe, kGt, kGe,
+  kAnd, kOr,
+};
+
+enum class UnaryOp {
+  kNeg,
+  kNot,
+};
+
+const char* BinaryOpName(BinaryOp op);
+
+/// A SQL expression tree node. One struct with a kind tag rather than a
+/// class hierarchy: the node set is small and closed, and a flat struct
+/// keeps the evaluator a single switch.
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+
+  // kLiteral
+  Value literal;
+
+  // kColumnRef: qualifier may be empty ("price" vs "new.price").
+  std::string qualifier;
+  std::string column;
+
+  // kBinary (args[0], args[1]) / kUnary (args[0])
+  BinaryOp bin_op = BinaryOp::kAdd;
+  UnaryOp un_op = UnaryOp::kNeg;
+
+  // kFuncCall / kAggregate: lower-cased name.
+  std::string func_name;
+
+  std::vector<ExprPtr> args;
+
+  /// True for count(*): an aggregate with star_arg and no args.
+  bool star_arg = false;
+
+  /// kParameter: 0-based ordinal in textual order ('?' placeholders are
+  /// numbered left to right within one statement).
+  int param_index = 0;
+
+  std::string ToString() const;
+
+  /// Deep copy.
+  ExprPtr Clone() const;
+
+  /// True if any node in the tree is an aggregate call.
+  bool ContainsAggregate() const;
+};
+
+ExprPtr MakeLiteral(Value v);
+ExprPtr MakeColumnRef(std::string qualifier, std::string column);
+ExprPtr MakeBinary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+ExprPtr MakeUnary(UnaryOp op, ExprPtr operand);
+ExprPtr MakeFuncCall(std::string name, std::vector<ExprPtr> args);
+ExprPtr MakeAggregate(std::string name, std::vector<ExprPtr> args,
+                      bool star_arg);
+ExprPtr MakeParameter(int index);
+
+/// True iff `name` is an aggregate function name (sum/count/avg/min/max).
+bool IsAggregateName(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// One item of a select list: expression plus optional alias.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // "" if none
+
+  /// Output column name: alias, else bare column name, else a synthesized
+  /// name assigned by the planner.
+  std::string OutputName(int position) const;
+};
+
+/// FROM-clause entry: `name [alias]`. The name resolves to a bound table
+/// (when running inside a rule context), a transition table, or a catalog
+/// table, in that order.
+struct TableRef {
+  std::string table;
+  std::string alias;  // "" if none
+
+  const std::string& EffectiveName() const {
+    return alias.empty() ? table : alias;
+  }
+};
+
+struct OrderByItem {
+  ExprPtr expr;
+  bool descending = false;
+};
+
+/// SELECT [DISTINCT] ... FROM ... [WHERE ...] [GROUP BY ...] [HAVING ...]
+/// [ORDER BY ...] [LIMIT n]. IN-lists and BETWEEN are desugared by the
+/// parser into OR / AND chains.
+struct SelectStmt {
+  bool star = false;               // SELECT *
+  bool distinct = false;           // SELECT DISTINCT
+  std::vector<SelectItem> items;   // empty iff star
+  std::vector<TableRef> from;
+  ExprPtr where;                   // may be null
+  std::vector<ExprPtr> group_by;
+  ExprPtr having;                  // may be null; requires aggregation
+  std::vector<OrderByItem> order_by;
+  int64_t limit = -1;              // -1 = no limit
+
+  SelectStmt() = default;
+  SelectStmt(SelectStmt&&) = default;
+  SelectStmt& operator=(SelectStmt&&) = default;
+
+  /// Deep copy (rules keep their condition queries and re-run them).
+  SelectStmt Clone() const;
+
+  std::string ToString() const;
+};
+
+struct CreateTableStmt {
+  std::string name;
+  Schema schema;
+};
+
+struct DropTableStmt {
+  std::string name;
+};
+
+struct CreateIndexStmt {
+  std::string index_name;  // informational
+  std::string table;
+  std::string column;
+  IndexKind kind = IndexKind::kHash;
+};
+
+struct InsertStmt {
+  std::string table;
+  std::vector<std::string> columns;           // empty = schema order
+  std::vector<std::vector<ExprPtr>> rows;     // VALUES (...), (...)
+};
+
+struct UpdateStmt {
+  struct SetClause {
+    std::string column;
+    ExprPtr expr;  // `col += e` is desugared to `col = col + e` at parse
+  };
+  std::string table;
+  std::vector<SetClause> sets;
+  ExprPtr where;  // may be null
+};
+
+struct DeleteStmt {
+  std::string table;
+  ExprPtr where;  // may be null
+};
+
+/// CREATE [MATERIALIZED] VIEW name AS select. Views are registered with the
+/// view manager; materialized ones get a backing table.
+struct CreateViewStmt {
+  std::string name;
+  bool materialized = false;
+  SelectStmt query;
+};
+
+// ---------------------------------------------------------------------------
+// Rule definition (Figure 2)
+// ---------------------------------------------------------------------------
+
+/// Transition-predicate event.
+enum class RuleEventKind {
+  kInserted,
+  kDeleted,
+  kUpdated,
+};
+
+struct RuleEvent {
+  RuleEventKind kind = RuleEventKind::kInserted;
+  /// For kUpdated: restrict to updates touching these columns (empty =
+  /// any column).
+  std::vector<std::string> columns;
+};
+
+/// A condition / evaluate query with an optional `bind as` name.
+struct RuleQuery {
+  SelectStmt query;
+  std::string bind_as;  // "" = not bound
+
+  RuleQuery Clone() const;
+};
+
+/// create rule name on t-name when events [if queries] then
+///   [evaluate queries] execute fn [unique [on cols]] [after t seconds]
+struct CreateRuleStmt {
+  std::string rule_name;
+  std::string table;
+  std::vector<RuleEvent> events;
+  std::vector<RuleQuery> condition;   // `if` clause
+  std::vector<RuleQuery> evaluate;    // `evaluate` clause
+  std::string function_name;          // `execute` clause
+  bool unique = false;
+  std::vector<std::string> unique_columns;  // `unique on c1, c2`
+  double delay_seconds = 0.0;               // `after t seconds`
+};
+
+struct DropRuleStmt {
+  std::string name;
+};
+
+/// Any parsed statement.
+using Statement =
+    std::variant<SelectStmt, CreateTableStmt, DropTableStmt, CreateIndexStmt,
+                 InsertStmt, UpdateStmt, DeleteStmt, CreateViewStmt,
+                 CreateRuleStmt, DropRuleStmt>;
+
+}  // namespace strip
+
+#endif  // STRIP_SQL_AST_H_

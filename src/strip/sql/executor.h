@@ -1,0 +1,96 @@
+#ifndef STRIP_SQL_EXECUTOR_H_
+#define STRIP_SQL_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/sql/ast.h"
+#include "strip/sql/expr_eval.h"
+#include "strip/sql/plan.h"
+#include "strip/storage/bound_table_set.h"
+#include "strip/storage/catalog.h"
+#include "strip/storage/temp_table.h"
+#include "strip/txn/lock_manager.h"
+#include "strip/txn/transaction.h"
+
+namespace strip {
+
+/// Everything a statement execution needs. The resolution order for table
+/// names is: transition tables, then the task's bound tables, then the
+/// catalog (§6.3).
+struct ExecContext {
+  Catalog* catalog = nullptr;
+  LockManager* locks = nullptr;  // optional; when set, 2PL table locks
+  Transaction* txn = nullptr;    // required for DML (logging); optional reads
+  const BoundTableSet* transition = nullptr;  // inserted/deleted/new/old
+  const BoundTableSet* bound = nullptr;       // task bound tables
+  const ScalarFuncRegistry* funcs = nullptr;
+  /// Pseudo columns resolved when nothing else matches a bare name — the
+  /// rule system injects `commit_time` here at bind time (§2).
+  const std::map<std::string, Value>* pseudo = nullptr;
+  /// Bindings for '?' placeholders (prepared-statement execution).
+  const std::vector<Value>* params = nullptr;
+  /// When non-null, the executor appends one human-readable line per plan
+  /// decision (scan method, join order and algorithm, aggregation, sort,
+  /// limit) — the EXPLAIN facility. The query still executes.
+  std::vector<std::string>* plan_trace = nullptr;
+};
+
+/// Executes parsed statements. Stateless between calls; cheap to construct.
+///
+/// Query processing: filter pushdown to scans, index-nested-loop joins when
+/// an equi-join column of a standard table is indexed, hash joins otherwise,
+/// greedy small-first join ordering, hash aggregation, sort for ORDER BY.
+/// Output tables use the §6.1 pointer layout: bare standard-table columns
+/// are pointer-backed, computed/aggregate/temp-derived columns materialized.
+class SqlExecutor {
+ public:
+  explicit SqlExecutor(const ExecContext& ctx) : ctx_(ctx) {}
+
+  /// Runs a SELECT, producing a temp table named `output_name`.
+  Result<TempTable> ExecuteSelect(const SelectStmt& stmt,
+                                  const std::string& output_name = "_result");
+
+  /// DML; returns the number of affected rows.
+  Result<int> ExecuteInsert(const InsertStmt& stmt);
+  Result<int> ExecuteUpdate(const UpdateStmt& stmt);
+  Result<int> ExecuteDelete(const DeleteStmt& stmt);
+
+ private:
+  /// An element scanned from an input: exactly one of rec / tuple set.
+  struct ScanItem {
+    RecordRef rec;
+    const TempTuple* tuple = nullptr;
+  };
+
+  /// Resolves FROM entries through transition -> bound -> catalog.
+  Result<InputSet> BindFrom(const std::vector<TableRef>& from);
+
+  /// Acquires a table lock (no-op without a lock manager / transaction).
+  Status LockTable(Table* table, LockMode mode);
+
+  /// Scans input `i`, applying its pushed-down filters, invoking `emit`.
+  /// Uses an index for `col = const` filters when available.
+  Status ScanInput(const InputSet& inputs, int input,
+                   const std::vector<const Expr*>& filters,
+                   const std::function<Status(const ScanItem&)>& emit);
+
+  /// Executes the join pipeline; returns surviving joined rows.
+  Result<std::vector<JoinRow>> RunJoin(const InputSet& inputs,
+                                       const std::vector<Conjunct>& conjuncts);
+
+  /// Evaluates `expr` against `row`.
+  Result<Value> Eval(const Expr& expr, const InputSet& inputs,
+                     const JoinRow& row);
+
+  /// Appends a plan-trace line when tracing is enabled.
+  void Trace(const std::string& line);
+
+  ExecContext ctx_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_SQL_EXECUTOR_H_

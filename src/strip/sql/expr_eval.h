@@ -1,0 +1,65 @@
+#ifndef STRIP_SQL_EXPR_EVAL_H_
+#define STRIP_SQL_EXPR_EVAL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/sql/ast.h"
+#include "strip/storage/value.h"
+
+namespace strip {
+
+/// Resolves column references during expression evaluation.
+class RowContext {
+ public:
+  virtual ~RowContext() = default;
+
+  /// Value of `qualifier.column` (qualifier may be empty for bare names).
+  /// NotFound for unknown columns; InvalidArgument for ambiguous bare names.
+  virtual Result<Value> GetColumn(const std::string& qualifier,
+                                  const std::string& column) const = 0;
+};
+
+/// A scalar SQL function: values in, value out.
+using ScalarFunc =
+    std::function<Result<Value>(const std::vector<Value>& args)>;
+
+/// Named scalar functions available to expressions. A registry pre-loaded
+/// with math builtins (abs, sqrt, exp, ln, log, pow, floor, ceil, erf,
+/// normcdf, least, greatest) is created by Database; applications register
+/// more (the program-trading example registers the Black-Scholes pricer as
+/// `f_bs`, the paper's f_BS).
+class ScalarFuncRegistry {
+ public:
+  /// Registry containing the builtin math functions.
+  static ScalarFuncRegistry WithBuiltins();
+
+  /// Registers `fn` under `name` (case-insensitive). Fails on duplicates.
+  Status Register(const std::string& name, ScalarFunc fn);
+
+  /// The function, or nullptr.
+  const ScalarFunc* Find(const std::string& name) const;
+
+ private:
+  std::map<std::string, ScalarFunc> funcs_;
+};
+
+/// Evaluates a non-aggregate expression against a row. Nulls propagate
+/// through arithmetic and comparisons; AND/OR treat null as false
+/// (two-valued logic — documented simplification).
+/// `row` may be null for constant expressions; `funcs` may be null if the
+/// expression contains no function calls; `params` binds '?' placeholders
+/// (an unbound placeholder is an error).
+Result<Value> EvalExpr(const Expr& expr, const RowContext* row,
+                       const ScalarFuncRegistry* funcs,
+                       const std::vector<Value>* params = nullptr);
+
+/// Evaluates a binary arithmetic / comparison / logic operation.
+Result<Value> EvalBinaryOp(BinaryOp op, const Value& lhs, const Value& rhs);
+
+}  // namespace strip
+
+#endif  // STRIP_SQL_EXPR_EVAL_H_

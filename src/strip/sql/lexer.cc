@@ -1,0 +1,153 @@
+#include "strip/sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Lex(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+
+  auto push = [&](TokenKind kind, size_t pos, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.position = static_cast<int>(pos);
+    out.push_back(std::move(t));
+  };
+
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // -- comment
+    if (c == '-' && i + 1 < n && input[i + 1] == '-') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    size_t start = i;
+    if (IsIdentStart(c)) {
+      while (i < n && IsIdentChar(input[i])) ++i;
+      push(TokenKind::kIdentifier, start, input.substr(start, i - start));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      bool is_double = false;
+      while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      if (i < n && input[i] == '.') {
+        is_double = true;
+        ++i;
+        while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) ++i;
+      }
+      if (i < n && (input[i] == 'e' || input[i] == 'E')) {
+        size_t save = i;
+        ++i;
+        if (i < n && (input[i] == '+' || input[i] == '-')) ++i;
+        if (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+          is_double = true;
+          while (i < n && std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+        } else {
+          i = save;  // not an exponent; e.g. "12e" = number then identifier
+        }
+      }
+      std::string text = input.substr(start, i - start);
+      Token t;
+      t.position = static_cast<int>(start);
+      t.text = text;
+      if (is_double) {
+        t.kind = TokenKind::kDoubleLiteral;
+        t.double_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kIntLiteral;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string text;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote ''
+            text += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        text += input[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument(StrFormat(
+            "unterminated string literal at offset %zu", start));
+      }
+      Token t;
+      t.kind = TokenKind::kStringLiteral;
+      t.text = std::move(text);
+      t.position = static_cast<int>(start);
+      out.push_back(std::move(t));
+      continue;
+    }
+    // Operators / punctuation.
+    auto two = [&](char a, char b) {
+      return c == a && i + 1 < n && input[i + 1] == b;
+    };
+    if (two('!', '=') || two('<', '>')) {
+      push(TokenKind::kNe, start);
+      i += 2;
+      continue;
+    }
+    if (two('<', '=')) { push(TokenKind::kLe, start); i += 2; continue; }
+    if (two('>', '=')) { push(TokenKind::kGe, start); i += 2; continue; }
+    if (two('+', '=')) { push(TokenKind::kPlusEq, start); i += 2; continue; }
+    if (two('-', '=')) { push(TokenKind::kMinusEq, start); i += 2; continue; }
+    switch (c) {
+      case '(': push(TokenKind::kLParen, start); break;
+      case ')': push(TokenKind::kRParen, start); break;
+      case ',': push(TokenKind::kComma, start); break;
+      case '.': push(TokenKind::kDot, start); break;
+      case ';': push(TokenKind::kSemicolon, start); break;
+      case '*': push(TokenKind::kStar, start); break;
+      case '+': push(TokenKind::kPlus, start); break;
+      case '-': push(TokenKind::kMinus, start); break;
+      case '/': push(TokenKind::kSlash, start); break;
+      case '=': push(TokenKind::kEq, start); break;
+      case '<': push(TokenKind::kLt, start); break;
+      case '>': push(TokenKind::kGt, start); break;
+      case '?': push(TokenKind::kQuestion, start); break;
+      default:
+        return Status::InvalidArgument(
+            StrFormat("unexpected character '%c' at offset %zu", c, start));
+    }
+    ++i;
+  }
+  push(TokenKind::kEof, n);
+  return out;
+}
+
+}  // namespace strip

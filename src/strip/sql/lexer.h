@@ -1,0 +1,17 @@
+#ifndef STRIP_SQL_LEXER_H_
+#define STRIP_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/sql/token.h"
+
+namespace strip {
+
+/// Tokenizes a SQL / rule-definition string. Comments: `-- to end of line`.
+Result<std::vector<Token>> Lex(const std::string& input);
+
+}  // namespace strip
+
+#endif  // STRIP_SQL_LEXER_H_

@@ -1,0 +1,747 @@
+#include "strip/sql/parser.h"
+
+#include "strip/common/string_util.h"
+#include "strip/sql/lexer.h"
+
+namespace strip {
+
+namespace {
+
+/// Keywords that terminate a table-expression inside larger constructs
+/// (rule clauses, script parsing). Not reserved in general — only consulted
+/// where the grammar needs a stopping point.
+bool IsClauseBoundary(const std::string& word) {
+  static const char* kWords[] = {
+      "where", "group",  "groupby", "order",  "bind",   "then",
+      "evaluate", "execute", "unique", "after", "select", "end", "if",
+      "having", "limit",
+  };
+  for (const char* w : kWords) {
+    if (EqualsIgnoreCase(word, w)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// Entry points
+// --------------------------------------------------------------------------
+
+Result<Statement> Parser::ParseStatement(const std::string& sql) {
+  STRIP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser p(std::move(tokens));
+  STRIP_ASSIGN_OR_RETURN(Statement stmt, p.ParseOneStatement());
+  p.Match(TokenKind::kSemicolon);
+  if (!p.AtEof()) {
+    return p.ErrorHere("trailing input after statement");
+  }
+  return stmt;
+}
+
+Result<std::vector<Statement>> Parser::ParseScript(const std::string& sql) {
+  STRIP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser p(std::move(tokens));
+  std::vector<Statement> out;
+  while (!p.AtEof()) {
+    if (p.Match(TokenKind::kSemicolon)) continue;
+    STRIP_ASSIGN_OR_RETURN(Statement stmt, p.ParseOneStatement());
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+Result<ExprPtr> Parser::ParseExpression(const std::string& text) {
+  STRIP_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(text));
+  Parser p(std::move(tokens));
+  STRIP_ASSIGN_OR_RETURN(ExprPtr e, p.ParseExpr());
+  if (!p.AtEof()) {
+    return p.ErrorHere("trailing input after expression");
+  }
+  return e;
+}
+
+// --------------------------------------------------------------------------
+// Token helpers
+// --------------------------------------------------------------------------
+
+const Token& Parser::Peek(int ahead) const {
+  size_t i = pos_ + static_cast<size_t>(ahead);
+  if (i >= tokens_.size()) return tokens_.back();  // EOF token
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = Peek();
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::Match(TokenKind kind) {
+  if (Check(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+bool Parser::CheckKeyword(const char* kw, int ahead) const {
+  const Token& t = Peek(ahead);
+  return t.kind == TokenKind::kIdentifier && EqualsIgnoreCase(t.text, kw);
+}
+
+bool Parser::MatchKeyword(const char* kw) {
+  if (CheckKeyword(kw)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Status Parser::ExpectKeyword(const char* kw) {
+  if (!MatchKeyword(kw)) {
+    return ErrorHere(StrFormat("expected '%s'", kw));
+  }
+  return Status::OK();
+}
+
+Status Parser::Expect(TokenKind kind, const char* what) {
+  if (!Match(kind)) {
+    return ErrorHere(StrFormat("expected %s", what));
+  }
+  return Status::OK();
+}
+
+Result<std::string> Parser::ExpectIdentifier(const char* what) {
+  if (!Check(TokenKind::kIdentifier)) {
+    return ErrorHere(StrFormat("expected %s", what));
+  }
+  return ToLower(Advance().text);
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  const Token& t = Peek();
+  return Status::InvalidArgument(StrFormat(
+      "parse error at offset %d near '%s': %s", t.position,
+      t.ToString().c_str(), message.c_str()));
+}
+
+// --------------------------------------------------------------------------
+// Statement dispatch
+// --------------------------------------------------------------------------
+
+Result<Statement> Parser::ParseOneStatement() {
+  if (CheckKeyword("select")) {
+    STRIP_ASSIGN_OR_RETURN(SelectStmt s, ParseSelect());
+    return Statement(std::move(s));
+  }
+  if (CheckKeyword("create")) return ParseCreate();
+  if (CheckKeyword("drop")) return ParseDrop();
+  if (CheckKeyword("insert")) {
+    STRIP_ASSIGN_OR_RETURN(InsertStmt s, ParseInsert());
+    return Statement(std::move(s));
+  }
+  if (CheckKeyword("update")) {
+    STRIP_ASSIGN_OR_RETURN(UpdateStmt s, ParseUpdate());
+    return Statement(std::move(s));
+  }
+  if (CheckKeyword("delete")) {
+    STRIP_ASSIGN_OR_RETURN(DeleteStmt s, ParseDelete());
+    return Statement(std::move(s));
+  }
+  return ErrorHere("expected a statement");
+}
+
+Result<Statement> Parser::ParseCreate() {
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("create"));
+  if (CheckKeyword("table")) {
+    STRIP_ASSIGN_OR_RETURN(CreateTableStmt s, ParseCreateTable());
+    return Statement(std::move(s));
+  }
+  if (CheckKeyword("index")) {
+    STRIP_ASSIGN_OR_RETURN(CreateIndexStmt s, ParseCreateIndex());
+    return Statement(std::move(s));
+  }
+  if (MatchKeyword("materialized")) {
+    STRIP_ASSIGN_OR_RETURN(CreateViewStmt s, ParseCreateView(true));
+    return Statement(std::move(s));
+  }
+  if (CheckKeyword("view")) {
+    STRIP_ASSIGN_OR_RETURN(CreateViewStmt s, ParseCreateView(false));
+    return Statement(std::move(s));
+  }
+  if (CheckKeyword("rule")) {
+    STRIP_ASSIGN_OR_RETURN(CreateRuleStmt s, ParseCreateRule());
+    return Statement(std::move(s));
+  }
+  return ErrorHere("expected TABLE, INDEX, VIEW, MATERIALIZED VIEW or RULE");
+}
+
+Result<Statement> Parser::ParseDrop() {
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("drop"));
+  if (MatchKeyword("table")) {
+    STRIP_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("table name"));
+    return Statement(DropTableStmt{std::move(name)});
+  }
+  if (MatchKeyword("rule")) {
+    STRIP_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("rule name"));
+    return Statement(DropRuleStmt{std::move(name)});
+  }
+  return ErrorHere("expected TABLE or RULE");
+}
+
+Result<ValueType> Parser::ParseColumnType() {
+  STRIP_ASSIGN_OR_RETURN(std::string type, ExpectIdentifier("column type"));
+  // Optional length specifier, e.g. varchar(16): parsed and ignored (all
+  // strings are variable length in this implementation).
+  if (Match(TokenKind::kLParen)) {
+    if (!Match(TokenKind::kIntLiteral)) {
+      return ErrorHere("expected length in type specifier");
+    }
+    STRIP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+  }
+  if (type == "int" || type == "integer" || type == "bigint") {
+    return ValueType::kInt;
+  }
+  if (type == "double" || type == "real" || type == "float" ||
+      type == "numeric" || type == "decimal") {
+    return ValueType::kDouble;
+  }
+  if (type == "string" || type == "varchar" || type == "char" ||
+      type == "text") {
+    return ValueType::kString;
+  }
+  return ErrorHere(StrFormat("unknown column type '%s'", type.c_str()));
+}
+
+Result<CreateTableStmt> Parser::ParseCreateTable() {
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("table"));
+  CreateTableStmt stmt;
+  STRIP_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("table name"));
+  STRIP_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+  do {
+    STRIP_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+    STRIP_ASSIGN_OR_RETURN(ValueType type, ParseColumnType());
+    if (stmt.schema.FindColumn(col) >= 0) {
+      return ErrorHere(StrFormat("duplicate column '%s'", col.c_str()));
+    }
+    stmt.schema.AddColumn(std::move(col), type);
+  } while (Match(TokenKind::kComma));
+  STRIP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+  return stmt;
+}
+
+Result<CreateIndexStmt> Parser::ParseCreateIndex() {
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("index"));
+  CreateIndexStmt stmt;
+  // Optional index name (absent when directly followed by ON).
+  if (Check(TokenKind::kIdentifier) && !CheckKeyword("on")) {
+    STRIP_ASSIGN_OR_RETURN(stmt.index_name, ExpectIdentifier("index name"));
+  }
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("on"));
+  STRIP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  STRIP_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+  STRIP_ASSIGN_OR_RETURN(stmt.column, ExpectIdentifier("column name"));
+  STRIP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+  if (MatchKeyword("using")) {
+    if (MatchKeyword("hash")) {
+      stmt.kind = IndexKind::kHash;
+    } else if (MatchKeyword("tree") || MatchKeyword("rbtree")) {
+      stmt.kind = IndexKind::kRbTree;
+    } else {
+      return ErrorHere("expected HASH or TREE after USING");
+    }
+  }
+  return stmt;
+}
+
+Result<CreateViewStmt> Parser::ParseCreateView(bool materialized) {
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("view"));
+  CreateViewStmt stmt;
+  stmt.materialized = materialized;
+  STRIP_ASSIGN_OR_RETURN(stmt.name, ExpectIdentifier("view name"));
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("as"));
+  STRIP_ASSIGN_OR_RETURN(stmt.query, ParseSelect());
+  return stmt;
+}
+
+Result<InsertStmt> Parser::ParseInsert() {
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("insert"));
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("into"));
+  InsertStmt stmt;
+  STRIP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  if (Match(TokenKind::kLParen)) {
+    do {
+      STRIP_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+      stmt.columns.push_back(std::move(col));
+    } while (Match(TokenKind::kComma));
+    STRIP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+  }
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("values"));
+  do {
+    STRIP_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    std::vector<ExprPtr> row;
+    do {
+      STRIP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      row.push_back(std::move(e));
+    } while (Match(TokenKind::kComma));
+    STRIP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    stmt.rows.push_back(std::move(row));
+  } while (Match(TokenKind::kComma));
+  return stmt;
+}
+
+Result<UpdateStmt> Parser::ParseUpdate() {
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("update"));
+  UpdateStmt stmt;
+  STRIP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("set"));
+  do {
+    STRIP_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+    ExprPtr rhs;
+    if (Match(TokenKind::kEq)) {
+      STRIP_ASSIGN_OR_RETURN(rhs, ParseExpr());
+    } else if (Match(TokenKind::kPlusEq)) {
+      // col += e  desugars to  col = col + e
+      STRIP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      rhs = MakeBinary(BinaryOp::kAdd, MakeColumnRef("", col), std::move(e));
+    } else if (Match(TokenKind::kMinusEq)) {
+      STRIP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      rhs = MakeBinary(BinaryOp::kSub, MakeColumnRef("", col), std::move(e));
+    } else {
+      return ErrorHere("expected '=', '+=' or '-=' in SET clause");
+    }
+    stmt.sets.push_back(UpdateStmt::SetClause{std::move(col), std::move(rhs)});
+  } while (Match(TokenKind::kComma));
+  if (MatchKeyword("where")) {
+    STRIP_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+Result<DeleteStmt> Parser::ParseDelete() {
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("delete"));
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("from"));
+  DeleteStmt stmt;
+  STRIP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  if (MatchKeyword("where")) {
+    STRIP_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  return stmt;
+}
+
+// --------------------------------------------------------------------------
+// SELECT
+// --------------------------------------------------------------------------
+
+Result<SelectStmt> Parser::ParseSelect() {
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("select"));
+  SelectStmt stmt;
+  if (MatchKeyword("distinct")) stmt.distinct = true;
+  if (Match(TokenKind::kStar)) {
+    stmt.star = true;
+  } else {
+    do {
+      SelectItem item;
+      STRIP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("as")) {
+        STRIP_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("column alias"));
+      } else if (Check(TokenKind::kIdentifier) && !CheckKeyword("from")) {
+        // Implicit alias: `expr name`.
+        STRIP_ASSIGN_OR_RETURN(item.alias, ExpectIdentifier("column alias"));
+      }
+      stmt.items.push_back(std::move(item));
+    } while (Match(TokenKind::kComma));
+  }
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("from"));
+  for (;;) {
+    TableRef ref;
+    STRIP_ASSIGN_OR_RETURN(ref.table, ExpectIdentifier("table name"));
+    if (Check(TokenKind::kIdentifier) && !IsClauseBoundary(Peek().text)) {
+      if (MatchKeyword("as")) {
+        STRIP_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("table alias"));
+      } else {
+        STRIP_ASSIGN_OR_RETURN(ref.alias, ExpectIdentifier("table alias"));
+      }
+    }
+    stmt.from.push_back(std::move(ref));
+    // A comma continues the FROM list unless the next token begins another
+    // query of a rule query-commalist (`..., select ...`).
+    if (Check(TokenKind::kComma) && !CheckKeyword("select", 1)) {
+      Advance();
+      continue;
+    }
+    break;
+  }
+  if (MatchKeyword("where")) {
+    STRIP_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+  }
+  if (CheckKeyword("group")) {
+    Advance();
+    STRIP_RETURN_IF_ERROR(ExpectKeyword("by"));
+    do {
+      STRIP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.group_by.push_back(std::move(e));
+    } while (Match(TokenKind::kComma) && !CheckKeyword("select"));
+  } else if (MatchKeyword("groupby")) {  // the paper writes "groupby"
+    do {
+      STRIP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      stmt.group_by.push_back(std::move(e));
+    } while (Match(TokenKind::kComma) && !CheckKeyword("select"));
+  }
+  if (MatchKeyword("having")) {
+    STRIP_ASSIGN_OR_RETURN(stmt.having, ParseExpr());
+  }
+  if (CheckKeyword("order")) {
+    Advance();
+    STRIP_RETURN_IF_ERROR(ExpectKeyword("by"));
+    do {
+      OrderByItem item;
+      STRIP_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      if (MatchKeyword("desc")) {
+        item.descending = true;
+      } else {
+        MatchKeyword("asc");
+      }
+      stmt.order_by.push_back(std::move(item));
+    } while (Match(TokenKind::kComma) && !CheckKeyword("select"));
+  }
+  if (MatchKeyword("limit")) {
+    if (!Check(TokenKind::kIntLiteral)) {
+      return ErrorHere("expected a row count after LIMIT");
+    }
+    stmt.limit = Advance().int_value;
+    if (stmt.limit < 0) return ErrorHere("LIMIT must be non-negative");
+  }
+  return stmt;
+}
+
+// --------------------------------------------------------------------------
+// CREATE RULE (Figure 2)
+// --------------------------------------------------------------------------
+
+Result<std::vector<RuleEvent>> Parser::ParseTransitionPredicate() {
+  std::vector<RuleEvent> events;
+  for (;;) {
+    RuleEvent ev;
+    if (MatchKeyword("inserted")) {
+      ev.kind = RuleEventKind::kInserted;
+    } else if (MatchKeyword("deleted")) {
+      ev.kind = RuleEventKind::kDeleted;
+    } else if (MatchKeyword("updated")) {
+      ev.kind = RuleEventKind::kUpdated;
+      // Optional column-commalist: `updated price, volume`. Columns are
+      // identifiers that are not the next event keyword or a clause opener.
+      while (Check(TokenKind::kIdentifier) && !CheckKeyword("inserted") &&
+             !CheckKeyword("deleted") && !CheckKeyword("updated") &&
+             !CheckKeyword("if") && !CheckKeyword("then") &&
+             !CheckKeyword("or")) {
+        STRIP_ASSIGN_OR_RETURN(std::string col,
+                               ExpectIdentifier("column name"));
+        ev.columns.push_back(std::move(col));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    } else {
+      if (events.empty()) {
+        return ErrorHere("expected INSERTED, DELETED or UPDATED");
+      }
+      break;
+    }
+    events.push_back(std::move(ev));
+    // Events may be separated by whitespace (Figure 2), 'or', or commas.
+    MatchKeyword("or");
+    Match(TokenKind::kComma);
+    if (!CheckKeyword("inserted") && !CheckKeyword("deleted") &&
+        !CheckKeyword("updated")) {
+      break;
+    }
+  }
+  return events;
+}
+
+Result<std::vector<RuleQuery>> Parser::ParseQueryCommalist() {
+  std::vector<RuleQuery> queries;
+  for (;;) {
+    RuleQuery rq;
+    STRIP_ASSIGN_OR_RETURN(rq.query, ParseSelect());
+    if (MatchKeyword("bind")) {
+      STRIP_RETURN_IF_ERROR(ExpectKeyword("as"));
+      STRIP_ASSIGN_OR_RETURN(rq.bind_as,
+                             ExpectIdentifier("bound table name"));
+    }
+    queries.push_back(std::move(rq));
+    // Another query follows after a comma or directly with SELECT.
+    if (Match(TokenKind::kComma)) {
+      continue;
+    }
+    if (CheckKeyword("select")) continue;
+    break;
+  }
+  return queries;
+}
+
+Result<CreateRuleStmt> Parser::ParseCreateRule() {
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("rule"));
+  CreateRuleStmt stmt;
+  STRIP_ASSIGN_OR_RETURN(stmt.rule_name, ExpectIdentifier("rule name"));
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("on"));
+  STRIP_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("when"));
+  STRIP_ASSIGN_OR_RETURN(stmt.events, ParseTransitionPredicate());
+  if (MatchKeyword("if")) {
+    STRIP_ASSIGN_OR_RETURN(stmt.condition, ParseQueryCommalist());
+  }
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("then"));
+  if (MatchKeyword("evaluate")) {
+    STRIP_ASSIGN_OR_RETURN(stmt.evaluate, ParseQueryCommalist());
+  }
+  STRIP_RETURN_IF_ERROR(ExpectKeyword("execute"));
+  STRIP_ASSIGN_OR_RETURN(stmt.function_name,
+                         ExpectIdentifier("function name"));
+  if (MatchKeyword("unique")) {
+    stmt.unique = true;
+    if (MatchKeyword("on")) {
+      do {
+        STRIP_ASSIGN_OR_RETURN(std::string col,
+                               ExpectIdentifier("unique column"));
+        // Accept qualified names (`unique on x.a`); only the column part
+        // matters since bound-table column names are unique (Appendix A).
+        if (Match(TokenKind::kDot)) {
+          STRIP_ASSIGN_OR_RETURN(col, ExpectIdentifier("unique column"));
+        }
+        stmt.unique_columns.push_back(std::move(col));
+      } while (Match(TokenKind::kComma));
+    }
+  }
+  if (MatchKeyword("after")) {
+    if (Check(TokenKind::kDoubleLiteral)) {
+      stmt.delay_seconds = Advance().double_value;
+    } else if (Check(TokenKind::kIntLiteral)) {
+      stmt.delay_seconds = static_cast<double>(Advance().int_value);
+    } else {
+      return ErrorHere("expected a delay value after AFTER");
+    }
+    if (!MatchKeyword("seconds") && !MatchKeyword("second") &&
+        !MatchKeyword("secs") && !MatchKeyword("s")) {
+      return ErrorHere("expected SECONDS after the delay value");
+    }
+    if (stmt.delay_seconds < 0) {
+      return ErrorHere("delay must be non-negative");
+    }
+  }
+  // Optional terminator used in some of the paper's figures.
+  if (MatchKeyword("end")) {
+    if (!MatchKeyword("rule") && !MatchKeyword("function")) {
+      return ErrorHere("expected RULE after END");
+    }
+  }
+  return stmt;
+}
+
+// --------------------------------------------------------------------------
+// Expressions
+// --------------------------------------------------------------------------
+
+Result<ExprPtr> Parser::ParseExpr() {
+  STRIP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+  while (CheckKeyword("or")) {
+    Advance();
+    STRIP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+    lhs = MakeBinary(BinaryOp::kOr, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseAnd() {
+  STRIP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+  while (CheckKeyword("and")) {
+    Advance();
+    STRIP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+    lhs = MakeBinary(BinaryOp::kAnd, std::move(lhs), std::move(rhs));
+  }
+  return lhs;
+}
+
+Result<ExprPtr> Parser::ParseNot() {
+  if (MatchKeyword("not")) {
+    STRIP_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+    return MakeUnary(UnaryOp::kNot, std::move(e));
+  }
+  return ParseComparison();
+}
+
+Result<ExprPtr> Parser::ParseComparison() {
+  STRIP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+  // IN-lists and BETWEEN desugar into OR / AND chains here, optionally
+  // under NOT: `x not in (...)`, `x not between a and b`.
+  bool negated = false;
+  if (CheckKeyword("not") &&
+      (CheckKeyword("in", 1) || CheckKeyword("between", 1))) {
+    Advance();
+    negated = true;
+  }
+  if (MatchKeyword("in")) {
+    STRIP_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'(' after IN"));
+    ExprPtr chain;
+    do {
+      STRIP_ASSIGN_OR_RETURN(ExprPtr item, ParseExpr());
+      ExprPtr eq = MakeBinary(BinaryOp::kEq, lhs->Clone(), std::move(item));
+      chain = chain == nullptr
+                  ? std::move(eq)
+                  : MakeBinary(BinaryOp::kOr, std::move(chain), std::move(eq));
+    } while (Match(TokenKind::kComma));
+    STRIP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    if (negated) chain = MakeUnary(UnaryOp::kNot, std::move(chain));
+    return chain;
+  }
+  if (MatchKeyword("between")) {
+    STRIP_ASSIGN_OR_RETURN(ExprPtr lo, ParseAdditive());
+    STRIP_RETURN_IF_ERROR(ExpectKeyword("and"));
+    STRIP_ASSIGN_OR_RETURN(ExprPtr hi, ParseAdditive());
+    // Clone before the move: evaluation order of call arguments is
+    // unsequenced.
+    ExprPtr lhs_copy = lhs->Clone();
+    ExprPtr ge = MakeBinary(BinaryOp::kGe, std::move(lhs_copy), std::move(lo));
+    ExprPtr le = MakeBinary(BinaryOp::kLe, std::move(lhs), std::move(hi));
+    ExprPtr range =
+        MakeBinary(BinaryOp::kAnd, std::move(ge), std::move(le));
+    if (negated) range = MakeUnary(UnaryOp::kNot, std::move(range));
+    return range;
+  }
+  if (negated) return ErrorHere("expected IN or BETWEEN after NOT");
+  BinaryOp op;
+  if (Match(TokenKind::kEq)) {
+    op = BinaryOp::kEq;
+  } else if (Match(TokenKind::kNe)) {
+    op = BinaryOp::kNe;
+  } else if (Match(TokenKind::kLt)) {
+    op = BinaryOp::kLt;
+  } else if (Match(TokenKind::kLe)) {
+    op = BinaryOp::kLe;
+  } else if (Match(TokenKind::kGt)) {
+    op = BinaryOp::kGt;
+  } else if (Match(TokenKind::kGe)) {
+    op = BinaryOp::kGe;
+  } else {
+    return lhs;
+  }
+  STRIP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+  return MakeBinary(op, std::move(lhs), std::move(rhs));
+}
+
+Result<ExprPtr> Parser::ParseAdditive() {
+  STRIP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+  for (;;) {
+    BinaryOp op;
+    if (Match(TokenKind::kPlus)) {
+      op = BinaryOp::kAdd;
+    } else if (Match(TokenKind::kMinus)) {
+      op = BinaryOp::kSub;
+    } else {
+      return lhs;
+    }
+    STRIP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+    lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+Result<ExprPtr> Parser::ParseMultiplicative() {
+  STRIP_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+  for (;;) {
+    BinaryOp op;
+    if (Match(TokenKind::kStar)) {
+      op = BinaryOp::kMul;
+    } else if (Match(TokenKind::kSlash)) {
+      op = BinaryOp::kDiv;
+    } else {
+      return lhs;
+    }
+    STRIP_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+    lhs = MakeBinary(op, std::move(lhs), std::move(rhs));
+  }
+}
+
+Result<ExprPtr> Parser::ParseUnary() {
+  if (Match(TokenKind::kMinus)) {
+    STRIP_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+    return MakeUnary(UnaryOp::kNeg, std::move(e));
+  }
+  Match(TokenKind::kPlus);  // unary plus is a no-op
+  return ParsePrimary();
+}
+
+Result<ExprPtr> Parser::ParsePrimary() {
+  if (Match(TokenKind::kQuestion)) {
+    return MakeParameter(next_param_++);
+  }
+  if (Match(TokenKind::kLParen)) {
+    STRIP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    STRIP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    return e;
+  }
+  const Token& t = Peek();
+  switch (t.kind) {
+    case TokenKind::kIntLiteral: {
+      Advance();
+      return MakeLiteral(Value::Int(t.int_value));
+    }
+    case TokenKind::kDoubleLiteral: {
+      Advance();
+      return MakeLiteral(Value::Double(t.double_value));
+    }
+    case TokenKind::kStringLiteral: {
+      Advance();
+      return MakeLiteral(Value::Str(t.text));
+    }
+    case TokenKind::kIdentifier:
+      break;
+    default:
+      return ErrorHere("expected an expression");
+  }
+  if (EqualsIgnoreCase(t.text, "null")) {
+    Advance();
+    return MakeLiteral(Value::Null());
+  }
+  if (EqualsIgnoreCase(t.text, "true")) {
+    Advance();
+    return MakeLiteral(Value::Bool(true));
+  }
+  if (EqualsIgnoreCase(t.text, "false")) {
+    Advance();
+    return MakeLiteral(Value::Bool(false));
+  }
+  std::string name = ToLower(Advance().text);
+  // Function call.
+  if (Check(TokenKind::kLParen)) {
+    Advance();
+    bool star_arg = false;
+    std::vector<ExprPtr> args;
+    if (Match(TokenKind::kStar)) {
+      star_arg = true;
+    } else if (!Check(TokenKind::kRParen)) {
+      do {
+        STRIP_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        args.push_back(std::move(e));
+      } while (Match(TokenKind::kComma));
+    }
+    STRIP_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    if (IsAggregateName(name)) {
+      if (star_arg && name != "count") {
+        return ErrorHere("only count(*) may take '*'");
+      }
+      return MakeAggregate(std::move(name), std::move(args), star_arg);
+    }
+    if (star_arg) {
+      return ErrorHere("'*' argument is only valid in count(*)");
+    }
+    return MakeFuncCall(std::move(name), std::move(args));
+  }
+  // Qualified or bare column reference.
+  if (Match(TokenKind::kDot)) {
+    STRIP_ASSIGN_OR_RETURN(std::string col, ExpectIdentifier("column name"));
+    return MakeColumnRef(std::move(name), std::move(col));
+  }
+  return MakeColumnRef("", std::move(name));
+}
+
+}  // namespace strip

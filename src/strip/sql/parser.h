@@ -1,0 +1,79 @@
+#ifndef STRIP_SQL_PARSER_H_
+#define STRIP_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/sql/ast.h"
+#include "strip/sql/token.h"
+
+namespace strip {
+
+/// Recursive-descent parser for the STRIP SQL subset plus the rule grammar
+/// of Figure 2. Keywords are case-insensitive and not reserved.
+class Parser {
+ public:
+  /// Parses a single statement (trailing ';' optional).
+  static Result<Statement> ParseStatement(const std::string& sql);
+
+  /// Parses a ';'-separated script.
+  static Result<std::vector<Statement>> ParseScript(const std::string& sql);
+
+  /// Parses a standalone expression (used by tests and the view manager).
+  static Result<ExprPtr> ParseExpression(const std::string& text);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  // Token stream helpers.
+  const Token& Peek(int ahead = 0) const;
+  const Token& Advance();
+  bool AtEof() const { return Peek().kind == TokenKind::kEof; }
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind);
+  /// Case-insensitive keyword test / consume on the current identifier.
+  bool CheckKeyword(const char* kw, int ahead = 0) const;
+  bool MatchKeyword(const char* kw);
+  Status ExpectKeyword(const char* kw);
+  Status Expect(TokenKind kind, const char* what);
+  Result<std::string> ExpectIdentifier(const char* what);
+  Status ErrorHere(const std::string& message) const;
+
+  // Statements.
+  Result<Statement> ParseOneStatement();
+  Result<SelectStmt> ParseSelect();
+  Result<Statement> ParseCreate();
+  Result<CreateTableStmt> ParseCreateTable();
+  Result<CreateIndexStmt> ParseCreateIndex();
+  Result<CreateViewStmt> ParseCreateView(bool materialized);
+  Result<CreateRuleStmt> ParseCreateRule();
+  Result<InsertStmt> ParseInsert();
+  Result<UpdateStmt> ParseUpdate();
+  Result<DeleteStmt> ParseDelete();
+  Result<Statement> ParseDrop();
+
+  // Rule clauses.
+  Result<std::vector<RuleEvent>> ParseTransitionPredicate();
+  Result<std::vector<RuleQuery>> ParseQueryCommalist();
+
+  // Expressions (precedence climbing).
+  Result<ExprPtr> ParseExpr();        // or
+  Result<ExprPtr> ParseAnd();
+  Result<ExprPtr> ParseNot();
+  Result<ExprPtr> ParseComparison();
+  Result<ExprPtr> ParseAdditive();
+  Result<ExprPtr> ParseMultiplicative();
+  Result<ExprPtr> ParseUnary();
+  Result<ExprPtr> ParsePrimary();
+
+  Result<ValueType> ParseColumnType();
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  int next_param_ = 0;  // '?' placeholders numbered in textual order
+};
+
+}  // namespace strip
+
+#endif  // STRIP_SQL_PARSER_H_

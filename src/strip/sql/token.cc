@@ -1,0 +1,45 @@
+#include "strip/sql/token.h"
+
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+const char* TokenKindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::kEof: return "end of input";
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kIntLiteral: return "integer literal";
+    case TokenKind::kDoubleLiteral: return "double literal";
+    case TokenKind::kStringLiteral: return "string literal";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kPlusEq: return "'+='";
+    case TokenKind::kMinusEq: return "'-='";
+    case TokenKind::kQuestion: return "'?'";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  if (kind == TokenKind::kIdentifier || kind == TokenKind::kIntLiteral ||
+      kind == TokenKind::kDoubleLiteral) {
+    return text;
+  }
+  if (kind == TokenKind::kStringLiteral) return "'" + text + "'";
+  return TokenKindName(kind);
+}
+
+}  // namespace strip

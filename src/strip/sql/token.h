@@ -1,0 +1,56 @@
+#ifndef STRIP_SQL_TOKEN_H_
+#define STRIP_SQL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace strip {
+
+/// Lexical token kinds for the STRIP SQL subset (plus the rule-definition
+/// grammar of Figure 2).
+enum class TokenKind {
+  kEof,
+  kIdentifier,   // table / column / function names (case-insensitive)
+  kIntLiteral,
+  kDoubleLiteral,
+  kStringLiteral,  // '...'
+
+  // punctuation / operators
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kSemicolon,
+  kStar,
+  kPlus,
+  kMinus,
+  kSlash,
+  kEq,         // =
+  kNe,         // != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlusEq,     // += (used in UPDATE ... SET col += expr)
+  kMinusEq,    // -=
+  kQuestion,   // ? (prepared-statement parameter placeholder)
+};
+
+const char* TokenKindName(TokenKind k);
+
+/// One lexed token. Identifier text is preserved as written; keyword
+/// recognition happens in the parser via case-insensitive comparison, so
+/// keywords are NOT reserved (a table may be called `value`).
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;        // identifier / literal spelling
+  int64_t int_value = 0;
+  double double_value = 0;
+  int position = 0;        // byte offset in the input, for error messages
+
+  std::string ToString() const;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_SQL_TOKEN_H_

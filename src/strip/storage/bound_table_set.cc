@@ -1,0 +1,51 @@
+#include "strip/storage/bound_table_set.h"
+
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+Status BoundTableSet::Add(TempTable table) {
+  if (Find(table.name()) != nullptr) {
+    return Status::AlreadyExists(StrFormat(
+        "bound table '%s' already present", table.name().c_str()));
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+const TempTable* BoundTableSet::Find(const std::string& name) const {
+  for (const auto& t : tables_) {
+    if (EqualsIgnoreCase(t.name(), name)) return &t;
+  }
+  return nullptr;
+}
+
+TempTable* BoundTableSet::FindMutable(const std::string& name) {
+  for (auto& t : tables_) {
+    if (EqualsIgnoreCase(t.name(), name)) return &t;
+  }
+  return nullptr;
+}
+
+Status BoundTableSet::MergeFrom(BoundTableSet&& other) {
+  if (other.tables_.size() != tables_.size()) {
+    return Status::Internal("bound table set cardinality mismatch in merge");
+  }
+  for (auto& t : other.tables_) {
+    TempTable* mine = FindMutable(t.name());
+    if (mine == nullptr) {
+      return Status::Internal(StrFormat(
+          "bound table '%s' missing in merge target", t.name().c_str()));
+    }
+    STRIP_RETURN_IF_ERROR(mine->AppendFrom(std::move(t)));
+  }
+  return Status::OK();
+}
+
+size_t BoundTableSet::TotalTuples() const {
+  size_t n = 0;
+  for (const auto& t : tables_) n += t.size();
+  return n;
+}
+
+}  // namespace strip

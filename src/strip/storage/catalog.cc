@@ -1,0 +1,50 @@
+#include "strip/storage/catalog.h"
+
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  std::string key = ToLower(name);
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("table '%s' already exists", key.c_str()));
+  }
+  auto table = std::make_unique<Table>(key, std::move(schema));
+  Table* ptr = table.get();
+  tables_.emplace(std::move(key), std::move(table));
+  return ptr;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  std::string key = ToLower(name);
+  auto it = tables_.find(key);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrFormat("no table '%s'", key.c_str()));
+  }
+  tables_.erase(it);
+  return Status::OK();
+}
+
+Table* Catalog::FindTable(const std::string& name) const {
+  auto it = tables_.find(ToLower(name));
+  return it == tables_.end() ? nullptr : it->second.get();
+}
+
+Result<Table*> Catalog::GetTable(const std::string& name) const {
+  Table* t = FindTable(name);
+  if (t == nullptr) {
+    return Status::NotFound(
+        StrFormat("no table '%s'", ToLower(name).c_str()));
+  }
+  return t;
+}
+
+std::vector<std::string> Catalog::ListTables() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [name, _] : tables_) out.push_back(name);
+  return out;
+}
+
+}  // namespace strip

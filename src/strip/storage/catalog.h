@@ -1,0 +1,47 @@
+#ifndef STRIP_STORAGE_CATALOG_H_
+#define STRIP_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/storage/table.h"
+
+namespace strip {
+
+/// Name -> Table registry for standard tables. Names are case-insensitive.
+/// Temporary tables (transition / bound tables) are NOT in the catalog; a
+/// triggered task's bound-table list is checked before the catalog when
+/// resolving a table name (§6.3), which the SQL executor implements.
+class Catalog {
+ public:
+  Catalog() = default;
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table. Fails with AlreadyExists on name collision.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Removes the table and its indexes.
+  Status DropTable(const std::string& name);
+
+  /// Looks up a table; nullptr if absent.
+  Table* FindTable(const std::string& name) const;
+
+  /// Looks up a table; NotFound if absent.
+  Result<Table*> GetTable(const std::string& name) const;
+
+  /// Table names in sorted order.
+  std::vector<std::string> ListTables() const;
+
+  size_t num_tables() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, std::unique_ptr<Table>> tables_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_STORAGE_CATALOG_H_

@@ -1,0 +1,49 @@
+#include "strip/storage/index.h"
+
+namespace strip {
+
+void HashIndex::Insert(const Value& key, RowIter row) {
+  map_.emplace(key, row);
+}
+
+void HashIndex::Erase(const Value& key, RowIter row) {
+  auto [lo, hi] = map_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) {
+    if (it->second == row) {
+      map_.erase(it);
+      return;
+    }
+  }
+}
+
+void HashIndex::Lookup(const Value& key, std::vector<RowIter>& out) const {
+  auto [lo, hi] = map_.equal_range(key);
+  for (auto it = lo; it != hi; ++it) out.push_back(it->second);
+}
+
+void RbTreeIndex::Insert(const Value& key, RowIter row) {
+  map_.Insert(key, row);
+}
+
+void RbTreeIndex::Erase(const Value& key, RowIter row) {
+  map_.Erase(key, row);
+}
+
+void RbTreeIndex::Lookup(const Value& key, std::vector<RowIter>& out) const {
+  map_.LookupEqual(key, out);
+}
+
+void RbTreeIndex::LookupRange(const Value& lo, const Value& hi,
+                              std::vector<RowIter>& out) const {
+  map_.LookupRange(lo, hi, out);
+}
+
+std::unique_ptr<Index> CreateIndex(IndexKind kind, std::string name,
+                                   int column) {
+  if (kind == IndexKind::kHash) {
+    return std::make_unique<HashIndex>(std::move(name), column);
+  }
+  return std::make_unique<RbTreeIndex>(std::move(name), column);
+}
+
+}  // namespace strip

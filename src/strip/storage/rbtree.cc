@@ -1,0 +1,320 @@
+#include "strip/storage/rbtree.h"
+
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+RbTreeMap::RbTreeMap() {
+  nil_ = new Node{Value::Null(), RowIter{}, nullptr, nullptr, nullptr,
+                  /*red=*/false};
+  nil_->left = nil_->right = nil_->parent = nil_;
+  root_ = nil_;
+}
+
+RbTreeMap::~RbTreeMap() {
+  FreeSubtree(root_);
+  delete nil_;
+}
+
+void RbTreeMap::FreeSubtree(Node* n) {
+  if (n == nil_) return;
+  FreeSubtree(n->left);
+  FreeSubtree(n->right);
+  delete n;
+}
+
+RbTreeMap::Node* RbTreeMap::NewNode(const Value& key, RowIter row) {
+  return new Node{key, row, nil_, nil_, nil_, /*red=*/true};
+}
+
+void RbTreeMap::RotateLeft(Node* x) {
+  Node* y = x->right;
+  x->right = y->left;
+  if (y->left != nil_) y->left->parent = x;
+  y->parent = x->parent;
+  if (x->parent == nil_) {
+    root_ = y;
+  } else if (x == x->parent->left) {
+    x->parent->left = y;
+  } else {
+    x->parent->right = y;
+  }
+  y->left = x;
+  x->parent = y;
+}
+
+void RbTreeMap::RotateRight(Node* x) {
+  Node* y = x->left;
+  x->left = y->right;
+  if (y->right != nil_) y->right->parent = x;
+  y->parent = x->parent;
+  if (x->parent == nil_) {
+    root_ = y;
+  } else if (x == x->parent->right) {
+    x->parent->right = y;
+  } else {
+    x->parent->left = y;
+  }
+  y->right = x;
+  x->parent = y;
+}
+
+void RbTreeMap::Insert(const Value& key, RowIter row) {
+  Node* z = NewNode(key, row);
+  Node* y = nil_;
+  Node* x = root_;
+  while (x != nil_) {
+    y = x;
+    // Equal keys go right so equal runs stay in insertion order.
+    x = Value::Compare(key, x->key) < 0 ? x->left : x->right;
+  }
+  z->parent = y;
+  if (y == nil_) {
+    root_ = z;
+  } else if (Value::Compare(key, y->key) < 0) {
+    y->left = z;
+  } else {
+    y->right = z;
+  }
+  ++size_;
+  InsertFixup(z);
+}
+
+void RbTreeMap::InsertFixup(Node* z) {
+  while (z->parent->red) {
+    Node* gp = z->parent->parent;
+    if (z->parent == gp->left) {
+      Node* uncle = gp->right;
+      if (uncle->red) {
+        z->parent->red = false;
+        uncle->red = false;
+        gp->red = true;
+        z = gp;
+      } else {
+        if (z == z->parent->right) {
+          z = z->parent;
+          RotateLeft(z);
+        }
+        z->parent->red = false;
+        z->parent->parent->red = true;
+        RotateRight(z->parent->parent);
+      }
+    } else {
+      Node* uncle = gp->left;
+      if (uncle->red) {
+        z->parent->red = false;
+        uncle->red = false;
+        gp->red = true;
+        z = gp;
+      } else {
+        if (z == z->parent->left) {
+          z = z->parent;
+          RotateRight(z);
+        }
+        z->parent->red = false;
+        z->parent->parent->red = true;
+        RotateLeft(z->parent->parent);
+      }
+    }
+  }
+  root_->red = false;
+}
+
+void RbTreeMap::Transplant(Node* u, Node* v) {
+  if (u->parent == nil_) {
+    root_ = v;
+  } else if (u == u->parent->left) {
+    u->parent->left = v;
+  } else {
+    u->parent->right = v;
+  }
+  v->parent = u->parent;
+}
+
+RbTreeMap::Node* RbTreeMap::Minimum(Node* n) const {
+  while (n->left != nil_) n = n->left;
+  return n;
+}
+
+RbTreeMap::Node* RbTreeMap::Next(Node* n) const {
+  if (n->right != nil_) return Minimum(n->right);
+  Node* p = n->parent;
+  while (p != nil_ && n == p->right) {
+    n = p;
+    p = p->parent;
+  }
+  return p;
+}
+
+RbTreeMap::Node* RbTreeMap::LowerBound(const Value& key) const {
+  Node* n = root_;
+  Node* best = nil_;
+  while (n != nil_) {
+    if (Value::Compare(n->key, key) >= 0) {
+      best = n;
+      n = n->left;
+    } else {
+      n = n->right;
+    }
+  }
+  return best;
+}
+
+bool RbTreeMap::Erase(const Value& key, RowIter row) {
+  for (Node* n = LowerBound(key);
+       n != nil_ && Value::Compare(n->key, key) == 0; n = Next(n)) {
+    if (n->row == row) {
+      EraseNode(n);
+      --size_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void RbTreeMap::EraseNode(Node* z) {
+  Node* y = z;
+  bool y_was_red = y->red;
+  Node* x;
+  if (z->left == nil_) {
+    x = z->right;
+    Transplant(z, z->right);
+  } else if (z->right == nil_) {
+    x = z->left;
+    Transplant(z, z->left);
+  } else {
+    y = Minimum(z->right);
+    y_was_red = y->red;
+    x = y->right;
+    if (y->parent == z) {
+      x->parent = y;  // x may be nil_; its parent matters to the fixup
+    } else {
+      Transplant(y, y->right);
+      y->right = z->right;
+      y->right->parent = y;
+    }
+    Transplant(z, y);
+    y->left = z->left;
+    y->left->parent = y;
+    y->red = z->red;
+  }
+  delete z;
+  if (!y_was_red) EraseFixup(x);
+  nil_->parent = nil_;  // restore the sentinel
+}
+
+void RbTreeMap::EraseFixup(Node* x) {
+  while (x != root_ && !x->red) {
+    if (x == x->parent->left) {
+      Node* w = x->parent->right;
+      if (w->red) {
+        w->red = false;
+        x->parent->red = true;
+        RotateLeft(x->parent);
+        w = x->parent->right;
+      }
+      if (!w->left->red && !w->right->red) {
+        w->red = true;
+        x = x->parent;
+      } else {
+        if (!w->right->red) {
+          w->left->red = false;
+          w->red = true;
+          RotateRight(w);
+          w = x->parent->right;
+        }
+        w->red = x->parent->red;
+        x->parent->red = false;
+        w->right->red = false;
+        RotateLeft(x->parent);
+        x = root_;
+      }
+    } else {
+      Node* w = x->parent->left;
+      if (w->red) {
+        w->red = false;
+        x->parent->red = true;
+        RotateRight(x->parent);
+        w = x->parent->left;
+      }
+      if (!w->left->red && !w->right->red) {
+        w->red = true;
+        x = x->parent;
+      } else {
+        if (!w->left->red) {
+          w->right->red = false;
+          w->red = true;
+          RotateLeft(w);
+          w = x->parent->left;
+        }
+        w->red = x->parent->red;
+        x->parent->red = false;
+        w->left->red = false;
+        RotateRight(x->parent);
+        x = root_;
+      }
+    }
+  }
+  x->red = false;
+}
+
+void RbTreeMap::LookupEqual(const Value& key,
+                            std::vector<RowIter>& out) const {
+  for (Node* n = LowerBound(key);
+       n != nil_ && Value::Compare(n->key, key) == 0; n = Next(n)) {
+    out.push_back(n->row);
+  }
+}
+
+void RbTreeMap::LookupRange(const Value& lo, const Value& hi,
+                            std::vector<RowIter>& out) const {
+  for (Node* n = LowerBound(lo);
+       n != nil_ && Value::Compare(n->key, hi) <= 0; n = Next(n)) {
+    out.push_back(n->row);
+  }
+}
+
+void RbTreeMap::ForEach(
+    const std::function<void(const Value&, RowIter)>& fn) const {
+  if (root_ == nil_) return;
+  for (Node* n = Minimum(root_); n != nil_; n = Next(n)) {
+    fn(n->key, n->row);
+  }
+}
+
+Status RbTreeMap::CheckInvariants() const {
+  if (root_->red) return Status::Internal("red root");
+  if (nil_->red) return Status::Internal("red sentinel");
+
+  // Recursive check: returns black height or -1 on violation.
+  std::function<int(const Node*)> check = [&](const Node* n) -> int {
+    if (n == nil_) return 1;
+    if (n->red && (n->left->red || n->right->red)) return -1;  // red-red
+    if (n->left != nil_ && Value::Compare(n->left->key, n->key) > 0) {
+      return -2;  // order violation
+    }
+    if (n->right != nil_ && Value::Compare(n->key, n->right->key) > 0) {
+      return -2;
+    }
+    int lh = check(n->left);
+    int rh = check(n->right);
+    if (lh < 0) return lh;
+    if (rh < 0) return rh;
+    if (lh != rh) return -3;  // black-height mismatch
+    return lh + (n->red ? 0 : 1);
+  };
+  int h = check(root_);
+  if (h == -1) return Status::Internal("red node with red child");
+  if (h == -2) return Status::Internal("BST order violated");
+  if (h == -3) return Status::Internal("black heights differ");
+
+  size_t counted = 0;
+  ForEach([&](const Value&, RowIter) { ++counted; });
+  if (counted != size_) {
+    return Status::Internal(StrFormat("size %zu but %zu nodes reachable",
+                                      size_, counted));
+  }
+  return Status::OK();
+}
+
+}  // namespace strip

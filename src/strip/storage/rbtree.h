@@ -1,0 +1,86 @@
+#ifndef STRIP_STORAGE_RBTREE_H_
+#define STRIP_STORAGE_RBTREE_H_
+
+#include <functional>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/storage/record.h"
+#include "strip/storage/value.h"
+
+namespace strip {
+
+/// A from-scratch red-black tree multimap from Value keys to table rows —
+/// the "red-black tree structure" STRIP offers for table indexes (§6.1).
+/// Classic CLRS formulation with a nil sentinel; duplicate keys are
+/// permitted (inserted to the right of equals, so equal runs are
+/// contiguous in key order).
+///
+/// Not thread-safe; serialized by the owning table's callers like the rest
+/// of the storage layer.
+class RbTreeMap {
+ public:
+  RbTreeMap();
+  ~RbTreeMap();
+
+  RbTreeMap(const RbTreeMap&) = delete;
+  RbTreeMap& operator=(const RbTreeMap&) = delete;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Inserts a (key, row) pair; duplicates allowed.
+  void Insert(const Value& key, RowIter row);
+
+  /// Removes one pair matching both key and row. Returns false if absent.
+  bool Erase(const Value& key, RowIter row);
+
+  /// Appends every row with key == `key`, in insertion order among equals.
+  void LookupEqual(const Value& key, std::vector<RowIter>& out) const;
+
+  /// Appends every row with lo <= key <= hi, in ascending key order.
+  void LookupRange(const Value& lo, const Value& hi,
+                   std::vector<RowIter>& out) const;
+
+  /// Visits every (key, row) in ascending key order.
+  void ForEach(const std::function<void(const Value&, RowIter)>& fn) const;
+
+  /// Verifies the red-black invariants: the root is black, no red node has
+  /// a red child, every root-to-leaf path has the same black height, and
+  /// in-order keys are non-decreasing. For tests.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node {
+    Value key;
+    RowIter row;
+    Node* left;
+    Node* right;
+    Node* parent;
+    bool red;
+  };
+
+  Node* NewNode(const Value& key, RowIter row);
+  void FreeSubtree(Node* n);
+
+  void RotateLeft(Node* x);
+  void RotateRight(Node* x);
+  void InsertFixup(Node* z);
+  void Transplant(Node* u, Node* v);
+  Node* Minimum(Node* n) const;
+  void EraseNode(Node* z);
+  void EraseFixup(Node* x);
+
+  /// Leftmost node with key >= `key`, or nil.
+  Node* LowerBound(const Value& key) const;
+  /// In-order successor.
+  Node* Next(Node* n) const;
+
+  Node* root_;
+  Node* nil_;  // sentinel: black, self-parented
+  size_t size_ = 0;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_STORAGE_RBTREE_H_

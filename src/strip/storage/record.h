@@ -1,0 +1,44 @@
+#ifndef STRIP_STORAGE_RECORD_H_
+#define STRIP_STORAGE_RECORD_H_
+
+#include <list>
+#include <memory>
+#include <vector>
+
+#include "strip/storage/value.h"
+
+namespace strip {
+
+/// An immutable stored tuple. Standard-table records are never changed in
+/// place (§6.1): an UPDATE creates a new Record and unlinks the old one from
+/// the relation. The old Record stays alive for as long as any transition or
+/// bound table references it; shared_ptr reference counting implements the
+/// paper's explicit refcounting scheme.
+struct Record {
+  std::vector<Value> values;
+};
+
+/// Shared handle to an immutable record.
+using RecordRef = std::shared_ptr<const Record>;
+
+/// Builds a record from values.
+inline RecordRef MakeRecord(std::vector<Value> values) {
+  return std::make_shared<const Record>(Record{std::move(values)});
+}
+
+/// A slot in a standard table: a stable logical row identity plus the
+/// current record version. The lock manager locks RowIds; UPDATE swaps
+/// `rec` for a new version while `id` is stable for the row's lifetime.
+struct Row {
+  uint64_t id = 0;
+  RecordRef rec;
+};
+
+/// Tables store rows as a linked list (§6.1); list iterators are stable
+/// across unrelated inserts/erases, which lets indexes point at rows.
+using RowList = std::list<Row>;
+using RowIter = RowList::iterator;
+
+}  // namespace strip
+
+#endif  // STRIP_STORAGE_RECORD_H_

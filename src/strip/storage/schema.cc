@@ -1,0 +1,47 @@
+#include "strip/storage/schema.h"
+
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+Schema::Schema(std::vector<Column> columns) {
+  for (auto& c : columns) {
+    AddColumn(std::move(c.name), c.type);
+  }
+}
+
+void Schema::AddColumn(std::string name, ValueType type) {
+  columns_.push_back(Column{ToLower(name), type});
+}
+
+int Schema::FindColumn(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (EqualsIgnoreCase(columns_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    out += " ";
+    out += ValueTypeName(columns_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace strip

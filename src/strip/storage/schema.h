@@ -1,0 +1,48 @@
+#ifndef STRIP_STORAGE_SCHEMA_H_
+#define STRIP_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "strip/storage/value.h"
+
+namespace strip {
+
+/// One column of a table schema.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kNull;
+};
+
+/// Ordered list of named, typed columns. Column names are case-insensitive
+/// (SQL identifier semantics) and stored lower-cased.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  /// Appends a column; name is lower-cased.
+  void AddColumn(std::string name, ValueType type);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Index of the column named `name` (case-insensitive), or -1.
+  int FindColumn(const std::string& name) const;
+
+  /// True iff both schemas have the same column names and types in order.
+  /// Used to enforce that rules sharing a user function define their bound
+  /// tables identically (§2).
+  bool Equals(const Schema& other) const;
+
+  /// "(a int, b double)" display form.
+  std::string ToString() const;
+
+ private:
+  std::vector<Column> columns_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_STORAGE_SCHEMA_H_

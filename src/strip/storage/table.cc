@@ -1,0 +1,142 @@
+#include "strip/storage/table.h"
+
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+Table::Table(std::string name, Schema schema)
+    : name_(ToLower(name)), schema_(std::move(schema)) {}
+
+Result<RecordRef> Table::ValidateRecord(RecordRef rec) const {
+  if (rec == nullptr) {
+    return Status::InvalidArgument("null record");
+  }
+  if (static_cast<int>(rec->values.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(StrFormat(
+        "record arity %zu does not match schema of table '%s' (%d columns)",
+        rec->values.size(), name_.c_str(), schema_.num_columns()));
+  }
+  bool needs_coercion = false;
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    const Value& v = rec->values[static_cast<size_t>(i)];
+    if (v.is_null()) continue;
+    ValueType want = schema_.column(i).type;
+    if (v.type() == want) continue;
+    if (want == ValueType::kDouble && v.type() == ValueType::kInt) {
+      needs_coercion = true;
+      continue;
+    }
+    return Status::InvalidArgument(StrFormat(
+        "type mismatch in table '%s' column '%s': expected %s, got %s",
+        name_.c_str(), schema_.column(i).name.c_str(), ValueTypeName(want),
+        ValueTypeName(v.type())));
+  }
+  if (!needs_coercion) return rec;
+  // Store ints destined for double columns as doubles so that stored data
+  // is uniformly typed (fixed-length fields in STRIP v2.0).
+  std::vector<Value> coerced = rec->values;
+  for (int i = 0; i < schema_.num_columns(); ++i) {
+    Value& v = coerced[static_cast<size_t>(i)];
+    if (!v.is_null() && schema_.column(i).type == ValueType::kDouble &&
+        v.type() == ValueType::kInt) {
+      v = Value::Double(v.as_double());
+    }
+  }
+  return MakeRecord(std::move(coerced));
+}
+
+Result<RowIter> Table::Insert(RecordRef rec) {
+  STRIP_ASSIGN_OR_RETURN(rec, ValidateRecord(std::move(rec)));
+  rows_.push_back(Row{next_row_id_++, std::move(rec)});
+  RowIter it = std::prev(rows_.end());
+  row_by_id_.emplace(it->id, it);
+  for (auto& idx : indexes_) {
+    idx->Insert(it->rec->values[static_cast<size_t>(idx->column())], it);
+  }
+  return it;
+}
+
+void Table::Erase(RowIter row) {
+  for (auto& idx : indexes_) {
+    idx->Erase(row->rec->values[static_cast<size_t>(idx->column())], row);
+  }
+  row_by_id_.erase(row->id);
+  rows_.erase(row);
+}
+
+RowIter Table::FindRow(uint64_t id) {
+  auto it = row_by_id_.find(id);
+  return it == row_by_id_.end() ? rows_.end() : it->second;
+}
+
+Result<RowIter> Table::ResurrectRow(uint64_t id, RecordRef rec) {
+  if (row_by_id_.count(id) > 0) {
+    return Status::FailedPrecondition(
+        StrFormat("row %llu of table '%s' is still live",
+                  static_cast<unsigned long long>(id), name_.c_str()));
+  }
+  STRIP_ASSIGN_OR_RETURN(rec, ValidateRecord(std::move(rec)));
+  rows_.push_back(Row{id, std::move(rec)});
+  RowIter it = std::prev(rows_.end());
+  row_by_id_.emplace(id, it);
+  for (auto& idx : indexes_) {
+    idx->Insert(it->rec->values[static_cast<size_t>(idx->column())], it);
+  }
+  return it;
+}
+
+Status Table::Update(RowIter row, RecordRef rec) {
+  STRIP_ASSIGN_OR_RETURN(rec, ValidateRecord(std::move(rec)));
+  for (auto& idx : indexes_) {
+    size_t col = static_cast<size_t>(idx->column());
+    const Value& old_key = row->rec->values[col];
+    const Value& new_key = rec->values[col];
+    if (old_key != new_key) {
+      idx->Erase(old_key, row);
+      idx->Insert(new_key, row);
+    }
+  }
+  row->rec = std::move(rec);
+  return Status::OK();
+}
+
+Status Table::CreateTableIndex(const std::string& column, IndexKind kind) {
+  int pos = schema_.FindColumn(column);
+  if (pos < 0) {
+    return Status::NotFound(StrFormat("no column '%s' in table '%s'",
+                                      column.c_str(), name_.c_str()));
+  }
+  if (FindIndexByPosition(pos) != nullptr) {
+    return Status::AlreadyExists(StrFormat(
+        "column '%s' of table '%s' is already indexed", column.c_str(),
+        name_.c_str()));
+  }
+  auto idx = CreateIndex(kind, name_ + "_" + ToLower(column) + "_idx", pos);
+  for (RowIter it = rows_.begin(); it != rows_.end(); ++it) {
+    idx->Insert(it->rec->values[static_cast<size_t>(pos)], it);
+  }
+  indexes_.push_back(std::move(idx));
+  return Status::OK();
+}
+
+Index* Table::FindIndex(const std::string& column) const {
+  int pos = schema_.FindColumn(column);
+  if (pos < 0) return nullptr;
+  return FindIndexByPosition(pos);
+}
+
+Index* Table::FindIndexByPosition(int column) const {
+  for (const auto& idx : indexes_) {
+    if (idx->column() == column) return idx.get();
+  }
+  return nullptr;
+}
+
+std::vector<RowIter> Table::IndexLookup(int column, const Value& key) const {
+  std::vector<RowIter> out;
+  Index* idx = FindIndexByPosition(column);
+  if (idx != nullptr) idx->Lookup(key, out);
+  return out;
+}
+
+}  // namespace strip

@@ -1,0 +1,85 @@
+#ifndef STRIP_STORAGE_TABLE_H_
+#define STRIP_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/storage/index.h"
+#include "strip/storage/record.h"
+#include "strip/storage/schema.h"
+
+namespace strip {
+
+/// A standard (user-created) table: a linked list of immutable records with
+/// optional hash / red-black-tree indexes (§6.1). Row order is unimportant.
+///
+/// Mutations never change a record in place; UPDATE installs a new record
+/// version in the row slot. Old record versions survive as long as any
+/// transition/bound table holds a RecordRef to them.
+///
+/// Thread-compatibility: Table is not internally synchronized; transactions
+/// serialize access through the lock manager, and executors guarantee that
+/// structural changes (insert/erase) hold the table's exclusive lock.
+class Table {
+ public:
+  Table(std::string name, Schema schema);
+
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  size_t size() const { return rows_.size(); }
+
+  /// Validates `rec` against the schema and appends it.
+  /// Returns the inserted row (stable iterator).
+  Result<RowIter> Insert(RecordRef rec);
+
+  /// Unlinks the row; the record stays alive while referenced elsewhere.
+  void Erase(RowIter row);
+
+  /// Replaces the row's record with a new version (copy-on-write update).
+  Status Update(RowIter row, RecordRef rec);
+
+  /// Row storage, for scans. Iteration order is insertion order but callers
+  /// must not rely on it (the paper's tables are unordered).
+  RowList& rows() { return rows_; }
+  const RowList& rows() const { return rows_; }
+
+  /// Creates an index on `column` (by name). One index per column.
+  Status CreateTableIndex(const std::string& column, IndexKind kind);
+
+  /// The index on `column`, or nullptr.
+  Index* FindIndex(const std::string& column) const;
+  Index* FindIndexByPosition(int column) const;
+
+  /// Equality lookup through the column's index; the column must be indexed.
+  std::vector<RowIter> IndexLookup(int column, const Value& key) const;
+
+  /// Checks the record against the schema (arity + types; kNull allowed in
+  /// any column; ints accepted into double columns and stored coerced).
+  Result<RecordRef> ValidateRecord(RecordRef rec) const;
+
+  /// Finds a live row by its stable id; rows().end() if absent. O(1).
+  RowIter FindRow(uint64_t id);
+
+  /// Re-inserts a previously erased row under its original id (transaction
+  /// undo of a DELETE). Fails if the id is still live.
+  Result<RowIter> ResurrectRow(uint64_t id, RecordRef rec);
+
+ private:
+  std::string name_;
+  Schema schema_;
+  RowList rows_;
+  uint64_t next_row_id_ = 1;
+  std::vector<std::unique_ptr<Index>> indexes_;
+  std::unordered_map<uint64_t, RowIter> row_by_id_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_STORAGE_TABLE_H_

@@ -1,0 +1,107 @@
+#include "strip/storage/value.h"
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+namespace strip {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull: return "null";
+    case ValueType::kInt: return "int";
+    case ValueType::kDouble: return "double";
+    case ValueType::kString: return "string";
+  }
+  return "?";
+}
+
+bool Value::IsTruthy() const {
+  switch (type()) {
+    case ValueType::kNull: return false;
+    case ValueType::kInt: return as_int() != 0;
+    case ValueType::kDouble: return as_double() != 0.0;
+    case ValueType::kString: return !as_string().empty();
+  }
+  return false;
+}
+
+int Value::Compare(const Value& a, const Value& b) {
+  ValueType ta = a.type(), tb = b.type();
+  if (ta == ValueType::kNull || tb == ValueType::kNull) {
+    if (ta == tb) return 0;
+    return ta == ValueType::kNull ? -1 : 1;
+  }
+  if (a.is_numeric() && b.is_numeric()) {
+    // Exact compare when both are ints; otherwise via double.
+    if (ta == ValueType::kInt && tb == ValueType::kInt) {
+      int64_t x = a.as_int(), y = b.as_int();
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    double x = a.as_double(), y = b.as_double();
+    return x < y ? -1 : (x > y ? 1 : 0);
+  }
+  if (ta == ValueType::kString && tb == ValueType::kString) {
+    int c = a.as_string().compare(b.as_string());
+    return c < 0 ? -1 : (c > 0 ? 1 : 0);
+  }
+  // Incomparable types: order by type tag for a stable total order.
+  return static_cast<int>(ta) < static_cast<int>(tb) ? -1 : 1;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ull;
+    case ValueType::kInt: {
+      // Hash ints through double when they are exactly representable so
+      // that Int(3) and Double(3.0) — which compare equal — hash equal.
+      double d = static_cast<double>(as_int());
+      if (static_cast<int64_t>(d) == as_int()) {
+        return std::hash<double>()(d);
+      }
+      return std::hash<int64_t>()(as_int());
+    }
+    case ValueType::kDouble:
+      return std::hash<double>()(as_double());
+    case ValueType::kString:
+      return std::hash<std::string>()(as_string());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt:
+      return std::to_string(as_int());
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", as_double());
+      return buf;
+    }
+    case ValueType::kString:
+      return as_string();
+  }
+  return "?";
+}
+
+size_t ValueVectorHash::operator()(const std::vector<Value>& vs) const {
+  size_t h = 0x517cc1b727220a95ull;
+  for (const Value& v : vs) {
+    h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool ValueVectorEq::operator()(const std::vector<Value>& a,
+                               const std::vector<Value>& b) const {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace strip

@@ -1,0 +1,110 @@
+#ifndef STRIP_STORAGE_VALUE_H_
+#define STRIP_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace strip {
+
+/// Column / value types supported by the engine. STRIP v2.0 stores
+/// fixed-length fields; we additionally allow strings (stock symbols etc.
+/// are short fixed-size strings in the paper's workload).
+enum class ValueType {
+  kNull = 0,
+  kInt,
+  kDouble,
+  kString,
+};
+
+const char* ValueTypeName(ValueType t);
+
+/// A dynamically typed SQL value. Small, copyable, hashable; used for stored
+/// attributes, expression evaluation results, and index / group-by keys.
+class Value {
+ public:
+  /// Null value.
+  Value() : v_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t i) { return Value(i); }
+  static Value Double(double d) { return Value(d); }
+  static Value Str(std::string s) { return Value(std::move(s)); }
+  static Value Bool(bool b) { return Value(static_cast<int64_t>(b ? 1 : 0)); }
+
+  ValueType type() const {
+    switch (v_.index()) {
+      case 0: return ValueType::kNull;
+      case 1: return ValueType::kInt;
+      case 2: return ValueType::kDouble;
+      default: return ValueType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_numeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  /// Integer payload; caller must ensure type() == kInt.
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+
+  /// Numeric payload as double; accepts kInt (coerced) and kDouble.
+  double as_double() const {
+    if (type() == ValueType::kInt) return static_cast<double>(as_int());
+    return std::get<double>(v_);
+  }
+
+  /// String payload; caller must ensure type() == kString.
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+
+  /// SQL truthiness: non-null and non-zero numeric.
+  bool IsTruthy() const;
+
+  /// Three-way ordering with numeric coercion between kInt and kDouble.
+  /// Null orders before everything; values of incomparable types order by
+  /// type tag (stable but arbitrary, used only for sorting mixed columns).
+  static int Compare(const Value& a, const Value& b);
+
+  /// Equality consistent with Compare(a, b) == 0.
+  friend bool operator==(const Value& a, const Value& b) {
+    return Compare(a, b) == 0;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    return Compare(a, b) < 0;
+  }
+
+  /// Hash consistent with operator== (ints that equal doubles hash alike).
+  size_t Hash() const;
+
+  /// Display form: "null", "42", "3.5", "abc".
+  std::string ToString() const;
+
+ private:
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+/// Hash functor for containers keyed by Value.
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// Hash / equality for composite keys (e.g. multi-column unique clauses,
+/// group-by keys).
+struct ValueVectorHash {
+  size_t operator()(const std::vector<Value>& vs) const;
+};
+struct ValueVectorEq {
+  bool operator()(const std::vector<Value>& a,
+                  const std::vector<Value>& b) const;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_STORAGE_VALUE_H_

@@ -1,0 +1,53 @@
+#ifndef STRIP_TXN_EXECUTOR_H_
+#define STRIP_TXN_EXECUTOR_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "strip/common/clock.h"
+#include "strip/txn/task.h"
+
+namespace strip {
+
+/// Aggregate execution counters.
+struct ExecutorStats {
+  uint64_t tasks_run = 0;
+  uint64_t tasks_failed = 0;     // task body returned non-OK
+  Timestamp busy_micros = 0;     // sum of task execution costs
+};
+
+/// Called after each task finishes (stats collection in benchmarks).
+using TaskObserver = std::function<void(const TaskControlBlock&)>;
+
+/// Abstract task execution service (§6.2 Figure 15): accepts tasks, parks
+/// future-released ones in a delay queue, orders eligible ones in a ready
+/// queue, runs them. Two implementations:
+///   - SimulatedExecutor: deterministic discrete-event simulation on a
+///     virtual clock (benchmarks; see DESIGN.md §4),
+///   - ThreadedExecutor: a real process/thread pool on the wall clock.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Enqueues a task. Tasks with release_time > Now() wait in the delay
+  /// queue; the rest become ready immediately.
+  virtual void Submit(TaskPtr task) = 0;
+
+  /// Current time on this executor's clock.
+  virtual Timestamp Now() const = 0;
+
+  virtual const ExecutorStats& stats() const = 0;
+
+  /// Installs a per-task completion hook (may be empty).
+  virtual void set_task_observer(TaskObserver observer) = 0;
+};
+
+/// Runs a task body, records timing into the TCB, and updates `stats`.
+/// Shared by both executors. `now` is the executor-clock start time.
+/// Returns the execution cost in micros (fixed cost if the task set one).
+Timestamp ExecuteTaskBody(TaskControlBlock& task, Timestamp now,
+                          ExecutorStats& stats);
+
+}  // namespace strip
+
+#endif  // STRIP_TXN_EXECUTOR_H_

@@ -1,0 +1,108 @@
+#include "strip/txn/lock_manager.h"
+
+#include <algorithm>
+
+#include "strip/common/string_util.h"
+#include "strip/txn/transaction.h"
+
+namespace strip {
+
+bool LockManager::Compatible(const LockState& ls, const Transaction* txn,
+                             LockMode mode) {
+  for (const Holder& h : ls.holders) {
+    if (h.txn == txn) continue;  // own locks never conflict
+    if (mode == LockMode::kExclusive || h.mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Status LockManager::Acquire(Transaction* txn, const LockKey& key,
+                            LockMode mode) {
+  std::unique_lock<std::mutex> lk(mu_);
+  LockState& ls = locks_[key];
+
+  // Re-entrancy / upgrade bookkeeping: find our existing holder entry.
+  auto self = std::find_if(ls.holders.begin(), ls.holders.end(),
+                           [&](const Holder& h) { return h.txn == txn; });
+  if (self != ls.holders.end()) {
+    if (self->mode == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Status::OK();  // already strong enough
+    }
+    // Upgrade request: wait until we are the only holder.
+  }
+
+  while (!Compatible(ls, txn, mode)) {
+    // Wait-die: wait only if older than every conflicting holder. Age is
+    // the (priority, id) pair; restarted transactions keep their original
+    // priority so they eventually win (see Transaction::priority()).
+    for (const Holder& h : ls.holders) {
+      if (h.txn == txn) continue;
+      bool conflicts =
+          mode == LockMode::kExclusive || h.mode == LockMode::kExclusive;
+      bool holder_older =
+          h.txn->priority() < txn->priority() ||
+          (h.txn->priority() == txn->priority() && h.txn->id() < txn->id());
+      if (conflicts && holder_older) {
+        return Status::Aborted(StrFormat(
+            "wait-die: txn %llu dies waiting for older txn %llu",
+            static_cast<unsigned long long>(txn->id()),
+            static_cast<unsigned long long>(h.txn->id())));
+      }
+    }
+    ++ls.waiters;
+    cv_.wait(lk);
+    --ls.waiters;
+    // LockState reference stays valid: entries are only erased when both
+    // holders and waiters are gone.
+  }
+
+  // Granted.
+  self = std::find_if(ls.holders.begin(), ls.holders.end(),
+                      [&](const Holder& h) { return h.txn == txn; });
+  if (self != ls.holders.end()) {
+    self->mode = LockMode::kExclusive;  // successful upgrade
+  } else {
+    ls.holders.push_back(Holder{txn, mode});
+    held_[txn].push_back(key);
+  }
+  return Status::OK();
+}
+
+void LockManager::ReleaseAll(Transaction* txn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (const LockKey& key : it->second) {
+    auto ls_it = locks_.find(key);
+    if (ls_it == locks_.end()) continue;
+    LockState& ls = ls_it->second;
+    ls.holders.erase(
+        std::remove_if(ls.holders.begin(), ls.holders.end(),
+                       [&](const Holder& h) { return h.txn == txn; }),
+        ls.holders.end());
+    if (ls.holders.empty() && ls.waiters == 0) {
+      locks_.erase(ls_it);
+    }
+  }
+  held_.erase(it);
+  cv_.notify_all();
+}
+
+size_t LockManager::NumLockedKeys() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  size_t n = 0;
+  for (const auto& [key, ls] : locks_) {
+    if (!ls.holders.empty()) ++n;
+  }
+  return n;
+}
+
+size_t LockManager::NumHeld(const Transaction* txn) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = held_.find(txn);
+  return it == held_.end() ? 0 : it->second.size();
+}
+
+}  // namespace strip

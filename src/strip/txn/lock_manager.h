@@ -1,0 +1,93 @@
+#ifndef STRIP_TXN_LOCK_MANAGER_H_
+#define STRIP_TXN_LOCK_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "strip/common/status.h"
+
+namespace strip {
+
+class Table;
+class Transaction;
+
+enum class LockMode {
+  kShared,
+  kExclusive,
+};
+
+/// What a lock covers: a whole table (row_id == 0) or one row.
+struct LockKey {
+  const Table* table = nullptr;
+  uint64_t row_id = 0;
+
+  static LockKey WholeTable(const Table* t) { return LockKey{t, 0}; }
+  static LockKey ForRow(const Table* t, uint64_t row) {
+    return LockKey{t, row};
+  }
+
+  friend bool operator==(const LockKey& a, const LockKey& b) = default;
+};
+
+struct LockKeyHash {
+  size_t operator()(const LockKey& k) const {
+    return std::hash<const void*>()(k.table) * 1315423911u ^
+           std::hash<uint64_t>()(k.row_id);
+  }
+};
+
+/// Strict two-phase locking with wait-die deadlock avoidance: a requester
+/// OLDER (smaller txn id) than every conflicting holder waits; a younger
+/// requester is killed immediately (Status::Aborted) and should be retried
+/// by its task with the same id or a fresh one.
+///
+/// Lock upgrades (S held, X requested by the sole holder) are granted in
+/// place. Locks are held until ReleaseAll at commit/abort (strict 2PL) —
+/// notably, locks are NOT held across the triggering transaction and its
+/// rule-action transaction (§6.1), which is why bound tables pin record
+/// versions instead.
+class LockManager {
+ public:
+  LockManager() = default;
+  LockManager(const LockManager&) = delete;
+  LockManager& operator=(const LockManager&) = delete;
+
+  /// Acquires (possibly blocking) the lock for `txn`. Re-entrant: already
+  /// holding an equal-or-stronger lock on the key is a no-op.
+  Status Acquire(Transaction* txn, const LockKey& key, LockMode mode);
+
+  /// Releases every lock `txn` holds and wakes waiters.
+  void ReleaseAll(Transaction* txn);
+
+  /// Number of keys with at least one holder (diagnostics / tests).
+  size_t NumLockedKeys() const;
+
+  /// Number of locks held by `txn`.
+  size_t NumHeld(const Transaction* txn) const;
+
+ private:
+  struct Holder {
+    Transaction* txn;
+    LockMode mode;
+  };
+  struct LockState {
+    std::vector<Holder> holders;
+    int waiters = 0;
+  };
+
+  /// True iff `txn` can be granted `mode` given current holders.
+  static bool Compatible(const LockState& ls, const Transaction* txn,
+                         LockMode mode);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<LockKey, LockState, LockKeyHash> locks_;
+  std::unordered_map<const Transaction*, std::vector<LockKey>> held_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_TXN_LOCK_MANAGER_H_

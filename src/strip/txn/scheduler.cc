@@ -1,0 +1,30 @@
+#include "strip/txn/scheduler.h"
+
+namespace strip {
+
+const char* SchedulingPolicyName(SchedulingPolicy p) {
+  switch (p) {
+    case SchedulingPolicy::kFifo: return "fifo";
+    case SchedulingPolicy::kEarliestDeadlineFirst: return "edf";
+    case SchedulingPolicy::kValueDensityFirst: return "value-density";
+  }
+  return "?";
+}
+
+bool ScheduledBefore(SchedulingPolicy policy, const TaskControlBlock& a,
+                     uint64_t a_seq, const TaskControlBlock& b,
+                     uint64_t b_seq) {
+  switch (policy) {
+    case SchedulingPolicy::kFifo:
+      return a_seq < b_seq;
+    case SchedulingPolicy::kEarliestDeadlineFirst:
+      if (a.deadline != b.deadline) return a.deadline < b.deadline;
+      return a_seq < b_seq;
+    case SchedulingPolicy::kValueDensityFirst:
+      if (a.value != b.value) return a.value > b.value;
+      return a_seq < b_seq;
+  }
+  return a_seq < b_seq;
+}
+
+}  // namespace strip

@@ -1,0 +1,33 @@
+#ifndef STRIP_TXN_SCHEDULER_H_
+#define STRIP_TXN_SCHEDULER_H_
+
+#include <string>
+
+#include "strip/txn/task.h"
+
+namespace strip {
+
+/// Ready-queue ordering policies. STRIP provides standard real-time
+/// scheduling algorithms such as earliest-deadline and value-density first
+/// (§6.2, [Ade96]).
+enum class SchedulingPolicy {
+  /// First-come first-served in release order.
+  kFifo,
+  /// Earliest deadline first; ties broken by arrival.
+  kEarliestDeadlineFirst,
+  /// Highest value density first. Without per-task cost estimates the
+  /// density denominator is 1, i.e. highest value first; ties by arrival.
+  kValueDensityFirst,
+};
+
+const char* SchedulingPolicyName(SchedulingPolicy p);
+
+/// True iff `a` should run before `b` under `policy`. `a_seq` / `b_seq` are
+/// arrival sequence numbers used for FIFO order and tie-breaking.
+bool ScheduledBefore(SchedulingPolicy policy, const TaskControlBlock& a,
+                     uint64_t a_seq, const TaskControlBlock& b,
+                     uint64_t b_seq);
+
+}  // namespace strip
+
+#endif  // STRIP_TXN_SCHEDULER_H_

@@ -1,0 +1,48 @@
+#include "strip/txn/task_queues.h"
+
+#include <algorithm>
+
+namespace strip {
+
+void DelayQueue::Push(TaskPtr task) { heap_.push(std::move(task)); }
+
+Timestamp DelayQueue::NextRelease() const {
+  return heap_.empty() ? kNoDeadline : heap_.top()->release_time;
+}
+
+std::vector<TaskPtr> DelayQueue::PopReleased(Timestamp now) {
+  std::vector<TaskPtr> out;
+  while (!heap_.empty() && heap_.top()->release_time <= now) {
+    out.push_back(heap_.top());
+    heap_.pop();
+  }
+  return out;
+}
+
+namespace {
+
+struct EntryBefore {
+  SchedulingPolicy policy;
+  template <typename E>
+  bool operator()(const E& a, const E& b) const {
+    // std::push_heap keeps the *largest* element first, so invert.
+    return ScheduledBefore(policy, *b.task, b.seq, *a.task, a.seq);
+  }
+};
+
+}  // namespace
+
+void ReadyQueue::Push(TaskPtr task) {
+  entries_.push_back(Entry{std::move(task), next_seq_++});
+  std::push_heap(entries_.begin(), entries_.end(), EntryBefore{policy_});
+}
+
+TaskPtr ReadyQueue::Pop() {
+  if (entries_.empty()) return nullptr;
+  std::pop_heap(entries_.begin(), entries_.end(), EntryBefore{policy_});
+  TaskPtr t = std::move(entries_.back().task);
+  entries_.pop_back();
+  return t;
+}
+
+}  // namespace strip

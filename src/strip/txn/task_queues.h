@@ -1,0 +1,70 @@
+#ifndef STRIP_TXN_TASK_QUEUES_H_
+#define STRIP_TXN_TASK_QUEUES_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "strip/common/clock.h"
+#include "strip/txn/scheduler.h"
+#include "strip/txn/task.h"
+
+namespace strip {
+
+/// Holds tasks whose release time is in the future (§6.2 Figure 15); tasks
+/// created by rules with `after` delays sit here until released. Not
+/// internally synchronized — the owning executor serializes access.
+class DelayQueue {
+ public:
+  void Push(TaskPtr task);
+
+  /// Earliest release time among queued tasks; kNoDeadline when empty.
+  Timestamp NextRelease() const;
+
+  /// Removes and returns every task with release_time <= now, in release
+  /// order.
+  std::vector<TaskPtr> PopReleased(Timestamp now);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+ private:
+  struct Later {
+    bool operator()(const TaskPtr& a, const TaskPtr& b) const {
+      return a->release_time > b->release_time;
+    }
+  };
+  std::priority_queue<TaskPtr, std::vector<TaskPtr>, Later> heap_;
+};
+
+/// Tasks eligible to run now, ordered by the scheduling policy. Not
+/// internally synchronized.
+class ReadyQueue {
+ public:
+  explicit ReadyQueue(SchedulingPolicy policy) : policy_(policy) {}
+
+  SchedulingPolicy policy() const { return policy_; }
+
+  void Push(TaskPtr task);
+
+  /// Removes and returns the highest-priority task; nullptr when empty.
+  TaskPtr Pop();
+
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    TaskPtr task;
+    uint64_t seq;
+  };
+
+  SchedulingPolicy policy_;
+  uint64_t next_seq_ = 0;
+  // Kept as a heap via ScheduledBefore.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_TXN_TASK_QUEUES_H_

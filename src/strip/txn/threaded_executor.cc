@@ -1,0 +1,105 @@
+#include "strip/txn/threaded_executor.h"
+
+#include <chrono>
+
+namespace strip {
+
+ThreadedExecutor::ThreadedExecutor(int num_workers, SchedulingPolicy policy)
+    : ready_(policy) {
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadedExecutor::~ThreadedExecutor() { Shutdown(); }
+
+void ThreadedExecutor::Submit(TaskPtr task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    task->enqueue_time = clock_.Now();
+    if (task->release_time > clock_.Now()) {
+      delay_.Push(std::move(task));
+    } else {
+      ready_.Push(std::move(task));
+    }
+  }
+  work_cv_.notify_all();
+}
+
+void ThreadedExecutor::set_task_observer(TaskObserver observer) {
+  std::lock_guard<std::mutex> lk(mu_);
+  observer_ = std::move(observer);
+}
+
+void ThreadedExecutor::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    // Release due tasks into the ready queue.
+    for (TaskPtr& t : delay_.PopReleased(clock_.Now())) {
+      ready_.Push(std::move(t));
+    }
+    if (!ready_.empty()) {
+      TaskPtr task = ready_.Pop();
+      if (!task->TryStart()) continue;
+      ++active_workers_;
+      TaskObserver observer = observer_;
+      lk.unlock();
+      ExecuteTaskBodyThreaded(task, observer);
+      lk.lock();
+      --active_workers_;
+      drain_cv_.notify_all();
+      continue;
+    }
+    if (shutdown_) return;
+    if (delay_.empty()) {
+      drain_cv_.notify_all();
+      work_cv_.wait(lk);
+    } else {
+      Timestamp next = delay_.NextRelease();
+      Timestamp now = clock_.Now();
+      if (next > now) {
+        work_cv_.wait_for(lk, std::chrono::microseconds(next - now));
+      }
+    }
+  }
+}
+
+void ThreadedExecutor::ExecuteTaskBodyThreaded(const TaskPtr& task,
+                                               const TaskObserver& observer) {
+  // Stats are written under the lock afterwards via a local copy to avoid
+  // holding mu_ while running user code.
+  ExecutorStats local;
+  Timestamp cost = ExecuteTaskBody(*task, clock_.Now(), local);
+  (void)cost;
+  task->finish_time = clock_.Now();
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats_.tasks_run += local.tasks_run;
+    stats_.tasks_failed += local.tasks_failed;
+    stats_.busy_micros += local.busy_micros;
+  }
+  if (observer) observer(*task);
+}
+
+void ThreadedExecutor::Drain() {
+  std::unique_lock<std::mutex> lk(mu_);
+  drain_cv_.wait(lk, [this] {
+    return delay_.empty() && ready_.empty() && active_workers_ == 0;
+  });
+}
+
+void ThreadedExecutor::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace strip

@@ -1,0 +1,60 @@
+#ifndef STRIP_TXN_THREADED_EXECUTOR_H_
+#define STRIP_TXN_THREADED_EXECUTOR_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "strip/common/clock.h"
+#include "strip/txn/executor.h"
+#include "strip/txn/task_queues.h"
+
+namespace strip {
+
+/// Real-time executor: a pool of worker threads servicing the ready queue,
+/// with a delay queue for future-released tasks (§6.2 Figure 15). This is
+/// the process-pool analogue of STRIP's task service; examples and the
+/// threaded integration tests run on it.
+class ThreadedExecutor final : public Executor {
+ public:
+  explicit ThreadedExecutor(int num_workers,
+                            SchedulingPolicy policy = SchedulingPolicy::kFifo);
+  ~ThreadedExecutor() override;
+
+  void Submit(TaskPtr task) override;
+  Timestamp Now() const override { return clock_.Now(); }
+  const ExecutorStats& stats() const override { return stats_; }
+  void set_task_observer(TaskObserver observer) override;
+
+  /// Blocks until every submitted task (including tasks they spawn) has
+  /// finished and the queues are empty.
+  void Drain();
+
+  /// Stops accepting work and joins workers. Idempotent; called by the
+  /// destructor.
+  void Shutdown();
+
+ private:
+  void WorkerLoop();
+
+  /// Runs the task outside mu_ and folds its cost into stats_.
+  void ExecuteTaskBodyThreaded(const TaskPtr& task,
+                               const TaskObserver& observer);
+
+  RealClock clock_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait here
+  std::condition_variable drain_cv_;  // Drain() waits here
+  DelayQueue delay_;
+  ReadyQueue ready_;
+  int active_workers_ = 0;
+  bool shutdown_ = false;
+  ExecutorStats stats_;
+  TaskObserver observer_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_TXN_THREADED_EXECUTOR_H_

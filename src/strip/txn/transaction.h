@@ -1,0 +1,78 @@
+#ifndef STRIP_TXN_TRANSACTION_H_
+#define STRIP_TXN_TRANSACTION_H_
+
+#include <cstdint>
+
+#include "strip/common/clock.h"
+#include "strip/txn/txn_log.h"
+
+namespace strip {
+
+enum class TxnState {
+  kActive,
+  kCommitted,
+  kAborted,
+};
+
+const char* TxnStateName(TxnState s);
+
+/// A transaction: a unit of atomicity and isolation. Every transaction is
+/// contained within exactly one task (§4.4); a task may run several
+/// transactions in sequence.
+///
+/// `priority` is the age used by wait-die deadlock avoidance (smaller =
+/// older = higher priority). It defaults to the id; a transaction
+/// RESTARTED after dying keeps its original priority, the classic wait-die
+/// ingredient that guarantees progress.
+class Transaction {
+ public:
+  explicit Transaction(uint64_t id, Timestamp start_time,
+                       uint64_t priority = 0)
+      : id_(id), priority_(priority == 0 ? id : priority),
+        start_time_(start_time) {}
+
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  uint64_t id() const { return id_; }
+  uint64_t priority() const { return priority_; }
+  TxnState state() const { return state_; }
+  Timestamp start_time() const { return start_time_; }
+
+  /// Valid only after commit; the time used to stamp `commit_time` columns
+  /// of bound tables (§2).
+  Timestamp commit_time() const { return commit_time_; }
+
+  TxnLog& log() { return log_; }
+  const TxnLog& log() const { return log_; }
+
+  bool active() const { return state_ == TxnState::kActive; }
+
+  /// State transitions are driven by the Database engine.
+  void MarkCommitted(Timestamp commit_time) {
+    state_ = TxnState::kCommitted;
+    commit_time_ = commit_time;
+  }
+  void MarkAborted() { state_ = TxnState::kAborted; }
+
+ private:
+  uint64_t id_;
+  uint64_t priority_;
+  TxnState state_ = TxnState::kActive;
+  Timestamp start_time_;
+  Timestamp commit_time_ = 0;
+  TxnLog log_;
+};
+
+inline const char* TxnStateName(TxnState s) {
+  switch (s) {
+    case TxnState::kActive: return "active";
+    case TxnState::kCommitted: return "committed";
+    case TxnState::kAborted: return "aborted";
+  }
+  return "?";
+}
+
+}  // namespace strip
+
+#endif  // STRIP_TXN_TRANSACTION_H_

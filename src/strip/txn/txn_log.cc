@@ -1,0 +1,37 @@
+#include "strip/txn/txn_log.h"
+
+#include "strip/storage/table.h"
+
+namespace strip {
+
+Status TxnLog::Undo() {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    const LogEntry& e = *it;
+    switch (e.op) {
+      case LogOp::kInsert: {
+        RowIter row = e.table->FindRow(e.row_id);
+        if (row != e.table->rows().end()) {
+          e.table->Erase(row);
+        }
+        break;
+      }
+      case LogOp::kDelete: {
+        auto res = e.table->ResurrectRow(e.row_id, e.old_rec);
+        if (!res.ok()) return res.status();
+        break;
+      }
+      case LogOp::kUpdate: {
+        RowIter row = e.table->FindRow(e.row_id);
+        if (row == e.table->rows().end()) {
+          return Status::Internal("undo: updated row vanished");
+        }
+        STRIP_RETURN_IF_ERROR(e.table->Update(row, e.old_rec));
+        break;
+      }
+    }
+  }
+  entries_.clear();
+  return Status::OK();
+}
+
+}  // namespace strip

@@ -1,0 +1,60 @@
+#ifndef STRIP_TXN_TXN_LOG_H_
+#define STRIP_TXN_TXN_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/storage/record.h"
+
+namespace strip {
+
+class Table;
+
+/// Kind of logged data operation.
+enum class LogOp {
+  kInsert,
+  kDelete,
+  kUpdate,
+};
+
+/// One logged change. The log serves two purposes: transaction rollback,
+/// and end-of-transaction rule event detection / transition-table
+/// construction (§6.3). STRIP does not reduce the log to net effect — an
+/// insert followed by a delete of the same tuple yields two entries (§2).
+struct LogEntry {
+  LogOp op;
+  Table* table;
+  uint64_t row_id;
+  RecordRef old_rec;   // delete / update: the superseded version
+  RecordRef new_rec;   // insert / update: the installed version
+  int execute_order;   // 1-based sequence of the change within its txn (§2)
+};
+
+/// Ordered list of a transaction's changes.
+class TxnLog {
+ public:
+  void Append(LogOp op, Table* table, uint64_t row_id, RecordRef old_rec,
+              RecordRef new_rec) {
+    entries_.push_back(LogEntry{op, table, row_id, std::move(old_rec),
+                                std::move(new_rec),
+                                static_cast<int>(entries_.size()) + 1});
+  }
+
+  const std::vector<LogEntry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+  size_t size() const { return entries_.size(); }
+  void Clear() { entries_.clear(); }
+
+  /// Reverses every logged change against its table, newest first.
+  /// The tables must not have been touched by other transactions in between
+  /// (guaranteed by two-phase locking).
+  Status Undo();
+
+ private:
+  std::vector<LogEntry> entries_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_TXN_TXN_LOG_H_

@@ -1,0 +1,485 @@
+#include "strip/viewmaint/rule_gen.h"
+
+#include <memory>
+#include <unordered_map>
+
+#include "strip/common/string_util.h"
+#include "strip/engine/database.h"
+#include "strip/viewmaint/view_def.h"
+
+namespace strip {
+
+namespace {
+
+/// Rewrites every column reference that resolves to the fact table so it
+/// reads from the transition table `target` ("new" / "old") instead.
+/// A bare name is considered a fact reference iff the fact schema has it
+/// and no dimension schema does.
+Status RewriteFactRefs(Expr* expr, const std::string& fact,
+                       const Schema& fact_schema,
+                       const std::vector<const Schema*>& dim_schemas,
+                       const std::string& target) {
+  if (expr->kind == ExprKind::kColumnRef) {
+    bool is_fact = false;
+    if (expr->qualifier == fact) {
+      is_fact = true;
+    } else if (expr->qualifier.empty() &&
+               fact_schema.FindColumn(expr->column) >= 0) {
+      for (const Schema* d : dim_schemas) {
+        if (d->FindColumn(expr->column) >= 0) {
+          return Status::InvalidArgument(StrFormat(
+              "ambiguous column '%s' (in both fact and dimension tables)",
+              expr->column.c_str()));
+        }
+      }
+      is_fact = true;
+    }
+    if (is_fact) expr->qualifier = target;
+    return Status::OK();
+  }
+  for (auto& a : expr->args) {
+    STRIP_RETURN_IF_ERROR(
+        RewriteFactRefs(a.get(), fact, fact_schema, dim_schemas, target));
+  }
+  return Status::OK();
+}
+
+/// Deep-clones `e` and rewrites fact references to `target`.
+Result<ExprPtr> CloneRewritten(const Expr& e, const std::string& fact,
+                               const Schema& fact_schema,
+                               const std::vector<const Schema*>& dim_schemas,
+                               const std::string& target) {
+  ExprPtr out = e.Clone();
+  STRIP_RETURN_IF_ERROR(
+      RewriteFactRefs(out.get(), fact, fact_schema, dim_schemas, target));
+  return out;
+}
+
+/// Collects the fact-table columns referenced by `e` (for the `updated
+/// [columns]` transition predicate).
+void CollectFactColumns(const Expr& e, const std::string& fact,
+                        const Schema& fact_schema,
+                        std::vector<std::string>& out) {
+  if (e.kind == ExprKind::kColumnRef) {
+    bool is_fact = e.qualifier == fact ||
+                   (e.qualifier.empty() &&
+                    fact_schema.FindColumn(e.column) >= 0);
+    if (is_fact) {
+      for (const auto& c : out) {
+        if (c == e.column) return;
+      }
+      out.push_back(e.column);
+    }
+    return;
+  }
+  for (const auto& a : e.args) CollectFactColumns(*a, fact, fact_schema, out);
+}
+
+struct ViewShape {
+  bool is_aggregation = false;
+  // Aggregation shape: SELECT g AS gname, SUM(e) AS vname ... GROUP BY g.
+  const Expr* group_expr = nullptr;
+  std::string group_output;   // view column holding the group key
+  const Expr* sum_arg = nullptr;
+  std::string sum_output;     // view column holding the sum
+  // Projection shape: SELECT k AS kname, e1 AS c1, ... (first item = key).
+  const Expr* key_expr = nullptr;
+  std::string key_output;
+  std::vector<const Expr*> value_exprs;
+  std::vector<std::string> value_outputs;
+};
+
+Result<ViewShape> AnalyzeView(const ViewDef& view) {
+  const SelectStmt& q = view.query;
+  if (q.star) {
+    return Status::Unimplemented(
+        "rule generation does not support SELECT * views");
+  }
+  ViewShape shape;
+  if (!q.group_by.empty()) {
+    if (q.group_by.size() != 1 || q.items.size() != 2) {
+      return Status::Unimplemented(
+          "rule generation supports exactly `SELECT g, SUM(e) ... GROUP BY "
+          "g` aggregation views");
+    }
+    shape.is_aggregation = true;
+    for (size_t i = 0; i < q.items.size(); ++i) {
+      const Expr& e = *q.items[i].expr;
+      std::string name = q.items[i].OutputName(static_cast<int>(i));
+      if (e.kind == ExprKind::kAggregate && e.func_name == "sum" &&
+          e.args.size() == 1) {
+        shape.sum_arg = e.args[0].get();
+        shape.sum_output = name;
+      } else if (!e.ContainsAggregate()) {
+        shape.group_expr = &e;
+        shape.group_output = name;
+      }
+    }
+    if (shape.sum_arg == nullptr || shape.group_expr == nullptr) {
+      return Status::Unimplemented(
+          "aggregation views must select the group key and one SUM()");
+    }
+    return shape;
+  }
+  // Projection shape.
+  for (const auto& item : q.items) {
+    if (item.expr->ContainsAggregate()) {
+      return Status::Unimplemented(
+          "aggregates without GROUP BY are not supported for rule "
+          "generation");
+    }
+  }
+  if (q.items.size() < 2) {
+    return Status::Unimplemented(
+        "projection views need a key column plus at least one value column");
+  }
+  shape.key_expr = q.items[0].expr.get();
+  shape.key_output = q.items[0].OutputName(0);
+  for (size_t i = 1; i < q.items.size(); ++i) {
+    shape.value_exprs.push_back(q.items[i].expr.get());
+    shape.value_outputs.push_back(q.items[i].OutputName(static_cast<int>(i)));
+  }
+  return shape;
+}
+
+/// The action function for an aggregation view: group the deltas by key in
+/// application code (as compute_comps2 does, §4.3) and apply one
+/// `UPDATE view SET col += ? WHERE key = ?` per touched group. When
+/// `upsert` is non-null, a delta for a group missing from the view inserts
+/// the row instead (new groups created by fact INSERTs).
+UserFunction MakeAggregateMaintainer(std::shared_ptr<const Statement> update,
+                                     std::shared_ptr<const Statement> upsert,
+                                     std::string bound_name) {
+  return [update, upsert, bound_name](FunctionContext& ctx) -> Status {
+    const TempTable* deltas = ctx.BoundTable(bound_name);
+    if (deltas == nullptr) {
+      return Status::NotFound(
+          StrFormat("bound table '%s' missing", bound_name.c_str()));
+    }
+    int key_col = deltas->schema().FindColumn("_group");
+    int new_col = deltas->schema().FindColumn("_new_val");
+    int old_col = deltas->schema().FindColumn("_old_val");
+    if (key_col < 0 || new_col < 0 || old_col < 0) {
+      return Status::Internal("generated bound table misses columns");
+    }
+    std::unordered_map<std::string, double> diff;
+    std::unordered_map<std::string, Value> keys;
+    for (size_t i = 0; i < deltas->size(); ++i) {
+      const Value& k = deltas->Get(i, key_col);
+      diff[k.ToString()] += deltas->Get(i, new_col).as_double() -
+                            deltas->Get(i, old_col).as_double();
+      keys.emplace(k.ToString(), k);
+    }
+    for (const auto& [ks, change] : diff) {
+      STRIP_ASSIGN_OR_RETURN(
+          int n,
+          ctx.Exec(*update, {Value::Double(change), keys.at(ks)}));
+      if (n == 0 && upsert != nullptr) {
+        STRIP_ASSIGN_OR_RETURN(
+            n, ctx.Exec(*upsert, {Value::Double(change), keys.at(ks)}));
+      }
+      if (n != 1) {
+        return Status::Internal(StrFormat(
+            "maintenance update for key '%s' touched %d rows", ks.c_str(),
+            n));
+      }
+    }
+    return Status::OK();
+  };
+}
+
+/// The action function for a projection view: recompute each affected key
+/// once from its LAST bound row (rows arrive in commit order).
+UserFunction MakeProjectionMaintainer(std::shared_ptr<const Statement> update,
+                                      std::string bound_name,
+                                      int num_values) {
+  return [update, bound_name, num_values](FunctionContext& ctx) -> Status {
+    const TempTable* recalc = ctx.BoundTable(bound_name);
+    if (recalc == nullptr) {
+      return Status::NotFound(
+          StrFormat("bound table '%s' missing", bound_name.c_str()));
+    }
+    int key_col = recalc->schema().FindColumn("_key");
+    if (key_col < 0 || recalc->schema().num_columns() != num_values + 1) {
+      return Status::Internal("generated bound table misses columns");
+    }
+    std::unordered_map<std::string, size_t> last_row;
+    for (size_t i = 0; i < recalc->size(); ++i) {
+      last_row[recalc->Get(i, key_col).ToString()] = i;
+    }
+    for (const auto& [ks, i] : last_row) {
+      (void)ks;
+      std::vector<Value> params;
+      for (int v = 0; v < num_values; ++v) {
+        // Value columns follow the key in the generated select list.
+        params.push_back(recalc->Get(i, key_col + 1 + v));
+      }
+      params.push_back(recalc->Get(i, key_col));
+      STRIP_ASSIGN_OR_RETURN(int n, ctx.Exec(*update, params));
+      if (n != 1) {
+        return Status::Internal("maintenance update touched != 1 row");
+      }
+    }
+    return Status::OK();
+  };
+}
+
+}  // namespace
+
+Result<GeneratedRule> GenerateMaintenanceRule(Database& db,
+                                              const std::string& view_name,
+                                              const std::string& fact_table,
+                                              const RuleGenOptions& options) {
+  const ViewDef* view = db.views().Find(view_name);
+  if (view == nullptr) {
+    return Status::NotFound(StrFormat("no view '%s'", view_name.c_str()));
+  }
+  if (!view->materialized) {
+    return Status::FailedPrecondition(StrFormat(
+        "view '%s' is not materialized", view_name.c_str()));
+  }
+  std::string fact = ToLower(fact_table);
+  STRIP_ASSIGN_OR_RETURN(Table * fact_tbl, db.catalog().GetTable(fact));
+  const Schema& fact_schema = fact_tbl->schema();
+
+  // Split the view's FROM into the fact table and the dimensions.
+  bool fact_in_from = false;
+  std::vector<TableRef> dims;
+  std::vector<const Schema*> dim_schemas;
+  for (const TableRef& ref : view->query.from) {
+    if (ToLower(ref.table) == fact && ref.alias.empty()) {
+      fact_in_from = true;
+      continue;
+    }
+    STRIP_ASSIGN_OR_RETURN(Table * dim, db.catalog().GetTable(ref.table));
+    dims.push_back(ref);
+    dim_schemas.push_back(&dim->schema());
+  }
+  if (!fact_in_from) {
+    return Status::InvalidArgument(StrFormat(
+        "table '%s' does not appear (unaliased) in view '%s'", fact.c_str(),
+        view_name.c_str()));
+  }
+
+  STRIP_ASSIGN_OR_RETURN(ViewShape shape, AnalyzeView(*view));
+
+  std::string bound_name = view_name + "_changes";
+  std::string function_name = "maintain_" + view_name;
+  std::string rule_name = "do_maintain_" + view_name;
+
+  // --- build the condition query ------------------------------------------
+  SelectStmt cond;
+  cond.from = dims;
+  cond.from.push_back(TableRef{"new", ""});
+  ExprPtr where;
+  if (view->query.where != nullptr) {
+    STRIP_ASSIGN_OR_RETURN(where, CloneRewritten(*view->query.where, fact,
+                                                 fact_schema, dim_schemas,
+                                                 "new"));
+  }
+
+  std::vector<std::string> updated_columns;
+  std::vector<std::string> extra_rule_names;
+  CreateRuleStmt rule;
+
+  if (shape.is_aggregation) {
+    cond.from.push_back(TableRef{"old", ""});
+    // Pair old/new images of the same change (§3, Figure 3).
+    ExprPtr pair = MakeBinary(BinaryOp::kEq,
+                              MakeColumnRef("new", "execute_order"),
+                              MakeColumnRef("old", "execute_order"));
+    where = where == nullptr
+                ? std::move(pair)
+                : MakeBinary(BinaryOp::kAnd, std::move(where),
+                             std::move(pair));
+    STRIP_ASSIGN_OR_RETURN(
+        ExprPtr group_new,
+        CloneRewritten(*shape.group_expr, fact, fact_schema, dim_schemas,
+                       "new"));
+    STRIP_ASSIGN_OR_RETURN(
+        ExprPtr sum_new, CloneRewritten(*shape.sum_arg, fact, fact_schema,
+                                        dim_schemas, "new"));
+    STRIP_ASSIGN_OR_RETURN(
+        ExprPtr sum_old, CloneRewritten(*shape.sum_arg, fact, fact_schema,
+                                        dim_schemas, "old"));
+    cond.items.push_back(SelectItem{std::move(group_new), "_group"});
+    cond.items.push_back(SelectItem{std::move(sum_new), "_new_val"});
+    cond.items.push_back(SelectItem{std::move(sum_old), "_old_val"});
+    CollectFactColumns(*shape.sum_arg, fact, fact_schema, updated_columns);
+
+    // UPDATE view SET <sum_col> += ?1 WHERE <group_col> = ?2
+    UpdateStmt upd;
+    upd.table = view_name;
+    upd.sets.push_back(UpdateStmt::SetClause{
+        shape.sum_output,
+        MakeBinary(BinaryOp::kAdd, MakeColumnRef("", shape.sum_output),
+                   MakeParameter(0))});
+    upd.where = MakeBinary(BinaryOp::kEq,
+                           MakeColumnRef("", shape.group_output),
+                           MakeParameter(1));
+    auto update = std::make_shared<Statement>(std::move(upd));
+    // Upsert for groups not yet in the view (fact INSERTs):
+    //   INSERT INTO view (<group_col>, <sum_col>) VALUES (?2, ?1)
+    std::shared_ptr<Statement> upsert;
+    if (options.handle_insert_delete) {
+      InsertStmt ins;
+      ins.table = view_name;
+      ins.columns = {shape.group_output, shape.sum_output};
+      std::vector<ExprPtr> row;
+      row.push_back(MakeParameter(1));  // key
+      row.push_back(MakeParameter(0));  // delta
+      ins.rows.push_back(std::move(row));
+      upsert = std::make_shared<Statement>(std::move(ins));
+    }
+    STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+        function_name,
+        MakeAggregateMaintainer(update, upsert, bound_name)));
+
+    if (options.unique && options.unique_columns.empty()) {
+      // §8 rule of thumb: batch on the view's own key.
+      rule.unique_columns = {"_group"};
+    }
+
+    // Companion rules for fact INSERTs (+e) and DELETEs (-e). Each needs
+    // its own function: rules sharing a function must define their bound
+    // tables identically (§2), and these condition queries differ.
+    if (options.handle_insert_delete) {
+      struct Companion {
+        const char* suffix;
+        const char* source;  // transition table providing the fact rows
+        RuleEventKind event;
+        bool positive;       // +e (insert) or -e (delete)
+      };
+      const Companion kCompanions[] = {
+          {"_ins", "inserted", RuleEventKind::kInserted, true},
+          {"_del", "deleted", RuleEventKind::kDeleted, false},
+      };
+      for (const Companion& c : kCompanions) {
+        SelectStmt q;
+        q.from = dims;
+        q.from.push_back(TableRef{c.source, ""});
+        if (view->query.where != nullptr) {
+          STRIP_ASSIGN_OR_RETURN(
+              q.where, CloneRewritten(*view->query.where, fact, fact_schema,
+                                      dim_schemas, c.source));
+        }
+        STRIP_ASSIGN_OR_RETURN(
+            ExprPtr g, CloneRewritten(*shape.group_expr, fact, fact_schema,
+                                      dim_schemas, c.source));
+        STRIP_ASSIGN_OR_RETURN(
+            ExprPtr e, CloneRewritten(*shape.sum_arg, fact, fact_schema,
+                                      dim_schemas, c.source));
+        q.items.push_back(SelectItem{std::move(g), "_group"});
+        if (c.positive) {
+          q.items.push_back(SelectItem{std::move(e), "_new_val"});
+          q.items.push_back(
+              SelectItem{MakeLiteral(Value::Double(0)), "_old_val"});
+        } else {
+          q.items.push_back(
+              SelectItem{MakeLiteral(Value::Double(0)), "_new_val"});
+          q.items.push_back(SelectItem{std::move(e), "_old_val"});
+        }
+        std::string companion_fn = function_name + c.suffix;
+        std::string companion_bound = bound_name + c.suffix;
+        STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+            companion_fn,
+            MakeAggregateMaintainer(update, upsert, companion_bound)));
+        CreateRuleStmt companion;
+        companion.rule_name = rule_name + c.suffix;
+        companion.table = fact;
+        companion.events.push_back(RuleEvent{c.event, {}});
+        RuleQuery crq;
+        crq.query = std::move(q);
+        crq.bind_as = companion_bound;
+        companion.condition.push_back(std::move(crq));
+        companion.function_name = companion_fn;
+        companion.unique = options.unique;
+        companion.unique_columns =
+            options.unique_columns.empty() && options.unique
+                ? std::vector<std::string>{"_group"}
+                : options.unique_columns;
+        companion.delay_seconds = options.delay_seconds;
+        STRIP_RETURN_IF_ERROR(db.rules().CreateRule(std::move(companion)));
+        extra_rule_names.push_back(rule_name + c.suffix);
+      }
+    }
+  } else {
+    STRIP_ASSIGN_OR_RETURN(
+        ExprPtr key_new, CloneRewritten(*shape.key_expr, fact, fact_schema,
+                                        dim_schemas, "new"));
+    cond.items.push_back(SelectItem{std::move(key_new), "_key"});
+    for (size_t i = 0; i < shape.value_exprs.size(); ++i) {
+      STRIP_ASSIGN_OR_RETURN(
+          ExprPtr val_new,
+          CloneRewritten(*shape.value_exprs[i], fact, fact_schema,
+                         dim_schemas, "new"));
+      cond.items.push_back(
+          SelectItem{std::move(val_new), StrFormat("_v%zu", i)});
+      CollectFactColumns(*shape.value_exprs[i], fact, fact_schema,
+                         updated_columns);
+    }
+
+    // UPDATE view SET c1 = ?1, ..., cn = ?n WHERE key = ?n+1
+    UpdateStmt upd;
+    upd.table = view_name;
+    for (size_t i = 0; i < shape.value_outputs.size(); ++i) {
+      upd.sets.push_back(UpdateStmt::SetClause{
+          shape.value_outputs[i], MakeParameter(static_cast<int>(i))});
+    }
+    upd.where = MakeBinary(
+        BinaryOp::kEq, MakeColumnRef("", shape.key_output),
+        MakeParameter(static_cast<int>(shape.value_outputs.size())));
+    auto update = std::make_shared<Statement>(std::move(upd));
+    STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+        function_name,
+        MakeProjectionMaintainer(update, bound_name,
+                                 static_cast<int>(shape.value_exprs.size()))));
+
+    if (options.unique && options.unique_columns.empty()) {
+      // Batching per view row would flood the system when the fact ->
+      // view fan-out is high (§5.2); batch per fact key instead is left
+      // to the caller — the generator defaults to coarse batching here.
+      rule.unique_columns = {};
+    }
+  }
+  cond.where = std::move(where);
+
+  // --- assemble and install the rule ---------------------------------------
+  rule.rule_name = rule_name;
+  rule.table = fact;
+  RuleEvent ev;
+  ev.kind = RuleEventKind::kUpdated;
+  ev.columns = updated_columns;
+  rule.events.push_back(std::move(ev));
+  RuleQuery rq;
+  rq.query = std::move(cond);
+  rq.bind_as = bound_name;
+  rule.condition.push_back(std::move(rq));
+  rule.function_name = function_name;
+  rule.unique = options.unique;
+  if (!options.unique_columns.empty()) {
+    rule.unique_columns = options.unique_columns;
+  }
+  rule.delay_seconds = options.delay_seconds;
+
+  GeneratedRule out;
+  out.rule_name = rule_name;
+  out.function_name = function_name;
+  out.extra_rule_names = std::move(extra_rule_names);
+  out.rule_sql = StrFormat(
+      "create rule %s on %s when updated %s if %s bind as %s then execute "
+      "%s%s%s after %g seconds",
+      rule_name.c_str(), fact.c_str(),
+      Join(rule.events[0].columns, ", ").c_str(),
+      rule.condition[0].query.ToString().c_str(), bound_name.c_str(),
+      function_name.c_str(), rule.unique ? " unique" : "",
+      rule.unique_columns.empty()
+          ? ""
+          : (" on " + Join(rule.unique_columns, ", ")).c_str(),
+      options.delay_seconds);
+
+  STRIP_RETURN_IF_ERROR(db.rules().CreateRule(std::move(rule)));
+  return out;
+}
+
+}  // namespace strip

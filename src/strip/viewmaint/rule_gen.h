@@ -1,0 +1,67 @@
+#ifndef STRIP_VIEWMAINT_RULE_GEN_H_
+#define STRIP_VIEWMAINT_RULE_GEN_H_
+
+#include <string>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/sql/ast.h"
+
+namespace strip {
+
+class Database;
+
+/// Options for generated maintenance rules. The paper's §8 conjectures
+/// that the [CW91] approach of deriving maintenance rules from view
+/// definitions extends to deriving the unit of batching and the delay
+/// window as well; this module implements that conjecture for two view
+/// shapes (exactly the two the evaluation uses):
+///
+///  - aggregation views:  SELECT g, SUM(e) FROM fact [, dims...]
+///                        WHERE equi-joins GROUP BY g
+///    maintained incrementally (delta = e(new) - e(old)), like do_comps3;
+///
+///  - projection views:   SELECT k, exprs... FROM fact [, dims...]
+///                        WHERE equi-joins
+///    maintained by recomputing affected rows (e.g. Black-Scholes option
+///    prices), like do_options.
+struct RuleGenOptions {
+  /// Batch with a unique transaction. When true and `unique_columns` is
+  /// empty, the generator picks the unit of batching itself: the view's
+  /// group / key column — "just large enough to take advantage of the
+  /// redundancy in the recomputation but no larger" (§8).
+  bool unique = true;
+  std::vector<std::string> unique_columns;
+  double delay_seconds = 1.0;
+  /// Aggregation views only: also generate rules maintaining the view
+  /// under INSERTs and DELETEs of fact rows (delta = +e for inserts,
+  /// -e for deletes; a delta for a group not yet in the view inserts the
+  /// row). Limitation, documented from [CW91]: without a per-group
+  /// count column, a group whose members are all deleted keeps a zero-sum
+  /// row rather than disappearing.
+  bool handle_insert_delete = true;
+};
+
+/// What the generator produced (for inspection / documentation).
+struct GeneratedRule {
+  std::string rule_name;       // the primary (update-event) rule
+  std::string function_name;
+  std::string rule_sql;        // display form of the primary rule
+  /// Companion rules for insert/delete events (aggregation views with
+  /// handle_insert_delete).
+  std::vector<std::string> extra_rule_names;
+};
+
+/// Generates and installs the maintenance rule + action function for the
+/// materialized view `view_name` with respect to updates of `fact_table`
+/// (the table whose changes drive maintenance; other FROM tables are
+/// treated as slowly changing dimensions, as the paper does for
+/// comps_list / options_list, §3).
+Result<GeneratedRule> GenerateMaintenanceRule(Database& db,
+                                              const std::string& view_name,
+                                              const std::string& fact_table,
+                                              const RuleGenOptions& options);
+
+}  // namespace strip
+
+#endif  // STRIP_VIEWMAINT_RULE_GEN_H_

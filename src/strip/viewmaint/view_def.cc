@@ -1,0 +1,130 @@
+#include "strip/viewmaint/view_def.h"
+
+#include "strip/common/string_util.h"
+#include "strip/engine/database.h"
+#include "strip/storage/record.h"
+
+namespace strip {
+
+namespace {
+
+/// Inserts every row of `data` into `table` within `txn`, logging changes.
+Status InsertRows(Database& db, Transaction* txn, Table* table,
+                  const TempTable& data) {
+  for (size_t i = 0; i < data.size(); ++i) {
+    STRIP_ASSIGN_OR_RETURN(RowIter it,
+                           table->Insert(MakeRecord(data.MaterializeRow(i))));
+    txn->log().Append(LogOp::kInsert, table, it->id, nullptr, it->rec);
+  }
+  (void)db;
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ViewManager::CreateView(CreateViewStmt stmt) {
+  stmt.name = ToLower(stmt.name);
+  if (views_.count(stmt.name) > 0) {
+    return Status::AlreadyExists(
+        StrFormat("view '%s' already exists", stmt.name.c_str()));
+  }
+  if (db_->catalog().FindTable(stmt.name) != nullptr) {
+    return Status::AlreadyExists(StrFormat(
+        "view name '%s' collides with a table", stmt.name.c_str()));
+  }
+
+  auto def = std::make_unique<ViewDef>();
+  def->name = stmt.name;
+  def->materialized = stmt.materialized;
+  def->query = std::move(stmt.query);
+
+  if (def->materialized) {
+    // Evaluate once to get schema + initial contents; create the backing
+    // table; populate it inside a transaction (strict 2PL, rules fire).
+    STRIP_ASSIGN_OR_RETURN(Transaction * txn, db_->Begin());
+    auto result = db_->Query(txn, def->query);
+    if (!result.ok()) {
+      Status ignored = db_->Abort(txn);
+      (void)ignored;
+      return result.status();
+    }
+    auto table = db_->catalog().CreateTable(def->name,
+                                            result->schema());
+    if (!table.ok()) {
+      Status ignored = db_->Abort(txn);
+      (void)ignored;
+      return table.status();
+    }
+    Status st = InsertRows(*db_, txn, *table, *result);
+    if (!st.ok()) {
+      Status ignored = db_->Abort(txn);
+      (void)ignored;
+      return st;
+    }
+    STRIP_RETURN_IF_ERROR(db_->Commit(txn));
+  }
+  views_.emplace(def->name, std::move(def));
+  return Status::OK();
+}
+
+Status ViewManager::DropView(const std::string& name) {
+  std::string key = ToLower(name);
+  auto it = views_.find(key);
+  if (it == views_.end()) {
+    return Status::NotFound(StrFormat("no view '%s'", key.c_str()));
+  }
+  if (it->second->materialized) {
+    STRIP_RETURN_IF_ERROR(db_->catalog().DropTable(key));
+  }
+  views_.erase(it);
+  return Status::OK();
+}
+
+Status ViewManager::RefreshView(const std::string& name) {
+  std::string key = ToLower(name);
+  auto it = views_.find(key);
+  if (it == views_.end()) {
+    return Status::NotFound(StrFormat("no view '%s'", key.c_str()));
+  }
+  const ViewDef& def = *it->second;
+  if (!def.materialized) {
+    return Status::FailedPrecondition(StrFormat(
+        "view '%s' is not materialized", key.c_str()));
+  }
+  STRIP_ASSIGN_OR_RETURN(Table * table, db_->catalog().GetTable(key));
+  STRIP_ASSIGN_OR_RETURN(Transaction * txn, db_->Begin());
+  auto run = [&]() -> Status {
+    // Recompute BEFORE clearing so the query sees consistent base data and
+    // cannot read the half-cleared view through a self-reference.
+    STRIP_ASSIGN_OR_RETURN(TempTable data, db_->Query(txn, def.query));
+    STRIP_RETURN_IF_ERROR(db_->locks().Acquire(
+        txn, LockKey::WholeTable(table), LockMode::kExclusive));
+    while (!table->rows().empty()) {
+      RowIter row = table->rows().begin();
+      txn->log().Append(LogOp::kDelete, table, row->id, row->rec, nullptr);
+      table->Erase(row);
+    }
+    return InsertRows(*db_, txn, table, data);
+  };
+  Status st = run();
+  if (!st.ok()) {
+    Status ignored = db_->Abort(txn);
+    (void)ignored;
+    return st;
+  }
+  return db_->Commit(txn);
+}
+
+const ViewDef* ViewManager::Find(const std::string& name) const {
+  auto it = views_.find(ToLower(name));
+  return it == views_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> ViewManager::ListViews() const {
+  std::vector<std::string> out;
+  out.reserve(views_.size());
+  for (const auto& [name, _] : views_) out.push_back(name);
+  return out;
+}
+
+}  // namespace strip

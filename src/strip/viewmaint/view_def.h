@@ -1,0 +1,56 @@
+#ifndef STRIP_VIEWMAINT_VIEW_DEF_H_
+#define STRIP_VIEWMAINT_VIEW_DEF_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/sql/ast.h"
+
+namespace strip {
+
+class Database;
+
+/// A registered view definition.
+struct ViewDef {
+  std::string name;
+  bool materialized = false;
+  SelectStmt query;
+};
+
+/// Manages view definitions. Materialized views get a backing standard
+/// table populated from the defining query; the paper's applications then
+/// maintain them incrementally via rules (§3), and the rule generator
+/// (rule_gen.h, the paper's §8 future work) can derive those rules
+/// automatically for supported view shapes.
+class ViewManager {
+ public:
+  explicit ViewManager(Database* db) : db_(db) {}
+
+  ViewManager(const ViewManager&) = delete;
+  ViewManager& operator=(const ViewManager&) = delete;
+
+  /// Registers the view; for a materialized view, creates the backing
+  /// table and populates it from the defining query (in a transaction).
+  Status CreateView(CreateViewStmt stmt);
+
+  Status DropView(const std::string& name);
+
+  /// Recomputes a materialized view from scratch: deletes every row of the
+  /// backing table and re-inserts the query result, in one transaction.
+  /// This is the non-incremental baseline maintenance strategy.
+  Status RefreshView(const std::string& name);
+
+  const ViewDef* Find(const std::string& name) const;
+  std::vector<std::string> ListViews() const;
+
+ private:
+  Database* db_;
+  std::map<std::string, std::unique_ptr<ViewDef>> views_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_VIEWMAINT_VIEW_DEF_H_

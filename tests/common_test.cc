@@ -1,0 +1,212 @@
+// Unit tests for the common substrate: Status/Result, clocks, RNG,
+// spinlock, string utilities.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "strip/common/clock.h"
+#include "strip/common/rng.h"
+#include "strip/common/spin_lock.h"
+#include "strip/common/status.h"
+#include "strip/common/string_util.h"
+
+namespace strip {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no table 'x'");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "no table 'x'");
+  EXPECT_EQ(s.ToString(), "NotFound: no table 'x'");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAborted), "Aborted");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAlreadyExists), "AlreadyExists");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = r.take();
+  EXPECT_EQ(v, "hello");
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagates) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::NotFound("x");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    STRIP_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(outer(false).value(), 8);
+  EXPECT_EQ(outer(true).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ClockTest, VirtualClockNeverGoesBackwards) {
+  VirtualClock c(100);
+  EXPECT_EQ(c.Now(), 100);
+  c.AdvanceTo(50);
+  EXPECT_EQ(c.Now(), 100);
+  c.AdvanceTo(200);
+  EXPECT_EQ(c.Now(), 200);
+  c.Advance(5);
+  EXPECT_EQ(c.Now(), 205);
+}
+
+TEST(ClockTest, RealClockIsMonotonic) {
+  RealClock c;
+  Timestamp a = c.Now();
+  Timestamp b = c.Now();
+  EXPECT_GE(b, a);
+  EXPECT_GE(a, 0);
+}
+
+TEST(ClockTest, SecondsConversionRoundTrips) {
+  EXPECT_EQ(SecondsToMicros(1.5), 1'500'000);
+  EXPECT_DOUBLE_EQ(MicrosToSeconds(2'500'000), 2.5);
+  EXPECT_EQ(SecondsToMicros(0.0), 0);
+}
+
+TEST(ClockTest, StopWatchMeasuresElapsed) {
+  StopWatch w;
+  volatile double x = 0;
+  for (int i = 0; i < 100000; ++i) x = x + i;
+  EXPECT_GT(w.ElapsedNanos(), 0);
+  EXPECT_GE(w.ElapsedMicros(), 0);
+  w.Restart();
+  EXPECT_LT(w.ElapsedMicros(), 1000000);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.UniformInt(0, 1000), b.UniformInt(0, 1000));
+  }
+}
+
+TEST(RngTest, UniformIntStaysInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RngTest, ExponentialHasRoughlyRightMean) {
+  Rng rng(3);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(RngTest, GeometricRespectsMinimum) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(rng.Geometric(1, 0.5), 1);
+  }
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfDistribution z(100, 1.0);
+  double total = 0;
+  for (int64_t i = 0; i < z.n(); ++i) total += z.Pmf(i);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroIsHottest) {
+  ZipfDistribution z(1000, 0.8);
+  EXPECT_GT(z.Pmf(0), z.Pmf(1));
+  EXPECT_GT(z.Pmf(1), z.Pmf(999));
+}
+
+TEST(ZipfTest, ZeroExponentIsUniform) {
+  ZipfDistribution z(10, 0.0);
+  for (int64_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(z.Pmf(i), 0.1, 1e-9);
+  }
+}
+
+TEST(ZipfTest, SamplesFollowSkew) {
+  ZipfDistribution z(50, 1.0);
+  Rng rng(11);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[static_cast<size_t>(z.Sample(rng))];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[49]);
+}
+
+TEST(SpinLockTest, MutualExclusionUnderContention) {
+  SpinLock lock;
+  int counter = 0;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        SpinLockGuard g(lock);
+        ++counter;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, 40000);
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC_1"), "abc_1");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("SELECT", "select"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+  EXPECT_FALSE(EqualsIgnoreCase("ab", "ac"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"x"}, ","), "x");
+}
+
+TEST(StringUtilTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+}  // namespace
+}  // namespace strip

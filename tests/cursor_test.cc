@@ -1,0 +1,115 @@
+// Cursor API tests: the low-level scan / index / update / delete interface
+// whose per-operation costs Table 1 reports.
+
+#include <gtest/gtest.h>
+
+#include "strip/engine/cursor.h"
+#include "strip/engine/database.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+class CursorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.ExecuteScript(R"(
+      create table t (k string, v int);
+      create index on t (k);
+      insert into t values ('a', 1), ('b', 2), ('a', 3), ('c', 4);
+    )"));
+    table_ = db_.catalog().FindTable("t");
+    ASSERT_NE(table_, nullptr);
+  }
+
+  Database db_;
+  Table* table_ = nullptr;
+};
+
+TEST_F(CursorTest, FullScanVisitsEveryRow) {
+  Cursor c(table_, nullptr);
+  int n = 0;
+  while (c.Fetch()) ++n;
+  EXPECT_EQ(n, 4);
+  EXPECT_FALSE(c.Fetch());  // stays at end
+}
+
+TEST_F(CursorTest, IndexedScanVisitsMatches) {
+  ASSERT_OK_AND_ASSIGN(Cursor c,
+                       Cursor::OpenIndexed(table_, nullptr, "k",
+                                           Value::Str("a")));
+  int n = 0;
+  while (c.Fetch()) {
+    EXPECT_EQ(c.Current().values[0], Value::Str("a"));
+    ++n;
+  }
+  EXPECT_EQ(n, 2);
+}
+
+TEST_F(CursorTest, OpenIndexedValidates) {
+  EXPECT_EQ(Cursor::OpenIndexed(table_, nullptr, "nope", Value::Str("a"))
+                .status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(Cursor::OpenIndexed(table_, nullptr, "v", Value::Int(1))
+                .status().code(),
+            StatusCode::kFailedPrecondition);  // v is not indexed
+}
+
+TEST_F(CursorTest, UpdateCurrentLogsAndApplies) {
+  ASSERT_OK_AND_ASSIGN(Transaction * txn, db_.Begin());
+  {
+    ASSERT_OK_AND_ASSIGN(Cursor c, Cursor::OpenIndexed(table_, txn, "k",
+                                                       Value::Str("b")));
+    ASSERT_TRUE(c.Fetch());
+    ASSERT_OK(c.UpdateCurrent({Value::Str("b"), Value::Int(99)}));
+    c.Close();
+  }
+  EXPECT_EQ(txn->log().size(), 1u);
+  EXPECT_EQ(txn->log().entries()[0].op, LogOp::kUpdate);
+  ASSERT_OK(db_.Commit(txn));
+  auto rs = db_.Execute("select v from t where k = 'b'");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs->rows[0][0], Value::Int(99));
+}
+
+TEST_F(CursorTest, UpdateWithoutFetchFails) {
+  Cursor c(table_, nullptr);
+  EXPECT_EQ(c.UpdateCurrent({Value::Str("x"), Value::Int(0)}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CursorTest, DeleteDuringFullScanContinuesCorrectly) {
+  ASSERT_OK_AND_ASSIGN(Transaction * txn, db_.Begin());
+  Cursor c(table_, txn);
+  int visited = 0, deleted = 0;
+  while (c.Fetch()) {
+    ++visited;
+    if (c.Current().values[0] == Value::Str("a")) {
+      ASSERT_OK(c.DeleteCurrent());
+      ++deleted;
+    }
+  }
+  EXPECT_EQ(visited, 4);
+  EXPECT_EQ(deleted, 2);
+  EXPECT_EQ(table_->size(), 2u);
+  ASSERT_OK(db_.Commit(txn));
+}
+
+TEST_F(CursorTest, DeleteLogIsUndoable) {
+  ASSERT_OK_AND_ASSIGN(Transaction * txn, db_.Begin());
+  {
+    ASSERT_OK_AND_ASSIGN(Cursor c, Cursor::OpenIndexed(table_, txn, "k",
+                                                       Value::Str("c")));
+    ASSERT_TRUE(c.Fetch());
+    ASSERT_OK(c.DeleteCurrent());
+  }
+  EXPECT_EQ(table_->size(), 3u);
+  ASSERT_OK(db_.Abort(txn));  // rollback restores the row
+  EXPECT_EQ(table_->size(), 4u);
+  auto rs = db_.Execute("select v from t where k = 'c'");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs->rows[0][0], Value::Int(4));
+}
+
+}  // namespace
+}  // namespace strip

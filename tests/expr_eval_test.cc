@@ -1,0 +1,161 @@
+// Unit tests for expression evaluation: arithmetic, null propagation,
+// comparisons, logic, scalar functions, parameters.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "strip/sql/expr_eval.h"
+#include "strip/sql/parser.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+/// RowContext over a fixed name -> value map.
+class MapRowContext final : public RowContext {
+ public:
+  explicit MapRowContext(std::map<std::string, Value> values)
+      : values_(std::move(values)) {}
+
+  Result<Value> GetColumn(const std::string& qualifier,
+                          const std::string& column) const override {
+    std::string key = qualifier.empty() ? column : qualifier + "." + column;
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return Status::NotFound("no column " + key);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, Value> values_;
+};
+
+class ExprEvalTest : public ::testing::Test {
+ protected:
+  ExprEvalTest()
+      : funcs_(ScalarFuncRegistry::WithBuiltins()),
+        row_({{"x", Value::Int(4)},
+              {"y", Value::Double(2.5)},
+              {"s", Value::Str("hi")},
+              {"n", Value::Null()},
+              {"t.z", Value::Int(9)}}) {}
+
+  Value Eval(const std::string& text,
+             const std::vector<Value>* params = nullptr) {
+    auto e = Parser::ParseExpression(text);
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    auto v = EvalExpr(**e, &row_, &funcs_, params);
+    EXPECT_TRUE(v.ok()) << text << " -> " << v.status().ToString();
+    return v.ok() ? *v : Value::Null();
+  }
+
+  Status EvalError(const std::string& text) {
+    auto e = Parser::ParseExpression(text);
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    return EvalExpr(**e, &row_, &funcs_).status();
+  }
+
+  ScalarFuncRegistry funcs_;
+  MapRowContext row_;
+};
+
+TEST_F(ExprEvalTest, Arithmetic) {
+  EXPECT_EQ(Eval("1 + 2 * 3"), Value::Int(7));
+  EXPECT_EQ(Eval("x - 1"), Value::Int(3));
+  EXPECT_DOUBLE_EQ(Eval("x * y").as_double(), 10.0);
+  EXPECT_DOUBLE_EQ(Eval("x / 2").as_double(), 2.0);  // div is always double
+  EXPECT_EQ(Eval("x / 2").type(), ValueType::kDouble);
+  EXPECT_EQ(Eval("-x"), Value::Int(-4));
+  EXPECT_DOUBLE_EQ(Eval("-(y)").as_double(), -2.5);
+}
+
+TEST_F(ExprEvalTest, StringConcatenationViaPlus) {
+  EXPECT_EQ(Eval("s + s"), Value::Str("hihi"));
+}
+
+TEST_F(ExprEvalTest, DivisionByZeroIsError) {
+  EXPECT_EQ(EvalError("1 / 0").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(EvalError("1 / 0.0").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExprEvalTest, NullPropagation) {
+  EXPECT_TRUE(Eval("n + 1").is_null());
+  EXPECT_TRUE(Eval("n = 1").is_null());
+  EXPECT_TRUE(Eval("-n").is_null());
+  // Null is falsey under two-valued logic.
+  EXPECT_EQ(Eval("n and 1"), Value::Int(0));
+  EXPECT_EQ(Eval("n or 1"), Value::Int(1));
+  EXPECT_EQ(Eval("not n"), Value::Int(1));
+}
+
+TEST_F(ExprEvalTest, Comparisons) {
+  EXPECT_EQ(Eval("x = 4"), Value::Int(1));
+  EXPECT_EQ(Eval("x != 4"), Value::Int(0));
+  EXPECT_EQ(Eval("x < y"), Value::Int(0));
+  EXPECT_EQ(Eval("y <= 2.5"), Value::Int(1));
+  EXPECT_EQ(Eval("s = 'hi'"), Value::Int(1));
+  EXPECT_EQ(Eval("s < 'hz'"), Value::Int(1));
+  // Numeric-string comparison is an error, not silently false.
+  EXPECT_EQ(EvalError("x = s").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExprEvalTest, ShortCircuit) {
+  // The right side would divide by zero; AND must not evaluate it.
+  EXPECT_EQ(Eval("0 and (1 / 0)"), Value::Int(0));
+  EXPECT_EQ(Eval("1 or (1 / 0)"), Value::Int(1));
+}
+
+TEST_F(ExprEvalTest, QualifiedColumns) {
+  EXPECT_EQ(Eval("t.z + 1"), Value::Int(10));
+  EXPECT_EQ(EvalError("t.nope").code(), StatusCode::kNotFound);
+}
+
+TEST_F(ExprEvalTest, BuiltinFunctions) {
+  EXPECT_DOUBLE_EQ(Eval("sqrt(16)").as_double(), 4.0);
+  EXPECT_DOUBLE_EQ(Eval("exp(0)").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("ln(exp(1))").as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("pow(2, 10)").as_double(), 1024.0);
+  EXPECT_DOUBLE_EQ(Eval("floor(2.7)").as_double(), 2.0);
+  EXPECT_DOUBLE_EQ(Eval("ceil(2.2)").as_double(), 3.0);
+  EXPECT_EQ(Eval("abs(-3)"), Value::Int(3));
+  EXPECT_DOUBLE_EQ(Eval("abs(-3.5)").as_double(), 3.5);
+  EXPECT_DOUBLE_EQ(Eval("normcdf(0)").as_double(), 0.5);
+  EXPECT_NEAR(Eval("normcdf(100)").as_double(), 1.0, 1e-12);
+  EXPECT_EQ(Eval("least(3, 1, 2)"), Value::Int(1));
+  EXPECT_EQ(Eval("greatest(3, 1, 2)"), Value::Int(3));
+  EXPECT_TRUE(Eval("sqrt(n)").is_null());
+}
+
+TEST_F(ExprEvalTest, FunctionErrors) {
+  EXPECT_EQ(EvalError("nosuchfn(1)").code(), StatusCode::kNotFound);
+  EXPECT_EQ(EvalError("sqrt(1, 2)").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(EvalError("sqrt('x')").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ExprEvalTest, Parameters) {
+  std::vector<Value> params = {Value::Int(10), Value::Str("a")};
+  EXPECT_EQ(Eval("? + 1", &params), Value::Int(11));
+  EXPECT_EQ(EvalError("?").code(), StatusCode::kInvalidArgument);  // unbound
+}
+
+TEST_F(ExprEvalTest, AggregateOutsideSelectIsError) {
+  EXPECT_EQ(EvalError("sum(x)").code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ScalarFuncRegistryTest, RegisterAndDuplicate) {
+  ScalarFuncRegistry r;
+  ASSERT_OK(r.Register("f", [](const std::vector<Value>&) -> Result<Value> {
+    return Value::Int(1);
+  }));
+  EXPECT_NE(r.Find("F"), nullptr);
+  EXPECT_EQ(r.Find("g"), nullptr);
+  EXPECT_EQ(r.Register("F", [](const std::vector<Value>&) -> Result<Value> {
+              return Value::Int(2);
+            }).code(),
+            StatusCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace strip

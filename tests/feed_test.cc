@@ -1,0 +1,193 @@
+// Import/export system tests (Figure 15, [AKGM96b]): keyed upsert import
+// streams and rule-driven batched export streams.
+
+#include <gtest/gtest.h>
+
+#include "strip/feed/feed.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+Database::Options LogicalTime() {
+  Database::Options o;
+  o.mode = ExecutorMode::kSimulated;
+  o.advance_clock_by_cost = false;
+  return o;
+}
+
+class FeedTest : public ::testing::Test {
+ protected:
+  FeedTest() : db_(LogicalTime()) {}
+
+  void SetUp() override {
+    ASSERT_OK(db_.ExecuteScript(R"(
+      create table quotes (symbol string, price double);
+      create index on quotes (symbol);
+    )"));
+  }
+
+  Database db_;
+};
+
+TEST_F(FeedTest, UpsertInsertsThenUpdates) {
+  ASSERT_OK_AND_ASSIGN(auto importer, FeedImporter::Create(&db_, "quotes"));
+  ASSERT_OK(importer->Submit(
+      FeedRecord{100, {Value::Str("ibm"), Value::Double(50.0)}}));
+  ASSERT_OK(importer->Submit(
+      FeedRecord{200, {Value::Str("ibm"), Value::Double(51.0)}}));
+  ASSERT_OK(importer->Submit(
+      FeedRecord{300, {Value::Str("hp"), Value::Double(20.0)}}));
+  db_.simulated()->RunUntilQuiescent();
+
+  EXPECT_EQ(importer->records_submitted(), 3u);
+  EXPECT_EQ(importer->records_applied(), 3u);
+  EXPECT_EQ(importer->records_failed(), 0u);
+  auto rs = db_.Execute("select symbol, price from quotes order by symbol");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs->num_rows(), 2u);  // upsert, not append
+  EXPECT_DOUBLE_EQ(rs->rows[1][1].as_double(), 51.0);
+}
+
+TEST_F(FeedTest, RecordsReleaseAtFeedTimestamps) {
+  ASSERT_OK_AND_ASSIGN(auto importer, FeedImporter::Create(&db_, "quotes"));
+  ASSERT_OK(importer->Submit(FeedRecord{
+      SecondsToMicros(5), {Value::Str("ibm"), Value::Double(50.0)}}));
+  db_.simulated()->RunUntil(SecondsToMicros(2));
+  auto rs = db_.Execute("select count(*) as n from quotes");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs->rows[0][0], Value::Int(0));  // not yet released
+  db_.simulated()->RunUntil(SecondsToMicros(6));
+  rs = db_.Execute("select count(*) as n from quotes");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs->rows[0][0], Value::Int(1));
+}
+
+TEST_F(FeedTest, ImportedUpdatesFireRules) {
+  // The whole point: imported changes are ordinary transactions, so rules
+  // batch them like any other update source.
+  ASSERT_OK(db_.ExecuteScript("create table audit (n int)"));
+  ASSERT_OK(db_.RegisterFunction("count_batch", [](FunctionContext& ctx) {
+    const TempTable* d = ctx.BoundTable("d");
+    return ctx.Exec("insert into audit values (" +
+                    std::to_string(d->size()) + ")")
+        .status();
+  }));
+  ASSERT_OK(db_.Execute(R"(
+    create rule r on quotes when updated price
+    if select new.symbol as symbol from new bind as d
+    then execute count_batch unique after 1.0 seconds
+  )").status());
+
+  ASSERT_OK_AND_ASSIGN(auto importer, FeedImporter::Create(&db_, "quotes"));
+  ASSERT_OK(importer->Submit(
+      FeedRecord{0, {Value::Str("ibm"), Value::Double(50.0)}}));  // insert
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_OK(importer->Submit(FeedRecord{
+        i * 100'000, {Value::Str("ibm"), Value::Double(50.0 + i)}}));
+  }
+  db_.simulated()->RunUntilQuiescent();
+  auto rs = db_.Execute("select n from audit");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs->num_rows(), 1u);       // one batched recompute
+  EXPECT_EQ(rs->rows[0][0], Value::Int(4));  // all four updates in it
+}
+
+TEST_F(FeedTest, ImporterValidation) {
+  ASSERT_OK(db_.ExecuteScript(
+      "create table unindexed (k string, v int); "
+      "create table narrow (k string); create index on narrow (k)"));
+  EXPECT_EQ(FeedImporter::Create(&db_, "nosuch").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(FeedImporter::Create(&db_, "unindexed").status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(FeedImporter::Create(&db_, "narrow").status().code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_OK_AND_ASSIGN(auto importer, FeedImporter::Create(&db_, "quotes"));
+  EXPECT_EQ(importer->Submit(FeedRecord{0, {Value::Str("x")}}).code(),
+            StatusCode::kInvalidArgument);  // arity
+}
+
+TEST_F(FeedTest, ExporterDeliversBatchedChanges) {
+  std::vector<ExportBatch> batches;
+  ASSERT_OK_AND_ASSIGN(
+      auto exporter,
+      TableExporter::Create(&db_, "quotes", 1.0,
+                            [&](const ExportBatch& b) {
+                              batches.push_back(b);
+                            }));
+  // One insert and two updates of the same row within the window.
+  ASSERT_OK(db_.Execute(
+      "insert into quotes values ('ibm', 50.0)").status());
+  ASSERT_OK(db_.Execute(
+      "update quotes set price = 51.0 where symbol = 'ibm'").status());
+  ASSERT_OK(db_.Execute(
+      "update quotes set price = 52.0 where symbol = 'ibm'").status());
+  db_.simulated()->RunUntilQuiescent();
+
+  ASSERT_EQ(batches.size(), 1u);  // batched into one delivery
+  EXPECT_EQ(exporter->batches_delivered(), 1u);
+  EXPECT_EQ(batches[0].inserted.size(), 1u);
+  EXPECT_EQ(batches[0].updated_new.size(), 2u);  // full audit trail (§2)
+  EXPECT_TRUE(batches[0].deleted.empty());
+  EXPECT_DOUBLE_EQ(batches[0].updated_new[1][1].as_double(), 52.0);
+}
+
+TEST_F(FeedTest, ExporterSeesDeletes) {
+  std::vector<ExportBatch> batches;
+  ASSERT_OK(db_.Execute("insert into quotes values ('ibm', 1.0)").status());
+  ASSERT_OK_AND_ASSIGN(
+      auto exporter,
+      TableExporter::Create(&db_, "quotes", 0.0,
+                            [&](const ExportBatch& b) {
+                              batches.push_back(b);
+                            }));
+  ASSERT_OK(db_.Execute("delete from quotes where symbol = 'ibm'").status());
+  db_.simulated()->RunUntilQuiescent();
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_EQ(batches[0].deleted.size(), 1u);
+  EXPECT_EQ(batches[0].deleted[0][0], Value::Str("ibm"));
+}
+
+TEST_F(FeedTest, ExporterStopsOnDestruction) {
+  {
+    ASSERT_OK_AND_ASSIGN(
+        auto exporter,
+        TableExporter::Create(&db_, "quotes", 0.0, [](const ExportBatch&) {
+          FAIL() << "should not deliver after destruction";
+        }));
+    // Destroyed before any change happens.
+  }
+  ASSERT_OK(db_.Execute("insert into quotes values ('ibm', 1.0)").status());
+  db_.simulated()->RunUntilQuiescent();
+  EXPECT_EQ(db_.rules().FindRule("export_quotes"), nullptr);
+}
+
+TEST_F(FeedTest, EndToEndImportExport) {
+  std::vector<ExportBatch> batches;
+  ASSERT_OK_AND_ASSIGN(
+      auto exporter,
+      TableExporter::Create(&db_, "quotes", 0.5,
+                            [&](const ExportBatch& b) {
+                              batches.push_back(b);
+                            }));
+  ASSERT_OK_AND_ASSIGN(auto importer, FeedImporter::Create(&db_, "quotes"));
+  std::vector<FeedRecord> stream;
+  for (int i = 0; i < 10; ++i) {
+    stream.push_back(FeedRecord{
+        i * 100'000,
+        {Value::Str("s" + std::to_string(i % 2)), Value::Double(i)}});
+  }
+  ASSERT_OK(importer->SubmitAll(stream));
+  db_.simulated()->RunUntilQuiescent();
+  EXPECT_EQ(importer->records_applied(), 10u);
+  size_t total = 0;
+  for (const auto& b : batches) {
+    total += b.inserted.size() + b.updated_new.size() + b.deleted.size();
+  }
+  EXPECT_EQ(total, 10u);            // nothing lost, nothing duplicated
+  EXPECT_LT(batches.size(), 10u);   // and genuinely batched
+}
+
+}  // namespace
+}  // namespace strip

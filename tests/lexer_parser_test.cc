@@ -1,0 +1,348 @@
+// Unit tests for the SQL lexer and the recursive-descent parser,
+// including the Figure 2 rule grammar.
+
+#include <gtest/gtest.h>
+
+#include "strip/sql/lexer.h"
+#include "strip/sql/parser.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Lex("select a, b from t where x >= 1.5"));
+  ASSERT_EQ(tokens.size(), 11u);  // incl. EOF
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "select");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kComma);
+  EXPECT_EQ(tokens[8].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens[9].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[9].double_value, 1.5);
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEof);
+}
+
+TEST(LexerTest, NumbersIncludingExponents) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Lex("42 3.5 1e3 2.5e-2 .75"));
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIntLiteral);
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDoubleLiteral);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDoubleLiteral);
+  EXPECT_DOUBLE_EQ(tokens[2].double_value, 1000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].double_value, 0.025);
+  EXPECT_DOUBLE_EQ(tokens[4].double_value, 0.75);
+}
+
+TEST(LexerTest, StringsWithEscapedQuotes) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Lex("'it''s'"));
+  EXPECT_EQ(tokens[0].kind, TokenKind::kStringLiteral);
+  EXPECT_EQ(tokens[0].text, "it's");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_EQ(Lex("'oops").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LexerTest, CommentsSkippedToEndOfLine) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Lex("a -- comment here\n b"));
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(LexerTest, CompoundOperators) {
+  ASSERT_OK_AND_ASSIGN(auto tokens, Lex("!= <> <= >= += -= ?"));
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNe);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kLe);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kGe);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kPlusEq);
+  EXPECT_EQ(tokens[5].kind, TokenKind::kMinusEq);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kQuestion);
+}
+
+TEST(LexerTest, UnexpectedCharacterIsError) {
+  EXPECT_EQ(Lex("select @").status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+std::string ParsedExpr(const std::string& text) {
+  auto e = Parser::ParseExpression(text);
+  EXPECT_TRUE(e.ok()) << e.status().ToString();
+  return e.ok() ? (*e)->ToString() : "<error>";
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  EXPECT_EQ(ParsedExpr("1 + 2 * 3"), "(1 + (2 * 3))");
+  EXPECT_EQ(ParsedExpr("(1 + 2) * 3"), "((1 + 2) * 3)");
+  EXPECT_EQ(ParsedExpr("a = 1 and b = 2 or c = 3"),
+            "(((a = 1) and (b = 2)) or (c = 3))");
+  EXPECT_EQ(ParsedExpr("not a and b"), "(not a and b)");
+  EXPECT_EQ(ParsedExpr("-x + 1"), "(-x + 1)");
+  EXPECT_EQ(ParsedExpr("1 - 2 - 3"), "((1 - 2) - 3)");
+}
+
+TEST(ParserTest, QualifiedColumnsAndFunctions) {
+  EXPECT_EQ(ParsedExpr("new.Price"), "new.price");
+  EXPECT_EQ(ParsedExpr("f_bs(a, b.c, 1.0)"), "f_bs(a, b.c, 1)");
+  EXPECT_EQ(ParsedExpr("sum(x * w)"), "sum((x * w))");
+  EXPECT_EQ(ParsedExpr("count(*)"), "count(*)");
+}
+
+TEST(ParserTest, Parameters) {
+  EXPECT_EQ(ParsedExpr("? + ?"), "(?1 + ?2)");
+}
+
+TEST(ParserTest, LiteralKeywords) {
+  EXPECT_EQ(ParsedExpr("null"), "null");
+  EXPECT_EQ(ParsedExpr("true"), "1");
+  EXPECT_EQ(ParsedExpr("false"), "0");
+}
+
+TEST(ParserTest, StarOnlyInCount) {
+  EXPECT_EQ(Parser::ParseExpression("sum(*)").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Parser::ParseExpression("foo(*)").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+template <typename T>
+T ParseAs(const std::string& sql) {
+  auto stmt = Parser::ParseStatement(sql);
+  EXPECT_TRUE(stmt.ok()) << sql << " -> " << stmt.status().ToString();
+  if (!stmt.ok()) return T{};
+  T* t = std::get_if<T>(&*stmt);
+  EXPECT_NE(t, nullptr) << "wrong statement kind for: " << sql;
+  if (t == nullptr) return T{};
+  return std::move(*t);
+}
+
+TEST(ParserTest, CreateTable) {
+  auto s = ParseAs<CreateTableStmt>(
+      "create table T (a int, b double, c varchar(8))");
+  EXPECT_EQ(s.name, "t");
+  ASSERT_EQ(s.schema.num_columns(), 3);
+  EXPECT_EQ(s.schema.column(0).type, ValueType::kInt);
+  EXPECT_EQ(s.schema.column(1).type, ValueType::kDouble);
+  EXPECT_EQ(s.schema.column(2).type, ValueType::kString);
+}
+
+TEST(ParserTest, CreateTableRejectsDuplicatesAndBadTypes) {
+  EXPECT_FALSE(Parser::ParseStatement("create table t (a int, a int)").ok());
+  EXPECT_FALSE(Parser::ParseStatement("create table t (a blob)").ok());
+}
+
+TEST(ParserTest, CreateIndexVariants) {
+  auto s = ParseAs<CreateIndexStmt>("create index on t (k)");
+  EXPECT_EQ(s.table, "t");
+  EXPECT_EQ(s.column, "k");
+  EXPECT_EQ(s.kind, IndexKind::kHash);
+  s = ParseAs<CreateIndexStmt>("create index myidx on t (k) using tree");
+  EXPECT_EQ(s.index_name, "myidx");
+  EXPECT_EQ(s.kind, IndexKind::kRbTree);
+}
+
+TEST(ParserTest, SelectFull) {
+  auto s = ParseAs<SelectStmt>(
+      "select a, b + 1 as c from t1, t2 x where t1.k = x.k and a > 2 "
+      "group by a order by c desc, a");
+  EXPECT_FALSE(s.star);
+  ASSERT_EQ(s.items.size(), 2u);
+  EXPECT_EQ(s.items[1].alias, "c");
+  ASSERT_EQ(s.from.size(), 2u);
+  EXPECT_EQ(s.from[1].alias, "x");
+  EXPECT_EQ(s.from[1].EffectiveName(), "x");
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.group_by.size(), 1u);
+  ASSERT_EQ(s.order_by.size(), 2u);
+  EXPECT_TRUE(s.order_by[0].descending);
+  EXPECT_FALSE(s.order_by[1].descending);
+}
+
+TEST(ParserTest, SelectStar) {
+  auto s = ParseAs<SelectStmt>("select * from t");
+  EXPECT_TRUE(s.star);
+  EXPECT_TRUE(s.items.empty());
+}
+
+TEST(ParserTest, SelectGroupbyPaperSpelling) {
+  // The paper writes "groupby" as one word in compute_comps2 (Figure 6).
+  auto s = ParseAs<SelectStmt>("select g, sum(v) from t groupby g");
+  EXPECT_EQ(s.group_by.size(), 1u);
+}
+
+TEST(ParserTest, InsertMultiRowWithColumns) {
+  auto s = ParseAs<InsertStmt>(
+      "insert into t (b, a) values (1, 2), (3, 4)");
+  EXPECT_EQ(s.table, "t");
+  ASSERT_EQ(s.columns.size(), 2u);
+  EXPECT_EQ(s.columns[0], "b");
+  ASSERT_EQ(s.rows.size(), 2u);
+  EXPECT_EQ(s.rows[1].size(), 2u);
+}
+
+TEST(ParserTest, UpdateWithCompoundAssignment) {
+  auto s = ParseAs<UpdateStmt>(
+      "update t set price += 2.0, volume = 0 where symbol = 'a'");
+  ASSERT_EQ(s.sets.size(), 2u);
+  // `price += e` desugars to `price = price + e`.
+  EXPECT_EQ(s.sets[0].expr->ToString(), "(price + 2)");
+  EXPECT_EQ(s.sets[1].expr->ToString(), "0");
+  ASSERT_NE(s.where, nullptr);
+}
+
+TEST(ParserTest, DeleteWithAndWithoutWhere) {
+  auto s = ParseAs<DeleteStmt>("delete from t where a = 1");
+  EXPECT_NE(s.where, nullptr);
+  s = ParseAs<DeleteStmt>("delete from t");
+  EXPECT_EQ(s.where, nullptr);
+}
+
+TEST(ParserTest, CreateViews) {
+  auto s = ParseAs<CreateViewStmt>("create view v as select a from t");
+  EXPECT_FALSE(s.materialized);
+  s = ParseAs<CreateViewStmt>(
+      "create materialized view v as select a from t");
+  EXPECT_TRUE(s.materialized);
+  EXPECT_EQ(s.name, "v");
+}
+
+TEST(ParserTest, DropStatements) {
+  auto d = ParseAs<DropTableStmt>("drop table t");
+  EXPECT_EQ(d.name, "t");
+  auto r = ParseAs<DropRuleStmt>("drop rule foo");
+  EXPECT_EQ(r.name, "foo");
+}
+
+TEST(ParserTest, ScriptSplitsOnSemicolons) {
+  auto stmts = Parser::ParseScript(
+      "create table t (a int); insert into t values (1);; select a from t;");
+  ASSERT_OK(stmts.status());
+  EXPECT_EQ(stmts->size(), 3u);
+}
+
+TEST(ParserTest, TrailingGarbageIsError) {
+  EXPECT_FALSE(Parser::ParseStatement("select a from t garbage +").ok());
+}
+
+// ---------------------------------------------------------------------------
+// CREATE RULE (Figure 2)
+// ---------------------------------------------------------------------------
+
+TEST(RuleParserTest, FullFigure2Rule) {
+  auto s = ParseAs<CreateRuleStmt>(R"(
+    create rule do_comps3 on stocks
+    when updated price
+    if
+      select comp, comps_list.symbol as symbol, weight,
+             old.price as old_price, new.price as new_price
+      from comps_list, new, old
+      where comps_list.symbol = new.symbol
+        and new.execute_order = old.execute_order
+      bind as matches
+    then
+      execute compute_comps3
+      unique on comp
+      after 1.0 seconds
+  )");
+  EXPECT_EQ(s.rule_name, "do_comps3");
+  EXPECT_EQ(s.table, "stocks");
+  ASSERT_EQ(s.events.size(), 1u);
+  EXPECT_EQ(s.events[0].kind, RuleEventKind::kUpdated);
+  ASSERT_EQ(s.events[0].columns.size(), 1u);
+  EXPECT_EQ(s.events[0].columns[0], "price");
+  ASSERT_EQ(s.condition.size(), 1u);
+  EXPECT_EQ(s.condition[0].bind_as, "matches");
+  EXPECT_EQ(s.condition[0].query.from.size(), 3u);
+  EXPECT_EQ(s.function_name, "compute_comps3");
+  EXPECT_TRUE(s.unique);
+  ASSERT_EQ(s.unique_columns.size(), 1u);
+  EXPECT_EQ(s.unique_columns[0], "comp");
+  EXPECT_DOUBLE_EQ(s.delay_seconds, 1.0);
+}
+
+TEST(RuleParserTest, MinimalRule) {
+  auto s = ParseAs<CreateRuleStmt>(
+      "create rule foo on t1 when inserted then execute my_function");
+  EXPECT_EQ(s.events[0].kind, RuleEventKind::kInserted);
+  EXPECT_TRUE(s.condition.empty());
+  EXPECT_TRUE(s.evaluate.empty());
+  EXPECT_FALSE(s.unique);
+  EXPECT_DOUBLE_EQ(s.delay_seconds, 0.0);
+}
+
+TEST(RuleParserTest, MultipleEvents) {
+  auto s = ParseAs<CreateRuleStmt>(
+      "create rule r on t when inserted deleted updated a, b "
+      "then execute f");
+  ASSERT_EQ(s.events.size(), 3u);
+  EXPECT_EQ(s.events[0].kind, RuleEventKind::kInserted);
+  EXPECT_EQ(s.events[1].kind, RuleEventKind::kDeleted);
+  EXPECT_EQ(s.events[2].kind, RuleEventKind::kUpdated);
+  EXPECT_EQ(s.events[2].columns.size(), 2u);
+}
+
+TEST(RuleParserTest, EvaluateClauseAndQueryCommalist) {
+  auto s = ParseAs<CreateRuleStmt>(R"(
+    create rule r on t
+    when inserted
+    if select * from inserted bind as ins,
+       select a from t where a > 0
+    then
+      evaluate select a, b from t bind as extra
+      execute f
+      unique
+      after 2 seconds
+  )");
+  ASSERT_EQ(s.condition.size(), 2u);
+  EXPECT_EQ(s.condition[0].bind_as, "ins");
+  EXPECT_TRUE(s.condition[1].bind_as.empty());
+  ASSERT_EQ(s.evaluate.size(), 1u);
+  EXPECT_EQ(s.evaluate[0].bind_as, "extra");
+  EXPECT_TRUE(s.unique);
+  EXPECT_TRUE(s.unique_columns.empty());
+  EXPECT_DOUBLE_EQ(s.delay_seconds, 2.0);
+}
+
+TEST(RuleParserTest, QualifiedUniqueColumnKeepsColumnPart) {
+  // The paper writes `unique on X.A`; only the column name matters since
+  // bound-table column names are unique (Appendix A).
+  auto s = ParseAs<CreateRuleStmt>(
+      "create rule r on x when updated then execute f unique on x.a "
+      "after 0.5 seconds");
+  ASSERT_EQ(s.unique_columns.size(), 1u);
+  EXPECT_EQ(s.unique_columns[0], "a");
+}
+
+TEST(RuleParserTest, OptionalEndRuleTerminator) {
+  EXPECT_OK(Parser::ParseStatement(
+                "create rule r on t when inserted then execute f end rule")
+                .status());
+}
+
+TEST(RuleParserTest, Errors) {
+  // Missing event.
+  EXPECT_FALSE(
+      Parser::ParseStatement("create rule r on t when then execute f").ok());
+  // Negative delay.
+  EXPECT_FALSE(Parser::ParseStatement(
+                   "create rule r on t when inserted then execute f "
+                   "after -1.0 seconds")
+                   .ok());
+  // Missing SECONDS unit.
+  EXPECT_FALSE(Parser::ParseStatement(
+                   "create rule r on t when inserted then execute f after 1")
+                   .ok());
+  // Missing function.
+  EXPECT_FALSE(
+      Parser::ParseStatement("create rule r on t when inserted then").ok());
+}
+
+}  // namespace
+}  // namespace strip

@@ -1,0 +1,225 @@
+// Market substrate tests: Black-Scholes pricing, the synthetic TAQ-like
+// trace generator (the documented substitution for the paper's NYSE TAQ
+// file), and the PTA table populator.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "strip/market/black_scholes.h"
+#include "strip/market/populate.h"
+#include "strip/market/trace.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Black-Scholes
+// ---------------------------------------------------------------------------
+
+TEST(BlackScholesTest, KnownReferenceValue) {
+  // Classic textbook value: S=100, K=100, r=5%, sigma=20%, T=1y -> 10.4506.
+  EXPECT_NEAR(BlackScholesCall(100, 100, 0.05, 0.20, 1.0), 10.4506, 1e-3);
+  // S=42, K=40, r=10%, sigma=20%, T=0.5 -> 4.7594 (Hull's example).
+  EXPECT_NEAR(BlackScholesCall(42, 40, 0.10, 0.20, 0.5), 4.7594, 1e-3);
+}
+
+TEST(BlackScholesTest, DegenerateLimits) {
+  // At expiry: intrinsic value.
+  EXPECT_DOUBLE_EQ(BlackScholesCall(50, 40, 0.05, 0.3, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(BlackScholesCall(30, 40, 0.05, 0.3, 0.0), 0.0);
+  // Zero volatility: discounted intrinsic value.
+  EXPECT_NEAR(BlackScholesCall(50, 40, 0.05, 0.0, 1.0),
+              50 - 40 * std::exp(-0.05), 1e-9);
+}
+
+TEST(BlackScholesTest, MonotonicInSpotAndAboveIntrinsic) {
+  double prev = 0;
+  for (double s = 20; s <= 80; s += 5) {
+    double p = BlackScholesCall(s, 50, 0.05, 0.3, 0.5);
+    EXPECT_GE(p, std::max(s - 50 * std::exp(-0.05 * 0.5), 0.0) - 1e-9);
+    EXPECT_GE(p, prev);
+    EXPECT_LE(p, s);  // a call never costs more than the stock
+    prev = p;
+  }
+}
+
+TEST(BlackScholesTest, IncreasesWithVolatilityAndMaturity) {
+  EXPECT_LT(BlackScholesCall(50, 50, 0.05, 0.1, 0.5),
+            BlackScholesCall(50, 50, 0.05, 0.4, 0.5));
+  EXPECT_LT(BlackScholesCall(50, 50, 0.05, 0.2, 0.1),
+            BlackScholesCall(50, 50, 0.05, 0.2, 1.0));
+}
+
+TEST(NormCdfTest, StandardValues) {
+  EXPECT_DOUBLE_EQ(NormCdf(0.0), 0.5);
+  EXPECT_NEAR(NormCdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(NormCdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(NormCdf(8), 1.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Trace generator
+// ---------------------------------------------------------------------------
+
+TraceOptions SmallTrace() {
+  TraceOptions o;
+  o.num_stocks = 200;
+  o.duration_seconds = 60;
+  o.target_updates = 2000;
+  o.seed = 3;
+  return o;
+}
+
+TEST(TraceTest, DeterministicForSeed) {
+  MarketTrace a = MarketTrace::Generate(SmallTrace());
+  MarketTrace b = MarketTrace::Generate(SmallTrace());
+  ASSERT_EQ(a.quotes().size(), b.quotes().size());
+  for (size_t i = 0; i < a.quotes().size(); ++i) {
+    EXPECT_EQ(a.quotes()[i].stock, b.quotes()[i].stock);
+    EXPECT_EQ(a.quotes()[i].time, b.quotes()[i].time);
+    EXPECT_DOUBLE_EQ(a.quotes()[i].price, b.quotes()[i].price);
+  }
+  TraceOptions other = SmallTrace();
+  other.seed = 4;
+  MarketTrace c = MarketTrace::Generate(other);
+  bool identical = c.quotes().size() == a.quotes().size();
+  if (identical) {
+    identical = false;
+    for (size_t i = 0; i < a.quotes().size(); ++i) {
+      if (a.quotes()[i].stock != c.quotes()[i].stock) break;
+      if (i + 1 == a.quotes().size()) identical = true;
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(TraceTest, QuotesStrictlyOrderedWithinWindow) {
+  MarketTrace t = MarketTrace::Generate(SmallTrace());
+  EXPECT_GE(t.quotes().size(), 2000u);
+  for (size_t i = 1; i < t.quotes().size(); ++i) {
+    EXPECT_GT(t.quotes()[i].time, t.quotes()[i - 1].time);
+  }
+  EXPECT_GE(t.quotes().front().time, 0);
+}
+
+TEST(TraceTest, PricesPositiveAndOnTickGrid) {
+  TraceOptions o = SmallTrace();
+  MarketTrace t = MarketTrace::Generate(o);
+  for (const Quote& q : t.quotes()) {
+    EXPECT_GT(q.price, 0.0);
+    double ticks = q.price / o.tick;
+    EXPECT_NEAR(ticks, std::round(ticks), 1e-6);
+  }
+}
+
+TEST(TraceTest, ActivityMatchesQuoteCounts) {
+  MarketTrace t = MarketTrace::Generate(SmallTrace());
+  std::vector<int64_t> counts(200, 0);
+  for (const Quote& q : t.quotes()) ++counts[static_cast<size_t>(q.stock)];
+  EXPECT_EQ(counts, t.activity());
+  // Expected-activity weights are a probability distribution.
+  double total = 0;
+  for (double w : t.activity_weights()) total += w;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(t.activity_weights()[0], t.activity_weights()[199]);
+}
+
+TEST(TraceTest, BurstinessTemporalLocality) {
+  // The batching gains depend on repeated quotes for the same stock within
+  // short windows ([AKGM96a] temporal locality). Check that consecutive
+  // same-stock quotes are much closer in time than the average gap.
+  MarketTrace t = MarketTrace::Generate(SmallTrace());
+  std::vector<Timestamp> last_seen(200, -1);
+  double burst_gaps = 0, burst_n = 0;
+  for (const Quote& q : t.quotes()) {
+    Timestamp prev = last_seen[static_cast<size_t>(q.stock)];
+    if (prev >= 0) {
+      Timestamp gap = q.time - prev;
+      if (gap < SecondsToMicros(2.0)) {
+        burst_gaps += static_cast<double>(gap);
+        burst_n += 1;
+      }
+    }
+    last_seen[static_cast<size_t>(q.stock)] = q.time;
+  }
+  // A healthy share of quotes are burst continuations.
+  EXPECT_GT(burst_n / static_cast<double>(t.quotes().size()), 0.3);
+}
+
+TEST(TraceTest, ScaledPreservesStockUniverse) {
+  TraceOptions full;
+  TraceOptions tenth = TraceOptions::Scaled(0.1);
+  EXPECT_EQ(tenth.num_stocks, full.num_stocks);
+  EXPECT_NEAR(tenth.duration_seconds, full.duration_seconds * 0.1, 1e-9);
+  EXPECT_EQ(tenth.target_updates, full.target_updates / 10);
+}
+
+// ---------------------------------------------------------------------------
+// Populator
+// ---------------------------------------------------------------------------
+
+TEST(PopulateTest, TableShapesAndProportionalAllocation) {
+  TraceOptions to = SmallTrace();
+  MarketTrace trace = MarketTrace::Generate(to);
+  PtaConfig cfg;
+  cfg.num_composites = 10;
+  cfg.stocks_per_composite = 30;
+  cfg.num_options = 500;
+  Database db;
+  ASSERT_OK(PopulatePtaTables(db, trace, cfg));
+
+  EXPECT_EQ(db.catalog().FindTable("stocks")->size(), 200u);
+  EXPECT_EQ(db.catalog().FindTable("stock_stdev")->size(), 200u);
+  EXPECT_EQ(db.catalog().FindTable("comps_list")->size(), 300u);
+  EXPECT_EQ(db.catalog().FindTable("comp_prices")->size(), 10u);
+  EXPECT_EQ(db.catalog().FindTable("options_list")->size(), 500u);
+  EXPECT_EQ(db.catalog().FindTable("option_prices")->size(), 500u);
+
+  // Options are allocated in proportion to trading activity (§4.2): the
+  // most active decile of stocks must hold far more options than the least
+  // active decile.
+  auto rs = db.Execute(
+      "select stock_symbol, count(*) as n from options_list "
+      "group by stock_symbol");
+  ASSERT_OK(rs.status());
+  int64_t hot = 0, cold = 0;
+  for (const auto& row : rs->rows) {
+    int idx = std::stoi(row[0].as_string().substr(1));
+    if (idx < 20) hot += row[1].as_int();
+    if (idx >= 180) cold += row[1].as_int();
+  }
+  EXPECT_GT(hot, cold);
+
+  // The materialized views start exactly consistent.
+  ASSERT_OK(db.Execute("select comp, sum(stocks.price * weight) as price "
+                       "from stocks, comps_list "
+                       "where stocks.symbol = comps_list.symbol "
+                       "group by comp").status());
+}
+
+TEST(PopulateTest, SymbolFormats) {
+  EXPECT_EQ(StockSymbol(7), "s0007");
+  EXPECT_EQ(CompSymbol(12), "c012");
+  EXPECT_EQ(OptionSymbol(123), "o00123");
+}
+
+TEST(PopulateTest, FbsRegisteredAndUsable) {
+  TraceOptions to = SmallTrace();
+  MarketTrace trace = MarketTrace::Generate(to);
+  PtaConfig cfg;
+  cfg.num_composites = 2;
+  cfg.stocks_per_composite = 5;
+  cfg.num_options = 10;
+  Database db;
+  ASSERT_OK(PopulatePtaTables(db, trace, cfg));
+  auto rs = db.Execute(
+      "select f_bs(100.0, 100.0, 1.0, 0.2) as p from comp_prices "
+      "where comp = 'c000'");
+  ASSERT_OK(rs.status());
+  EXPECT_NEAR(rs->rows[0][0].as_double(), 10.4506, 1e-3);
+}
+
+}  // namespace
+}  // namespace strip

@@ -1,0 +1,153 @@
+// Net-effect computation tests (§2: applications can collapse the audit
+// trail themselves; this utility does it for them).
+
+#include <gtest/gtest.h>
+
+#include "strip/rules/net_effect.h"
+#include "strip/rules/transition_tables.h"
+#include "strip/storage/table.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+Schema KV() {
+  Schema s;
+  s.AddColumn("k", ValueType::kString);
+  s.AddColumn("v", ValueType::kInt);
+  return s;
+}
+
+/// Fixture driving a table + log and computing the net effect.
+class NetEffectTest : public ::testing::Test {
+ protected:
+  NetEffectTest() : table_("t", KV()) {}
+
+  RowIter Insert(const std::string& k, int v) {
+    auto r = table_.Insert(MakeRecord({Value::Str(k), Value::Int(v)}));
+    EXPECT_TRUE(r.ok());
+    log_.Append(LogOp::kInsert, &table_, (*r)->id, nullptr, (*r)->rec);
+    return *r;
+  }
+
+  void Update(RowIter row, int v) {
+    RecordRef old_rec = row->rec;
+    Status st = table_.Update(
+        row, MakeRecord({old_rec->values[0], Value::Int(v)}));
+    EXPECT_TRUE(st.ok());
+    log_.Append(LogOp::kUpdate, &table_, row->id, old_rec, row->rec);
+  }
+
+  void Delete(RowIter row) {
+    log_.Append(LogOp::kDelete, &table_, row->id, row->rec, nullptr);
+    table_.Erase(row);
+  }
+
+  NetEffect Compute() {
+    BoundTableSet tt = BuildTransitionTables(table_, log_);
+    auto net = ComputeNetEffect(tt);
+    EXPECT_TRUE(net.ok()) << net.status().ToString();
+    return net.ok() ? net.take() : NetEffect{};
+  }
+
+  /// A pre-existing row (not logged in this "transaction").
+  RowIter Preexisting(const std::string& k, int v) {
+    auto r = table_.Insert(MakeRecord({Value::Str(k), Value::Int(v)}));
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+
+  Table table_;
+  TxnLog log_;
+};
+
+TEST_F(NetEffectTest, PlainInsert) {
+  Insert("a", 1);
+  NetEffect net = Compute();
+  ASSERT_EQ(net.inserted.size(), 1u);
+  EXPECT_EQ(net.inserted[0]->values[0], Value::Str("a"));
+  EXPECT_TRUE(net.deleted.empty());
+  EXPECT_TRUE(net.updated.empty());
+}
+
+TEST_F(NetEffectTest, InsertThenUpdateIsNetInsertOfFinalImage) {
+  RowIter r = Insert("a", 1);
+  Update(r, 5);
+  NetEffect net = Compute();
+  ASSERT_EQ(net.inserted.size(), 1u);
+  EXPECT_EQ(net.inserted[0]->values[1], Value::Int(5));
+  EXPECT_TRUE(net.updated.empty());
+}
+
+TEST_F(NetEffectTest, InsertThenDeleteCollapsesToNothing) {
+  RowIter r = Insert("a", 1);
+  Delete(r);
+  NetEffect net = Compute();
+  EXPECT_TRUE(net.inserted.empty());
+  EXPECT_TRUE(net.deleted.empty());
+  EXPECT_TRUE(net.updated.empty());
+}
+
+TEST_F(NetEffectTest, UpdateChainCollapsesToFirstOldLastNew) {
+  RowIter r = Preexisting("a", 1);
+  Update(r, 2);
+  Update(r, 3);
+  Update(r, 4);
+  NetEffect net = Compute();
+  ASSERT_EQ(net.updated.size(), 1u);
+  EXPECT_EQ(net.updated[0].first->values[1], Value::Int(1));
+  EXPECT_EQ(net.updated[0].second->values[1], Value::Int(4));
+}
+
+TEST_F(NetEffectTest, RevertingUpdateChainIsNoOp) {
+  RowIter r = Preexisting("a", 1);
+  Update(r, 9);
+  Update(r, 1);  // back to the original value
+  NetEffect net = Compute();
+  EXPECT_TRUE(net.updated.empty());
+  EXPECT_TRUE(net.inserted.empty());
+  EXPECT_TRUE(net.deleted.empty());
+}
+
+TEST_F(NetEffectTest, UpdateThenDeleteIsNetDeleteOfOriginal) {
+  RowIter r = Preexisting("a", 1);
+  Update(r, 7);
+  Delete(r);
+  NetEffect net = Compute();
+  ASSERT_EQ(net.deleted.size(), 1u);
+  EXPECT_EQ(net.deleted[0]->values[1], Value::Int(1));  // pre-txn image
+}
+
+TEST_F(NetEffectTest, PlainDelete) {
+  RowIter r = Preexisting("a", 3);
+  Delete(r);
+  NetEffect net = Compute();
+  ASSERT_EQ(net.deleted.size(), 1u);
+  EXPECT_EQ(net.deleted[0]->values[1], Value::Int(3));
+}
+
+TEST_F(NetEffectTest, MixedRowsKeepTransactionOrder) {
+  RowIter a = Preexisting("a", 1);
+  RowIter b = Preexisting("b", 2);
+  Update(b, 20);       // finalized at seq 1 (until later events)
+  RowIter c = Insert("c", 3);
+  Update(a, 10);
+  Update(c, 30);
+  NetEffect net = Compute();
+  ASSERT_EQ(net.updated.size(), 2u);
+  // Output follows the finalizing-event order: b's update (seq 1) before
+  // a's (seq 3).
+  EXPECT_EQ(net.updated[0].second->values[0], Value::Str("b"));
+  EXPECT_EQ(net.updated[1].second->values[0], Value::Str("a"));
+  ASSERT_EQ(net.inserted.size(), 1u);
+  EXPECT_EQ(net.inserted[0]->values[1], Value::Int(30));
+}
+
+TEST_F(NetEffectTest, MissingTransitionTablesRejected) {
+  BoundTableSet empty;
+  EXPECT_EQ(ComputeNetEffect(empty).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace strip

@@ -1,0 +1,145 @@
+// Verifies the §6.1 storage claims THROUGH the SQL path: query outputs
+// share record storage with base tables (no value copying for plain
+// column selections), computed columns are materialized, and bound tables
+// keep superseded record versions alive across transactions.
+
+#include <gtest/gtest.h>
+
+#include "strip/engine/database.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+class PointerLayoutTest : public ::testing::Test {
+ protected:
+  PointerLayoutTest() {
+    Database::Options o;
+    o.advance_clock_by_cost = false;
+    db_ = std::make_unique<Database>(o);
+  }
+
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(PointerLayoutTest, SelectOfBaseColumnsSharesRecords) {
+  ASSERT_OK(db_->ExecuteScript(R"(
+    create table t (k string, v double);
+    insert into t values ('a', 1.0), ('b', 2.0);
+  )"));
+  Table* t = db_->catalog().FindTable("t");
+  ASSERT_OK_AND_ASSIGN(Transaction * txn, db_->Begin());
+  ASSERT_OK_AND_ASSIGN(Statement stmt,
+                       Parser::ParseStatement("select k, v from t"));
+  ASSERT_OK_AND_ASSIGN(TempTable result,
+                       db_->Query(txn, std::get<SelectStmt>(stmt)));
+  ASSERT_OK(db_->Commit(txn));
+
+  // Pure column selections are pointer-backed: one slot, no extras, and
+  // the slot IS the base table's record object.
+  EXPECT_EQ(result.num_slots(), 1);
+  EXPECT_EQ(result.num_extra(), 0);
+  ASSERT_EQ(result.size(), 2u);
+  const Record* base_rec = t->rows().begin()->rec.get();
+  EXPECT_EQ(result.tuples()[0].slots[0].get(), base_rec);
+}
+
+TEST_F(PointerLayoutTest, ComputedColumnsAreMaterialized) {
+  ASSERT_OK(db_->ExecuteScript(R"(
+    create table t (k string, v double);
+    insert into t values ('a', 1.0);
+  )"));
+  ASSERT_OK_AND_ASSIGN(Transaction * txn, db_->Begin());
+  ASSERT_OK_AND_ASSIGN(
+      Statement stmt,
+      Parser::ParseStatement("select k, v * 2 as dbl from t"));
+  ASSERT_OK_AND_ASSIGN(TempTable result,
+                       db_->Query(txn, std::get<SelectStmt>(stmt)));
+  ASSERT_OK(db_->Commit(txn));
+
+  // k stays pointer-backed; the computed column gets one extra slot —
+  // exactly the paper's "aggregate, computed, or timestamp attributes"
+  // exception (§6.1).
+  EXPECT_EQ(result.num_slots(), 1);
+  EXPECT_EQ(result.num_extra(), 1);
+  EXPECT_FALSE(result.column_map()[0].materialized());
+  EXPECT_TRUE(result.column_map()[1].materialized());
+  EXPECT_DOUBLE_EQ(result.Get(0, 1).as_double(), 2.0);
+}
+
+TEST_F(PointerLayoutTest, JoinOutputPointsIntoBothTables) {
+  // The paper's V(A,B,C,D,E) example: the join output carries one pointer
+  // per contributing table, and a table contributing no selected
+  // attributes gets no slot.
+  ASSERT_OK(db_->ExecuteScript(R"(
+    create table r (a int, b int, c string);
+    create table s (c string, d string);
+    create table u (d string, e int);
+    insert into r values (1, 2, 'c1');
+    insert into s values ('c1', 'd1');
+    insert into u values ('d1', 5);
+  )"));
+  ASSERT_OK_AND_ASSIGN(Transaction * txn, db_->Begin());
+  ASSERT_OK_AND_ASSIGN(
+      Statement stmt,
+      Parser::ParseStatement("select a, b, r.c, u.d, e from r, s, u "
+                             "where r.c = s.c and s.d = u.d"));
+  ASSERT_OK_AND_ASSIGN(TempTable result,
+                       db_->Query(txn, std::get<SelectStmt>(stmt)));
+  ASSERT_OK(db_->Commit(txn));
+
+  ASSERT_EQ(result.size(), 1u);
+  // Only r and u contribute selected attributes: two slots, zero extras —
+  // "no pointer to a tuple in S need be stored" (§6.1).
+  EXPECT_EQ(result.num_slots(), 2);
+  EXPECT_EQ(result.num_extra(), 0);
+  const Record* r_rec = db_->catalog().FindTable("r")->rows().begin()
+                            ->rec.get();
+  const Record* u_rec = db_->catalog().FindTable("u")->rows().begin()
+                            ->rec.get();
+  bool shares_r = result.tuples()[0].slots[0].get() == r_rec ||
+                  result.tuples()[0].slots[1].get() == r_rec;
+  bool shares_u = result.tuples()[0].slots[0].get() == u_rec ||
+                  result.tuples()[0].slots[1].get() == u_rec;
+  EXPECT_TRUE(shares_r);
+  EXPECT_TRUE(shares_u);
+}
+
+TEST_F(PointerLayoutTest, BoundTableSeesBindTimeStateAfterLaterChanges) {
+  // End-to-end §6.1 retention: a rule binds rows, the base row is then
+  // updated AND deleted by later transactions, and the action still sees
+  // the bind-time images.
+  ASSERT_OK(db_->ExecuteScript(R"(
+    create table t (k string, v double);
+    create table seen (k string, v double);
+    insert into t values ('a', 1.0);
+  )"));
+  ASSERT_OK(db_->RegisterFunction("snap", [](FunctionContext& ctx) {
+    const TempTable* b = ctx.BoundTable("b");
+    return ctx.Exec("insert into seen values ('" +
+                    b->Get(0, 0).as_string() + "', " +
+                    b->Get(0, 1).ToString() + ")")
+        .status();
+  }));
+  ASSERT_OK(db_->Execute(R"(
+    create rule r on t when updated v
+    if select new.k as k, new.v as v from new bind as b
+    then execute snap unique after 1.0 seconds
+  )").status());
+
+  ASSERT_OK(db_->Execute("update t set v = 42.0 where k = 'a'").status());
+  // Before the delayed action runs, mutate and delete the base row. The
+  // rule must not re-fire for these (they change v, so deactivate first).
+  ASSERT_OK(db_->rules().SetRuleEnabled("r", false));
+  ASSERT_OK(db_->Execute("update t set v = 99.0 where k = 'a'").status());
+  ASSERT_OK(db_->Execute("delete from t where k = 'a'").status());
+  db_->simulated()->RunUntilQuiescent();
+
+  auto rs = db_->Execute("select k, v from seen");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].as_double(), 42.0);  // bind-time image
+}
+
+}  // namespace
+}  // namespace strip

@@ -1,0 +1,168 @@
+// Integration tests of the full program-trading pipeline (§3-§5) at a
+// reduced scale: trace generation, table population, rule installation,
+// trace replay under the discrete-event executor, and — the key
+// correctness property — that every batching variant leaves the
+// materialized views exactly consistent with a from-scratch recomputation
+// once the system quiesces.
+
+#include <gtest/gtest.h>
+
+#include "strip/market/app_functions.h"
+#include "strip/market/pta_runner.h"
+
+namespace strip {
+namespace {
+
+#define ASSERT_OK(expr)                              \
+  do {                                               \
+    auto _st = (expr);                               \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();         \
+  } while (0)
+
+TraceOptions SmallTrace() {
+  TraceOptions t;
+  t.num_stocks = 120;
+  t.duration_seconds = 30;
+  t.target_updates = 600;
+  t.seed = 11;
+  return t;
+}
+
+PtaConfig SmallPta() {
+  PtaConfig c;
+  c.num_composites = 12;
+  c.stocks_per_composite = 20;
+  c.num_options = 300;
+  c.seed = 13;
+  return c;
+}
+
+class PtaIntegrationTest : public ::testing::Test {
+ protected:
+  static const MarketTrace& Trace() {
+    static const MarketTrace* trace =
+        new MarketTrace(MarketTrace::Generate(SmallTrace()));
+    return *trace;
+  }
+
+  PtaRunResult RunComp(CompRuleVariant v, double delay) {
+    PtaExperiment exp(Trace(), SmallPta());
+    Status st = exp.Setup(CompRuleSql(v, delay));
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    auto result = exp.Run();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->failed_tasks, 0u);
+    st = CheckDerivedDataConsistency(exp.db(), 0.05, 1e-6,
+                                     /*check_comps=*/true,
+                                     /*check_options=*/false);
+    EXPECT_TRUE(st.ok()) << CompRuleVariantName(v) << " delay " << delay
+                         << ": " << st.ToString();
+    return result.ok() ? *result : PtaRunResult{};
+  }
+
+  PtaRunResult RunOption(OptionRuleVariant v, double delay) {
+    PtaExperiment exp(Trace(), SmallPta());
+    Status st = exp.Setup(OptionRuleSql(v, delay));
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    auto result = exp.Run();
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->failed_tasks, 0u);
+    st = CheckDerivedDataConsistency(exp.db(), 0.05, 1e-6,
+                                     /*check_comps=*/false,
+                                     /*check_options=*/true);
+    EXPECT_TRUE(st.ok()) << OptionRuleVariantName(v) << " delay " << delay
+                         << ": " << st.ToString();
+    return result.ok() ? *result : PtaRunResult{};
+  }
+};
+
+TEST_F(PtaIntegrationTest, PopulationShapesMatchConfig) {
+  PtaExperiment exp(Trace(), SmallPta());
+  ASSERT_OK(exp.Setup(""));
+  Database& db = exp.db();
+  EXPECT_EQ(db.catalog().FindTable("stocks")->size(), 120u);
+  EXPECT_EQ(db.catalog().FindTable("comps_list")->size(), 12u * 20u);
+  EXPECT_EQ(db.catalog().FindTable("comp_prices")->size(), 12u);
+  EXPECT_EQ(db.catalog().FindTable("options_list")->size(), 300u);
+  EXPECT_EQ(db.catalog().FindTable("option_prices")->size(), 300u);
+  // Freshly materialized views are consistent by construction.
+  ASSERT_OK(CheckDerivedDataConsistency(db, 0.05, 1e-9, true, true));
+}
+
+TEST_F(PtaIntegrationTest, BaselineNoRuleLeavesViewsStale) {
+  PtaExperiment exp(Trace(), SmallPta());
+  ASSERT_OK(exp.Setup(""));
+  auto result = exp.Run();
+  ASSERT_OK(result.status());
+  EXPECT_EQ(result->num_recomputes, 0u);
+  EXPECT_EQ(result->num_updates, Trace().quotes().size());
+  // Without maintenance rules the views drift from base data.
+  Status st = CheckDerivedDataConsistency(exp.db(), 0.05, 1e-6, true, false);
+  EXPECT_FALSE(st.ok());
+}
+
+TEST_F(PtaIntegrationTest, NonUniqueCompRuleMaintainsView) {
+  PtaRunResult r = RunComp(CompRuleVariant::kNonUnique, 0);
+  // One recompute transaction per triggering update (§5.1): every update
+  // whose stock is in some composite fires one task.
+  EXPECT_GT(r.num_recomputes, 0u);
+  EXPECT_LE(r.num_recomputes, r.num_updates);
+  EXPECT_EQ(r.firings_merged, 0u);
+}
+
+TEST_F(PtaIntegrationTest, CoarseUniqueCompRuleBatches) {
+  PtaRunResult nonunique = RunComp(CompRuleVariant::kNonUnique, 0);
+  PtaRunResult unique = RunComp(CompRuleVariant::kUnique, 2.0);
+  // Coarse batching runs the fewest recompute transactions (Figure 10).
+  EXPECT_LT(unique.num_recomputes, nonunique.num_recomputes);
+  EXPECT_GT(unique.firings_merged, 0u);
+}
+
+TEST_F(PtaIntegrationTest, UniqueOnCompRunsMoreTasksThanCoarse) {
+  PtaRunResult coarse = RunComp(CompRuleVariant::kUnique, 1.0);
+  PtaRunResult on_comp = RunComp(CompRuleVariant::kUniqueOnComp, 1.0);
+  // Per-composite batching creates many more (smaller) transactions
+  // (Figure 10: about an order of magnitude more than non-unique).
+  EXPECT_GT(on_comp.num_recomputes, coarse.num_recomputes);
+  // ...but each is much shorter (Figure 11).
+  EXPECT_LT(on_comp.avg_recompute_micros, coarse.avg_recompute_micros);
+}
+
+TEST_F(PtaIntegrationTest, UniqueOnSymbolCompRuleConsistent) {
+  PtaRunResult r = RunComp(CompRuleVariant::kUniqueOnSymbol, 1.0);
+  EXPECT_GT(r.num_recomputes, 0u);
+}
+
+TEST_F(PtaIntegrationTest, LongerDelayMeansFewerRecomputes) {
+  PtaRunResult d_half = RunComp(CompRuleVariant::kUniqueOnComp, 0.5);
+  PtaRunResult d_three = RunComp(CompRuleVariant::kUniqueOnComp, 3.0);
+  // Figure 10: the recomputation count decreases with the delay window.
+  EXPECT_LT(d_three.num_recomputes, d_half.num_recomputes);
+}
+
+TEST_F(PtaIntegrationTest, NonUniqueOptionRuleMaintainsView) {
+  PtaRunResult r = RunOption(OptionRuleVariant::kNonUnique, 0);
+  EXPECT_GT(r.num_recomputes, 0u);
+}
+
+TEST_F(PtaIntegrationTest, UniqueOptionRulesBatchAndStayConsistent) {
+  PtaRunResult coarse = RunOption(OptionRuleVariant::kUnique, 2.0);
+  PtaRunResult on_symbol = RunOption(OptionRuleVariant::kUniqueOnSymbol, 2.0);
+  EXPECT_GT(coarse.firings_merged, 0u);
+  // Batching on stock symbol runs far more transactions than coarse
+  // (Figure 13) but they are far shorter (Figure 14).
+  EXPECT_GT(on_symbol.num_recomputes, coarse.num_recomputes);
+  EXPECT_LT(on_symbol.avg_recompute_micros, coarse.avg_recompute_micros);
+}
+
+TEST_F(PtaIntegrationTest, UniqueOnOptionSymbolExplodesTaskCount) {
+  PtaRunResult on_opt =
+      RunOption(OptionRuleVariant::kUniqueOnOptionSymbol, 1.0);
+  PtaRunResult on_symbol = RunOption(OptionRuleVariant::kUniqueOnSymbol, 1.0);
+  // §5.2: the fan-out from stocks to options makes per-option batching
+  // create an unmanageable number of transactions.
+  EXPECT_GT(on_opt.num_recomputes, on_symbol.num_recomputes);
+}
+
+}  // namespace
+}  // namespace strip

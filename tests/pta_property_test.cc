@@ -1,0 +1,139 @@
+// The repository's central correctness property (DESIGN.md §6), swept as a
+// parameterized suite: for random bursty update streams, the final
+// comp_prices maintained by ANY batching variant at ANY delay window
+// equals a from-scratch recomputation from base data once the system
+// quiesces — and likewise for option_prices under last-value-wins
+// recomputation.
+
+#include <gtest/gtest.h>
+
+#include "strip/market/app_functions.h"
+#include "strip/market/pta_runner.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+MarketTrace MakeTrace(uint64_t seed) {
+  TraceOptions t;
+  t.num_stocks = 80;
+  t.duration_seconds = 20;
+  t.target_updates = 400;
+  t.seed = seed;
+  return MarketTrace::Generate(t);
+}
+
+PtaConfig SmallPta() {
+  PtaConfig c;
+  c.num_composites = 8;
+  c.stocks_per_composite = 15;
+  c.num_options = 150;
+  c.seed = 99;
+  return c;
+}
+
+using CompParam = std::tuple<CompRuleVariant, double, uint64_t>;
+
+class CompConsistencyTest : public ::testing::TestWithParam<CompParam> {};
+
+TEST_P(CompConsistencyTest, MaintainedEqualsRecomputed) {
+  auto [variant, delay, seed] = GetParam();
+  MarketTrace trace = MakeTrace(seed);
+  PtaExperiment exp(trace, SmallPta());
+  ASSERT_OK(exp.Setup(CompRuleSql(variant, delay)));
+  ASSERT_OK_AND_ASSIGN(PtaRunResult result, exp.Run());
+  EXPECT_EQ(result.failed_tasks, 0u);
+  EXPECT_GT(result.num_recomputes, 0u);
+  ASSERT_OK(CheckDerivedDataConsistency(exp.db(), 0.05, 1e-6,
+                                        /*check_comps=*/true,
+                                        /*check_options=*/false));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompConsistencyTest,
+    ::testing::Combine(
+        ::testing::Values(CompRuleVariant::kNonUnique,
+                          CompRuleVariant::kUnique,
+                          CompRuleVariant::kUniqueOnSymbol,
+                          CompRuleVariant::kUniqueOnComp),
+        ::testing::Values(0.3, 1.5), ::testing::Values(21u, 22u)),
+    [](const auto& info) {
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case CompRuleVariant::kNonUnique: name = "NonUnique"; break;
+        case CompRuleVariant::kUnique: name = "Unique"; break;
+        case CompRuleVariant::kUniqueOnSymbol: name = "OnSymbol"; break;
+        case CompRuleVariant::kUniqueOnComp: name = "OnComp"; break;
+      }
+      name += std::get<1>(info.param) < 1 ? "_Short" : "_Long";
+      name += "_Seed" + std::to_string(std::get<2>(info.param));
+      return name;
+    });
+
+using OptionParam = std::tuple<OptionRuleVariant, double, uint64_t>;
+
+class OptionConsistencyTest
+    : public ::testing::TestWithParam<OptionParam> {};
+
+TEST_P(OptionConsistencyTest, MaintainedEqualsRecomputed) {
+  auto [variant, delay, seed] = GetParam();
+  MarketTrace trace = MakeTrace(seed);
+  PtaExperiment exp(trace, SmallPta());
+  ASSERT_OK(exp.Setup(OptionRuleSql(variant, delay)));
+  ASSERT_OK_AND_ASSIGN(PtaRunResult result, exp.Run());
+  EXPECT_EQ(result.failed_tasks, 0u);
+  ASSERT_OK(CheckDerivedDataConsistency(exp.db(), 0.05, 1e-6,
+                                        /*check_comps=*/false,
+                                        /*check_options=*/true));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OptionConsistencyTest,
+    ::testing::Combine(
+        ::testing::Values(OptionRuleVariant::kNonUnique,
+                          OptionRuleVariant::kUnique,
+                          OptionRuleVariant::kUniqueOnSymbol,
+                          OptionRuleVariant::kUniqueOnOptionSymbol),
+        ::testing::Values(0.3, 1.5), ::testing::Values(31u)),
+    [](const auto& info) {
+      std::string name;
+      switch (std::get<0>(info.param)) {
+        case OptionRuleVariant::kNonUnique: name = "NonUnique"; break;
+        case OptionRuleVariant::kUnique: name = "Unique"; break;
+        case OptionRuleVariant::kUniqueOnSymbol: name = "OnSymbol"; break;
+        case OptionRuleVariant::kUniqueOnOptionSymbol:
+          name = "OnOption";
+          break;
+      }
+      name += std::get<1>(info.param) < 1 ? "_Short" : "_Long";
+      name += "_Seed" + std::to_string(std::get<2>(info.param));
+      return name;
+    });
+
+/// Both views maintained simultaneously by two rules — the full PTA — must
+/// both be exact.
+TEST(PtaBothViewsTest, CompAndOptionRulesCoexist) {
+  MarketTrace trace = MakeTrace(77);
+  PtaExperiment exp(trace, SmallPta());
+  ASSERT_OK(exp.Setup(CompRuleSql(CompRuleVariant::kUniqueOnComp, 1.0)));
+  ASSERT_OK(exp.db()
+                .Execute(OptionRuleSql(OptionRuleVariant::kUniqueOnSymbol,
+                                       1.0))
+                .status());
+  ASSERT_OK_AND_ASSIGN(PtaRunResult result, exp.Run());
+  EXPECT_EQ(result.failed_tasks, 0u);
+  ASSERT_OK(CheckDerivedDataConsistency(exp.db(), 0.05, 1e-6, true, true));
+}
+
+/// Scheduling policy must not affect final correctness.
+TEST(PtaBothViewsTest, EdfPolicyAlsoConsistent) {
+  MarketTrace trace = MakeTrace(78);
+  PtaExperiment exp(trace, SmallPta());
+  ASSERT_OK(exp.Setup(CompRuleSql(CompRuleVariant::kUnique, 0.5)));
+  ASSERT_OK_AND_ASSIGN(PtaRunResult result, exp.Run());
+  EXPECT_EQ(result.failed_tasks, 0u);
+  ASSERT_OK(CheckDerivedDataConsistency(exp.db(), 0.05, 1e-6, true, false));
+}
+
+}  // namespace
+}  // namespace strip

@@ -1,0 +1,180 @@
+// Property tests for the from-scratch red-black tree (§6.1's tree index):
+// randomized insert/erase sequences checked against a reference
+// std::multimap, with the red-black invariants verified after every batch.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "strip/common/rng.h"
+#include "strip/storage/rbtree.h"
+#include "strip/storage/table.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+Schema KV() {
+  Schema s;
+  s.AddColumn("k", ValueType::kInt);
+  return s;
+}
+
+/// Harness pairing the tree with a reference multimap. Rows come from a
+/// backing table so RowIters are real.
+class Harness {
+ public:
+  Harness() : table_("t", KV()) {}
+
+  RowIter NewRow(int64_t tag) {
+    auto r = table_.Insert(MakeRecord({Value::Int(tag)}));
+    EXPECT_TRUE(r.ok());
+    return *r;
+  }
+
+  void Insert(int64_t key) {
+    RowIter row = NewRow(key);
+    tree_.Insert(Value::Int(key), row);
+    ref_.emplace(key, row);
+  }
+
+  bool EraseOne(int64_t key) {
+    auto it = ref_.find(key);
+    if (it == ref_.end()) {
+      EXPECT_FALSE(tree_.Erase(Value::Int(key), RowIter{}));
+      return false;
+    }
+    EXPECT_TRUE(tree_.Erase(Value::Int(key), it->second));
+    ref_.erase(it);
+    return true;
+  }
+
+  void CheckAgainstReference() {
+    ASSERT_OK(tree_.CheckInvariants());
+    ASSERT_EQ(tree_.size(), ref_.size());
+    // Full in-order traversal matches the reference key sequence.
+    std::vector<int64_t> tree_keys;
+    tree_.ForEach([&](const Value& k, RowIter) {
+      tree_keys.push_back(k.as_int());
+    });
+    std::vector<int64_t> ref_keys;
+    for (const auto& [k, v] : ref_) ref_keys.push_back(k);
+    ASSERT_EQ(tree_keys, ref_keys);
+  }
+
+  void CheckLookups(int64_t lo, int64_t hi) {
+    for (int64_t k = lo; k <= hi; ++k) {
+      std::vector<RowIter> got;
+      tree_.LookupEqual(Value::Int(k), got);
+      ASSERT_EQ(got.size(), ref_.count(k)) << "key " << k;
+    }
+    std::vector<RowIter> range;
+    tree_.LookupRange(Value::Int(lo), Value::Int(hi), range);
+    size_t expected = 0;
+    for (const auto& [k, v] : ref_) {
+      if (k >= lo && k <= hi) ++expected;
+    }
+    ASSERT_EQ(range.size(), expected);
+  }
+
+  RbTreeMap tree_;
+  std::multimap<int64_t, RowIter> ref_;
+  Table table_;
+};
+
+TEST(RbTreeTest, EmptyTree) {
+  RbTreeMap t;
+  EXPECT_TRUE(t.empty());
+  ASSERT_OK(t.CheckInvariants());
+  std::vector<RowIter> out;
+  t.LookupEqual(Value::Int(1), out);
+  EXPECT_TRUE(out.empty());
+  t.LookupRange(Value::Int(0), Value::Int(10), out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(t.Erase(Value::Int(1), RowIter{}));
+}
+
+TEST(RbTreeTest, AscendingInsertStaysBalanced) {
+  Harness h;
+  for (int64_t i = 0; i < 1000; ++i) h.Insert(i);
+  h.CheckAgainstReference();
+  h.CheckLookups(0, 50);
+}
+
+TEST(RbTreeTest, DescendingInsertStaysBalanced) {
+  Harness h;
+  for (int64_t i = 1000; i > 0; --i) h.Insert(i);
+  h.CheckAgainstReference();
+}
+
+TEST(RbTreeTest, DuplicateKeysPreserved) {
+  Harness h;
+  for (int round = 0; round < 5; ++round) {
+    for (int64_t k = 0; k < 20; ++k) h.Insert(k);
+  }
+  h.CheckAgainstReference();
+  std::vector<RowIter> out;
+  h.tree_.LookupEqual(Value::Int(7), out);
+  EXPECT_EQ(out.size(), 5u);
+  // Erase duplicates one at a time.
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(h.EraseOne(7));
+  EXPECT_FALSE(h.EraseOne(7));
+  h.CheckAgainstReference();
+}
+
+TEST(RbTreeTest, EraseToEmpty) {
+  Harness h;
+  for (int64_t i = 0; i < 300; ++i) h.Insert(i % 37);
+  while (!h.ref_.empty()) {
+    h.EraseOne(h.ref_.begin()->first);
+  }
+  EXPECT_TRUE(h.tree_.empty());
+  ASSERT_OK(h.tree_.CheckInvariants());
+}
+
+TEST(RbTreeTest, MixedValueTypesOrdered) {
+  RbTreeMap t;
+  Table table("t", KV());
+  auto row = table.Insert(MakeRecord({Value::Int(0)}));
+  ASSERT_OK(row.status());
+  t.Insert(Value::Double(2.5), *row);
+  t.Insert(Value::Int(2), *row);
+  t.Insert(Value::Int(3), *row);
+  ASSERT_OK(t.CheckInvariants());
+  std::vector<RowIter> out;
+  t.LookupRange(Value::Int(2), Value::Int(3), out);
+  EXPECT_EQ(out.size(), 3u);  // 2 <= 2.5 <= 3
+}
+
+/// Randomized sweep across seeds and workload mixes.
+class RbTreeRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RbTreeRandomTest, MatchesReferenceUnderRandomOps) {
+  int seed = std::get<0>(GetParam());
+  int erase_percent = std::get<1>(GetParam());
+  Rng rng(static_cast<uint64_t>(seed));
+  Harness h;
+  for (int batch = 0; batch < 20; ++batch) {
+    for (int i = 0; i < 200; ++i) {
+      int64_t key = rng.UniformInt(0, 99);
+      if (rng.UniformInt(0, 99) < erase_percent) {
+        h.EraseOne(key);
+      } else {
+        h.Insert(key);
+      }
+    }
+    ASSERT_OK(h.tree_.CheckInvariants());
+    ASSERT_EQ(h.tree_.size(), h.ref_.size());
+  }
+  h.CheckAgainstReference();
+  h.CheckLookups(0, 99);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RbTreeRandomTest,
+                         ::testing::Combine(::testing::Values(1, 2, 3, 4, 5,
+                                                              6, 7, 8),
+                                            ::testing::Values(20, 50, 70)));
+
+}  // namespace
+}  // namespace strip

@@ -1,0 +1,169 @@
+// End-to-end SQL smoke tests through the Database facade.
+
+#include <gtest/gtest.h>
+
+#include "strip/engine/database.h"
+
+namespace strip {
+namespace {
+
+#define ASSERT_OK(expr)                              \
+  do {                                               \
+    auto _st = (expr);                               \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();         \
+  } while (0)
+
+class SqlBasicTest : public ::testing::Test {
+ protected:
+  Database db_;
+
+  ResultSet MustQuery(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? r.take() : ResultSet{};
+  }
+};
+
+TEST_F(SqlBasicTest, CreateInsertSelect) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table t (a int, b double, c string);
+    insert into t values (1, 1.5, 'x'), (2, 2.5, 'y'), (3, 3.5, 'z');
+  )"));
+  ResultSet rs = MustQuery("select a, b, c from t order by a");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(1));
+  EXPECT_EQ(rs.rows[2][2], Value::Str("z"));
+}
+
+TEST_F(SqlBasicTest, SelectStar) {
+  ASSERT_OK(db_.ExecuteScript(
+      "create table t (a int, b string); insert into t values (7, 'q')"));
+  ResultSet rs = MustQuery("select * from t");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  ASSERT_EQ(rs.schema.num_columns(), 2);
+  EXPECT_EQ(rs.schema.column(0).name, "a");
+  EXPECT_EQ(rs.rows[0][1], Value::Str("q"));
+}
+
+TEST_F(SqlBasicTest, WhereFilter) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table t (a int, b int);
+    insert into t values (1, 10), (2, 20), (3, 30), (4, 40);
+  )"));
+  ResultSet rs = MustQuery("select a from t where b > 15 and a < 4");
+  EXPECT_EQ(rs.num_rows(), 2u);
+  rs = MustQuery("select a from t where b = 20 or b = 40 order by a desc");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(4));
+}
+
+TEST_F(SqlBasicTest, JoinTwoTables) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table l (k string, v int);
+    create table r (k string, w int);
+    insert into l values ('a', 1), ('b', 2), ('c', 3);
+    insert into r values ('a', 10), ('b', 20), ('d', 40);
+  )"));
+  ResultSet rs = MustQuery(
+      "select l.k, v, w from l, r where l.k = r.k order by l.k");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Str("a"));
+  EXPECT_EQ(rs.rows[0][2], Value::Int(10));
+  EXPECT_EQ(rs.rows[1][1], Value::Int(2));
+}
+
+TEST_F(SqlBasicTest, GroupByAggregates) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table t (g string, v double);
+    insert into t values ('a', 1.0), ('a', 2.0), ('b', 5.0), ('b', 7.0),
+                         ('b', 9.0);
+  )"));
+  ResultSet rs = MustQuery(
+      "select g, sum(v) as s, count(*) as n, avg(v) as m, min(v) as lo, "
+      "max(v) as hi from t group by g order by g");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].as_double(), 3.0);
+  EXPECT_EQ(rs.rows[0][2], Value::Int(2));
+  EXPECT_DOUBLE_EQ(rs.rows[1][3].as_double(), 7.0);
+  EXPECT_DOUBLE_EQ(rs.rows[1][4].as_double(), 5.0);
+  EXPECT_DOUBLE_EQ(rs.rows[1][5].as_double(), 9.0);
+}
+
+TEST_F(SqlBasicTest, GlobalAggregateOnEmptyTable) {
+  ASSERT_OK(db_.ExecuteScript("create table t (v int)"));
+  ResultSet rs = MustQuery("select count(*) as n, sum(v) as s from t");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(0));
+  EXPECT_TRUE(rs.rows[0][1].is_null());
+}
+
+TEST_F(SqlBasicTest, UpdateWithCompoundAssign) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table t (k string, v double);
+    insert into t values ('a', 10.0), ('b', 20.0);
+  )"));
+  ResultSet rs = MustQuery("update t set v += 5.0 where k = 'a'");
+  EXPECT_EQ(rs.rows[0][0], Value::Int(1));
+  rs = MustQuery("select v from t where k = 'a'");
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].as_double(), 15.0);
+}
+
+TEST_F(SqlBasicTest, DeleteRows) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table t (v int);
+    insert into t values (1), (2), (3), (4);
+  )"));
+  MustQuery("delete from t where v > 2");
+  ResultSet rs = MustQuery("select count(*) as n from t");
+  EXPECT_EQ(rs.rows[0][0], Value::Int(2));
+}
+
+TEST_F(SqlBasicTest, IndexedLookupMatchesScan) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table t (k string, v int);
+    insert into t values ('a', 1), ('b', 2), ('a', 3);
+    create index on t (k);
+  )"));
+  ResultSet rs = MustQuery("select v from t where k = 'a' order by v");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(1));
+  EXPECT_EQ(rs.rows[1][0], Value::Int(3));
+}
+
+TEST_F(SqlBasicTest, ScalarFunctions) {
+  ASSERT_OK(db_.ExecuteScript(
+      "create table t (v double); insert into t values (4.0)"));
+  ResultSet rs = MustQuery(
+      "select sqrt(v) as a, abs(-2) as b, normcdf(0.0) as c from t");
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].as_double(), 2.0);
+  EXPECT_EQ(rs.rows[0][1], Value::Int(2));
+  EXPECT_DOUBLE_EQ(rs.rows[0][2].as_double(), 0.5);
+}
+
+TEST_F(SqlBasicTest, MaterializedView) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table t (g string, v double);
+    insert into t values ('a', 1.0), ('a', 2.0), ('b', 3.0);
+    create materialized view mv as
+      select g, sum(v) as total from t group by g;
+  )"));
+  ResultSet rs = MustQuery("select g, total from mv order by g");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(rs.rows[1][1].as_double(), 3.0);
+}
+
+TEST_F(SqlBasicTest, ErrorsAreStatuses) {
+  EXPECT_EQ(db_.Execute("select * from nonexistent").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(db_.Execute("selecty nonsense").status().code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_OK(db_.ExecuteScript("create table t (a int)"));
+  EXPECT_EQ(db_.Execute("create table t (b int)").status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(db_.Execute("select nosuchcol from t").status().code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace strip

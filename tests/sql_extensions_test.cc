@@ -1,0 +1,155 @@
+// Tests for the extended SQL subset: DISTINCT, HAVING, LIMIT, IN-lists,
+// BETWEEN, and their interactions.
+
+#include <gtest/gtest.h>
+
+#include "strip/engine/database.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+class SqlExtensionsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.ExecuteScript(R"(
+      create table t (g string, v int);
+      insert into t values
+        ('a', 1), ('a', 2), ('b', 3), ('b', 4), ('b', 5), ('c', 6),
+        ('a', 1);
+    )"));
+  }
+
+  ResultSet MustQuery(const std::string& sql) {
+    auto r = db_.Execute(sql);
+    EXPECT_TRUE(r.ok()) << sql << " -> " << r.status().ToString();
+    return r.ok() ? r.take() : ResultSet{};
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlExtensionsTest, DistinctRemovesDuplicateRows) {
+  ResultSet rs = MustQuery("select distinct g from t order by g");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.rows[0][0], Value::Str("a"));
+  EXPECT_EQ(rs.rows[2][0], Value::Str("c"));
+  // Multi-column distinct keeps distinct combinations.
+  rs = MustQuery("select distinct g, v from t");
+  EXPECT_EQ(rs.num_rows(), 6u);  // ('a',1) duplicated once
+}
+
+TEST_F(SqlExtensionsTest, DistinctWithAggregation) {
+  ResultSet rs = MustQuery(
+      "select distinct count(*) as n from t group by g order by n");
+  // Group sizes are 3 ('a'), 3 ('b'), 1 ('c') -> distinct {1, 3}.
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(1));
+  EXPECT_EQ(rs.rows[1][0], Value::Int(3));
+}
+
+TEST_F(SqlExtensionsTest, HavingFiltersGroups) {
+  ResultSet rs = MustQuery(
+      "select g, sum(v) as s from t group by g having sum(v) > 4 "
+      "order by g");
+  ASSERT_EQ(rs.num_rows(), 2u);  // b (12), c (6); a (4) filtered
+  EXPECT_EQ(rs.rows[0][0], Value::Str("b"));
+  EXPECT_EQ(rs.rows[1][0], Value::Str("c"));
+}
+
+TEST_F(SqlExtensionsTest, HavingMayUseAggregatesNotInSelectList) {
+  ResultSet rs = MustQuery(
+      "select g from t group by g having count(*) = 1");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Str("c"));
+}
+
+TEST_F(SqlExtensionsTest, HavingWithoutAggregationIsError) {
+  EXPECT_EQ(db_.Execute("select g from t having g = 'a'").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SqlExtensionsTest, LimitTruncatesAfterOrdering) {
+  ResultSet rs = MustQuery("select v from t order by v desc limit 2");
+  ASSERT_EQ(rs.num_rows(), 2u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(6));
+  EXPECT_EQ(rs.rows[1][0], Value::Int(5));
+  EXPECT_EQ(MustQuery("select v from t limit 0").num_rows(), 0u);
+  // Limit larger than the result is a no-op.
+  EXPECT_EQ(MustQuery("select v from t limit 100").num_rows(), 7u);
+}
+
+TEST_F(SqlExtensionsTest, LimitOnAggregatedQuery) {
+  ResultSet rs = MustQuery(
+      "select g, sum(v) as s from t group by g order by s desc limit 1");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Str("b"));
+}
+
+TEST_F(SqlExtensionsTest, InList) {
+  ResultSet rs = MustQuery(
+      "select v from t where g in ('a', 'c') order by v");
+  ASSERT_EQ(rs.num_rows(), 4u);
+  EXPECT_EQ(rs.rows[3][0], Value::Int(6));
+  rs = MustQuery("select v from t where v in (1, 3, 99) order by v");
+  ASSERT_EQ(rs.num_rows(), 3u);  // two 1s + one 3
+}
+
+TEST_F(SqlExtensionsTest, NotIn) {
+  ResultSet rs = MustQuery(
+      "select distinct g from t where g not in ('a', 'b')");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Str("c"));
+}
+
+TEST_F(SqlExtensionsTest, Between) {
+  ResultSet rs = MustQuery(
+      "select v from t where v between 3 and 5 order by v");
+  ASSERT_EQ(rs.num_rows(), 3u);
+  EXPECT_EQ(rs.rows[0][0], Value::Int(3));
+  EXPECT_EQ(rs.rows[2][0], Value::Int(5));
+  rs = MustQuery("select v from t where v not between 2 and 5 order by v");
+  ASSERT_EQ(rs.num_rows(), 3u);  // 1, 1, 6
+}
+
+TEST_F(SqlExtensionsTest, BetweenBindsTighterThanAnd) {
+  // `v between 1 and 2 and g = 'a'` must parse as
+  // `(v between 1 and 2) and (g = 'a')`.
+  ResultSet rs = MustQuery(
+      "select v from t where v between 1 and 2 and g = 'a' order by v");
+  ASSERT_EQ(rs.num_rows(), 3u);  // 1, 1, 2 (all in group a)
+}
+
+TEST_F(SqlExtensionsTest, InDesugarsToOrChain) {
+  auto stmt = Parser::ParseStatement("select v from t where v in (1, 2)");
+  ASSERT_OK(stmt.status());
+  const auto& sel = std::get<SelectStmt>(*stmt);
+  EXPECT_EQ(sel.where->ToString(), "((v = 1) or (v = 2))");
+}
+
+TEST_F(SqlExtensionsTest, CombinedClauses) {
+  ResultSet rs = MustQuery(
+      "select distinct g, sum(v) as s from t where v between 1 and 5 "
+      "group by g having count(*) >= 2 order by s desc limit 1");
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_EQ(rs.rows[0][0], Value::Str("b"));
+  EXPECT_DOUBLE_EQ(rs.rows[0][1].as_double(), 12.0);
+}
+
+TEST_F(SqlExtensionsTest, ToStringRoundTrip) {
+  auto stmt = Parser::ParseStatement(
+      "select distinct g from t group by g having count(*) > 1 "
+      "order by g limit 5");
+  ASSERT_OK(stmt.status());
+  std::string text = std::get<SelectStmt>(*stmt).ToString();
+  EXPECT_NE(text.find("distinct"), std::string::npos);
+  EXPECT_NE(text.find("having"), std::string::npos);
+  EXPECT_NE(text.find("limit 5"), std::string::npos);
+  // The printed form parses back to the same form.
+  auto reparsed = Parser::ParseStatement(text);
+  ASSERT_OK(reparsed.status());
+  EXPECT_EQ(std::get<SelectStmt>(*reparsed).ToString(), text);
+}
+
+}  // namespace
+}  // namespace strip

@@ -1,0 +1,221 @@
+// Unit tests for the storage layer: schemas, tables (copy-on-write rows,
+// row-id map, resurrection), hash / red-black-tree indexes, catalog.
+
+#include <gtest/gtest.h>
+
+#include "strip/storage/catalog.h"
+#include "strip/storage/table.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+Schema TwoColumnSchema() {
+  Schema s;
+  s.AddColumn("k", ValueType::kString);
+  s.AddColumn("v", ValueType::kDouble);
+  return s;
+}
+
+TEST(SchemaTest, ColumnsAreLowerCasedAndFound) {
+  Schema s;
+  s.AddColumn("Price", ValueType::kDouble);
+  EXPECT_EQ(s.column(0).name, "price");
+  EXPECT_EQ(s.FindColumn("PRICE"), 0);
+  EXPECT_EQ(s.FindColumn("nope"), -1);
+}
+
+TEST(SchemaTest, Equals) {
+  Schema a = TwoColumnSchema();
+  Schema b = TwoColumnSchema();
+  EXPECT_TRUE(a.Equals(b));
+  b.AddColumn("extra", ValueType::kInt);
+  EXPECT_FALSE(a.Equals(b));
+  Schema c;
+  c.AddColumn("k", ValueType::kString);
+  c.AddColumn("v", ValueType::kInt);  // different type
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(SchemaTest, ToString) {
+  EXPECT_EQ(TwoColumnSchema().ToString(), "(k string, v double)");
+}
+
+TEST(TableTest, InsertAssignsStableRowIds) {
+  Table t("t", TwoColumnSchema());
+  ASSERT_OK_AND_ASSIGN(RowIter r1,
+                       t.Insert(MakeRecord({Value::Str("a"), Value::Double(1)})));
+  ASSERT_OK_AND_ASSIGN(RowIter r2,
+                       t.Insert(MakeRecord({Value::Str("b"), Value::Double(2)})));
+  EXPECT_NE(r1->id, r2->id);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.FindRow(r1->id), r1);
+}
+
+TEST(TableTest, InsertValidatesArityAndTypes) {
+  Table t("t", TwoColumnSchema());
+  EXPECT_EQ(t.Insert(MakeRecord({Value::Str("a")})).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(t.Insert(MakeRecord({Value::Int(1), Value::Double(1)}))
+                .status().code(),
+            StatusCode::kInvalidArgument);
+  // Ints coerce into double columns.
+  ASSERT_OK_AND_ASSIGN(RowIter r,
+                       t.Insert(MakeRecord({Value::Str("a"), Value::Int(3)})));
+  EXPECT_EQ(r->rec->values[1].type(), ValueType::kDouble);
+  // Nulls are allowed in any column.
+  EXPECT_OK(t.Insert(MakeRecord({Value::Null(), Value::Null()})).status());
+}
+
+TEST(TableTest, UpdateIsCopyOnWrite) {
+  Table t("t", TwoColumnSchema());
+  ASSERT_OK_AND_ASSIGN(RowIter r,
+                       t.Insert(MakeRecord({Value::Str("a"), Value::Double(1)})));
+  RecordRef old_rec = r->rec;
+  uint64_t id = r->id;
+  ASSERT_OK(t.Update(r, MakeRecord({Value::Str("a"), Value::Double(9)})));
+  // The old record object is unchanged (held alive by our reference, §6.1);
+  // the row slot holds a new version under the same row id.
+  EXPECT_DOUBLE_EQ(old_rec->values[1].as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(r->rec->values[1].as_double(), 9.0);
+  EXPECT_EQ(r->id, id);
+  EXPECT_NE(old_rec.get(), r->rec.get());
+}
+
+TEST(TableTest, EraseRemovesFromIdMap) {
+  Table t("t", TwoColumnSchema());
+  ASSERT_OK_AND_ASSIGN(RowIter r,
+                       t.Insert(MakeRecord({Value::Str("a"), Value::Double(1)})));
+  uint64_t id = r->id;
+  t.Erase(r);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.FindRow(id), t.rows().end());
+}
+
+TEST(TableTest, ResurrectRestoresRowUnderOldId) {
+  Table t("t", TwoColumnSchema());
+  ASSERT_OK_AND_ASSIGN(RowIter r,
+                       t.Insert(MakeRecord({Value::Str("a"), Value::Double(1)})));
+  uint64_t id = r->id;
+  RecordRef rec = r->rec;
+  t.Erase(r);
+  ASSERT_OK_AND_ASSIGN(RowIter back, t.ResurrectRow(id, rec));
+  EXPECT_EQ(back->id, id);
+  EXPECT_EQ(t.FindRow(id), back);
+  // Resurrecting a live id fails.
+  EXPECT_EQ(t.ResurrectRow(id, rec).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+class IndexedTableTest : public ::testing::TestWithParam<IndexKind> {
+ protected:
+  IndexedTableTest() : table_("t", TwoColumnSchema()) {
+    Status st = table_.CreateTableIndex("k", GetParam());
+    EXPECT_TRUE(st.ok());
+  }
+
+  void Insert(const std::string& k, double v) {
+    auto r = table_.Insert(MakeRecord({Value::Str(k), Value::Double(v)}));
+    ASSERT_TRUE(r.ok());
+  }
+
+  Table table_;
+};
+
+TEST_P(IndexedTableTest, LookupFindsAllDuplicates) {
+  Insert("a", 1);
+  Insert("b", 2);
+  Insert("a", 3);
+  auto rows = table_.IndexLookup(0, Value::Str("a"));
+  EXPECT_EQ(rows.size(), 2u);
+  rows = table_.IndexLookup(0, Value::Str("b"));
+  EXPECT_EQ(rows.size(), 1u);
+  rows = table_.IndexLookup(0, Value::Str("zzz"));
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST_P(IndexedTableTest, IndexTracksUpdatesOfKeyColumn) {
+  Insert("a", 1);
+  RowIter r = table_.IndexLookup(0, Value::Str("a"))[0];
+  ASSERT_OK(table_.Update(r, MakeRecord({Value::Str("z"), Value::Double(1)})));
+  EXPECT_TRUE(table_.IndexLookup(0, Value::Str("a")).empty());
+  EXPECT_EQ(table_.IndexLookup(0, Value::Str("z")).size(), 1u);
+}
+
+TEST_P(IndexedTableTest, IndexTracksErase) {
+  Insert("a", 1);
+  Insert("a", 2);
+  RowIter r = table_.IndexLookup(0, Value::Str("a"))[0];
+  table_.Erase(r);
+  EXPECT_EQ(table_.IndexLookup(0, Value::Str("a")).size(), 1u);
+}
+
+TEST_P(IndexedTableTest, IndexBuiltOverExistingRows) {
+  Insert("x", 1);
+  Insert("y", 2);
+  // Second index on the other column, built after the fact.
+  ASSERT_OK(table_.CreateTableIndex("v", GetParam()));
+  EXPECT_EQ(table_.IndexLookup(1, Value::Double(2)).size(), 1u);
+}
+
+TEST_P(IndexedTableTest, DuplicateIndexRejected) {
+  EXPECT_EQ(table_.CreateTableIndex("k", GetParam()).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(table_.CreateTableIndex("nope", GetParam()).code(),
+            StatusCode::kNotFound);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothKinds, IndexedTableTest,
+                         ::testing::Values(IndexKind::kHash,
+                                           IndexKind::kRbTree),
+                         [](const auto& info) {
+                           return info.param == IndexKind::kHash ? "Hash"
+                                                                 : "RbTree";
+                         });
+
+TEST(RbTreeIndexTest, RangeLookupIsOrdered) {
+  RbTreeIndex idx("i", 0);
+  Table t("t", TwoColumnSchema());
+  std::vector<RowIter> iters;
+  for (int i = 0; i < 10; ++i) {
+    auto r = t.Insert(
+        MakeRecord({Value::Str("k" + std::to_string(i)), Value::Double(i)}));
+    ASSERT_TRUE(r.ok());
+    idx.Insert(Value::Int(9 - i), *r);  // insert keys in reverse
+  }
+  std::vector<RowIter> out;
+  idx.LookupRange(Value::Int(3), Value::Int(6), out);
+  ASSERT_EQ(out.size(), 4u);
+  // Range scan returns rows in ascending key order: keys 3,4,5,6 map to
+  // rows k6,k5,k4,k3.
+  EXPECT_EQ(out[0]->rec->values[0], Value::Str("k6"));
+  EXPECT_EQ(out[3]->rec->values[0], Value::Str("k3"));
+}
+
+TEST(CatalogTest, CreateFindDrop) {
+  Catalog c;
+  ASSERT_OK_AND_ASSIGN(Table * t, c.CreateTable("Foo", TwoColumnSchema()));
+  EXPECT_EQ(t->name(), "foo");
+  EXPECT_EQ(c.FindTable("FOO"), t);
+  EXPECT_EQ(c.GetTable("foo").value(), t);
+  EXPECT_EQ(c.CreateTable("foo", TwoColumnSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(c.num_tables(), 1u);
+  ASSERT_OK(c.DropTable("foo"));
+  EXPECT_EQ(c.FindTable("foo"), nullptr);
+  EXPECT_EQ(c.DropTable("foo").code(), StatusCode::kNotFound);
+  EXPECT_EQ(c.GetTable("foo").status().code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, ListTablesSorted) {
+  Catalog c;
+  EXPECT_OK(c.CreateTable("zebra", TwoColumnSchema()).status());
+  EXPECT_OK(c.CreateTable("apple", TwoColumnSchema()).status());
+  auto names = c.ListTables();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "apple");
+  EXPECT_EQ(names[1], "zebra");
+}
+
+}  // namespace
+}  // namespace strip

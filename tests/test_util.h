@@ -1,0 +1,29 @@
+#ifndef STRIP_TESTS_TEST_UTIL_H_
+#define STRIP_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "strip/common/status.h"
+
+#define ASSERT_OK(expr)                              \
+  do {                                               \
+    auto _st = (expr);                               \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();         \
+  } while (0)
+
+#define EXPECT_OK(expr)                              \
+  do {                                               \
+    auto _st = (expr);                               \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();         \
+  } while (0)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, expr)              \
+  STRIP_ASSIGN_OR_RETURN_TEST_IMPL(                  \
+      STRIP_CONCAT_(_test_res_, __LINE__), lhs, expr)
+
+#define STRIP_ASSIGN_OR_RETURN_TEST_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();      \
+  lhs = tmp.take()
+
+#endif  // STRIP_TESTS_TEST_UTIL_H_

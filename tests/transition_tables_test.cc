@@ -1,0 +1,102 @@
+// Transition-table construction tests (§2, §6.3): the four tables, shared
+// execute_order for update pairs, pointer-backed layout, version pinning.
+
+#include <gtest/gtest.h>
+
+#include "strip/rules/transition_tables.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+Schema KV() {
+  Schema s;
+  s.AddColumn("k", ValueType::kString);
+  s.AddColumn("v", ValueType::kInt);
+  return s;
+}
+
+TEST(TransitionTablesTest, SchemaAppendsExecuteOrder) {
+  Table t("t", KV());
+  Schema s = TransitionSchema(t);
+  ASSERT_EQ(s.num_columns(), 3);
+  EXPECT_EQ(s.column(2).name, "execute_order");
+  EXPECT_EQ(s.column(2).type, ValueType::kInt);
+}
+
+TEST(TransitionTablesTest, FourTablesFromMixedLog) {
+  Table t("t", KV());
+  TxnLog log;
+
+  // insert a; update a -> 10; insert b; delete b
+  auto a = t.Insert(MakeRecord({Value::Str("a"), Value::Int(1)}));
+  log.Append(LogOp::kInsert, &t, (*a)->id, nullptr, (*a)->rec);
+  RecordRef old_a = (*a)->rec;
+  ASSERT_OK(t.Update(*a, MakeRecord({Value::Str("a"), Value::Int(10)})));
+  log.Append(LogOp::kUpdate, &t, (*a)->id, old_a, (*a)->rec);
+  auto b = t.Insert(MakeRecord({Value::Str("b"), Value::Int(2)}));
+  log.Append(LogOp::kInsert, &t, (*b)->id, nullptr, (*b)->rec);
+  log.Append(LogOp::kDelete, &t, (*b)->id, (*b)->rec, nullptr);
+  t.Erase(*b);
+
+  BoundTableSet tt = BuildTransitionTables(t, log);
+  const TempTable* inserted = tt.Find("inserted");
+  const TempTable* deleted = tt.Find("deleted");
+  const TempTable* old_t = tt.Find("old");
+  const TempTable* new_t = tt.Find("new");
+  ASSERT_NE(inserted, nullptr);
+  ASSERT_NE(deleted, nullptr);
+  ASSERT_NE(old_t, nullptr);
+  ASSERT_NE(new_t, nullptr);
+
+  // No net-effect reduction: b shows in inserted AND deleted (§2).
+  ASSERT_EQ(inserted->size(), 2u);
+  ASSERT_EQ(deleted->size(), 1u);
+  EXPECT_EQ(deleted->Get(0, 0), Value::Str("b"));
+
+  // The update's old/new images share their execute_order (2).
+  ASSERT_EQ(old_t->size(), 1u);
+  ASSERT_EQ(new_t->size(), 1u);
+  EXPECT_EQ(old_t->Get(0, 2), Value::Int(2));
+  EXPECT_EQ(new_t->Get(0, 2), Value::Int(2));
+  EXPECT_EQ(old_t->Get(0, 1), Value::Int(1));
+  EXPECT_EQ(new_t->Get(0, 1), Value::Int(10));
+
+  // Sequence: insert a (1), update (2), insert b (3), delete b (4).
+  EXPECT_EQ(inserted->Get(0, 2), Value::Int(1));
+  EXPECT_EQ(inserted->Get(1, 2), Value::Int(3));
+  EXPECT_EQ(deleted->Get(0, 2), Value::Int(4));
+}
+
+TEST(TransitionTablesTest, OtherTablesEntriesIgnored) {
+  Table t("t", KV());
+  Table other("other", KV());
+  TxnLog log;
+  auto r = other.Insert(MakeRecord({Value::Str("x"), Value::Int(1)}));
+  log.Append(LogOp::kInsert, &other, (*r)->id, nullptr, (*r)->rec);
+  BoundTableSet tt = BuildTransitionTables(t, log);
+  EXPECT_EQ(tt.Find("inserted")->size(), 0u);
+  EXPECT_EQ(tt.TotalTuples(), 0u);
+}
+
+TEST(TransitionTablesTest, OldImagesSurviveFurtherChanges) {
+  // Transition tables pin the record versions they reference; later base
+  // changes must not alter what the rule action sees (§6.1).
+  Table t("t", KV());
+  TxnLog log;
+  auto a = t.Insert(MakeRecord({Value::Str("a"), Value::Int(1)}));
+  RecordRef old_a = (*a)->rec;
+  ASSERT_OK(t.Update(*a, MakeRecord({Value::Str("a"), Value::Int(2)})));
+  log.Append(LogOp::kUpdate, &t, (*a)->id, old_a, (*a)->rec);
+  BoundTableSet tt = BuildTransitionTables(t, log);
+
+  // Simulate a later transaction changing and then deleting the row.
+  ASSERT_OK(t.Update(*a, MakeRecord({Value::Str("a"), Value::Int(99)})));
+  t.Erase(t.FindRow(1));
+
+  EXPECT_EQ(tt.Find("old")->Get(0, 1), Value::Int(1));
+  EXPECT_EQ(tt.Find("new")->Get(0, 1), Value::Int(2));
+}
+
+}  // namespace
+}  // namespace strip

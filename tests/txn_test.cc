@@ -1,0 +1,195 @@
+// Transaction log + rollback tests: undo of inserts / deletes / updates
+// (including mixed sequences and insert-then-delete of the same row),
+// transaction state machine, database-level abort semantics.
+
+#include <gtest/gtest.h>
+
+#include "strip/engine/database.h"
+#include "strip/txn/transaction.h"
+#include "strip/txn/txn_log.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+Schema KV() {
+  Schema s;
+  s.AddColumn("k", ValueType::kString);
+  s.AddColumn("v", ValueType::kInt);
+  return s;
+}
+
+std::string Dump(const Table& t) {
+  std::string out;
+  for (const Row& r : t.rows()) {
+    out += r.rec->values[0].ToString() + "=" +
+           r.rec->values[1].ToString() + ";";
+  }
+  return out;
+}
+
+TEST(TxnLogTest, ExecuteOrderIsSequential) {
+  Table t("t", KV());
+  TxnLog log;
+  auto r1 = t.Insert(MakeRecord({Value::Str("a"), Value::Int(1)}));
+  log.Append(LogOp::kInsert, &t, (*r1)->id, nullptr, (*r1)->rec);
+  auto r2 = t.Insert(MakeRecord({Value::Str("b"), Value::Int(2)}));
+  log.Append(LogOp::kInsert, &t, (*r2)->id, nullptr, (*r2)->rec);
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.entries()[0].execute_order, 1);
+  EXPECT_EQ(log.entries()[1].execute_order, 2);
+}
+
+TEST(TxnLogTest, UndoInsert) {
+  Table t("t", KV());
+  TxnLog log;
+  auto r = t.Insert(MakeRecord({Value::Str("a"), Value::Int(1)}));
+  log.Append(LogOp::kInsert, &t, (*r)->id, nullptr, (*r)->rec);
+  ASSERT_OK(log.Undo());
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(TxnLogTest, UndoDeleteRestoresRow) {
+  Table t("t", KV());
+  auto r = t.Insert(MakeRecord({Value::Str("a"), Value::Int(1)}));
+  uint64_t id = (*r)->id;
+  TxnLog log;
+  log.Append(LogOp::kDelete, &t, id, (*r)->rec, nullptr);
+  t.Erase(*r);
+  ASSERT_OK(log.Undo());
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_NE(t.FindRow(id), t.rows().end());
+  EXPECT_EQ(Dump(t), "a=1;");
+}
+
+TEST(TxnLogTest, UndoUpdateRestoresOldImage) {
+  Table t("t", KV());
+  auto r = t.Insert(MakeRecord({Value::Str("a"), Value::Int(1)}));
+  TxnLog log;
+  RecordRef old_rec = (*r)->rec;
+  ASSERT_OK(t.Update(*r, MakeRecord({Value::Str("a"), Value::Int(99)})));
+  log.Append(LogOp::kUpdate, &t, (*r)->id, old_rec, (*r)->rec);
+  ASSERT_OK(log.Undo());
+  EXPECT_EQ(Dump(t), "a=1;");
+}
+
+TEST(TxnLogTest, UndoMixedSequenceInReverse) {
+  Table t("t", KV());
+  auto a = t.Insert(MakeRecord({Value::Str("a"), Value::Int(1)}));
+  std::string before = Dump(t);
+
+  TxnLog log;
+  // 1. update a -> 10
+  RecordRef old_a = (*a)->rec;
+  ASSERT_OK(t.Update(*a, MakeRecord({Value::Str("a"), Value::Int(10)})));
+  log.Append(LogOp::kUpdate, &t, (*a)->id, old_a, (*a)->rec);
+  // 2. insert b
+  auto b = t.Insert(MakeRecord({Value::Str("b"), Value::Int(2)}));
+  log.Append(LogOp::kInsert, &t, (*b)->id, nullptr, (*b)->rec);
+  // 3. delete a
+  log.Append(LogOp::kDelete, &t, (*a)->id, (*a)->rec, nullptr);
+  t.Erase(*a);
+  // 4. update b -> 20
+  RecordRef old_b = (*b)->rec;
+  ASSERT_OK(t.Update(*b, MakeRecord({Value::Str("b"), Value::Int(20)})));
+  log.Append(LogOp::kUpdate, &t, (*b)->id, old_b, (*b)->rec);
+
+  ASSERT_OK(log.Undo());
+  EXPECT_EQ(Dump(t), before);
+}
+
+TEST(TxnLogTest, UndoInsertThenDeleteOfSameRow) {
+  // The log is NOT net-effect reduced (§2): both entries exist and undo
+  // in reverse order leaves the table unchanged.
+  Table t("t", KV());
+  TxnLog log;
+  auto r = t.Insert(MakeRecord({Value::Str("x"), Value::Int(5)}));
+  log.Append(LogOp::kInsert, &t, (*r)->id, nullptr, (*r)->rec);
+  log.Append(LogOp::kDelete, &t, (*r)->id, (*r)->rec, nullptr);
+  t.Erase(*r);
+  ASSERT_OK(log.Undo());
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(TransactionTest, StateMachine) {
+  Transaction txn(1, 100);
+  EXPECT_TRUE(txn.active());
+  EXPECT_EQ(txn.state(), TxnState::kActive);
+  EXPECT_EQ(txn.start_time(), 100);
+  txn.MarkCommitted(200);
+  EXPECT_EQ(txn.state(), TxnState::kCommitted);
+  EXPECT_EQ(txn.commit_time(), 200);
+  EXPECT_FALSE(txn.active());
+  EXPECT_STREQ(TxnStateName(TxnState::kCommitted), "committed");
+}
+
+// --- database-level transaction semantics ---------------------------------
+
+TEST(DatabaseTxnTest, AbortRollsBackAllStatements) {
+  Database db;
+  ASSERT_OK(db.ExecuteScript(R"(
+    create table t (k string, v int);
+    insert into t values ('keep', 1);
+  )"));
+  ASSERT_OK_AND_ASSIGN(Transaction * txn, db.Begin());
+  ASSERT_OK(db.ExecuteInTxn(txn, "insert into t values ('tmp', 2)").status());
+  ASSERT_OK(db.ExecuteInTxn(txn, "update t set v = 99 where k = 'keep'")
+                .status());
+  ASSERT_OK(db.ExecuteInTxn(txn, "delete from t where k = 'keep'").status());
+  ASSERT_OK(db.Abort(txn));
+  auto rs = db.Execute("select k, v from t order by k");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs->num_rows(), 1u);
+  EXPECT_EQ(rs->rows[0][0], Value::Str("keep"));
+  EXPECT_EQ(rs->rows[0][1], Value::Int(1));
+}
+
+TEST(DatabaseTxnTest, CommitTwiceFails) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(Transaction * txn, db.Begin());
+  ASSERT_OK(db.Commit(txn));
+  // The transaction object is gone after commit; committing a stale or
+  // null pointer fails cleanly.
+  EXPECT_EQ(db.Commit(nullptr).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DatabaseTxnTest, ReadYourOwnWrites) {
+  Database db;
+  ASSERT_OK(db.ExecuteScript("create table t (v int)"));
+  ASSERT_OK_AND_ASSIGN(Transaction * txn, db.Begin());
+  ASSERT_OK(db.ExecuteInTxn(txn, "insert into t values (42)").status());
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db.ExecuteInTxn(txn, "select v from t"));
+  ASSERT_EQ(rs.num_rows(), 1u);
+  ASSERT_OK(db.Commit(txn));
+}
+
+TEST(DatabaseTxnTest, IsolationThroughTableLocks) {
+  // Strict 2PL with wait-die: a younger transaction requesting a lock held
+  // in a conflicting mode by an older transaction dies immediately.
+  Database db;
+  ASSERT_OK(db.ExecuteScript("create table t (v int); "
+                             "insert into t values (1)"));
+  ASSERT_OK_AND_ASSIGN(Transaction * older, db.Begin());
+  ASSERT_OK_AND_ASSIGN(Transaction * younger, db.Begin());
+  // Older takes X via an update.
+  ASSERT_OK(db.ExecuteInTxn(older, "update t set v = 2").status());
+  // Younger now conflicts and must die (not block, since we are single
+  // threaded here).
+  auto r = db.ExecuteInTxn(younger, "select v from t");
+  EXPECT_EQ(r.status().code(), StatusCode::kAborted);
+  ASSERT_OK(db.Abort(younger));
+  ASSERT_OK(db.Commit(older));
+}
+
+TEST(DatabaseTxnTest, DdlInsideTransactionRejected) {
+  Database db;
+  ASSERT_OK_AND_ASSIGN(Transaction * txn, db.Begin());
+  EXPECT_EQ(db.ExecuteInTxn(txn, "create table t (v int)").status().code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_OK(db.Abort(txn));
+}
+
+}  // namespace
+}  // namespace strip

@@ -1,0 +1,310 @@
+// Unique-transaction machinery tests: the Appendix A bound-table
+// partitioning semantics and the per-function hash table of queued tasks
+// (§6.3), including concurrent merge/start races.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "strip/rules/unique_manager.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+/// Builds a fully materialized bound table with the given columns/rows.
+TempTable MakeBound(const std::string& name,
+                    const std::vector<std::string>& columns,
+                    const std::vector<std::vector<Value>>& rows) {
+  Schema s;
+  for (const auto& c : columns) s.AddColumn(c, ValueType::kString);
+  TempTable t = TempTable::Materialized(name, std::move(s));
+  for (const auto& row : rows) {
+    t.Append(TempTuple{{}, row});
+  }
+  return t;
+}
+
+std::vector<Value> Strs(std::initializer_list<const char*> vs) {
+  std::vector<Value> out;
+  for (const char* v : vs) out.push_back(Value::Str(v));
+  return out;
+}
+
+TEST(PartitionTest, EmptyUniqueColumnsGivesOnePartition) {
+  BoundTableSet set;
+  ASSERT_OK(set.Add(MakeBound("m", {"comp"}, {Strs({"c1"}), Strs({"c2"})})));
+  ASSERT_OK_AND_ASSIGN(auto parts,
+                       PartitionByUniqueColumns(std::move(set), {}));
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_TRUE(parts[0].first.empty());
+  EXPECT_EQ(parts[0].second.Find("m")->size(), 2u);
+}
+
+TEST(PartitionTest, SingleTablePartitionsByDistinctValues) {
+  // The Figure 5(c) scenario: matches rows split per composite.
+  BoundTableSet set;
+  ASSERT_OK(set.Add(MakeBound("matches", {"comp", "sym"},
+                              {Strs({"c1", "s1"}), Strs({"c2", "s1"}),
+                               Strs({"c2", "s2"})})));
+  ASSERT_OK_AND_ASSIGN(auto parts,
+                       PartitionByUniqueColumns(std::move(set), {"comp"}));
+  ASSERT_EQ(parts.size(), 2u);
+  size_t c1 = parts[0].first[0] == Value::Str("c1") ? 0 : 1;
+  size_t c2 = 1 - c1;
+  EXPECT_EQ(parts[c1].second.Find("matches")->size(), 1u);
+  EXPECT_EQ(parts[c2].second.Find("matches")->size(), 2u);
+}
+
+TEST(PartitionTest, TablesWithoutUniqueColumnsArePassedWhole) {
+  // Appendix A: T^a tables go to every partition in full.
+  BoundTableSet set;
+  ASSERT_OK(set.Add(MakeBound("m", {"comp"}, {Strs({"c1"}), Strs({"c2"})})));
+  ASSERT_OK(set.Add(MakeBound("aux", {"x"}, {Strs({"a"}), Strs({"b"})})));
+  ASSERT_OK_AND_ASSIGN(auto parts,
+                       PartitionByUniqueColumns(std::move(set), {"comp"}));
+  ASSERT_EQ(parts.size(), 2u);
+  for (const auto& [key, tables] : parts) {
+    EXPECT_EQ(tables.Find("m")->size(), 1u);
+    EXPECT_EQ(tables.Find("aux")->size(), 2u);
+  }
+}
+
+TEST(PartitionTest, MultiColumnKeyWithinOneTable) {
+  BoundTableSet set;
+  ASSERT_OK(set.Add(MakeBound("m", {"a", "b"},
+                              {Strs({"x", "1"}), Strs({"x", "2"}),
+                               Strs({"x", "1"})})));
+  ASSERT_OK_AND_ASSIGN(auto parts,
+                       PartitionByUniqueColumns(std::move(set), {"a", "b"}));
+  ASSERT_EQ(parts.size(), 2u);
+  for (const auto& [key, tables] : parts) {
+    ASSERT_EQ(key.size(), 2u);
+    if (key[1] == Value::Str("1")) {
+      EXPECT_EQ(tables.Find("m")->size(), 2u);
+    } else {
+      EXPECT_EQ(tables.Find("m")->size(), 1u);
+    }
+  }
+}
+
+TEST(PartitionTest, UniqueColumnsSpanningTwoTablesCrossProduct) {
+  // Appendix A: the key space is the projection of the product B of the
+  // tables holding unique columns.
+  BoundTableSet set;
+  ASSERT_OK(set.Add(MakeBound("m1", {"a"}, {Strs({"x"}), Strs({"y"})})));
+  ASSERT_OK(set.Add(MakeBound("m2", {"b"}, {Strs({"1"}), Strs({"2"})})));
+  ASSERT_OK_AND_ASSIGN(auto parts,
+                       PartitionByUniqueColumns(std::move(set), {"a", "b"}));
+  ASSERT_EQ(parts.size(), 4u);  // {x,y} x {1,2}
+  for (const auto& [key, tables] : parts) {
+    EXPECT_EQ(tables.Find("m1")->size(), 1u);
+    EXPECT_EQ(tables.Find("m2")->size(), 1u);
+  }
+}
+
+TEST(PartitionTest, KeyOrderFollowsUniqueColumnsDeclaration) {
+  BoundTableSet set;
+  ASSERT_OK(set.Add(MakeBound("m", {"a", "b"}, {Strs({"x", "1"})})));
+  ASSERT_OK_AND_ASSIGN(auto parts,
+                       PartitionByUniqueColumns(std::move(set), {"b", "a"}));
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0].first[0], Value::Str("1"));  // b first
+  EXPECT_EQ(parts[0].first[1], Value::Str("x"));
+}
+
+TEST(PartitionTest, EmptyUniqueTableYieldsNoPartitions) {
+  BoundTableSet set;
+  ASSERT_OK(set.Add(MakeBound("m", {"comp"}, {})));
+  ASSERT_OK_AND_ASSIGN(auto parts,
+                       PartitionByUniqueColumns(std::move(set), {"comp"}));
+  EXPECT_TRUE(parts.empty());
+}
+
+TEST(PartitionTest, Errors) {
+  {
+    BoundTableSet set;
+    ASSERT_OK(set.Add(MakeBound("m", {"a"}, {Strs({"x"})})));
+    EXPECT_EQ(PartitionByUniqueColumns(std::move(set), {"nope"})
+                  .status().code(),
+              StatusCode::kNotFound);
+  }
+  {
+    BoundTableSet set;
+    ASSERT_OK(set.Add(MakeBound("m1", {"a"}, {Strs({"x"})})));
+    ASSERT_OK(set.Add(MakeBound("m2", {"a"}, {Strs({"y"})})));
+    EXPECT_EQ(PartitionByUniqueColumns(std::move(set), {"a"})
+                  .status().code(),
+              StatusCode::kInvalidArgument);  // ambiguous column home
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UniqueTxnManager
+// ---------------------------------------------------------------------------
+
+class UniqueTxnManagerTest : public ::testing::Test {
+ protected:
+  BoundTableSet OneRowSet(const char* comp) {
+    BoundTableSet set;
+    Status st = set.Add(MakeBound("m", {"comp"}, {Strs({comp})}));
+    EXPECT_TRUE(st.ok());
+    return set;
+  }
+
+  UniqueTxnManager::TaskFactory Factory() {
+    return [this](const std::vector<Value>&, BoundTableSet&& tables) {
+      auto task = std::make_shared<TaskControlBlock>(next_id_++);
+      task->function_name = "fn";
+      task->bound_tables = std::move(tables);
+      return task;
+    };
+  }
+
+  UniqueTxnManager mgr_;
+  uint64_t next_id_ = 1;
+};
+
+TEST_F(UniqueTxnManagerTest, FirstFiringCreatesTask) {
+  ASSERT_OK_AND_ASSIGN(
+      TaskPtr t, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
+                                    OneRowSet("c1"), Factory()));
+  ASSERT_NE(t, nullptr);
+  EXPECT_TRUE(t->is_unique);
+  EXPECT_EQ(t->unique_key[0], Value::Str("c1"));
+  EXPECT_EQ(mgr_.NumQueued("fn"), 1u);
+}
+
+TEST_F(UniqueTxnManagerTest, SecondFiringMergesIntoQueuedTask) {
+  ASSERT_OK_AND_ASSIGN(
+      TaskPtr t1, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
+                                     OneRowSet("c1"), Factory()));
+  ASSERT_OK_AND_ASSIGN(
+      TaskPtr t2, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
+                                     OneRowSet("c1"), Factory()));
+  EXPECT_EQ(t2, nullptr);  // merged, nothing to submit
+  EXPECT_EQ(t1->bound_tables.Find("m")->size(), 2u);
+  EXPECT_EQ(mgr_.merge_count(), 1u);
+  EXPECT_EQ(mgr_.NumQueued("fn"), 1u);
+}
+
+TEST_F(UniqueTxnManagerTest, DifferentKeysGetDifferentTasks) {
+  ASSERT_OK_AND_ASSIGN(
+      TaskPtr t1, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
+                                     OneRowSet("c1"), Factory()));
+  ASSERT_OK_AND_ASSIGN(
+      TaskPtr t2, mgr_.MergeOrCreate("fn", {Value::Str("c2")},
+                                     OneRowSet("c2"), Factory()));
+  EXPECT_NE(t1, nullptr);
+  EXPECT_NE(t2, nullptr);
+  EXPECT_NE(t1, t2);
+  EXPECT_EQ(mgr_.NumQueued("fn"), 2u);
+}
+
+TEST_F(UniqueTxnManagerTest, DifferentFunctionsAreIndependent) {
+  ASSERT_OK_AND_ASSIGN(
+      TaskPtr t1, mgr_.MergeOrCreate("fn_a", {}, OneRowSet("c"), Factory()));
+  ASSERT_OK_AND_ASSIGN(
+      TaskPtr t2, mgr_.MergeOrCreate("fn_b", {}, OneRowSet("c"), Factory()));
+  EXPECT_NE(t1, nullptr);
+  EXPECT_NE(t2, nullptr);
+  EXPECT_EQ(mgr_.NumQueued("fn_a"), 1u);
+  EXPECT_EQ(mgr_.NumQueued("fn_b"), 1u);
+}
+
+TEST_F(UniqueTxnManagerTest, StartedTaskNoLongerAcceptsMerges) {
+  ASSERT_OK_AND_ASSIGN(
+      TaskPtr t1, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
+                                     OneRowSet("c1"), Factory()));
+  ASSERT_TRUE(t1->TryStart());  // executor picks it up
+  // A firing after the start must create a FRESH task (§2).
+  ASSERT_OK_AND_ASSIGN(
+      TaskPtr t2, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
+                                     OneRowSet("c1"), Factory()));
+  ASSERT_NE(t2, nullptr);
+  EXPECT_NE(t1, t2);
+  EXPECT_EQ(t1->bound_tables.Find("m")->size(), 1u);  // untouched
+}
+
+TEST_F(UniqueTxnManagerTest, OnTaskStartRemovesHashEntry) {
+  ASSERT_OK_AND_ASSIGN(
+      TaskPtr t1, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
+                                     OneRowSet("c1"), Factory()));
+  mgr_.OnTaskStart(*t1);
+  EXPECT_EQ(mgr_.NumQueued("fn"), 0u);
+  mgr_.OnTaskStart(*t1);  // idempotent
+  // Next firing creates a new task.
+  ASSERT_OK_AND_ASSIGN(
+      TaskPtr t2, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
+                                     OneRowSet("c1"), Factory()));
+  EXPECT_NE(t2, nullptr);
+  // OnTaskStart for a superseded task must not remove the new entry.
+  mgr_.OnTaskStart(*t1);
+  EXPECT_EQ(mgr_.NumQueued("fn"), 1u);
+}
+
+TEST_F(UniqueTxnManagerTest, ConcurrentMergesNeverLoseRows) {
+  // Threads fire the same (function, key) repeatedly while another thread
+  // keeps starting the queued tasks. Every fired row must end up in
+  // exactly one task's bound table.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::atomic<uint64_t> ids{1};
+  std::atomic<long> rows_in_tasks{0};
+  SpinLock tasks_lock;
+  std::vector<TaskPtr> created;
+
+  auto factory = [&](const std::vector<Value>&, BoundTableSet&& tables) {
+    auto task = std::make_shared<TaskControlBlock>(ids.fetch_add(1));
+    task->function_name = "fn";
+    task->bound_tables = std::move(tables);
+    SpinLockGuard g(tasks_lock);
+    created.push_back(task);
+    return task;
+  };
+
+  std::atomic<bool> stop{false};
+  std::thread starter([&] {
+    while (!stop.load()) {
+      TaskPtr victim;
+      {
+        SpinLockGuard g(tasks_lock);
+        for (auto& t : created) {
+          SpinLockGuard tg(t->merge_lock);
+          if (!t->started) {
+            victim = t;
+            break;
+          }
+        }
+      }
+      if (victim != nullptr && victim->TryStart()) {
+        mgr_.OnTaskStart(*victim);
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> firers;
+  for (int t = 0; t < kThreads; ++t) {
+    firers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto r = mgr_.MergeOrCreate("fn", {Value::Str("k")},
+                                    OneRowSet("k"), factory);
+        ASSERT_TRUE(r.ok());
+      }
+    });
+  }
+  for (auto& t : firers) t.join();
+  stop = true;
+  starter.join();
+
+  long total = 0;
+  for (auto& t : created) {
+    total += static_cast<long>(t->bound_tables.Find("m")->size());
+  }
+  EXPECT_EQ(total, kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace strip

@@ -1,0 +1,105 @@
+// Unit tests for the Value type: construction, comparison with numeric
+// coercion, hashing consistency, truthiness, composite-key helpers.
+
+#include <gtest/gtest.h>
+
+#include "strip/storage/value.h"
+
+namespace strip {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_FALSE(v.is_numeric());
+}
+
+TEST(ValueTest, Constructors) {
+  EXPECT_EQ(Value::Int(7).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Int(7).as_int(), 7);
+  EXPECT_EQ(Value::Double(2.5).type(), ValueType::kDouble);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).as_double(), 2.5);
+  EXPECT_EQ(Value::Str("hi").type(), ValueType::kString);
+  EXPECT_EQ(Value::Str("hi").as_string(), "hi");
+  EXPECT_EQ(Value::Bool(true), Value::Int(1));
+  EXPECT_EQ(Value::Bool(false), Value::Int(0));
+}
+
+TEST(ValueTest, IntCoercesToDouble) {
+  EXPECT_DOUBLE_EQ(Value::Int(3).as_double(), 3.0);
+}
+
+TEST(ValueTest, CompareNumericCoercion) {
+  EXPECT_EQ(Value::Compare(Value::Int(3), Value::Double(3.0)), 0);
+  EXPECT_LT(Value::Compare(Value::Int(2), Value::Double(2.5)), 0);
+  EXPECT_GT(Value::Compare(Value::Double(2.5), Value::Int(2)), 0);
+  EXPECT_TRUE(Value::Int(3) == Value::Double(3.0));
+}
+
+TEST(ValueTest, CompareStrings) {
+  EXPECT_LT(Value::Compare(Value::Str("a"), Value::Str("b")), 0);
+  EXPECT_EQ(Value::Compare(Value::Str("x"), Value::Str("x")), 0);
+  EXPECT_GT(Value::Compare(Value::Str("b"), Value::Str("a")), 0);
+}
+
+TEST(ValueTest, NullOrdersFirst) {
+  EXPECT_LT(Value::Compare(Value::Null(), Value::Int(-100)), 0);
+  EXPECT_LT(Value::Compare(Value::Null(), Value::Str("")), 0);
+  EXPECT_EQ(Value::Compare(Value::Null(), Value::Null()), 0);
+}
+
+TEST(ValueTest, MixedTypesHaveStableOrder) {
+  // Numbers and strings are incomparable semantically; ordering is by type
+  // tag so sorting mixed columns is deterministic.
+  int c1 = Value::Compare(Value::Int(5), Value::Str("5"));
+  int c2 = Value::Compare(Value::Str("5"), Value::Int(5));
+  EXPECT_EQ(c1, -c2);
+  EXPECT_NE(c1, 0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  // Int(3) == Double(3.0), so they must hash alike.
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Double(3.0).Hash());
+  EXPECT_EQ(Value::Str("abc").Hash(), Value::Str("abc").Hash());
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_FALSE(Value::Null().IsTruthy());
+  EXPECT_FALSE(Value::Int(0).IsTruthy());
+  EXPECT_TRUE(Value::Int(-1).IsTruthy());
+  EXPECT_FALSE(Value::Double(0.0).IsTruthy());
+  EXPECT_TRUE(Value::Double(0.1).IsTruthy());
+  EXPECT_FALSE(Value::Str("").IsTruthy());
+  EXPECT_TRUE(Value::Str("x").IsTruthy());
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Double(3.5).ToString(), "3.5");
+  EXPECT_EQ(Value::Str("hey").ToString(), "hey");
+}
+
+TEST(ValueVectorTest, HashAndEquality) {
+  ValueVectorHash h;
+  ValueVectorEq eq;
+  std::vector<Value> a = {Value::Int(1), Value::Str("x")};
+  std::vector<Value> b = {Value::Int(1), Value::Str("x")};
+  std::vector<Value> c = {Value::Int(2), Value::Str("x")};
+  EXPECT_TRUE(eq(a, b));
+  EXPECT_FALSE(eq(a, c));
+  EXPECT_FALSE(eq(a, {Value::Int(1)}));
+  EXPECT_EQ(h(a), h(b));
+  EXPECT_TRUE(eq({}, {}));
+}
+
+TEST(ValueTest, TypeNames) {
+  EXPECT_STREQ(ValueTypeName(ValueType::kNull), "null");
+  EXPECT_STREQ(ValueTypeName(ValueType::kInt), "int");
+  EXPECT_STREQ(ValueTypeName(ValueType::kDouble), "double");
+  EXPECT_STREQ(ValueTypeName(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace strip

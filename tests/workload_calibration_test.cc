@@ -1,0 +1,77 @@
+// Pins the workload-calibration statistics documented in DESIGN.md §7:
+// the trace/population defaults must keep matching the numbers the paper
+// states (~12 composite recomputations per price change, ~10x activity
+// spread), or the figure benches silently drift from the paper's regime.
+
+#include <gtest/gtest.h>
+
+#include "strip/market/populate.h"
+#include "strip/market/pta_runner.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+TEST(WorkloadCalibrationTest, CompositesPerPriceChangeNearPaper) {
+  // Full-size population, small trace volume: measure the change-weighted
+  // mean number of composites affected per update — the paper states ~12
+  // (§5.1). Accept the same order of magnitude (5-40).
+  TraceOptions topts = TraceOptions::Scaled(0.02);
+  topts.seed = 5;
+  MarketTrace trace = MarketTrace::Generate(topts);
+  PtaConfig cfg = PtaConfig::PaperScale();
+  Database db;
+  ASSERT_OK(PopulatePtaTables(db, trace, cfg));
+
+  // comps per stock, from comps_list.
+  auto rs = db.Execute(
+      "select symbol, count(*) as n from comps_list group by symbol");
+  ASSERT_OK(rs.status());
+  std::vector<int64_t> comps_of(
+      static_cast<size_t>(topts.num_stocks), 0);
+  for (const auto& row : rs->rows) {
+    int idx = std::stoi(row[0].as_string().substr(1));
+    comps_of[static_cast<size_t>(idx)] = row[1].as_int();
+  }
+  double weighted = 0;
+  for (const Quote& q : trace.quotes()) {
+    weighted += static_cast<double>(comps_of[static_cast<size_t>(q.stock)]);
+  }
+  double mean = weighted / static_cast<double>(trace.quotes().size());
+  EXPECT_GE(mean, 5.0) << "composite fan-in collapsed";
+  EXPECT_LE(mean, 40.0) << "composite fan-in exploded (skew miscalibrated)";
+}
+
+TEST(WorkloadCalibrationTest, ActivitySpreadNearPaperAnecdote) {
+  // §4.2: heavily traded stocks see "a few thousand" trades/day vs "a few
+  // hundred" for light ones — roughly one order of magnitude between the
+  // hot tail and the median, not web-scale skew.
+  TraceOptions topts;  // defaults
+  MarketTrace trace = MarketTrace::Generate(topts);
+  const auto& w = trace.activity_weights();
+  double hottest = w[0];
+  double median = w[w.size() / 2];
+  double ratio = hottest / median;
+  EXPECT_GE(ratio, 3.0);
+  EXPECT_LE(ratio, 60.0);
+}
+
+TEST(WorkloadCalibrationTest, UpdateVolumeTracksPaper) {
+  // Paper: "each run contains over 60,000 stock price changes" in 30 min.
+  TraceOptions full = TraceOptions::PaperScale();
+  EXPECT_EQ(full.num_stocks, 6600);
+  EXPECT_DOUBLE_EQ(full.duration_seconds, 1800);
+  MarketTrace trace = MarketTrace::Generate(full);
+  EXPECT_GE(trace.quotes().size(), 60000u);
+  EXPECT_LE(trace.quotes().size(), 75000u);  // "over 60k", same order
+}
+
+TEST(WorkloadCalibrationTest, PaperScalePopulationSizes) {
+  PtaConfig cfg = PtaConfig::PaperScale();
+  EXPECT_EQ(cfg.num_composites, 400);
+  EXPECT_EQ(cfg.stocks_per_composite, 200);  // => 80,000 comps_list rows
+  EXPECT_EQ(cfg.num_options, 50000);
+}
+
+}  // namespace
+}  // namespace strip

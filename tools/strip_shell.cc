@@ -1,0 +1,198 @@
+// strip_shell — an interactive SQL shell over the STRIP engine.
+//
+//   build/tools/strip_shell [script.sql ...]
+//
+// Executes any script files given on the command line, then reads
+// statements from stdin (';'-terminated, possibly spanning lines).
+// Meta commands:
+//   .tables          list tables with row counts
+//   .schema <table>  show a table's columns
+//   .rules           list rules
+//   .views           list views
+//   .run             drain the simulated executor (fire due rule actions)
+//   .advance <sec>   advance virtual time by <sec> seconds, running tasks
+//   .stats           rule / executor counters
+//   .explain <sql;>  show the executor's plan decisions for a SELECT
+//   .quit            exit
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "strip/engine/database.h"
+#include "strip/sql/parser.h"
+#include "strip/viewmaint/view_def.h"
+
+namespace strip {
+namespace {
+
+void PrintResult(const ResultSet& rs) {
+  if (rs.schema.num_columns() == 0) {
+    std::printf("ok\n");
+    return;
+  }
+  std::printf("%s", rs.ToString().c_str());
+  std::printf("(%zu row%s)\n", rs.num_rows(),
+              rs.num_rows() == 1 ? "" : "s");
+}
+
+void ExecuteAndPrint(Database& db, const std::string& sql) {
+  auto stmts = Parser::ParseScript(sql);
+  if (!stmts.ok()) {
+    std::printf("error: %s\n", stmts.status().ToString().c_str());
+    return;
+  }
+  for (const Statement& stmt : *stmts) {
+    auto result = db.Execute(stmt);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    PrintResult(*result);
+  }
+}
+
+bool HandleMeta(Database& db, const std::string& line) {
+  std::istringstream in(line);
+  std::string cmd, arg;
+  in >> cmd >> arg;
+  if (cmd == ".quit" || cmd == ".exit") {
+    std::exit(0);
+  }
+  if (cmd == ".tables") {
+    for (const auto& name : db.catalog().ListTables()) {
+      std::printf("%-24s %zu rows\n", name.c_str(),
+                  db.catalog().FindTable(name)->size());
+    }
+    return true;
+  }
+  if (cmd == ".schema") {
+    Table* t = db.catalog().FindTable(arg);
+    if (t == nullptr) {
+      std::printf("no table '%s'\n", arg.c_str());
+    } else {
+      std::printf("%s %s\n", t->name().c_str(),
+                  t->schema().ToString().c_str());
+    }
+    return true;
+  }
+  if (cmd == ".rules") {
+    for (const auto& name : db.rules().ListRules()) {
+      const RuleDef* r = db.rules().FindRule(name);
+      std::printf("%-24s on %-16s -> %s%s%s\n", name.c_str(),
+                  r->table().c_str(), r->function_name().c_str(),
+                  r->unique() ? " [unique]" : "",
+                  r->enabled() ? "" : " (disabled)");
+    }
+    return true;
+  }
+  if (cmd == ".views") {
+    for (const auto& name : db.views().ListViews()) {
+      std::printf("%-24s %s\n", name.c_str(),
+                  db.views().Find(name)->materialized ? "materialized"
+                                                      : "virtual");
+    }
+    return true;
+  }
+  if (cmd == ".run") {
+    db.simulated()->RunUntilQuiescent();
+    std::printf("quiescent at t=%.3fs\n", MicrosToSeconds(db.Now()));
+    return true;
+  }
+  if (cmd == ".advance") {
+    double sec = arg.empty() ? 1.0 : std::atof(arg.c_str());
+    db.simulated()->RunUntil(db.Now() + SecondsToMicros(sec));
+    std::printf("t=%.3fs\n", MicrosToSeconds(db.Now()));
+    return true;
+  }
+  if (cmd == ".explain") {
+    std::string sql = line.substr(std::string(".explain").size());
+    auto trace = db.Explain(sql);
+    if (!trace.ok()) {
+      std::printf("error: %s\n", trace.status().ToString().c_str());
+    } else {
+      for (const auto& step : *trace) std::printf("  %s\n", step.c_str());
+    }
+    return true;
+  }
+  if (cmd == ".stats") {
+    const RuleStats& rs = db.rules().stats();
+    const ExecutorStats& es = db.executor().stats();
+    std::printf("rules: %llu triggered, %llu conditions true, "
+                "%llu tasks created, %llu firings merged\n",
+                (unsigned long long)rs.rules_triggered,
+                (unsigned long long)rs.conditions_true,
+                (unsigned long long)rs.tasks_created,
+                (unsigned long long)rs.firings_merged);
+    std::printf("executor: %llu tasks run (%llu failed), busy %.3fs, "
+                "t=%.3fs\n",
+                (unsigned long long)es.tasks_run,
+                (unsigned long long)es.tasks_failed,
+                MicrosToSeconds(es.busy_micros),
+                MicrosToSeconds(db.Now()));
+    return true;
+  }
+  if (!cmd.empty() && cmd[0] == '.') {
+    std::printf("unknown command %s\n", cmd.c_str());
+    return true;
+  }
+  return false;
+}
+
+int Run(int argc, char** argv) {
+  Database::Options opts;
+  opts.mode = ExecutorMode::kSimulated;
+  opts.advance_clock_by_cost = false;
+  Database db(opts);
+
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream file(argv[i]);
+    if (!file) {
+      std::fprintf(stderr, "cannot open %s\n", argv[i]);
+      return 1;
+    }
+    std::stringstream buf;
+    buf << file.rdbuf();
+    Status st = db.ExecuteScript(buf.str());
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", argv[i], st.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %s\n", argv[i]);
+  }
+
+  std::printf("STRIP shell. End statements with ';'. "
+              "'.quit' to exit, '.tables'/'.rules'/'.stats' to inspect.\n");
+  std::string pending;
+  std::string line;
+  while (true) {
+    std::printf("%s", pending.empty() ? "strip> " : "  ...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (pending.empty()) {
+      std::string trimmed = line;
+      while (!trimmed.empty() && std::isspace(
+                 static_cast<unsigned char>(trimmed.front()))) {
+        trimmed.erase(trimmed.begin());
+      }
+      if (trimmed.empty()) continue;
+      if (trimmed[0] == '.') {
+        HandleMeta(db, trimmed);
+        continue;
+      }
+    }
+    pending += line + "\n";
+    if (line.find(';') != std::string::npos) {
+      ExecuteAndPrint(db, pending);
+      pending.clear();
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace strip
+
+int main(int argc, char** argv) { return strip::Run(argc, argv); }
