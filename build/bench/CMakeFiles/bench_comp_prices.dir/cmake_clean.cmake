@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_comp_prices.dir/bench_comp_prices.cc.o"
+  "CMakeFiles/bench_comp_prices.dir/bench_comp_prices.cc.o.d"
+  "bench_comp_prices"
+  "bench_comp_prices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_comp_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_comp_prices.
+# This may be replaced when dependencies are built.

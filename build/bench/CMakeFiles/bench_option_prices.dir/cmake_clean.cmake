@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_option_prices.dir/bench_option_prices.cc.o"
+  "CMakeFiles/bench_option_prices.dir/bench_option_prices.cc.o.d"
+  "bench_option_prices"
+  "bench_option_prices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_option_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

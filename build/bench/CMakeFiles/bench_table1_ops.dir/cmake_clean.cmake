@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_ops.dir/bench_table1_ops.cc.o"
+  "CMakeFiles/bench_table1_ops.dir/bench_table1_ops.cc.o.d"
+  "bench_table1_ops"
+  "bench_table1_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

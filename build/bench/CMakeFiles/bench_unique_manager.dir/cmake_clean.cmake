@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_unique_manager.dir/bench_unique_manager.cc.o"
+  "CMakeFiles/bench_unique_manager.dir/bench_unique_manager.cc.o.d"
+  "bench_unique_manager"
+  "bench_unique_manager.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unique_manager.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/program_trading.dir/program_trading.cc.o"
+  "CMakeFiles/program_trading.dir/program_trading.cc.o.d"
+  "program_trading"
+  "program_trading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/program_trading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensor_monitor.dir/sensor_monitor.cc.o"
+  "CMakeFiles/sensor_monitor.dir/sensor_monitor.cc.o.d"
+  "sensor_monitor"
+  "sensor_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensor_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/view_autogen.dir/view_autogen.cc.o"
+  "CMakeFiles/view_autogen.dir/view_autogen.cc.o.d"
+  "view_autogen"
+  "view_autogen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/view_autogen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strip/common/clock.cc" "src/CMakeFiles/strip.dir/strip/common/clock.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/common/clock.cc.o.d"
+  "/root/repo/src/strip/common/rng.cc" "src/CMakeFiles/strip.dir/strip/common/rng.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/common/rng.cc.o.d"
+  "/root/repo/src/strip/common/string_util.cc" "src/CMakeFiles/strip.dir/strip/common/string_util.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/common/string_util.cc.o.d"
+  "/root/repo/src/strip/engine/cursor.cc" "src/CMakeFiles/strip.dir/strip/engine/cursor.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/engine/cursor.cc.o.d"
+  "/root/repo/src/strip/engine/database.cc" "src/CMakeFiles/strip.dir/strip/engine/database.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/engine/database.cc.o.d"
+  "/root/repo/src/strip/engine/function_registry.cc" "src/CMakeFiles/strip.dir/strip/engine/function_registry.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/engine/function_registry.cc.o.d"
+  "/root/repo/src/strip/feed/feed.cc" "src/CMakeFiles/strip.dir/strip/feed/feed.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/feed/feed.cc.o.d"
+  "/root/repo/src/strip/market/app_functions.cc" "src/CMakeFiles/strip.dir/strip/market/app_functions.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/market/app_functions.cc.o.d"
+  "/root/repo/src/strip/market/black_scholes.cc" "src/CMakeFiles/strip.dir/strip/market/black_scholes.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/market/black_scholes.cc.o.d"
+  "/root/repo/src/strip/market/populate.cc" "src/CMakeFiles/strip.dir/strip/market/populate.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/market/populate.cc.o.d"
+  "/root/repo/src/strip/market/pta_runner.cc" "src/CMakeFiles/strip.dir/strip/market/pta_runner.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/market/pta_runner.cc.o.d"
+  "/root/repo/src/strip/market/trace.cc" "src/CMakeFiles/strip.dir/strip/market/trace.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/market/trace.cc.o.d"
+  "/root/repo/src/strip/rules/net_effect.cc" "src/CMakeFiles/strip.dir/strip/rules/net_effect.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/rules/net_effect.cc.o.d"
+  "/root/repo/src/strip/rules/rule_def.cc" "src/CMakeFiles/strip.dir/strip/rules/rule_def.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/rules/rule_def.cc.o.d"
+  "/root/repo/src/strip/rules/rule_engine.cc" "src/CMakeFiles/strip.dir/strip/rules/rule_engine.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/rules/rule_engine.cc.o.d"
+  "/root/repo/src/strip/rules/transition_tables.cc" "src/CMakeFiles/strip.dir/strip/rules/transition_tables.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/rules/transition_tables.cc.o.d"
+  "/root/repo/src/strip/rules/unique_manager.cc" "src/CMakeFiles/strip.dir/strip/rules/unique_manager.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/rules/unique_manager.cc.o.d"
+  "/root/repo/src/strip/sql/ast.cc" "src/CMakeFiles/strip.dir/strip/sql/ast.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/sql/ast.cc.o.d"
+  "/root/repo/src/strip/sql/executor.cc" "src/CMakeFiles/strip.dir/strip/sql/executor.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/sql/executor.cc.o.d"
+  "/root/repo/src/strip/sql/expr_eval.cc" "src/CMakeFiles/strip.dir/strip/sql/expr_eval.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/sql/expr_eval.cc.o.d"
+  "/root/repo/src/strip/sql/lexer.cc" "src/CMakeFiles/strip.dir/strip/sql/lexer.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/sql/lexer.cc.o.d"
+  "/root/repo/src/strip/sql/parser.cc" "src/CMakeFiles/strip.dir/strip/sql/parser.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/sql/parser.cc.o.d"
+  "/root/repo/src/strip/sql/plan.cc" "src/CMakeFiles/strip.dir/strip/sql/plan.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/sql/plan.cc.o.d"
+  "/root/repo/src/strip/sql/token.cc" "src/CMakeFiles/strip.dir/strip/sql/token.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/sql/token.cc.o.d"
+  "/root/repo/src/strip/storage/bound_table_set.cc" "src/CMakeFiles/strip.dir/strip/storage/bound_table_set.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/storage/bound_table_set.cc.o.d"
+  "/root/repo/src/strip/storage/catalog.cc" "src/CMakeFiles/strip.dir/strip/storage/catalog.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/storage/catalog.cc.o.d"
+  "/root/repo/src/strip/storage/index.cc" "src/CMakeFiles/strip.dir/strip/storage/index.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/storage/index.cc.o.d"
+  "/root/repo/src/strip/storage/rbtree.cc" "src/CMakeFiles/strip.dir/strip/storage/rbtree.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/storage/rbtree.cc.o.d"
+  "/root/repo/src/strip/storage/schema.cc" "src/CMakeFiles/strip.dir/strip/storage/schema.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/storage/schema.cc.o.d"
+  "/root/repo/src/strip/storage/table.cc" "src/CMakeFiles/strip.dir/strip/storage/table.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/storage/table.cc.o.d"
+  "/root/repo/src/strip/storage/temp_table.cc" "src/CMakeFiles/strip.dir/strip/storage/temp_table.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/storage/temp_table.cc.o.d"
+  "/root/repo/src/strip/storage/value.cc" "src/CMakeFiles/strip.dir/strip/storage/value.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/storage/value.cc.o.d"
+  "/root/repo/src/strip/txn/lock_manager.cc" "src/CMakeFiles/strip.dir/strip/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/txn/lock_manager.cc.o.d"
+  "/root/repo/src/strip/txn/scheduler.cc" "src/CMakeFiles/strip.dir/strip/txn/scheduler.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/txn/scheduler.cc.o.d"
+  "/root/repo/src/strip/txn/simulated_executor.cc" "src/CMakeFiles/strip.dir/strip/txn/simulated_executor.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/txn/simulated_executor.cc.o.d"
+  "/root/repo/src/strip/txn/task_queues.cc" "src/CMakeFiles/strip.dir/strip/txn/task_queues.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/txn/task_queues.cc.o.d"
+  "/root/repo/src/strip/txn/threaded_executor.cc" "src/CMakeFiles/strip.dir/strip/txn/threaded_executor.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/txn/threaded_executor.cc.o.d"
+  "/root/repo/src/strip/txn/txn_log.cc" "src/CMakeFiles/strip.dir/strip/txn/txn_log.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/txn/txn_log.cc.o.d"
+  "/root/repo/src/strip/viewmaint/rule_gen.cc" "src/CMakeFiles/strip.dir/strip/viewmaint/rule_gen.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/viewmaint/rule_gen.cc.o.d"
+  "/root/repo/src/strip/viewmaint/view_def.cc" "src/CMakeFiles/strip.dir/strip/viewmaint/view_def.cc.o" "gcc" "src/CMakeFiles/strip.dir/strip/viewmaint/view_def.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

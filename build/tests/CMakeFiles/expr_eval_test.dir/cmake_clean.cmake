@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expr_eval_test.dir/expr_eval_test.cc.o"
+  "CMakeFiles/expr_eval_test.dir/expr_eval_test.cc.o.d"
+  "expr_eval_test"
+  "expr_eval_test.pdb"
+  "expr_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expr_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feed_test.dir/feed_test.cc.o"
+  "CMakeFiles/feed_test.dir/feed_test.cc.o.d"
+  "feed_test"
+  "feed_test.pdb"
+  "feed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

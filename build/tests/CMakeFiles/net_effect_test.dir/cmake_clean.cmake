@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_effect_test.dir/net_effect_test.cc.o"
+  "CMakeFiles/net_effect_test.dir/net_effect_test.cc.o.d"
+  "net_effect_test"
+  "net_effect_test.pdb"
+  "net_effect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_effect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

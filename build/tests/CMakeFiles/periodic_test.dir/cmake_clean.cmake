@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/periodic_test.dir/periodic_test.cc.o"
+  "CMakeFiles/periodic_test.dir/periodic_test.cc.o.d"
+  "periodic_test"
+  "periodic_test.pdb"
+  "periodic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/periodic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

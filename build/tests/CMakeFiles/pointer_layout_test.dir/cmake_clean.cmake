@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointer_layout_test.dir/pointer_layout_test.cc.o"
+  "CMakeFiles/pointer_layout_test.dir/pointer_layout_test.cc.o.d"
+  "pointer_layout_test"
+  "pointer_layout_test.pdb"
+  "pointer_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointer_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_integration_test.dir/pta_integration_test.cc.o"
+  "CMakeFiles/pta_integration_test.dir/pta_integration_test.cc.o.d"
+  "pta_integration_test"
+  "pta_integration_test.pdb"
+  "pta_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pta_property_test.dir/pta_property_test.cc.o"
+  "CMakeFiles/pta_property_test.dir/pta_property_test.cc.o.d"
+  "pta_property_test"
+  "pta_property_test.pdb"
+  "pta_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pta_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_engine_test.dir/rules_engine_test.cc.o"
+  "CMakeFiles/rules_engine_test.dir/rules_engine_test.cc.o.d"
+  "rules_engine_test"
+  "rules_engine_test.pdb"
+  "rules_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_paper_example_test.dir/rules_paper_example_test.cc.o"
+  "CMakeFiles/rules_paper_example_test.dir/rules_paper_example_test.cc.o.d"
+  "rules_paper_example_test"
+  "rules_paper_example_test.pdb"
+  "rules_paper_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_paper_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

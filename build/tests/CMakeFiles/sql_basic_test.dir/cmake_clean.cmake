@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_basic_test.dir/sql_basic_test.cc.o"
+  "CMakeFiles/sql_basic_test.dir/sql_basic_test.cc.o.d"
+  "sql_basic_test"
+  "sql_basic_test.pdb"
+  "sql_basic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_basic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

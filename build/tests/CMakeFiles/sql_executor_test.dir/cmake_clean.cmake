@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_executor_test.dir/sql_executor_test.cc.o"
+  "CMakeFiles/sql_executor_test.dir/sql_executor_test.cc.o.d"
+  "sql_executor_test"
+  "sql_executor_test.pdb"
+  "sql_executor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

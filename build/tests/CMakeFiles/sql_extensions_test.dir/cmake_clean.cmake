@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_extensions_test.dir/sql_extensions_test.cc.o"
+  "CMakeFiles/sql_extensions_test.dir/sql_extensions_test.cc.o.d"
+  "sql_extensions_test"
+  "sql_extensions_test.pdb"
+  "sql_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temp_table_test.dir/temp_table_test.cc.o"
+  "CMakeFiles/temp_table_test.dir/temp_table_test.cc.o.d"
+  "temp_table_test"
+  "temp_table_test.pdb"
+  "temp_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temp_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/threaded_integration_test.dir/threaded_integration_test.cc.o"
+  "CMakeFiles/threaded_integration_test.dir/threaded_integration_test.cc.o.d"
+  "threaded_integration_test"
+  "threaded_integration_test.pdb"
+  "threaded_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/threaded_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_tables_test.dir/transition_tables_test.cc.o"
+  "CMakeFiles/transition_tables_test.dir/transition_tables_test.cc.o.d"
+  "transition_tables_test"
+  "transition_tables_test.pdb"
+  "transition_tables_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_tables_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unique_manager_test.dir/unique_manager_test.cc.o"
+  "CMakeFiles/unique_manager_test.dir/unique_manager_test.cc.o.d"
+  "unique_manager_test"
+  "unique_manager_test.pdb"
+  "unique_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unique_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewmaint_test.dir/viewmaint_test.cc.o"
+  "CMakeFiles/viewmaint_test.dir/viewmaint_test.cc.o.d"
+  "viewmaint_test"
+  "viewmaint_test.pdb"
+  "viewmaint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewmaint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

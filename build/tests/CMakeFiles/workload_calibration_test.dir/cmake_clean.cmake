@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_calibration_test.dir/workload_calibration_test.cc.o"
+  "CMakeFiles/workload_calibration_test.dir/workload_calibration_test.cc.o.d"
+  "workload_calibration_test"
+  "workload_calibration_test.pdb"
+  "workload_calibration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_calibration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strip_shell.dir/strip_shell.cc.o"
+  "CMakeFiles/strip_shell.dir/strip_shell.cc.o.d"
+  "strip_shell"
+  "strip_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strip_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
