@@ -16,6 +16,11 @@ bool EqualsIgnoreCase(std::string_view a, std::string_view b);
 /// Joins `parts` with `sep`.
 std::string Join(const std::vector<std::string>& parts, std::string_view sep);
 
+/// Canonical form of a SQL statement for plan-cache keying: lower-cased,
+/// whitespace runs collapsed to single spaces, ends trimmed. Single-quoted
+/// string literals are preserved verbatim (case and spacing intact).
+std::string NormalizeSql(std::string_view sql);
+
 /// printf-style formatting into a std::string.
 std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 

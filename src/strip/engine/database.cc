@@ -28,6 +28,7 @@ Database::Database(Options options)
   deps.locks = &locks_;
   deps.scalar_funcs = &scalar_funcs_;
   deps.task_ids = &next_task_id_;
+  deps.disable_compiled_exprs = !options_.enable_compiled_exprs;
   deps.action_runner = [this](TaskControlBlock& task) {
     return RunActionTask(task);
   };
@@ -260,6 +261,7 @@ Result<ResultSet> Database::ExecuteDdl(const Statement& stmt) {
   if (const auto* s = std::get_if<CreateIndexStmt>(&stmt)) {
     STRIP_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(s->table));
     STRIP_RETURN_IF_ERROR(t->CreateTableIndex(s->column, s->kind));
+    catalog_.BumpGeneration();
     return ResultSet{};
   }
   if (const auto* s = std::get_if<CreateViewStmt>(&stmt)) {
@@ -268,6 +270,7 @@ Result<ResultSet> Database::ExecuteDdl(const Statement& stmt) {
     copy.materialized = s->materialized;
     copy.query = s->query.Clone();
     STRIP_RETURN_IF_ERROR(views_->CreateView(std::move(copy)));
+    catalog_.BumpGeneration();
     return ResultSet{};
   }
   if (const auto* s = std::get_if<CreateRuleStmt>(&stmt)) {
@@ -282,10 +285,12 @@ Result<ResultSet> Database::ExecuteDdl(const Statement& stmt) {
     copy.unique_columns = s->unique_columns;
     copy.delay_seconds = s->delay_seconds;
     STRIP_RETURN_IF_ERROR(rules_->CreateRule(std::move(copy)));
+    catalog_.BumpGeneration();
     return ResultSet{};
   }
   if (const auto* s = std::get_if<DropRuleStmt>(&stmt)) {
     STRIP_RETURN_IF_ERROR(rules_->DropRule(s->name));
+    catalog_.BumpGeneration();
     return ResultSet{};
   }
   return Status::Internal("unhandled DDL statement");
@@ -306,6 +311,7 @@ Result<ResultSet> Database::ExecuteStatement(Transaction* txn,
   ctx.bound = task != nullptr ? &task->bound_tables : nullptr;
   ctx.funcs = &scalar_funcs_;
   ctx.params = params;
+  ctx.disable_compiled_exprs = !options_.enable_compiled_exprs;
   SqlExecutor executor(ctx);
 
   if (const auto* s = std::get_if<SelectStmt>(&stmt)) {
@@ -337,6 +343,7 @@ Result<TempTable> Database::Query(Transaction* txn, const SelectStmt& stmt,
   ctx.bound = task != nullptr ? &task->bound_tables : nullptr;
   ctx.funcs = &scalar_funcs_;
   ctx.params = params;
+  ctx.disable_compiled_exprs = !options_.enable_compiled_exprs;
   SqlExecutor executor(ctx);
   return executor.ExecuteSelect(stmt);
 }
@@ -351,6 +358,7 @@ Result<int> Database::ExecuteDml(Transaction* txn, const Statement& stmt,
   ctx.bound = task != nullptr ? &task->bound_tables : nullptr;
   ctx.funcs = &scalar_funcs_;
   ctx.params = &params;
+  ctx.disable_compiled_exprs = !options_.enable_compiled_exprs;
   SqlExecutor executor(ctx);
   if (const auto* s = std::get_if<InsertStmt>(&stmt)) {
     return executor.ExecuteInsert(*s);
@@ -364,7 +372,55 @@ Result<int> Database::ExecuteDml(Transaction* txn, const Statement& stmt,
   return Status::InvalidArgument("ExecuteDml takes INSERT/UPDATE/DELETE");
 }
 
+Result<PreparedStatementPtr> Database::Prepare(const std::string& sql) {
+  std::string key = NormalizeSql(sql);
+  if (options_.enable_plan_cache) {
+    std::lock_guard<std::mutex> lk(plan_mu_);
+    auto it = plan_cache_.find(key);
+    if (it != plan_cache_.end()) {
+      plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.first);
+      ++plan_hits_;
+      return it->second.second;
+    }
+  }
+  STRIP_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseStatement(sql));
+  PreparedStatementPtr handle(
+      new PreparedStatement(this, sql, std::move(stmt)));
+  // DDL runs once and mutates the catalog; caching its handle would only
+  // pin a dead plan.
+  if (!options_.enable_plan_cache || handle->is_ddl()) return handle;
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  ++plan_misses_;
+  auto it = plan_cache_.find(key);
+  if (it != plan_cache_.end()) {  // another thread prepared it meanwhile
+    plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.first);
+    return it->second.second;
+  }
+  plan_lru_.push_front(key);
+  plan_cache_.emplace(key, std::make_pair(plan_lru_.begin(), handle));
+  while (plan_cache_.size() > options_.plan_cache_capacity &&
+         !plan_lru_.empty()) {
+    plan_cache_.erase(plan_lru_.back());
+    plan_lru_.pop_back();
+  }
+  return handle;
+}
+
+Database::PlanCacheStats Database::plan_cache_stats() const {
+  std::lock_guard<std::mutex> lk(plan_mu_);
+  PlanCacheStats stats;
+  stats.hits = plan_hits_;
+  stats.misses = plan_misses_;
+  stats.entries = plan_cache_.size();
+  stats.capacity = options_.plan_cache_capacity;
+  return stats;
+}
+
 Result<ResultSet> Database::Execute(const std::string& sql) {
+  if (options_.enable_plan_cache) {
+    STRIP_ASSIGN_OR_RETURN(PreparedStatementPtr ps, Prepare(sql));
+    return ps->Execute();
+  }
   STRIP_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseStatement(sql));
   return Execute(stmt);
 }
@@ -416,6 +472,7 @@ Result<std::vector<std::string>> Database::Explain(const std::string& sql) {
   ctx.txn = txn;
   ctx.funcs = &scalar_funcs_;
   ctx.plan_trace = &trace;
+  ctx.disable_compiled_exprs = !options_.enable_compiled_exprs;
   SqlExecutor executor(ctx);
   auto result = executor.ExecuteSelect(*select);
   if (!result.ok()) {
@@ -431,6 +488,10 @@ Result<std::vector<std::string>> Database::Explain(const std::string& sql) {
 Result<ResultSet> Database::ExecuteInTxn(Transaction* txn,
                                          const std::string& sql,
                                          TaskControlBlock* task) {
+  if (options_.enable_plan_cache) {
+    STRIP_ASSIGN_OR_RETURN(PreparedStatementPtr ps, Prepare(sql));
+    return ps->ExecuteInTxn(txn, {}, task);
+  }
   STRIP_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseStatement(sql));
   return ExecuteStatement(txn, stmt, task);
 }

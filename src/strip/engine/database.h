@@ -2,13 +2,17 @@
 #define STRIP_ENGINE_DATABASE_H_
 
 #include <atomic>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <utility>
 
 #include "strip/common/status.h"
 #include "strip/engine/function_registry.h"
+#include "strip/engine/prepared_statement.h"
 #include "strip/rules/rule_engine.h"
 #include "strip/sql/executor.h"
 #include "strip/sql/parser.h"
@@ -50,6 +54,17 @@ class Database {
     /// Rule-action transactions aborted by wait-die are retried this many
     /// times before the task fails.
     int action_retry_limit = 10;
+    /// Route textual Execute / ExecuteInTxn through the LRU cache of
+    /// prepared statements (keyed by normalized SQL), so repeated
+    /// statements skip the parser and reuse frozen plans.
+    bool enable_plan_cache = true;
+    size_t plan_cache_capacity = 256;
+    /// Evaluate expressions through slot-compiled postfix programs instead
+    /// of the tree-walking interpreter. Also gates the prepared fast
+    /// paths; disable to force fully interpreted execution (the
+    /// compiled-vs-interpreted equivalence tests and benchmarks toggle
+    /// this on one binary).
+    bool enable_compiled_exprs = true;
   };
 
   Database();
@@ -69,6 +84,24 @@ class Database {
 
   /// Executes a ';'-separated script, stopping at the first error.
   Status ExecuteScript(const std::string& sql);
+
+  /// Parses `sql` once and returns a reusable handle that freezes FROM
+  /// resolution, plan choice (index probe vs. scan), and slot-compiled
+  /// expression programs; execute it repeatedly with '?' bindings. Handles
+  /// for the same normalized SQL text are shared through an LRU cache
+  /// (when Options::enable_plan_cache is set); plans self-invalidate on
+  /// any DDL via the catalog generation counter. DDL statements get fresh
+  /// uncached handles.
+  Result<PreparedStatementPtr> Prepare(const std::string& sql);
+
+  /// Plan-cache observability (hits / misses are cumulative).
+  struct PlanCacheStats {
+    size_t hits = 0;
+    size_t misses = 0;
+    size_t entries = 0;
+    size_t capacity = 0;
+  };
+  PlanCacheStats plan_cache_stats() const;
 
   /// Executes a SELECT and returns the plan decisions the executor made
   /// (scan methods, join order and algorithms, aggregation, sorting) —
@@ -142,6 +175,7 @@ class Database {
   Status CancelPeriodic(const std::string& name);
 
   // --- components ----------------------------------------------------------
+  const Options& options() const { return options_; }
   Catalog& catalog() { return catalog_; }
   LockManager& locks() { return locks_; }
   RuleEngine& rules() { return *rules_; }
@@ -155,6 +189,10 @@ class Database {
   Timestamp Now() const { return executor_->Now(); }
 
  private:
+  /// PreparedStatement executes against the engine's internals (catalog,
+  /// locks, options, immediate DDL) on behalf of its owning database.
+  friend class PreparedStatement;
+
   /// The action runner installed into rule tasks: unhooks the task from
   /// the unique hash table, then runs the user function in a fresh
   /// transaction, retrying wait-die aborts.
@@ -187,6 +225,18 @@ class Database {
 
   std::mutex periodic_mu_;
   std::map<std::string, std::shared_ptr<std::atomic<bool>>> periodic_;
+
+  /// LRU cache of prepared statements keyed by normalized SQL. The list
+  /// orders keys most-recently-used first; the map holds each key's list
+  /// position and handle.
+  mutable std::mutex plan_mu_;
+  std::list<std::string> plan_lru_;
+  std::unordered_map<std::string,
+                     std::pair<std::list<std::string>::iterator,
+                               PreparedStatementPtr>>
+      plan_cache_;
+  size_t plan_hits_ = 0;
+  size_t plan_misses_ = 0;
 };
 
 }  // namespace strip

@@ -6,7 +6,23 @@
 
 namespace strip {
 
+namespace {
+
+int AffectedRowsOf(const ResultSet& rs) {
+  if (rs.num_rows() == 1 && rs.schema.num_columns() == 1 &&
+      rs.schema.column(0).name == "rows_affected") {
+    return static_cast<int>(rs.rows[0][0].as_int());
+  }
+  return static_cast<int>(rs.num_rows());
+}
+
+}  // namespace
+
 Result<TempTable> FunctionContext::Query(const std::string& sql) {
+  if (db_.options().enable_plan_cache) {
+    STRIP_ASSIGN_OR_RETURN(PreparedStatementPtr ps, db_.Prepare(sql));
+    return ps->Query(&txn_, {}, &task_);
+  }
   STRIP_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseStatement(sql));
   const auto* select = std::get_if<SelectStmt>(&stmt);
   if (select == nullptr) {
@@ -20,7 +36,17 @@ Result<TempTable> FunctionContext::Query(const SelectStmt& stmt,
   return db_.Query(&txn_, stmt, &task_, params);
 }
 
+Result<TempTable> FunctionContext::Query(PreparedStatement& stmt,
+                                         const std::vector<Value>& params) {
+  return stmt.Query(&txn_, params, &task_);
+}
+
 Result<int> FunctionContext::Exec(const std::string& sql) {
+  if (db_.options().enable_plan_cache) {
+    STRIP_ASSIGN_OR_RETURN(PreparedStatementPtr ps, db_.Prepare(sql));
+    STRIP_ASSIGN_OR_RETURN(ResultSet rs, ps->ExecuteInTxn(&txn_, {}, &task_));
+    return AffectedRowsOf(rs);
+  }
   STRIP_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseStatement(sql));
   return Exec(stmt);
 }
@@ -33,11 +59,12 @@ Result<int> FunctionContext::Exec(const Statement& stmt,
 Result<int> FunctionContext::Exec(const Statement& stmt) {
   STRIP_ASSIGN_OR_RETURN(ResultSet rs,
                          db_.ExecuteStatement(&txn_, stmt, &task_));
-  if (rs.num_rows() == 1 && rs.schema.num_columns() == 1 &&
-      rs.schema.column(0).name == "rows_affected") {
-    return static_cast<int>(rs.rows[0][0].as_int());
-  }
-  return static_cast<int>(rs.num_rows());
+  return AffectedRowsOf(rs);
+}
+
+Result<int> FunctionContext::Exec(PreparedStatement& stmt,
+                                  const std::vector<Value>& params) {
+  return stmt.ExecuteDml(&txn_, params, &task_);
 }
 
 Status FunctionRegistry::Register(const std::string& name, UserFunction fn) {

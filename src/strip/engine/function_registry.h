@@ -14,6 +14,7 @@
 namespace strip {
 
 class Database;
+class PreparedStatement;
 
 /// Execution context handed to a user (rule action) function. The function
 /// runs inside a fresh transaction and can read its bound tables by name
@@ -34,17 +35,24 @@ class FunctionContext {
   }
 
   /// Runs a SELECT within the action transaction; bound tables are visible
-  /// as FROM sources. `params` binds '?' placeholders.
+  /// as FROM sources. `params` binds '?' placeholders. The textual form
+  /// goes through the database's plan cache; the PreparedStatement form
+  /// reuses the handle's frozen plan directly and is the fast path for
+  /// rule-action queries.
   Result<TempTable> Query(const std::string& sql);
   Result<TempTable> Query(const SelectStmt& stmt,
                           const std::vector<Value>* params = nullptr);
+  Result<TempTable> Query(PreparedStatement& stmt,
+                          const std::vector<Value>& params = {});
 
   /// Runs INSERT / UPDATE / DELETE within the action transaction; returns
-  /// affected rows. The prepared form with `params` is the fast path for
-  /// per-tuple maintenance updates.
+  /// affected rows. The PreparedStatement form with `params` is the fast
+  /// path for per-tuple maintenance updates.
   Result<int> Exec(const std::string& sql);
   Result<int> Exec(const Statement& stmt);
   Result<int> Exec(const Statement& stmt, const std::vector<Value>& params);
+  Result<int> Exec(PreparedStatement& stmt,
+                   const std::vector<Value>& params = {});
 
  private:
   Database& db_;

@@ -5,7 +5,6 @@
 
 #include "strip/common/string_util.h"
 #include "strip/market/black_scholes.h"
-#include "strip/sql/parser.h"
 
 namespace strip {
 
@@ -43,29 +42,28 @@ struct MatchesColumns {
   }
 };
 
-/// Statements the maintenance functions execute, parsed once at
-/// registration. The functions issue the same SQL as the paper's
-/// pseudo-code (Figures 3, 6, 7, 8), through the prepared-statement path.
+/// Statements the maintenance functions execute, prepared once at
+/// registration (after the PTA tables and indexes exist, so the frozen
+/// plans probe them). The functions issue the same SQL as the paper's
+/// pseudo-code (Figures 3, 6, 7, 8); every rule-action firing runs them
+/// through the prepared-statement fast path.
 struct PreparedStmts {
-  Statement update_comp;    // update comp_prices set price += ?1 where comp = ?2
-  Statement update_option;  // update option_prices set price = ?1 where option_symbol = ?2
-  SelectStmt select_stdev;  // select stdev from stock_stdev where symbol = ?1
+  PreparedStatementPtr update_comp;    // update comp_prices set price += ?1 where comp = ?2
+  PreparedStatementPtr update_option;  // update option_prices set price = ?1 where option_symbol = ?2
+  PreparedStatementPtr select_stdev;   // select stdev from stock_stdev where symbol = ?1
 
-  static Result<std::shared_ptr<const PreparedStmts>> Make() {
+  static Result<std::shared_ptr<const PreparedStmts>> Make(Database& db) {
     auto p = std::make_shared<PreparedStmts>();
     STRIP_ASSIGN_OR_RETURN(
         p->update_comp,
-        Parser::ParseStatement(
-            "update comp_prices set price += ? where comp = ?"));
+        db.Prepare("update comp_prices set price += ? where comp = ?"));
     STRIP_ASSIGN_OR_RETURN(
         p->update_option,
-        Parser::ParseStatement(
+        db.Prepare(
             "update option_prices set price = ? where option_symbol = ?"));
-    STRIP_ASSIGN_OR_RETURN(Statement sel,
-                           Parser::ParseStatement(
-                               "select stdev from stock_stdev "
-                               "where symbol = ?"));
-    p->select_stdev = std::move(std::get<SelectStmt>(sel));
+    STRIP_ASSIGN_OR_RETURN(
+        p->select_stdev,
+        db.Prepare("select stdev from stock_stdev where symbol = ?"));
     return std::shared_ptr<const PreparedStmts>(std::move(p));
   }
 };
@@ -75,7 +73,7 @@ struct PreparedStmts {
 Status ApplyCompChange(FunctionContext& ctx, const PreparedStmts& stmts,
                        const Value& comp, double change) {
   STRIP_ASSIGN_OR_RETURN(
-      int n, ctx.Exec(stmts.update_comp, {Value::Double(change), comp}));
+      int n, ctx.Exec(*stmts.update_comp, {Value::Double(change), comp}));
   if (n != 1) {
     return Status::Internal(StrFormat(
         "comp_prices update for '%s' touched %d rows",
@@ -160,9 +158,8 @@ Status ComputeOptions(FunctionContext& ctx, const PreparedStmts& stmts,
   auto stdev_of = [&](const Value& symbol) -> Result<double> {
     auto it = stdev_cache.find(symbol.as_string());
     if (it != stdev_cache.end()) return it->second;
-    std::vector<Value> params = {symbol};
     STRIP_ASSIGN_OR_RETURN(TempTable rows,
-                           ctx.Query(stmts.select_stdev, &params));
+                           ctx.Query(*stmts.select_stdev, {symbol}));
     if (rows.size() != 1) {
       return Status::Internal(StrFormat("no stdev for stock '%s'",
                                         symbol.ToString().c_str()));
@@ -179,7 +176,7 @@ Status ComputeOptions(FunctionContext& ctx, const PreparedStmts& stmts,
         spot, matches->Get(i, c.strike).as_double(), risk_free_rate, sd,
         matches->Get(i, c.expiration).as_double());
     STRIP_ASSIGN_OR_RETURN(
-        int n, ctx.Exec(stmts.update_option,
+        int n, ctx.Exec(*stmts.update_option,
                         {Value::Double(price),
                          matches->Get(i, c.option_symbol)}));
     if (n != 1) {
@@ -221,7 +218,7 @@ Status ComputeOptions(FunctionContext& ctx, const PreparedStmts& stmts,
 
 Status RegisterPtaFunctions(Database& db, double risk_free_rate) {
   STRIP_ASSIGN_OR_RETURN(std::shared_ptr<const PreparedStmts> stmts,
-                         PreparedStmts::Make());
+                         PreparedStmts::Make(db));
   STRIP_RETURN_IF_ERROR(db.RegisterFunction(
       "compute_comps1",
       [stmts](FunctionContext& ctx) { return ComputeComps1(ctx, *stmts); }));

@@ -37,8 +37,7 @@ Status PtaExperiment::Setup(const std::string& rule_sql) {
     }
     STRIP_ASSIGN_OR_RETURN(
         update_stmt_,
-        Parser::ParseStatement(
-            "update stocks set price = ? where symbol = ?"));
+        db_->Prepare("update stocks set price = ? where symbol = ?"));
     symbols_.reserve(static_cast<size_t>(trace_.options().num_stocks));
     for (int i = 0; i < trace_.options().num_stocks; ++i) {
       symbols_.push_back(Value::Str(StockSymbol(i)));
@@ -105,9 +104,8 @@ Status PtaExperiment::ApplyQuote(const Quote& q) {
   // statement path — one ordinary single-tuple update transaction per
   // price change, like the paper's feed-driven update transactions (§4.3).
   STRIP_ASSIGN_OR_RETURN(Transaction * txn, db_->Begin());
-  auto n = db_->ExecuteDml(
-      txn, update_stmt_,
-      {Value::Double(q.price), symbols_[static_cast<size_t>(q.stock)]});
+  auto n = update_stmt_->ExecuteDml(
+      txn, {Value::Double(q.price), symbols_[static_cast<size_t>(q.stock)]});
   if (!n.ok() || *n != 1) {
     Status ignored = db_->Abort(txn);
     (void)ignored;

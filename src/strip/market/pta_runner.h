@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "strip/common/status.h"
+#include "strip/engine/prepared_statement.h"
 #include "strip/market/populate.h"
 #include "strip/market/trace.h"
 #include "strip/sql/ast.h"
@@ -67,7 +68,10 @@ class PtaExperiment {
   const MarketTrace& trace_;
   PtaConfig cfg_;
   std::unique_ptr<Database> db_;
-  Statement update_stmt_;   // update stocks set price = ?1 where symbol = ?2
+  /// update stocks set price = ?1 where symbol = ?2 — prepared once in
+  /// Setup (after the index on symbol exists, so the frozen plan probes
+  /// it), executed once per quote.
+  PreparedStatementPtr update_stmt_;
   std::vector<Value> symbols_;
 };
 

@@ -1,0 +1,103 @@
+#ifndef STRIP_SQL_COMPILED_EXPR_H_
+#define STRIP_SQL_COMPILED_EXPR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/sql/ast.h"
+#include "strip/sql/expr_eval.h"
+#include "strip/sql/plan.h"
+#include "strip/storage/record.h"
+#include "strip/storage/schema.h"
+
+namespace strip {
+
+/// Per-execution state for running compiled expression programs. One frame
+/// is reused across rows (and across expressions): the stack and the call
+/// scratch keep their capacity, so steady-state evaluation allocates
+/// nothing.
+struct EvalFrame {
+  const JoinRow* row = nullptr;   // join-mode programs read slots/extras
+  const Record* rec = nullptr;    // single-table-mode programs read values
+  const std::vector<Value>* params = nullptr;
+  const std::map<std::string, Value>* pseudo = nullptr;
+  std::vector<Value> stack;
+  std::vector<Value> call_args;
+};
+
+enum class ExprOpCode : uint8_t {
+  kPushLiteral,  // push literals[a]
+  kPushParam,    // push (*params)[a]; error when unbound
+  kPushSlot,     // push row->slots[a]->values[b]     (join mode)
+  kPushExtra,    // push row->extras[a]               (join mode)
+  kPushRecord,   // push rec->values[a]               (single-table mode)
+  kPushPseudo,   // push pseudo lookup of names[a]
+  kBinary,       // pop rhs, lhs; push EvalBinaryOp(bin_op, lhs, rhs)
+  kNegate,       // pop v; push -v (null propagates)
+  kNot,          // pop v; push Bool(!truthy)
+  kCall,         // pop b args; push call_funcs[a](args)
+  kJumpIfFalse,  // pop v; if !truthy: push Bool(false), jump to a
+  kJumpIfTrue,   // pop v; if truthy: push Bool(true), jump to a
+  kToBool,       // pop v; push Bool(truthy)
+};
+
+struct ExprOp {
+  ExprOpCode code = ExprOpCode::kPushLiteral;
+  BinaryOp bin_op = BinaryOp::kAdd;
+  int32_t a = 0;
+  int32_t b = 0;
+};
+
+/// An Expr tree flattened into a postfix program over a value stack, with
+/// every column reference resolved to a slot/offset at compile time —
+/// evaluation performs no name hashing, no string lowering, and (after
+/// frame warmup) no allocation. AND/OR short-circuit via jump opcodes with
+/// the interpreter's exact semantics (left operand first, Bool result).
+///
+/// Compilation is best-effort: any construct whose resolution could differ
+/// from the interpreter's lazy behavior (unresolvable columns, unknown
+/// functions, aggregates) fails to compile, and the caller falls back to
+/// EvalExpr. A compiled program therefore always produces the same value or
+/// error the interpreter would.
+class CompiledExpr {
+ public:
+  /// Join-row mode: columns resolve through `inputs` exactly like
+  /// JoinRowContext (inputs first, then pseudo for bare names).
+  static Result<CompiledExpr> Compile(
+      const Expr& expr, const InputSet& inputs,
+      const std::map<std::string, Value>* pseudo,
+      const ScalarFuncRegistry* funcs);
+
+  /// Single-table mode: columns resolve against one record's schema exactly
+  /// like the UPDATE/DELETE row context (qualifier empty or == table name,
+  /// then pseudo).
+  static Result<CompiledExpr> CompileSingleTable(
+      const Expr& expr, const std::string& table_name, const Schema& schema,
+      const std::map<std::string, Value>* pseudo,
+      const ScalarFuncRegistry* funcs);
+
+  /// Constant mode: no column references allowed (INSERT values, index
+  /// probe keys). Parameters and function calls are fine.
+  static Result<CompiledExpr> CompileConstant(const Expr& expr,
+                                              const ScalarFuncRegistry* funcs);
+
+  /// Runs the program against the frame's current row / record / params.
+  Result<Value> Eval(EvalFrame& frame) const;
+
+  size_t num_ops() const { return ops_.size(); }
+
+ private:
+  friend struct ExprCompiler;
+
+  std::vector<ExprOp> ops_;
+  std::vector<Value> literals_;
+  std::vector<const ScalarFunc*> call_funcs_;  // stable: registry is a map
+  std::vector<std::string> names_;             // pseudo-column names
+};
+
+}  // namespace strip
+
+#endif  // STRIP_SQL_COMPILED_EXPR_H_

@@ -34,7 +34,9 @@ class SingleTableRowContext final : public RowContext {
   }
 
  private:
-  const std::string& table_name_;
+  // By value: callers may pass a temporary name, and the context outlives
+  // the full expression in which it was constructed.
+  const std::string table_name_;
   const Schema* schema_;
   const std::map<std::string, Value>* pseudo_;
   const Record* rec_ = nullptr;
@@ -266,6 +268,34 @@ Status SqlExecutor::LockTable(Table* table, LockMode mode) {
 
 Result<Value> SqlExecutor::Eval(const Expr& expr, const InputSet& inputs,
                                 const JoinRow& row) {
+  if (!ctx_.disable_compiled_exprs) {
+    const CompiledExpr* prog = nullptr;
+    if (ctx_.precompiled != nullptr) {
+      auto it = ctx_.precompiled->find(&expr);
+      if (it != ctx_.precompiled->end()) prog = &it->second;
+    }
+    if (prog == nullptr && interpret_only_.count(&expr) == 0) {
+      auto it = compiled_.find(&expr);
+      if (it == compiled_.end()) {
+        auto c = CompiledExpr::Compile(expr, inputs, ctx_.pseudo, ctx_.funcs);
+        if (c.ok()) {
+          it = compiled_.emplace(&expr, std::move(*c)).first;
+        } else {
+          // Unresolvable / uncompilable: the interpreter preserves lazy
+          // error semantics (e.g. a bogus column behind a short-circuit).
+          interpret_only_.insert(&expr);
+        }
+      }
+      if (it != compiled_.end()) prog = &it->second;
+    }
+    if (prog != nullptr) {
+      frame_.row = &row;
+      frame_.rec = nullptr;
+      frame_.params = ctx_.params;
+      frame_.pseudo = ctx_.pseudo;
+      return prog->Eval(frame_);
+    }
+  }
   JoinRowContext ctx(&inputs, &row, ctx_.pseudo);
   return EvalExpr(expr, &ctx, ctx_.funcs, ctx_.params);
 }
@@ -542,12 +572,13 @@ Result<std::vector<JoinRow>> SqlExecutor::RunJoin(
                       nin.table->schema()
                           .column(index_key_pos)
                           .name.c_str()));
+      std::vector<RowIter> rows;  // reused across probes (Lookup appends)
       for (JoinRow& base : current) {
         STRIP_ASSIGN_OR_RETURN(Value key,
                                Eval(*other_keys[index_join_slot], inputs,
                                     base));
         if (key.is_null()) continue;
-        std::vector<RowIter> rows;
+        rows.clear();
         index->Lookup(key, rows);
         for (RowIter r : rows) {
           // Apply next's pushed-down filters on the candidate first.
@@ -667,6 +698,25 @@ Result<TempTable> SqlExecutor::ExecuteSelect(const SelectStmt& stmt,
   STRIP_ASSIGN_OR_RETURN(
       std::vector<Conjunct> conjuncts,
       ClassifyConjuncts(stmt.where.get(), inputs, ctx_.pseudo));
+  return ExecuteSelectBound(stmt, inputs, conjuncts, output_name);
+}
+
+Result<TempTable> SqlExecutor::ExecuteSelectBound(
+    const SelectStmt& stmt, const InputSet& inputs,
+    const std::vector<Conjunct>& conjuncts, const std::string& output_name) {
+  // Programs cached in earlier executions carry slot positions for a
+  // different InputSet; drop them before touching this one.
+  compiled_.clear();
+  interpret_only_.clear();
+
+  // Locks are per-execution, never part of a frozen plan: re-acquire shared
+  // locks on every standard input (a no-op when BindFrom just did).
+  for (const BoundInput& in : inputs.inputs()) {
+    if (in.table != nullptr) {
+      STRIP_RETURN_IF_ERROR(LockTable(in.table, LockMode::kShared));
+    }
+  }
+
   STRIP_ASSIGN_OR_RETURN(std::vector<JoinRow> rows,
                          RunJoin(inputs, conjuncts));
 

@@ -3,10 +3,13 @@
 
 #include <map>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "strip/common/status.h"
 #include "strip/sql/ast.h"
+#include "strip/sql/compiled_expr.h"
 #include "strip/sql/expr_eval.h"
 #include "strip/sql/plan.h"
 #include "strip/storage/bound_table_set.h"
@@ -36,6 +39,13 @@ struct ExecContext {
   /// decision (scan method, join order and algorithm, aggregation, sort,
   /// limit) — the EXPLAIN facility. The query still executes.
   std::vector<std::string>* plan_trace = nullptr;
+  /// Programs compiled at prepare time, keyed by Expr node (the prepared
+  /// statement keeps the nodes alive). Consulted before the executor's own
+  /// per-statement compile cache.
+  const std::unordered_map<const Expr*, CompiledExpr>* precompiled = nullptr;
+  /// Forces interpreted expression evaluation
+  /// (Database::Options::enable_compiled_exprs = false).
+  bool disable_compiled_exprs = false;
 };
 
 /// Executes parsed statements. Stateless between calls; cheap to construct.
@@ -52,6 +62,14 @@ class SqlExecutor {
   /// Runs a SELECT, producing a temp table named `output_name`.
   Result<TempTable> ExecuteSelect(const SelectStmt& stmt,
                                   const std::string& output_name = "_result");
+
+  /// Runs a SELECT whose FROM clause is already resolved and whose WHERE is
+  /// already classified — the prepared-statement fast path. Acquires shared
+  /// locks on the standard inputs (re-entrant after BindFrom).
+  Result<TempTable> ExecuteSelectBound(const SelectStmt& stmt,
+                                       const InputSet& inputs,
+                                       const std::vector<Conjunct>& conjuncts,
+                                       const std::string& output_name);
 
   /// DML; returns the number of affected rows.
   Result<int> ExecuteInsert(const InsertStmt& stmt);
@@ -89,6 +107,14 @@ class SqlExecutor {
   void Trace(const std::string& line);
 
   ExecContext ctx_;
+
+  /// Per-statement-execution compiled-program cache, keyed by Expr node.
+  /// Cleared at every top-level entry: programs carry slot positions
+  /// resolved against that execution's InputSet (which lives on the
+  /// caller's stack), so they must not survive into the next call.
+  std::unordered_map<const Expr*, CompiledExpr> compiled_;
+  std::unordered_set<const Expr*> interpret_only_;
+  EvalFrame frame_;
 };
 
 }  // namespace strip

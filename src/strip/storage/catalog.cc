@@ -13,6 +13,7 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   auto table = std::make_unique<Table>(key, std::move(schema));
   Table* ptr = table.get();
   tables_.emplace(std::move(key), std::move(table));
+  BumpGeneration();
   return ptr;
 }
 
@@ -23,6 +24,7 @@ Status Catalog::DropTable(const std::string& name) {
     return Status::NotFound(StrFormat("no table '%s'", key.c_str()));
   }
   tables_.erase(it);
+  BumpGeneration();
   return Status::OK();
 }
 

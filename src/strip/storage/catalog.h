@@ -1,6 +1,8 @@
 #ifndef STRIP_STORAGE_CATALOG_H_
 #define STRIP_STORAGE_CATALOG_H_
 
+#include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -38,8 +40,20 @@ class Catalog {
 
   size_t num_tables() const { return tables_.size(); }
 
+  /// Monotonic DDL generation counter. Bumped by CreateTable / DropTable
+  /// here and by the engine for every other schema change (create index /
+  /// view / rule). Cached plans are stamped with the generation they were
+  /// built under and re-resolved when it moves.
+  uint64_t generation() const {
+    return generation_.load(std::memory_order_acquire);
+  }
+  void BumpGeneration() {
+    generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+
  private:
   std::map<std::string, std::unique_ptr<Table>> tables_;
+  std::atomic<uint64_t> generation_{0};
 };
 
 }  // namespace strip

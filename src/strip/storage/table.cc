@@ -134,9 +134,14 @@ Index* Table::FindIndexByPosition(int column) const {
 
 std::vector<RowIter> Table::IndexLookup(int column, const Value& key) const {
   std::vector<RowIter> out;
+  IndexLookup(column, key, out);
+  return out;
+}
+
+void Table::IndexLookup(int column, const Value& key,
+                        std::vector<RowIter>& out) const {
   Index* idx = FindIndexByPosition(column);
   if (idx != nullptr) idx->Lookup(key, out);
-  return out;
 }
 
 }  // namespace strip

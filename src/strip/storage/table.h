@@ -60,6 +60,12 @@ class Table {
   /// Equality lookup through the column's index; the column must be indexed.
   std::vector<RowIter> IndexLookup(int column, const Value& key) const;
 
+  /// Allocation-free variant: appends matches to `out` (which the caller
+  /// clears and reuses across probes — the executor's inner join loops call
+  /// this once per outer row).
+  void IndexLookup(int column, const Value& key,
+                   std::vector<RowIter>& out) const;
+
   /// Checks the record against the schema (arity + types; kNull allowed in
   /// any column; ints accepted into double columns and stored coerced).
   Result<RecordRef> ValidateRecord(RecordRef rec) const;

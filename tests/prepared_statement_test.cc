@@ -1,0 +1,308 @@
+// Prepared statements, the plan cache, and their DDL-invalidation
+// behavior, plus the compiled-vs-interpreted equivalence sweep: the same
+// statements executed through slot-compiled programs and through the
+// tree-walking interpreter must produce identical results.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "strip/common/string_util.h"
+#include "strip/engine/database.h"
+#include "strip/market/populate.h"
+#include "strip/market/trace.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+void SeedTable(Database& db) {
+  ASSERT_OK(db.ExecuteScript(
+      "create table t (k string, v double);"
+      "insert into t values ('a', 1.0), ('b', 2.0), ('c', 3.0);"));
+}
+
+TEST(PreparedStatementTest, ParamRebindingAcrossExecutions) {
+  Database db;
+  SeedTable(db);
+  ASSERT_OK_AND_ASSIGN(PreparedStatementPtr update,
+                       db.Prepare("update t set v = ? where k = ?"));
+  ASSERT_OK_AND_ASSIGN(PreparedStatementPtr select,
+                       db.Prepare("select v from t where k = ?"));
+
+  // Same handle, different bindings, each execution independent.
+  ASSERT_OK(update->Execute({Value::Double(10.0), Value::Str("a")}).status());
+  ASSERT_OK(update->Execute({Value::Double(20.0), Value::Str("b")}).status());
+
+  ASSERT_OK_AND_ASSIGN(ResultSet ra, select->Execute({Value::Str("a")}));
+  ASSERT_EQ(ra.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(ra.rows[0][0].as_double(), 10.0);
+  ASSERT_OK_AND_ASSIGN(ResultSet rb, select->Execute({Value::Str("b")}));
+  ASSERT_EQ(rb.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(rb.rows[0][0].as_double(), 20.0);
+  ASSERT_OK_AND_ASSIGN(ResultSet rc, select->Execute({Value::Str("c")}));
+  ASSERT_EQ(rc.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(rc.rows[0][0].as_double(), 3.0);
+}
+
+TEST(PreparedStatementTest, UnboundParameterFailsCleanly) {
+  Database db;
+  SeedTable(db);
+  ASSERT_OK_AND_ASSIGN(PreparedStatementPtr update,
+                       db.Prepare("update t set v = ? where k = ?"));
+  auto r = update->Execute({Value::Double(1.0)});  // ?2 missing
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("parameter"), std::string::npos)
+      << r.status().ToString();
+  // The failed execution must not leave a half-applied transaction.
+  ASSERT_OK_AND_ASSIGN(ResultSet rs,
+                       db.Execute("select v from t where k = 'a'"));
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].as_double(), 1.0);
+}
+
+TEST(PreparedStatementTest, PlanCacheSharesHandlesAndNormalizes) {
+  Database db;
+  SeedTable(db);
+  ASSERT_OK_AND_ASSIGN(PreparedStatementPtr h1,
+                       db.Prepare("select v from t where k = 'a'"));
+  ASSERT_OK_AND_ASSIGN(PreparedStatementPtr h2,
+                       db.Prepare("select v from t where k = 'a'"));
+  EXPECT_EQ(h1.get(), h2.get());
+  // Case / whitespace variants normalize to the same cache key; quoted
+  // literals stay case-sensitive.
+  ASSERT_OK_AND_ASSIGN(PreparedStatementPtr h3,
+                       db.Prepare("SELECT  v  FROM t\n WHERE k = 'a'"));
+  EXPECT_EQ(h1.get(), h3.get());
+  ASSERT_OK_AND_ASSIGN(PreparedStatementPtr h4,
+                       db.Prepare("select v from t where k = 'A'"));
+  EXPECT_NE(h1.get(), h4.get());
+
+  auto stats = db.plan_cache_stats();
+  EXPECT_GE(stats.hits, 2u);
+  EXPECT_GE(stats.misses, 2u);
+  EXPECT_GE(stats.entries, 2u);
+}
+
+TEST(PreparedStatementTest, PlanCacheEvictsAtCapacity) {
+  Database::Options opts;
+  opts.plan_cache_capacity = 4;
+  Database db(opts);
+  SeedTable(db);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(db.Execute(StrFormat("select v from t where v > %d", i))
+                  .status());
+  }
+  EXPECT_LE(db.plan_cache_stats().entries, 4u);
+}
+
+TEST(PreparedStatementTest, CachedPlanSeesIndexCreatedLater) {
+  Database db;
+  SeedTable(db);
+  ASSERT_OK_AND_ASSIGN(PreparedStatementPtr select,
+                       db.Prepare("select v from t where k = ?"));
+  ASSERT_OK_AND_ASSIGN(PreparedStatementPtr update,
+                       db.Prepare("update t set v = ? where k = ?"));
+  ASSERT_OK_AND_ASSIGN(bool sel_probe, select->UsesIndexProbe());
+  ASSERT_OK_AND_ASSIGN(bool upd_probe, update->UsesIndexProbe());
+  EXPECT_FALSE(sel_probe);
+  EXPECT_FALSE(upd_probe);
+
+  ASSERT_OK(db.Execute("create index t_k on t (k)").status());
+
+  // The generation bump invalidates the frozen plans: both handles
+  // re-resolve and now probe the new index — with unchanged results.
+  ASSERT_OK_AND_ASSIGN(sel_probe, select->UsesIndexProbe());
+  ASSERT_OK_AND_ASSIGN(upd_probe, update->UsesIndexProbe());
+  EXPECT_TRUE(sel_probe);
+  EXPECT_TRUE(upd_probe);
+  ASSERT_OK(update->Execute({Value::Double(42.0), Value::Str("b")}).status());
+  ASSERT_OK_AND_ASSIGN(ResultSet rs, select->Execute({Value::Str("b")}));
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].as_double(), 42.0);
+}
+
+TEST(PreparedStatementTest, DropTableFailsCleanlyAndRecreateRecovers) {
+  Database db;
+  SeedTable(db);
+  ASSERT_OK_AND_ASSIGN(PreparedStatementPtr update,
+                       db.Prepare("update t set v = ? where k = ?"));
+  ASSERT_OK_AND_ASSIGN(PreparedStatementPtr select,
+                       db.Prepare("select v from t where k = ?"));
+  ASSERT_OK(update->Execute({Value::Double(5.0), Value::Str("a")}).status());
+
+  ASSERT_OK(db.Execute("drop table t").status());
+  auto u = update->Execute({Value::Double(6.0), Value::Str("a")});
+  EXPECT_FALSE(u.ok());
+  EXPECT_EQ(u.status().code(), StatusCode::kNotFound) << u.status().ToString();
+  auto s = select->Execute({Value::Str("a")});
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.status().code(), StatusCode::kNotFound) << s.status().ToString();
+
+  // Recreating the table re-resolves the same cached handles against the
+  // new catalog entry.
+  SeedTable(db);
+  ASSERT_OK(update->Execute({Value::Double(7.0), Value::Str("a")}).status());
+  ASSERT_OK_AND_ASSIGN(ResultSet rs, select->Execute({Value::Str("a")}));
+  ASSERT_EQ(rs.num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(rs.rows[0][0].as_double(), 7.0);
+}
+
+TEST(PreparedStatementTest, TextualExecuteStaysCorrectAcrossDdl) {
+  Database db;
+  SeedTable(db);
+  const std::string sql = "select k, v from t where k = 'b'";
+  ASSERT_OK_AND_ASSIGN(ResultSet before, db.Execute(sql));
+  ASSERT_OK(db.Execute("create index t_k on t (k)").status());
+  ASSERT_OK_AND_ASSIGN(ResultSet after, db.Execute(sql));
+  ASSERT_EQ(before.num_rows(), after.num_rows());
+  EXPECT_EQ(before.rows[0][0].as_string(), after.rows[0][0].as_string());
+  EXPECT_DOUBLE_EQ(before.rows[0][1].as_double(),
+                   after.rows[0][1].as_double());
+}
+
+TEST(PreparedStatementTest, PlanNotesDescribeFastPath) {
+  Database db;
+  SeedTable(db);
+  ASSERT_OK(db.Execute("create index t_k on t (k)").status());
+  ASSERT_OK_AND_ASSIGN(PreparedStatementPtr update,
+                       db.Prepare("update t set v = ? where k = ?"));
+  ASSERT_OK_AND_ASSIGN(std::vector<std::string> notes, update->PlanNotes());
+  ASSERT_FALSE(notes.empty());
+  EXPECT_NE(notes[0].find("index probe"), std::string::npos) << notes[0];
+}
+
+// ---------------------------------------------------------------------------
+// Compiled vs. interpreted equivalence
+// ---------------------------------------------------------------------------
+
+/// Two databases populated identically (reusing the PTA generators), one
+/// with compiled expressions + fast paths, one forced fully interpreted.
+class EquivalenceSweep : public ::testing::Test {
+ protected:
+  EquivalenceSweep() {
+    Database::Options compiled;
+    compiled.enable_compiled_exprs = true;
+    Database::Options interpreted;
+    interpreted.enable_compiled_exprs = false;
+    compiled_ = std::make_unique<Database>(compiled);
+    interpreted_ = std::make_unique<Database>(interpreted);
+  }
+
+  void Populate() {
+    TraceOptions t;
+    t.num_stocks = 40;
+    t.duration_seconds = 5;
+    t.target_updates = 120;
+    t.seed = 1234;
+    trace_ = MarketTrace::Generate(t);
+    PtaConfig cfg;
+    cfg.num_composites = 6;
+    cfg.stocks_per_composite = 10;
+    cfg.num_options = 60;
+    cfg.seed = 5678;
+    ASSERT_OK(PopulatePtaTables(*compiled_, trace_, cfg));
+    ASSERT_OK(PopulatePtaTables(*interpreted_, trace_, cfg));
+  }
+
+  /// Runs `sql` on both engines; both must agree on status and, when OK,
+  /// on every row (order included — queries in the sweep are ordered).
+  void ExpectSameResult(const std::string& sql) {
+    auto a = compiled_->Execute(sql);
+    auto b = interpreted_->Execute(sql);
+    ASSERT_EQ(a.ok(), b.ok())
+        << sql << "\ncompiled: " << a.status().ToString()
+        << "\ninterpreted: " << b.status().ToString();
+    if (!a.ok()) {
+      EXPECT_EQ(a.status().code(), b.status().code()) << sql;
+      return;
+    }
+    ASSERT_EQ(a->num_rows(), b->num_rows()) << sql;
+    for (size_t r = 0; r < a->num_rows(); ++r) {
+      ASSERT_EQ(a->rows[r].size(), b->rows[r].size()) << sql;
+      for (size_t c = 0; c < a->rows[r].size(); ++c) {
+        EXPECT_EQ(a->rows[r][c].ToString(), b->rows[r][c].ToString())
+            << sql << " row " << r << " col " << c;
+      }
+    }
+  }
+
+  MarketTrace trace_;
+  std::unique_ptr<Database> compiled_;
+  std::unique_ptr<Database> interpreted_;
+};
+
+TEST_F(EquivalenceSweep, QueriesAndDmlAgree) {
+  Populate();
+
+  // Apply the trace's updates through the prepared path on the compiled
+  // engine and through the same handle API on the interpreted one (where
+  // every execution falls back to the interpreter).
+  ASSERT_OK_AND_ASSIGN(
+      PreparedStatementPtr upd_c,
+      compiled_->Prepare("update stocks set price = ? where symbol = ?"));
+  ASSERT_OK_AND_ASSIGN(
+      PreparedStatementPtr upd_i,
+      interpreted_->Prepare("update stocks set price = ? where symbol = ?"));
+  for (const Quote& q : trace_.quotes()) {
+    std::vector<Value> params = {Value::Double(q.price),
+                                 Value::Str(StockSymbol(q.stock))};
+    ASSERT_OK_AND_ASSIGN(ResultSet rc, upd_c->Execute(params));
+    ASSERT_OK_AND_ASSIGN(ResultSet ri, upd_i->Execute(params));
+    EXPECT_EQ(rc.rows[0][0].as_int(), ri.rows[0][0].as_int());
+  }
+
+  const char* queries[] = {
+      "select symbol, price from stocks order by symbol",
+      "select comp, price from comp_prices order by comp",
+      // Join + aggregate + scalar arithmetic (the Figure-5 recompute).
+      "select comp, sum(stocks.price * weight) as price "
+      "from stocks, comps_list where stocks.symbol = comps_list.symbol "
+      "group by comp order by comp",
+      // Scalar function (f_bs) over a three-way join.
+      "select option_symbol, "
+      "f_bs(stocks.price, strike, expiration, stdev) as price "
+      "from stocks, stock_stdev, options_list "
+      "where stocks.symbol = options_list.stock_symbol "
+      "and stocks.symbol = stock_stdev.symbol "
+      "order by option_symbol limit 50",
+      // Short-circuit evaluation: the second conjunct would divide by a
+      // column value of zero only when reached.
+      "select symbol from stocks where price > 1e12 and 1.0 / price > 0 "
+      "order by symbol",
+      // Unary minus, boolean ops, DISTINCT, HAVING.
+      "select distinct comp from comps_list "
+      "where not (weight < 0) or -weight > 0 order by comp",
+      "select comp, count(*) as n from comps_list group by comp "
+      "having count(*) > 2 order by comp",
+      // Parameter-free arithmetic edge: integer vs double division.
+      "select symbol, price / 4 from stocks order by symbol limit 10",
+  };
+  for (const char* q : queries) ExpectSameResult(q);
+
+  // Error equivalence: division by zero surfaces identically.
+  ExpectSameResult("select 1 / 0 from stocks");
+  // Unknown column behind a never-true branch stays a lazy error in both.
+  ExpectSameResult("select symbol from stocks where price > 1e12");
+}
+
+TEST_F(EquivalenceSweep, PreparedSelectMatchesInterpreted) {
+  Populate();
+  ASSERT_OK_AND_ASSIGN(
+      PreparedStatementPtr sel_c,
+      compiled_->Prepare(
+          "select comp, weight from comps_list where symbol = ?"));
+  ASSERT_OK_AND_ASSIGN(
+      PreparedStatementPtr sel_i,
+      interpreted_->Prepare(
+          "select comp, weight from comps_list where symbol = ?"));
+  for (int i = 0; i < 40; ++i) {
+    std::vector<Value> params = {Value::Str(StockSymbol(i))};
+    ASSERT_OK_AND_ASSIGN(ResultSet a, sel_c->Execute(params));
+    ASSERT_OK_AND_ASSIGN(ResultSet b, sel_i->Execute(params));
+    ASSERT_EQ(a.num_rows(), b.num_rows()) << StockSymbol(i);
+  }
+}
+
+}  // namespace
+}  // namespace strip

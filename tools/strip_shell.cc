@@ -44,6 +44,17 @@ void ExecuteAndPrint(Database& db, const std::string& sql) {
     std::printf("error: %s\n", stmts.status().ToString().c_str());
     return;
   }
+  if (stmts->size() == 1) {
+    // Single statement: execute by text so it goes through the plan cache
+    // (a re-typed statement reuses its prepared handle; see .stats).
+    auto result = db.Execute(sql);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    PrintResult(*result);
+    return;
+  }
   for (const Statement& stmt : *stmts) {
     auto result = db.Execute(stmt);
     if (!result.ok()) {
@@ -132,6 +143,9 @@ bool HandleMeta(Database& db, const std::string& line) {
                 (unsigned long long)es.tasks_failed,
                 MicrosToSeconds(es.busy_micros),
                 MicrosToSeconds(db.Now()));
+    Database::PlanCacheStats ps = db.plan_cache_stats();
+    std::printf("plan cache: %zu entries (cap %zu), %zu hits, %zu misses\n",
+                ps.entries, ps.capacity, ps.hits, ps.misses);
     return true;
   }
   if (!cmd.empty() && cmd[0] == '.') {
