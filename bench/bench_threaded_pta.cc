@@ -1,0 +1,166 @@
+// Multi-core scale-up of the PTA workload on the ThreadedExecutor (§6.2's
+// process pool): the same quote burst + unique-on-comp rule (Figure 7) run
+// at several worker-pool sizes, reporting recompute-firing throughput,
+// firing-latency percentiles, lock contention, and wait-die restarts.
+//
+// Each firing ends with a blocking "order submission" stall modeling the
+// exchange round-trip (the paper's program trades act on the outside
+// world). Extra workers overlap those stalls, so throughput scales with
+// the pool size even on a single CPU — which is exactly the concurrency
+// the paper's process pool exists to exploit: rule transactions that
+// block (on locks or the outside world) must not stall the whole system.
+//
+// Usage: bench_threaded_pta [--workers 1,2,4,8] [--scale F] [--stall US]
+//                           [--delay S] [--seed N] [--out FILE]
+//
+// Emits BENCH_threaded_pta.json with one entry per worker count plus the
+// 4-vs-1 worker speedup (the headline number for EXPERIMENTS.md).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "strip/market/pta_runner.h"
+
+namespace strip {
+namespace {
+
+std::vector<int> ParseWorkerList(const std::string& s) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::atoi(s.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void PrintResult(const ThreadedPtaResult& r) {
+  std::printf(
+      "%7d %9llu %9llu %10.1f %12.1f %12.1f %8llu %8llu %10.3f\n",
+      r.num_workers, static_cast<unsigned long long>(r.num_updates),
+      static_cast<unsigned long long>(r.num_firings), r.firings_per_second,
+      r.p50_firing_latency_micros, r.p99_firing_latency_micros,
+      static_cast<unsigned long long>(r.lock_wait_die_aborts),
+      static_cast<unsigned long long>(r.update_restarts), r.wall_seconds);
+}
+
+}  // namespace
+}  // namespace strip
+
+int main(int argc, char** argv) {
+  using namespace strip;
+
+  std::vector<int> workers = {1, 2, 4, 8};
+  ThreadedPtaOptions base;
+  std::string out_path = "BENCH_threaded_pta.json";
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--workers") == 0) {
+      workers = ParseWorkerList(next());
+    } else if (std::strcmp(argv[i], "--scale") == 0) {
+      base.scale = std::atof(next());
+    } else if (std::strcmp(argv[i], "--stall") == 0) {
+      base.order_latency_micros = std::atoll(next());
+    } else if (std::strcmp(argv[i], "--delay") == 0) {
+      base.delay_seconds = std::atof(next());
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      base.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next();
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  std::printf(
+      "%7s %9s %9s %10s %12s %12s %8s %8s %10s\n", "workers", "updates",
+      "firings", "firing/s", "p50_us", "p99_us", "wd_kill", "restarts",
+      "wall_s");
+  std::vector<ThreadedPtaResult> results;
+  for (int w : workers) {
+    ThreadedPtaOptions opts = base;
+    opts.num_workers = w;
+    auto r = RunThreadedPta(opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "workers=%d: %s\n", w,
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    PrintResult(*r);
+    results.push_back(*r);
+  }
+
+  double speedup_4v1 = 0;
+  {
+    const ThreadedPtaResult* w1 = nullptr;
+    const ThreadedPtaResult* w4 = nullptr;
+    for (const auto& r : results) {
+      if (r.num_workers == 1) w1 = &r;
+      if (r.num_workers == 4) w4 = &r;
+    }
+    if (w1 != nullptr && w4 != nullptr && w1->firings_per_second > 0) {
+      speedup_4v1 = w4->firings_per_second / w1->firings_per_second;
+      std::printf("\n4-worker vs 1-worker firing throughput: %.2fx\n",
+                  speedup_4v1);
+    }
+  }
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"benchmark\": \"threaded_pta\",\n");
+  std::fprintf(f, "  \"scale\": %.4f,\n", base.scale);
+  std::fprintf(f, "  \"order_latency_micros\": %lld,\n",
+               static_cast<long long>(base.order_latency_micros));
+  std::fprintf(f, "  \"delay_seconds\": %.3f,\n", base.delay_seconds);
+  std::fprintf(f, "  \"seed\": %llu,\n",
+               static_cast<unsigned long long>(base.seed));
+  std::fprintf(f, "  \"runs\": [\n");
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ThreadedPtaResult& r = results[i];
+    std::fprintf(
+        f,
+        "    {\"workers\": %d, \"updates\": %llu, \"firings\": %llu, "
+        "\"firings_per_second\": %.2f, \"p50_firing_latency_us\": %.1f, "
+        "\"p99_firing_latency_us\": %.1f, \"lock_acquires\": %llu, "
+        "\"lock_waits\": %llu, \"lock_wait_die_aborts\": %llu, "
+        "\"lock_wait_micros\": %llu, \"update_restarts\": %llu, "
+        "\"firings_merged\": %llu, \"failed_tasks\": %llu, "
+        "\"wall_seconds\": %.3f}%s\n",
+        r.num_workers, static_cast<unsigned long long>(r.num_updates),
+        static_cast<unsigned long long>(r.num_firings),
+        r.firings_per_second, r.p50_firing_latency_micros,
+        r.p99_firing_latency_micros,
+        static_cast<unsigned long long>(r.lock_acquires),
+        static_cast<unsigned long long>(r.lock_waits),
+        static_cast<unsigned long long>(r.lock_wait_die_aborts),
+        static_cast<unsigned long long>(r.lock_wait_micros),
+        static_cast<unsigned long long>(r.update_restarts),
+        static_cast<unsigned long long>(r.firings_merged),
+        static_cast<unsigned long long>(r.failed_tasks), r.wall_seconds,
+        i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"speedup_4_workers_vs_1\": %.3f,\n", speedup_4v1);
+  std::fprintf(f, "  \"meets_2p5x_target\": %s\n",
+               speedup_4v1 >= 2.5 ? "true" : "false");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -2,6 +2,7 @@
 #define STRIP_COMMON_SPIN_LOCK_H_
 
 #include <atomic>
+#include <thread>
 
 namespace strip {
 
@@ -15,13 +16,23 @@ class SpinLock {
   SpinLock& operator=(const SpinLock&) = delete;
 
   void Lock() {
+    int spins = 0;
     while (flag_.test_and_set(std::memory_order_acquire)) {
-      // Spin; the critical sections protected by this lock are tiny.
+      // The critical sections protected by this lock are tiny, so a short
+      // spin usually wins; but if the holder was preempted (or there are
+      // more runnable threads than cores) pure spinning burns the holder's
+      // timeslice, so yield after a bounded burst.
+      if (++spins >= kSpinsBeforeYield) {
+        spins = 0;
+        std::this_thread::yield();
+      }
     }
   }
   void Unlock() { flag_.clear(std::memory_order_release); }
 
  private:
+  static constexpr int kSpinsBeforeYield = 64;
+
   std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
 };
 

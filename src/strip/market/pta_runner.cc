@@ -1,7 +1,12 @@
 #include "strip/market/pta_runner.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <map>
+#include <mutex>
+#include <thread>
 
 #include "strip/common/string_util.h"
 #include "strip/market/app_functions.h"
@@ -121,6 +126,140 @@ Result<PtaRunResult> RunPtaExperiment(const MarketTrace& trace,
   PtaExperiment exp(trace, cfg);
   STRIP_RETURN_IF_ERROR(exp.Setup(rule_sql));
   return exp.Run();
+}
+
+namespace {
+
+double Percentile(std::vector<double>& sorted_in_place, double q) {
+  if (sorted_in_place.empty()) return 0;
+  std::sort(sorted_in_place.begin(), sorted_in_place.end());
+  size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_in_place.size() - 1) + 0.5);
+  return sorted_in_place[std::min(idx, sorted_in_place.size() - 1)];
+}
+
+}  // namespace
+
+Result<ThreadedPtaResult> RunThreadedPta(const ThreadedPtaOptions& options) {
+  Database::Options db_opts;
+  db_opts.mode = ExecutorMode::kThreaded;
+  db_opts.num_workers = options.num_workers;
+  Database db(db_opts);
+
+  PtaConfig cfg = PtaConfig::Scaled(options.scale);
+  cfg.seed = options.seed;
+  TraceOptions trace_opts = TraceOptions::Scaled(options.scale);
+  trace_opts.seed = options.seed;
+  MarketTrace trace = MarketTrace::Generate(trace_opts);
+
+  STRIP_RETURN_IF_ERROR(PopulatePtaTables(db, trace, cfg));
+  STRIP_RETURN_IF_ERROR(RegisterPtaFunctions(db, cfg.risk_free_rate));
+  STRIP_RETURN_IF_ERROR(
+      db.Execute(CompRuleSql(CompRuleVariant::kUniqueOnComp,
+                             options.delay_seconds))
+          .status());
+  STRIP_ASSIGN_OR_RETURN(
+      PreparedStatementPtr update_stmt,
+      db.Prepare("update stocks set price = ? where symbol = ?"));
+  std::vector<Value> symbols;
+  symbols.reserve(static_cast<size_t>(trace_opts.num_stocks));
+  for (int i = 0; i < trace_opts.num_stocks; ++i) {
+    symbols.push_back(Value::Str(StockSymbol(i)));
+  }
+
+  ThreadedPtaResult result;
+  result.num_workers = options.num_workers;
+  result.num_updates = trace.quotes().size();
+
+  // Firing measurements, folded in by the worker threads via the task
+  // observer. The order-submission stall sleeps outside the mutex so
+  // concurrent firings overlap their stalls — that overlap IS the scale-up.
+  std::mutex obs_mu;
+  std::vector<double> firing_latencies;
+  Timestamp first_release = kNoDeadline;
+  Timestamp last_done = 0;
+  std::atomic<uint64_t> failed{0};
+  db.executor().set_task_observer([&](const TaskControlBlock& t) {
+    if (!t.result.ok()) failed.fetch_add(1, std::memory_order_relaxed);
+    if (t.function_name.rfind("compute_", 0) != 0) return;
+    if (options.order_latency_micros > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(options.order_latency_micros));
+    }
+    Timestamp done = db.Now();
+    std::lock_guard<std::mutex> lk(obs_mu);
+    firing_latencies.push_back(
+        static_cast<double>(t.finish_time - t.release_time));
+    first_release = std::min(first_release, t.release_time);
+    last_done = std::max(last_done, done);
+  });
+
+  // Burst-submit one update task per quote (ignoring trace inter-arrival
+  // times: this experiment measures capacity, not a real-time replay). The
+  // update transactions race on hot stocks rows; wait-die victims retry
+  // with their original priority, like rule-action transactions do.
+  std::atomic<uint64_t> restarts{0};
+  Timestamp t0 = db.Now();
+  for (const Quote& q : trace.quotes()) {
+    TaskPtr task = db.NewTask();
+    task->function_name = "apply_quote";
+    const Value price = Value::Double(q.price);
+    const Value& symbol = symbols[static_cast<size_t>(q.stock)];
+    task->work = [&db, &update_stmt, &restarts, price,
+                  symbol](TaskControlBlock&) -> Status {
+      Status last;
+      uint64_t priority = 0;
+      for (int attempt = 0; attempt <= 10; ++attempt) {
+        STRIP_ASSIGN_OR_RETURN(Transaction * txn, db.Begin(priority));
+        if (priority == 0) priority = txn->priority();
+        auto n = update_stmt->ExecuteDml(txn, {price, symbol});
+        Status st = n.ok() ? db.Commit(txn) : n.status();
+        if (!n.ok()) {
+          Status ignored = db.Abort(txn);
+          (void)ignored;
+        }
+        if (st.ok()) return Status::OK();
+        if (st.code() != StatusCode::kAborted) return st;
+        last = st;
+        restarts.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min(1 << std::min(attempt, 5), 32)));
+      }
+      return last;
+    };
+    db.Submit(std::move(task));
+  }
+  db.threaded()->Drain();
+  Timestamp t1 = db.Now();
+  db.executor().set_task_observer(nullptr);
+
+  result.wall_seconds = static_cast<double>(t1 - t0) / 1e6;
+  result.update_restarts = restarts.load();
+  result.failed_tasks = failed.load();
+  {
+    std::lock_guard<std::mutex> lk(obs_mu);
+    result.num_firings = firing_latencies.size();
+    if (result.num_firings > 0 && last_done > first_release) {
+      result.firing_window_seconds =
+          static_cast<double>(last_done - first_release) / 1e6;
+      result.firings_per_second =
+          static_cast<double>(result.num_firings) /
+          result.firing_window_seconds;
+    }
+    result.p50_firing_latency_micros = Percentile(firing_latencies, 0.50);
+    result.p99_firing_latency_micros = Percentile(firing_latencies, 0.99);
+  }
+  const LockManagerStats& ls = db.locks().stats();
+  result.lock_acquires = ls.acquires.load(std::memory_order_relaxed);
+  result.lock_waits = ls.waits.load(std::memory_order_relaxed);
+  result.lock_wait_die_aborts =
+      ls.wait_die_aborts.load(std::memory_order_relaxed);
+  result.lock_wait_micros = ls.wait_micros.load(std::memory_order_relaxed);
+  result.tasks_created = db.rules().stats().tasks_created;
+  result.firings_merged = db.rules().stats().firings_merged;
+  result.tasks_run = db.executor().stats().tasks_run;
+  result.tasks_failed = db.executor().stats().tasks_failed;
+  return result;
 }
 
 Status CheckDerivedDataConsistency(Database& db, double risk_free_rate,

@@ -80,6 +80,60 @@ Result<PtaRunResult> RunPtaExperiment(const MarketTrace& trace,
                                       const PtaConfig& cfg,
                                       const std::string& rule_sql);
 
+/// Parameters of a threaded (wall-clock) PTA throughput run.
+struct ThreadedPtaOptions {
+  int num_workers = 2;
+  /// Fraction of the paper-scale database / trace (PtaConfig::Scaled,
+  /// TraceOptions::Scaled).
+  double scale = 0.05;
+  /// Delay window of the comp_prices rule. Must exceed the update burst's
+  /// duration so every composite's firings merge into one recompute task,
+  /// making the firing count (≈ number of triggered composites) identical
+  /// across worker counts — a fair throughput comparison.
+  double delay_seconds = 1.0;
+  /// Blocking stall per recompute firing, modeling the PTA's order
+  /// submission to the exchange (the paper's program trades are I/O-bound
+  /// on the outside world, not the CPU). Injected after each firing on its
+  /// worker thread, so extra workers overlap the stalls.
+  int64_t order_latency_micros = 20000;
+  uint64_t seed = 42;
+};
+
+/// Measurements of one threaded PTA run.
+struct ThreadedPtaResult {
+  int num_workers = 0;
+  uint64_t num_updates = 0;        // update transactions applied
+  uint64_t update_restarts = 0;    // wait-die retries of update txns
+  uint64_t num_firings = 0;        // recompute tasks run
+  uint64_t failed_tasks = 0;
+  double wall_seconds = 0;         // first submit -> drained
+  /// First firing released -> last firing (incl. its stall) done.
+  double firing_window_seconds = 0;
+  double firings_per_second = 0;   // num_firings / firing window
+  /// Queue + execution latency of a firing (release -> finish), excluding
+  /// the injected order-submission stall.
+  double p50_firing_latency_micros = 0;
+  double p99_firing_latency_micros = 0;
+  // Lock-manager counters (LockManagerStats snapshot).
+  uint64_t lock_acquires = 0;
+  uint64_t lock_waits = 0;
+  uint64_t lock_wait_die_aborts = 0;
+  uint64_t lock_wait_micros = 0;
+  // Rule / executor counters.
+  uint64_t tasks_created = 0;
+  uint64_t firings_merged = 0;
+  uint64_t tasks_run = 0;
+  uint64_t tasks_failed = 0;
+};
+
+/// Runs the PTA workload through the ThreadedExecutor on the wall clock:
+/// a fresh threaded-mode database with `num_workers` workers, the unique-
+/// on-comp rule (Figure 7) installed with `delay_seconds`, and the trace's
+/// quotes burst-submitted as update tasks. Drains, then reports firing
+/// throughput and latency percentiles. This is the scale-up experiment:
+/// same workload, varying worker-pool size (§6.2's process pool).
+Result<ThreadedPtaResult> RunThreadedPta(const ThreadedPtaOptions& options);
+
 /// Verifies derived-data consistency after a run: recomputes comp_prices
 /// (and option_prices when `check_options`) from base data and compares to
 /// the maintained tables within `tolerance`. Used by the integration /

@@ -92,7 +92,7 @@ TaskPtr RuleEngine::NewActionTask(const RuleDef& rule, Timestamp commit_time,
   task->function_name = rule.function_name();
   task->bound_tables = std::move(tables);
   task->work = deps_.action_runner;
-  ++stats_.tasks_created;
+  stats_.tasks_created.fetch_add(1, std::memory_order_relaxed);
   return task;
 }
 
@@ -100,7 +100,7 @@ Status RuleEngine::FireRule(const RuleDef& rule, Transaction* txn,
                             Timestamp commit_time,
                             const BoundTableSet& transition,
                             std::vector<TaskPtr>& out) {
-  ++stats_.rules_triggered;
+  stats_.rules_triggered.fetch_add(1, std::memory_order_relaxed);
 
   std::map<std::string, Value> pseudo;
   pseudo.emplace("commit_time", Value::Int(commit_time));
@@ -127,7 +127,7 @@ Status RuleEngine::FireRule(const RuleDef& rule, Transaction* txn,
       STRIP_RETURN_IF_ERROR(bound.Add(std::move(result)));
     }
   }
-  ++stats_.conditions_true;
+  stats_.conditions_true.fetch_add(1, std::memory_order_relaxed);
 
   // Evaluate clause: computed only when the condition holds; purely for
   // passing data to the action (§2).
@@ -160,7 +160,7 @@ Status RuleEngine::FireRule(const RuleDef& rule, Transaction* txn,
             }));
     if (created != nullptr) out.push_back(std::move(created));
   }
-  stats_.firings_merged = unique_.merge_count();
+  stats_.firings_merged.store(unique_.merge_count(), std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -169,7 +169,7 @@ Result<std::vector<TaskPtr>> RuleEngine::ProcessCommit(
   std::vector<TaskPtr> out;
   const TxnLog& log = txn->log();
   if (log.empty() || rules_.empty()) return out;
-  ++stats_.commits_checked;
+  stats_.commits_checked.fetch_add(1, std::memory_order_relaxed);
 
   // Transition tables are built per touched table, shared by its rules.
   std::map<const Table*, BoundTableSet> transitions;

@@ -35,13 +35,15 @@ struct RuleEngineDeps {
   bool disable_compiled_exprs = false;
 };
 
-/// Rule-processing statistics (feed the paper's metrics).
+/// Rule-processing statistics (feed the paper's metrics). Atomic because
+/// in threaded mode multiple committing transactions (and action tasks
+/// that themselves commit) update them concurrently.
 struct RuleStats {
-  uint64_t commits_checked = 0;    // transactions event-checked
-  uint64_t rules_triggered = 0;    // event matched
-  uint64_t conditions_true = 0;
-  uint64_t tasks_created = 0;      // new action tasks enqueued
-  uint64_t firings_merged = 0;     // batched into a queued unique task
+  std::atomic<uint64_t> commits_checked{0};  // transactions event-checked
+  std::atomic<uint64_t> rules_triggered{0};  // event matched
+  std::atomic<uint64_t> conditions_true{0};
+  std::atomic<uint64_t> tasks_created{0};    // new action tasks enqueued
+  std::atomic<uint64_t> firings_merged{0};   // batched into a queued task
 };
 
 /// The STRIP rule system (§2, §6.3). Holds rule definitions; at the end of

@@ -140,21 +140,29 @@ PartitionByUniqueColumns(BoundTableSet&& tables,
   return out;
 }
 
+size_t UniqueTxnManager::StripeOf(const std::string& function_name) {
+  return std::hash<std::string>()(function_name) % kNumStripes;
+}
+
 UniqueTxnManager::FuncTable* UniqueTxnManager::GetOrCreate(
     const std::string& function_name) {
-  SpinLockGuard g(tables_lock_);
-  auto it = tables_.find(function_name);
-  if (it == tables_.end()) {
-    it = tables_.emplace(function_name, std::make_unique<FuncTable>()).first;
-  }
-  return it->second.get();
+  Stripe& stripe = stripes_[StripeOf(function_name)];
+  SpinLockGuard g(stripe.lock);
+  return &stripe.tables.try_emplace(function_name).first->second;
+}
+
+UniqueTxnManager::FuncTable* UniqueTxnManager::Find(
+    const std::string& function_name) {
+  return const_cast<FuncTable*>(
+      static_cast<const UniqueTxnManager*>(this)->Find(function_name));
 }
 
 const UniqueTxnManager::FuncTable* UniqueTxnManager::Find(
     const std::string& function_name) const {
-  SpinLockGuard g(tables_lock_);
-  auto it = tables_.find(function_name);
-  return it == tables_.end() ? nullptr : it->second.get();
+  const Stripe& stripe = stripes_[StripeOf(function_name)];
+  SpinLockGuard g(stripe.lock);
+  auto it = stripe.tables.find(function_name);
+  return it == stripe.tables.end() ? nullptr : &it->second;
 }
 
 void UniqueTxnManager::EnsureFunction(const std::string& function_name) {
@@ -188,7 +196,11 @@ Result<TaskPtr> UniqueTxnManager::MergeOrCreate(
 
 void UniqueTxnManager::OnTaskStart(const TaskControlBlock& task) {
   if (!task.is_unique) return;
-  FuncTable* ft = GetOrCreate(task.function_name);
+  // A unique task always has its function table (created by MergeOrCreate
+  // or EnsureFunction); look it up without mutating the directory so the
+  // task-start release path stays read-only on the stripe.
+  FuncTable* ft = Find(task.function_name);
+  if (ft == nullptr) return;
   SpinLockGuard g(ft->lock);
   auto it = ft->queued.find(task.unique_key);
   if (it != ft->queued.end() && it->second.get() == &task) {

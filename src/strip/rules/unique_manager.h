@@ -1,9 +1,9 @@
 #ifndef STRIP_RULES_UNIQUE_MANAGER_H_
 #define STRIP_RULES_UNIQUE_MANAGER_H_
 
+#include <array>
 #include <atomic>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -31,6 +31,12 @@ PartitionByUniqueColumns(BoundTableSet&& tables,
 /// mapping unique-column values to the queued (not yet started) task. A new
 /// firing either merges its bound tables into the queued task or registers
 /// a fresh one. All hash-table accesses are spinlock-guarded, as in STRIP.
+///
+/// The function-name -> hash-table directory is itself striped (hash of
+/// the function name) so concurrent commits and task starts for different
+/// functions never touch the same directory spinlock; within a stripe the
+/// lock is held only for the pointer lookup, and the per-function table
+/// has its own spinlock for the queued-task map.
 class UniqueTxnManager {
  public:
   UniqueTxnManager() = default;
@@ -66,18 +72,29 @@ class UniqueTxnManager {
   uint64_t merge_count() const { return merge_count_; }
 
  private:
+  static constexpr size_t kNumStripes = 16;
+
   struct FuncTable {
     mutable SpinLock lock;
     std::unordered_map<std::vector<Value>, TaskPtr, ValueVectorHash,
                        ValueVectorEq>
         queued;
   };
+  /// One directory partition; padded so stripe spinlocks don't false-share.
+  struct alignas(64) Stripe {
+    mutable SpinLock lock;
+    // FuncTable values are stable under rehash (unordered_map never moves
+    // mapped objects), so pointers handed out survive later inserts.
+    std::unordered_map<std::string, FuncTable> tables;
+  };
+
+  static size_t StripeOf(const std::string& function_name);
 
   FuncTable* GetOrCreate(const std::string& function_name);
+  FuncTable* Find(const std::string& function_name);
   const FuncTable* Find(const std::string& function_name) const;
 
-  mutable SpinLock tables_lock_;
-  std::map<std::string, std::unique_ptr<FuncTable>> tables_;
+  std::array<Stripe, kNumStripes> stripes_;
   std::atomic<uint64_t> merge_count_{0};
 };
 

@@ -1,6 +1,7 @@
 #ifndef STRIP_TXN_EXECUTOR_H_
 #define STRIP_TXN_EXECUTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 
@@ -9,11 +10,13 @@
 
 namespace strip {
 
-/// Aggregate execution counters.
+/// Aggregate execution counters. Atomics so threaded-executor workers can
+/// fold task costs in without serializing on a shared mutex; the simulated
+/// executor (single-threaded) pays nothing extra for them.
 struct ExecutorStats {
-  uint64_t tasks_run = 0;
-  uint64_t tasks_failed = 0;     // task body returned non-OK
-  Timestamp busy_micros = 0;     // sum of task execution costs
+  std::atomic<uint64_t> tasks_run{0};
+  std::atomic<uint64_t> tasks_failed{0};   // task body returned non-OK
+  std::atomic<Timestamp> busy_micros{0};   // sum of task execution costs
 };
 
 /// Called after each task finishes (stats collection in benchmarks).

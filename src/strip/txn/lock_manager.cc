@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "strip/common/clock.h"
 #include "strip/common/string_util.h"
 #include "strip/txn/transaction.h"
 
@@ -20,24 +21,29 @@ bool LockManager::Compatible(const LockState& ls, const Transaction* txn,
 
 Status LockManager::Acquire(Transaction* txn, const LockKey& key,
                             LockMode mode) {
-  std::unique_lock<std::mutex> lk(mu_);
-  LockState& ls = locks_[key];
+  const size_t shard_index = ShardOf(key);
+  Shard& shard = shards_[shard_index];
+  std::unique_lock<std::mutex> lk(shard.mu);
+  LockState* ls = &shard.locks.try_emplace(key).first->second;
 
   // Re-entrancy / upgrade bookkeeping: find our existing holder entry.
-  auto self = std::find_if(ls.holders.begin(), ls.holders.end(),
+  auto self = std::find_if(ls->holders.begin(), ls->holders.end(),
                            [&](const Holder& h) { return h.txn == txn; });
-  if (self != ls.holders.end()) {
+  if (self != ls->holders.end()) {
     if (self->mode == LockMode::kExclusive || mode == LockMode::kShared) {
+      stats_.acquires.fetch_add(1, std::memory_order_relaxed);
       return Status::OK();  // already strong enough
     }
     // Upgrade request: wait until we are the only holder.
   }
 
-  while (!Compatible(ls, txn, mode)) {
+  bool waited = false;
+  StopWatch blocked;
+  while (!Compatible(*ls, txn, mode)) {
     // Wait-die: wait only if older than every conflicting holder. Age is
     // the (priority, id) pair; restarted transactions keep their original
     // priority so they eventually win (see Transaction::priority()).
-    for (const Holder& h : ls.holders) {
+    for (const Holder& h : ls->holders) {
       if (h.txn == txn) continue;
       bool conflicts =
           mode == LockMode::kExclusive || h.mode == LockMode::kExclusive;
@@ -45,64 +51,105 @@ Status LockManager::Acquire(Transaction* txn, const LockKey& key,
           h.txn->priority() < txn->priority() ||
           (h.txn->priority() == txn->priority() && h.txn->id() < txn->id());
       if (conflicts && holder_older) {
+        stats_.wait_die_aborts.fetch_add(1, std::memory_order_relaxed);
+        if (waited) {
+          stats_.wait_micros.fetch_add(
+              static_cast<uint64_t>(blocked.ElapsedMicros()),
+              std::memory_order_relaxed);
+        }
+        if (ls->holders.empty() && ls->waiters == 0) {
+          // Erase by key: the insertion iterator may have been invalidated
+          // by a rehash while this thread was blocked on the condvar
+          // (pointers to mapped values are stable; iterators are not).
+          shard.locks.erase(key);
+        }
         return Status::Aborted(StrFormat(
             "wait-die: txn %llu dies waiting for older txn %llu",
             static_cast<unsigned long long>(txn->id()),
             static_cast<unsigned long long>(h.txn->id())));
       }
     }
-    ++ls.waiters;
-    cv_.wait(lk);
-    --ls.waiters;
+    if (!waited) {
+      waited = true;
+      blocked.Restart();
+      stats_.waits.fetch_add(1, std::memory_order_relaxed);
+    }
+    ++ls->waiters;
+    shard.cv.wait(lk);
+    --ls->waiters;
     // LockState reference stays valid: entries are only erased when both
     // holders and waiters are gone.
   }
+  if (waited) {
+    stats_.wait_micros.fetch_add(
+        static_cast<uint64_t>(blocked.ElapsedMicros()),
+        std::memory_order_relaxed);
+  }
 
   // Granted.
-  self = std::find_if(ls.holders.begin(), ls.holders.end(),
+  stats_.acquires.fetch_add(1, std::memory_order_relaxed);
+  self = std::find_if(ls->holders.begin(), ls->holders.end(),
                       [&](const Holder& h) { return h.txn == txn; });
-  if (self != ls.holders.end()) {
+  if (self != ls->holders.end()) {
     self->mode = LockMode::kExclusive;  // successful upgrade
   } else {
-    ls.holders.push_back(Holder{txn, mode});
-    held_[txn].push_back(key);
+    ls->holders.push_back(Holder{txn, mode});
+    shard.held[txn].push_back(key);
+    txn->AddLockShard(shard_index);
   }
   return Status::OK();
 }
 
 void LockManager::ReleaseAll(Transaction* txn) {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = held_.find(txn);
-  if (it == held_.end()) return;
-  for (const LockKey& key : it->second) {
-    auto ls_it = locks_.find(key);
-    if (ls_it == locks_.end()) continue;
-    LockState& ls = ls_it->second;
-    ls.holders.erase(
-        std::remove_if(ls.holders.begin(), ls.holders.end(),
-                       [&](const Holder& h) { return h.txn == txn; }),
-        ls.holders.end());
-    if (ls.holders.empty() && ls.waiters == 0) {
-      locks_.erase(ls_it);
+  uint32_t mask = txn->lock_shard_mask();
+  if (mask == 0) return;
+  for (size_t s = 0; s < kNumShards; ++s) {
+    if ((mask & (1u << s)) == 0) continue;
+    Shard& shard = shards_[s];
+    bool wake = false;
+    {
+      std::lock_guard<std::mutex> lk(shard.mu);
+      auto it = shard.held.find(txn);
+      if (it == shard.held.end()) continue;
+      for (const LockKey& key : it->second) {
+        auto ls_it = shard.locks.find(key);
+        if (ls_it == shard.locks.end()) continue;
+        LockState& ls = ls_it->second;
+        ls.holders.erase(
+            std::remove_if(ls.holders.begin(), ls.holders.end(),
+                           [&](const Holder& h) { return h.txn == txn; }),
+            ls.holders.end());
+        if (ls.waiters > 0) wake = true;
+        if (ls.holders.empty() && ls.waiters == 0) {
+          shard.locks.erase(ls_it);
+        }
+      }
+      shard.held.erase(it);
     }
+    if (wake) shard.cv.notify_all();
   }
-  held_.erase(it);
-  cv_.notify_all();
+  txn->ClearLockShards();
 }
 
 size_t LockManager::NumLockedKeys() const {
-  std::lock_guard<std::mutex> lk(mu_);
   size_t n = 0;
-  for (const auto& [key, ls] : locks_) {
-    if (!ls.holders.empty()) ++n;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (const auto& [key, ls] : shard.locks) {
+      if (!ls.holders.empty()) ++n;
+    }
   }
   return n;
 }
 
 size_t LockManager::NumHeld(const Transaction* txn) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  auto it = held_.find(txn);
-  return it == held_.end() ? 0 : it->second.size();
+  size_t n = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    auto it = shard.held.find(txn);
+    if (it != shard.held.end()) n += it->second.size();
+  }
+  return n;
 }
 
 }  // namespace strip

@@ -1,6 +1,8 @@
 #ifndef STRIP_TXN_LOCK_MANAGER_H_
 #define STRIP_TXN_LOCK_MANAGER_H_
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
@@ -32,11 +34,30 @@ struct LockKey {
   friend bool operator==(const LockKey& a, const LockKey& b) = default;
 };
 
+/// splitmix64 finalizer: a full-avalanche 64-bit mix. Sequential row ids
+/// (the common case: a burst of updates walking a table) land in distinct
+/// shards and hash buckets instead of clustering.
+constexpr uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 struct LockKeyHash {
   size_t operator()(const LockKey& k) const {
-    return std::hash<const void*>()(k.table) * 1315423911u ^
-           std::hash<uint64_t>()(k.row_id);
+    return static_cast<size_t>(
+        Mix64(reinterpret_cast<uintptr_t>(k.table) ^ Mix64(k.row_id)));
   }
+};
+
+/// Aggregate lock-manager counters (all relaxed atomics; written on the
+/// acquire/release hot paths, read by benchmarks and diagnostics).
+struct LockManagerStats {
+  std::atomic<uint64_t> acquires{0};        // granted requests (incl. re-entrant)
+  std::atomic<uint64_t> waits{0};           // requests that blocked at least once
+  std::atomic<uint64_t> wait_die_aborts{0}; // younger requesters killed
+  std::atomic<uint64_t> wait_micros{0};     // total time spent blocked
 };
 
 /// Strict two-phase locking with wait-die deadlock avoidance: a requester
@@ -49,17 +70,33 @@ struct LockKeyHash {
 /// notably, locks are NOT held across the triggering transaction and its
 /// rule-action transaction (§6.1), which is why bound tables pin record
 /// versions instead.
+///
+/// The lock table is partitioned into kNumShards independent shards (hash
+/// of LockKey), each with its own mutex, condition variable, lock map, and
+/// per-transaction held-key lists. Wait-die only ever examines the holders
+/// of a single key, so per-shard synchronization preserves its semantics
+/// exactly; transactions record which shards they touched (a bitmask on the
+/// Transaction) so ReleaseAll visits only those.
 class LockManager {
  public:
+  /// Power of two; a bit in Transaction's 32-bit shard mask per shard.
+  static constexpr size_t kNumShards = 16;
+
   LockManager() = default;
   LockManager(const LockManager&) = delete;
   LockManager& operator=(const LockManager&) = delete;
+
+  /// Shard a key belongs to (exposed for the distribution sanity tests).
+  static size_t ShardOf(const LockKey& key) {
+    return LockKeyHash{}(key) & (kNumShards - 1);
+  }
 
   /// Acquires (possibly blocking) the lock for `txn`. Re-entrant: already
   /// holding an equal-or-stronger lock on the key is a no-op.
   Status Acquire(Transaction* txn, const LockKey& key, LockMode mode);
 
-  /// Releases every lock `txn` holds and wakes waiters.
+  /// Releases every lock `txn` holds and wakes waiters on the shards it
+  /// touched.
   void ReleaseAll(Transaction* txn);
 
   /// Number of keys with at least one holder (diagnostics / tests).
@@ -67,6 +104,8 @@ class LockManager {
 
   /// Number of locks held by `txn`.
   size_t NumHeld(const Transaction* txn) const;
+
+  const LockManagerStats& stats() const { return stats_; }
 
  private:
   struct Holder {
@@ -77,15 +116,21 @@ class LockManager {
     std::vector<Holder> holders;
     int waiters = 0;
   };
+  /// One lock-table partition. Padded to its own cache lines so shard
+  /// mutexes don't false-share.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<LockKey, LockState, LockKeyHash> locks;
+    std::unordered_map<const Transaction*, std::vector<LockKey>> held;
+  };
 
   /// True iff `txn` can be granted `mode` given current holders.
   static bool Compatible(const LockState& ls, const Transaction* txn,
                          LockMode mode);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::unordered_map<LockKey, LockState, LockKeyHash> locks_;
-  std::unordered_map<const Transaction*, std::vector<LockKey>> held_;
+  std::array<Shard, kNumShards> shards_;
+  LockManagerStats stats_;
 };
 
 }  // namespace strip

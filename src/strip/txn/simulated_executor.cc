@@ -15,9 +15,9 @@ Timestamp ExecuteTaskBody(TaskControlBlock& task, Timestamp now,
                        : nanos;
   task.cpu_micros = cost;
   task.result = st;
-  ++stats.tasks_run;
-  if (!st.ok()) ++stats.tasks_failed;
-  stats.busy_micros += cost;
+  stats.tasks_run.fetch_add(1, std::memory_order_relaxed);
+  if (!st.ok()) stats.tasks_failed.fetch_add(1, std::memory_order_relaxed);
+  stats.busy_micros.fetch_add(cost, std::memory_order_relaxed);
   return cost;
 }
 

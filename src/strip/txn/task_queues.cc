@@ -45,4 +45,15 @@ TaskPtr ReadyQueue::Pop() {
   return t;
 }
 
+size_t ReadyQueue::PopBatch(size_t max, std::vector<TaskPtr>& out) {
+  size_t taken = 0;
+  while (taken < max && !entries_.empty()) {
+    std::pop_heap(entries_.begin(), entries_.end(), EntryBefore{policy_});
+    out.push_back(std::move(entries_.back().task));
+    entries_.pop_back();
+    ++taken;
+  }
+  return taken;
+}
+
 }  // namespace strip

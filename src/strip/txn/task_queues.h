@@ -50,6 +50,11 @@ class ReadyQueue {
   /// Removes and returns the highest-priority task; nullptr when empty.
   TaskPtr Pop();
 
+  /// Pops up to `max` tasks in policy order into `out` (appending);
+  /// returns how many were taken. Lets threaded workers amortize one
+  /// queue-lock acquisition over a whole dequeue batch.
+  size_t PopBatch(size_t max, std::vector<TaskPtr>& out);
+
   bool empty() const { return entries_.empty(); }
   size_t size() const { return entries_.size(); }
 

@@ -1,105 +1,172 @@
 #include "strip/txn/threaded_executor.h"
 
+#include <algorithm>
 #include <chrono>
 
 namespace strip {
 
-ThreadedExecutor::ThreadedExecutor(int num_workers, SchedulingPolicy policy)
-    : ready_(policy) {
-  workers_.reserve(static_cast<size_t>(num_workers));
-  for (int i = 0; i < num_workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+ThreadedExecutor::ThreadedExecutor(int num_workers, SchedulingPolicy policy,
+                                   int dequeue_batch)
+    : dequeue_batch_(static_cast<size_t>(std::max(1, dequeue_batch))) {
+  int n = std::max(1, num_workers);
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<ReadyShard>(policy));
   }
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+  timer_ = std::thread([this] { TimerLoop(); });
 }
 
 ThreadedExecutor::~ThreadedExecutor() { Shutdown(); }
 
 void ThreadedExecutor::Submit(TaskPtr task) {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    task->enqueue_time = clock_.Now();
-    if (task->release_time > clock_.Now()) {
+  task->enqueue_time = clock_.Now();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (task->release_time > clock_.Now()) {
+    {
+      std::lock_guard<std::mutex> lk(delay_mu_);
       delay_.Push(std::move(task));
-    } else {
-      ready_.Push(std::move(task));
     }
+    delay_cv_.notify_all();
+  } else {
+    PushReady(std::move(task));
   }
-  work_cv_.notify_all();
 }
 
 void ThreadedExecutor::set_task_observer(TaskObserver observer) {
-  std::lock_guard<std::mutex> lk(mu_);
+  std::lock_guard<std::mutex> lk(observer_mu_);
   observer_ = std::move(observer);
 }
 
-void ThreadedExecutor::WorkerLoop() {
-  std::unique_lock<std::mutex> lk(mu_);
+void ThreadedExecutor::PushReady(TaskPtr task) {
+  size_t idx = next_shard_.fetch_add(1, std::memory_order_relaxed) %
+               shards_.size();
+  {
+    std::lock_guard<std::mutex> lk(shards_[idx]->mu);
+    shards_[idx]->queue.Push(std::move(task));
+  }
+  // seq_cst so the count increment is ordered against the idle check below
+  // and against a sleeping worker's predicate read (see WorkerLoop).
+  ready_count_.fetch_add(1);
+  if (num_idle_.load() > 0) {
+    // Lock/unlock pairs this notify with the waiter's predicate check,
+    // closing the window between "worker saw an empty queue" and "worker
+    // started waiting".
+    std::lock_guard<std::mutex> lk(idle_mu_);
+    work_cv_.notify_all();
+  }
+}
+
+size_t ThreadedExecutor::PopBatch(size_t home, std::vector<TaskPtr>& out) {
+  if (ready_count_.load(std::memory_order_relaxed) == 0) return 0;
+  size_t taken = 0;
+  const size_t n = shards_.size();
+  for (size_t i = 0; i < n && taken == 0; ++i) {
+    ReadyShard& shard = *shards_[(home + i) % n];
+    std::lock_guard<std::mutex> lk(shard.mu);
+    taken = shard.queue.PopBatch(dequeue_batch_, out);
+  }
+  if (taken > 0) {
+    ready_count_.fetch_sub(static_cast<int64_t>(taken));
+  }
+  return taken;
+}
+
+void ThreadedExecutor::TaskDone() {
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Pair with Drain()'s predicate check under drain_mu_.
+    std::lock_guard<std::mutex> lk(drain_mu_);
+    drain_cv_.notify_all();
+  }
+}
+
+void ThreadedExecutor::WorkerLoop(size_t worker_index) {
+  std::vector<TaskPtr> batch;
+  batch.reserve(dequeue_batch_);
   for (;;) {
-    // Release due tasks into the ready queue.
-    for (TaskPtr& t : delay_.PopReleased(clock_.Now())) {
-      ready_.Push(std::move(t));
-    }
-    if (!ready_.empty()) {
-      TaskPtr task = ready_.Pop();
-      if (!task->TryStart()) continue;
-      ++active_workers_;
-      TaskObserver observer = observer_;
-      lk.unlock();
-      ExecuteTaskBodyThreaded(task, observer);
-      lk.lock();
-      --active_workers_;
-      drain_cv_.notify_all();
+    batch.clear();
+    if (PopBatch(worker_index, batch) == 0) {
+      if (shutdown_.load(std::memory_order_acquire)) return;
+      std::unique_lock<std::mutex> lk(idle_mu_);
+      num_idle_.fetch_add(1);
+      // The timeout is a belt-and-braces backstop (and a steal
+      // opportunity); the num_idle_/ready_count_ handshake with PushReady
+      // makes lost wakeups impossible in the first place.
+      work_cv_.wait_for(lk, std::chrono::milliseconds(10), [this] {
+        return ready_count_.load() > 0 ||
+               shutdown_.load(std::memory_order_acquire);
+      });
+      num_idle_.fetch_sub(1);
       continue;
     }
-    if (shutdown_) return;
-    if (delay_.empty()) {
-      drain_cv_.notify_all();
-      work_cv_.wait(lk);
-    } else {
-      Timestamp next = delay_.NextRelease();
-      Timestamp now = clock_.Now();
-      if (next > now) {
-        work_cv_.wait_for(lk, std::chrono::microseconds(next - now));
+    TaskObserver observer;
+    {
+      std::lock_guard<std::mutex> lk(observer_mu_);
+      observer = observer_;
+    }
+    for (TaskPtr& task : batch) {
+      if (task->TryStart()) {
+        ExecuteTaskBody(*task, clock_.Now(), stats_);
+        task->finish_time = clock_.Now();
+        if (observer) observer(*task);
       }
+      TaskDone();
     }
   }
 }
 
-void ThreadedExecutor::ExecuteTaskBodyThreaded(const TaskPtr& task,
-                                               const TaskObserver& observer) {
-  // Stats are written under the lock afterwards via a local copy to avoid
-  // holding mu_ while running user code.
-  ExecutorStats local;
-  Timestamp cost = ExecuteTaskBody(*task, clock_.Now(), local);
-  (void)cost;
-  task->finish_time = clock_.Now();
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    stats_.tasks_run += local.tasks_run;
-    stats_.tasks_failed += local.tasks_failed;
-    stats_.busy_micros += local.busy_micros;
+void ThreadedExecutor::TimerLoop() {
+  std::unique_lock<std::mutex> lk(delay_mu_);
+  for (;;) {
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    Timestamp next = delay_.NextRelease();
+    if (next == kNoDeadline) {
+      delay_cv_.wait(lk);
+      continue;
+    }
+    Timestamp now = clock_.Now();
+    if (next > now) {
+      // Woken early by an earlier-releasing Submit or by Shutdown; loop to
+      // re-evaluate either way.
+      delay_cv_.wait_for(lk, std::chrono::microseconds(next - now));
+      continue;
+    }
+    std::vector<TaskPtr> due = delay_.PopReleased(now);
+    lk.unlock();
+    for (TaskPtr& t : due) {
+      PushReady(std::move(t));
+    }
+    lk.lock();
   }
-  if (observer) observer(*task);
 }
 
 void ThreadedExecutor::Drain() {
-  std::unique_lock<std::mutex> lk(mu_);
+  std::unique_lock<std::mutex> lk(drain_mu_);
   drain_cv_.wait(lk, [this] {
-    return delay_.empty() && ready_.empty() && active_workers_ == 0;
+    return in_flight_.load(std::memory_order_acquire) == 0;
   });
 }
 
 void ThreadedExecutor::Shutdown() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    if (shutdown_) return;
-    shutdown_ = true;
+  std::lock_guard<std::mutex> lk(shutdown_mu_);
+  if (!shutdown_.exchange(true, std::memory_order_acq_rel)) {
+    {
+      std::lock_guard<std::mutex> g(idle_mu_);
+    }
+    work_cv_.notify_all();
+    {
+      std::lock_guard<std::mutex> g(delay_mu_);
+    }
+    delay_cv_.notify_all();
   }
-  work_cv_.notify_all();
   for (auto& w : workers_) {
     if (w.joinable()) w.join();
   }
   workers_.clear();
+  if (timer_.joinable()) timer_.join();
 }
 
 }  // namespace strip

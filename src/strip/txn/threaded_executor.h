@@ -1,7 +1,9 @@
 #ifndef STRIP_TXN_THREADED_EXECUTOR_H_
 #define STRIP_TXN_THREADED_EXECUTOR_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -14,12 +16,30 @@ namespace strip {
 
 /// Real-time executor: a pool of worker threads servicing the ready queue,
 /// with a delay queue for future-released tasks (§6.2 Figure 15). This is
-/// the process-pool analogue of STRIP's task service; examples and the
-/// threaded integration tests run on it.
+/// the process-pool analogue of STRIP's task service and the system's
+/// primary execution mode; the benchmarks and examples run on it.
+///
+/// Contention design (one lock per concern, never one lock for all):
+///   - The ready queue is sharded one shard per worker, each with its own
+///     mutex; Submit round-robins across shards and a worker drains its own
+///     shard first, stealing from siblings only when it is empty. Workers
+///     dequeue in batches (up to dequeue_batch tasks per lock acquisition).
+///   - A dedicated timer thread owns the delay queue and promotes due
+///     tasks into the ready shards, so workers never touch the delay heap.
+///   - ExecutorStats are relaxed atomics folded in by the executing worker.
+///   - Drain() watches a single atomic in-flight counter (submitted tasks
+///     not yet finished, wherever they sit), not the queue structures.
+///
+/// Scheduling-policy ordering is preserved per shard; across shards it is
+/// approximate (as in any multi-queue scheduler). With one worker there is
+/// one shard and ordering is exact.
 class ThreadedExecutor final : public Executor {
  public:
+  static constexpr int kDefaultDequeueBatch = 8;
+
   explicit ThreadedExecutor(int num_workers,
-                            SchedulingPolicy policy = SchedulingPolicy::kFifo);
+                            SchedulingPolicy policy = SchedulingPolicy::kFifo,
+                            int dequeue_batch = kDefaultDequeueBatch);
   ~ThreadedExecutor() override;
 
   void Submit(TaskPtr task) override;
@@ -27,32 +47,68 @@ class ThreadedExecutor final : public Executor {
   const ExecutorStats& stats() const override { return stats_; }
   void set_task_observer(TaskObserver observer) override;
 
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
   /// Blocks until every submitted task (including tasks they spawn) has
   /// finished and the queues are empty.
   void Drain();
 
-  /// Stops accepting work and joins workers. Idempotent; called by the
-  /// destructor.
+  /// Stops accepting work and joins workers. Ready tasks still queued are
+  /// run to completion; tasks still in the delay queue are dropped.
+  /// Idempotent; called by the destructor.
   void Shutdown();
 
  private:
-  void WorkerLoop();
+  /// One ready-queue partition, cache-line padded so shard mutexes don't
+  /// false-share.
+  struct alignas(64) ReadyShard {
+    explicit ReadyShard(SchedulingPolicy policy) : queue(policy) {}
+    std::mutex mu;
+    ReadyQueue queue;
+  };
 
-  /// Runs the task outside mu_ and folds its cost into stats_.
-  void ExecuteTaskBodyThreaded(const TaskPtr& task,
-                               const TaskObserver& observer);
+  void WorkerLoop(size_t worker_index);
+  void TimerLoop();
+
+  /// Routes a due task to a ready shard and wakes a worker if any sleep.
+  void PushReady(TaskPtr task);
+
+  /// Fills `out` with up to dequeue_batch_ tasks, draining the worker's
+  /// home shard first and stealing from siblings otherwise. Returns the
+  /// number taken.
+  size_t PopBatch(size_t home, std::vector<TaskPtr>& out);
+
+  /// Marks one submitted task as finished (run, dropped, or merged-dead)
+  /// and wakes Drain() when the in-flight count reaches zero.
+  void TaskDone();
 
   RealClock clock_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait here
-  std::condition_variable drain_cv_;  // Drain() waits here
+  const size_t dequeue_batch_;
+
+  std::vector<std::unique_ptr<ReadyShard>> shards_;
+  std::atomic<uint64_t> next_shard_{0};   // round-robin enqueue cursor
+  std::atomic<int64_t> ready_count_{0};   // tasks sitting in ready shards
+  std::atomic<int64_t> in_flight_{0};     // submitted, not yet finished
+  std::atomic<bool> shutdown_{false};
+
+  std::mutex delay_mu_;
+  std::condition_variable delay_cv_;      // timer thread waits here
   DelayQueue delay_;
-  ReadyQueue ready_;
-  int active_workers_ = 0;
-  bool shutdown_ = false;
-  ExecutorStats stats_;
+
+  std::mutex idle_mu_;
+  std::condition_variable work_cv_;       // idle workers wait here
+  std::atomic<int> num_idle_{0};
+
+  std::mutex drain_mu_;
+  std::condition_variable drain_cv_;      // Drain() waits here
+
+  std::mutex observer_mu_;
   TaskObserver observer_;
+
+  ExecutorStats stats_;
   std::vector<std::thread> workers_;
+  std::thread timer_;
+  std::mutex shutdown_mu_;                // serializes Shutdown() calls
 };
 
 }  // namespace strip

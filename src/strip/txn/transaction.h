@@ -55,12 +55,24 @@ class Transaction {
   }
   void MarkAborted() { state_ = TxnState::kAborted; }
 
+  // --- lock-manager bookkeeping ----------------------------------------
+  // Bitmask of lock-table shards this transaction holds locks in, so
+  // ReleaseAll visits only those shards. Maintained by LockManager on the
+  // transaction's own thread (a transaction never acquires from two
+  // threads at once), so plain fields suffice.
+  uint32_t lock_shard_mask() const { return lock_shard_mask_; }
+  void AddLockShard(size_t shard) {
+    lock_shard_mask_ |= (1u << shard);
+  }
+  void ClearLockShards() { lock_shard_mask_ = 0; }
+
  private:
   uint64_t id_;
   uint64_t priority_;
   TxnState state_ = TxnState::kActive;
   Timestamp start_time_;
   Timestamp commit_time_ = 0;
+  uint32_t lock_shard_mask_ = 0;
   TxnLog log_;
 };
 

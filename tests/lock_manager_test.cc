@@ -1,10 +1,13 @@
 // Lock manager tests: compatibility matrix, re-entrancy, upgrades,
-// wait-die deadlock avoidance, blocking + wakeup across threads.
+// wait-die deadlock avoidance, blocking + wakeup across threads, shard
+// striping (hash distribution, cross-shard release, stats counters).
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
+#include <vector>
 
 #include "strip/storage/table.h"
 #include "strip/txn/lock_manager.h"
@@ -129,6 +132,124 @@ TEST_F(LockManagerTest, ManyThreadsSerializeOnExclusiveLock) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(counter, kThreads);
   EXPECT_EQ(lm_.NumLockedKeys(), 0u);
+}
+
+TEST_F(LockManagerTest, SequentialRowIdsSpreadAcrossShards) {
+  // A burst of updates walks a table in row-id order; the splitmix64 key
+  // hash must spread consecutive row ids over the shards instead of
+  // clustering them (the weakness of xor-folding table ^ row_id).
+  constexpr int kRows = 4096;
+  std::vector<int> per_shard(LockManager::kNumShards, 0);
+  for (int row = 0; row < kRows; ++row) {
+    size_t shard = LockManager::ShardOf(
+        LockKey::ForRow(&table_, static_cast<uint64_t>(row)));
+    ASSERT_LT(shard, LockManager::kNumShards);
+    ++per_shard[shard];
+  }
+  int expect = kRows / static_cast<int>(LockManager::kNumShards);
+  // Every shard within 50% of uniform: catastrophic clustering (all rows
+  // on a handful of shards) is what this guards against.
+  for (size_t s = 0; s < LockManager::kNumShards; ++s) {
+    EXPECT_GT(per_shard[s], expect / 2) << "shard " << s;
+    EXPECT_LT(per_shard[s], expect * 2) << "shard " << s;
+  }
+}
+
+TEST_F(LockManagerTest, HashDiffersForAdjacentRows) {
+  LockKeyHash h;
+  size_t collisions = 0;
+  for (uint64_t row = 0; row < 1000; ++row) {
+    if (h(LockKey::ForRow(&table_, row)) ==
+        h(LockKey::ForRow(&table_, row + 1))) {
+      ++collisions;
+    }
+  }
+  EXPECT_EQ(collisions, 0u);
+}
+
+TEST_F(LockManagerTest, ReleaseAllSpansShards) {
+  // Locks on many row ids land on (virtually) every shard; one ReleaseAll
+  // must find them all via the transaction's shard mask.
+  constexpr uint64_t kRows = 256;
+  for (uint64_t row = 0; row < kRows; ++row) {
+    ASSERT_OK(lm_.Acquire(&older_, LockKey::ForRow(&table_, row),
+                          LockMode::kExclusive));
+  }
+  EXPECT_EQ(lm_.NumHeld(&older_), kRows);
+  EXPECT_EQ(lm_.NumLockedKeys(), kRows);
+  lm_.ReleaseAll(&older_);
+  EXPECT_EQ(lm_.NumHeld(&older_), 0u);
+  EXPECT_EQ(lm_.NumLockedKeys(), 0u);
+  // The mask was cleared: another full acquire/release round still works.
+  for (uint64_t row = 0; row < kRows; ++row) {
+    ASSERT_OK(lm_.Acquire(&older_, LockKey::ForRow(&table_, row),
+                          LockMode::kShared));
+  }
+  lm_.ReleaseAll(&older_);
+  EXPECT_EQ(lm_.NumLockedKeys(), 0u);
+}
+
+TEST_F(LockManagerTest, StatsCountAcquiresWaitsAndAborts) {
+  LockKey key = LockKey::WholeTable(&table_);
+  ASSERT_OK(lm_.Acquire(&older_, key, LockMode::kExclusive));
+  EXPECT_EQ(lm_.stats().acquires.load(), 1u);
+
+  // Younger conflicting request: wait-die abort, counted.
+  EXPECT_EQ(lm_.Acquire(&younger_, key, LockMode::kExclusive).code(),
+            StatusCode::kAborted);
+  EXPECT_EQ(lm_.stats().wait_die_aborts.load(), 1u);
+  lm_.ReleaseAll(&older_);
+
+  // Older blocking behind younger: counted as one wait with nonzero time.
+  ASSERT_OK(lm_.Acquire(&younger_, key, LockMode::kExclusive));
+  std::thread waiter([&] {
+    ASSERT_OK(lm_.Acquire(&older_, key, LockMode::kExclusive));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  lm_.ReleaseAll(&younger_);
+  waiter.join();
+  lm_.ReleaseAll(&older_);
+  EXPECT_EQ(lm_.stats().waits.load(), 1u);
+  EXPECT_GT(lm_.stats().wait_micros.load(), 0u);
+}
+
+TEST_F(LockManagerTest, UpgradeInPlaceOnOneShardedKey) {
+  // Upgrade on a row key (not the whole-table key of UpgradeWhenSoleHolder)
+  // stays a single held entry on its shard.
+  LockKey key = LockKey::ForRow(&table_, 123);
+  ASSERT_OK(lm_.Acquire(&older_, key, LockMode::kShared));
+  ASSERT_OK(lm_.Acquire(&older_, key, LockMode::kExclusive));
+  EXPECT_EQ(lm_.NumHeld(&older_), 1u);
+  EXPECT_EQ(lm_.Acquire(&younger_, key, LockMode::kShared).code(),
+            StatusCode::kAborted);
+  lm_.ReleaseAll(&older_);
+  EXPECT_EQ(lm_.NumLockedKeys(), 0u);
+}
+
+TEST_F(LockManagerTest, ConcurrentDisjointRowsDontInterfere) {
+  // Threads hammering different rows (hence mostly different shards) must
+  // never block each other or corrupt the shard maps.
+  constexpr int kThreads = 8;
+  constexpr int kIters = 200;
+  std::atomic<uint64_t> next_txn_id{1};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        Transaction txn(next_txn_id.fetch_add(1), 0);
+        uint64_t row = static_cast<uint64_t>(t * kIters + i);
+        ASSERT_OK(lm_.Acquire(&txn, LockKey::ForRow(&table_, row),
+                              LockMode::kExclusive));
+        ASSERT_OK(lm_.Acquire(&txn, LockKey::ForRow(&table_, row + 10000),
+                              LockMode::kShared));
+        lm_.ReleaseAll(&txn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(lm_.NumLockedKeys(), 0u);
+  EXPECT_EQ(lm_.stats().acquires.load(),
+            static_cast<uint64_t>(kThreads * kIters * 2));
 }
 
 }  // namespace

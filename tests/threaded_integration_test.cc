@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "strip/engine/database.h"
+#include "strip/market/pta_runner.h"
 #include "tests/test_util.h"
 
 namespace strip {
@@ -150,6 +151,33 @@ TEST(ThreadedIntegrationTest, DelayWindowObservedOnWallClock) {
   ASSERT_OK(rs.status());
   ASSERT_EQ(rs->num_rows(), 1u);
   EXPECT_GE(rs->rows[0][0].as_int() - before, SecondsToMicros(0.07));
+}
+
+TEST(ThreadedIntegrationTest, ThreadedPtaHarnessRuns) {
+  // Smoke test of the scale-up benchmark harness at a tiny scale: every
+  // composite fires exactly once (merging is deterministic because the
+  // delay window outlasts the burst), no task fails, and the lock /
+  // executor counters add up.
+  ThreadedPtaOptions opts;
+  opts.num_workers = 2;
+  opts.scale = 0.005;  // 8 composites (the floor), ~300 updates
+  opts.delay_seconds = 1.0;
+  opts.order_latency_micros = 0;  // no stall: keep the test fast
+  auto r = RunThreadedPta(opts);
+  ASSERT_OK(r.status());
+  EXPECT_EQ(r->num_workers, 2);
+  EXPECT_GT(r->num_updates, 0u);
+  EXPECT_EQ(r->num_firings, 8u);  // one per composite
+  EXPECT_EQ(r->failed_tasks, 0u);
+  EXPECT_EQ(r->tasks_failed, 0u);
+  EXPECT_GT(r->firings_merged, 0u);
+  EXPECT_GT(r->firings_per_second, 0.0);
+  EXPECT_GT(r->p99_firing_latency_micros, 0.0);
+  EXPECT_GE(r->p99_firing_latency_micros, r->p50_firing_latency_micros);
+  EXPECT_GT(r->lock_acquires, 0u);
+  // Every submitted task ran: updates + firings (merged firings never
+  // became tasks).
+  EXPECT_EQ(r->tasks_run, r->num_updates + r->num_firings);
 }
 
 }  // namespace
