@@ -1,0 +1,99 @@
+// Staleness vs delay window (§7): the cost of batching is temporal
+// staleness of the derived data. The same scaled PTA trace is replayed
+// against the unique-on-comp rule (Figure 7) at several delay windows;
+// for every recompute commit the engine's staleness probe records the age
+// of the oldest batched change consumed (action commit time minus feed
+// arrival time of the quote). Longer windows batch more firings per task
+// — fewer, cheaper recomputes — but the derived comp_prices are staler.
+//
+// Usage: bench_observability [--full | --scale=F] [--seed=N]
+//
+// Emits BENCH_observability.json (canonical BenchReport schema) with one
+// entry per delay window: staleness p50/p95/max, the batching factor, and
+// the final run's full metrics-registry snapshot (the export surface the
+// paper-era system lacked).
+
+#include "pta_bench_common.h"
+
+namespace strip::bench {
+namespace {
+
+int Run(const SweepOptions& opts) {
+  TraceOptions trace_opts = TraceOptions::Scaled(opts.scale);
+  trace_opts.seed = opts.seed;
+  std::printf("generating trace: %d stocks, %.0f s, ~%d updates ...\n",
+              trace_opts.num_stocks, trace_opts.duration_seconds,
+              trace_opts.target_updates);
+  MarketTrace trace = MarketTrace::Generate(trace_opts);
+  PtaConfig cfg = PtaConfig::PaperScale();
+
+  std::vector<PtaRunResult> results;
+  for (double delay : opts.delays) {
+    std::printf("running unique_on_comp, delay %.2f s ...\n", delay);
+    auto r = RunPtaExperiment(
+        trace, cfg, CompRuleSql(CompRuleVariant::kUniqueOnComp, delay));
+    if (!r.ok()) {
+      std::fprintf(stderr, "experiment failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    results.push_back(std::move(*r));
+  }
+
+  std::printf("\n%-8s %12s %12s %12s %12s %10s\n", "delay_s", "stale_p50_s",
+              "stale_p95_s", "stale_max_s", "batch_factor", "recomputes");
+  for (size_t d = 0; d < opts.delays.size(); ++d) {
+    const PtaRunResult& r = results[d];
+    std::printf("%-8.2f %12.3f %12.3f %12.3f %12.2f %10llu\n",
+                opts.delays[d], r.p50_staleness_seconds,
+                r.p95_staleness_seconds, r.max_staleness_seconds,
+                r.avg_batching_factor,
+                static_cast<unsigned long long>(r.num_recomputes));
+  }
+
+  BenchReport report("observability");
+  report.Config([&](JsonWriter& w) {
+    w.Key("scale").Double(opts.scale);
+    w.Key("seed").Uint(opts.seed);
+    w.Key("rule_variant").String("unique_on_comp");
+    w.Key("delays_seconds").BeginArray();
+    for (double d : opts.delays) w.Double(d);
+    w.EndArray();
+  });
+  report.Metrics([&](JsonWriter& w) {
+    w.Key("runs").BeginArray();
+    for (size_t d = 0; d < opts.delays.size(); ++d) {
+      const PtaRunResult& r = results[d];
+      w.BeginObject();
+      w.Key("delay_seconds").Double(opts.delays[d]);
+      w.Key("updates").Uint(r.num_updates);
+      w.Key("recomputes").Uint(r.num_recomputes);
+      w.Key("tasks_created").Uint(r.tasks_created);
+      w.Key("firings_merged").Uint(r.firings_merged);
+      w.Key("batching_factor").Double(r.avg_batching_factor);
+      w.Key("staleness_p50_seconds").Double(r.p50_staleness_seconds);
+      w.Key("staleness_p95_seconds").Double(r.p95_staleness_seconds);
+      w.Key("staleness_max_seconds").Double(r.max_staleness_seconds);
+      w.Key("recompute_cpu_seconds").Double(r.recompute_cpu_seconds);
+      w.Key("failed_tasks").Uint(r.failed_tasks);
+      w.EndObject();
+    }
+    w.EndArray();
+    // Full registry snapshot of the last (longest-delay) run: counters,
+    // callback gauges, and the per-rule staleness histograms themselves.
+    w.Key("registry").Raw(results.back().metrics_json);
+  });
+  if (!report.WriteFile("BENCH_observability.json")) {
+    std::fprintf(stderr, "cannot write BENCH_observability.json\n");
+    return 1;
+  }
+  std::printf("wrote BENCH_observability.json\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace strip::bench
+
+int main(int argc, char** argv) {
+  return strip::bench::Run(strip::bench::ParseArgs(argc, argv));
+}

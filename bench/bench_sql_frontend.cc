@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "pta_bench_common.h"
 #include "strip/engine/database.h"
 
 namespace strip {
@@ -189,29 +190,29 @@ int main() {
   std::printf("\nprepared-vs-uncached speedup: update %.2fx, select %.2fx\n",
               update_speedup, select_speedup);
 
-  FILE* f = std::fopen("BENCH_sql_frontend.json", "w");
-  if (f == nullptr) {
+  bench::BenchReport report("sql_frontend");
+  report.Config([&](JsonWriter& w) {
+    w.Key("rows").Int(kRows);
+    w.Key("warmup").Int(kWarmup);
+    w.Key("iters").Int(kIters);
+  });
+  report.Metrics([&](JsonWriter& w) {
+    w.Key("modes").BeginArray();
+    for (const ModeResult& r : results) {
+      w.BeginObject();
+      w.Key("name").String(r.name);
+      w.Key("iters").Int(r.iters);
+      w.Key("us_per_op").Double(r.us_per_op);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("update_prepared_speedup_vs_uncached").Double(update_speedup);
+    w.Key("select_prepared_speedup_vs_uncached").Double(select_speedup);
+    w.Key("meets_2x_target").Bool(update_speedup >= 2.0);
+  });
+  if (!report.WriteFile("BENCH_sql_frontend.json")) {
     std::fprintf(stderr, "cannot write BENCH_sql_frontend.json\n");
     return 1;
   }
-  std::fprintf(f, "{\n  \"benchmark\": \"sql_frontend\",\n  \"rows\": %d,\n",
-               kRows);
-  std::fprintf(f, "  \"modes\": [\n");
-  for (size_t i = 0; i < results.size(); ++i) {
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"iters\": %d, "
-                 "\"us_per_op\": %.4f}%s\n",
-                 results[i].name.c_str(), results[i].iters,
-                 results[i].us_per_op, i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"update_prepared_speedup_vs_uncached\": %.3f,\n",
-               update_speedup);
-  std::fprintf(f, "  \"select_prepared_speedup_vs_uncached\": %.3f,\n",
-               select_speedup);
-  std::fprintf(f, "  \"meets_2x_target\": %s\n",
-               update_speedup >= 2.0 ? "true" : "false");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
   return 0;
 }

@@ -12,9 +12,12 @@
 //
 // Usage: bench_threaded_pta [--workers 1,2,4,8] [--scale F] [--stall US]
 //                           [--delay S] [--seed N] [--out FILE]
+//                           [--no-metrics]
 //
-// Emits BENCH_threaded_pta.json with one entry per worker count plus the
-// 4-vs-1 worker speedup (the headline number for EXPERIMENTS.md).
+// Emits BENCH_threaded_pta.json (canonical BenchReport schema) with one
+// entry per worker count, the 4-vs-1 worker speedup (the headline number
+// for EXPERIMENTS.md), and each run's metrics-registry snapshot.
+// --no-metrics disables the observability layer for the overhead A/B.
 
 #include <cstdint>
 #include <cstdio>
@@ -23,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "pta_bench_common.h"
 #include "strip/market/pta_runner.h"
 
 namespace strip {
@@ -79,6 +83,8 @@ int main(int argc, char** argv) {
       base.seed = static_cast<uint64_t>(std::atoll(next()));
     } else if (std::strcmp(argv[i], "--out") == 0) {
       out_path = next();
+    } else if (std::strcmp(argv[i], "--no-metrics") == 0) {
+      base.enable_metrics = false;
     } else {
       std::fprintf(stderr, "unknown flag %s\n", argv[i]);
       return 2;
@@ -118,49 +124,43 @@ int main(int argc, char** argv) {
     }
   }
 
-  FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
+  bench::BenchReport report("threaded_pta");
+  report.Config([&](JsonWriter& w) {
+    w.Key("scale").Double(base.scale);
+    w.Key("order_latency_micros").Int(base.order_latency_micros);
+    w.Key("delay_seconds").Double(base.delay_seconds);
+    w.Key("seed").Uint(base.seed);
+    w.Key("metrics_enabled").Bool(base.enable_metrics);
+  });
+  report.Metrics([&](JsonWriter& w) {
+    w.Key("runs").BeginArray();
+    for (const ThreadedPtaResult& r : results) {
+      w.BeginObject();
+      w.Key("workers").Int(r.num_workers);
+      w.Key("updates").Uint(r.num_updates);
+      w.Key("firings").Uint(r.num_firings);
+      w.Key("firings_per_second").Double(r.firings_per_second);
+      w.Key("p50_firing_latency_us").Double(r.p50_firing_latency_micros);
+      w.Key("p99_firing_latency_us").Double(r.p99_firing_latency_micros);
+      w.Key("lock_acquires").Uint(r.lock_acquires);
+      w.Key("lock_waits").Uint(r.lock_waits);
+      w.Key("lock_wait_die_aborts").Uint(r.lock_wait_die_aborts);
+      w.Key("lock_wait_micros").Uint(r.lock_wait_micros);
+      w.Key("update_restarts").Uint(r.update_restarts);
+      w.Key("firings_merged").Uint(r.firings_merged);
+      w.Key("failed_tasks").Uint(r.failed_tasks);
+      w.Key("wall_seconds").Double(r.wall_seconds);
+      w.Key("registry").Raw(r.metrics_json);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("speedup_4_workers_vs_1").Double(speedup_4v1);
+    w.Key("meets_2p5x_target").Bool(speedup_4v1 >= 2.5);
+  });
+  if (!report.WriteFile(out_path)) {
     std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
     return 1;
   }
-  std::fprintf(f, "{\n  \"benchmark\": \"threaded_pta\",\n");
-  std::fprintf(f, "  \"scale\": %.4f,\n", base.scale);
-  std::fprintf(f, "  \"order_latency_micros\": %lld,\n",
-               static_cast<long long>(base.order_latency_micros));
-  std::fprintf(f, "  \"delay_seconds\": %.3f,\n", base.delay_seconds);
-  std::fprintf(f, "  \"seed\": %llu,\n",
-               static_cast<unsigned long long>(base.seed));
-  std::fprintf(f, "  \"runs\": [\n");
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ThreadedPtaResult& r = results[i];
-    std::fprintf(
-        f,
-        "    {\"workers\": %d, \"updates\": %llu, \"firings\": %llu, "
-        "\"firings_per_second\": %.2f, \"p50_firing_latency_us\": %.1f, "
-        "\"p99_firing_latency_us\": %.1f, \"lock_acquires\": %llu, "
-        "\"lock_waits\": %llu, \"lock_wait_die_aborts\": %llu, "
-        "\"lock_wait_micros\": %llu, \"update_restarts\": %llu, "
-        "\"firings_merged\": %llu, \"failed_tasks\": %llu, "
-        "\"wall_seconds\": %.3f}%s\n",
-        r.num_workers, static_cast<unsigned long long>(r.num_updates),
-        static_cast<unsigned long long>(r.num_firings),
-        r.firings_per_second, r.p50_firing_latency_micros,
-        r.p99_firing_latency_micros,
-        static_cast<unsigned long long>(r.lock_acquires),
-        static_cast<unsigned long long>(r.lock_waits),
-        static_cast<unsigned long long>(r.lock_wait_die_aborts),
-        static_cast<unsigned long long>(r.lock_wait_micros),
-        static_cast<unsigned long long>(r.update_restarts),
-        static_cast<unsigned long long>(r.firings_merged),
-        static_cast<unsigned long long>(r.failed_tasks), r.wall_seconds,
-        i + 1 < results.size() ? "," : "");
-  }
-  std::fprintf(f, "  ],\n");
-  std::fprintf(f, "  \"speedup_4_workers_vs_1\": %.3f,\n", speedup_4v1);
-  std::fprintf(f, "  \"meets_2p5x_target\": %s\n",
-               speedup_4v1 >= 2.5 ? "true" : "false");
-  std::fprintf(f, "}\n");
-  std::fclose(f);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -59,12 +59,12 @@ void BM_MergeIntoQueuedTask(benchmark::State& state) {
   BoundTableSet first;
   Status st = first.Add(MakeBoundTable(1, 1));
   if (!st.ok()) std::abort();
-  auto seeded = mgr.MergeOrCreate("fn", key, std::move(first), factory);
+  auto seeded = mgr.MergeOrCreate("fn", key, std::move(first), 0, factory);
   if (!seeded.ok()) std::abort();
   for (auto _ : state) {
     BoundTableSet set;
     st = set.Add(MakeBoundTable(1, 1));
-    auto r = mgr.MergeOrCreate("fn", key, std::move(set), factory);
+    auto r = mgr.MergeOrCreate("fn", key, std::move(set), 0, factory);
     benchmark::DoNotOptimize(r.ok());
   }
   state.SetItemsProcessed(state.iterations());
@@ -88,7 +88,7 @@ void BM_CreatePerDistinctKey(benchmark::State& state) {
     Status st = set.Add(MakeBoundTable(1, 1));
     if (!st.ok()) std::abort();
     auto r = mgr.MergeOrCreate(
-        "fn", {Value::Str("k" + std::to_string(i++))}, std::move(set),
+        "fn", {Value::Str("k" + std::to_string(i++))}, std::move(set), 0,
         factory);
     benchmark::DoNotOptimize(r.ok());
   }

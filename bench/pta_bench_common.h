@@ -7,13 +7,83 @@
 
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "strip/market/app_functions.h"
 #include "strip/market/pta_runner.h"
+#include "strip/obs/json.h"
 
 namespace strip::bench {
+
+/// Best-effort git revision of the checkout the benchmark ran from, read
+/// from .git at run time (so a stale build directory cannot bake in an old
+/// rev). Searches upward from the working directory; "unknown" if no
+/// repository is found.
+inline std::string RepoRev() {
+  for (const char* dir : {".", "..", "../..", "../../.."}) {
+    std::string base = std::string(dir) + "/.git/";
+    std::ifstream head(base + "HEAD");
+    if (!head) continue;
+    std::string line;
+    std::getline(head, line);
+    if (line.rfind("ref: ", 0) == 0) {
+      std::string ref = line.substr(5);
+      std::ifstream ref_file(base + ref);
+      std::string sha;
+      if (ref_file && std::getline(ref_file, sha) && !sha.empty()) {
+        return sha;
+      }
+      return ref;  // packed refs: at least name the branch
+    }
+    if (!line.empty()) return line;  // detached HEAD: the sha itself
+  }
+  return "unknown";
+}
+
+/// The canonical BENCH_*.json schema every bench binary emits:
+///
+///   {"name": "<benchmark>", "repo_rev": "<sha>",
+///    "config": {...flags / workload parameters...},
+///    "metrics": {...measurements, incl. registry snapshots...}}
+///
+/// Fill the two sections through the JsonWriter handed to the callbacks;
+/// tools/validate_bench_json.py checks the result in CI.
+class BenchReport {
+ public:
+  explicit BenchReport(const std::string& name) {
+    w_.BeginObject();
+    w_.Key("name").String(name);
+    w_.Key("repo_rev").String(RepoRev());
+  }
+
+  template <typename Fn>
+  void Config(Fn fill) {
+    w_.Key("config").BeginObject();
+    fill(w_);
+    w_.EndObject();
+  }
+
+  template <typename Fn>
+  void Metrics(Fn fill) {
+    w_.Key("metrics").BeginObject();
+    fill(w_);
+    w_.EndObject();
+  }
+
+  /// Closes the report and writes it; both sections must have been filled.
+  bool WriteFile(const std::string& path) {
+    w_.EndObject();
+    std::ofstream out(path);
+    if (!out) return false;
+    out << w_.str() << "\n";
+    return out.good();
+  }
+
+ private:
+  JsonWriter w_;
+};
 
 struct SweepOptions {
   /// Fraction of the paper's trace volume (1.0 = 30 min / ~60k updates).

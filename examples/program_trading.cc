@@ -9,6 +9,7 @@
 #include <cstring>
 #include <string>
 
+#include "strip/common/logging.h"
 #include "strip/market/app_functions.h"
 #include "strip/market/pta_runner.h"
 
@@ -33,7 +34,7 @@ int main(int argc, char** argv) {
   // composite symbol with a 1-second delay window (do_comps3, §5.1).
   Status st = exp.Setup(CompRuleSql(CompRuleVariant::kUniqueOnComp, 1.0));
   if (!st.ok()) {
-    std::fprintf(stderr, "setup failed: %s\n", st.ToString().c_str());
+    STRIP_LOG(ERROR, "setup failed: %s", st.ToString().c_str());
     return 1;
   }
   std::printf("tables: %zu stocks, %zu composite memberships, %zu options\n",
@@ -44,8 +45,7 @@ int main(int argc, char** argv) {
   std::printf("replaying the feed under the discrete-event executor...\n");
   auto result = exp.Run();
   if (!result.ok()) {
-    std::fprintf(stderr, "run failed: %s\n",
-                 result.status().ToString().c_str());
+    STRIP_LOG(ERROR, "run failed: %s", result.status().ToString().c_str());
     return 1;
   }
 

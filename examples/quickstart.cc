@@ -5,6 +5,7 @@
 
 #include <cstdio>
 
+#include "strip/common/logging.h"
 #include "strip/engine/database.h"
 
 using strip::Database;
@@ -23,7 +24,7 @@ int main() {
 
   auto check = [](Status st) {
     if (!st.ok()) {
-      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      STRIP_LOG(ERROR, "%s", st.ToString().c_str());
       std::exit(1);
     }
   };

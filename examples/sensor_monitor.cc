@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "strip/common/logging.h"
 #include "strip/engine/database.h"
 
 using namespace strip;
@@ -23,7 +24,7 @@ int main() {
 
   auto check = [](Status st) {
     if (!st.ok()) {
-      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      STRIP_LOG(ERROR, "%s", st.ToString().c_str());
       std::exit(1);
     }
   };

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "strip/common/logging.h"
 #include "strip/engine/database.h"
 #include "strip/viewmaint/rule_gen.h"
 #include "strip/viewmaint/view_def.h"
@@ -20,7 +21,7 @@ int main() {
 
   auto check = [](Status st) {
     if (!st.ok()) {
-      std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+      STRIP_LOG(ERROR, "%s", st.ToString().c_str());
       std::exit(1);
     }
   };

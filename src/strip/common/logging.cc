@@ -1,0 +1,86 @@
+#include "strip/common/logging.h"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace strip {
+
+namespace {
+
+void DefaultSink(LogLevel level, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "STRIP %s %s:%d: %s\n", LogLevelName(level), file,
+               line, msg.c_str());
+}
+
+// The sink is read on every record; guarded by a mutex only around the
+// copy so a long-running sink call never blocks other loggers on install.
+std::mutex g_sink_mu;
+LogSink g_sink = DefaultSink;
+
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kFatal: return "FATAL";
+  }
+  return "?";
+}
+
+void SetLogSink(LogSink sink) {
+  std::lock_guard<std::mutex> lk(g_sink_mu);
+  g_sink = sink ? std::move(sink) : DefaultSink;
+}
+
+void SetMinLogLevel(LogLevel level) {
+  g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel MinLogLevel() {
+  return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
+}
+
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) {
+  if (static_cast<int>(level) <
+          g_min_level.load(std::memory_order_relaxed) &&
+      level != LogLevel::kFatal) {
+    return;
+  }
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string msg;
+  if (n > 0) {
+    msg.resize(static_cast<size_t>(n));
+    std::vsnprintf(msg.data(), msg.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+
+  LogSink sink;
+  {
+    std::lock_guard<std::mutex> lk(g_sink_mu);
+    sink = g_sink;
+  }
+  sink(level, file, line, msg);
+  if (level == LogLevel::kFatal) std::abort();
+}
+
+void FatalError(const char* file, int line, const char* msg) {
+  LogMessage(LogLevel::kFatal, file, line, "%s", msg);
+  std::abort();  // unreachable: LogMessage aborts on kFatal
+}
+
+}  // namespace strip

@@ -1,21 +1,77 @@
 #ifndef STRIP_COMMON_LOGGING_H_
 #define STRIP_COMMON_LOGGING_H_
 
-#include <cstdio>
-#include <cstdlib>
+#include <functional>
+#include <string>
 
 namespace strip {
+
+/// Severity, ordered. kFatal aborts after logging.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+const char* LogLevelName(LogLevel level);
+
+/// Receives every emitted log record. Installed process-wide; must be
+/// callable from any thread.
+using LogSink = std::function<void(LogLevel level, const char* file, int line,
+                                   const std::string& msg)>;
+
+/// Replaces the process log sink (default: "STRIP <LEVEL> file:line: msg"
+/// to stderr). Passing nullptr restores the default. Intended for process
+/// setup (tests capturing output, embedders routing into their logger);
+/// not synchronized against concurrent logging.
+void SetLogSink(LogSink sink);
+
+/// Runtime minimum level (below it, records are dropped even when they
+/// pass the compile-time gate). Default kInfo.
+void SetMinLogLevel(LogLevel level);
+LogLevel MinLogLevel();
+
+/// printf-style record emission; prefer the STRIP_LOG macro.
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) __attribute__((format(printf, 4, 5)));
 
 /// Aborts the process with a message; used for unrecoverable invariant
 /// violations where returning Status::Internal is impossible (destructors,
 /// noexcept paths).
-[[noreturn]] inline void FatalError(const char* file, int line,
-                                    const char* msg) {
-  std::fprintf(stderr, "STRIP FATAL %s:%d: %s\n", file, line, msg);
-  std::abort();
-}
+[[noreturn]] void FatalError(const char* file, int line, const char* msg);
+
+// Spellable enumerator aliases so STRIP_LOG(INFO, ...) reads naturally at
+// the call site while staying a compile-time constant for the level gate.
+inline constexpr LogLevel kLogDEBUG = LogLevel::kDebug;
+inline constexpr LogLevel kLogINFO = LogLevel::kInfo;
+inline constexpr LogLevel kLogWARN = LogLevel::kWarn;
+inline constexpr LogLevel kLogERROR = LogLevel::kError;
+inline constexpr LogLevel kLogFATAL = LogLevel::kFatal;
 
 }  // namespace strip
+
+/// Compile-time floor: statements below it compile to nothing (the whole
+/// call site, arguments included, is dead-stripped). Override with
+/// -DSTRIP_MIN_LOG_LEVEL=2 (numeric LogLevel value) to remove DEBUG/INFO
+/// call sites from release binaries entirely.
+#ifndef STRIP_MIN_LOG_LEVEL
+#define STRIP_MIN_LOG_LEVEL 0
+#endif
+
+/// Leveled, printf-style logging:
+///   STRIP_LOG(INFO, "loaded %zu rules", n);
+///   STRIP_LOG(ERROR, "feed apply failed: %s", st.ToString().c_str());
+/// Levels: DEBUG, INFO, WARN, ERROR, FATAL (FATAL aborts after logging).
+#define STRIP_LOG(level, ...)                                               \
+  do {                                                                      \
+    if constexpr (static_cast<int>(::strip::kLog##level) >=                 \
+                  STRIP_MIN_LOG_LEVEL) {                                    \
+      ::strip::LogMessage(::strip::kLog##level, __FILE__, __LINE__,         \
+                          __VA_ARGS__);                                     \
+    }                                                                       \
+  } while (0)
 
 /// Invariant check active in all build modes (cheap conditions only).
 #define STRIP_CHECK(cond)                                              \

@@ -13,6 +13,7 @@ Database::Database() : Database(Options{}) {}
 
 Database::Database(Options options)
     : options_(options),
+      trace_ring_(options_.enable_metrics ? options_.trace_capacity : 0),
       scalar_funcs_(ScalarFuncRegistry::WithBuiltins()) {
   if (options_.mode == ExecutorMode::kSimulated) {
     sim_ = std::make_unique<SimulatedExecutor>(
@@ -29,11 +30,103 @@ Database::Database(Options options)
   deps.scalar_funcs = &scalar_funcs_;
   deps.task_ids = &next_task_id_;
   deps.disable_compiled_exprs = !options_.enable_compiled_exprs;
+  deps.trace = trace_ring_.enabled() ? &trace_ring_ : nullptr;
   deps.action_runner = [this](TaskControlBlock& task) {
     return RunActionTask(task);
   };
   rules_ = std::make_unique<RuleEngine>(std::move(deps));
   views_ = std::make_unique<ViewManager>(this);
+  RegisterBuiltinMetrics();
+}
+
+void Database::RegisterBuiltinMetrics() {
+  // Hot-path counter handles (always on: one relaxed increment each).
+  plan_hits_ = metrics_.counter("db.plan_cache.hits");
+  plan_misses_ = metrics_.counter("db.plan_cache.misses");
+  txn_begins_ = metrics_.counter("txn.begins");
+  txn_commits_ = metrics_.counter("txn.commits");
+  txn_aborts_ = metrics_.counter("txn.aborts");
+  action_restarts_ = metrics_.counter("rules.action_restarts");
+
+  if (options_.enable_metrics) {
+    batch_factor_hist_ = metrics_.histogram(
+        "rules.batch_factor", Histogram::DefaultCountBounds());
+    // The executors feed the lifecycle ring and latency histograms; hooks
+    // must be installed before the first Submit (see ExecutorObs).
+    ExecutorObs eobs;
+    eobs.trace = &trace_ring_;
+    eobs.queue_wait_us = metrics_.histogram("task.queue_wait_us");
+    eobs.run_us = metrics_.histogram("task.run_us");
+    executor_->set_obs(eobs);
+  }
+
+  // Existing subsystem stats structs stay the source of truth on their
+  // hot paths; the registry pulls them at snapshot time.
+  auto load = [](const std::atomic<uint64_t>& v) {
+    return static_cast<double>(v.load(std::memory_order_relaxed));
+  };
+  const ExecutorStats& es = executor_->stats();
+  metrics_.RegisterCallback("executor.tasks_run",
+                            [&es, load] { return load(es.tasks_run); });
+  metrics_.RegisterCallback("executor.tasks_failed",
+                            [&es, load] { return load(es.tasks_failed); });
+  metrics_.RegisterCallback("executor.busy_micros", [&es] {
+    return static_cast<double>(
+        es.busy_micros.load(std::memory_order_relaxed));
+  });
+  const RuleStats& rs = rules_->stats();
+  metrics_.RegisterCallback("rules.commits_checked",
+                            [&rs, load] { return load(rs.commits_checked); });
+  metrics_.RegisterCallback("rules.rules_triggered",
+                            [&rs, load] { return load(rs.rules_triggered); });
+  metrics_.RegisterCallback("rules.conditions_true",
+                            [&rs, load] { return load(rs.conditions_true); });
+  metrics_.RegisterCallback("rules.tasks_created",
+                            [&rs, load] { return load(rs.tasks_created); });
+  metrics_.RegisterCallback("rules.firings_merged",
+                            [&rs, load] { return load(rs.firings_merged); });
+  // Batching factor (§7): average firings consumed per created task.
+  metrics_.RegisterCallback("rules.batching_factor", [&rs] {
+    double created = static_cast<double>(
+        rs.tasks_created.load(std::memory_order_relaxed));
+    double merged = static_cast<double>(
+        rs.firings_merged.load(std::memory_order_relaxed));
+    return created == 0 ? 0.0 : (created + merged) / created;
+  });
+  const LockManagerStats& ls = locks_.stats();
+  metrics_.RegisterCallback("locks.acquires",
+                            [&ls, load] { return load(ls.acquires); });
+  metrics_.RegisterCallback("locks.waits",
+                            [&ls, load] { return load(ls.waits); });
+  metrics_.RegisterCallback("locks.wait_die_aborts",
+                            [&ls, load] { return load(ls.wait_die_aborts); });
+  metrics_.RegisterCallback("locks.wait_micros",
+                            [&ls, load] { return load(ls.wait_micros); });
+  UniqueTxnManager& um = rules_->unique_manager();
+  metrics_.RegisterCallback("unique.merges", [&um] {
+    return static_cast<double>(um.merge_count());
+  });
+  metrics_.RegisterCallback("db.plan_cache.entries", [this] {
+    std::lock_guard<std::mutex> lk(plan_mu_);
+    return static_cast<double>(plan_cache_.size());
+  });
+  metrics_.RegisterCallback("trace.events_recorded", [this] {
+    return static_cast<double>(trace_ring_.total_recorded());
+  });
+}
+
+void Database::RecordActionCommit(TaskControlBlock& task) {
+  if (task.oldest_change_time < 0) return;
+  Timestamp staleness = Now() - task.oldest_change_time;
+  if (staleness < 0) staleness = 0;
+  task.commit_staleness_micros = staleness;
+  if (!options_.enable_metrics) return;
+  // Per-rule (per user function) staleness distribution: the age of the
+  // oldest batched change each firing consumed — the paper's batching-vs-
+  // staleness tradeoff, measurable per delay window.
+  metrics_.histogram("rules.staleness_us." + task.function_name)
+      ->Observe(staleness);
+  batch_factor_hist_->Observe(task.batched_firings);
 }
 
 Database::~Database() {
@@ -52,6 +145,7 @@ Result<Transaction*> Database::Begin(uint64_t priority) {
     std::lock_guard<std::mutex> lk(txns_mu_);
     txns_.emplace(id, std::move(txn));
   }
+  txn_begins_->Add();
   return ptr;
 }
 
@@ -70,6 +164,8 @@ Status Database::Commit(Transaction* txn) {
   }
   txn->MarkCommitted(commit_time);
   locks_.ReleaseAll(txn);
+  txn_commits_->Add();
+  trace_ring_.Record(TraceEventKind::kCommit, txn->id(), commit_time);
   {
     std::lock_guard<std::mutex> lk(txns_mu_);
     txns_.erase(txn->id());
@@ -89,6 +185,8 @@ Status Database::Abort(Transaction* txn) {
   Status undo = txn->log().Undo();
   txn->MarkAborted();
   locks_.ReleaseAll(txn);
+  txn_aborts_->Add();
+  trace_ring_.Record(TraceEventKind::kAbort, txn->id(), Now());
   {
     std::lock_guard<std::mutex> lk(txns_mu_);
     txns_.erase(txn->id());
@@ -205,13 +303,19 @@ Status Database::RunActionTask(TaskControlBlock& task) {
     Status st = (*fn)(ctx);
     if (st.ok()) {
       st = Commit(txn);
-      if (st.ok()) return Status::OK();
+      if (st.ok()) {
+        RecordActionCommit(task);
+        return Status::OK();
+      }
     } else {
       Status ignored = Abort(txn);
       (void)ignored;
     }
     if (st.code() != StatusCode::kAborted) return st;  // real failure
     last = st;  // wait-die victim: restart with the ORIGINAL priority
+    action_restarts_->Add();
+    trace_ring_.Record(TraceEventKind::kRestart, task.id(), Now(),
+                       task.function_name.c_str());
     if (threaded_ != nullptr) {
       // Back off so the conflicting older transaction can finish; the
       // simulated executor is single-threaded and never needs this.
@@ -379,7 +483,7 @@ Result<PreparedStatementPtr> Database::Prepare(const std::string& sql) {
     auto it = plan_cache_.find(key);
     if (it != plan_cache_.end()) {
       plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.first);
-      ++plan_hits_;
+      plan_hits_->Add();
       return it->second.second;
     }
   }
@@ -390,7 +494,7 @@ Result<PreparedStatementPtr> Database::Prepare(const std::string& sql) {
   // pin a dead plan.
   if (!options_.enable_plan_cache || handle->is_ddl()) return handle;
   std::lock_guard<std::mutex> lk(plan_mu_);
-  ++plan_misses_;
+  plan_misses_->Add();
   auto it = plan_cache_.find(key);
   if (it != plan_cache_.end()) {  // another thread prepared it meanwhile
     plan_lru_.splice(plan_lru_.begin(), plan_lru_, it->second.first);
@@ -409,8 +513,8 @@ Result<PreparedStatementPtr> Database::Prepare(const std::string& sql) {
 Database::PlanCacheStats Database::plan_cache_stats() const {
   std::lock_guard<std::mutex> lk(plan_mu_);
   PlanCacheStats stats;
-  stats.hits = plan_hits_;
-  stats.misses = plan_misses_;
+  stats.hits = plan_hits_->Get();
+  stats.misses = plan_misses_->Get();
   stats.entries = plan_cache_.size();
   stats.capacity = options_.plan_cache_capacity;
   return stats;

@@ -13,6 +13,8 @@
 #include "strip/common/status.h"
 #include "strip/engine/function_registry.h"
 #include "strip/engine/prepared_statement.h"
+#include "strip/obs/metrics.h"
+#include "strip/obs/trace_ring.h"
 #include "strip/rules/rule_engine.h"
 #include "strip/sql/executor.h"
 #include "strip/sql/parser.h"
@@ -65,6 +67,14 @@ class Database {
     /// compiled-vs-interpreted equivalence tests and benchmarks toggle
     /// this on one binary).
     bool enable_compiled_exprs = true;
+    /// Hot-path observability (src/strip/obs/): the lifecycle trace ring,
+    /// task latency histograms, and per-rule staleness probes. Counters
+    /// (always on) are single relaxed atomic increments; disabling this
+    /// removes the rest for overhead A/B measurements.
+    bool enable_metrics = true;
+    /// Lifecycle events retained by the trace ring (~5 events per task, so
+    /// the default keeps the last ~1600 transactions). 0 disables tracing.
+    size_t trace_capacity = 8192;
   };
 
   Database();
@@ -176,6 +186,14 @@ class Database {
 
   // --- components ----------------------------------------------------------
   const Options& options() const { return options_; }
+  /// The unified metrics registry: every subsystem's counters (lock
+  /// manager, executors, rule engine, unique manager, plan cache) plus the
+  /// latency / staleness histograms. SnapshotJson() is the export surface.
+  MetricsRegistry& metrics() { return metrics_; }
+  /// Per-transaction lifecycle trace of the most recent tasks
+  /// (submit/delay/ready/start/commit/...); ToChromeJson() loads in
+  /// chrome://tracing. Disabled (capacity 0) when !options.enable_metrics.
+  TraceRing& trace_ring() { return trace_ring_; }
   Catalog& catalog() { return catalog_; }
   LockManager& locks() { return locks_; }
   RuleEngine& rules() { return *rules_; }
@@ -201,7 +219,18 @@ class Database {
   /// Immediate (non-transactional) DDL execution.
   Result<ResultSet> ExecuteDdl(const Statement& stmt);
 
+  /// Wires every subsystem stats struct into the registry as callback
+  /// gauges and resolves the hot-path counter / histogram handles.
+  void RegisterBuiltinMetrics();
+
+  /// Stamps commit staleness into the task and feeds the per-rule
+  /// staleness histogram + batching-factor histogram (the paper's §7
+  /// metric). Called after a rule-action transaction commits.
+  void RecordActionCommit(TaskControlBlock& task);
+
   Options options_;
+  MetricsRegistry metrics_;
+  TraceRing trace_ring_;
   Catalog catalog_;
   LockManager locks_;
   ScalarFuncRegistry scalar_funcs_;
@@ -235,8 +264,19 @@ class Database {
                      std::pair<std::list<std::string>::iterator,
                                PreparedStatementPtr>>
       plan_cache_;
-  size_t plan_hits_ = 0;
-  size_t plan_misses_ = 0;
+
+  // Registry-owned atomic counters (hot paths increment through the cached
+  // pointers). The plan-cache pair used to be plain size_t — racy once
+  // Execute() ran from multiple ThreadedExecutor workers.
+  Counter* plan_hits_ = nullptr;
+  Counter* plan_misses_ = nullptr;
+  Counter* txn_begins_ = nullptr;
+  Counter* txn_commits_ = nullptr;
+  Counter* txn_aborts_ = nullptr;
+  Counter* action_restarts_ = nullptr;
+  /// Null when !options_.enable_metrics: batching-factor histogram
+  /// (firings consumed per executed rule task).
+  Histogram* batch_factor_hist_ = nullptr;
 };
 
 }  // namespace strip

@@ -20,6 +20,14 @@ bool IsRecomputeFunction(const std::string& name) {
   return name.rfind("compute_", 0) == 0;
 }
 
+double Percentile(std::vector<double>& sorted_in_place, double q) {
+  if (sorted_in_place.empty()) return 0;
+  std::sort(sorted_in_place.begin(), sorted_in_place.end());
+  size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_in_place.size() - 1) + 0.5);
+  return sorted_in_place[std::min(idx, sorted_in_place.size() - 1)];
+}
+
 }  // namespace
 
 PtaExperiment::PtaExperiment(const MarketTrace& trace, const PtaConfig& cfg)
@@ -56,11 +64,18 @@ Result<PtaRunResult> PtaExperiment::Run() {
     result.num_updates = trace_.quotes().size();
 
     double update_response_total = 0;
+    std::vector<double> staleness_seconds;
+    uint64_t firings_consumed = 0;
     db_->executor().set_task_observer([&](const TaskControlBlock& t) {
       double cpu = static_cast<double>(t.cpu_nanos) / 1000.0;
       if (IsRecomputeFunction(t.function_name)) {
         ++result.num_recomputes;
         result.recompute_cpu_seconds += cpu / 1e6;
+        if (t.commit_staleness_micros >= 0) {
+          staleness_seconds.push_back(
+              static_cast<double>(t.commit_staleness_micros) / 1e6);
+        }
+        firings_consumed += t.batched_firings;
       } else {
         result.update_cpu_seconds += cpu / 1e6;
         double response =
@@ -100,6 +115,17 @@ Result<PtaRunResult> PtaExperiment::Run() {
             : 0.0;
     result.tasks_created = db_->rules().stats().tasks_created;
     result.firings_merged = db_->rules().stats().firings_merged;
+    if (!staleness_seconds.empty()) {
+      result.p50_staleness_seconds = Percentile(staleness_seconds, 0.50);
+      result.p95_staleness_seconds = Percentile(staleness_seconds, 0.95);
+      result.max_staleness_seconds = staleness_seconds.back();  // sorted
+    }
+    if (result.num_recomputes > 0) {
+      result.avg_batching_factor =
+          static_cast<double>(firings_consumed) /
+          static_cast<double>(result.num_recomputes);
+    }
+    result.metrics_json = db_->metrics().SnapshotJson();
   db_->executor().set_task_observer(nullptr);
   return result;
 }
@@ -109,6 +135,9 @@ Status PtaExperiment::ApplyQuote(const Quote& q) {
   // statement path — one ordinary single-tuple update transaction per
   // price change, like the paper's feed-driven update transactions (§4.3).
   STRIP_ASSIGN_OR_RETURN(Transaction * txn, db_->Begin());
+  // Staleness is measured from the feed's arrival time — the quote's trace
+  // timestamp — not from when the backlogged executor got to the update.
+  txn->set_arrival_time(q.time);
   auto n = update_stmt_->ExecuteDml(
       txn, {Value::Double(q.price), symbols_[static_cast<size_t>(q.stock)]});
   if (!n.ok() || *n != 1) {
@@ -128,22 +157,11 @@ Result<PtaRunResult> RunPtaExperiment(const MarketTrace& trace,
   return exp.Run();
 }
 
-namespace {
-
-double Percentile(std::vector<double>& sorted_in_place, double q) {
-  if (sorted_in_place.empty()) return 0;
-  std::sort(sorted_in_place.begin(), sorted_in_place.end());
-  size_t idx = static_cast<size_t>(
-      q * static_cast<double>(sorted_in_place.size() - 1) + 0.5);
-  return sorted_in_place[std::min(idx, sorted_in_place.size() - 1)];
-}
-
-}  // namespace
-
 Result<ThreadedPtaResult> RunThreadedPta(const ThreadedPtaOptions& options) {
   Database::Options db_opts;
   db_opts.mode = ExecutorMode::kThreaded;
   db_opts.num_workers = options.num_workers;
+  db_opts.enable_metrics = options.enable_metrics;
   Database db(db_opts);
 
   PtaConfig cfg = PtaConfig::Scaled(options.scale);
@@ -259,6 +277,8 @@ Result<ThreadedPtaResult> RunThreadedPta(const ThreadedPtaOptions& options) {
   result.firings_merged = db.rules().stats().firings_merged;
   result.tasks_run = db.executor().stats().tasks_run;
   result.tasks_failed = db.executor().stats().tasks_failed;
+  result.metrics_json =
+      options.enable_metrics ? db.metrics().SnapshotJson() : "{}";
   return result;
 }
 

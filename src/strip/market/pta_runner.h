@@ -37,6 +37,17 @@ struct PtaRunResult {
   double avg_update_response_micros = 0;
   double max_update_response_micros = 0;
   uint64_t failed_tasks = 0;
+  /// Temporal staleness of the derived data (§7): at each recompute commit,
+  /// action commit time minus feed-arrival time of the oldest batched
+  /// change it consumed. Larger delay windows batch more firings per task
+  /// (cheaper) at the cost of staler derived data — the paper's tradeoff.
+  double p50_staleness_seconds = 0;
+  double p95_staleness_seconds = 0;
+  double max_staleness_seconds = 0;
+  /// Average firings consumed per executed recompute task.
+  double avg_batching_factor = 0;
+  /// Metrics-registry snapshot (JSON object) taken at quiescence.
+  std::string metrics_json;
 };
 
 /// One experiment: a fresh simulated-mode database populated with the PTA
@@ -97,6 +108,9 @@ struct ThreadedPtaOptions {
   /// worker thread, so extra workers overlap the stalls.
   int64_t order_latency_micros = 20000;
   uint64_t seed = 42;
+  /// Database::Options::enable_metrics passthrough; the overhead A/B in
+  /// EXPERIMENTS.md toggles this on otherwise-identical runs.
+  bool enable_metrics = true;
 };
 
 /// Measurements of one threaded PTA run.
@@ -124,6 +138,9 @@ struct ThreadedPtaResult {
   uint64_t firings_merged = 0;
   uint64_t tasks_run = 0;
   uint64_t tasks_failed = 0;
+  /// Metrics-registry snapshot (JSON object) taken after the drain; "{}"
+  /// when metrics were disabled for the run.
+  std::string metrics_json;
 };
 
 /// Runs the PTA workload through the ThreadedExecutor on the wall clock:

@@ -1,0 +1,62 @@
+#ifndef STRIP_OBS_JSON_H_
+#define STRIP_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+namespace strip {
+
+/// Escapes `s` for inclusion in a JSON string literal (quotes not added).
+std::string JsonEscape(const std::string& s);
+
+/// Minimal streaming JSON builder: handles commas, nesting, and string
+/// escaping so every exporter in the system (metrics snapshots, Chrome
+/// traces, BENCH_*.json files) emits structurally valid JSON from one
+/// code path instead of hand-placed fprintf commas.
+///
+///   JsonWriter w;
+///   w.BeginObject();
+///   w.Key("name").String("pta");
+///   w.Key("runs").BeginArray();
+///   w.BeginObject(); w.Key("workers").Int(4); w.EndObject();
+///   w.EndArray();
+///   w.EndObject();
+///   std::string out = w.str();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; must be followed by exactly one value.
+  JsonWriter& Key(const std::string& k);
+
+  JsonWriter& String(const std::string& v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& Uint(uint64_t v);
+  /// Non-finite doubles are emitted as null (JSON has no NaN/Inf).
+  JsonWriter& Double(double v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Null();
+
+  /// Splices a pre-rendered JSON value (e.g. a registry snapshot) in as
+  /// the next value; the fragment must itself be valid JSON.
+  JsonWriter& Raw(const std::string& json_fragment);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  /// Emits the comma separating this value from a preceding sibling.
+  void BeforeValue();
+
+  std::string out_;
+  /// True when the next value at the current nesting level needs a
+  /// leading comma. Keys set `after_key_` so their value skips it.
+  bool need_comma_ = false;
+  bool after_key_ = false;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_OBS_JSON_H_

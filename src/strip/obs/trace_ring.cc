@@ -1,0 +1,147 @@
+#include "strip/obs/trace_ring.h"
+
+#include <chrono>
+#include <cstring>
+#include <map>
+
+#include "strip/obs/json.h"
+
+namespace strip {
+
+const char* TraceEventKindName(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kSubmit: return "submit";
+    case TraceEventKind::kDelayed: return "delayed";
+    case TraceEventKind::kReady: return "ready";
+    case TraceEventKind::kStart: return "start";
+    case TraceEventKind::kFinish: return "finish";
+    case TraceEventKind::kCommit: return "commit";
+    case TraceEventKind::kAbort: return "abort";
+    case TraceEventKind::kRestart: return "restart";
+    case TraceEventKind::kMerge: return "merge";
+  }
+  return "?";
+}
+
+Timestamp TraceRing::WallMicros() {
+  using clock = std::chrono::steady_clock;
+  static const clock::time_point epoch = clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(clock::now() -
+                                                               epoch)
+      .count();
+}
+
+TraceRing::TraceRing(size_t capacity) : capacity_(capacity) {
+  slots_.resize(capacity_);
+}
+
+void TraceRing::Record(TraceEventKind kind, uint64_t id, Timestamp ts,
+                       const char* name) {
+  if (capacity_ == 0) return;
+  TraceEvent e;
+  e.id = id;
+  e.ts = ts;
+  e.wall_ts = WallMicros();
+  e.kind = kind;
+  if (name != nullptr) {
+    std::strncpy(e.name, name, sizeof(e.name) - 1);
+  }
+  SpinLockGuard g(lock_);
+  slots_[next_ % capacity_] = e;
+  ++next_;
+}
+
+uint64_t TraceRing::total_recorded() const {
+  if (capacity_ == 0) return 0;
+  SpinLockGuard g(lock_);
+  return next_;
+}
+
+std::vector<TraceEvent> TraceRing::Snapshot() const {
+  std::vector<TraceEvent> out;
+  if (capacity_ == 0) return out;
+  SpinLockGuard g(lock_);
+  uint64_t n = next_ < capacity_ ? next_ : capacity_;
+  out.reserve(n);
+  uint64_t first = next_ - n;
+  for (uint64_t i = 0; i < n; ++i) {
+    out.push_back(slots_[(first + i) % capacity_]);
+  }
+  return out;
+}
+
+std::string TraceRing::ToChromeJson() const {
+  std::vector<TraceEvent> events = Snapshot();
+
+  // Pair starts with finishes per task id to form complete slices; a start
+  // whose finish rotated out of the ring degrades to an instant event.
+  std::map<uint64_t, size_t> open_start;  // id -> index into `events`
+  std::vector<bool> consumed(events.size(), false);
+  struct Slice {
+    size_t start_idx;
+    Timestamp dur;
+  };
+  std::vector<Slice> slices;
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    if (e.kind == TraceEventKind::kStart) {
+      open_start[e.id] = i;
+    } else if (e.kind == TraceEventKind::kFinish) {
+      auto it = open_start.find(e.id);
+      if (it != open_start.end()) {
+        slices.push_back({it->second, e.ts - events[it->second].ts});
+        consumed[it->second] = true;
+        consumed[i] = true;
+        open_start.erase(it);
+      }
+    }
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  for (const Slice& s : slices) {
+    const TraceEvent& e = events[s.start_idx];
+    w.BeginObject();
+    w.Key("name").String(e.name[0] != '\0' ? e.name : "task");
+    w.Key("cat").String("task");
+    w.Key("ph").String("X");
+    w.Key("ts").Int(e.ts);
+    w.Key("dur").Int(s.dur < 1 ? 1 : s.dur);
+    w.Key("pid").Int(1);
+    w.Key("tid").Uint(e.id);
+    w.Key("args").BeginObject();
+    w.Key("id").Uint(e.id);
+    w.Key("wall_ts").Int(e.wall_ts);
+    w.EndObject();
+    w.EndObject();
+  }
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (consumed[i]) continue;
+    const TraceEvent& e = events[i];
+    w.BeginObject();
+    std::string label = TraceEventKindName(e.kind);
+    if (e.name[0] != '\0') {
+      label += ':';
+      label += e.name;
+    }
+    w.Key("name").String(label);
+    w.Key("cat").String("lifecycle");
+    w.Key("ph").String("i");
+    w.Key("ts").Int(e.ts);
+    w.Key("pid").Int(1);
+    w.Key("tid").Uint(e.id);
+    w.Key("s").String("t");
+    w.Key("args").BeginObject();
+    w.Key("id").Uint(e.id);
+    w.Key("wall_ts").Int(e.wall_ts);
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace strip

@@ -1,6 +1,7 @@
 #include "strip/rules/rule_engine.h"
 
 #include "strip/common/string_util.h"
+#include "strip/obs/trace_ring.h"
 #include "strip/rules/transition_tables.h"
 #include "strip/sql/executor.h"
 
@@ -85,12 +86,15 @@ std::vector<std::string> RuleEngine::ListRules() const {
 }
 
 TaskPtr RuleEngine::NewActionTask(const RuleDef& rule, Timestamp commit_time,
+                                  Timestamp change_time,
                                   BoundTableSet&& tables) {
   auto task = std::make_shared<TaskControlBlock>(
       deps_.task_ids->fetch_add(1, std::memory_order_relaxed));
   task->release_time = commit_time + rule.delay_micros();
   task->function_name = rule.function_name();
   task->bound_tables = std::move(tables);
+  task->oldest_change_time = change_time;
+  task->newest_change_time = change_time;
   task->work = deps_.action_runner;
   stats_.tasks_created.fetch_add(1, std::memory_order_relaxed);
   return task;
@@ -140,8 +144,10 @@ Status RuleEngine::FireRule(const RuleDef& rule, Transaction* txn,
     }
   }
 
+  const Timestamp change_time = txn->arrival_time();
   if (!rule.unique()) {
-    out.push_back(NewActionTask(rule, commit_time, std::move(bound)));
+    out.push_back(
+        NewActionTask(rule, commit_time, change_time, std::move(bound)));
     return Status::OK();
   }
 
@@ -154,11 +160,17 @@ Status RuleEngine::FireRule(const RuleDef& rule, Transaction* txn,
     STRIP_ASSIGN_OR_RETURN(
         TaskPtr created,
         unique_.MergeOrCreate(
-            rule.function_name(), key, std::move(tables),
+            rule.function_name(), key, std::move(tables), change_time,
             [&](const std::vector<Value>&, BoundTableSet&& t) {
-              return NewActionTask(rule, commit_time, std::move(t));
+              return NewActionTask(rule, commit_time, change_time,
+                                   std::move(t));
             }));
-    if (created != nullptr) out.push_back(std::move(created));
+    if (created != nullptr) {
+      out.push_back(std::move(created));
+    } else if (deps_.trace != nullptr) {
+      deps_.trace->Record(TraceEventKind::kMerge, txn->id(), commit_time,
+                          rule.function_name().c_str());
+    }
   }
   stats_.firings_merged.store(unique_.merge_count(), std::memory_order_relaxed);
   return Status::OK();

@@ -20,11 +20,16 @@
 
 namespace strip {
 
+class TraceRing;
+
 /// Wiring the rule engine needs from the database engine.
 struct RuleEngineDeps {
   Catalog* catalog = nullptr;
   LockManager* locks = nullptr;
   const ScalarFuncRegistry* scalar_funcs = nullptr;
+  /// Lifecycle trace ring (may be null): merge events are recorded here so
+  /// a transaction timeline shows firings batched into queued tasks.
+  TraceRing* trace = nullptr;
   /// Runs a rule task: looks up the user function, opens the action
   /// transaction, executes, commits. Installed into every created task.
   std::function<Status(TaskControlBlock&)> action_runner;
@@ -87,8 +92,10 @@ class RuleEngine {
                   Timestamp commit_time, const BoundTableSet& transition,
                   std::vector<TaskPtr>& out);
 
+  /// `change_time` is the triggering transaction's data arrival time; it
+  /// seeds the task's staleness stamps.
   TaskPtr NewActionTask(const RuleDef& rule, Timestamp commit_time,
-                        BoundTableSet&& tables);
+                        Timestamp change_time, BoundTableSet&& tables);
 
   RuleEngineDeps deps_;
   // Definition order matters for deterministic processing; the paper notes

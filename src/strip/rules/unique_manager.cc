@@ -171,7 +171,8 @@ void UniqueTxnManager::EnsureFunction(const std::string& function_name) {
 
 Result<TaskPtr> UniqueTxnManager::MergeOrCreate(
     const std::string& function_name, const std::vector<Value>& key,
-    BoundTableSet&& tables, const TaskFactory& factory) {
+    BoundTableSet&& tables, Timestamp change_time,
+    const TaskFactory& factory) {
   FuncTable* ft = GetOrCreate(function_name);
   SpinLockGuard g(ft->lock);
   auto it = ft->queued.find(key);
@@ -181,6 +182,14 @@ Result<TaskPtr> UniqueTxnManager::MergeOrCreate(
     if (!queued->started) {
       STRIP_RETURN_IF_ERROR(
           queued->bound_tables.MergeFrom(std::move(tables)));
+      if (queued->oldest_change_time < 0 ||
+          change_time < queued->oldest_change_time) {
+        queued->oldest_change_time = change_time;
+      }
+      if (change_time > queued->newest_change_time) {
+        queued->newest_change_time = change_time;
+      }
+      ++queued->batched_firings;
       merge_count_.fetch_add(1, std::memory_order_relaxed);
       return TaskPtr(nullptr);  // merged; nothing to submit
     }

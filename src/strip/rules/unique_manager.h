@@ -56,9 +56,13 @@ class UniqueTxnManager {
   /// returning nullptr — or creates, registers, and returns a new task the
   /// caller must submit to the executor. A queued task that has already
   /// started no longer accepts merges (§2): a fresh task replaces it.
+  /// `change_time` is the feed-arrival time of the triggering change; the
+  /// queued task's staleness stamps (oldest/newest change, batched firing
+  /// count) are folded under its merge lock.
   Result<TaskPtr> MergeOrCreate(const std::string& function_name,
                                 const std::vector<Value>& key,
                                 BoundTableSet&& tables,
+                                Timestamp change_time,
                                 const TaskFactory& factory);
 
   /// Removes the task's hash entry; called when the task begins to run

@@ -10,6 +10,9 @@
 
 namespace strip {
 
+class Histogram;
+class TraceRing;
+
 /// Aggregate execution counters. Atomics so threaded-executor workers can
 /// fold task costs in without serializing on a shared mutex; the simulated
 /// executor (single-threaded) pays nothing extra for them.
@@ -17,6 +20,17 @@ struct ExecutorStats {
   std::atomic<uint64_t> tasks_run{0};
   std::atomic<uint64_t> tasks_failed{0};   // task body returned non-OK
   std::atomic<Timestamp> busy_micros{0};   // sum of task execution costs
+};
+
+/// Optional observability hooks shared by both executors: a lifecycle
+/// trace ring and latency histograms (see src/strip/obs/). All pointers
+/// may be null (hooks off); the hot paths pay one branch each. Install
+/// via Executor::set_obs BEFORE the first Submit — the executors read the
+/// struct without further synchronization.
+struct ExecutorObs {
+  TraceRing* trace = nullptr;
+  Histogram* queue_wait_us = nullptr;  // max(enqueue, release) -> start
+  Histogram* run_us = nullptr;         // task body execution cost
 };
 
 /// Called after each task finishes (stats collection in benchmarks).
@@ -43,13 +57,24 @@ class Executor {
 
   /// Installs a per-task completion hook (may be empty).
   virtual void set_task_observer(TaskObserver observer) = 0;
+
+  /// Installs the observability hooks. Call before the first Submit (the
+  /// executors read the struct from worker threads without locking).
+  void set_obs(const ExecutorObs& obs) { obs_ = obs; }
+  const ExecutorObs& obs() const { return obs_; }
+
+ protected:
+  ExecutorObs obs_;
 };
 
-/// Runs a task body, records timing into the TCB, and updates `stats`.
-/// Shared by both executors. `now` is the executor-clock start time.
-/// Returns the execution cost in micros (fixed cost if the task set one).
+/// Runs a task body, records timing into the TCB, updates `stats`, and
+/// feeds the obs hooks (start trace event, queue-wait and run-time
+/// histograms). Shared by both executors. `now` is the executor-clock
+/// start time. Returns the execution cost in micros (fixed cost if the
+/// task set one). The caller records the finish event after stamping
+/// finish_time.
 Timestamp ExecuteTaskBody(TaskControlBlock& task, Timestamp now,
-                          ExecutorStats& stats);
+                          ExecutorStats& stats, const ExecutorObs& obs);
 
 }  // namespace strip
 

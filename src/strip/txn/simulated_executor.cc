@@ -1,10 +1,24 @@
 #include "strip/txn/simulated_executor.h"
 
+#include <algorithm>
+
+#include "strip/obs/metrics.h"
+#include "strip/obs/trace_ring.h"
+
 namespace strip {
 
 Timestamp ExecuteTaskBody(TaskControlBlock& task, Timestamp now,
-                          ExecutorStats& stats) {
+                          ExecutorStats& stats, const ExecutorObs& obs) {
   task.start_time = now;
+  if (obs.trace != nullptr) {
+    obs.trace->Record(TraceEventKind::kStart, task.id(), now,
+                      task.function_name.c_str());
+  }
+  if (obs.queue_wait_us != nullptr) {
+    obs.queue_wait_us->Observe(
+        std::max<Timestamp>(0, now - std::max(task.enqueue_time,
+                                              task.release_time)));
+  }
   StopWatch watch;
   Status st = task.work ? task.work(task) : Status::OK();
   int64_t nanos = watch.ElapsedNanos();
@@ -18,14 +32,26 @@ Timestamp ExecuteTaskBody(TaskControlBlock& task, Timestamp now,
   stats.tasks_run.fetch_add(1, std::memory_order_relaxed);
   if (!st.ok()) stats.tasks_failed.fetch_add(1, std::memory_order_relaxed);
   stats.busy_micros.fetch_add(cost, std::memory_order_relaxed);
+  if (obs.run_us != nullptr) obs.run_us->Observe(cost);
   return cost;
 }
 
 void SimulatedExecutor::Submit(TaskPtr task) {
   task->enqueue_time = clock_.Now();
+  if (obs_.trace != nullptr) {
+    obs_.trace->Record(TraceEventKind::kSubmit, task->id(), clock_.Now(),
+                       task->function_name.c_str());
+  }
   if (task->release_time > clock_.Now()) {
+    if (obs_.trace != nullptr) {
+      obs_.trace->Record(TraceEventKind::kDelayed, task->id(),
+                         task->release_time);
+    }
     delay_.Push(std::move(task));
   } else {
+    if (obs_.trace != nullptr) {
+      obs_.trace->Record(TraceEventKind::kReady, task->id(), clock_.Now());
+    }
     ready_.Push(std::move(task));
   }
 }
@@ -34,14 +60,21 @@ void SimulatedExecutor::Drain(Timestamp horizon) {
   for (;;) {
     // Release everything due at the current virtual time.
     for (TaskPtr& t : delay_.PopReleased(clock_.Now())) {
+      if (obs_.trace != nullptr) {
+        obs_.trace->Record(TraceEventKind::kReady, t->id(), clock_.Now());
+      }
       ready_.Push(std::move(t));
     }
     if (!ready_.empty()) {
       TaskPtr task = ready_.Pop();
       if (!task->TryStart()) continue;  // defensive: already ran
-      Timestamp cost = ExecuteTaskBody(*task, clock_.Now(), stats_);
+      Timestamp cost = ExecuteTaskBody(*task, clock_.Now(), stats_, obs_);
       if (advance_clock_by_cost_) clock_.Advance(cost);
       task->finish_time = clock_.Now();
+      if (obs_.trace != nullptr) {
+        obs_.trace->Record(TraceEventKind::kFinish, task->id(), clock_.Now(),
+                           task->function_name.c_str());
+      }
       if (observer_) observer_(*task);
       continue;
     }

@@ -66,6 +66,22 @@ class TaskControlBlock {
   /// micros instead of the measured execution time (deterministic tests).
   Timestamp fixed_cost_micros = -1;
 
+  // --- staleness probe (rule-action tasks; see src/strip/obs/) ----------
+  /// Feed-arrival times of the oldest / newest base-table change batched
+  /// into this task (-1 until the creating firing stamps them). Merges of
+  /// later firings update them under merge_lock, so at commit the task
+  /// knows the age of the oldest change it consumed — the paper's
+  /// staleness cost of batching (§7).
+  Timestamp oldest_change_time = -1;
+  Timestamp newest_change_time = -1;
+  /// Rule firings folded into this task: 1 at creation, +1 per merge.
+  /// Guarded by merge_lock, like the bound tables it counts.
+  uint32_t batched_firings = 1;
+  /// Stamped by the engine when the action transaction commits: age of the
+  /// oldest batched change at commit time (-1 = never committed / not a
+  /// rule action).
+  Timestamp commit_staleness_micros = -1;
+
   // Filled in by the executor.
   Timestamp enqueue_time = 0;
   Timestamp start_time = 0;    // when execution began (executor clock)

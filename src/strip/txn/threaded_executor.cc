@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "strip/obs/trace_ring.h"
+
 namespace strip {
 
 ThreadedExecutor::ThreadedExecutor(int num_workers, SchedulingPolicy policy,
@@ -25,7 +27,15 @@ ThreadedExecutor::~ThreadedExecutor() { Shutdown(); }
 void ThreadedExecutor::Submit(TaskPtr task) {
   task->enqueue_time = clock_.Now();
   in_flight_.fetch_add(1, std::memory_order_relaxed);
+  if (obs_.trace != nullptr) {
+    obs_.trace->Record(TraceEventKind::kSubmit, task->id(), clock_.Now(),
+                       task->function_name.c_str());
+  }
   if (task->release_time > clock_.Now()) {
+    if (obs_.trace != nullptr) {
+      obs_.trace->Record(TraceEventKind::kDelayed, task->id(),
+                         task->release_time);
+    }
     {
       std::lock_guard<std::mutex> lk(delay_mu_);
       delay_.Push(std::move(task));
@@ -42,6 +52,9 @@ void ThreadedExecutor::set_task_observer(TaskObserver observer) {
 }
 
 void ThreadedExecutor::PushReady(TaskPtr task) {
+  if (obs_.trace != nullptr) {
+    obs_.trace->Record(TraceEventKind::kReady, task->id(), clock_.Now());
+  }
   size_t idx = next_shard_.fetch_add(1, std::memory_order_relaxed) %
                shards_.size();
   {
@@ -109,8 +122,13 @@ void ThreadedExecutor::WorkerLoop(size_t worker_index) {
     }
     for (TaskPtr& task : batch) {
       if (task->TryStart()) {
-        ExecuteTaskBody(*task, clock_.Now(), stats_);
+        ExecuteTaskBody(*task, clock_.Now(), stats_, obs_);
         task->finish_time = clock_.Now();
+        if (obs_.trace != nullptr) {
+          obs_.trace->Record(TraceEventKind::kFinish, task->id(),
+                             task->finish_time,
+                             task->function_name.c_str());
+        }
         if (observer) observer(*task);
       }
       TaskDone();

@@ -43,6 +43,15 @@ class Transaction {
   /// of bound tables (§2).
   Timestamp commit_time() const { return commit_time_; }
 
+  /// When the data this transaction applies entered the system (feed
+  /// arrival). Defaults to start_time; feed handlers and trace replays set
+  /// it to the record's source timestamp. The staleness probes measure
+  /// rule-firing commits against this.
+  Timestamp arrival_time() const {
+    return arrival_time_ >= 0 ? arrival_time_ : start_time_;
+  }
+  void set_arrival_time(Timestamp t) { arrival_time_ = t; }
+
   TxnLog& log() { return log_; }
   const TxnLog& log() const { return log_; }
 
@@ -72,6 +81,7 @@ class Transaction {
   TxnState state_ = TxnState::kActive;
   Timestamp start_time_;
   Timestamp commit_time_ = 0;
+  Timestamp arrival_time_ = -1;  // -1: defaults to start_time_
   uint32_t lock_shard_mask_ = 0;
   TxnLog log_;
 };

@@ -1,0 +1,397 @@
+// Tests for the observability layer (src/strip/obs/): histogram bucket
+// semantics, concurrent instrument updates (the TSan CI job runs these),
+// trace-ring wraparound and Chrome export, the JSON writer, leveled
+// logging, and end-to-end staleness-probe correctness on the deterministic
+// SimulatedExecutor.
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "strip/common/logging.h"
+#include "strip/engine/database.h"
+#include "strip/obs/json.h"
+#include "strip/obs/metrics.h"
+#include "strip/obs/trace_ring.h"
+
+namespace strip {
+namespace {
+
+// --- JsonWriter ------------------------------------------------------------
+
+TEST(JsonWriter, NestedStructuresAndEscaping) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s").String("a\"b\\c\n");
+  w.Key("arr").BeginArray();
+  w.Int(-1).Uint(2).Double(1.5).Bool(true).Null();
+  w.EndArray();
+  w.Key("o").BeginObject().Key("k").Int(7).EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"a\\\"b\\\\c\\n\",\"arr\":[-1,2,1.5,true,null],"
+            "\"o\":{\"k\":7}}");
+}
+
+TEST(JsonWriter, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+// --- Histogram -------------------------------------------------------------
+
+TEST(Histogram, BucketBoundariesAreInclusiveUpperEdges) {
+  Histogram h({10, 100});
+  h.Observe(10);   // on the edge -> bucket 0
+  h.Observe(11);   // just past   -> bucket 1
+  h.Observe(100);  // on the edge -> bucket 1
+  h.Observe(101);  // past the last bound -> overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 2u);
+  EXPECT_EQ(h.bucket_count(2), 1u);  // implicit +inf bucket
+  EXPECT_EQ(h.min(), 10);
+  EXPECT_EQ(h.max(), 101);
+  EXPECT_EQ(h.sum(), 10 + 11 + 100 + 101);
+}
+
+TEST(Histogram, BoundsAreSortedAndDeduped) {
+  Histogram h({100, 10, 10, 50});
+  ASSERT_EQ(h.bounds().size(), 3u);
+  EXPECT_EQ(h.bounds()[0], 10);
+  EXPECT_EQ(h.bounds()[1], 50);
+  EXPECT_EQ(h.bounds()[2], 100);
+}
+
+TEST(Histogram, PercentileInterpolatesAndClamps) {
+  Histogram h({10, 100, 1000});
+  EXPECT_EQ(h.Percentile(0.5), 0);  // empty
+  for (int i = 0; i < 100; ++i) h.Observe(50);
+  // All mass in one bucket: every percentile is clamped to [min, max].
+  EXPECT_EQ(h.Percentile(0.0), 50);
+  EXPECT_EQ(h.Percentile(0.5), 50);
+  EXPECT_EQ(h.Percentile(1.0), 50);
+}
+
+TEST(Histogram, PercentileSpreadAcrossBuckets) {
+  Histogram h({10, 100});
+  for (int i = 0; i < 90; ++i) h.Observe(5);    // bucket 0
+  for (int i = 0; i < 10; ++i) h.Observe(90);   // bucket 1
+  double p50 = h.Percentile(0.50);
+  double p99 = h.Percentile(0.99);
+  EXPECT_GE(p50, 5);
+  EXPECT_LE(p50, 10);
+  EXPECT_GT(p99, 10);
+  EXPECT_LE(p99, 90);
+}
+
+TEST(Histogram, ConcurrentObservesLoseNothing) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  Histogram h(Histogram::DefaultLatencyBoundsMicros());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(i % 1000);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 999);
+  uint64_t bucket_total = 0;
+  for (size_t i = 0; i <= h.bounds().size(); ++i) {
+    bucket_total += h.bucket_count(i);
+  }
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+// --- Counters / registry ---------------------------------------------------
+
+TEST(MetricsRegistry, ConcurrentCounterIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  MetricsRegistry reg;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    // Half the threads resolve the instrument concurrently with the
+    // increments (registration must be thread-safe too).
+    threads.emplace_back([&reg] {
+      Counter* c = reg.counter("shared");
+      for (int i = 0; i < kPerThread; ++i) c->Add();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.counter("shared")->Get(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+}
+
+TEST(MetricsRegistry, InstrumentPointersAreStable) {
+  MetricsRegistry reg;
+  Counter* c = reg.counter("a");
+  for (int i = 0; i < 100; ++i) reg.counter("c" + std::to_string(i));
+  EXPECT_EQ(reg.counter("a"), c);
+}
+
+TEST(MetricsRegistry, CallbackGaugesEvaluateAtSnapshotTime) {
+  MetricsRegistry reg;
+  std::atomic<int> source{0};
+  reg.RegisterCallback("pull", [&source] {
+    return static_cast<double>(source.load());
+  });
+  source = 41;
+  EXPECT_EQ(reg.GaugeValues().at("pull"), 41.0);
+  source = 42;
+  EXPECT_EQ(reg.GaugeValues().at("pull"), 42.0);
+}
+
+TEST(MetricsRegistry, SnapshotJsonIsWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("c")->Add(3);
+  reg.gauge("g")->Set(1.5);
+  reg.histogram("h")->Observe(42);
+  std::string json = reg.SnapshotJson();
+  EXPECT_NE(json.find("\"counters\":{\"c\":3}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"g\":1.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"h\":{\"count\":1"), std::string::npos) << json;
+}
+
+// --- TraceRing -------------------------------------------------------------
+
+TEST(TraceRing, WraparoundKeepsTheMostRecentEvents) {
+  TraceRing ring(4);
+  for (uint64_t id = 1; id <= 7; ++id) {
+    ring.Record(TraceEventKind::kSubmit, id, static_cast<Timestamp>(id));
+  }
+  EXPECT_EQ(ring.total_recorded(), 7u);
+  std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest first: ids 4, 5, 6, 7.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, i + 4);
+  }
+}
+
+TEST(TraceRing, ZeroCapacityDisablesRecording) {
+  TraceRing ring(0);
+  EXPECT_FALSE(ring.enabled());
+  ring.Record(TraceEventKind::kSubmit, 1, 0);
+  EXPECT_EQ(ring.total_recorded(), 0u);
+  EXPECT_TRUE(ring.Snapshot().empty());
+  EXPECT_NE(ring.ToChromeJson().find("\"traceEvents\":[]"),
+            std::string::npos);
+}
+
+TEST(TraceRing, NamesAreTruncatedNotOverflowed) {
+  TraceRing ring(2);
+  std::string long_name(100, 'x');
+  ring.Record(TraceEventKind::kStart, 1, 0, long_name.c_str());
+  std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].name), std::string(22, 'x'));
+}
+
+TEST(TraceRing, ChromeJsonPairsStartFinishIntoSlices) {
+  TraceRing ring(16);
+  ring.Record(TraceEventKind::kSubmit, 7, 5, "work");
+  ring.Record(TraceEventKind::kStart, 7, 10, "work");
+  ring.Record(TraceEventKind::kFinish, 7, 50, "work");
+  std::string json = ring.ToChromeJson();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":40"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"submit:work\""), std::string::npos)
+      << json;
+  // The paired start/finish must not also appear as instants.
+  EXPECT_EQ(json.find("\"name\":\"start:work\""), std::string::npos) << json;
+  EXPECT_EQ(json.find("\"name\":\"finish:work\""), std::string::npos)
+      << json;
+}
+
+TEST(TraceRing, ConcurrentRecordsAllLand) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  TraceRing ring(64);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ring.Record(TraceEventKind::kReady,
+                    static_cast<uint64_t>(t * kPerThread + i), i);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ring.total_recorded(),
+            static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(ring.Snapshot().size(), 64u);
+}
+
+// --- Leveled logging -------------------------------------------------------
+
+TEST(Logging, SinkReceivesFormattedMessageAndLevelFilters) {
+  struct Captured {
+    LogLevel level;
+    std::string msg;
+  };
+  std::vector<Captured> captured;
+  SetLogSink([&captured](LogLevel level, const char*, int,
+                         const std::string& msg) {
+    captured.push_back({level, msg});
+  });
+  SetMinLogLevel(LogLevel::kInfo);
+  STRIP_LOG(INFO, "count=%d name=%s", 7, "x");
+  STRIP_LOG(WARN, "warned");
+  SetMinLogLevel(LogLevel::kError);
+  STRIP_LOG(INFO, "filtered out");
+  STRIP_LOG(ERROR, "kept");
+  SetLogSink(nullptr);
+  SetMinLogLevel(LogLevel::kInfo);
+
+  ASSERT_EQ(captured.size(), 3u);
+  EXPECT_EQ(captured[0].level, LogLevel::kInfo);
+  EXPECT_EQ(captured[0].msg, "count=7 name=x");
+  EXPECT_EQ(captured[1].level, LogLevel::kWarn);
+  EXPECT_EQ(captured[2].level, LogLevel::kError);
+  EXPECT_EQ(captured[2].msg, "kept");
+}
+
+// --- End-to-end staleness probe -------------------------------------------
+
+// Deterministic scenario on the virtual clock (advance_clock_by_cost off,
+// so time moves only when the test says so): two price changes arrive at
+// t=0 and t=1s; a unique rule with a 2-second delay window batches both
+// firings into one recompute task released at t=2s. The staleness of that
+// commit is exactly 2s — the age of the OLDEST batched change — and the
+// batching factor is exactly 2.
+TEST(StalenessProbe, MeasuresAgeOfOldestBatchedChange) {
+  Database::Options opts;
+  opts.mode = ExecutorMode::kSimulated;
+  opts.advance_clock_by_cost = false;
+  Database db(opts);
+  ASSERT_TRUE(db.ExecuteScript("create table s (sym string, price double);"
+                               "insert into s values ('a', 1.0);")
+                  .ok());
+  ASSERT_TRUE(db.RegisterFunction("recompute", [](FunctionContext&) {
+                  return Status::OK();
+                }).ok());
+  ASSERT_TRUE(db.Execute("create rule r on s when updated price then "
+                         "execute recompute unique after 2.0 seconds")
+                  .ok());
+
+  Timestamp observed_staleness = -1;
+  uint32_t observed_batched = 0;
+  db.executor().set_task_observer([&](const TaskControlBlock& t) {
+    if (t.function_name != "recompute") return;
+    observed_staleness = t.commit_staleness_micros;
+    observed_batched = t.batched_firings;
+  });
+
+  // t=0: first change. Fires the rule; task queued for release at t=2s.
+  ASSERT_TRUE(db.Execute("update s set price = 2.0 where sym = 'a'").ok());
+  // t=1s: second change merges into the queued task.
+  db.simulated()->RunUntil(SecondsToMicros(1.0));
+  ASSERT_TRUE(db.Execute("update s set price = 3.0 where sym = 'a'").ok());
+  EXPECT_EQ(db.rules().stats().firings_merged.load(), 1u);
+  // Drive past the release: the action commits at t=2s.
+  db.simulated()->RunUntilQuiescent();
+  db.executor().set_task_observer(nullptr);
+
+  EXPECT_EQ(observed_staleness, SecondsToMicros(2.0));
+  EXPECT_EQ(observed_batched, 2u);
+
+  // The registry's per-rule staleness histogram and batching-factor
+  // histogram saw exactly this one commit.
+  const Histogram* stale =
+      db.metrics().FindHistogram("rules.staleness_us.recompute");
+  ASSERT_NE(stale, nullptr);
+  EXPECT_EQ(stale->count(), 1u);
+  EXPECT_EQ(stale->sum(), SecondsToMicros(2.0));
+  const Histogram* batch = db.metrics().FindHistogram("rules.batch_factor");
+  ASSERT_NE(batch, nullptr);
+  EXPECT_EQ(batch->count(), 1u);
+  EXPECT_EQ(batch->sum(), 2);
+
+  // Batching-factor gauge: (1 created + 1 merged) / 1 created = 2.
+  EXPECT_EQ(db.metrics().GaugeValues().at("rules.batching_factor"), 2.0);
+}
+
+// Disabling metrics removes the probes (and the ring) without affecting
+// rule execution.
+TEST(StalenessProbe, DisabledMetricsStillStampTheTask) {
+  Database::Options opts;
+  opts.mode = ExecutorMode::kSimulated;
+  opts.advance_clock_by_cost = false;
+  opts.enable_metrics = false;
+  Database db(opts);
+  ASSERT_TRUE(db.ExecuteScript("create table s (sym string, price double);"
+                               "insert into s values ('a', 1.0);")
+                  .ok());
+  ASSERT_TRUE(db.RegisterFunction("recompute", [](FunctionContext&) {
+                  return Status::OK();
+                }).ok());
+  ASSERT_TRUE(db.Execute("create rule r on s when updated price then "
+                         "execute recompute unique after 1.0 seconds")
+                  .ok());
+  Timestamp observed_staleness = -1;
+  db.executor().set_task_observer([&](const TaskControlBlock& t) {
+    if (t.function_name == "recompute") {
+      observed_staleness = t.commit_staleness_micros;
+    }
+  });
+  ASSERT_TRUE(db.Execute("update s set price = 2.0 where sym = 'a'").ok());
+  db.simulated()->RunUntilQuiescent();
+  db.executor().set_task_observer(nullptr);
+
+  EXPECT_FALSE(db.trace_ring().enabled());
+  EXPECT_EQ(db.trace_ring().total_recorded(), 0u);
+  // The task stamp (used by the PTA runner) works without the registry.
+  EXPECT_EQ(observed_staleness, SecondsToMicros(1.0));
+  EXPECT_EQ(db.metrics().FindHistogram("rules.staleness_us.recompute"),
+            nullptr);
+}
+
+// The engine's trace ring sees the full lifecycle of a delayed rule task.
+TEST(TraceRingIntegration, LifecycleEventsAreRecorded) {
+  Database::Options opts;
+  opts.mode = ExecutorMode::kSimulated;
+  opts.advance_clock_by_cost = false;
+  Database db(opts);
+  ASSERT_TRUE(db.ExecuteScript("create table s (sym string, price double);"
+                               "insert into s values ('a', 1.0);")
+                  .ok());
+  ASSERT_TRUE(db.RegisterFunction("recompute", [](FunctionContext&) {
+                  return Status::OK();
+                }).ok());
+  ASSERT_TRUE(db.Execute("create rule r on s when updated price then "
+                         "execute recompute unique after 1.0 seconds")
+                  .ok());
+  ASSERT_TRUE(db.Execute("update s set price = 2.0 where sym = 'a'").ok());
+  ASSERT_TRUE(db.Execute("update s set price = 3.0 where sym = 'a'").ok());
+  db.simulated()->RunUntilQuiescent();
+
+  bool saw[9] = {false};
+  for (const TraceEvent& e : db.trace_ring().Snapshot()) {
+    saw[static_cast<int>(e.kind)] = true;
+  }
+  EXPECT_TRUE(saw[static_cast<int>(TraceEventKind::kSubmit)]);
+  EXPECT_TRUE(saw[static_cast<int>(TraceEventKind::kDelayed)]);
+  EXPECT_TRUE(saw[static_cast<int>(TraceEventKind::kReady)]);
+  EXPECT_TRUE(saw[static_cast<int>(TraceEventKind::kStart)]);
+  EXPECT_TRUE(saw[static_cast<int>(TraceEventKind::kFinish)]);
+  EXPECT_TRUE(saw[static_cast<int>(TraceEventKind::kCommit)]);
+  EXPECT_TRUE(saw[static_cast<int>(TraceEventKind::kMerge)]);
+
+  std::string json = db.trace_ring().ToChromeJson();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("recompute"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace strip

@@ -169,7 +169,7 @@ class UniqueTxnManagerTest : public ::testing::Test {
 TEST_F(UniqueTxnManagerTest, FirstFiringCreatesTask) {
   ASSERT_OK_AND_ASSIGN(
       TaskPtr t, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
-                                    OneRowSet("c1"), Factory()));
+                                    OneRowSet("c1"), 0, Factory()));
   ASSERT_NE(t, nullptr);
   EXPECT_TRUE(t->is_unique);
   EXPECT_EQ(t->unique_key[0], Value::Str("c1"));
@@ -179,10 +179,10 @@ TEST_F(UniqueTxnManagerTest, FirstFiringCreatesTask) {
 TEST_F(UniqueTxnManagerTest, SecondFiringMergesIntoQueuedTask) {
   ASSERT_OK_AND_ASSIGN(
       TaskPtr t1, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
-                                     OneRowSet("c1"), Factory()));
+                                     OneRowSet("c1"), 0, Factory()));
   ASSERT_OK_AND_ASSIGN(
       TaskPtr t2, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
-                                     OneRowSet("c1"), Factory()));
+                                     OneRowSet("c1"), 0, Factory()));
   EXPECT_EQ(t2, nullptr);  // merged, nothing to submit
   EXPECT_EQ(t1->bound_tables.Find("m")->size(), 2u);
   EXPECT_EQ(mgr_.merge_count(), 1u);
@@ -192,10 +192,10 @@ TEST_F(UniqueTxnManagerTest, SecondFiringMergesIntoQueuedTask) {
 TEST_F(UniqueTxnManagerTest, DifferentKeysGetDifferentTasks) {
   ASSERT_OK_AND_ASSIGN(
       TaskPtr t1, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
-                                     OneRowSet("c1"), Factory()));
+                                     OneRowSet("c1"), 0, Factory()));
   ASSERT_OK_AND_ASSIGN(
       TaskPtr t2, mgr_.MergeOrCreate("fn", {Value::Str("c2")},
-                                     OneRowSet("c2"), Factory()));
+                                     OneRowSet("c2"), 0, Factory()));
   EXPECT_NE(t1, nullptr);
   EXPECT_NE(t2, nullptr);
   EXPECT_NE(t1, t2);
@@ -204,9 +204,9 @@ TEST_F(UniqueTxnManagerTest, DifferentKeysGetDifferentTasks) {
 
 TEST_F(UniqueTxnManagerTest, DifferentFunctionsAreIndependent) {
   ASSERT_OK_AND_ASSIGN(
-      TaskPtr t1, mgr_.MergeOrCreate("fn_a", {}, OneRowSet("c"), Factory()));
+      TaskPtr t1, mgr_.MergeOrCreate("fn_a", {}, OneRowSet("c"), 0, Factory()));
   ASSERT_OK_AND_ASSIGN(
-      TaskPtr t2, mgr_.MergeOrCreate("fn_b", {}, OneRowSet("c"), Factory()));
+      TaskPtr t2, mgr_.MergeOrCreate("fn_b", {}, OneRowSet("c"), 0, Factory()));
   EXPECT_NE(t1, nullptr);
   EXPECT_NE(t2, nullptr);
   EXPECT_EQ(mgr_.NumQueued("fn_a"), 1u);
@@ -216,12 +216,12 @@ TEST_F(UniqueTxnManagerTest, DifferentFunctionsAreIndependent) {
 TEST_F(UniqueTxnManagerTest, StartedTaskNoLongerAcceptsMerges) {
   ASSERT_OK_AND_ASSIGN(
       TaskPtr t1, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
-                                     OneRowSet("c1"), Factory()));
+                                     OneRowSet("c1"), 0, Factory()));
   ASSERT_TRUE(t1->TryStart());  // executor picks it up
   // A firing after the start must create a FRESH task (§2).
   ASSERT_OK_AND_ASSIGN(
       TaskPtr t2, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
-                                     OneRowSet("c1"), Factory()));
+                                     OneRowSet("c1"), 0, Factory()));
   ASSERT_NE(t2, nullptr);
   EXPECT_NE(t1, t2);
   EXPECT_EQ(t1->bound_tables.Find("m")->size(), 1u);  // untouched
@@ -230,14 +230,14 @@ TEST_F(UniqueTxnManagerTest, StartedTaskNoLongerAcceptsMerges) {
 TEST_F(UniqueTxnManagerTest, OnTaskStartRemovesHashEntry) {
   ASSERT_OK_AND_ASSIGN(
       TaskPtr t1, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
-                                     OneRowSet("c1"), Factory()));
+                                     OneRowSet("c1"), 0, Factory()));
   mgr_.OnTaskStart(*t1);
   EXPECT_EQ(mgr_.NumQueued("fn"), 0u);
   mgr_.OnTaskStart(*t1);  // idempotent
   // Next firing creates a new task.
   ASSERT_OK_AND_ASSIGN(
       TaskPtr t2, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
-                                     OneRowSet("c1"), Factory()));
+                                     OneRowSet("c1"), 0, Factory()));
   EXPECT_NE(t2, nullptr);
   // OnTaskStart for a superseded task must not remove the new entry.
   mgr_.OnTaskStart(*t1);
@@ -290,7 +290,7 @@ TEST_F(UniqueTxnManagerTest, ConcurrentMergesNeverLoseRows) {
     firers.emplace_back([&] {
       for (int i = 0; i < kPerThread; ++i) {
         auto r = mgr_.MergeOrCreate("fn", {Value::Str("k")},
-                                    OneRowSet("k"), factory);
+                                    OneRowSet("k"), 0, factory);
         ASSERT_TRUE(r.ok());
       }
     });

@@ -12,6 +12,9 @@
 //   .run             drain the simulated executor (fire due rule actions)
 //   .advance <sec>   advance virtual time by <sec> seconds, running tasks
 //   .stats           rule / executor counters
+//   .metrics         full metrics-registry snapshot as JSON
+//   .trace <file>    write the lifecycle trace ring as Chrome trace JSON
+//                    (load in chrome://tracing); no arg prints to stdout
 //   .explain <sql;>  show the executor's plan decisions for a SELECT
 //   .quit            exit
 
@@ -146,6 +149,26 @@ bool HandleMeta(Database& db, const std::string& line) {
     Database::PlanCacheStats ps = db.plan_cache_stats();
     std::printf("plan cache: %zu entries (cap %zu), %zu hits, %zu misses\n",
                 ps.entries, ps.capacity, ps.hits, ps.misses);
+    return true;
+  }
+  if (cmd == ".metrics") {
+    std::printf("%s\n", db.metrics().SnapshotJson().c_str());
+    return true;
+  }
+  if (cmd == ".trace") {
+    std::string json = db.trace_ring().ToChromeJson();
+    if (arg.empty()) {
+      std::printf("%s\n", json.c_str());
+    } else {
+      std::ofstream out(arg);
+      if (!out) {
+        std::printf("cannot open %s\n", arg.c_str());
+      } else {
+        out << json;
+        std::printf("wrote %zu trace events to %s\n",
+                    db.trace_ring().Snapshot().size(), arg.c_str());
+      }
+    }
     return true;
   }
   if (!cmd.empty() && cmd[0] == '.') {

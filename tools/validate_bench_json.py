@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Validate exported observability JSON against its expected schema.
+
+Two modes:
+
+  validate_bench_json.py BENCH_foo.json [...]
+      Checks the canonical BenchReport schema every bench binary emits:
+      {"name": str, "repo_rev": str, "config": obj, "metrics": obj}.
+      Any embedded metrics-registry snapshot (a "registry" value) is
+      checked recursively: counters/gauges/histograms with well-formed
+      histogram summaries and sparse bucket lists.
+
+  validate_bench_json.py --trace trace.json [...]
+      Checks Chrome trace_event JSON as written by TraceRing.ToChromeJson
+      / the shell's .trace command: displayTimeUnit plus a traceEvents
+      list of "X" slices (with dur) and "i" instants.
+
+Exits non-zero with a message on the first violation. Used by the CI
+observability smoke step; runnable locally on any checked-in BENCH file.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    sys.exit(f"{path}: {msg}")
+
+
+def check_registry_snapshot(path, snap, where):
+    if not isinstance(snap, dict):
+        fail(path, f"{where}: registry snapshot is not an object")
+    if not snap:  # "{}" when metrics were disabled for the run
+        return
+    for section in ("counters", "gauges", "histograms"):
+        if section not in snap:
+            fail(path, f"{where}: snapshot missing '{section}'")
+        if not isinstance(snap[section], dict):
+            fail(path, f"{where}: '{section}' is not an object")
+    for name, v in snap["counters"].items():
+        if not isinstance(v, int) or v < 0:
+            fail(path, f"{where}: counter '{name}' is not a non-negative int")
+    for name, v in snap["gauges"].items():
+        if not isinstance(v, (int, float)):
+            fail(path, f"{where}: gauge '{name}' is not a number")
+    for name, h in snap["histograms"].items():
+        for field in ("count", "sum", "min", "max", "mean",
+                      "p50", "p95", "p99", "buckets"):
+            if field not in h:
+                fail(path, f"{where}: histogram '{name}' missing '{field}'")
+        total = 0
+        for bucket in h["buckets"]:
+            if (not isinstance(bucket, list) or len(bucket) != 2
+                    or not (bucket[0] is None or isinstance(bucket[0], int))
+                    or not isinstance(bucket[1], int)):
+                fail(path, f"{where}: histogram '{name}' has a malformed "
+                           f"bucket {bucket!r} (want [bound|null, count])")
+            total += bucket[1]
+        if total != h["count"]:
+            fail(path, f"{where}: histogram '{name}' bucket counts sum to "
+                       f"{total}, expected count={h['count']}")
+
+
+def find_registries(node, where="metrics"):
+    """Yields every {"registry": ...} value nested in the metrics section."""
+    if isinstance(node, dict):
+        for k, v in node.items():
+            if k == "registry":
+                yield where, v
+            else:
+                yield from find_registries(v, f"{where}.{k}")
+    elif isinstance(node, list):
+        for i, v in enumerate(node):
+            yield from find_registries(v, f"{where}[{i}]")
+
+
+def check_bench(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for field, want in (("name", str), ("repo_rev", str),
+                        ("config", dict), ("metrics", dict)):
+        if field not in doc:
+            fail(path, f"missing top-level '{field}'")
+        if not isinstance(doc[field], want):
+            fail(path, f"'{field}' is not a {want.__name__}")
+    if not doc["name"]:
+        fail(path, "'name' is empty")
+    for where, snap in find_registries(doc["metrics"]):
+        check_registry_snapshot(path, snap, where)
+    print(f"{path}: ok (name={doc['name']}, rev={doc['repo_rev'][:12]})")
+
+
+def check_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("displayTimeUnit") != "ms":
+        fail(path, "missing displayTimeUnit 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, "'traceEvents' is not a list")
+    for i, e in enumerate(events):
+        for field in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if field not in e:
+                fail(path, f"traceEvents[{i}] missing '{field}'")
+        if e["ph"] not in ("X", "i"):
+            fail(path, f"traceEvents[{i}] has phase {e['ph']!r} "
+                       "(TraceRing only emits 'X' and 'i')")
+        if e["ph"] == "X" and ("dur" not in e or e["dur"] < 1):
+            fail(path, f"traceEvents[{i}] 'X' slice without positive dur")
+        if e["ph"] == "i" and e.get("s") != "t":
+            fail(path, f"traceEvents[{i}] instant without scope 's':'t'")
+    print(f"{path}: ok ({len(events)} trace events)")
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 2
+    if argv[1] == "--trace":
+        if len(argv) < 3:
+            sys.exit("--trace requires at least one file")
+        for path in argv[2:]:
+            check_trace(path)
+    else:
+        for path in argv[1:]:
+            check_bench(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
