@@ -153,6 +153,9 @@ Status Database::Commit(Transaction* txn) {
   if (txn == nullptr || !txn->active()) {
     return Status::FailedPrecondition("commit of a non-active transaction");
   }
+  // Rule condition / evaluate queries below read the catalog; statement
+  // work in this commit must be atomic w.r.t. metadata DDL.
+  DdlLatch::SharedGuard ddl(ddl_latch_);
   // Event checking occurs at the end of the transaction prior to commit
   // (§2); conditions run inside the triggering transaction.
   Timestamp commit_time = Now();
@@ -182,6 +185,7 @@ Status Database::Abort(Transaction* txn) {
   if (txn == nullptr || !txn->active()) {
     return Status::FailedPrecondition("abort of a non-active transaction");
   }
+  DdlLatch::SharedGuard ddl(ddl_latch_);  // Undo rewrites table rows
   Status undo = txn->log().Undo();
   txn->MarkAborted();
   locks_.ReleaseAll(txn);
@@ -352,6 +356,26 @@ bool IsDdl(const Statement& stmt) {
 }  // namespace
 
 Result<ResultSet> Database::ExecuteDdl(const Statement& stmt) {
+  // View creation runs real transactions (the population query acquires
+  // data locks), so it cannot hold the exclusive DDL latch — a shared
+  // holder blocked in the lock manager would deadlock it. Views are
+  // setup-time DDL; the latch guards the metadata DDL below, which is what
+  // invalidates (or frees) structures frozen into cached plans.
+  if (const auto* s = std::get_if<CreateViewStmt>(&stmt)) {
+    CreateViewStmt copy;
+    copy.name = s->name;
+    copy.materialized = s->materialized;
+    copy.query = s->query.Clone();
+    STRIP_RETURN_IF_ERROR(views_->CreateView(std::move(copy)));
+    catalog_.BumpGeneration();
+    return ResultSet{};
+  }
+
+  // Metadata DDL: atomic with respect to every latched statement
+  // execution, closing the plan-cache check-then-execute race (a plan
+  // validated against the current generation cannot have its Table* freed
+  // by a concurrent DROP TABLE mid-execution).
+  DdlLatch::ExclusiveGuard ddl(ddl_latch_);
   if (const auto* s = std::get_if<CreateTableStmt>(&stmt)) {
     STRIP_ASSIGN_OR_RETURN(Table * t,
                            catalog_.CreateTable(s->name, s->schema));
@@ -365,15 +389,6 @@ Result<ResultSet> Database::ExecuteDdl(const Statement& stmt) {
   if (const auto* s = std::get_if<CreateIndexStmt>(&stmt)) {
     STRIP_ASSIGN_OR_RETURN(Table * t, catalog_.GetTable(s->table));
     STRIP_RETURN_IF_ERROR(t->CreateTableIndex(s->column, s->kind));
-    catalog_.BumpGeneration();
-    return ResultSet{};
-  }
-  if (const auto* s = std::get_if<CreateViewStmt>(&stmt)) {
-    CreateViewStmt copy;
-    copy.name = s->name;
-    copy.materialized = s->materialized;
-    copy.query = s->query.Clone();
-    STRIP_RETURN_IF_ERROR(views_->CreateView(std::move(copy)));
     catalog_.BumpGeneration();
     return ResultSet{};
   }
@@ -408,6 +423,7 @@ Result<ResultSet> Database::ExecuteStatement(Transaction* txn,
     return Status::InvalidArgument(
         "DDL cannot run inside a transaction; use Execute()");
   }
+  DdlLatch::SharedGuard ddl(ddl_latch_);
   ExecContext ctx;
   ctx.catalog = &catalog_;
   ctx.locks = &locks_;
@@ -440,6 +456,7 @@ Result<ResultSet> Database::ExecuteStatement(Transaction* txn,
 Result<TempTable> Database::Query(Transaction* txn, const SelectStmt& stmt,
                                   TaskControlBlock* task,
                                   const std::vector<Value>* params) {
+  DdlLatch::SharedGuard ddl(ddl_latch_);
   ExecContext ctx;
   ctx.catalog = &catalog_;
   ctx.locks = &locks_;
@@ -455,6 +472,7 @@ Result<TempTable> Database::Query(Transaction* txn, const SelectStmt& stmt,
 Result<int> Database::ExecuteDml(Transaction* txn, const Statement& stmt,
                                  const std::vector<Value>& params,
                                  TaskControlBlock* task) {
+  DdlLatch::SharedGuard ddl(ddl_latch_);
   ExecContext ctx;
   ctx.catalog = &catalog_;
   ctx.locks = &locks_;
@@ -570,6 +588,7 @@ Result<std::vector<std::string>> Database::Explain(const std::string& sql) {
   }
   STRIP_ASSIGN_OR_RETURN(Transaction * txn, Begin());
   std::vector<std::string> trace;
+  DdlLatch::SharedGuard ddl(ddl_latch_);
   ExecContext ctx;
   ctx.catalog = &catalog_;
   ctx.locks = &locks_;

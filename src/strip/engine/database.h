@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "strip/common/status.h"
+#include "strip/engine/ddl_latch.h"
 #include "strip/engine/function_registry.h"
 #include "strip/engine/prepared_statement.h"
 #include "strip/obs/metrics.h"
@@ -206,6 +207,13 @@ class Database {
   ThreadedExecutor* threaded() { return threaded_.get(); }
   Timestamp Now() const { return executor_->Now(); }
 
+  /// Transactions begun but not yet committed / aborted — zero whenever the
+  /// system is between simulated steps (chaos invariant b precondition).
+  size_t NumActiveTxns() const {
+    std::lock_guard<std::mutex> lk(txns_mu_);
+    return txns_.size();
+  }
+
  private:
   /// PreparedStatement executes against the engine's internals (catalog,
   /// locks, options, immediate DDL) on behalf of its owning database.
@@ -231,6 +239,10 @@ class Database {
   Options options_;
   MetricsRegistry metrics_;
   TraceRing trace_ring_;
+  /// Statement execution shared / metadata DDL exclusive (see ddl_latch.h):
+  /// makes the plan-cache generation check-and-execute atomic w.r.t.
+  /// catalog mutation.
+  DdlLatch ddl_latch_;
   Catalog catalog_;
   LockManager locks_;
   ScalarFuncRegistry scalar_funcs_;
@@ -249,7 +261,7 @@ class Database {
                           Timestamp period,
                           std::shared_ptr<std::atomic<bool>> cancelled);
 
-  std::mutex txns_mu_;
+  mutable std::mutex txns_mu_;
   std::map<uint64_t, std::unique_ptr<Transaction>> txns_;
 
   std::mutex periodic_mu_;

@@ -1,0 +1,117 @@
+#ifndef STRIP_ENGINE_DDL_LATCH_H_
+#define STRIP_ENGINE_DDL_LATCH_H_
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+namespace strip {
+
+/// Serializes catalog-structure DDL against plan-cache execution.
+///
+/// The race this closes: a PreparedStatement's plan freezes raw Table* /
+/// Index* pointers, revalidated against the catalog generation counter at
+/// execution time. Without a latch the check and the execution are two
+/// separate steps, so a concurrent DROP TABLE can free the table between
+/// them — a use-after-free, not just a stale read. Statement execution
+/// takes the latch shared; table/index/rule DDL takes it exclusive, making
+/// the generation check-and-execute atomic with respect to catalog
+/// mutation.
+///
+/// Reader preference, deliberately: a shared holder can block inside the
+/// lock manager waiting for a row lock whose owner still has statements to
+/// run. Those statements also acquire the latch shared; if a merely
+/// *waiting* writer could block them (classic writer-preference), the
+/// owner could never finish and the system would deadlock through the lock
+/// manager. Readers therefore only wait while a writer is ACTIVE — and
+/// exclusive sections never touch the lock manager (pure metadata DDL), so
+/// an active writer always finishes. DDL can starve under a saturating
+/// read load; that is the correct trade for a workload that runs DDL at
+/// setup time.
+///
+/// Re-entrant: DDL statements execute helper work on their own thread
+/// (rule validation, view registration) that may re-enter shared or
+/// exclusive; both nest. Shared sections nest trivially (a counter).
+class DdlLatch {
+ public:
+  DdlLatch() = default;
+  DdlLatch(const DdlLatch&) = delete;
+  DdlLatch& operator=(const DdlLatch&) = delete;
+
+  void LockShared() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (writer_active_ && writer_thread_ == std::this_thread::get_id()) {
+      ++writer_nested_shared_;  // re-entry under our own exclusive
+      return;
+    }
+    cv_.wait(lk, [&] { return !writer_active_; });
+    ++readers_;
+  }
+
+  void UnlockShared() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (writer_active_ && writer_thread_ == std::this_thread::get_id()) {
+      --writer_nested_shared_;
+      return;
+    }
+    if (--readers_ == 0) cv_.notify_all();
+  }
+
+  void LockExclusive() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (writer_active_ && writer_thread_ == std::this_thread::get_id()) {
+      ++writer_depth_;  // nested DDL (e.g. a view creating its table)
+      return;
+    }
+    cv_.wait(lk, [&] { return !writer_active_ && readers_ == 0; });
+    writer_active_ = true;
+    writer_thread_ = std::this_thread::get_id();
+    writer_depth_ = 1;
+  }
+
+  void UnlockExclusive() {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (--writer_depth_ > 0) return;
+    writer_active_ = false;
+    cv_.notify_all();
+  }
+
+  class SharedGuard {
+   public:
+    explicit SharedGuard(DdlLatch& latch) : latch_(latch) {
+      latch_.LockShared();
+    }
+    ~SharedGuard() { latch_.UnlockShared(); }
+    SharedGuard(const SharedGuard&) = delete;
+    SharedGuard& operator=(const SharedGuard&) = delete;
+
+   private:
+    DdlLatch& latch_;
+  };
+
+  class ExclusiveGuard {
+   public:
+    explicit ExclusiveGuard(DdlLatch& latch) : latch_(latch) {
+      latch_.LockExclusive();
+    }
+    ~ExclusiveGuard() { latch_.UnlockExclusive(); }
+    ExclusiveGuard(const ExclusiveGuard&) = delete;
+    ExclusiveGuard& operator=(const ExclusiveGuard&) = delete;
+
+   private:
+    DdlLatch& latch_;
+  };
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int readers_ = 0;
+  bool writer_active_ = false;
+  int writer_depth_ = 0;
+  int writer_nested_shared_ = 0;
+  std::thread::id writer_thread_{};
+};
+
+}  // namespace strip
+
+#endif  // STRIP_ENGINE_DDL_LATCH_H_

@@ -335,6 +335,10 @@ bool ShadowedByTask(const Plan& plan, TaskControlBlock* task) {
 Result<ResultSet> PreparedStatement::Execute(
     const std::vector<Value>& params) {
   if (is_ddl()) return db_->ExecuteDdl(stmt_);
+  // Hold the DDL latch across the whole transaction: the generation check
+  // in CurrentPlan and the execution against the frozen Table* must be one
+  // atomic unit w.r.t. metadata DDL (ddl_latch.h).
+  DdlLatch::SharedGuard ddl(db_->ddl_latch_);
   STRIP_ASSIGN_OR_RETURN(Transaction * txn, db_->Begin());
   auto result = ExecuteInTxn(txn, params);
   if (!result.ok()) {
@@ -368,6 +372,7 @@ Result<TempTable> PreparedStatement::Query(Transaction* txn,
   if (s == nullptr) {
     return Status::InvalidArgument("Query() takes a SELECT statement");
   }
+  DdlLatch::SharedGuard ddl(db_->ddl_latch_);
   std::shared_ptr<const Plan> plan = CurrentPlan();
   if (plan->select_bound && !ShadowedByTask(*plan, task)) {
     ExecContext ctx;
@@ -388,6 +393,7 @@ Result<TempTable> PreparedStatement::Query(Transaction* txn,
 Result<int> PreparedStatement::ExecuteDml(Transaction* txn,
                                           const std::vector<Value>& params,
                                           TaskControlBlock* task) {
+  DdlLatch::SharedGuard ddl(db_->ddl_latch_);
   std::shared_ptr<const Plan> plan = CurrentPlan();
   if (plan->dml != Plan::Dml::kNone) {
     return RunDmlFast(*plan, txn, params);
@@ -485,10 +491,12 @@ Result<int> PreparedStatement::RunDmlFast(const Plan& plan, Transaction* txn,
 // ---------------------------------------------------------------------------
 
 Result<std::vector<std::string>> PreparedStatement::PlanNotes() {
+  DdlLatch::SharedGuard ddl(db_->ddl_latch_);
   return CurrentPlan()->notes;
 }
 
 Result<bool> PreparedStatement::UsesIndexProbe() {
+  DdlLatch::SharedGuard ddl(db_->ddl_latch_);
   std::shared_ptr<const Plan> plan = CurrentPlan();
   return plan->index != nullptr || plan->select_index_probe;
 }

@@ -41,12 +41,16 @@ void TraceRing::Record(TraceEventKind kind, uint64_t id, Timestamp ts,
   TraceEvent e;
   e.id = id;
   e.ts = ts;
-  e.wall_ts = WallMicros();
   e.kind = kind;
   if (name != nullptr) {
     std::strncpy(e.name, name, sizeof(e.name) - 1);
   }
   SpinLockGuard g(lock_);
+  // Stamp the wall clock under the lock: stamped outside, two racing
+  // recorders could publish in the opposite order they read the clock,
+  // exporting a trace whose ring order and wall_ts order disagree (events
+  // appear to run backwards in time once the ring wraps).
+  e.wall_ts = WallMicros();
   slots_[next_ % capacity_] = e;
   ++next_;
 }

@@ -224,4 +224,22 @@ size_t UniqueTxnManager::NumQueued(const std::string& function_name) const {
   return ft->queued.size();
 }
 
+std::vector<std::pair<std::string, TaskPtr>>
+UniqueTxnManager::SnapshotQueued() const {
+  std::vector<std::pair<std::string, TaskPtr>> out;
+  for (const Stripe& stripe : stripes_) {
+    SpinLockGuard sg(stripe.lock);
+    for (const auto& [name, ft] : stripe.tables) {
+      // Stripe lock -> FuncTable lock is safe: no path takes them in the
+      // reverse order (MergeOrCreate releases the stripe before locking
+      // the function table, but never re-enters the stripe under it).
+      SpinLockGuard fg(ft.lock);
+      for (const auto& [key, task] : ft.queued) {
+        out.emplace_back(name, task);
+      }
+    }
+  }
+  return out;
+}
+
 }  // namespace strip

@@ -72,6 +72,12 @@ class UniqueTxnManager {
   /// Number of queued unique tasks for a function (diagnostics / tests).
   size_t NumQueued(const std::string& function_name) const;
 
+  /// Audit API for the chaos invariant checker (invariant c): every
+  /// directory entry as (function name, queued task). The snapshot is
+  /// internally consistent per stripe; call between simulated steps (no
+  /// concurrent merges / starts) for a fully consistent view.
+  std::vector<std::pair<std::string, TaskPtr>> SnapshotQueued() const;
+
   /// Total bound-table merges performed (batched firings).
   uint64_t merge_count() const { return merge_count_; }
 

@@ -40,6 +40,13 @@ class BoundTableSet {
   /// Total number of tuples across all tables (batch size metric).
   size_t TotalTuples() const;
 
+  /// Refcount audit API (chaos invariant a): every RecordRef pin across
+  /// every bound table, one call per pin.
+  template <typename Fn>
+  void ForEachPinnedRecord(Fn&& fn) const {
+    for (const TempTable& t : tables_) t.ForEachPinnedRecord(fn);
+  }
+
  private:
   std::vector<TempTable> tables_;
 };

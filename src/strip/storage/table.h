@@ -77,6 +77,16 @@ class Table {
   /// undo of a DELETE). Fails if the id is still live.
   Result<RowIter> ResurrectRow(uint64_t id, RecordRef rec);
 
+  /// Refcount audit API (chaos invariant a): visits the live record version
+  /// of every row. Together with the bound-table walk this enumerates every
+  /// legitimate pin; a RecordRef whose use_count disagrees with the audit's
+  /// tally is a leak or a double-release. Call only while no transaction is
+  /// mutating the table.
+  template <typename Fn>
+  void ForEachRecord(Fn&& fn) const {
+    for (const Row& row : rows_) fn(row.rec);
+  }
+
  private:
   std::string name_;
   Schema schema_;

@@ -106,6 +106,18 @@ class TempTable {
   /// pointer-backed columns).
   TempTable Clone() const;
 
+  /// Refcount audit API (chaos invariant a): visits every RecordRef pin
+  /// this table holds — one call per non-null tuple slot. A record pinned
+  /// by k tuples is visited k times, matching its use_count contribution.
+  template <typename Fn>
+  void ForEachPinnedRecord(Fn&& fn) const {
+    for (const TempTuple& t : tuples_) {
+      for (const RecordRef& r : t.slots) {
+        if (r != nullptr) fn(r);
+      }
+    }
+  }
+
  private:
   std::string name_;
   Schema schema_;

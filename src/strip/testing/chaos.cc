@@ -1,0 +1,423 @@
+#include "strip/testing/chaos.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "strip/common/string_util.h"
+#include "strip/engine/database.h"
+
+namespace strip {
+namespace {
+
+/// Sequential splitmix64 stream for feed generation. Generation happens
+/// once, up front, single-threaded, so a sequential stream is fine here;
+/// the *injector* uses order-independent pure hashes instead because its
+/// draw sites interleave unpredictably.
+class SplitMix {
+ public:
+  explicit SplitMix(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  double Unit() { return (Next() >> 11) * 0x1.0p-53; }
+  uint64_t Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+/// One price-update message of the synthetic feed.
+struct FeedEvent {
+  int sym;              // index into the symbol universe
+  double price;         // new absolute price (integral, exact in double)
+  Timestamp at;         // virtual-time release of the update task
+  uint64_t priority;    // wait-die age: generation order, kept on retry
+  bool duplicate;       // re-delivery of an earlier message
+};
+
+std::string SymName(int i) { return StrFormat("S%d", i); }
+
+/// Generates the perturbed feed: base events in generation order, then
+/// seeded bursts (gap collapsed to zero), adjacent release-time swaps
+/// (late delivery), and duplicates (re-delivery with the same payload).
+std::vector<FeedEvent> MakeFeed(const ChaosOptions& o) {
+  SplitMix rng(o.seed ^ 0xfeedfeedfeedfeedull);
+  std::vector<FeedEvent> events;
+  events.reserve(o.num_events);
+  Timestamp t = 10'000;
+  for (int i = 0; i < o.num_events; ++i) {
+    FeedEvent e;
+    e.sym = static_cast<int>(rng.Below(static_cast<uint64_t>(o.num_syms)));
+    e.price = 1.0 + static_cast<double>(rng.Below(1000));
+    Timestamp gap =
+        1 + static_cast<Timestamp>(rng.Below(2 * o.mean_gap_micros));
+    if (rng.Unit() < o.burst_rate) gap = 0;
+    t += gap;
+    e.at = t;
+    e.priority = static_cast<uint64_t>(i) + 1;
+    e.duplicate = false;
+    events.push_back(e);
+  }
+  // Reorder: swap release times of adjacent events, so the message
+  // generated (and aged) first is delivered second.
+  for (size_t i = 1; i < events.size(); ++i) {
+    if (rng.Unit() < o.reorder_rate) {
+      std::swap(events[i - 1].at, events[i].at);
+    }
+  }
+  // Duplicates: re-deliver a message shortly after the original. Same
+  // payload; its update is value-identical so rules must not re-fire.
+  size_t originals = events.size();
+  for (size_t i = 0; i < originals; ++i) {
+    if (rng.Unit() < o.duplicate_rate) {
+      FeedEvent dup = events[i];
+      dup.at += 1 + static_cast<Timestamp>(rng.Below(500));
+      dup.priority = static_cast<uint64_t>(originals + i) + 1;
+      dup.duplicate = true;
+      events.push_back(dup);
+    }
+  }
+  return events;
+}
+
+/// Applies one feed event inside its own transaction, retrying injected
+/// (and organic) wait-die deaths with the ORIGINAL priority — the same
+/// restart discipline the engine uses for rule actions.
+Status ApplyEvent(Database& db, const FeedEvent& e, uint64_t* applied) {
+  const std::string sql =
+      StrFormat("update base set price = %.1f, ver += 1 where sym = '%s'",
+                e.price, SymName(e.sym).c_str());
+  constexpr int kRetryLimit = 16;
+  Status last;
+  for (int attempt = 0; attempt <= kRetryLimit; ++attempt) {
+    Result<Transaction*> txn = db.Begin(e.priority);
+    if (!txn.ok()) return txn.status();
+    Result<ResultSet> r = db.ExecuteInTxn(*txn, sql);
+    if (r.ok()) {
+      last = db.Commit(*txn);
+      if (last.ok()) {
+        ++*applied;
+        return Status::OK();
+      }
+    } else {
+      last = r.status();
+      (void)db.Abort(*txn);
+    }
+    if (last.code() != StatusCode::kAborted) return last;
+  }
+  return last;
+}
+
+/// Invariant (d): the maintained derived data must equal a brute-force
+/// shadow recompute. Two closed-form checks that survive batching, merging,
+/// duplicates, and retries:
+///   - every derived.double_price equals 2 * base.price, and
+///   - audit_total.n equals sum(derived.firings): the coarse-unique audit
+///     rule folds exactly one transition row per committed recompute.
+Status ShadowRecompute(Database& db) {
+  Result<ResultSet> base = db.Execute("select sym, price from base order by sym");
+  STRIP_RETURN_IF_ERROR(base.status());
+  Result<ResultSet> derived =
+      db.Execute("select sym, double_price, firings from derived order by sym");
+  STRIP_RETURN_IF_ERROR(derived.status());
+  if (base->num_rows() != derived->num_rows()) {
+    return Status::Internal(StrFormat(
+        "invariant d: %zu base rows but %zu derived rows",
+        base->num_rows(), derived->num_rows()));
+  }
+  int64_t total_firings = 0;
+  for (size_t i = 0; i < base->num_rows(); ++i) {
+    if (base->rows[i][0] != derived->rows[i][0]) {
+      return Status::Internal(StrFormat(
+          "invariant d: row %zu key mismatch (%s vs %s)", i,
+          base->rows[i][0].ToString().c_str(),
+          derived->rows[i][0].ToString().c_str()));
+    }
+    double want = 2.0 * base->rows[i][1].as_double();
+    double got = derived->rows[i][1].as_double();
+    if (want != got) {  // prices are integral: exact comparison is right
+      return Status::Internal(StrFormat(
+          "invariant d: derived(%s) = %.1f but shadow recompute says %.1f",
+          base->rows[i][0].ToString().c_str(), got, want));
+    }
+    total_firings += derived->rows[i][2].as_int();
+  }
+  Result<ResultSet> audit =
+      db.Execute("select n from audit_total where k = 'all'");
+  STRIP_RETURN_IF_ERROR(audit.status());
+  if (audit->num_rows() != 1) {
+    return Status::Internal("invariant d: audit_total row missing");
+  }
+  int64_t audited = audit->rows[0][0].as_int();
+  if (audited != total_firings) {
+    return Status::Internal(StrFormat(
+        "invariant d: audit_total.n = %lld but derived tables record %lld "
+        "recompute firings",
+        static_cast<long long>(audited),
+        static_cast<long long>(total_firings)));
+  }
+  return Status::OK();
+}
+
+Status SetUpWorkload(Database& db, const ChaosOptions& o) {
+  STRIP_RETURN_IF_ERROR(db.ExecuteScript(R"(
+    create table base (sym string, price double, ver int);
+    create index on base (sym);
+    create table derived (sym string, double_price double, firings int);
+    create index on derived (sym);
+    create table audit_total (k string, n int);
+  )"));
+  for (int i = 0; i < o.num_syms; ++i) {
+    STRIP_RETURN_IF_ERROR(
+        db.Execute(StrFormat("insert into base values ('%s', 100.0, 0)",
+                             SymName(i).c_str()))
+            .status());
+    STRIP_RETURN_IF_ERROR(
+        db.Execute(StrFormat("insert into derived values ('%s', 200.0, 0)",
+                             SymName(i).c_str()))
+            .status());
+  }
+  STRIP_RETURN_IF_ERROR(
+      db.Execute("insert into audit_total values ('all', 0)").status());
+
+  // The maintained computation: derived.double_price = 2 * base.price,
+  // recomputed per symbol by a `unique on sym` delayed rule. Deliberately
+  // reads base inside the action (not the transition values) so merged /
+  // batched firings still converge to the latest committed price.
+  STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+      "chaos_recompute", [](FunctionContext& ctx) -> Status {
+        const TempTable* changed = ctx.BoundTable("changed");
+        if (changed == nullptr || changed->size() == 0) {
+          return Status::Internal("chaos_recompute: empty bound table");
+        }
+        // `unique on sym` partitions firings per symbol: every row in this
+        // task's bound table carries the same sym.
+        const std::string sym = changed->Get(0, 0).as_string();
+        Result<TempTable> price = ctx.Query(
+            StrFormat("select price from base where sym = '%s'", sym.c_str()));
+        STRIP_RETURN_IF_ERROR(price.status());
+        if (price->size() != 1) {
+          return Status::Internal(
+              StrFormat("chaos_recompute: %zu base rows for '%s'",
+                        price->size(), sym.c_str()));
+        }
+        double p = price->Get(0, 0).as_double();
+        return ctx.Exec(StrFormat("update derived set double_price = %.1f, "
+                                  "firings += 1 where sym = '%s'",
+                                  2.0 * p, sym.c_str()))
+            .status();
+      }));
+
+  // Cascaded audit: a coarse `unique` rule on the derived table counts
+  // committed recompute firings. Keyed on `updated firings` (which always
+  // changes) so the count is closed-form: one transition row per commit.
+  STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+      "chaos_audit", [](FunctionContext& ctx) -> Status {
+        const TempTable* rows = ctx.BoundTable("changed_rows");
+        if (rows == nullptr) {
+          return Status::Internal("chaos_audit: missing bound table");
+        }
+        return ctx.Exec(StrFormat(
+                            "update audit_total set n += %zu where k = 'all'",
+                            rows->size()))
+            .status();
+      }));
+
+  STRIP_RETURN_IF_ERROR(
+      db.Execute(StrFormat(R"(
+        create rule chaos_recompute on base when updated price
+        if select new.sym as sym from new bind as changed
+        then execute chaos_recompute unique on sym after %f seconds
+      )",
+                           o.recompute_delay_seconds))
+          .status());
+  STRIP_RETURN_IF_ERROR(
+      db.Execute(StrFormat(R"(
+        create rule chaos_audit on derived when updated firings
+        if select new.sym as sym from new bind as changed_rows
+        then execute chaos_audit unique after %f seconds
+      )",
+                           o.audit_delay_seconds))
+          .status());
+  return Status::OK();
+}
+
+}  // namespace
+
+ChaosReport RunChaos(const ChaosOptions& options) {
+  ChaosReport report;
+
+  Database::Options db_opts;
+  db_opts.mode = ExecutorMode::kSimulated;
+  db_opts.policy = options.policy;
+  // Virtual time advances by task cost; the injector pins every cost to a
+  // seed-derived value so the clock itself is deterministic.
+  db_opts.advance_clock_by_cost = true;
+  Database db(db_opts);
+
+  auto fail = [&](const Status& st, const char* where) {
+    if (report.failure.empty()) {
+      report.failure = StrFormat("[seed %llu, step %llu, %s] %s",
+                                 static_cast<unsigned long long>(options.seed),
+                                 static_cast<unsigned long long>(report.steps),
+                                 where, st.ToString().c_str());
+    }
+  };
+
+  Status setup = SetUpWorkload(db, options);
+  if (!setup.ok()) {
+    fail(setup, "setup");
+    return report;
+  }
+
+  // Faults start only after the workload is built: the schema and seed
+  // rows are the fixture, not the system under test.
+  FaultInjectorConfig fi_config = options.faults;
+  fi_config.seed = options.seed;
+  FaultInjector injector(fi_config);
+  db.locks().set_fault_injector(&injector);
+  SimulatedExecutor* sim = db.simulated();
+  sim->set_fault_injector(&injector);
+
+  sim->set_task_observer([&](const TaskControlBlock& t) {
+    ++report.tasks_run;
+    // Virtual-clock times and result codes only — no wall values — so two
+    // runs of one seed must produce byte-identical logs.
+    report.execute_order += StrFormat(
+        "task=%llu fn=%s rel=%lld start=%lld finish=%lld cost=%lld rc=%d\n",
+        static_cast<unsigned long long>(t.id()),
+        t.function_name.empty() ? "-" : t.function_name.c_str(),
+        static_cast<long long>(t.release_time),
+        static_cast<long long>(t.start_time),
+        static_cast<long long>(t.finish_time),
+        static_cast<long long>(t.cpu_micros), static_cast<int>(t.result.code()));
+    if (!t.result.ok()) {
+      fail(t.result, "task result");
+    }
+  });
+
+  std::vector<FeedEvent> events = MakeFeed(options);
+  report.feed_events = events.size();
+  uint64_t applied = 0;
+  for (const FeedEvent& e : events) {
+    TaskPtr task = db.NewTask();
+    task->release_time = e.at;
+    task->function_name = e.duplicate ? "feed-dup" : "feed";
+    FeedEvent ev = e;
+    Database* dbp = &db;
+    uint64_t* appliedp = &applied;
+    task->work = [dbp, ev, appliedp](TaskControlBlock&) {
+      return ApplyEvent(*dbp, ev, appliedp);
+    };
+    db.Submit(std::move(task));
+  }
+
+  InvariantChecker checker(&db, options.invariants);
+  while (sim->RunOneStep()) {
+    ++report.steps;
+    if (options.check_every_step) {
+      Status st = checker.CheckStep();
+      if (!st.ok()) {
+        fail(st, "step invariants");
+        break;
+      }
+    }
+  }
+  if (report.failure.empty()) {
+    // The quiescent validation runs real queries through the engine; it
+    // must observe the final state, not draw injected faults of its own.
+    db.locks().set_fault_injector(nullptr);
+    Status st = checker.CheckQuiescent(ShadowRecompute);
+    if (!st.ok()) fail(st, "quiescence");
+  }
+
+  report.applied_updates = applied;
+  report.rule_tasks_created = db.rules().stats().tasks_created;
+  report.firings_merged = db.rules().stats().firings_merged;
+  report.wait_die_aborts =
+      db.locks().stats().wait_die_aborts.load(std::memory_order_relaxed);
+  const FaultInjectionStats& fi = injector.stats();
+  report.injected.lock_aborts = fi.lock_aborts.load(std::memory_order_relaxed);
+  report.injected.stalls = fi.stalls.load(std::memory_order_relaxed);
+  report.injected.extra_delays =
+      fi.extra_delays.load(std::memory_order_relaxed);
+  report.injected.costs_assigned =
+      fi.costs_assigned.load(std::memory_order_relaxed);
+
+  // Detach hooks before the Database (and its executor) outlive them —
+  // they reference stack objects of this frame.
+  sim->set_task_observer(nullptr);
+  sim->set_fault_injector(nullptr);
+  db.locks().set_fault_injector(nullptr);
+
+  report.ok = report.failure.empty();
+  return report;
+}
+
+ShrinkResult ShrinkFailure(const ChaosOptions& failing, int max_runs) {
+  ShrinkResult res;
+  res.options = failing;
+  res.report = RunChaos(failing);
+  res.runs = 1;
+  if (res.report.ok) {
+    res.trail = "baseline run passed; nothing to shrink\n";
+    return res;
+  }
+
+  auto attempt = [&](const char* what, const ChaosOptions& trial) {
+    if (res.runs >= max_runs) return false;
+    ChaosReport r = RunChaos(trial);
+    ++res.runs;
+    if (!r.ok) {
+      res.options = trial;
+      res.report = std::move(r);
+      res.trail += StrFormat("%s: still fails — kept\n", what);
+      return true;
+    }
+    res.trail += StrFormat("%s: passes — reverted\n", what);
+    return false;
+  };
+
+  // Phase 1: halve the feed while the failure survives.
+  while (res.options.num_events > 1) {
+    ChaosOptions trial = res.options;
+    trial.num_events = std::max(1, trial.num_events / 2);
+    if (!attempt(StrFormat("events %d -> %d", res.options.num_events,
+                           trial.num_events)
+                     .c_str(),
+                 trial)) {
+      break;
+    }
+  }
+
+  // Phase 2: disable one fault / perturbation class at a time. Whatever
+  // survives is the minimal ingredient list for the failure.
+  struct Knob {
+    const char* name;
+    void (*zero)(ChaosOptions&);
+  };
+  const Knob knobs[] = {
+      {"no injected lock aborts",
+       [](ChaosOptions& o) { o.faults.lock_abort_rate = 0; }},
+      {"no worker stalls", [](ChaosOptions& o) { o.faults.stall_rate = 0; }},
+      {"no late promotions",
+       [](ChaosOptions& o) { o.faults.extra_delay_rate = 0; }},
+      {"no bursts", [](ChaosOptions& o) { o.burst_rate = 0; }},
+      {"no reorders", [](ChaosOptions& o) { o.reorder_rate = 0; }},
+      {"no duplicates", [](ChaosOptions& o) { o.duplicate_rate = 0; }},
+  };
+  for (const Knob& k : knobs) {
+    ChaosOptions trial = res.options;
+    k.zero(trial);
+    attempt(k.name, trial);
+  }
+  return res;
+}
+
+}  // namespace strip

@@ -1,0 +1,96 @@
+#ifndef STRIP_TESTING_CHAOS_H_
+#define STRIP_TESTING_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "strip/common/status.h"
+#include "strip/testing/fault_injector.h"
+#include "strip/testing/invariant_checker.h"
+#include "strip/txn/scheduler.h"
+
+namespace strip {
+
+/// One seeded chaos run (DESIGN.md §9): a self-contained rule workload on
+/// the virtual-clock simulated executor, driven one step at a time with
+/// the full invariant suite between steps and a shadow recompute at
+/// quiescence. Everything — the feed, its perturbations (bursts, reorders,
+/// duplicates), and every fault decision — derives from `seed`, so a
+/// failing seed replays exactly.
+struct ChaosOptions {
+  uint64_t seed = 1;
+
+  // --- workload shape ---------------------------------------------------
+  int num_syms = 6;           // distinct base-table symbols
+  int num_events = 120;       // price-update events in the feed
+  int mean_gap_micros = 4000; // mean virtual-time gap between events
+  double recompute_delay_seconds = 0.03;  // `unique on sym` rule window
+  double audit_delay_seconds = 0.08;      // coarse `unique` rule window
+  SchedulingPolicy policy = SchedulingPolicy::kFifo;
+
+  // --- feed perturbations (probabilities per event) ---------------------
+  double burst_rate = 0.15;      // collapse the gap to 0 (same-instant)
+  double reorder_rate = 0.10;    // swap with the previous event's slot
+  double duplicate_rate = 0.05;  // re-deliver the event a moment later
+
+  // --- fault injection --------------------------------------------------
+  /// `faults.seed` is overwritten with `seed` by RunChaos.
+  FaultInjectorConfig faults = [] {
+    FaultInjectorConfig c;
+    c.lock_abort_rate = 0.04;
+    c.stall_rate = 0.10;
+    c.extra_delay_rate = 0.10;
+    return c;
+  }();
+  InvariantOptions invariants;
+
+  /// Run the step-invariant suite after every executor step (the default;
+  /// the shrinker can turn it off to isolate a shadow-recompute failure).
+  bool check_every_step = true;
+};
+
+/// What a chaos run produced. `execute_order` is the deterministic
+/// schedule log — one line per finished task with virtual start/finish
+/// times and result codes, no wall-clock values — so two runs of the same
+/// seed must produce byte-identical logs.
+struct ChaosReport {
+  bool ok = false;
+  std::string failure;  // first invariant / workload error ("" when ok)
+  std::string execute_order;
+
+  uint64_t steps = 0;
+  uint64_t tasks_run = 0;
+  uint64_t feed_events = 0;       // update tasks submitted (incl. dups)
+  uint64_t applied_updates = 0;   // update txns that committed
+  uint64_t rule_tasks_created = 0;
+  uint64_t firings_merged = 0;
+  uint64_t wait_die_aborts = 0;   // injected + organic, from lock stats
+
+  struct InjectedCounts {
+    uint64_t lock_aborts = 0;
+    uint64_t stalls = 0;
+    uint64_t extra_delays = 0;
+    uint64_t costs_assigned = 0;
+  } injected;
+};
+
+/// Builds the workload, runs it to quiescence under the injector, and
+/// checks every invariant class. Never throws; failures land in
+/// `report.failure`.
+ChaosReport RunChaos(const ChaosOptions& options);
+
+/// Greedy seed shrinker: given options whose run fails, repeatedly tries
+/// smaller feeds and disabled fault classes, keeping each change only if
+/// the failure survives. Returns the minimal still-failing options plus
+/// the final report and a human-readable trail of what was tried.
+struct ShrinkResult {
+  ChaosOptions options;
+  ChaosReport report;
+  int runs = 0;       // total RunChaos invocations spent shrinking
+  std::string trail;  // one line per shrink attempt (kept / reverted)
+};
+ShrinkResult ShrinkFailure(const ChaosOptions& failing, int max_runs = 48);
+
+}  // namespace strip
+
+#endif  // STRIP_TESTING_CHAOS_H_

@@ -1,0 +1,72 @@
+#include "strip/testing/fault_injector.h"
+
+#include "strip/txn/lock_manager.h"  // Mix64
+
+namespace strip {
+
+namespace {
+
+// Distinct site tags keep the decision streams independent: the same task
+// id must not couple "does it stall" to "what does it cost".
+constexpr uint64_t kSiteLockAbort = 0x10c4ab047ull;
+constexpr uint64_t kSiteStall = 0x57a11ull;
+constexpr uint64_t kSiteDelay = 0xde1a9ull;
+constexpr uint64_t kSiteCost = 0xc057ull;
+
+}  // namespace
+
+double FaultInjector::UnitHash(uint64_t site, uint64_t a, uint64_t b) const {
+  uint64_t h = Mix64(config_.seed ^ Mix64(site ^ Mix64(a) ^ Mix64(b ^ site)));
+  // 53 mantissa bits -> [0, 1).
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+uint64_t FaultInjector::RangeHash(uint64_t site, uint64_t a,
+                                  uint64_t bound) const {
+  if (bound == 0) return 0;
+  uint64_t h = Mix64(config_.seed ^ Mix64(site ^ Mix64(a ^ 0x9e37ull)));
+  return h % bound;
+}
+
+bool FaultInjector::ShouldAbortLockAcquire(uint64_t txn_id,
+                                           uint64_t acquire_seq) {
+  if (config_.lock_abort_rate <= 0.0) return false;
+  if (UnitHash(kSiteLockAbort, txn_id, acquire_seq) >=
+      config_.lock_abort_rate) {
+    return false;
+  }
+  stats_.lock_aborts.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Timestamp FaultInjector::StallBeforeRun(uint64_t task_id) {
+  if (config_.stall_rate <= 0.0 || config_.max_stall_micros <= 0) return 0;
+  if (UnitHash(kSiteStall, task_id) >= config_.stall_rate) return 0;
+  stats_.stalls.fetch_add(1, std::memory_order_relaxed);
+  return 1 + static_cast<Timestamp>(RangeHash(
+                 kSiteStall, task_id,
+                 static_cast<uint64_t>(config_.max_stall_micros)));
+}
+
+Timestamp FaultInjector::ExtraReleaseDelay(uint64_t task_id) {
+  if (config_.extra_delay_rate <= 0.0 || config_.max_extra_delay_micros <= 0) {
+    return 0;
+  }
+  if (UnitHash(kSiteDelay, task_id) >= config_.extra_delay_rate) return 0;
+  stats_.extra_delays.fetch_add(1, std::memory_order_relaxed);
+  return 1 + static_cast<Timestamp>(RangeHash(
+                 kSiteDelay, task_id,
+                 static_cast<uint64_t>(config_.max_extra_delay_micros)));
+}
+
+Timestamp FaultInjector::AssignCost(uint64_t task_id) {
+  if (!config_.assign_fixed_costs || config_.max_task_cost_micros <= 0) {
+    return -1;
+  }
+  stats_.costs_assigned.fetch_add(1, std::memory_order_relaxed);
+  return 1 + static_cast<Timestamp>(RangeHash(
+                 kSiteCost, task_id,
+                 static_cast<uint64_t>(config_.max_task_cost_micros)));
+}
+
+}  // namespace strip

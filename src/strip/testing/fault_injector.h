@@ -1,0 +1,94 @@
+#ifndef STRIP_TESTING_FAULT_INJECTOR_H_
+#define STRIP_TESTING_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "strip/common/clock.h"
+
+namespace strip {
+
+/// Knobs for the deterministic chaos harness (DESIGN.md §9). All rates are
+/// probabilities in [0, 1]; every decision is a pure hash of (seed, site,
+/// ids), so two runs with the same seed make identical choices regardless
+/// of how many other decisions were interleaved — the property that makes
+/// failing schedules replayable and shrinkable.
+struct FaultInjectorConfig {
+  uint64_t seed = 1;
+
+  /// Forced wait-die deaths: probability that a lock Acquire is killed with
+  /// Status::Aborted before touching the lock table, exercising the
+  /// caller's restart path (release all shard locks, retry with the
+  /// original priority).
+  double lock_abort_rate = 0.0;
+
+  /// Executor worker stalls: probability that the (simulated) worker burns
+  /// virtual time before running a task, perturbing arrival order of
+  /// everything behind it.
+  double stall_rate = 0.0;
+  Timestamp max_stall_micros = 20'000;
+
+  /// Delayed timer promotions: probability that a delay-queue task is
+  /// released late, as if the timer fired behind schedule.
+  double extra_delay_rate = 0.0;
+  Timestamp max_extra_delay_micros = 100'000;
+
+  /// Deterministic task costs: when set, tasks submitted without a fixed
+  /// cost get one derived from the seed (replacing the measured wall-clock
+  /// cost, which would make virtual time nondeterministic).
+  bool assign_fixed_costs = true;
+  Timestamp max_task_cost_micros = 500;
+};
+
+/// Counters for what actually fired (reported by the chaos runner).
+struct FaultInjectionStats {
+  std::atomic<uint64_t> lock_aborts{0};
+  std::atomic<uint64_t> stalls{0};
+  std::atomic<uint64_t> extra_delays{0};
+  std::atomic<uint64_t> costs_assigned{0};
+};
+
+/// Seeded fault source consulted from hook points in the lock manager and
+/// the simulated executor. Thread-safe: decisions are stateless hashes and
+/// the stats are atomics, so the same injector can also be installed under
+/// the threaded executor (the ASan/TSan chaos CI job does).
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultInjectorConfig config) : config_(config) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultInjectorConfig& config() const { return config_; }
+  const FaultInjectionStats& stats() const { return stats_; }
+
+  /// Hook: LockManager::Acquire entry. True = kill this request with an
+  /// injected wait-die abort. Keyed by (txn id, acquire sequence within the
+  /// txn) so a restarted transaction — fresh id — redraws its fate.
+  bool ShouldAbortLockAcquire(uint64_t txn_id, uint64_t acquire_seq);
+
+  /// Hook: simulated executor, before running a task. Virtual micros the
+  /// worker stalls first (0 = no stall).
+  Timestamp StallBeforeRun(uint64_t task_id);
+
+  /// Hook: SimulatedExecutor::Submit for delayed tasks. Extra micros added
+  /// to the release time (0 = on-time promotion).
+  Timestamp ExtraReleaseDelay(uint64_t task_id);
+
+  /// Hook: SimulatedExecutor::Submit. Deterministic fixed cost for a task
+  /// that has none (-1 = leave the task's cost alone).
+  Timestamp AssignCost(uint64_t task_id);
+
+ private:
+  /// Uniform double in [0, 1) from a pure hash of (seed, site, a, b).
+  double UnitHash(uint64_t site, uint64_t a, uint64_t b = 0) const;
+  /// Uniform integer in [0, bound) from the same hash family.
+  uint64_t RangeHash(uint64_t site, uint64_t a, uint64_t bound) const;
+
+  const FaultInjectorConfig config_;
+  FaultInjectionStats stats_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_TESTING_FAULT_INJECTOR_H_

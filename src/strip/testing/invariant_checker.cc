@@ -1,0 +1,144 @@
+#include "strip/testing/invariant_checker.h"
+
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "strip/common/string_util.h"
+#include "strip/engine/database.h"
+#include "strip/storage/record.h"
+
+namespace strip {
+
+Status InvariantChecker::CheckStep() {
+  if (db_->simulated() == nullptr) {
+    return Status::FailedPrecondition(
+        "invariant checks run against the simulated executor only");
+  }
+  ++steps_checked_;
+  if (options_.check_lock_residue) {
+    STRIP_RETURN_IF_ERROR(CheckLockResidue());
+  }
+  if (options_.check_unique_directory) {
+    STRIP_RETURN_IF_ERROR(CheckUniqueDirectory());
+  }
+  if (options_.check_refcounts) {
+    STRIP_RETURN_IF_ERROR(CheckRefcounts());
+  }
+  return Status::OK();
+}
+
+Status InvariantChecker::CheckQuiescent(
+    const std::function<Status(Database&)>& shadow) {
+  SimulatedExecutor* sim = db_->simulated();
+  if (sim != nullptr && (sim->num_delayed() != 0 || sim->num_ready() != 0)) {
+    return Status::FailedPrecondition(StrFormat(
+        "CheckQuiescent with %zu delayed / %zu ready tasks still queued",
+        sim->num_delayed(), sim->num_ready()));
+  }
+  STRIP_RETURN_IF_ERROR(CheckStep());
+  if (shadow) {
+    STRIP_RETURN_IF_ERROR(shadow(*db_));
+  }
+  return Status::OK();
+}
+
+Status InvariantChecker::CheckLockResidue() {
+  // Between steps every transaction has committed or aborted; any state
+  // left in any shard is residue from a finished transaction.
+  size_t active = db_->NumActiveTxns();
+  if (active != 0) {
+    return Status::Internal(StrFormat(
+        "invariant b: %zu transaction(s) still active between steps",
+        active));
+  }
+  LockManager::Audit audit = db_->locks().AuditState();
+  if (audit.locked_keys != 0 || audit.holder_entries != 0 ||
+      audit.tracked_txns != 0 || audit.waiters != 0) {
+    return Status::Internal(StrFormat(
+        "invariant b: lock-table residue with no active txns: "
+        "%zu locked keys, %zu holder entries, %zu tracked txns, %zu waiters",
+        audit.locked_keys, audit.holder_entries, audit.tracked_txns,
+        audit.waiters));
+  }
+  return Status::OK();
+}
+
+Status InvariantChecker::CheckUniqueDirectory() {
+  // Queued (delayed or ready) task ids, and the subset that is un-started
+  // unique work — which must agree exactly with the directory.
+  std::unordered_set<uint64_t> queued_ids;
+  std::unordered_set<uint64_t> queued_unique_ids;
+  db_->simulated()->ForEachQueuedTask([&](const TaskPtr& t) {
+    queued_ids.insert(t->id());
+    if (t->is_unique && !t->started) queued_unique_ids.insert(t->id());
+  });
+
+  auto directory = db_->rules().unique_manager().SnapshotQueued();
+  std::unordered_set<uint64_t> directory_ids;
+  for (const auto& [function, task] : directory) {
+    if (task->started) {
+      return Status::Internal(StrFormat(
+          "invariant c: directory entry for '%s' (task %llu) has already "
+          "started — OnTaskStart failed to unhook it",
+          function.c_str(), static_cast<unsigned long long>(task->id())));
+    }
+    if (queued_ids.count(task->id()) == 0) {
+      return Status::Internal(StrFormat(
+          "invariant c: directory entry for '%s' (task %llu) is in no "
+          "executor queue — merges into it would be lost",
+          function.c_str(), static_cast<unsigned long long>(task->id())));
+    }
+    directory_ids.insert(task->id());
+  }
+  for (uint64_t id : queued_unique_ids) {
+    if (directory_ids.count(id) == 0) {
+      return Status::Internal(StrFormat(
+          "invariant c: queued un-started unique task %llu has no "
+          "directory entry — later firings would duplicate its work",
+          static_cast<unsigned long long>(id)));
+    }
+  }
+  return Status::OK();
+}
+
+Status InvariantChecker::CheckRefcounts() {
+  // Enumerate every pin the system should be holding: the live record of
+  // each table row, plus each bound-table tuple slot of each queued task.
+  // (Between steps there are no active transactions, so txn logs hold
+  // nothing, and no statement is mid-execution.) One sample RecordRef per
+  // record lets us read use_count; the sample itself accounts for +1.
+  struct Pins {
+    RecordRef sample;
+    long expected = 0;
+  };
+  std::unordered_map<const Record*, Pins> pins;
+  auto add = [&](const RecordRef& r) {
+    Pins& p = pins[r.get()];
+    if (p.sample == nullptr) p.sample = r;
+    ++p.expected;
+  };
+
+  for (const std::string& name : db_->catalog().ListTables()) {
+    Table* table = db_->catalog().FindTable(name);
+    if (table != nullptr) table->ForEachRecord(add);
+  }
+  db_->simulated()->ForEachQueuedTask([&](const TaskPtr& t) {
+    t->bound_tables.ForEachPinnedRecord(add);
+  });
+
+  for (const auto& [rec, p] : pins) {
+    long actual = static_cast<long>(p.sample.use_count()) - 1;  // our sample
+    if (actual != p.expected) {
+      return Status::Internal(StrFormat(
+          "invariant a: record %p has use_count %ld but the audit found "
+          "%ld pin(s) — %s",
+          static_cast<const void*>(rec), actual, p.expected,
+          actual > p.expected ? "refcount leak (an unpin was lost)"
+                              : "double release (freed while referenced)"));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace strip

@@ -1,0 +1,66 @@
+#ifndef STRIP_TESTING_INVARIANT_CHECKER_H_
+#define STRIP_TESTING_INVARIANT_CHECKER_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "strip/common/status.h"
+
+namespace strip {
+
+class Database;
+
+/// Which invariant classes CheckStep validates (all on by default; the
+/// seed shrinker disables classes to isolate a failure).
+struct InvariantOptions {
+  bool check_refcounts = true;        // (a) record pins vs. use_count
+  bool check_lock_residue = true;     // (b) no locks held by finished txns
+  bool check_unique_directory = true; // (c) directory vs. delay-queue
+};
+
+/// Validates global consistency of a simulated-mode Database between
+/// executor steps — the moments when no task is mid-flight and no
+/// transaction is active, so every pin, lock, and directory entry has a
+/// fully-determined owner:
+///
+///  (a) Record refcounts: every live record version's use_count equals the
+///      pins the audit can enumerate (its table row, plus one per bound-
+///      table tuple slot of every queued task). A mismatch is a leak
+///      (pinned forever) or a double-release (freed while referenced).
+///  (b) Lock-table residue: with no active transactions, every lock shard
+///      must be empty — keys, holder entries, held-lists, waiters.
+///  (c) Unique-manager directory: every directory entry is an un-started
+///      task still sitting in an executor queue, and every queued
+///      un-started unique task is reachable from the directory (§6.3's
+///      hash table and the delay queue agree).
+///
+/// Invariant (d) — derived-table consistency against a shadow brute-force
+/// recompute — needs workload knowledge, so CheckQuiescent takes it as a
+/// callback (the chaos workload and the PTA harness each supply theirs).
+class InvariantChecker {
+ public:
+  InvariantChecker(Database* db, InvariantOptions options)
+      : db_(db), options_(options) {}
+
+  /// All enabled step invariants; call between simulated steps only.
+  Status CheckStep();
+
+  /// CheckStep plus the workload's shadow recompute (invariant d); call at
+  /// quiescence (both executor queues empty).
+  Status CheckQuiescent(const std::function<Status(Database&)>& shadow);
+
+  uint64_t steps_checked() const { return steps_checked_; }
+
+ private:
+  Status CheckRefcounts();
+  Status CheckLockResidue();
+  Status CheckUniqueDirectory();
+
+  Database* db_;
+  InvariantOptions options_;
+  uint64_t steps_checked_ = 0;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_TESTING_INVARIANT_CHECKER_H_

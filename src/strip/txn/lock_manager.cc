@@ -4,6 +4,7 @@
 
 #include "strip/common/clock.h"
 #include "strip/common/string_util.h"
+#include "strip/testing/fault_injector.h"
 #include "strip/txn/transaction.h"
 
 namespace strip {
@@ -21,6 +22,16 @@ bool LockManager::Compatible(const LockState& ls, const Transaction* txn,
 
 Status LockManager::Acquire(Transaction* txn, const LockKey& key,
                             LockMode mode) {
+  // Chaos hook: an injected wait-die death, before any lock-table state is
+  // touched — the victim txn holds exactly what it held, and the caller's
+  // abort path must release it all (the residue invariant checks that).
+  if (injector_ != nullptr &&
+      injector_->ShouldAbortLockAcquire(txn->id(), txn->NextAcquireSeq())) {
+    stats_.wait_die_aborts.fetch_add(1, std::memory_order_relaxed);
+    return Status::Aborted(StrFormat(
+        "wait-die (injected): txn %llu dies acquiring a lock",
+        static_cast<unsigned long long>(txn->id())));
+  }
   const size_t shard_index = ShardOf(key);
   Shard& shard = shards_[shard_index];
   std::unique_lock<std::mutex> lk(shard.mu);
@@ -140,6 +151,20 @@ size_t LockManager::NumLockedKeys() const {
     }
   }
   return n;
+}
+
+LockManager::Audit LockManager::AuditState() const {
+  Audit a;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard.mu);
+    for (const auto& [key, ls] : shard.locks) {
+      if (!ls.holders.empty()) ++a.locked_keys;
+      a.holder_entries += ls.holders.size();
+      a.waiters += static_cast<size_t>(ls.waiters);
+    }
+    a.tracked_txns += shard.held.size();
+  }
+  return a;
 }
 
 size_t LockManager::NumHeld(const Transaction* txn) const {

@@ -13,6 +13,7 @@
 
 namespace strip {
 
+class FaultInjector;
 class Table;
 class Transaction;
 
@@ -105,6 +106,23 @@ class LockManager {
   /// Number of locks held by `txn`.
   size_t NumHeld(const Transaction* txn) const;
 
+  /// Full-table audit for the invariant checker: at any point where no
+  /// transaction is active, every field must be zero — any residue means a
+  /// completed transaction leaked lock state.
+  struct Audit {
+    size_t locked_keys = 0;     // keys with >= 1 holder
+    size_t holder_entries = 0;  // total (txn, key) holder pairs
+    size_t tracked_txns = 0;    // txns present in any shard's held map
+    size_t waiters = 0;         // requests blocked on a condvar
+  };
+  Audit AuditState() const;
+
+  /// Installs a chaos fault injector (testing/): Acquire consults it and
+  /// may die with an injected wait-die abort before touching the lock
+  /// table. Pass nullptr to remove. Not synchronized — install before
+  /// concurrent use, exactly like Executor::set_obs.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
   const LockManagerStats& stats() const { return stats_; }
 
  private:
@@ -131,6 +149,7 @@ class LockManager {
 
   std::array<Shard, kNumShards> shards_;
   LockManagerStats stats_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace strip

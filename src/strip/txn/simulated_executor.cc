@@ -4,6 +4,7 @@
 
 #include "strip/obs/metrics.h"
 #include "strip/obs/trace_ring.h"
+#include "strip/testing/fault_injector.h"
 
 namespace strip {
 
@@ -42,6 +43,17 @@ void SimulatedExecutor::Submit(TaskPtr task) {
     obs_.trace->Record(TraceEventKind::kSubmit, task->id(), clock_.Now(),
                        task->function_name.c_str());
   }
+  if (injector_ != nullptr) {
+    // Deterministic cost: measured wall-nanos would make virtual time (and
+    // so the whole schedule) nondeterministic under a chaos seed.
+    if (task->fixed_cost_micros < 0) {
+      task->fixed_cost_micros = injector_->AssignCost(task->id());
+    }
+    // Late timer promotion: the task is released behind schedule.
+    if (task->release_time > clock_.Now()) {
+      task->release_time += injector_->ExtraReleaseDelay(task->id());
+    }
+  }
   if (task->release_time > clock_.Now()) {
     if (obs_.trace != nullptr) {
       obs_.trace->Record(TraceEventKind::kDelayed, task->id(),
@@ -56,33 +68,49 @@ void SimulatedExecutor::Submit(TaskPtr task) {
   }
 }
 
+bool SimulatedExecutor::StepOnce() {
+  // Release everything due at the current virtual time.
+  for (TaskPtr& t : delay_.PopReleased(clock_.Now())) {
+    if (obs_.trace != nullptr) {
+      obs_.trace->Record(TraceEventKind::kReady, t->id(), clock_.Now());
+    }
+    ready_.Push(std::move(t));
+  }
+  if (ready_.empty()) return false;
+  TaskPtr task = ready_.Pop();
+  if (!task->TryStart()) return true;  // defensive: already ran
+  if (injector_ != nullptr) {
+    // Worker stall: burn virtual time before the task body, shifting the
+    // start (and everything scheduled behind it) later.
+    clock_.Advance(injector_->StallBeforeRun(task->id()));
+  }
+  Timestamp cost = ExecuteTaskBody(*task, clock_.Now(), stats_, obs_);
+  if (advance_clock_by_cost_) clock_.Advance(cost);
+  task->finish_time = clock_.Now();
+  if (obs_.trace != nullptr) {
+    obs_.trace->Record(TraceEventKind::kFinish, task->id(), clock_.Now(),
+                       task->function_name.c_str());
+  }
+  if (observer_) observer_(*task);
+  return true;
+}
+
 void SimulatedExecutor::Drain(Timestamp horizon) {
   for (;;) {
-    // Release everything due at the current virtual time.
-    for (TaskPtr& t : delay_.PopReleased(clock_.Now())) {
-      if (obs_.trace != nullptr) {
-        obs_.trace->Record(TraceEventKind::kReady, t->id(), clock_.Now());
-      }
-      ready_.Push(std::move(t));
-    }
-    if (!ready_.empty()) {
-      TaskPtr task = ready_.Pop();
-      if (!task->TryStart()) continue;  // defensive: already ran
-      Timestamp cost = ExecuteTaskBody(*task, clock_.Now(), stats_, obs_);
-      if (advance_clock_by_cost_) clock_.Advance(cost);
-      task->finish_time = clock_.Now();
-      if (obs_.trace != nullptr) {
-        obs_.trace->Record(TraceEventKind::kFinish, task->id(), clock_.Now(),
-                           task->function_name.c_str());
-      }
-      if (observer_) observer_(*task);
-      continue;
-    }
+    if (StepOnce()) continue;
     // Idle: jump to the next release if it is within the horizon.
     Timestamp next = delay_.NextRelease();
     if (next == kNoDeadline || next > horizon) return;
     clock_.AdvanceTo(next);
   }
+}
+
+bool SimulatedExecutor::RunOneStep() {
+  if (StepOnce()) return true;
+  Timestamp next = delay_.NextRelease();
+  if (next == kNoDeadline) return false;
+  clock_.AdvanceTo(next);
+  return StepOnce();
 }
 
 void SimulatedExecutor::RunUntil(Timestamp t) {

@@ -1,11 +1,15 @@
 #ifndef STRIP_TXN_SIMULATED_EXECUTOR_H_
 #define STRIP_TXN_SIMULATED_EXECUTOR_H_
 
+#include <functional>
+
 #include "strip/common/clock.h"
 #include "strip/txn/executor.h"
 #include "strip/txn/task_queues.h"
 
 namespace strip {
+
+class FaultInjector;
 
 /// Discrete-event, single-server executor on a virtual clock.
 ///
@@ -39,6 +43,26 @@ class SimulatedExecutor final : public Executor {
   /// are honored by advancing the clock).
   void RunUntilQuiescent();
 
+  /// Runs exactly one task (advancing the clock to its release first if
+  /// the ready queue was empty); returns false — running nothing — once
+  /// both queues are empty. The chaos harness drives the executor with
+  /// this so it can run the invariant checker between steps, when no task
+  /// is mid-flight.
+  bool RunOneStep();
+
+  /// Installs a chaos fault injector (testing/): Submit may assign
+  /// deterministic task costs and late timer promotions, and each step may
+  /// stall in virtual time before running its task. Install before the
+  /// first Submit; pass nullptr to remove.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+
+  /// Visits every queued (delayed or ready, not started) task — audit API
+  /// for the chaos invariant checker. Call only between steps.
+  void ForEachQueuedTask(const std::function<void(const TaskPtr&)>& fn) const {
+    delay_.ForEach(fn);
+    ready_.ForEach(fn);
+  }
+
   size_t num_delayed() const { return delay_.size(); }
   size_t num_ready() const { return ready_.size(); }
 
@@ -47,12 +71,17 @@ class SimulatedExecutor final : public Executor {
   /// at a virtual time <= `horizon`.
   void Drain(Timestamp horizon);
 
+  /// Moves due delayed tasks to the ready queue, then runs the best ready
+  /// task if there is one. Shared step body of Drain and RunOneStep.
+  bool StepOnce();
+
   VirtualClock clock_;
   DelayQueue delay_;
   ReadyQueue ready_;
   bool advance_clock_by_cost_;
   ExecutorStats stats_;
   TaskObserver observer_;
+  FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace strip

@@ -4,19 +4,39 @@
 
 namespace strip {
 
-void DelayQueue::Push(TaskPtr task) { heap_.push(std::move(task)); }
+namespace {
+
+struct ReleaseLater {
+  bool operator()(const TaskPtr& a, const TaskPtr& b) const {
+    // std::push_heap keeps the *largest* element first, so invert.
+    return a->release_time > b->release_time;
+  }
+};
+
+}  // namespace
+
+void DelayQueue::Push(TaskPtr task) {
+  heap_.push_back(std::move(task));
+  std::push_heap(heap_.begin(), heap_.end(), ReleaseLater{});
+}
 
 Timestamp DelayQueue::NextRelease() const {
-  return heap_.empty() ? kNoDeadline : heap_.top()->release_time;
+  return heap_.empty() ? kNoDeadline : heap_.front()->release_time;
 }
 
 std::vector<TaskPtr> DelayQueue::PopReleased(Timestamp now) {
   std::vector<TaskPtr> out;
-  while (!heap_.empty() && heap_.top()->release_time <= now) {
-    out.push_back(heap_.top());
-    heap_.pop();
+  while (!heap_.empty() && heap_.front()->release_time <= now) {
+    std::pop_heap(heap_.begin(), heap_.end(), ReleaseLater{});
+    out.push_back(std::move(heap_.back()));
+    heap_.pop_back();
   }
   return out;
+}
+
+void DelayQueue::ForEach(
+    const std::function<void(const TaskPtr&)>& fn) const {
+  for (const TaskPtr& t : heap_) fn(t);
 }
 
 namespace {
@@ -54,6 +74,11 @@ size_t ReadyQueue::PopBatch(size_t max, std::vector<TaskPtr>& out) {
     ++taken;
   }
   return taken;
+}
+
+void ReadyQueue::ForEach(
+    const std::function<void(const TaskPtr&)>& fn) const {
+  for (const Entry& e : entries_) fn(e.task);
 }
 
 }  // namespace strip

@@ -2,7 +2,7 @@
 #define STRIP_TXN_TASK_QUEUES_H_
 
 #include <cstdint>
-#include <queue>
+#include <functional>
 #include <vector>
 
 #include "strip/common/clock.h"
@@ -14,6 +14,11 @@ namespace strip {
 /// Holds tasks whose release time is in the future (§6.2 Figure 15); tasks
 /// created by rules with `after` delays sit here until released. Not
 /// internally synchronized — the owning executor serializes access.
+///
+/// Kept as an explicit binary heap (std::push_heap / pop_heap over a
+/// vector) rather than std::priority_queue so the invariant checker can
+/// walk the queued tasks in place (ForEach) — priority_queue hides its
+/// container.
 class DelayQueue {
  public:
   void Push(TaskPtr task);
@@ -25,16 +30,16 @@ class DelayQueue {
   /// order.
   std::vector<TaskPtr> PopReleased(Timestamp now);
 
+  /// Visits every queued task in unspecified (heap) order — audit API for
+  /// the chaos invariant checker.
+  void ForEach(const std::function<void(const TaskPtr&)>& fn) const;
+
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }
 
  private:
-  struct Later {
-    bool operator()(const TaskPtr& a, const TaskPtr& b) const {
-      return a->release_time > b->release_time;
-    }
-  };
-  std::priority_queue<TaskPtr, std::vector<TaskPtr>, Later> heap_;
+  // Kept as a min-heap on release_time via std::*_heap.
+  std::vector<TaskPtr> heap_;
 };
 
 /// Tasks eligible to run now, ordered by the scheduling policy. Not
@@ -54,6 +59,10 @@ class ReadyQueue {
   /// returns how many were taken. Lets threaded workers amortize one
   /// queue-lock acquisition over a whole dequeue batch.
   size_t PopBatch(size_t max, std::vector<TaskPtr>& out);
+
+  /// Visits every queued task in unspecified (heap) order — audit API for
+  /// the chaos invariant checker.
+  void ForEach(const std::function<void(const TaskPtr&)>& fn) const;
 
   bool empty() const { return entries_.empty(); }
   size_t size() const { return entries_.size(); }

@@ -75,6 +75,12 @@ class Transaction {
   }
   void ClearLockShards() { lock_shard_mask_ = 0; }
 
+  /// Ordinal of the next lock Acquire this transaction issues. The chaos
+  /// fault injector keys injected wait-die deaths on (txn id, this), so a
+  /// transaction's fate at each acquire point is a pure function of the
+  /// seed. Same threading contract as the shard mask above.
+  uint64_t NextAcquireSeq() { return next_acquire_seq_++; }
+
  private:
   uint64_t id_;
   uint64_t priority_;
@@ -83,6 +89,7 @@ class Transaction {
   Timestamp commit_time_ = 0;
   Timestamp arrival_time_ = -1;  // -1: defaults to start_time_
   uint32_t lock_shard_mask_ = 0;
+  uint64_t next_acquire_seq_ = 0;
   TxnLog log_;
 };
 

@@ -1,0 +1,269 @@
+// Deterministic chaos harness tests (DESIGN.md §9): seed replay produces
+// byte-identical schedules, all four invariant classes run and actually
+// detect planted corruption, the shrinker minimizes a failing seed, and
+// the paper's PTA workload stays consistent under injected faults.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "strip/engine/database.h"
+#include "strip/market/app_functions.h"
+#include "strip/market/pta_runner.h"
+#include "strip/storage/table.h"
+#include "strip/testing/chaos.h"
+#include "strip/testing/fault_injector.h"
+#include "strip/testing/invariant_checker.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+// --- FaultInjector ---------------------------------------------------------
+
+TEST(FaultInjectorTest, DecisionsArePureFunctionsOfTheSeed) {
+  FaultInjectorConfig cfg;
+  cfg.seed = 7;
+  cfg.lock_abort_rate = 0.3;
+  cfg.stall_rate = 0.3;
+  cfg.extra_delay_rate = 0.3;
+  FaultInjector a(cfg);
+  FaultInjector b(cfg);
+  // Same (seed, site, ids) -> same decision, regardless of call order:
+  // b draws the sites backwards and must still agree with a.
+  std::vector<bool> aborts;
+  std::vector<Timestamp> stalls, delays, costs;
+  for (uint64_t id = 1; id <= 64; ++id) {
+    aborts.push_back(a.ShouldAbortLockAcquire(id, id % 5));
+    stalls.push_back(a.StallBeforeRun(id));
+    delays.push_back(a.ExtraReleaseDelay(id));
+    costs.push_back(a.AssignCost(id));
+  }
+  for (uint64_t id = 64; id >= 1; --id) {
+    EXPECT_EQ(b.AssignCost(id), costs[id - 1]);
+    EXPECT_EQ(b.ExtraReleaseDelay(id), delays[id - 1]);
+    EXPECT_EQ(b.StallBeforeRun(id), stalls[id - 1]);
+    EXPECT_EQ(b.ShouldAbortLockAcquire(id, id % 5), aborts[id - 1]);
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDisagreeAndZeroRatesAreSilent) {
+  FaultInjectorConfig cfg;
+  cfg.seed = 7;
+  cfg.lock_abort_rate = 0.5;
+  FaultInjectorConfig other = cfg;
+  other.seed = 8;
+  FaultInjector a(cfg), b(other);
+  int disagreements = 0;
+  for (uint64_t id = 1; id <= 256; ++id) {
+    if (a.ShouldAbortLockAcquire(id, 0) != b.ShouldAbortLockAcquire(id, 0)) {
+      ++disagreements;
+    }
+  }
+  EXPECT_GT(disagreements, 0);
+
+  FaultInjectorConfig quiet;  // all rates zero
+  quiet.seed = 7;
+  quiet.assign_fixed_costs = false;
+  FaultInjector q(quiet);
+  for (uint64_t id = 1; id <= 64; ++id) {
+    EXPECT_FALSE(q.ShouldAbortLockAcquire(id, 0));
+    EXPECT_EQ(q.StallBeforeRun(id), 0);
+    EXPECT_EQ(q.ExtraReleaseDelay(id), 0);
+    EXPECT_EQ(q.AssignCost(id), -1);
+  }
+  EXPECT_EQ(q.stats().lock_aborts.load(), 0u);
+}
+
+// --- Seed replay determinism ----------------------------------------------
+
+// The three checked-in tier-1 seeds: each runs the full workload with all
+// invariant classes on, twice, and the executions must match byte for
+// byte. Chosen arbitrarily and then frozen; if one ever fails, that seed
+// IS the reproducer — do not change it, fix the bug.
+constexpr uint64_t kCannedSeeds[] = {101, 20260806, 0xdeadbeef};
+
+TEST(ChaosTest, CannedSeedsReplayByteIdentical) {
+  for (uint64_t seed : kCannedSeeds) {
+    ChaosOptions o;
+    o.seed = seed;
+    ChaosReport first = RunChaos(o);
+    ChaosReport second = RunChaos(o);
+    EXPECT_TRUE(first.ok) << first.failure;
+    EXPECT_TRUE(second.ok) << second.failure;
+    EXPECT_GT(first.steps, 0u);
+    EXPECT_FALSE(first.execute_order.empty());
+    // Byte-identical schedule: same tasks, same virtual times, same
+    // results, same order.
+    EXPECT_EQ(first.execute_order, second.execute_order)
+        << "seed " << seed << " diverged between two runs";
+    EXPECT_EQ(first.steps, second.steps);
+    EXPECT_EQ(first.applied_updates, second.applied_updates);
+    EXPECT_EQ(first.injected.lock_aborts, second.injected.lock_aborts);
+    EXPECT_EQ(first.injected.stalls, second.injected.stalls);
+    EXPECT_EQ(first.injected.extra_delays, second.injected.extra_delays);
+  }
+}
+
+TEST(ChaosTest, FaultsAndPerturbationsActuallyFire) {
+  // A run whose knobs are all on must actually exercise them — otherwise
+  // the harness is vacuously green.
+  ChaosOptions o;
+  o.seed = kCannedSeeds[0];
+  ChaosReport r = RunChaos(o);
+  ASSERT_TRUE(r.ok) << r.failure;
+  EXPECT_EQ(r.applied_updates, r.feed_events);  // every update retried home
+  EXPECT_GT(r.feed_events, static_cast<uint64_t>(o.num_events));  // dups
+  EXPECT_GT(r.injected.lock_aborts, 0u);
+  EXPECT_GT(r.injected.stalls, 0u);
+  EXPECT_GT(r.injected.extra_delays, 0u);
+  EXPECT_GT(r.injected.costs_assigned, 0u);
+  EXPECT_GT(r.wait_die_aborts, 0u);         // the injected deaths surfaced
+  EXPECT_GT(r.rule_tasks_created, 0u);
+  EXPECT_GT(r.firings_merged, 0u);          // unique batching happened
+}
+
+TEST(ChaosTest, DifferentSeedsProduceDifferentSchedules) {
+  ChaosOptions a, b;
+  a.seed = kCannedSeeds[0];
+  b.seed = kCannedSeeds[1];
+  ChaosReport ra = RunChaos(a);
+  ChaosReport rb = RunChaos(b);
+  ASSERT_TRUE(ra.ok) << ra.failure;
+  ASSERT_TRUE(rb.ok) << rb.failure;
+  EXPECT_NE(ra.execute_order, rb.execute_order);
+}
+
+// --- The invariant checker detects planted corruption ----------------------
+
+TEST(InvariantCheckerTest, CleanQuiescentDatabasePasses) {
+  Database db;
+  ASSERT_OK(db.ExecuteScript(R"(
+    create table t (k string, v int);
+    insert into t values ('a', 1), ('b', 2);
+  )"));
+  db.simulated()->RunUntilQuiescent();
+  InvariantChecker checker(&db, InvariantOptions{});
+  ASSERT_OK(checker.CheckStep());
+  ASSERT_OK(checker.CheckQuiescent(nullptr));
+  EXPECT_EQ(checker.steps_checked(), 2u);
+}
+
+TEST(InvariantCheckerTest, DetectsARecordRefcountLeak) {
+  Database db;
+  ASSERT_OK(db.ExecuteScript(R"(
+    create table t (k string, v int);
+    insert into t values ('a', 1);
+  )"));
+  db.simulated()->RunUntilQuiescent();
+  InvariantChecker checker(&db, InvariantOptions{});
+  ASSERT_OK(checker.CheckStep());
+  // Plant a leak: an extra pin the audit cannot account for.
+  RecordRef leaked;
+  db.catalog().FindTable("t")->ForEachRecord([&](const RecordRef& r) {
+    if (leaked == nullptr) leaked = r;
+  });
+  ASSERT_NE(leaked, nullptr);
+  Status st = checker.CheckStep();
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.ToString().find("invariant a"), std::string::npos)
+      << st.ToString();
+  leaked.reset();
+  ASSERT_OK(checker.CheckStep());
+}
+
+TEST(InvariantCheckerTest, DetectsLockTableResidue) {
+  Database db;
+  ASSERT_OK(db.ExecuteScript(R"(
+    create table t (k string, v int);
+    insert into t values ('a', 1);
+  )"));
+  db.simulated()->RunUntilQuiescent();
+  // An in-flight transaction holding a lock is exactly what CheckStep
+  // must reject: between steps nothing may be active.
+  ASSERT_OK_AND_ASSIGN(Transaction * txn, db.Begin());
+  ASSERT_OK(db.ExecuteInTxn(txn, "update t set v = 2 where k = 'a'")
+                .status());
+  InvariantChecker checker(&db, InvariantOptions{});
+  Status st = checker.CheckStep();
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_NE(st.ToString().find("invariant b"), std::string::npos)
+      << st.ToString();
+  ASSERT_OK(db.Commit(txn));
+  ASSERT_OK(checker.CheckStep());
+}
+
+// --- Shrinking -------------------------------------------------------------
+
+TEST(ChaosTest, ShrinkerMinimizesAFailingSeed) {
+  // lock_abort_rate = 1.0 kills every acquire, so every feed update
+  // exhausts its retries: a guaranteed failure whose minimal form is a
+  // single event with the other fault classes stripped.
+  ChaosOptions o;
+  o.seed = 5;
+  o.num_events = 64;
+  o.faults.lock_abort_rate = 1.0;
+  ShrinkResult res = ShrinkFailure(o);
+  EXPECT_FALSE(res.report.ok);
+  EXPECT_EQ(res.options.num_events, 1);
+  // The essential ingredient survives; incidental classes are stripped.
+  EXPECT_EQ(res.options.faults.lock_abort_rate, 1.0);
+  EXPECT_EQ(res.options.faults.stall_rate, 0.0);
+  EXPECT_EQ(res.options.faults.extra_delay_rate, 0.0);
+  EXPECT_GT(res.runs, 1);
+  EXPECT_NE(res.trail.find("kept"), std::string::npos);
+  // The minimized options still reproduce deterministically.
+  ChaosReport replay = RunChaos(res.options);
+  EXPECT_FALSE(replay.ok);
+  EXPECT_EQ(replay.failure, res.report.failure);
+}
+
+// --- PTA workload under chaos ----------------------------------------------
+
+TEST(ChaosTest, PtaWorkloadSurvivesInjectedFaults) {
+  // The paper's program-trading workload, with injected worker stalls,
+  // late timer promotions, and seed-derived task costs. Derived data must
+  // still equal a from-scratch recompute at quiescence, and the step
+  // invariants must hold.
+  TraceOptions to;
+  to.num_stocks = 60;
+  to.duration_seconds = 10;
+  to.target_updates = 300;
+  to.seed = 11;
+  MarketTrace trace = MarketTrace::Generate(to);
+  PtaConfig cfg;
+  cfg.num_composites = 6;
+  cfg.stocks_per_composite = 10;
+  cfg.num_options = 80;
+  cfg.seed = 12;
+
+  PtaExperiment exp(trace, cfg);
+  ASSERT_OK(exp.Setup(CompRuleSql(CompRuleVariant::kUniqueOnComp, 0.5)));
+
+  FaultInjectorConfig fi;
+  fi.seed = 99;
+  fi.stall_rate = 0.15;
+  fi.extra_delay_rate = 0.15;
+  FaultInjector injector(fi);
+  exp.db().locks().set_fault_injector(&injector);
+  exp.db().simulated()->set_fault_injector(&injector);
+
+  ASSERT_OK_AND_ASSIGN(PtaRunResult result, exp.Run());
+  EXPECT_EQ(result.failed_tasks, 0u);
+  EXPECT_GT(result.num_recomputes, 0u);
+  EXPECT_GT(injector.stats().stalls.load(), 0u);
+
+  InvariantChecker checker(&exp.db(), InvariantOptions{});
+  ASSERT_OK(checker.CheckQuiescent([](Database& db) {
+    return CheckDerivedDataConsistency(db, 0.05, 1e-6,
+                                       /*check_comps=*/true,
+                                       /*check_options=*/false);
+  }));
+
+  exp.db().simulated()->set_fault_injector(nullptr);
+  exp.db().locks().set_fault_injector(nullptr);
+}
+
+}  // namespace
+}  // namespace strip

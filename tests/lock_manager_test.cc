@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "strip/storage/table.h"
+#include "strip/testing/fault_injector.h"
 #include "strip/txn/lock_manager.h"
 #include "strip/txn/transaction.h"
 #include "tests/test_util.h"
@@ -250,6 +251,120 @@ TEST_F(LockManagerTest, ConcurrentDisjointRowsDontInterfere) {
   EXPECT_EQ(lm_.NumLockedKeys(), 0u);
   EXPECT_EQ(lm_.stats().acquires.load(),
             static_cast<uint64_t>(kThreads * kIters * 2));
+}
+
+// ---------------------------------------------------------------------------
+// Wait-die restart path (chaos satellite): a death must leave zero residue
+// in every shard, and a restarted transaction keeps its ORIGINAL age.
+// ---------------------------------------------------------------------------
+
+TEST_F(LockManagerTest, DeathReleasesEverythingAcrossShards) {
+  // The victim holds row locks spread across many shards when it dies on
+  // a contested key; ReleaseAll must scrub every shard, not just the one
+  // it died in. Rows start at 1: WholeTable(t) aliases ForRow(t, 0), and
+  // holding row 0 here would make the older transaction below wait on the
+  // younger one forever (single-threaded wait-die deadlock).
+  for (uint64_t row = 1; row <= 64; ++row) {
+    ASSERT_OK(lm_.Acquire(&younger_, LockKey::ForRow(&table_, row),
+                          LockMode::kExclusive));
+  }
+  LockKey contested = LockKey::WholeTable(&table_);
+  ASSERT_OK(lm_.Acquire(&older_, contested, LockMode::kExclusive));
+  EXPECT_EQ(lm_.Acquire(&younger_, contested, LockMode::kShared).code(),
+            StatusCode::kAborted);
+  lm_.ReleaseAll(&younger_);
+
+  LockManager::Audit audit = lm_.AuditState();
+  EXPECT_EQ(audit.locked_keys, 1u);     // only the older holder's key
+  EXPECT_EQ(audit.holder_entries, 1u);
+  EXPECT_EQ(audit.tracked_txns, 1u);
+  EXPECT_EQ(audit.waiters, 0u);
+
+  lm_.ReleaseAll(&older_);
+  audit = lm_.AuditState();
+  EXPECT_EQ(audit.locked_keys, 0u);
+  EXPECT_EQ(audit.holder_entries, 0u);
+  EXPECT_EQ(audit.tracked_txns, 0u);
+  EXPECT_EQ(audit.waiters, 0u);
+}
+
+TEST_F(LockManagerTest, InjectedDeathThenRestartKeepsOriginalPriority) {
+  FaultInjectorConfig cfg;
+  cfg.seed = 3;
+  cfg.lock_abort_rate = 1.0;  // every acquire dies
+  FaultInjector injector(cfg);
+  lm_.set_fault_injector(&injector);
+
+  Transaction victim(10, 0);
+  LockKey key = LockKey::WholeTable(&table_);
+  Status st = lm_.Acquire(&victim, key, LockMode::kExclusive);
+  ASSERT_EQ(st.code(), StatusCode::kAborted);
+  EXPECT_NE(st.message().find("injected"), std::string::npos)
+      << st.ToString();
+  EXPECT_EQ(injector.stats().lock_aborts.load(), 1u);
+  EXPECT_GE(lm_.stats().wait_die_aborts.load(), 1u);
+  lm_.ReleaseAll(&victim);
+  lm_.set_fault_injector(nullptr);
+
+  // An injected death is killed BEFORE touching the lock table: nothing
+  // to scrub, nothing leaked.
+  LockManager::Audit audit = lm_.AuditState();
+  EXPECT_EQ(audit.locked_keys, 0u);
+  EXPECT_EQ(audit.holder_entries, 0u);
+  EXPECT_EQ(audit.tracked_txns, 0u);
+
+  // Classic wait-die restart: fresh id, ORIGINAL priority. The restarted
+  // transaction must still look older than transactions born after the
+  // victim — a younger requester dies against it.
+  Transaction restarted(11, 0, victim.priority());
+  EXPECT_EQ(restarted.priority(), 10u);
+  ASSERT_OK(lm_.Acquire(&restarted, key, LockMode::kExclusive));
+  Transaction young(12, 0);
+  EXPECT_EQ(lm_.Acquire(&young, key, LockMode::kShared).code(),
+            StatusCode::kAborted);
+  lm_.ReleaseAll(&restarted);
+  EXPECT_EQ(lm_.AuditState().locked_keys, 0u);
+}
+
+TEST_F(LockManagerTest, InjectedDeathsUnderConcurrencyLeaveCleanShards) {
+  // Threads race acquire/release with a 30% injected death rate; after the
+  // storm every shard must be empty — the residue invariant the chaos
+  // harness checks after every simulated step.
+  FaultInjectorConfig cfg;
+  cfg.seed = 17;
+  cfg.lock_abort_rate = 0.3;
+  FaultInjector injector(cfg);
+  lm_.set_fault_injector(&injector);
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 300;
+  std::atomic<uint64_t> next_txn_id{100};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        Transaction txn(next_txn_id.fetch_add(1), 0);
+        uint64_t row = static_cast<uint64_t>((t * kIters + i) % 50);
+        Status a = lm_.Acquire(&txn, LockKey::ForRow(&table_, row),
+                               LockMode::kExclusive);
+        if (a.ok()) {
+          // Second acquire may draw an injected death mid-transaction.
+          (void)lm_.Acquire(&txn, LockKey::ForRow(&table_, row + 1000),
+                            LockMode::kShared);
+        }
+        lm_.ReleaseAll(&txn);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  lm_.set_fault_injector(nullptr);
+
+  EXPECT_GT(injector.stats().lock_aborts.load(), 0u);
+  LockManager::Audit audit = lm_.AuditState();
+  EXPECT_EQ(audit.locked_keys, 0u);
+  EXPECT_EQ(audit.holder_entries, 0u);
+  EXPECT_EQ(audit.tracked_txns, 0u);
+  EXPECT_EQ(audit.waiters, 0u);
 }
 
 }  // namespace

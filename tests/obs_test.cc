@@ -189,6 +189,54 @@ TEST(TraceRing, ZeroCapacityDisablesRecording) {
             std::string::npos);
 }
 
+TEST(TraceRing, SnapshotAtExactCapacityBoundaryExportsEachEventOnce) {
+  // Regression guard for the wraparound boundary: with next_ == capacity
+  // the ring is exactly full, and the snapshot must contain each of the
+  // `capacity` events exactly once — not drop slot 0 or export it twice.
+  TraceRing ring(4);
+  for (uint64_t id = 1; id <= 4; ++id) {
+    ring.Record(TraceEventKind::kSubmit, id, static_cast<Timestamp>(id));
+  }
+  std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, i + 1);
+  }
+  // One past the boundary: the oldest rotates out, order stays intact.
+  ring.Record(TraceEventKind::kSubmit, 5, 5);
+  events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, i + 2);
+  }
+}
+
+TEST(TraceRing, WallTimestampsNeverInvertRingOrder) {
+  // Concurrent recorders: the ring's slot order and the wall_ts values
+  // must agree. Before wall_ts was stamped under the ring lock, a racing
+  // pair could publish in the opposite order they read the clock, making
+  // exported traces run backwards in time.
+  TraceRing ring(128);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;  // wraps the ring many times
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ring, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ring.Record(TraceEventKind::kSubmit,
+                    static_cast<uint64_t>(t * kPerThread + i), 0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::vector<TraceEvent> events = ring.Snapshot();
+  ASSERT_EQ(events.size(), 128u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].wall_ts, events[i].wall_ts)
+        << "ring order and wall-clock order disagree at slot " << i;
+  }
+}
+
 TEST(TraceRing, NamesAreTruncatedNotOverflowed) {
   TraceRing ring(2);
   std::string long_name(100, 'x');

@@ -306,5 +306,95 @@ TEST_F(UniqueTxnManagerTest, ConcurrentMergesNeverLoseRows) {
   EXPECT_EQ(total, kThreads * kPerThread);
 }
 
+// ---------------------------------------------------------------------------
+// COW record pinning (§6.1, chaos satellite): bound tables pin superseded
+// record versions; when a unique task retires — whether its firings were
+// merged-then-fired or merged-then-superseded — every pin must be dropped
+// exactly once. use_count is the ground truth.
+// ---------------------------------------------------------------------------
+
+/// A bound table whose single column reads through a record slot, pinning
+/// `rec` the way real transition-table-derived bound tables do.
+TempTable RecordBacked(const std::string& name, const RecordRef& rec) {
+  Schema s;
+  s.AddColumn("comp", ValueType::kString);
+  TempTable t(name, std::move(s), {TempColumnMap{0, 0}}, /*num_slots=*/1,
+              /*num_extra=*/0);
+  t.Append(TempTuple{{rec}, {}});
+  return t;
+}
+
+TEST_F(UniqueTxnManagerTest, MergedThenFiredUnpinsExactlyOnce) {
+  RecordRef r1 = MakeRecord({Value::Str("c1")});
+  RecordRef r2 = MakeRecord({Value::Str("c1")});
+  {
+    BoundTableSet s1;
+    ASSERT_OK(s1.Add(RecordBacked("m", r1)));
+    ASSERT_OK_AND_ASSIGN(
+        TaskPtr task, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
+                                         std::move(s1), 0, Factory()));
+    ASSERT_NE(task, nullptr);
+    BoundTableSet s2;
+    ASSERT_OK(s2.Add(RecordBacked("m", r2)));
+    ASSERT_OK_AND_ASSIGN(
+        TaskPtr merged, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
+                                           std::move(s2), 0, Factory()));
+    EXPECT_EQ(merged, nullptr);
+    // One pin each: ours plus exactly one inside the queued task — the
+    // merge must MOVE the second firing's tuples, not copy them.
+    EXPECT_EQ(r1.use_count(), 2);
+    EXPECT_EQ(r2.use_count(), 2);
+    EXPECT_EQ(task->bound_tables.Find("m")->size(), 2u);
+    // Fire and retire.
+    ASSERT_TRUE(task->TryStart());
+    mgr_.OnTaskStart(*task);
+  }
+  // The task was the last owner; both versions fully unpinned.
+  EXPECT_EQ(r1.use_count(), 1);
+  EXPECT_EQ(r2.use_count(), 1);
+}
+
+TEST_F(UniqueTxnManagerTest, MergedThenSupersededUnpinsExactlyOnce) {
+  RecordRef r1 = MakeRecord({Value::Str("c1")});
+  RecordRef r2 = MakeRecord({Value::Str("c1")});
+  RecordRef r3 = MakeRecord({Value::Str("c1")});
+  {
+    BoundTableSet s1;
+    ASSERT_OK(s1.Add(RecordBacked("m", r1)));
+    ASSERT_OK_AND_ASSIGN(
+        TaskPtr t1, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
+                                       std::move(s1), 0, Factory()));
+    BoundTableSet s2;
+    ASSERT_OK(s2.Add(RecordBacked("m", r2)));
+    ASSERT_OK_AND_ASSIGN(
+        TaskPtr merged, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
+                                           std::move(s2), 0, Factory()));
+    EXPECT_EQ(merged, nullptr);
+
+    // The task starts; a firing racing the start must not land in it.
+    ASSERT_TRUE(t1->TryStart());
+    BoundTableSet s3;
+    ASSERT_OK(s3.Add(RecordBacked("m", r3)));
+    ASSERT_OK_AND_ASSIGN(
+        TaskPtr t2, mgr_.MergeOrCreate("fn", {Value::Str("c1")},
+                                       std::move(s3), 0, Factory()));
+    ASSERT_NE(t2, nullptr);  // superseding task
+    mgr_.OnTaskStart(*t1);
+
+    // r3 is pinned by the superseding task only — never copied into t1.
+    EXPECT_EQ(t1->bound_tables.Find("m")->size(), 2u);
+    EXPECT_EQ(t2->bound_tables.Find("m")->size(), 1u);
+    EXPECT_EQ(r1.use_count(), 2);
+    EXPECT_EQ(r2.use_count(), 2);
+    EXPECT_EQ(r3.use_count(), 2);
+
+    ASSERT_TRUE(t2->TryStart());
+    mgr_.OnTaskStart(*t2);
+  }
+  EXPECT_EQ(r1.use_count(), 1);
+  EXPECT_EQ(r2.use_count(), 1);
+  EXPECT_EQ(r3.use_count(), 1);
+}
+
 }  // namespace
 }  // namespace strip

@@ -1,0 +1,123 @@
+// Seeded chaos runner (DESIGN.md §9): runs the deterministic fault-
+// injection workload for one or more seeds, optionally shrinking a
+// failing seed to its minimal form. The nightly CI chaos step drives this
+// under ASan / TSan with random seeds; tools/replay_seed.sh re-runs a
+// failing seed locally.
+//
+//   chaos_run --seed N [--events E] [--syms S] [--shrink] [--verbose]
+//   chaos_run --seeds N,M,K            # several seeds, stop at first fail
+//
+// Exit code: 0 = all seeds passed, 1 = a seed failed (the reproducer and
+// its shrunken form are printed to stderr).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "strip/testing/chaos.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: chaos_run --seed N | --seeds N,M,K\n"
+               "                 [--events E] [--syms S] [--shrink]\n"
+               "                 [--verbose]\n");
+  std::exit(2);
+}
+
+std::vector<uint64_t> ParseSeeds(const char* arg) {
+  std::vector<uint64_t> seeds;
+  std::string s(arg);
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    seeds.push_back(std::strtoull(s.substr(pos, comma - pos).c_str(),
+                                  nullptr, 0));
+    pos = comma + 1;
+  }
+  if (seeds.empty()) Usage();
+  return seeds;
+}
+
+void PrintReport(const strip::ChaosReport& r) {
+  std::printf("  steps=%llu tasks=%llu feed=%llu applied=%llu "
+              "rule_tasks=%llu merged=%llu wait_die=%llu\n",
+              static_cast<unsigned long long>(r.steps),
+              static_cast<unsigned long long>(r.tasks_run),
+              static_cast<unsigned long long>(r.feed_events),
+              static_cast<unsigned long long>(r.applied_updates),
+              static_cast<unsigned long long>(r.rule_tasks_created),
+              static_cast<unsigned long long>(r.firings_merged),
+              static_cast<unsigned long long>(r.wait_die_aborts));
+  std::printf("  injected: lock_aborts=%llu stalls=%llu delays=%llu "
+              "costs=%llu\n",
+              static_cast<unsigned long long>(r.injected.lock_aborts),
+              static_cast<unsigned long long>(r.injected.stalls),
+              static_cast<unsigned long long>(r.injected.extra_delays),
+              static_cast<unsigned long long>(r.injected.costs_assigned));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<uint64_t> seeds;
+  strip::ChaosOptions base;
+  bool shrink = false;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seeds.push_back(std::strtoull(argv[++i], nullptr, 0));
+    } else if (!std::strcmp(argv[i], "--seeds") && i + 1 < argc) {
+      seeds = ParseSeeds(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--events") && i + 1 < argc) {
+      base.num_events = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--syms") && i + 1 < argc) {
+      base.num_syms = std::atoi(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--shrink")) {
+      shrink = true;
+    } else if (!std::strcmp(argv[i], "--verbose")) {
+      verbose = true;
+    } else {
+      Usage();
+    }
+  }
+  if (seeds.empty()) Usage();
+
+  for (uint64_t seed : seeds) {
+    strip::ChaosOptions o = base;
+    o.seed = seed;
+    std::printf("chaos seed %llu (%d events, %d syms) ... ",
+                static_cast<unsigned long long>(seed), o.num_events,
+                o.num_syms);
+    std::fflush(stdout);
+    strip::ChaosReport r = strip::RunChaos(o);
+    std::printf("%s\n", r.ok ? "ok" : "FAIL");
+    if (verbose || !r.ok) PrintReport(r);
+    if (r.ok) continue;
+
+    std::fprintf(stderr, "chaos FAILURE: %s\n", r.failure.c_str());
+    std::fprintf(stderr, "reproduce: chaos_run --seed %llu --events %d "
+                         "--syms %d\n",
+                 static_cast<unsigned long long>(seed), o.num_events,
+                 o.num_syms);
+    if (shrink) {
+      std::fprintf(stderr, "shrinking...\n");
+      strip::ShrinkResult s = strip::ShrinkFailure(o);
+      std::fprintf(stderr, "%s", s.trail.c_str());
+      std::fprintf(stderr,
+                   "minimal: chaos_run --seed %llu --events %d --syms %d\n"
+                   "minimal failure: %s\n",
+                   static_cast<unsigned long long>(s.options.seed),
+                   s.options.num_events, s.options.num_syms,
+                   s.report.failure.c_str());
+    }
+    return 1;
+  }
+  return 0;
+}

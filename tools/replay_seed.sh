@@ -1,0 +1,44 @@
+#!/usr/bin/env sh
+# Replay a failing chaos seed locally, exactly as the CI chaos step ran it.
+#
+#   tools/replay_seed.sh SEED [EVENTS [SYMS]]
+#
+# Builds chaos_run if needed, replays the seed twice to confirm the
+# failure is deterministic, and shrinks it to a minimal reproducer.
+# Failing seeds appear in the CI chaos job's log and artifact
+# (chaos-failing-seeds.txt); paste one here.
+set -eu
+
+if [ $# -lt 1 ]; then
+  echo "usage: $0 SEED [EVENTS [SYMS]]" >&2
+  exit 2
+fi
+
+SEED="$1"
+EVENTS="${2:-120}"
+SYMS="${3:-6}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+
+if [ ! -x "$BUILD_DIR/tools/chaos_run" ]; then
+  echo ">> building chaos_run in $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S "$REPO_ROOT" > /dev/null
+  cmake --build "$BUILD_DIR" --target chaos_run -j > /dev/null
+fi
+
+RUN="$BUILD_DIR/tools/chaos_run"
+
+echo ">> replay 1"
+if "$RUN" --seed "$SEED" --events "$EVENTS" --syms "$SYMS" --verbose; then
+  echo ">> seed $SEED passes here: the failure did not reproduce."
+  echo ">> Check that this tree matches the failing CI revision and that"
+  echo ">> EVENTS/SYMS match the CI invocation."
+  exit 0
+fi
+
+echo ">> replay 2 (confirming determinism)"
+"$RUN" --seed "$SEED" --events "$EVENTS" --syms "$SYMS" || true
+
+echo ">> shrinking to a minimal reproducer"
+"$RUN" --seed "$SEED" --events "$EVENTS" --syms "$SYMS" --shrink || true
+exit 1

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Validate exported observability JSON against its expected schema.
 
-Two modes:
+Three modes:
 
   validate_bench_json.py BENCH_foo.json [...]
       Checks the canonical BenchReport schema every bench binary emits:
@@ -15,16 +15,53 @@ Two modes:
       / the shell's .trace command: displayTimeUnit plus a traceEvents
       list of "X" slices (with dur) and "i" instants.
 
+  validate_bench_json.py --self-test
+      Runs the validator against embedded good and bad documents; exits
+      non-zero if a bad document slips through or a good one is rejected.
+
+Every mode rejects NaN / Infinity (both the bare JSON literals and
+overflow spellings like 1e999), negative counters, and negative bucket
+counts: a metric that went non-finite or negative is a bug in the
+producer, not a value to chart.
+
 Exits non-zero with a message on the first violation. Used by the CI
 observability smoke step; runnable locally on any checked-in BENCH file.
 """
 
 import json
+import math
 import sys
 
 
 def fail(path, msg):
     sys.exit(f"{path}: {msg}")
+
+
+def _reject_constant(const):
+    # json calls this for the literals NaN / Infinity / -Infinity.
+    raise ValueError(f"non-finite JSON literal {const!r}")
+
+
+def load_strict(path, f):
+    """json.load that rejects NaN/Infinity literals AND overflow floats
+    (the parser turns '1e999' into inf without consulting parse_constant)."""
+    try:
+        doc = json.load(f, parse_constant=_reject_constant)
+    except ValueError as e:
+        fail(path, f"invalid JSON: {e}")
+
+    def scan(node, where):
+        if isinstance(node, float) and not math.isfinite(node):
+            fail(path, f"{where}: non-finite number")
+        elif isinstance(node, dict):
+            for k, v in node.items():
+                scan(v, f"{where}.{k}")
+        elif isinstance(node, list):
+            for i, v in enumerate(node):
+                scan(v, f"{where}[{i}]")
+
+    scan(doc, "$")
+    return doc
 
 
 def check_registry_snapshot(path, snap, where):
@@ -41,13 +78,21 @@ def check_registry_snapshot(path, snap, where):
         if not isinstance(v, int) or v < 0:
             fail(path, f"{where}: counter '{name}' is not a non-negative int")
     for name, v in snap["gauges"].items():
-        if not isinstance(v, (int, float)):
-            fail(path, f"{where}: gauge '{name}' is not a number")
+        if not isinstance(v, (int, float)) or not math.isfinite(v):
+            fail(path, f"{where}: gauge '{name}' is not a finite number")
     for name, h in snap["histograms"].items():
         for field in ("count", "sum", "min", "max", "mean",
                       "p50", "p95", "p99", "buckets"):
             if field not in h:
                 fail(path, f"{where}: histogram '{name}' missing '{field}'")
+        if not isinstance(h["count"], int) or h["count"] < 0:
+            fail(path, f"{where}: histogram '{name}' count is not a "
+                       "non-negative int")
+        for field in ("sum", "min", "max", "mean", "p50", "p95", "p99"):
+            v = h[field]
+            if not isinstance(v, (int, float)) or not math.isfinite(v):
+                fail(path, f"{where}: histogram '{name}' field '{field}' "
+                           "is not a finite number")
         total = 0
         for bucket in h["buckets"]:
             if (not isinstance(bucket, list) or len(bucket) != 2
@@ -55,6 +100,9 @@ def check_registry_snapshot(path, snap, where):
                     or not isinstance(bucket[1], int)):
                 fail(path, f"{where}: histogram '{name}' has a malformed "
                            f"bucket {bucket!r} (want [bound|null, count])")
+            if bucket[1] < 0:
+                fail(path, f"{where}: histogram '{name}' bucket {bucket!r} "
+                           "has a negative count")
             total += bucket[1]
         if total != h["count"]:
             fail(path, f"{where}: histogram '{name}' bucket counts sum to "
@@ -74,9 +122,8 @@ def find_registries(node, where="metrics"):
             yield from find_registries(v, f"{where}[{i}]")
 
 
-def check_bench(path):
-    with open(path) as f:
-        doc = json.load(f)
+def check_bench(path, f=None):
+    doc = load_strict(path, f if f is not None else open(path))
     for field, want in (("name", str), ("repo_rev", str),
                         ("config", dict), ("metrics", dict)):
         if field not in doc:
@@ -90,9 +137,8 @@ def check_bench(path):
     print(f"{path}: ok (name={doc['name']}, rev={doc['repo_rev'][:12]})")
 
 
-def check_trace(path):
-    with open(path) as f:
-        doc = json.load(f)
+def check_trace(path, f=None):
+    doc = load_strict(path, f if f is not None else open(path))
     if doc.get("displayTimeUnit") != "ms":
         fail(path, "missing displayTimeUnit 'ms'")
     events = doc.get("traceEvents")
@@ -112,10 +158,55 @@ def check_trace(path):
     print(f"{path}: ok ({len(events)} trace events)")
 
 
+# --- self-test ---------------------------------------------------------------
+
+_GOOD_BENCH = """{
+  "name": "bench", "repo_rev": "deadbeef", "config": {},
+  "metrics": {"registry": {
+    "counters": {"c": 3},
+    "gauges": {"g": 1.5},
+    "histograms": {"h": {"count": 2, "sum": 3, "min": 1, "max": 2,
+                         "mean": 1.5, "p50": 1, "p95": 2, "p99": 2,
+                         "buckets": [[1, 1], [null, 1]]}}
+  }}
+}"""
+
+_BAD_BENCHES = {
+    "NaN literal": _GOOD_BENCH.replace('"g": 1.5', '"g": NaN'),
+    "Infinity literal": _GOOD_BENCH.replace('"g": 1.5', '"g": Infinity'),
+    "overflow float": _GOOD_BENCH.replace('"g": 1.5', '"g": 1e999'),
+    "negative counter": _GOOD_BENCH.replace('"c": 3', '"c": -3'),
+    "negative bucket count": _GOOD_BENCH.replace('[1, 1]', '[1, -1]'),
+    "negative histogram count":
+        _GOOD_BENCH.replace('"count": 2', '"count": -2'),
+    "bucket sum mismatch": _GOOD_BENCH.replace('[1, 1]', '[1, 5]'),
+}
+
+
+def self_test():
+    import io
+
+    check_bench("<good>", io.StringIO(_GOOD_BENCH))
+
+    accepted = []
+    for name, doc in _BAD_BENCHES.items():
+        try:
+            check_bench(f"<bad: {name}>", io.StringIO(doc))
+            accepted.append(name)
+        except SystemExit as e:
+            print(f"rejected as expected [{name}]: {e}")
+    if accepted:
+        sys.exit(f"self-test FAILED: accepted bad documents: {accepted}")
+    print("self-test: ok")
+
+
 def main(argv):
     if len(argv) < 2 or argv[1] in ("-h", "--help"):
         print(__doc__)
         return 2
+    if argv[1] == "--self-test":
+        self_test()
+        return 0
     if argv[1] == "--trace":
         if len(argv) < 3:
             sys.exit("--trace requires at least one file")
