@@ -114,7 +114,7 @@ void BM_RangeScan_RbTree(benchmark::State& state) {
   }
   auto* idx = static_cast<RbTreeIndex*>(t.FindIndex("v"));
   for (auto _ : state) {
-    std::vector<RowIter> out;
+    std::vector<RowHandle> out;
     idx->LookupRange(Value::Double(n / 4), Value::Double(n / 4 + 100), out);
     benchmark::DoNotOptimize(out);
   }

@@ -3,10 +3,22 @@
 // copying attribute values. This bench quantifies that choice for the
 // rule system's hottest paths: building transition tables at commit and
 // reading bound-table columns in the action function.
+//
+// It also carries the storage-layout ablation (`--json=` mode): the
+// legacy std::list row container vs. the slotted-page arena that replaced
+// it, across seq-scan / point-update / insert-erase churn — the numbers
+// behind BENCH_storage_layout.json.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstring>
+#include <list>
+#include <unordered_map>
+
+#include "pta_bench_common.h"
 #include "strip/rules/transition_tables.h"
+#include "strip/storage/page.h"
 #include "strip/storage/table.h"
 #include "strip/storage/temp_table.h"
 
@@ -121,7 +133,247 @@ void BM_ReadTempTable_ValueCopy(benchmark::State& state) {
 BENCHMARK(BM_ReadTempTable_PointerScheme)->Arg(1024)->Arg(16384);
 BENCHMARK(BM_ReadTempTable_ValueCopy)->Arg(1024)->Arg(16384);
 
+// ---------------------------------------------------------------------------
+// Storage-layout ablation: legacy std::list rows vs. the slotted-page
+// arena. Both sides carry the same payload (a Row with id + RecordRef and
+// an id -> handle directory); only the container differs, so the deltas
+// are the layout's. Before measuring, both sides run the same seeded
+// erase/insert churn so the list reflects its steady state after a
+// trading session (nodes scattered across the heap) rather than the
+// unrealistically tidy freshly-loaded form — the arena reuses slots in
+// place either way.
+// ---------------------------------------------------------------------------
+
+/// The container this PR deleted, rebuilt locally as the baseline.
+class LegacyListTable {
+ public:
+  using Iter = std::list<Row>::iterator;
+
+  Iter Insert(RecordRef rec) {
+    rows_.push_back(Row{next_id_++, std::move(rec)});
+    Iter it = std::prev(rows_.end());
+    by_id_.emplace(it->id, it);
+    return it;
+  }
+  void Erase(Iter it) {
+    by_id_.erase(it->id);
+    rows_.erase(it);
+  }
+  Iter Find(uint64_t id) { return by_id_.at(id); }
+  std::list<Row>& rows() { return rows_; }
+  size_t size() const { return rows_.size(); }
+
+ private:
+  std::list<Row> rows_;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, Iter> by_id_;
+};
+
+/// The arena side, same shape: PageManager plus an id directory.
+class ArenaTable {
+ public:
+  RowHandle Insert(RecordRef rec) {
+    RowHandle h = pm_.Allocate();
+    h->id = next_id_++;
+    h->rec = std::move(rec);
+    by_id_.emplace(h->id, h);
+    return h;
+  }
+  void Erase(RowHandle h) {
+    by_id_.erase(h->id);
+    pm_.Release(h);
+  }
+  RowHandle Find(uint64_t id) { return by_id_.at(id); }
+  PageManager& pm() { return pm_; }
+  size_t size() const { return pm_.live(); }
+
+ private:
+  PageManager pm_;
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, RowHandle> by_id_;
+};
+
+RecordRef LayoutRecord(uint64_t i) {
+  return MakeRecord({Value::Str("sym" + std::to_string(i % 512)),
+                     Value::Double(static_cast<double>(i) * 1.5),
+                     Value::Int(static_cast<int64_t>(i))});
+}
+
+/// splitmix64, matching the engine's deterministic harnesses.
+uint64_t Mix(uint64_t& s) {
+  uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct LayoutResult {
+  double seq_scan_rows_per_sec = 0;
+  double point_update_ops_per_sec = 0;
+  double churn_ops_per_sec = 0;
+};
+
+/// Live ids tracked alongside either table so churn picks victims in O(1).
+template <typename TableT>
+LayoutResult RunLayoutBench(int num_rows, uint64_t seed) {
+  TableT t;
+  std::vector<uint64_t> ids;
+  ids.reserve(static_cast<size_t>(num_rows));
+  for (int i = 0; i < num_rows; ++i) {
+    ids.push_back(t.Insert(LayoutRecord(static_cast<uint64_t>(i)))->id);
+  }
+
+  uint64_t rng = seed;
+  auto churn_step = [&] {
+    size_t victim = static_cast<size_t>(Mix(rng)) % ids.size();
+    t.Erase(t.Find(ids[victim]));
+    ids[victim] = t.Insert(LayoutRecord(Mix(rng)))->id;
+  };
+  // Steady-state warm-up: one full turnover of the table.
+  for (int i = 0; i < num_rows; ++i) churn_step();
+
+  LayoutResult res;
+
+  // Seq scan: sum one double column over every live row; repeat until the
+  // run is long enough to time stably.
+  {
+    int reps = std::max(1, 2'000'000 / num_rows);
+    auto t0 = std::chrono::steady_clock::now();
+    double acc = 0;
+    for (int r = 0; r < reps; ++r) {
+      if constexpr (std::is_same_v<TableT, ArenaTable>) {
+        PageManager::ScanPos pos;
+        ScanBatch batch;
+        while (t.pm().NextBatch(pos, batch)) {
+          for (size_t i = 0; i < batch.count; ++i) {
+            acc += batch.rows[i]->rec->values[1].as_double();
+          }
+        }
+      } else {
+        for (const Row& row : t.rows()) {
+          acc += row.rec->values[1].as_double();
+        }
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+    res.seq_scan_rows_per_sec =
+        static_cast<double>(reps) * num_rows / SecondsSince(t0);
+  }
+
+  // Point update: directory lookup + COW record swap on random rows.
+  {
+    int ops = num_rows * 4;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < ops; ++i) {
+      uint64_t id = ids[static_cast<size_t>(Mix(rng)) % ids.size()];
+      auto h = t.Find(id);
+      h->rec = LayoutRecord(Mix(rng));
+    }
+    res.point_update_ops_per_sec = ops / SecondsSince(t0);
+  }
+
+  // Insert-erase churn: the allocator path itself.
+  {
+    int ops = num_rows * 2;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < ops; ++i) churn_step();
+    res.churn_ops_per_sec = ops / SecondsSince(t0);
+  }
+  return res;
+}
+
+int RunLayoutAblation(const std::string& json_path, int num_rows) {
+  constexpr uint64_t kSeed = 0x5707a6e;
+  // Interleave and keep the best of 3 per side: the comparison should be
+  // layout vs layout, not which run ate a scheduler hiccup.
+  LayoutResult legacy, arena;
+  auto better = [](const LayoutResult& a, const LayoutResult& b) {
+    LayoutResult r;
+    r.seq_scan_rows_per_sec =
+        std::max(a.seq_scan_rows_per_sec, b.seq_scan_rows_per_sec);
+    r.point_update_ops_per_sec =
+        std::max(a.point_update_ops_per_sec, b.point_update_ops_per_sec);
+    r.churn_ops_per_sec = std::max(a.churn_ops_per_sec, b.churn_ops_per_sec);
+    return r;
+  };
+  for (int round = 0; round < 3; ++round) {
+    legacy = better(legacy, RunLayoutBench<LegacyListTable>(num_rows, kSeed));
+    arena = better(arena, RunLayoutBench<ArenaTable>(num_rows, kSeed));
+  }
+
+  double scan_speedup = arena.seq_scan_rows_per_sec /
+                        legacy.seq_scan_rows_per_sec;
+  std::printf("storage layout ablation (%d rows, churn-warmed):\n", num_rows);
+  std::printf("  %-14s %15s %15s %9s\n", "workload", "legacy_list",
+              "arena", "speedup");
+  auto line = [](const char* name, double l, double a) {
+    std::printf("  %-14s %15.0f %15.0f %8.2fx\n", name, l, a, a / l);
+  };
+  line("seq_scan", legacy.seq_scan_rows_per_sec, arena.seq_scan_rows_per_sec);
+  line("point_update", legacy.point_update_ops_per_sec,
+       arena.point_update_ops_per_sec);
+  line("churn", legacy.churn_ops_per_sec, arena.churn_ops_per_sec);
+
+  bench::BenchReport report("storage_layout");
+  report.Config([&](JsonWriter& w) {
+    w.Key("num_rows").Int(num_rows);
+    w.Key("record_columns").Int(3);
+    w.Key("churn_warmup_ops").Int(num_rows);
+    w.Key("rounds").Int(3);
+    w.Key("seed").Int(static_cast<int64_t>(kSeed));
+  });
+  report.Metrics([&](JsonWriter& w) {
+    w.Key("legacy_list").BeginObject();
+    w.Key("seq_scan_rows_per_sec").Double(legacy.seq_scan_rows_per_sec);
+    w.Key("point_update_ops_per_sec").Double(legacy.point_update_ops_per_sec);
+    w.Key("insert_erase_ops_per_sec").Double(legacy.churn_ops_per_sec);
+    w.EndObject();
+    w.Key("arena").BeginObject();
+    w.Key("seq_scan_rows_per_sec").Double(arena.seq_scan_rows_per_sec);
+    w.Key("point_update_ops_per_sec").Double(arena.point_update_ops_per_sec);
+    w.Key("insert_erase_ops_per_sec").Double(arena.churn_ops_per_sec);
+    w.EndObject();
+    w.Key("seq_scan_speedup").Double(scan_speedup);
+    w.Key("point_update_speedup")
+        .Double(arena.point_update_ops_per_sec /
+                legacy.point_update_ops_per_sec);
+    w.Key("insert_erase_speedup")
+        .Double(arena.churn_ops_per_sec / legacy.churn_ops_per_sec);
+  });
+  if (!report.WriteFile(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace strip
 
-BENCHMARK_MAIN();
+// `--json=PATH [--rows=N]` runs the storage-layout ablation and writes the
+// canonical BenchReport; anything else goes to google-benchmark.
+int main(int argc, char** argv) {
+  std::string json_path;
+  int num_rows = 100'000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else if (std::strncmp(argv[i], "--rows=", 7) == 0) {
+      num_rows = std::atoi(argv[i] + 7);
+    }
+  }
+  if (!json_path.empty()) {
+    return strip::RunLayoutAblation(json_path, num_rows);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

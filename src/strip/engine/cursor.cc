@@ -7,7 +7,7 @@ namespace strip {
 Cursor::Cursor(Table* table, Transaction* txn)
     : table_(table), txn_(txn), indexed_(false) {}
 
-Cursor::Cursor(Table* table, Transaction* txn, std::vector<RowIter> rows)
+Cursor::Cursor(Table* table, Transaction* txn, std::vector<RowHandle> rows)
     : table_(table), txn_(txn), indexed_(true),
       index_rows_(std::move(rows)) {}
 
@@ -39,21 +39,22 @@ bool Cursor::Fetch() {
     has_current_ = true;
     return true;
   }
-  if (!scan_started_) {
-    scan_it_ = table_->rows().begin();
-    scan_started_ = true;
-  } else if (fetch_no_advance_) {
-    fetch_no_advance_ = false;
-  } else if (has_current_) {
-    ++scan_it_;
+  while (true) {
+    if (batch_pos_ < batch_.count) {
+      current_ = batch_.rows[batch_pos_++];
+      // A row gathered into the batch may have been deleted through this
+      // cursor since the batch was filled; its slot is tombstoned in
+      // place, so skip it here instead of surfacing a dead row.
+      if (!current_.page()->IsLive(current_.slot())) continue;
+      has_current_ = true;
+      return true;
+    }
+    batch_pos_ = 0;
+    if (!table_->NextBatch(scan_pos_, batch_)) {
+      has_current_ = false;
+      return false;
+    }
   }
-  if (scan_it_ == table_->rows().end()) {
-    has_current_ = false;
-    return false;
-  }
-  current_ = scan_it_;
-  has_current_ = true;
-  return true;
 }
 
 Status Cursor::UpdateCurrent(std::vector<Value> values) {
@@ -77,15 +78,8 @@ Status Cursor::DeleteCurrent() {
     txn_->log().Append(LogOp::kDelete, table_, current_->id, current_->rec,
                        nullptr);
   }
-  if (!indexed_) {
-    RowIter next = std::next(current_);
-    table_->Erase(current_);
-    scan_it_ = next;
-    has_current_ = false;
-    scan_started_ = true;
-    fetch_no_advance_ = true;  // next Fetch() examines `next` directly
-    return Status::OK();
-  }
+  // Slots never move on erase, so the scan position and any rows still
+  // queued in the current batch remain valid; Fetch() skips the tombstone.
   table_->Erase(current_);
   has_current_ = false;
   return Status::OK();

@@ -47,24 +47,25 @@ class Cursor {
   void Close() { done_ = true; }
 
  private:
-  Cursor(Table* table, Transaction* txn, std::vector<RowIter> index_rows);
+  Cursor(Table* table, Transaction* txn, std::vector<RowHandle> index_rows);
 
   Table* table_;
   Transaction* txn_;
   bool indexed_;
-  // Full scan state.
-  RowIter scan_it_;
-  bool scan_started_ = false;
+  // Full scan state: the cursor drains one ScanBatch at a time from the
+  // table's page arena. Slots never shift on erase, so (page, slot)
+  // positions and already-gathered handles stay valid across
+  // DeleteCurrent — no resume special-casing needed.
+  PageManager::ScanPos scan_pos_;
+  ScanBatch batch_;
+  size_t batch_pos_ = 0;
   // Index scan state.
-  std::vector<RowIter> index_rows_;
+  std::vector<RowHandle> index_rows_;
   size_t index_pos_ = 0;
 
-  RowIter current_;
+  RowHandle current_;
   bool has_current_ = false;
   bool done_ = false;
-  // After a delete during a scan, the iterator already points at the next
-  // row; the following Fetch() must not advance.
-  bool fetch_no_advance_ = false;
 };
 
 }  // namespace strip

@@ -422,7 +422,7 @@ Result<int> PreparedStatement::RunDmlFast(const Plan& plan, Transaction* txn,
         STRIP_ASSIGN_OR_RETURN(Value v, row_progs[i].Eval(frame));
         values[static_cast<size_t>(plan.insert_mapping[i])] = std::move(v);
       }
-      STRIP_ASSIGN_OR_RETURN(RowIter it,
+      STRIP_ASSIGN_OR_RETURN(RowHandle it,
                              table->Insert(MakeRecord(std::move(values))));
       txn->log().Append(LogOp::kInsert, table, it->id, nullptr, it->rec);
       ++inserted;
@@ -440,14 +440,14 @@ Result<int> PreparedStatement::RunDmlFast(const Plan& plan, Transaction* txn,
     return v.IsTruthy();
   };
 
-  std::vector<RowIter> targets;
+  std::vector<RowHandle> targets;
   bool collected = false;
   if (plan.index != nullptr) {
     auto key = plan.index_key->Eval(frame);
     if (key.ok()) {
-      std::vector<RowIter> candidates;
+      std::vector<RowHandle> candidates;
       plan.index->Lookup(*key, candidates);
-      for (RowIter r : candidates) {
+      for (RowHandle r : candidates) {
         STRIP_ASSIGN_OR_RETURN(bool ok, matches(r->rec));
         if (ok) targets.push_back(r);
       }
@@ -457,22 +457,25 @@ Result<int> PreparedStatement::RunDmlFast(const Plan& plan, Transaction* txn,
     // subsumes the probe conjunct, so results (and errors) are identical.
   }
   if (!collected) {
-    for (RowIter it = table->rows().begin(); it != table->rows().end();
-         ++it) {
-      STRIP_ASSIGN_OR_RETURN(bool ok, matches(it->rec));
-      if (ok) targets.push_back(it);
+    PageManager::ScanPos pos;
+    ScanBatch batch;
+    while (table->NextBatch(pos, batch)) {
+      for (size_t i = 0; i < batch.count; ++i) {
+        STRIP_ASSIGN_OR_RETURN(bool ok, matches(batch.rows[i]->rec));
+        if (ok) targets.push_back(batch.rows[i]);
+      }
     }
   }
 
   if (plan.dml == Plan::Dml::kDelete) {
-    for (RowIter it : targets) {
+    for (RowHandle it : targets) {
       txn->log().Append(LogOp::kDelete, table, it->id, it->rec, nullptr);
       table->Erase(it);
     }
     return static_cast<int>(targets.size());
   }
 
-  for (RowIter it : targets) {
+  for (RowHandle it : targets) {
     RecordRef old_rec = it->rec;
     frame.rec = old_rec.get();
     std::vector<Value> values = old_rec->values;

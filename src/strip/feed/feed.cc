@@ -105,10 +105,30 @@ Status FeedImporter::Submit(FeedRecord rec) {
 }
 
 Status FeedImporter::SubmitAll(const std::vector<FeedRecord>& stream) {
+  ReserveForBurst(stream.size());
   for (const FeedRecord& rec : stream) {
     STRIP_RETURN_IF_ERROR(Submit(rec));
   }
   return Status::OK();
+}
+
+void FeedImporter::ReserveForBurst(size_t incoming) {
+  if (incoming == 0) return;
+  // Pre-size the table's arena page directory and row-id map for the
+  // worst case (every record a fresh insert) so a market-open burst does
+  // not rehash the directory mid-stream. Capacity changes race with
+  // concurrent readers, so take the table exclusively for the moment it
+  // takes; best-effort — on a wait-die abort the burst just pays the
+  // rehashes like it used to.
+  auto txn = db_->Begin();
+  if (!txn.ok()) return;
+  Status locked = db_->locks().Acquire(*txn, LockKey::WholeTable(table_),
+                                       LockMode::kExclusive);
+  if (locked.ok()) {
+    table_->Reserve(table_->size() + incoming);
+  }
+  Status ignored = db_->Abort(*txn);  // release the lock; nothing logged
+  (void)ignored;
 }
 
 // ---------------------------------------------------------------------------

@@ -43,7 +43,8 @@ class FeedImporter {
   Status Submit(FeedRecord rec);
 
   /// Submits a whole pre-loaded stream (the paper loads its trace into
-  /// memory before the experiment, §4.1).
+  /// memory before the experiment, §4.1). Pre-reserves table capacity for
+  /// the stream so the burst does not rehash the row directory mid-flight.
   Status SubmitAll(const std::vector<FeedRecord>& stream);
 
   uint64_t records_submitted() const { return submitted_.load(); }
@@ -55,6 +56,10 @@ class FeedImporter {
                Statement insert_stmt);
 
   Status Apply(const FeedRecord& rec);
+
+  /// Best-effort capacity reservation for `incoming` upserts, under a
+  /// short whole-table exclusive lock.
+  void ReserveForBurst(size_t incoming);
 
   Database* db_;
   Table* table_;

@@ -92,6 +92,14 @@ Status PopulatePtaTables(Database& db, const MarketTrace& trace,
   Table* comps_list = db.catalog().FindTable("comps_list");
   Table* options_list = db.catalog().FindTable("options_list");
 
+  // Row counts are known up front: reserve so the load never rehashes
+  // the row directories (nothing else runs during setup, so no lock).
+  stocks->Reserve(static_cast<size_t>(num_stocks));
+  stdevs->Reserve(static_cast<size_t>(num_stocks));
+  comps_list->Reserve(static_cast<size_t>(cfg.num_composites) *
+                      static_cast<size_t>(cfg.stocks_per_composite));
+  options_list->Reserve(static_cast<size_t>(cfg.num_options));
+
   for (int i = 0; i < num_stocks; ++i) {
     STRIP_RETURN_IF_ERROR(BulkInsert(
         stocks, {Value::Str(StockSymbol(i)),

@@ -351,9 +351,9 @@ Status SqlExecutor::ScanInput(
     Trace(StrFormat("scan %s: index probe %s = %s", in.name.c_str(),
                     in.table->schema().column(index->column()).name.c_str(),
                     index_key.ToString().c_str()));
-    std::vector<RowIter> rows;
+    std::vector<RowHandle> rows;
     index->Lookup(index_key, rows);
-    for (RowIter r : rows) {
+    for (RowHandle r : rows) {
       ScanItem item;
       item.rec = r->rec;
       STRIP_ASSIGN_OR_RETURN(bool ok, passes(item));
@@ -363,11 +363,18 @@ Status SqlExecutor::ScanInput(
   }
 
   if (in.table != nullptr) {
-    for (const Row& r : in.table->rows()) {
-      ScanItem item;
-      item.rec = r.rec;
-      STRIP_ASSIGN_OR_RETURN(bool ok, passes(item));
-      if (ok) STRIP_RETURN_IF_ERROR(emit(item));
+    // Batched full scan: gather a ScanBatch of live-slot handles per page
+    // walk, then run the filter loop tight over the batch so compiled
+    // expression programs read contiguous slots instead of chasing nodes.
+    PageManager::ScanPos pos;
+    ScanBatch batch;
+    while (in.table->NextBatch(pos, batch)) {
+      for (size_t i = 0; i < batch.count; ++i) {
+        ScanItem item;
+        item.rec = batch.rows[i]->rec;
+        STRIP_ASSIGN_OR_RETURN(bool ok, passes(item));
+        if (ok) STRIP_RETURN_IF_ERROR(emit(item));
+      }
     }
     return Status::OK();
   }
@@ -572,7 +579,7 @@ Result<std::vector<JoinRow>> SqlExecutor::RunJoin(
                       nin.table->schema()
                           .column(index_key_pos)
                           .name.c_str()));
-      std::vector<RowIter> rows;  // reused across probes (Lookup appends)
+      std::vector<RowHandle> rows;  // reused across probes (Lookup appends)
       for (JoinRow& base : current) {
         STRIP_ASSIGN_OR_RETURN(Value key,
                                Eval(*other_keys[index_join_slot], inputs,
@@ -580,7 +587,7 @@ Result<std::vector<JoinRow>> SqlExecutor::RunJoin(
         if (key.is_null()) continue;
         rows.clear();
         index->Lookup(key, rows);
-        for (RowIter r : rows) {
+        for (RowHandle r : rows) {
           // Apply next's pushed-down filters on the candidate first.
           JoinRow probe = base;
           inputs.FillFromStandard(probe, next, r->rec);
@@ -1063,11 +1070,11 @@ namespace {
 
 /// Rows of `table` matching `where`, using an indexed `col = const` probe
 /// when available. `funcs` / `pseudo` as in the executor context.
-Result<std::vector<RowIter>> CollectMatchingRows(
+Result<std::vector<RowHandle>> CollectMatchingRows(
     Table* table, const Expr* where, const ScalarFuncRegistry* funcs,
     const std::map<std::string, Value>* pseudo,
     const std::vector<Value>* params) {
-  std::vector<RowIter> out;
+  std::vector<RowHandle> out;
   SingleTableRowContext ctx(table->name(), &table->schema(), pseudo);
 
   // Try `col = const` probe over the conjuncts.
@@ -1105,17 +1112,21 @@ Result<std::vector<RowIter>> CollectMatchingRows(
   };
 
   if (index != nullptr) {
-    std::vector<RowIter> candidates;
+    std::vector<RowHandle> candidates;
     index->Lookup(key, candidates);
-    for (RowIter r : candidates) {
+    for (RowHandle r : candidates) {
       STRIP_ASSIGN_OR_RETURN(bool ok, matches(r->rec));
       if (ok) out.push_back(r);
     }
     return out;
   }
-  for (RowIter it = table->rows().begin(); it != table->rows().end(); ++it) {
-    STRIP_ASSIGN_OR_RETURN(bool ok, matches(it->rec));
-    if (ok) out.push_back(it);
+  PageManager::ScanPos pos;
+  ScanBatch batch;
+  while (table->NextBatch(pos, batch)) {
+    for (size_t i = 0; i < batch.count; ++i) {
+      STRIP_ASSIGN_OR_RETURN(bool ok, matches(batch.rows[i]->rec));
+      if (ok) out.push_back(batch.rows[i]);
+    }
   }
   return out;
 }
@@ -1161,7 +1172,7 @@ Result<int> SqlExecutor::ExecuteInsert(const InsertStmt& stmt) {
           Value v, EvalExpr(*row_exprs[i], nullptr, ctx_.funcs, ctx_.params));
       values[static_cast<size_t>(mapping[i])] = std::move(v);
     }
-    STRIP_ASSIGN_OR_RETURN(RowIter it, table->Insert(MakeRecord(values)));
+    STRIP_ASSIGN_OR_RETURN(RowHandle it, table->Insert(MakeRecord(values)));
     ctx_.txn->log().Append(LogOp::kInsert, table, it->id, nullptr, it->rec);
     ++inserted;
   }
@@ -1191,12 +1202,12 @@ Result<int> SqlExecutor::ExecuteUpdate(const UpdateStmt& stmt) {
   }
 
   STRIP_ASSIGN_OR_RETURN(
-      std::vector<RowIter> targets,
+      std::vector<RowHandle> targets,
       CollectMatchingRows(table, stmt.where.get(), ctx_.funcs, ctx_.pseudo,
                           ctx_.params));
 
   SingleTableRowContext ctx(table->name(), &schema, ctx_.pseudo);
-  for (RowIter it : targets) {
+  for (RowHandle it : targets) {
     RecordRef old_rec = it->rec;
     ctx.set_record(old_rec.get());
     std::vector<Value> values = old_rec->values;
@@ -1223,11 +1234,11 @@ Result<int> SqlExecutor::ExecuteDelete(const DeleteStmt& stmt) {
   STRIP_RETURN_IF_ERROR(LockTable(table, LockMode::kExclusive));
 
   STRIP_ASSIGN_OR_RETURN(
-      std::vector<RowIter> targets,
+      std::vector<RowHandle> targets,
       CollectMatchingRows(table, stmt.where.get(), ctx_.funcs, ctx_.pseudo,
                           ctx_.params));
 
-  for (RowIter it : targets) {
+  for (RowHandle it : targets) {
     ctx_.txn->log().Append(LogOp::kDelete, table, it->id, it->rec, nullptr);
     table->Erase(it);
   }

@@ -2,11 +2,11 @@
 
 namespace strip {
 
-void HashIndex::Insert(const Value& key, RowIter row) {
+void HashIndex::Insert(const Value& key, RowHandle row) {
   map_.emplace(key, row);
 }
 
-void HashIndex::Erase(const Value& key, RowIter row) {
+void HashIndex::Erase(const Value& key, RowHandle row) {
   auto [lo, hi] = map_.equal_range(key);
   for (auto it = lo; it != hi; ++it) {
     if (it->second == row) {
@@ -16,25 +16,25 @@ void HashIndex::Erase(const Value& key, RowIter row) {
   }
 }
 
-void HashIndex::Lookup(const Value& key, std::vector<RowIter>& out) const {
+void HashIndex::Lookup(const Value& key, std::vector<RowHandle>& out) const {
   auto [lo, hi] = map_.equal_range(key);
   for (auto it = lo; it != hi; ++it) out.push_back(it->second);
 }
 
-void RbTreeIndex::Insert(const Value& key, RowIter row) {
+void RbTreeIndex::Insert(const Value& key, RowHandle row) {
   map_.Insert(key, row);
 }
 
-void RbTreeIndex::Erase(const Value& key, RowIter row) {
+void RbTreeIndex::Erase(const Value& key, RowHandle row) {
   map_.Erase(key, row);
 }
 
-void RbTreeIndex::Lookup(const Value& key, std::vector<RowIter>& out) const {
+void RbTreeIndex::Lookup(const Value& key, std::vector<RowHandle>& out) const {
   map_.LookupEqual(key, out);
 }
 
 void RbTreeIndex::LookupRange(const Value& lo, const Value& hi,
-                              std::vector<RowIter>& out) const {
+                              std::vector<RowHandle>& out) const {
   map_.LookupRange(lo, hi, out);
 }
 

@@ -7,7 +7,7 @@
 #include <vector>
 
 #include "strip/storage/rbtree.h"
-#include "strip/storage/record.h"
+#include "strip/storage/page.h"
 #include "strip/storage/value.h"
 
 namespace strip {
@@ -33,10 +33,10 @@ class Index {
   int column() const { return column_; }
   IndexKind kind() const { return kind_; }
 
-  virtual void Insert(const Value& key, RowIter row) = 0;
-  virtual void Erase(const Value& key, RowIter row) = 0;
+  virtual void Insert(const Value& key, RowHandle row) = 0;
+  virtual void Erase(const Value& key, RowHandle row) = 0;
   /// Appends all rows with key == `key` to `out`.
-  virtual void Lookup(const Value& key, std::vector<RowIter>& out) const = 0;
+  virtual void Lookup(const Value& key, std::vector<RowHandle>& out) const = 0;
   virtual size_t size() const = 0;
 
  private:
@@ -51,13 +51,13 @@ class HashIndex final : public Index {
   HashIndex(std::string name, int column)
       : Index(std::move(name), column, IndexKind::kHash) {}
 
-  void Insert(const Value& key, RowIter row) override;
-  void Erase(const Value& key, RowIter row) override;
-  void Lookup(const Value& key, std::vector<RowIter>& out) const override;
+  void Insert(const Value& key, RowHandle row) override;
+  void Erase(const Value& key, RowHandle row) override;
+  void Lookup(const Value& key, std::vector<RowHandle>& out) const override;
   size_t size() const override { return map_.size(); }
 
  private:
-  std::unordered_multimap<Value, RowIter, ValueHash> map_;
+  std::unordered_multimap<Value, RowHandle, ValueHash> map_;
 };
 
 /// Red-black-tree index (§6.1): ordered, supports range scans. Backed by
@@ -67,14 +67,14 @@ class RbTreeIndex final : public Index {
   RbTreeIndex(std::string name, int column)
       : Index(std::move(name), column, IndexKind::kRbTree) {}
 
-  void Insert(const Value& key, RowIter row) override;
-  void Erase(const Value& key, RowIter row) override;
-  void Lookup(const Value& key, std::vector<RowIter>& out) const override;
+  void Insert(const Value& key, RowHandle row) override;
+  void Erase(const Value& key, RowHandle row) override;
+  void Lookup(const Value& key, std::vector<RowHandle>& out) const override;
   size_t size() const override { return map_.size(); }
 
   /// Appends rows with lo <= key <= hi, in key order.
   void LookupRange(const Value& lo, const Value& hi,
-                   std::vector<RowIter>& out) const;
+                   std::vector<RowHandle>& out) const;
 
   /// The underlying tree (invariant checks in tests).
   const RbTreeMap& tree() const { return map_; }

@@ -1,0 +1,190 @@
+#include "strip/storage/page.h"
+
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+RowHandle PageManager::Allocate() {
+  while (!free_pages_.empty()) {
+    RowPage* page = pages_[free_pages_.back()].get();
+    if (page->live_count == RowPage::kSlots) {
+      // Stale entry (shouldn't happen — pages leave the list when they
+      // fill — but cheap to tolerate).
+      page->in_free_list = false;
+      free_pages_.pop_back();
+      continue;
+    }
+    uint32_t w = page->free_hint_word;
+    while (w < RowPage::kWords && page->live[w] == ~0ull) ++w;
+    if (w == RowPage::kWords) {
+      // Hint was behind a fully-packed tail; rescan from the top.
+      w = 0;
+      while (page->live[w] == ~0ull) ++w;
+    }
+    page->free_hint_word = w;
+    uint32_t slot =
+        (w << 6) + static_cast<uint32_t>(std::countr_zero(~page->live[w]));
+    page->live[w] |= 1ull << (slot & 63);
+    ++page->live_count;
+    ++live_;
+    if (page->live_count == RowPage::kSlots) {
+      page->in_free_list = false;
+      free_pages_.pop_back();
+    }
+    return RowHandle(page, slot);
+  }
+
+  auto page = std::make_unique<RowPage>();
+  page->index = static_cast<uint32_t>(pages_.size());
+  page->live[0] = 1;
+  page->live_count = 1;
+  page->in_free_list = true;
+  free_pages_.push_back(page->index);
+  RowHandle h(page.get(), 0);
+  pages_.push_back(std::move(page));
+  ++live_;
+  return h;
+}
+
+void PageManager::Release(RowHandle h) {
+  RowPage* page = h.page();
+  uint32_t slot = h.slot();
+  page->live[slot >> 6] &= ~(1ull << (slot & 63));
+  if ((slot >> 6) < page->free_hint_word) page->free_hint_word = slot >> 6;
+  page->slots[slot].id = 0;
+  page->slots[slot].rec.reset();  // tombstone: drop the record pin now
+  --page->live_count;
+  --live_;
+  if (!page->in_free_list) {
+    page->in_free_list = true;
+    free_pages_.push_back(page->index);
+  }
+}
+
+void PageManager::Reserve(size_t expected_rows) {
+  size_t pages_needed =
+      (expected_rows + RowPage::kSlots - 1) / RowPage::kSlots;
+  if (pages_needed > pages_.capacity()) pages_.reserve(pages_needed);
+}
+
+bool PageManager::NextBatch(ScanPos& pos, ScanBatch& batch) const {
+  batch.count = 0;
+  while (pos.page < pages_.size() && batch.count < ScanBatch::kMaxRows) {
+    RowPage* page = pages_[pos.page].get();
+    uint32_t slot = pos.slot;
+    if (page->live_count == 0) slot = RowPage::kSlots;  // skip empty page
+    while (slot < RowPage::kSlots && batch.count < ScanBatch::kMaxRows) {
+      uint32_t w = slot >> 6;
+      uint64_t word = page->live[w] >> (slot & 63);
+      if (word == 0) {
+        slot = (w + 1) << 6;
+        continue;
+      }
+      slot += static_cast<uint32_t>(std::countr_zero(word));
+      batch.rows[batch.count++] = RowHandle(page, slot);
+      ++slot;
+    }
+    if (slot >= RowPage::kSlots) {
+      ++pos.page;
+      pos.slot = 0;
+    } else {
+      pos.slot = slot;
+    }
+  }
+  return batch.count > 0;
+}
+
+void PageManager::const_iterator::SkipDead() {
+  while (page_ < pm_->pages_.size()) {
+    const RowPage& p = *pm_->pages_[page_];
+    while (slot_ < RowPage::kSlots) {
+      uint64_t word = p.live[slot_ >> 6] >> (slot_ & 63);
+      if (word != 0) {
+        slot_ += static_cast<uint32_t>(std::countr_zero(word));
+        return;
+      }
+      slot_ = ((slot_ >> 6) + 1) << 6;
+    }
+    ++page_;
+    slot_ = 0;
+  }
+}
+
+RowHandle PageManager::FirstLive() {
+  const_iterator it = begin();
+  if (it == end()) return RowHandle();
+  return RowHandle(pages_[it.page_].get(), it.slot_);
+}
+
+Status PageManager::CheckConsistency() const {
+  size_t live_total = 0;
+  std::vector<bool> free_listed(pages_.size(), false);
+  for (uint32_t idx : free_pages_) {
+    if (idx >= pages_.size()) {
+      return Status::Internal(StrFormat(
+          "page audit: free list names page %u of %zu", idx, pages_.size()));
+    }
+    if (free_listed[idx]) {
+      return Status::Internal(
+          StrFormat("page audit: page %u is in the free list twice", idx));
+    }
+    free_listed[idx] = true;
+    if (!pages_[idx]->in_free_list) {
+      return Status::Internal(StrFormat(
+          "page audit: page %u is free-listed but not flagged", idx));
+    }
+  }
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    const RowPage& p = *pages_[i];
+    if (p.index != i) {
+      return Status::Internal(StrFormat(
+          "page audit: page %zu records index %u", i, p.index));
+    }
+    uint32_t popcount = 0;
+    for (uint32_t w = 0; w < RowPage::kWords; ++w) {
+      popcount += static_cast<uint32_t>(std::popcount(p.live[w]));
+    }
+    if (popcount != p.live_count) {
+      return Status::Internal(StrFormat(
+          "page audit: page %zu bitmap holds %u live bits but live_count "
+          "says %u",
+          i, popcount, p.live_count));
+    }
+    for (uint32_t slot = 0; slot < RowPage::kSlots; ++slot) {
+      bool is_live = p.IsLive(slot);
+      bool has_rec = p.slots[slot].rec != nullptr;
+      if (is_live && !has_rec) {
+        return Status::Internal(StrFormat(
+            "page audit: page %zu slot %u is live but holds no record",
+            i, slot));
+      }
+      if (!is_live && has_rec) {
+        return Status::Internal(StrFormat(
+            "page audit: page %zu slot %u is a tombstone still pinning a "
+            "record",
+            i, slot));
+      }
+    }
+    if (p.live_count < RowPage::kSlots && !p.in_free_list) {
+      return Status::Internal(StrFormat(
+          "page audit: page %zu has %u free slot(s) but is unreachable "
+          "from the free list",
+          i, RowPage::kSlots - p.live_count));
+    }
+    if (p.in_free_list && !free_listed[i]) {
+      return Status::Internal(StrFormat(
+          "page audit: page %zu is flagged in_free_list but absent from "
+          "the free list",
+          i));
+    }
+    live_total += p.live_count;
+  }
+  if (live_total != live_) {
+    return Status::Internal(StrFormat(
+        "page audit: pages hold %zu live rows but the manager counts %zu",
+        live_total, live_));
+  }
+  return Status::OK();
+}
+
+}  // namespace strip

@@ -1,0 +1,217 @@
+#ifndef STRIP_STORAGE_PAGE_H_
+#define STRIP_STORAGE_PAGE_H_
+
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/storage/record.h"
+
+namespace strip {
+
+/// Fixed-size slotted page of row slots. Pages never move or shrink once
+/// allocated, so a (page, slot) pair is a stable reference for the row's
+/// lifetime — the property the legacy std::list layout bought with
+/// per-node heap allocations, provided here by arena pages instead.
+///
+/// `live` is the occupancy bitmap (bit set = slot holds a live row);
+/// erased slots are tombstoned (record released, bit cleared) and reused
+/// by later inserts. Members are public: RowHandle, PageManager, and the
+/// page-consistency audit all address slots directly, and tests corrupt
+/// pages on purpose to prove the audit catches it.
+struct RowPage {
+  static constexpr uint32_t kSlots = 1024;
+  static constexpr uint32_t kWords = kSlots / 64;
+
+  Row slots[kSlots];
+  uint64_t live[kWords] = {};
+  uint32_t live_count = 0;
+  uint32_t index = 0;           // position in the owning PageManager
+  uint32_t free_hint_word = 0;  // lowest word that may contain a free bit
+  bool in_free_list = false;
+
+  bool IsLive(uint32_t slot) const {
+    return (live[slot >> 6] >> (slot & 63)) & 1;
+  }
+};
+
+/// Stable reference to one row slot: the unit the indexes, the row-id
+/// directory, and the executors hold. Same contract as the legacy list
+/// iterator — valid until the row is erased; using a handle to an erased
+/// row is undefined (the slot may have been reused by a later insert).
+class RowHandle {
+ public:
+  RowHandle() = default;
+  RowHandle(RowPage* page, uint32_t slot) : page_(page), slot_(slot) {}
+
+  Row* get() const { return &page_->slots[slot_]; }
+  Row& operator*() const { return *get(); }
+  Row* operator->() const { return get(); }
+
+  /// Null test: a default-constructed handle references no row (what
+  /// Table::FindRow returns on a miss).
+  explicit operator bool() const { return page_ != nullptr; }
+
+  RowPage* page() const { return page_; }
+  uint32_t slot() const { return slot_; }
+
+  friend bool operator==(const RowHandle& a, const RowHandle& b) {
+    return a.page_ == b.page_ && a.slot_ == b.slot_;
+  }
+  friend bool operator!=(const RowHandle& a, const RowHandle& b) {
+    return !(a == b);
+  }
+
+ private:
+  RowPage* page_ = nullptr;
+  uint32_t slot_ = 0;
+};
+
+/// One step of a batched scan: up to kMaxRows live-row handles gathered
+/// from contiguous slots. Consumers (the SQL executor's filter loop, the
+/// cursor, DML row collection) drain the array in a tight loop free of
+/// per-row liveness branches — the bitmap walk happens once per batch in
+/// PageManager::NextBatch.
+struct ScanBatch {
+  static constexpr size_t kMaxRows = 64;
+  RowHandle rows[kMaxRows];
+  size_t count = 0;
+};
+
+/// Owns a table's pages: allocation with free-slot reuse, tombstoned
+/// release, batched and iterator-style scans over live slots, and the
+/// page-consistency audit the chaos harness runs between steps.
+///
+/// Not thread-safe; serialized by the owning table's callers exactly like
+/// the rest of the storage layer. Pages are never deallocated before the
+/// manager itself is destroyed, so handles to live rows stay valid across
+/// unrelated inserts and erases.
+class PageManager {
+ public:
+  PageManager() = default;
+  PageManager(const PageManager&) = delete;
+  PageManager& operator=(const PageManager&) = delete;
+
+  size_t live() const { return live_; }
+  bool empty() const { return live_ == 0; }
+  size_t num_pages() const { return pages_.size(); }
+
+  /// Claims a free slot (reusing tombstones first); the caller fills in
+  /// the returned row's id and record.
+  RowHandle Allocate();
+
+  /// Tombstones the slot: releases its record reference, clears the live
+  /// bit, and makes the slot available for reuse.
+  void Release(RowHandle h);
+
+  /// Pre-sizes the page directory for `expected_rows` total live rows.
+  /// Pages themselves stay lazily allocated — this only reserves the
+  /// page-pointer vector, so over-reserving (e.g. for an upsert-heavy
+  /// feed burst) costs pointers, not pages.
+  void Reserve(size_t expected_rows);
+
+  // --- batched scan --------------------------------------------------------
+
+  /// Scan position: (page, slot), advanced by NextBatch. Value-semantic
+  /// and stable across erases of already-visited rows (slots never shift).
+  struct ScanPos {
+    uint32_t page = 0;
+    uint32_t slot = 0;
+  };
+
+  /// Fills `batch` with up to ScanBatch::kMaxRows live rows starting at
+  /// `pos`, advancing `pos` past them. Returns false (empty batch) at end
+  /// of scan.
+  bool NextBatch(ScanPos& pos, ScanBatch& batch) const;
+
+  // --- iterator scan (range-for compatibility) -----------------------------
+
+  class const_iterator {
+   public:
+    const_iterator() = default;
+    const_iterator(const PageManager* pm, uint32_t page, uint32_t slot)
+        : pm_(pm), page_(page), slot_(slot) {}
+
+    const Row& operator*() const { return pm_->pages_[page_]->slots[slot_]; }
+    const Row* operator->() const {
+      return &pm_->pages_[page_]->slots[slot_];
+    }
+    const_iterator& operator++() {
+      ++slot_;
+      SkipDead();
+      return *this;
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.page_ == b.page_ && a.slot_ == b.slot_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return !(a == b);
+    }
+
+   private:
+    friend class PageManager;
+    void SkipDead();
+
+    const PageManager* pm_ = nullptr;
+    uint32_t page_ = 0;
+    uint32_t slot_ = 0;
+  };
+
+  const_iterator begin() const {
+    const_iterator it(this, 0, 0);
+    it.SkipDead();
+    return it;
+  }
+  const_iterator end() const {
+    return const_iterator(this, static_cast<uint32_t>(pages_.size()), 0);
+  }
+
+  /// Handle of the first live row; null when empty. (The mutating
+  /// equivalent of begin() — e.g. the view-refresh clear loop erases
+  /// through it.)
+  RowHandle FirstLive();
+
+  /// Visits every live row.
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    for (const auto& page : pages_) {
+      if (page->live_count == 0) continue;
+      for (uint32_t w = 0; w < RowPage::kWords; ++w) {
+        uint64_t word = page->live[w];
+        while (word != 0) {
+          uint32_t slot = (w << 6) +
+                          static_cast<uint32_t>(std::countr_zero(word));
+          fn(page->slots[slot]);
+          word &= word - 1;  // clear lowest set bit
+        }
+      }
+    }
+  }
+
+  // --- audit ---------------------------------------------------------------
+
+  /// Page-level consistency: per-page bitmap popcount == live_count,
+  /// live slots hold records and tombstones don't, the live total adds
+  /// up, and every page with free capacity is reachable from the free
+  /// list (no stranded slots). The chaos InvariantChecker runs this
+  /// between simulated steps.
+  Status CheckConsistency() const;
+
+  /// Direct page access for the audit's callers and for tests that
+  /// corrupt a page on purpose to prove CheckConsistency notices.
+  RowPage* page(size_t i) { return pages_[i].get(); }
+  const RowPage* page(size_t i) const { return pages_[i].get(); }
+
+ private:
+  std::vector<std::unique_ptr<RowPage>> pages_;
+  /// Indexes of pages with at least one free slot (deduplicated via
+  /// RowPage::in_free_list). Allocation pops from the back.
+  std::vector<uint32_t> free_pages_;
+  size_t live_ = 0;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_STORAGE_PAGE_H_

@@ -5,7 +5,7 @@
 namespace strip {
 
 RbTreeMap::RbTreeMap() {
-  nil_ = new Node{Value::Null(), RowIter{}, nullptr, nullptr, nullptr,
+  nil_ = new Node{Value::Null(), RowHandle{}, nullptr, nullptr, nullptr,
                   /*red=*/false};
   nil_->left = nil_->right = nil_->parent = nil_;
   root_ = nil_;
@@ -23,7 +23,7 @@ void RbTreeMap::FreeSubtree(Node* n) {
   delete n;
 }
 
-RbTreeMap::Node* RbTreeMap::NewNode(const Value& key, RowIter row) {
+RbTreeMap::Node* RbTreeMap::NewNode(const Value& key, RowHandle row) {
   return new Node{key, row, nil_, nil_, nil_, /*red=*/true};
 }
 
@@ -59,7 +59,7 @@ void RbTreeMap::RotateRight(Node* x) {
   x->parent = y;
 }
 
-void RbTreeMap::Insert(const Value& key, RowIter row) {
+void RbTreeMap::Insert(const Value& key, RowHandle row) {
   Node* z = NewNode(key, row);
   Node* y = nil_;
   Node* x = root_;
@@ -160,7 +160,7 @@ RbTreeMap::Node* RbTreeMap::LowerBound(const Value& key) const {
   return best;
 }
 
-bool RbTreeMap::Erase(const Value& key, RowIter row) {
+bool RbTreeMap::Erase(const Value& key, RowHandle row) {
   for (Node* n = LowerBound(key);
        n != nil_ && Value::Compare(n->key, key) == 0; n = Next(n)) {
     if (n->row == row) {
@@ -259,7 +259,7 @@ void RbTreeMap::EraseFixup(Node* x) {
 }
 
 void RbTreeMap::LookupEqual(const Value& key,
-                            std::vector<RowIter>& out) const {
+                            std::vector<RowHandle>& out) const {
   for (Node* n = LowerBound(key);
        n != nil_ && Value::Compare(n->key, key) == 0; n = Next(n)) {
     out.push_back(n->row);
@@ -267,7 +267,7 @@ void RbTreeMap::LookupEqual(const Value& key,
 }
 
 void RbTreeMap::LookupRange(const Value& lo, const Value& hi,
-                            std::vector<RowIter>& out) const {
+                            std::vector<RowHandle>& out) const {
   for (Node* n = LowerBound(lo);
        n != nil_ && Value::Compare(n->key, hi) <= 0; n = Next(n)) {
     out.push_back(n->row);
@@ -275,7 +275,7 @@ void RbTreeMap::LookupRange(const Value& lo, const Value& hi,
 }
 
 void RbTreeMap::ForEach(
-    const std::function<void(const Value&, RowIter)>& fn) const {
+    const std::function<void(const Value&, RowHandle)>& fn) const {
   if (root_ == nil_) return;
   for (Node* n = Minimum(root_); n != nil_; n = Next(n)) {
     fn(n->key, n->row);
@@ -309,7 +309,7 @@ Status RbTreeMap::CheckInvariants() const {
   if (h == -3) return Status::Internal("black heights differ");
 
   size_t counted = 0;
-  ForEach([&](const Value&, RowIter) { ++counted; });
+  ForEach([&](const Value&, RowHandle) { ++counted; });
   if (counted != size_) {
     return Status::Internal(StrFormat("size %zu but %zu nodes reachable",
                                       size_, counted));

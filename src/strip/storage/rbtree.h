@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "strip/common/status.h"
-#include "strip/storage/record.h"
+#include "strip/storage/page.h"
 #include "strip/storage/value.h"
 
 namespace strip {
@@ -30,20 +30,20 @@ class RbTreeMap {
   bool empty() const { return size_ == 0; }
 
   /// Inserts a (key, row) pair; duplicates allowed.
-  void Insert(const Value& key, RowIter row);
+  void Insert(const Value& key, RowHandle row);
 
   /// Removes one pair matching both key and row. Returns false if absent.
-  bool Erase(const Value& key, RowIter row);
+  bool Erase(const Value& key, RowHandle row);
 
   /// Appends every row with key == `key`, in insertion order among equals.
-  void LookupEqual(const Value& key, std::vector<RowIter>& out) const;
+  void LookupEqual(const Value& key, std::vector<RowHandle>& out) const;
 
   /// Appends every row with lo <= key <= hi, in ascending key order.
   void LookupRange(const Value& lo, const Value& hi,
-                   std::vector<RowIter>& out) const;
+                   std::vector<RowHandle>& out) const;
 
   /// Visits every (key, row) in ascending key order.
-  void ForEach(const std::function<void(const Value&, RowIter)>& fn) const;
+  void ForEach(const std::function<void(const Value&, RowHandle)>& fn) const;
 
   /// Verifies the red-black invariants: the root is black, no red node has
   /// a red child, every root-to-leaf path has the same black height, and
@@ -53,14 +53,14 @@ class RbTreeMap {
  private:
   struct Node {
     Value key;
-    RowIter row;
+    RowHandle row;
     Node* left;
     Node* right;
     Node* parent;
     bool red;
   };
 
-  Node* NewNode(const Value& key, RowIter row);
+  Node* NewNode(const Value& key, RowHandle row);
   void FreeSubtree(Node* n);
 
   void RotateLeft(Node* x);

@@ -1,7 +1,6 @@
 #ifndef STRIP_STORAGE_RECORD_H_
 #define STRIP_STORAGE_RECORD_H_
 
-#include <list>
 #include <memory>
 #include <vector>
 
@@ -29,15 +28,13 @@ inline RecordRef MakeRecord(std::vector<Value> values) {
 /// A slot in a standard table: a stable logical row identity plus the
 /// current record version. The lock manager locks RowIds; UPDATE swaps
 /// `rec` for a new version while `id` is stable for the row's lifetime.
+///
+/// Rows live in slotted arena pages (storage/page.h); RowHandle is the
+/// stable reference type that replaced the legacy std::list iterator.
 struct Row {
   uint64_t id = 0;
   RecordRef rec;
 };
-
-/// Tables store rows as a linked list (§6.1); list iterators are stable
-/// across unrelated inserts/erases, which lets indexes point at rows.
-using RowList = std::list<Row>;
-using RowIter = RowList::iterator;
 
 }  // namespace strip
 

@@ -45,47 +45,46 @@ Result<RecordRef> Table::ValidateRecord(RecordRef rec) const {
   return MakeRecord(std::move(coerced));
 }
 
-Result<RowIter> Table::Insert(RecordRef rec) {
-  STRIP_ASSIGN_OR_RETURN(rec, ValidateRecord(std::move(rec)));
-  rows_.push_back(Row{next_row_id_++, std::move(rec)});
-  RowIter it = std::prev(rows_.end());
-  row_by_id_.emplace(it->id, it);
+RowHandle Table::Install(uint64_t id, RecordRef rec) {
+  RowHandle h = rows_.Allocate();
+  h->id = id;
+  h->rec = std::move(rec);
+  row_by_id_.emplace(id, h);
   for (auto& idx : indexes_) {
-    idx->Insert(it->rec->values[static_cast<size_t>(idx->column())], it);
+    idx->Insert(h->rec->values[static_cast<size_t>(idx->column())], h);
   }
-  return it;
+  return h;
 }
 
-void Table::Erase(RowIter row) {
+Result<RowHandle> Table::Insert(RecordRef rec) {
+  STRIP_ASSIGN_OR_RETURN(rec, ValidateRecord(std::move(rec)));
+  return Install(next_row_id_++, std::move(rec));
+}
+
+void Table::Erase(RowHandle row) {
   for (auto& idx : indexes_) {
     idx->Erase(row->rec->values[static_cast<size_t>(idx->column())], row);
   }
   row_by_id_.erase(row->id);
-  rows_.erase(row);
+  rows_.Release(row);
 }
 
-RowIter Table::FindRow(uint64_t id) {
+RowHandle Table::FindRow(uint64_t id) {
   auto it = row_by_id_.find(id);
-  return it == row_by_id_.end() ? rows_.end() : it->second;
+  return it == row_by_id_.end() ? RowHandle() : it->second;
 }
 
-Result<RowIter> Table::ResurrectRow(uint64_t id, RecordRef rec) {
+Result<RowHandle> Table::ResurrectRow(uint64_t id, RecordRef rec) {
   if (row_by_id_.count(id) > 0) {
     return Status::FailedPrecondition(
         StrFormat("row %llu of table '%s' is still live",
                   static_cast<unsigned long long>(id), name_.c_str()));
   }
   STRIP_ASSIGN_OR_RETURN(rec, ValidateRecord(std::move(rec)));
-  rows_.push_back(Row{id, std::move(rec)});
-  RowIter it = std::prev(rows_.end());
-  row_by_id_.emplace(id, it);
-  for (auto& idx : indexes_) {
-    idx->Insert(it->rec->values[static_cast<size_t>(idx->column())], it);
-  }
-  return it;
+  return Install(id, std::move(rec));
 }
 
-Status Table::Update(RowIter row, RecordRef rec) {
+Status Table::Update(RowHandle row, RecordRef rec) {
   STRIP_ASSIGN_OR_RETURN(rec, ValidateRecord(std::move(rec)));
   for (auto& idx : indexes_) {
     size_t col = static_cast<size_t>(idx->column());
@@ -100,6 +99,13 @@ Status Table::Update(RowIter row, RecordRef rec) {
   return Status::OK();
 }
 
+void Table::Reserve(size_t expected_rows) {
+  rows_.Reserve(expected_rows);
+  if (expected_rows > row_by_id_.size()) {
+    row_by_id_.reserve(expected_rows);
+  }
+}
+
 Status Table::CreateTableIndex(const std::string& column, IndexKind kind) {
   int pos = schema_.FindColumn(column);
   if (pos < 0) {
@@ -112,9 +118,12 @@ Status Table::CreateTableIndex(const std::string& column, IndexKind kind) {
         name_.c_str()));
   }
   auto idx = CreateIndex(kind, name_ + "_" + ToLower(column) + "_idx", pos);
-  for (RowIter it = rows_.begin(); it != rows_.end(); ++it) {
-    idx->Insert(it->rec->values[static_cast<size_t>(pos)], it);
-  }
+  rows_.ForEachRow([&](const Row& row) {
+    // Backfill through the directory so the index stores a real handle,
+    // not a reference into the const iteration.
+    idx->Insert(row.rec->values[static_cast<size_t>(pos)],
+                row_by_id_.at(row.id));
+  });
   indexes_.push_back(std::move(idx));
   return Status::OK();
 }
@@ -132,16 +141,40 @@ Index* Table::FindIndexByPosition(int column) const {
   return nullptr;
 }
 
-std::vector<RowIter> Table::IndexLookup(int column, const Value& key) const {
-  std::vector<RowIter> out;
+std::vector<RowHandle> Table::IndexLookup(int column, const Value& key) const {
+  std::vector<RowHandle> out;
   IndexLookup(column, key, out);
   return out;
 }
 
 void Table::IndexLookup(int column, const Value& key,
-                        std::vector<RowIter>& out) const {
+                        std::vector<RowHandle>& out) const {
   Index* idx = FindIndexByPosition(column);
   if (idx != nullptr) idx->Lookup(key, out);
+}
+
+Status Table::AuditPageConsistency() const {
+  STRIP_RETURN_IF_ERROR(rows_.CheckConsistency());
+  if (row_by_id_.size() != rows_.live()) {
+    return Status::Internal(StrFormat(
+        "table '%s': row directory holds %zu entries but %zu rows are live",
+        name_.c_str(), row_by_id_.size(), rows_.live()));
+  }
+  for (const auto& [id, h] : row_by_id_) {
+    if (!h || !h.page()->IsLive(h.slot())) {
+      return Status::Internal(StrFormat(
+          "table '%s': directory entry for row %llu points at a dead slot",
+          name_.c_str(), static_cast<unsigned long long>(id)));
+    }
+    if (h->id != id) {
+      return Status::Internal(StrFormat(
+          "table '%s': directory entry for row %llu resolves to a slot "
+          "carrying id %llu",
+          name_.c_str(), static_cast<unsigned long long>(id),
+          static_cast<unsigned long long>(h->id)));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace strip

@@ -9,17 +9,25 @@
 
 #include "strip/common/status.h"
 #include "strip/storage/index.h"
+#include "strip/storage/page.h"
 #include "strip/storage/record.h"
 #include "strip/storage/schema.h"
 
 namespace strip {
 
-/// A standard (user-created) table: a linked list of immutable records with
-/// optional hash / red-black-tree indexes (§6.1). Row order is unimportant.
+/// A standard (user-created) table: slotted arena pages of immutable
+/// records with optional hash / red-black-tree indexes (§6.1). Row order
+/// is unimportant.
 ///
 /// Mutations never change a record in place; UPDATE installs a new record
 /// version in the row slot. Old record versions survive as long as any
-/// transition/bound table holds a RecordRef to them.
+/// transition/bound table holds a RecordRef to them. Erase tombstones the
+/// slot (the table's own record pin drops immediately); a later insert may
+/// reuse the slot.
+///
+/// Row ids are assigned sequentially from 1, so neither id 0 nor the
+/// whole-table lock sentinel (LockKey::kWholeTableRowId) can ever name a
+/// real row.
 ///
 /// Thread-compatibility: Table is not internally synchronized; transactions
 /// serialize access through the lock manager, and executors guarantee that
@@ -33,22 +41,36 @@ class Table {
 
   const std::string& name() const { return name_; }
   const Schema& schema() const { return schema_; }
-  size_t size() const { return rows_.size(); }
+  size_t size() const { return rows_.live(); }
 
-  /// Validates `rec` against the schema and appends it.
-  /// Returns the inserted row (stable iterator).
-  Result<RowIter> Insert(RecordRef rec);
+  /// Validates `rec` against the schema and stores it in a fresh slot.
+  /// Returns a stable handle to the inserted row.
+  Result<RowHandle> Insert(RecordRef rec);
 
-  /// Unlinks the row; the record stays alive while referenced elsewhere.
-  void Erase(RowIter row);
+  /// Tombstones the row's slot; the record stays alive while referenced
+  /// elsewhere (bound/transition tables), but the table's own pin drops now.
+  void Erase(RowHandle row);
 
   /// Replaces the row's record with a new version (copy-on-write update).
-  Status Update(RowIter row, RecordRef rec);
+  Status Update(RowHandle row, RecordRef rec);
 
-  /// Row storage, for scans. Iteration order is insertion order but callers
-  /// must not rely on it (the paper's tables are unordered).
-  RowList& rows() { return rows_; }
-  const RowList& rows() const { return rows_; }
+  /// Row storage, for scans: range-for over live rows. Iteration order is
+  /// page/slot order but callers must not rely on it (the paper's tables
+  /// are unordered).
+  PageManager& rows() { return rows_; }
+  const PageManager& rows() const { return rows_; }
+
+  /// Batched scan step (the executor's hot path): fills `batch` with up to
+  /// ScanBatch::kMaxRows live rows and advances `pos`. Returns false at
+  /// end of scan.
+  bool NextBatch(PageManager::ScanPos& pos, ScanBatch& batch) const {
+    return rows_.NextBatch(pos, batch);
+  }
+
+  /// Pre-sizes the arena's page directory and the row-id directory for
+  /// `expected_rows` total rows — bulk loaders and feed bursts call this to
+  /// avoid rehash storms mid-burst. Never shrinks.
+  void Reserve(size_t expected_rows);
 
   /// Creates an index on `column` (by name). One index per column.
   Status CreateTableIndex(const std::string& column, IndexKind kind);
@@ -58,24 +80,24 @@ class Table {
   Index* FindIndexByPosition(int column) const;
 
   /// Equality lookup through the column's index; the column must be indexed.
-  std::vector<RowIter> IndexLookup(int column, const Value& key) const;
+  std::vector<RowHandle> IndexLookup(int column, const Value& key) const;
 
   /// Allocation-free variant: appends matches to `out` (which the caller
   /// clears and reuses across probes — the executor's inner join loops call
   /// this once per outer row).
   void IndexLookup(int column, const Value& key,
-                   std::vector<RowIter>& out) const;
+                   std::vector<RowHandle>& out) const;
 
   /// Checks the record against the schema (arity + types; kNull allowed in
   /// any column; ints accepted into double columns and stored coerced).
   Result<RecordRef> ValidateRecord(RecordRef rec) const;
 
-  /// Finds a live row by its stable id; rows().end() if absent. O(1).
-  RowIter FindRow(uint64_t id);
+  /// Finds a live row by its stable id; a null handle if absent. O(1).
+  RowHandle FindRow(uint64_t id);
 
   /// Re-inserts a previously erased row under its original id (transaction
   /// undo of a DELETE). Fails if the id is still live.
-  Result<RowIter> ResurrectRow(uint64_t id, RecordRef rec);
+  Result<RowHandle> ResurrectRow(uint64_t id, RecordRef rec);
 
   /// Refcount audit API (chaos invariant a): visits the live record version
   /// of every row. Together with the bound-table walk this enumerates every
@@ -84,16 +106,26 @@ class Table {
   /// mutating the table.
   template <typename Fn>
   void ForEachRecord(Fn&& fn) const {
-    for (const Row& row : rows_) fn(row.rec);
+    rows_.ForEachRow([&](const Row& row) { fn(row.rec); });
   }
 
+  /// Page-level audit (chaos invariant e): the arena's own consistency
+  /// (bitmaps vs live counts vs free list) plus agreement between the
+  /// row-id directory and the pages — every directory entry resolves to a
+  /// live slot carrying its id, and the directory covers every live row.
+  Status AuditPageConsistency() const;
+
  private:
+  /// Fills a freshly allocated slot and wires it into the directory and
+  /// the indexes (shared tail of Insert and ResurrectRow).
+  RowHandle Install(uint64_t id, RecordRef rec);
+
   std::string name_;
   Schema schema_;
-  RowList rows_;
+  PageManager rows_;
   uint64_t next_row_id_ = 1;
   std::vector<std::unique_ptr<Index>> indexes_;
-  std::unordered_map<uint64_t, RowIter> row_by_id_;
+  std::unordered_map<uint64_t, RowHandle> row_by_id_;
 };
 
 }  // namespace strip

@@ -39,6 +39,7 @@ struct FeedEvent {
   Timestamp at;         // virtual-time release of the update task
   uint64_t priority;    // wait-die age: generation order, kept on retry
   bool duplicate;       // re-delivery of an earlier message
+  bool churn = false;   // also delete + re-insert the row (state-preserving)
 };
 
 std::string SymName(int i) { return StrFormat("S%d", i); }
@@ -83,7 +84,64 @@ std::vector<FeedEvent> MakeFeed(const ChaosOptions& o) {
       events.push_back(dup);
     }
   }
+  // Churn: after applying the update, the event also deletes and
+  // re-inserts its base row — tombstoning the slot and reclaiming it (or
+  // resurrecting it on txn undo). The short-circuit keeps the RNG stream
+  // of pre-churn seeds byte-identical when the rate is zero.
+  for (FeedEvent& e : events) {
+    e.churn = o.churn_rate > 0 && rng.Unit() < o.churn_rate;
+  }
   return events;
+}
+
+/// The churn half of a churn event: delete the row and re-insert it with
+/// its current values, in one transaction. State-preserving (the shadow
+/// recompute can't tell), but the row's slot is tombstoned and reallocated
+/// — and when the injector kills the transaction mid-flight, the undo path
+/// resurrects the deleted row. The row id changes; nothing outside the
+/// transaction holds one.
+Status ApplyChurn(Database& db, const FeedEvent& e, uint64_t* churned) {
+  const std::string sym = SymName(e.sym);
+  constexpr int kRetryLimit = 16;
+  Status last;
+  for (int attempt = 0; attempt <= kRetryLimit; ++attempt) {
+    Result<Transaction*> txn = db.Begin(e.priority);
+    if (!txn.ok()) return txn.status();
+    auto run = [&]() -> Status {
+      Result<ResultSet> row = db.ExecuteInTxn(
+          *txn, StrFormat("select price, ver from base where sym = '%s'",
+                          sym.c_str()));
+      STRIP_RETURN_IF_ERROR(row.status());
+      if (row->num_rows() != 1) {
+        return Status::Internal(StrFormat(
+            "churn: %zu base rows for '%s'", row->num_rows(), sym.c_str()));
+      }
+      double price = row->rows[0][0].as_double();
+      long long ver = static_cast<long long>(row->rows[0][1].as_int());
+      STRIP_RETURN_IF_ERROR(
+          db.ExecuteInTxn(*txn, StrFormat("delete from base where sym = '%s'",
+                                          sym.c_str()))
+              .status());
+      return db
+          .ExecuteInTxn(*txn,
+                        StrFormat("insert into base values ('%s', %.1f, %lld)",
+                                  sym.c_str(), price, ver))
+          .status();
+    };
+    Status st = run();
+    if (st.ok()) {
+      last = db.Commit(*txn);
+      if (last.ok()) {
+        ++*churned;
+        return Status::OK();
+      }
+    } else {
+      last = st;
+      (void)db.Abort(*txn);
+    }
+    if (last.code() != StatusCode::kAborted) return last;
+  }
+  return last;
 }
 
 /// Applies one feed event inside its own transaction, retrying injected
@@ -305,15 +363,20 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   std::vector<FeedEvent> events = MakeFeed(options);
   report.feed_events = events.size();
   uint64_t applied = 0;
+  uint64_t churned = 0;
   for (const FeedEvent& e : events) {
     TaskPtr task = db.NewTask();
     task->release_time = e.at;
-    task->function_name = e.duplicate ? "feed-dup" : "feed";
+    task->function_name =
+        e.churn ? "feed-churn" : (e.duplicate ? "feed-dup" : "feed");
     FeedEvent ev = e;
     Database* dbp = &db;
     uint64_t* appliedp = &applied;
-    task->work = [dbp, ev, appliedp](TaskControlBlock&) {
-      return ApplyEvent(*dbp, ev, appliedp);
+    uint64_t* churnedp = &churned;
+    task->work = [dbp, ev, appliedp, churnedp](TaskControlBlock&) {
+      STRIP_RETURN_IF_ERROR(ApplyEvent(*dbp, ev, appliedp));
+      if (ev.churn) return ApplyChurn(*dbp, ev, churnedp);
+      return Status::OK();
     };
     db.Submit(std::move(task));
   }
@@ -338,6 +401,7 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   }
 
   report.applied_updates = applied;
+  report.churn_events = churned;
   report.rule_tasks_created = db.rules().stats().tasks_created;
   report.firings_merged = db.rules().stats().firings_merged;
   report.wait_die_aborts =
@@ -411,6 +475,7 @@ ShrinkResult ShrinkFailure(const ChaosOptions& failing, int max_runs) {
       {"no bursts", [](ChaosOptions& o) { o.burst_rate = 0; }},
       {"no reorders", [](ChaosOptions& o) { o.reorder_rate = 0; }},
       {"no duplicates", [](ChaosOptions& o) { o.duplicate_rate = 0; }},
+      {"no churn", [](ChaosOptions& o) { o.churn_rate = 0; }},
   };
   for (const Knob& k : knobs) {
     ChaosOptions trial = res.options;

@@ -32,6 +32,12 @@ struct ChaosOptions {
   double burst_rate = 0.15;      // collapse the gap to 0 (same-instant)
   double reorder_rate = 0.10;    // swap with the previous event's slot
   double duplicate_rate = 0.05;  // re-deliver the event a moment later
+  /// Follow the price update with a delete + re-insert of the same base
+  /// row (state-preserving): exercises slot tombstoning, reuse, and — via
+  /// txn undo under injected aborts — resurrection, the page-arena paths a
+  /// pure update stream never touches. 0 by default so pre-churn canned
+  /// seeds keep their exact RNG stream.
+  double churn_rate = 0.0;
 
   // --- fault injection --------------------------------------------------
   /// `faults.seed` is overwritten with `seed` by RunChaos.
@@ -62,6 +68,7 @@ struct ChaosReport {
   uint64_t tasks_run = 0;
   uint64_t feed_events = 0;       // update tasks submitted (incl. dups)
   uint64_t applied_updates = 0;   // update txns that committed
+  uint64_t churn_events = 0;      // delete+re-insert churn txns committed
   uint64_t rule_tasks_created = 0;
   uint64_t firings_merged = 0;
   uint64_t wait_die_aborts = 0;   // injected + organic, from lock stats

@@ -22,6 +22,12 @@ Status InvariantChecker::CheckStep() {
   if (options_.check_unique_directory) {
     STRIP_RETURN_IF_ERROR(CheckUniqueDirectory());
   }
+  // Page consistency before the refcount audit: (a) walks every live
+  // slot, so page-level corruption must be diagnosed as itself, not as a
+  // downstream refcount anomaly.
+  if (options_.check_page_consistency) {
+    STRIP_RETURN_IF_ERROR(CheckPageConsistency());
+  }
   if (options_.check_refcounts) {
     STRIP_RETURN_IF_ERROR(CheckRefcounts());
   }
@@ -136,6 +142,22 @@ Status InvariantChecker::CheckRefcounts() {
           static_cast<const void*>(rec), actual, p.expected,
           actual > p.expected ? "refcount leak (an unpin was lost)"
                               : "double release (freed while referenced)"));
+    }
+  }
+  return Status::OK();
+}
+
+Status InvariantChecker::CheckPageConsistency() {
+  // Each table audits its own arena (bitmaps, live counts, free list) and
+  // its row-id directory; here we just aggregate with the invariant tag
+  // the shrinker keys on.
+  for (const std::string& name : db_->catalog().ListTables()) {
+    Table* table = db_->catalog().FindTable(name);
+    if (table == nullptr) continue;
+    Status st = table->AuditPageConsistency();
+    if (!st.ok()) {
+      return Status::Internal(
+          StrFormat("invariant e: %s", st.message().c_str()));
     }
   }
   return Status::OK();

@@ -13,9 +13,10 @@ class Database;
 /// Which invariant classes CheckStep validates (all on by default; the
 /// seed shrinker disables classes to isolate a failure).
 struct InvariantOptions {
-  bool check_refcounts = true;        // (a) record pins vs. use_count
-  bool check_lock_residue = true;     // (b) no locks held by finished txns
-  bool check_unique_directory = true; // (c) directory vs. delay-queue
+  bool check_refcounts = true;         // (a) record pins vs. use_count
+  bool check_lock_residue = true;      // (b) no locks held by finished txns
+  bool check_unique_directory = true;  // (c) directory vs. delay-queue
+  bool check_page_consistency = true;  // (e) arena pages vs. row directory
 };
 
 /// Validates global consistency of a simulated-mode Database between
@@ -37,6 +38,12 @@ struct InvariantOptions {
 /// Invariant (d) — derived-table consistency against a shadow brute-force
 /// recompute — needs workload knowledge, so CheckQuiescent takes it as a
 /// callback (the chaos workload and the PTA harness each supply theirs).
+///
+///  (e) Page consistency: every table's slotted-page arena agrees with
+///      itself (occupancy bitmaps vs. live counts vs. free list; live
+///      slots hold records, tombstones pin nothing) and with the row-id
+///      directory (every id resolves to a live slot carrying that id, and
+///      the directory covers every live row).
 class InvariantChecker {
  public:
   InvariantChecker(Database* db, InvariantOptions options)
@@ -55,6 +62,7 @@ class InvariantChecker {
   Status CheckRefcounts();
   Status CheckLockResidue();
   Status CheckUniqueDirectory();
+  Status CheckPageConsistency();
 
   Database* db_;
   InvariantOptions options_;

@@ -22,12 +22,24 @@ enum class LockMode {
   kExclusive,
 };
 
-/// What a lock covers: a whole table (row_id == 0) or one row.
+/// What a lock covers: a whole table or one row.
+///
+/// The whole-table key uses a reserved sentinel row id rather than
+/// aliasing a real id: table row ids are assigned sequentially from 1
+/// and can never reach ~0, so WholeTable(t) collides with no ForRow(t, n)
+/// — including ForRow(t, 0), which once aliased it (a footgun the lock
+/// manager tests used to have to tiptoe around).
 struct LockKey {
+  /// Sentinel row id naming the whole table. Unreachable by real rows
+  /// (ids count up from 1).
+  static constexpr uint64_t kWholeTableRowId = ~0ull;
+
   const Table* table = nullptr;
   uint64_t row_id = 0;
 
-  static LockKey WholeTable(const Table* t) { return LockKey{t, 0}; }
+  static LockKey WholeTable(const Table* t) {
+    return LockKey{t, kWholeTableRowId};
+  }
   static LockKey ForRow(const Table* t, uint64_t row) {
     return LockKey{t, row};
   }

@@ -9,8 +9,7 @@ Status TxnLog::Undo() {
     const LogEntry& e = *it;
     switch (e.op) {
       case LogOp::kInsert: {
-        RowIter row = e.table->FindRow(e.row_id);
-        if (row != e.table->rows().end()) {
+        if (RowHandle row = e.table->FindRow(e.row_id)) {
           e.table->Erase(row);
         }
         break;
@@ -21,8 +20,8 @@ Status TxnLog::Undo() {
         break;
       }
       case LogOp::kUpdate: {
-        RowIter row = e.table->FindRow(e.row_id);
-        if (row == e.table->rows().end()) {
+        RowHandle row = e.table->FindRow(e.row_id);
+        if (!row) {
           return Status::Internal("undo: updated row vanished");
         }
         STRIP_RETURN_IF_ERROR(e.table->Update(row, e.old_rec));

@@ -12,7 +12,7 @@ namespace {
 Status InsertRows(Database& db, Transaction* txn, Table* table,
                   const TempTable& data) {
   for (size_t i = 0; i < data.size(); ++i) {
-    STRIP_ASSIGN_OR_RETURN(RowIter it,
+    STRIP_ASSIGN_OR_RETURN(RowHandle it,
                            table->Insert(MakeRecord(data.MaterializeRow(i))));
     txn->log().Append(LogOp::kInsert, table, it->id, nullptr, it->rec);
   }
@@ -100,7 +100,7 @@ Status ViewManager::RefreshView(const std::string& name) {
     STRIP_RETURN_IF_ERROR(db_->locks().Acquire(
         txn, LockKey::WholeTable(table), LockMode::kExclusive));
     while (!table->rows().empty()) {
-      RowIter row = table->rows().begin();
+      RowHandle row = table->rows().FirstLive();
       txn->log().Append(LogOp::kDelete, table, row->id, row->rec, nullptr);
       table->Erase(row);
     }

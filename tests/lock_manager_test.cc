@@ -34,6 +34,23 @@ class LockManagerTest : public ::testing::Test {
   Transaction younger_;
 };
 
+TEST_F(LockManagerTest, WholeTableDoesNotAliasRowZero) {
+  // Regression: WholeTable(t) used to be spelled {t, 0}, colliding with
+  // ForRow(t, 0). The sentinel makes them distinct keys, so two
+  // transactions can hold them exclusively at the same time.
+  EXPECT_NE(LockKey::WholeTable(&table_), LockKey::ForRow(&table_, 0));
+  EXPECT_EQ(LockKey::WholeTable(&table_),
+            LockKey::ForRow(&table_, LockKey::kWholeTableRowId));
+  ASSERT_OK(lm_.Acquire(&older_, LockKey::WholeTable(&table_),
+                        LockMode::kExclusive));
+  ASSERT_OK(lm_.Acquire(&younger_, LockKey::ForRow(&table_, 0),
+                        LockMode::kExclusive));
+  EXPECT_EQ(lm_.NumLockedKeys(), 2u);
+  lm_.ReleaseAll(&older_);
+  lm_.ReleaseAll(&younger_);
+  EXPECT_EQ(lm_.NumLockedKeys(), 0u);
+}
+
 TEST_F(LockManagerTest, SharedLocksAreCompatible) {
   LockKey key = LockKey::WholeTable(&table_);
   ASSERT_OK(lm_.Acquire(&older_, key, LockMode::kShared));
@@ -261,10 +278,8 @@ TEST_F(LockManagerTest, ConcurrentDisjointRowsDontInterfere) {
 TEST_F(LockManagerTest, DeathReleasesEverythingAcrossShards) {
   // The victim holds row locks spread across many shards when it dies on
   // a contested key; ReleaseAll must scrub every shard, not just the one
-  // it died in. Rows start at 1: WholeTable(t) aliases ForRow(t, 0), and
-  // holding row 0 here would make the older transaction below wait on the
-  // younger one forever (single-threaded wait-die deadlock).
-  for (uint64_t row = 1; row <= 64; ++row) {
+  // it died in.
+  for (uint64_t row = 0; row <= 64; ++row) {
     ASSERT_OK(lm_.Acquire(&younger_, LockKey::ForRow(&table_, row),
                           LockMode::kExclusive));
   }

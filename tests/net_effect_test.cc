@@ -23,14 +23,14 @@ class NetEffectTest : public ::testing::Test {
  protected:
   NetEffectTest() : table_("t", KV()) {}
 
-  RowIter Insert(const std::string& k, int v) {
+  RowHandle Insert(const std::string& k, int v) {
     auto r = table_.Insert(MakeRecord({Value::Str(k), Value::Int(v)}));
     EXPECT_TRUE(r.ok());
     log_.Append(LogOp::kInsert, &table_, (*r)->id, nullptr, (*r)->rec);
     return *r;
   }
 
-  void Update(RowIter row, int v) {
+  void Update(RowHandle row, int v) {
     RecordRef old_rec = row->rec;
     Status st = table_.Update(
         row, MakeRecord({old_rec->values[0], Value::Int(v)}));
@@ -38,7 +38,7 @@ class NetEffectTest : public ::testing::Test {
     log_.Append(LogOp::kUpdate, &table_, row->id, old_rec, row->rec);
   }
 
-  void Delete(RowIter row) {
+  void Delete(RowHandle row) {
     log_.Append(LogOp::kDelete, &table_, row->id, row->rec, nullptr);
     table_.Erase(row);
   }
@@ -51,7 +51,7 @@ class NetEffectTest : public ::testing::Test {
   }
 
   /// A pre-existing row (not logged in this "transaction").
-  RowIter Preexisting(const std::string& k, int v) {
+  RowHandle Preexisting(const std::string& k, int v) {
     auto r = table_.Insert(MakeRecord({Value::Str(k), Value::Int(v)}));
     EXPECT_TRUE(r.ok());
     return *r;
@@ -71,7 +71,7 @@ TEST_F(NetEffectTest, PlainInsert) {
 }
 
 TEST_F(NetEffectTest, InsertThenUpdateIsNetInsertOfFinalImage) {
-  RowIter r = Insert("a", 1);
+  RowHandle r = Insert("a", 1);
   Update(r, 5);
   NetEffect net = Compute();
   ASSERT_EQ(net.inserted.size(), 1u);
@@ -80,7 +80,7 @@ TEST_F(NetEffectTest, InsertThenUpdateIsNetInsertOfFinalImage) {
 }
 
 TEST_F(NetEffectTest, InsertThenDeleteCollapsesToNothing) {
-  RowIter r = Insert("a", 1);
+  RowHandle r = Insert("a", 1);
   Delete(r);
   NetEffect net = Compute();
   EXPECT_TRUE(net.inserted.empty());
@@ -89,7 +89,7 @@ TEST_F(NetEffectTest, InsertThenDeleteCollapsesToNothing) {
 }
 
 TEST_F(NetEffectTest, UpdateChainCollapsesToFirstOldLastNew) {
-  RowIter r = Preexisting("a", 1);
+  RowHandle r = Preexisting("a", 1);
   Update(r, 2);
   Update(r, 3);
   Update(r, 4);
@@ -100,7 +100,7 @@ TEST_F(NetEffectTest, UpdateChainCollapsesToFirstOldLastNew) {
 }
 
 TEST_F(NetEffectTest, RevertingUpdateChainIsNoOp) {
-  RowIter r = Preexisting("a", 1);
+  RowHandle r = Preexisting("a", 1);
   Update(r, 9);
   Update(r, 1);  // back to the original value
   NetEffect net = Compute();
@@ -110,7 +110,7 @@ TEST_F(NetEffectTest, RevertingUpdateChainIsNoOp) {
 }
 
 TEST_F(NetEffectTest, UpdateThenDeleteIsNetDeleteOfOriginal) {
-  RowIter r = Preexisting("a", 1);
+  RowHandle r = Preexisting("a", 1);
   Update(r, 7);
   Delete(r);
   NetEffect net = Compute();
@@ -119,7 +119,7 @@ TEST_F(NetEffectTest, UpdateThenDeleteIsNetDeleteOfOriginal) {
 }
 
 TEST_F(NetEffectTest, PlainDelete) {
-  RowIter r = Preexisting("a", 3);
+  RowHandle r = Preexisting("a", 3);
   Delete(r);
   NetEffect net = Compute();
   ASSERT_EQ(net.deleted.size(), 1u);
@@ -127,10 +127,10 @@ TEST_F(NetEffectTest, PlainDelete) {
 }
 
 TEST_F(NetEffectTest, MixedRowsKeepTransactionOrder) {
-  RowIter a = Preexisting("a", 1);
-  RowIter b = Preexisting("b", 2);
+  RowHandle a = Preexisting("a", 1);
+  RowHandle b = Preexisting("b", 2);
   Update(b, 20);       // finalized at seq 1 (until later events)
-  RowIter c = Insert("c", 3);
+  RowHandle c = Insert("c", 3);
   Update(a, 10);
   Update(c, 30);
   NetEffect net = Compute();

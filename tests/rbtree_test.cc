@@ -21,19 +21,19 @@ Schema KV() {
 }
 
 /// Harness pairing the tree with a reference multimap. Rows come from a
-/// backing table so RowIters are real.
+/// backing table so RowHandles are real.
 class Harness {
  public:
   Harness() : table_("t", KV()) {}
 
-  RowIter NewRow(int64_t tag) {
+  RowHandle NewRow(int64_t tag) {
     auto r = table_.Insert(MakeRecord({Value::Int(tag)}));
     EXPECT_TRUE(r.ok());
     return *r;
   }
 
   void Insert(int64_t key) {
-    RowIter row = NewRow(key);
+    RowHandle row = NewRow(key);
     tree_.Insert(Value::Int(key), row);
     ref_.emplace(key, row);
   }
@@ -41,7 +41,7 @@ class Harness {
   bool EraseOne(int64_t key) {
     auto it = ref_.find(key);
     if (it == ref_.end()) {
-      EXPECT_FALSE(tree_.Erase(Value::Int(key), RowIter{}));
+      EXPECT_FALSE(tree_.Erase(Value::Int(key), RowHandle{}));
       return false;
     }
     EXPECT_TRUE(tree_.Erase(Value::Int(key), it->second));
@@ -54,7 +54,7 @@ class Harness {
     ASSERT_EQ(tree_.size(), ref_.size());
     // Full in-order traversal matches the reference key sequence.
     std::vector<int64_t> tree_keys;
-    tree_.ForEach([&](const Value& k, RowIter) {
+    tree_.ForEach([&](const Value& k, RowHandle) {
       tree_keys.push_back(k.as_int());
     });
     std::vector<int64_t> ref_keys;
@@ -64,11 +64,11 @@ class Harness {
 
   void CheckLookups(int64_t lo, int64_t hi) {
     for (int64_t k = lo; k <= hi; ++k) {
-      std::vector<RowIter> got;
+      std::vector<RowHandle> got;
       tree_.LookupEqual(Value::Int(k), got);
       ASSERT_EQ(got.size(), ref_.count(k)) << "key " << k;
     }
-    std::vector<RowIter> range;
+    std::vector<RowHandle> range;
     tree_.LookupRange(Value::Int(lo), Value::Int(hi), range);
     size_t expected = 0;
     for (const auto& [k, v] : ref_) {
@@ -78,7 +78,7 @@ class Harness {
   }
 
   RbTreeMap tree_;
-  std::multimap<int64_t, RowIter> ref_;
+  std::multimap<int64_t, RowHandle> ref_;
   Table table_;
 };
 
@@ -86,12 +86,12 @@ TEST(RbTreeTest, EmptyTree) {
   RbTreeMap t;
   EXPECT_TRUE(t.empty());
   ASSERT_OK(t.CheckInvariants());
-  std::vector<RowIter> out;
+  std::vector<RowHandle> out;
   t.LookupEqual(Value::Int(1), out);
   EXPECT_TRUE(out.empty());
   t.LookupRange(Value::Int(0), Value::Int(10), out);
   EXPECT_TRUE(out.empty());
-  EXPECT_FALSE(t.Erase(Value::Int(1), RowIter{}));
+  EXPECT_FALSE(t.Erase(Value::Int(1), RowHandle{}));
 }
 
 TEST(RbTreeTest, AscendingInsertStaysBalanced) {
@@ -113,7 +113,7 @@ TEST(RbTreeTest, DuplicateKeysPreserved) {
     for (int64_t k = 0; k < 20; ++k) h.Insert(k);
   }
   h.CheckAgainstReference();
-  std::vector<RowIter> out;
+  std::vector<RowHandle> out;
   h.tree_.LookupEqual(Value::Int(7), out);
   EXPECT_EQ(out.size(), 5u);
   // Erase duplicates one at a time.
@@ -141,7 +141,7 @@ TEST(RbTreeTest, MixedValueTypesOrdered) {
   t.Insert(Value::Int(2), *row);
   t.Insert(Value::Int(3), *row);
   ASSERT_OK(t.CheckInvariants());
-  std::vector<RowIter> out;
+  std::vector<RowHandle> out;
   t.LookupRange(Value::Int(2), Value::Int(3), out);
   EXPECT_EQ(out.size(), 3u);  // 2 <= 2.5 <= 3
 }

@@ -41,11 +41,169 @@ TEST(SchemaTest, ToString) {
   EXPECT_EQ(TwoColumnSchema().ToString(), "(k string, v double)");
 }
 
+// --- PageManager (slotted arena pages) -------------------------------------
+
+TEST(PageManagerTest, AllocateReusesTombstonedSlots) {
+  PageManager pm;
+  RowHandle a = pm.Allocate();
+  RowHandle b = pm.Allocate();
+  EXPECT_EQ(pm.live(), 2u);
+  EXPECT_EQ(pm.num_pages(), 1u);
+  a->rec = MakeRecord({Value::Int(1)});
+  b->rec = MakeRecord({Value::Int(2)});
+  RecordRef pinned = a->rec;
+  pm.Release(a);
+  EXPECT_EQ(pm.live(), 1u);
+  // Tombstoning drops the page's pin immediately; ours is the only one.
+  EXPECT_EQ(pinned.use_count(), 1);
+  // The freed slot is reused before any new page is touched.
+  RowHandle c = pm.Allocate();
+  EXPECT_EQ(c.page(), a.page());
+  EXPECT_EQ(c.slot(), a.slot());
+  EXPECT_EQ(pm.num_pages(), 1u);
+  c->rec = MakeRecord({Value::Int(3)});
+  ASSERT_OK(pm.CheckConsistency());
+}
+
+TEST(PageManagerTest, SpillsToSecondPageAndScansAcrossBoth) {
+  PageManager pm;
+  for (uint32_t i = 0; i < RowPage::kSlots + 10; ++i) {
+    RowHandle h = pm.Allocate();
+    h->id = i + 1;
+    h->rec = MakeRecord({Value::Int(static_cast<int64_t>(i))});
+  }
+  EXPECT_EQ(pm.num_pages(), 2u);
+  EXPECT_EQ(pm.live(), RowPage::kSlots + 10u);
+  // Batched scan visits every live row exactly once.
+  PageManager::ScanPos pos;
+  ScanBatch batch;
+  size_t seen = 0;
+  uint64_t id_sum = 0;
+  while (pm.NextBatch(pos, batch)) {
+    for (size_t i = 0; i < batch.count; ++i) {
+      ++seen;
+      id_sum += batch.rows[i]->id;
+    }
+  }
+  size_t n = RowPage::kSlots + 10;
+  EXPECT_EQ(seen, n);
+  EXPECT_EQ(id_sum, static_cast<uint64_t>(n) * (n + 1) / 2);
+  // And so does the iterator scan.
+  size_t iterated = 0;
+  for (const Row& row : pm) {
+    (void)row;
+    ++iterated;
+  }
+  EXPECT_EQ(iterated, n);
+  ASSERT_OK(pm.CheckConsistency());
+}
+
+TEST(PageManagerTest, BatchedScanSkipsTombstones) {
+  PageManager pm;
+  std::vector<RowHandle> handles;
+  for (int i = 0; i < 300; ++i) {
+    RowHandle h = pm.Allocate();
+    h->id = static_cast<uint64_t>(i) + 1;
+    h->rec = MakeRecord({Value::Int(i)});
+    handles.push_back(h);
+  }
+  for (size_t i = 0; i < handles.size(); i += 2) pm.Release(handles[i]);
+  EXPECT_EQ(pm.live(), 150u);
+  PageManager::ScanPos pos;
+  ScanBatch batch;
+  size_t seen = 0;
+  while (pm.NextBatch(pos, batch)) {
+    for (size_t i = 0; i < batch.count; ++i) {
+      EXPECT_EQ(batch.rows[i]->id % 2, 0u) << "scan surfaced a tombstone";
+      ++seen;
+    }
+  }
+  EXPECT_EQ(seen, 150u);
+  ASSERT_OK(pm.CheckConsistency());
+}
+
+TEST(PageManagerTest, ConsistencyCheckCatchesPlantedCorruption) {
+  PageManager pm;
+  RowHandle h = pm.Allocate();
+  h->id = 1;
+  h->rec = MakeRecord({Value::Int(1)});
+  ASSERT_OK(pm.CheckConsistency());
+
+  // Bitmap bit set for a slot with no record.
+  pm.page(0)->live[3] |= 1ull << 7;
+  EXPECT_EQ(pm.CheckConsistency().code(), StatusCode::kInternal);
+  pm.page(0)->live[3] &= ~(1ull << 7);
+  ASSERT_OK(pm.CheckConsistency());
+
+  // A tombstone still pinning a record.
+  pm.page(0)->slots[9].rec = h->rec;
+  EXPECT_EQ(pm.CheckConsistency().code(), StatusCode::kInternal);
+  pm.page(0)->slots[9].rec.reset();
+  ASSERT_OK(pm.CheckConsistency());
+
+  // live_count out of step with the bitmap.
+  ++pm.page(0)->live_count;
+  EXPECT_EQ(pm.CheckConsistency().code(), StatusCode::kInternal);
+  --pm.page(0)->live_count;
+  ASSERT_OK(pm.CheckConsistency());
+}
+
+TEST(TableTest, AuditPageConsistencyCoversDirectory) {
+  Table t("t", TwoColumnSchema());
+  ASSERT_OK_AND_ASSIGN(RowHandle r,
+                       t.Insert(MakeRecord({Value::Str("a"), Value::Double(1)})));
+  ASSERT_OK(t.AuditPageConsistency());
+  // Corrupt the slot's id out from under the directory.
+  uint64_t real_id = r->id;
+  r->id = real_id + 100;
+  Status st = t.AuditPageConsistency();
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  r->id = real_id;
+  ASSERT_OK(t.AuditPageConsistency());
+}
+
+TEST(TableTest, EraseInsertChurnKeepsAuditGreen) {
+  Table t("t", TwoColumnSchema());
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 64; ++i) {
+    ASSERT_OK_AND_ASSIGN(
+        RowHandle r,
+        t.Insert(MakeRecord({Value::Str("x"), Value::Double(i)})));
+    ids.push_back(r->id);
+  }
+  // Erase half, resurrect some, insert fresh — the arena must stay
+  // consistent with the directory throughout.
+  for (size_t i = 0; i < ids.size(); i += 2) t.Erase(t.FindRow(ids[i]));
+  ASSERT_OK(t.AuditPageConsistency());
+  for (size_t i = 0; i < ids.size(); i += 4) {
+    ASSERT_OK(t.ResurrectRow(ids[i],
+                             MakeRecord({Value::Str("y"), Value::Double(1)}))
+                  .status());
+  }
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_OK(
+        t.Insert(MakeRecord({Value::Str("z"), Value::Double(i)})).status());
+  }
+  ASSERT_OK(t.AuditPageConsistency());
+  EXPECT_EQ(t.size(), 64u - 32u + 16u + 16u);
+}
+
+TEST(TableTest, ReserveKeepsHandlesAndContentsIntact) {
+  Table t("t", TwoColumnSchema());
+  ASSERT_OK_AND_ASSIGN(RowHandle r,
+                       t.Insert(MakeRecord({Value::Str("a"), Value::Double(1)})));
+  t.Reserve(100'000);  // page directory + id map only; pages stay lazy
+  EXPECT_EQ(t.rows().num_pages(), 1u);
+  EXPECT_EQ(t.FindRow(r->id), r);
+  EXPECT_EQ(r->rec->values[0].as_string(), "a");
+  ASSERT_OK(t.AuditPageConsistency());
+}
+
 TEST(TableTest, InsertAssignsStableRowIds) {
   Table t("t", TwoColumnSchema());
-  ASSERT_OK_AND_ASSIGN(RowIter r1,
+  ASSERT_OK_AND_ASSIGN(RowHandle r1,
                        t.Insert(MakeRecord({Value::Str("a"), Value::Double(1)})));
-  ASSERT_OK_AND_ASSIGN(RowIter r2,
+  ASSERT_OK_AND_ASSIGN(RowHandle r2,
                        t.Insert(MakeRecord({Value::Str("b"), Value::Double(2)})));
   EXPECT_NE(r1->id, r2->id);
   EXPECT_EQ(t.size(), 2u);
@@ -60,7 +218,7 @@ TEST(TableTest, InsertValidatesArityAndTypes) {
                 .status().code(),
             StatusCode::kInvalidArgument);
   // Ints coerce into double columns.
-  ASSERT_OK_AND_ASSIGN(RowIter r,
+  ASSERT_OK_AND_ASSIGN(RowHandle r,
                        t.Insert(MakeRecord({Value::Str("a"), Value::Int(3)})));
   EXPECT_EQ(r->rec->values[1].type(), ValueType::kDouble);
   // Nulls are allowed in any column.
@@ -69,7 +227,7 @@ TEST(TableTest, InsertValidatesArityAndTypes) {
 
 TEST(TableTest, UpdateIsCopyOnWrite) {
   Table t("t", TwoColumnSchema());
-  ASSERT_OK_AND_ASSIGN(RowIter r,
+  ASSERT_OK_AND_ASSIGN(RowHandle r,
                        t.Insert(MakeRecord({Value::Str("a"), Value::Double(1)})));
   RecordRef old_rec = r->rec;
   uint64_t id = r->id;
@@ -84,22 +242,22 @@ TEST(TableTest, UpdateIsCopyOnWrite) {
 
 TEST(TableTest, EraseRemovesFromIdMap) {
   Table t("t", TwoColumnSchema());
-  ASSERT_OK_AND_ASSIGN(RowIter r,
+  ASSERT_OK_AND_ASSIGN(RowHandle r,
                        t.Insert(MakeRecord({Value::Str("a"), Value::Double(1)})));
   uint64_t id = r->id;
   t.Erase(r);
   EXPECT_EQ(t.size(), 0u);
-  EXPECT_EQ(t.FindRow(id), t.rows().end());
+  EXPECT_FALSE(t.FindRow(id));
 }
 
 TEST(TableTest, ResurrectRestoresRowUnderOldId) {
   Table t("t", TwoColumnSchema());
-  ASSERT_OK_AND_ASSIGN(RowIter r,
+  ASSERT_OK_AND_ASSIGN(RowHandle r,
                        t.Insert(MakeRecord({Value::Str("a"), Value::Double(1)})));
   uint64_t id = r->id;
   RecordRef rec = r->rec;
   t.Erase(r);
-  ASSERT_OK_AND_ASSIGN(RowIter back, t.ResurrectRow(id, rec));
+  ASSERT_OK_AND_ASSIGN(RowHandle back, t.ResurrectRow(id, rec));
   EXPECT_EQ(back->id, id);
   EXPECT_EQ(t.FindRow(id), back);
   // Resurrecting a live id fails.
@@ -136,7 +294,7 @@ TEST_P(IndexedTableTest, LookupFindsAllDuplicates) {
 
 TEST_P(IndexedTableTest, IndexTracksUpdatesOfKeyColumn) {
   Insert("a", 1);
-  RowIter r = table_.IndexLookup(0, Value::Str("a"))[0];
+  RowHandle r = table_.IndexLookup(0, Value::Str("a"))[0];
   ASSERT_OK(table_.Update(r, MakeRecord({Value::Str("z"), Value::Double(1)})));
   EXPECT_TRUE(table_.IndexLookup(0, Value::Str("a")).empty());
   EXPECT_EQ(table_.IndexLookup(0, Value::Str("z")).size(), 1u);
@@ -145,7 +303,7 @@ TEST_P(IndexedTableTest, IndexTracksUpdatesOfKeyColumn) {
 TEST_P(IndexedTableTest, IndexTracksErase) {
   Insert("a", 1);
   Insert("a", 2);
-  RowIter r = table_.IndexLookup(0, Value::Str("a"))[0];
+  RowHandle r = table_.IndexLookup(0, Value::Str("a"))[0];
   table_.Erase(r);
   EXPECT_EQ(table_.IndexLookup(0, Value::Str("a")).size(), 1u);
 }
@@ -176,14 +334,14 @@ INSTANTIATE_TEST_SUITE_P(BothKinds, IndexedTableTest,
 TEST(RbTreeIndexTest, RangeLookupIsOrdered) {
   RbTreeIndex idx("i", 0);
   Table t("t", TwoColumnSchema());
-  std::vector<RowIter> iters;
+  std::vector<RowHandle> iters;
   for (int i = 0; i < 10; ++i) {
     auto r = t.Insert(
         MakeRecord({Value::Str("k" + std::to_string(i)), Value::Double(i)}));
     ASSERT_TRUE(r.ok());
     idx.Insert(Value::Int(9 - i), *r);  // insert keys in reverse
   }
-  std::vector<RowIter> out;
+  std::vector<RowHandle> out;
   idx.LookupRange(Value::Int(3), Value::Int(6), out);
   ASSERT_EQ(out.size(), 4u);
   // Range scan returns rows in ascending key order: keys 3,4,5,6 map to

@@ -51,7 +51,7 @@ TEST(TempTableTest, RecordsSurviveTableUpdateAndErase) {
   // the base row is updated or deleted.
   Table base("base", BaseSchema());
   ASSERT_OK_AND_ASSIGN(
-      RowIter row, base.Insert(MakeRecord({Value::Str("a"), Value::Double(1)})));
+      RowHandle row, base.Insert(MakeRecord({Value::Str("a"), Value::Double(1)})));
 
   TempTable bound = PointerBacked("bound");
   bound.Append(TempTuple{{row->rec}, {Value::Int(1)}});

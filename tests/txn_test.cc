@@ -59,7 +59,7 @@ TEST(TxnLogTest, UndoDeleteRestoresRow) {
   t.Erase(*r);
   ASSERT_OK(log.Undo());
   EXPECT_EQ(t.size(), 1u);
-  EXPECT_NE(t.FindRow(id), t.rows().end());
+  EXPECT_TRUE(t.FindRow(id));
   EXPECT_EQ(Dump(t), "a=1;");
 }
 
