@@ -5,6 +5,7 @@
 
 #include "strip/common/string_util.h"
 #include "strip/market/black_scholes.h"
+#include "strip/rules/net_effect.h"
 
 namespace strip {
 
@@ -100,32 +101,16 @@ Status ComputeComps1(FunctionContext& ctx, const PreparedStmts& stmts) {
   return Status::OK();
 }
 
-// --- compute_comps2 (Figure 6): aggregate per composite, then apply --------
-Status ComputeComps2(FunctionContext& ctx, const PreparedStmts& stmts) {
-  const TempTable* matches = ctx.BoundTable("matches");
-  if (matches == nullptr) {
-    return Status::NotFound("bound table 'matches' missing");
-  }
-  STRIP_ASSIGN_OR_RETURN(MatchesColumns c,
-                         MatchesColumns::Resolve(*matches, false));
-  // select comp, sum((new - old) * weight) as diff from matches group by
-  // comp — computed in application code as in STRIP v2.0 (§4.3).
-  std::unordered_map<std::string, double> diff;
-  for (size_t i = 0; i < matches->size(); ++i) {
-    diff[matches->Get(i, c.comp).as_string()] +=
-        matches->Get(i, c.weight).as_double() *
-        (matches->Get(i, c.new_price).as_double() -
-         matches->Get(i, c.old_price).as_double());
-  }
-  for (const auto& [comp, change] : diff) {
-    STRIP_RETURN_IF_ERROR(
-        ApplyCompChange(ctx, stmts, Value::Str(comp), change));
-  }
-  return Status::OK();
-}
-
-// --- compute_comps3 (Figure 7): matches holds one composite ---------------
-Status ComputeComps3(FunctionContext& ctx, const PreparedStmts& stmts) {
+/// Shared body of compute_comps2 / compute_comps3:
+///   select comp, sum((new - old) * weight) as diff from matches
+///   group by comp
+/// folded in application code as in STRIP v2.0 (§4.3) through the
+/// rules/net_effect helper, keyed on the comp Value directly (no string
+/// round trip per row). Figure 7's variant runs with matches partitioned
+/// to a single composite, so its fold degenerates to one accumulation —
+/// and stays correct if a coarser partitioning ever hands it several.
+Status ApplyFoldedCompDeltas(FunctionContext& ctx,
+                             const PreparedStmts& stmts) {
   const TempTable* matches = ctx.BoundTable("matches");
   if (matches == nullptr) {
     return Status::NotFound("bound table 'matches' missing");
@@ -133,13 +118,30 @@ Status ComputeComps3(FunctionContext& ctx, const PreparedStmts& stmts) {
   if (matches->size() == 0) return Status::OK();
   STRIP_ASSIGN_OR_RETURN(MatchesColumns c,
                          MatchesColumns::Resolve(*matches, false));
-  double change = 0.0;
+  std::vector<GroupDelta> rows;
+  rows.reserve(matches->size());
   for (size_t i = 0; i < matches->size(); ++i) {
-    change += matches->Get(i, c.weight).as_double() *
-              (matches->Get(i, c.new_price).as_double() -
-               matches->Get(i, c.old_price).as_double());
+    GroupDelta d;
+    d.key = matches->Get(i, c.comp);
+    d.sums.push_back(matches->Get(i, c.weight).as_double() *
+                     (matches->Get(i, c.new_price).as_double() -
+                      matches->Get(i, c.old_price).as_double()));
+    rows.push_back(std::move(d));
   }
-  return ApplyCompChange(ctx, stmts, matches->Get(0, c.comp), change);
+  for (const GroupDelta& d : FoldGroupDeltas(std::move(rows))) {
+    STRIP_RETURN_IF_ERROR(ApplyCompChange(ctx, stmts, d.key, d.sums[0]));
+  }
+  return Status::OK();
+}
+
+// --- compute_comps2 (Figure 6): aggregate per composite, then apply --------
+Status ComputeComps2(FunctionContext& ctx, const PreparedStmts& stmts) {
+  return ApplyFoldedCompDeltas(ctx, stmts);
+}
+
+// --- compute_comps3 (Figure 7): matches holds one composite ---------------
+Status ComputeComps3(FunctionContext& ctx, const PreparedStmts& stmts) {
+  return ApplyFoldedCompDeltas(ctx, stmts);
 }
 
 // --- compute_options1/2 (Figure 8 / §5.2) -----------------------------------
@@ -154,9 +156,9 @@ Status ComputeOptions(FunctionContext& ctx, const PreparedStmts& stmts,
 
   // stdev = select stdev from stock_stdev where symbol = r.stock_symbol
   // (Figure 8), cached per call since a batch repeats stocks.
-  std::unordered_map<std::string, double> stdev_cache;
+  std::unordered_map<Value, double, ValueHash> stdev_cache;
   auto stdev_of = [&](const Value& symbol) -> Result<double> {
-    auto it = stdev_cache.find(symbol.as_string());
+    auto it = stdev_cache.find(symbol);
     if (it != stdev_cache.end()) return it->second;
     STRIP_ASSIGN_OR_RETURN(TempTable rows,
                            ctx.Query(*stmts.select_stdev, {symbol}));
@@ -165,7 +167,7 @@ Status ComputeOptions(FunctionContext& ctx, const PreparedStmts& stmts,
                                         symbol.ToString().c_str()));
     }
     double sd = rows.Get(0, 0).as_double();
-    stdev_cache.emplace(symbol.as_string(), sd);
+    stdev_cache.emplace(symbol, sd);
     return sd;
   };
 
@@ -199,16 +201,16 @@ Status ComputeOptions(FunctionContext& ctx, const PreparedStmts& stmts,
   // Batched (§5.2): if a stock changed several times inside the window,
   // only its last value matters; each option is repriced once. Bound rows
   // arrive in commit order, so later rows supersede earlier ones.
-  std::unordered_map<std::string, size_t> last_row_of_option;
-  std::unordered_map<std::string, double> last_price_of_stock;
+  std::unordered_map<Value, size_t, ValueHash> last_row_of_option;
+  std::unordered_map<Value, double, ValueHash> last_price_of_stock;
   for (size_t i = 0; i < matches->size(); ++i) {
-    last_row_of_option[matches->Get(i, c.option_symbol).as_string()] = i;
-    last_price_of_stock[matches->Get(i, c.stock_symbol).as_string()] =
+    last_row_of_option[matches->Get(i, c.option_symbol)] = i;
+    last_price_of_stock[matches->Get(i, c.stock_symbol)] =
         matches->Get(i, c.new_price).as_double();
   }
   for (const auto& [opt, i] : last_row_of_option) {
-    double spot =
-        last_price_of_stock[matches->Get(i, c.stock_symbol).as_string()];
+    (void)opt;
+    double spot = last_price_of_stock[matches->Get(i, c.stock_symbol)];
     STRIP_RETURN_IF_ERROR(reprice(i, spot));
   }
   return Status::OK();

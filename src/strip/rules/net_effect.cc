@@ -139,4 +139,24 @@ Result<NetEffect> ComputeNetEffect(const BoundTableSet& transition) {
   return net;
 }
 
+std::vector<GroupDelta> FoldGroupDeltas(std::vector<GroupDelta> rows) {
+  std::vector<GroupDelta> out;
+  std::unordered_map<Value, size_t, ValueHash> index;
+  out.reserve(rows.size());
+  for (GroupDelta& row : rows) {
+    auto [it, inserted] = index.try_emplace(row.key, out.size());
+    if (inserted) {
+      out.push_back(std::move(row));
+      continue;
+    }
+    GroupDelta& acc = out[it->second];
+    if (row.sums.size() > acc.sums.size()) {
+      acc.sums.resize(row.sums.size(), 0.0);
+    }
+    for (size_t i = 0; i < row.sums.size(); ++i) acc.sums[i] += row.sums[i];
+    acc.count += row.count;
+  }
+  return out;
+}
+
 }  // namespace strip

@@ -7,6 +7,7 @@
 #include "strip/common/status.h"
 #include "strip/storage/bound_table_set.h"
 #include "strip/storage/record.h"
+#include "strip/storage/value.h"
 
 namespace strip {
 
@@ -33,6 +34,26 @@ struct NetEffect {
 /// chains are reconstructed through record identity: an update's old image
 /// is the record installed by the previous event of the same row.
 Result<NetEffect> ComputeNetEffect(const BoundTableSet& transition);
+
+/// One per-group (or per-key) contribution of a delta row to an
+/// aggregation view: a signed value per SUM column plus a membership
+/// count. A fact INSERT contributes (+values, +1), a DELETE contributes
+/// (-values, -1), and an UPDATE contributes both halves (which cancel to
+/// (new - old, 0) when the row stays in its group).
+struct GroupDelta {
+  Value key;
+  std::vector<double> sums;
+  int64_t count = 0;
+};
+
+/// Folds a contribution stream into one net delta per distinct key,
+/// preserving first-seen key order so downstream application is
+/// deterministic. This is how batching and incrementality compose: a
+/// unique transaction's merged bound tables may hold a whole delay
+/// window's worth of same-key deltas, and the fold collapses them so one
+/// maintenance update per group applies the window's net effect. Keys
+/// hash and compare as Values directly — no string round trip per row.
+std::vector<GroupDelta> FoldGroupDeltas(std::vector<GroupDelta> rows);
 
 }  // namespace strip
 

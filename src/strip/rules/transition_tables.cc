@@ -42,6 +42,23 @@ BoundTableSet BuildTransitionTables(const Table& table, const TxnLog& log) {
   TempTable old_t = MakeTransitionTable("old", table);
   TempTable new_t = MakeTransitionTable("new", table);
 
+  // Size the tables up front: big batched transactions (a delay window's
+  // worth of merged changes) would otherwise regrow each vector log(n)
+  // times.
+  size_t n_ins = 0, n_del = 0, n_upd = 0;
+  for (const LogEntry& e : log.entries()) {
+    if (e.table != &table) continue;
+    switch (e.op) {
+      case LogOp::kInsert: ++n_ins; break;
+      case LogOp::kDelete: ++n_del; break;
+      case LogOp::kUpdate: ++n_upd; break;
+    }
+  }
+  inserted.Reserve(n_ins);
+  deleted.Reserve(n_del);
+  old_t.Reserve(n_upd);
+  new_t.Reserve(n_upd);
+
   for (const LogEntry& e : log.entries()) {
     if (e.table != &table) continue;
     switch (e.op) {

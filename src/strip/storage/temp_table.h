@@ -90,6 +90,10 @@ class TempTable {
 
   void Append(TempTuple t);
 
+  /// Pre-sizes the tuple vector (builders that know their row count, e.g.
+  /// transition tables over a batched transaction's log).
+  void Reserve(size_t n) { tuples_.reserve(n); }
+
   /// Appends (moves) all tuples of `other` — the unique-transaction
   /// bound-table merge (§2, §6.3). Requires identical schema AND identical
   /// layout; bound tables merged this way come from identically defined

@@ -7,6 +7,7 @@
 
 #include "strip/common/string_util.h"
 #include "strip/engine/database.h"
+#include "strip/viewmaint/rule_gen.h"
 
 namespace strip {
 namespace {
@@ -303,6 +304,38 @@ Status SetUpWorkload(Database& db, const ChaosOptions& o) {
       )",
                            o.audit_delay_seconds))
           .status());
+
+  // Invariant (f) fixture: a weighted-sum join view maintained by a
+  // GENERATED delta rule (dim-probe strategy: the group key and weight
+  // live on the dimension, prices on the fact). The feed's updates flow
+  // through the delta path; churn's delete + re-insert pairs flow through
+  // the _ins/_del companions and the hidden-count bookkeeping. Weights of
+  // 0.5 against integral prices keep every delta exact in double, so the
+  // quiescent comparison with a from-scratch recompute is strict.
+  if (o.with_maintained_view) {
+    STRIP_RETURN_IF_ERROR(db.ExecuteScript(R"(
+      create table sectors (sym string, sec string, w double);
+      create index on sectors (sym);
+    )"));
+    for (int i = 0; i < o.num_syms; ++i) {
+      STRIP_RETURN_IF_ERROR(
+          db.Execute(StrFormat("insert into sectors values ('%s', 'SEC%d', 0.5)",
+                               SymName(i).c_str(), i % 3))
+              .status());
+    }
+    STRIP_RETURN_IF_ERROR(db.ExecuteScript(R"(
+      create materialized view chaos_view as
+        select sec, sum(base.price * w) as total
+        from base, sectors
+        where base.sym = sectors.sym
+        group by sec;
+      create index on chaos_view (sec);
+    )"));
+    RuleGenOptions gen;
+    gen.delay_seconds = o.view_delay_seconds;
+    STRIP_RETURN_IF_ERROR(
+        GenerateMaintenanceRule(db, "chaos_view", "base", gen).status());
+  }
   return Status::OK();
 }
 
@@ -476,6 +509,8 @@ ShrinkResult ShrinkFailure(const ChaosOptions& failing, int max_runs) {
       {"no reorders", [](ChaosOptions& o) { o.reorder_rate = 0; }},
       {"no duplicates", [](ChaosOptions& o) { o.duplicate_rate = 0; }},
       {"no churn", [](ChaosOptions& o) { o.churn_rate = 0; }},
+      {"no maintained view",
+       [](ChaosOptions& o) { o.with_maintained_view = false; }},
   };
   for (const Knob& k : knobs) {
     ChaosOptions trial = res.options;

@@ -39,6 +39,18 @@ struct ChaosOptions {
   /// seeds keep their exact RNG stream.
   double churn_rate = 0.0;
 
+  // --- maintained view (invariant f) ------------------------------------
+  /// Adds a weighted-sum join view over `base` and a static sector
+  /// dimension, kept up to date by a GENERATED delta-maintenance rule
+  /// (rule_gen.h) rather than a hand-written recompute. Feed updates drive
+  /// the delta path; churn (enable it too) drives the insert/delete path
+  /// and the hidden-count bookkeeping. At quiescence invariant (f) demands
+  /// exact equality with a from-scratch recompute — sector weights are 0.5
+  /// and prices integral, so every delta is exact in double. Off by
+  /// default so pre-view canned seeds keep their exact schedules.
+  bool with_maintained_view = false;
+  double view_delay_seconds = 0.05;  // generated rule's batching window
+
   // --- fault injection --------------------------------------------------
   /// `faults.seed` is overwritten with `seed` by RunChaos.
   FaultInjectorConfig faults = [] {

@@ -17,6 +17,7 @@ struct InvariantOptions {
   bool check_lock_residue = true;      // (b) no locks held by finished txns
   bool check_unique_directory = true;  // (c) directory vs. delay-queue
   bool check_page_consistency = true;  // (e) arena pages vs. row directory
+  bool check_view_consistency = true;  // (f) maintained views vs. recompute
 };
 
 /// Validates global consistency of a simulated-mode Database between
@@ -44,6 +45,13 @@ struct InvariantOptions {
 ///      slots hold records, tombstones pin nothing) and with the row-id
 ///      directory (every id resolves to a live slot carrying that id, and
 ///      the directory covers every live row).
+///
+///  (f) Maintained-view consistency: every materialized view kept up to
+///      date by generated maintenance rules (ViewDef.maintained) must
+///      equal a from-scratch evaluation of its maintenance query —
+///      compared as unordered row multisets. Quiescence-only: while
+///      delayed maintenance tasks are queued the view is legitimately
+///      stale, so this runs from CheckQuiescent, not CheckStep.
 class InvariantChecker {
  public:
   InvariantChecker(Database* db, InvariantOptions options)
@@ -63,6 +71,7 @@ class InvariantChecker {
   Status CheckLockResidue();
   Status CheckUniqueDirectory();
   Status CheckPageConsistency();
+  Status CheckViewConsistency();
 
   Database* db_;
   InvariantOptions options_;

@@ -1,10 +1,16 @@
 #include "strip/viewmaint/rule_gen.h"
 
 #include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "strip/common/string_util.h"
 #include "strip/engine/database.h"
+#include "strip/engine/prepared_statement.h"
+#include "strip/rules/net_effect.h"
 #include "strip/viewmaint/view_def.h"
 
 namespace strip {
@@ -12,9 +18,9 @@ namespace strip {
 namespace {
 
 /// Rewrites every column reference that resolves to the fact table so it
-/// reads from the transition table `target` ("new" / "old") instead.
-/// A bare name is considered a fact reference iff the fact schema has it
-/// and no dimension schema does.
+/// reads from the transition table `target` ("new" / "old" / "inserted" /
+/// "deleted") instead. A bare name is considered a fact reference iff the
+/// fact schema has it and no dimension schema does.
 Status RewriteFactRefs(Expr* expr, const std::string& fact,
                        const Schema& fact_schema,
                        const std::vector<const Schema*>& dim_schemas,
@@ -75,14 +81,76 @@ void CollectFactColumns(const Expr& e, const std::string& fact,
   for (const auto& a : e.args) CollectFactColumns(*a, fact, fact_schema, out);
 }
 
+/// Marks which side(s) of the fact/dimension split `e` reads from.
+void ClassifyRefs(const Expr& e, const std::string& fact,
+                  const Schema& fact_schema,
+                  const std::vector<TableRef>& dims,
+                  const std::vector<const Schema*>& dim_schemas,
+                  bool* reads_fact, bool* reads_dim) {
+  if (e.kind == ExprKind::kColumnRef) {
+    if (e.qualifier.empty()) {
+      if (fact_schema.FindColumn(e.column) >= 0) *reads_fact = true;
+      for (const Schema* d : dim_schemas) {
+        if (d->FindColumn(e.column) >= 0) *reads_dim = true;
+      }
+    } else if (e.qualifier == fact) {
+      *reads_fact = true;
+    } else {
+      for (const TableRef& d : dims) {
+        if (e.qualifier == d.EffectiveName() ||
+            e.qualifier == ToLower(d.table)) {
+          *reads_dim = true;
+          break;
+        }
+      }
+    }
+    return;
+  }
+  for (const auto& a : e.args) {
+    ClassifyRefs(*a, fact, fact_schema, dims, dim_schemas, reads_fact,
+                 reads_dim);
+  }
+}
+
+/// Splits `e` on the given associative operator ('and' / '*').
+void Flatten(const Expr* e, BinaryOp op, std::vector<const Expr*>& out) {
+  if (e->kind == ExprKind::kBinary && e->bin_op == op) {
+    Flatten(e->args[0].get(), op, out);
+    Flatten(e->args[1].get(), op, out);
+    return;
+  }
+  out.push_back(e);
+}
+
+/// Chains clones into a product; an empty list is the neutral factor 1.
+ExprPtr Product(std::vector<ExprPtr> factors) {
+  if (factors.empty()) return MakeLiteral(Value::Double(1.0));
+  ExprPtr out = std::move(factors[0]);
+  for (size_t i = 1; i < factors.size(); ++i) {
+    out = MakeBinary(BinaryOp::kMul, std::move(out), std::move(factors[i]));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// View shape analysis
+// ---------------------------------------------------------------------------
+
+/// One aggregate of the view's select list: SUM(arg) or COUNT(*).
+struct AggItem {
+  bool is_count = false;
+  const Expr* arg = nullptr;  // SUM argument; null for COUNT(*)
+  std::string output;         // view column holding the aggregate
+};
+
 struct ViewShape {
   bool is_aggregation = false;
-  // Aggregation shape: SELECT g AS gname, SUM(e) AS vname ... GROUP BY g.
+  // Aggregation: SELECT g, SUM(e)... [, COUNT(*)...] GROUP BY g.
   const Expr* group_expr = nullptr;
-  std::string group_output;   // view column holding the group key
-  const Expr* sum_arg = nullptr;
-  std::string sum_output;     // view column holding the sum
-  // Projection shape: SELECT k AS kname, e1 AS c1, ... (first item = key).
+  std::string group_output;
+  std::vector<AggItem> aggs;
+  size_t num_sums = 0;  // aggs that are SUMs (carry a delta column)
+  // Projection: SELECT k AS kname, e1 AS c1, ... (first item = key).
   const Expr* key_expr = nullptr;
   std::string key_output;
   std::vector<const Expr*> value_exprs;
@@ -97,27 +165,43 @@ Result<ViewShape> AnalyzeView(const ViewDef& view) {
   }
   ViewShape shape;
   if (!q.group_by.empty()) {
-    if (q.group_by.size() != 1 || q.items.size() != 2) {
+    if (q.group_by.size() != 1) {
       return Status::Unimplemented(
-          "rule generation supports exactly `SELECT g, SUM(e) ... GROUP BY "
-          "g` aggregation views");
+          "rule generation supports a single GROUP BY column");
     }
     shape.is_aggregation = true;
     for (size_t i = 0; i < q.items.size(); ++i) {
       const Expr& e = *q.items[i].expr;
       std::string name = q.items[i].OutputName(static_cast<int>(i));
-      if (e.kind == ExprKind::kAggregate && e.func_name == "sum" &&
-          e.args.size() == 1) {
-        shape.sum_arg = e.args[0].get();
-        shape.sum_output = name;
+      if (e.kind == ExprKind::kAggregate) {
+        if (e.func_name == "sum" && e.args.size() == 1) {
+          shape.aggs.push_back(AggItem{false, e.args[0].get(), name});
+          ++shape.num_sums;
+        } else if (e.func_name == "count" && e.star_arg) {
+          shape.aggs.push_back(AggItem{true, nullptr, name});
+        } else {
+          return Status::Unimplemented(StrFormat(
+              "aggregate '%s' cannot be maintained from deltas (only "
+              "SUM(expr) and COUNT(*): MIN/MAX/AVG need the group's rows "
+              "under deletes)",
+              e.func_name.c_str()));
+        }
       } else if (!e.ContainsAggregate()) {
+        if (shape.group_expr != nullptr) {
+          return Status::Unimplemented(
+              "aggregation views must select exactly one group key");
+        }
         shape.group_expr = &e;
         shape.group_output = name;
+      } else {
+        return Status::Unimplemented(
+            "aggregates nested in expressions are not supported");
       }
     }
-    if (shape.sum_arg == nullptr || shape.group_expr == nullptr) {
+    if (shape.group_expr == nullptr || shape.aggs.empty()) {
       return Status::Unimplemented(
-          "aggregation views must select the group key and one SUM()");
+          "aggregation views must select the group key and at least one "
+          "SUM() or COUNT(*)");
     }
     return shape;
   }
@@ -142,48 +226,292 @@ Result<ViewShape> AnalyzeView(const ViewDef& view) {
   return shape;
 }
 
-/// The action function for an aggregation view: group the deltas by key in
-/// application code (as compute_comps2 does, §4.3) and apply one
-/// `UPDATE view SET col += ? WHERE key = ?` per touched group. When
-/// `upsert` is non-null, a delta for a group missing from the view inserts
-/// the row instead (new groups created by fact INSERTs).
-UserFunction MakeAggregateMaintainer(std::shared_ptr<const Statement> update,
-                                     std::shared_ptr<const Statement> upsert,
-                                     std::string bound_name) {
-  return [update, upsert, bound_name](FunctionContext& ctx) -> Status {
+// ---------------------------------------------------------------------------
+// Delta derivation strategy
+// ---------------------------------------------------------------------------
+
+enum class AggStrategy { kDirect, kDimProbe, kJoin };
+
+/// The factored form behind the dim-probe strategy: every SUM argument
+/// splits into (fact factor) x (dimension factor) across the single
+/// fact = dim equi-join, and the group key lives on the dimension side.
+/// The condition query then ships only fact-local values and the action
+/// probes the dimension by join key — §4.3's compute_comps3 shape.
+struct ProbeParts {
+  const TableRef* dim = nullptr;
+  ExprPtr fact_jk;                  // fact-side join key column
+  ExprPtr dim_jk;                   // dimension-side join key column
+  std::vector<ExprPtr> fact_parts;  // per SUM item (view order)
+  std::vector<ExprPtr> dim_parts;   // per SUM item; literal 1 when absent
+  std::vector<ExprPtr> dim_conjuncts;  // dimension-only predicates
+};
+
+AggStrategy ChooseStrategy(const ViewDef& view, const ViewShape& shape,
+                           const std::string& fact, const Schema& fact_schema,
+                           const std::vector<TableRef>& dims,
+                           const std::vector<const Schema*>& dim_schemas,
+                           ProbeParts& probe) {
+  if (dims.empty()) return AggStrategy::kDirect;
+  if (dims.size() != 1 || view.query.where == nullptr) {
+    return AggStrategy::kJoin;
+  }
+  auto classify = [&](const Expr& e, bool* f, bool* d) {
+    *f = *d = false;
+    ClassifyRefs(e, fact, fact_schema, dims, dim_schemas, f, d);
+  };
+  bool gf = false, gd = false;
+  classify(*shape.group_expr, &gf, &gd);
+  if (gf || !gd) return AggStrategy::kJoin;  // group key must be dim-only
+
+  std::vector<const Expr*> conjuncts;
+  Flatten(view.query.where.get(), BinaryOp::kAnd, conjuncts);
+  for (const Expr* c : conjuncts) {
+    if (c->kind == ExprKind::kBinary && c->bin_op == BinaryOp::kEq &&
+        c->args[0]->kind == ExprKind::kColumnRef &&
+        c->args[1]->kind == ExprKind::kColumnRef) {
+      bool lf = false, ld = false, rf = false, rd = false;
+      classify(*c->args[0], &lf, &ld);
+      classify(*c->args[1], &rf, &rd);
+      const Expr* fact_side = nullptr;
+      const Expr* dim_side = nullptr;
+      if (lf && !ld && rd && !rf) {
+        fact_side = c->args[0].get();
+        dim_side = c->args[1].get();
+      } else if (rf && !rd && ld && !lf) {
+        fact_side = c->args[1].get();
+        dim_side = c->args[0].get();
+      }
+      if (fact_side != nullptr) {
+        if (probe.fact_jk != nullptr) return AggStrategy::kJoin;  // 2 joins
+        probe.fact_jk = fact_side->Clone();
+        probe.dim_jk = dim_side->Clone();
+        continue;
+      }
+    }
+    bool cf = false, cd = false;
+    classify(*c, &cf, &cd);
+    if (cf) return AggStrategy::kJoin;  // fact-side residual predicate
+    probe.dim_conjuncts.push_back(c->Clone());
+  }
+  if (probe.fact_jk == nullptr) return AggStrategy::kJoin;
+
+  for (const AggItem& item : shape.aggs) {
+    if (item.is_count) continue;
+    std::vector<const Expr*> factors;
+    Flatten(item.arg, BinaryOp::kMul, factors);
+    std::vector<ExprPtr> fact_factors, dim_factors;
+    for (const Expr* f : factors) {
+      bool ff = false, fd = false;
+      classify(*f, &ff, &fd);
+      if (ff && fd) return AggStrategy::kJoin;  // mixed factor
+      if (fd) {
+        dim_factors.push_back(f->Clone());
+      } else {
+        fact_factors.push_back(f->Clone());  // fact or constant
+      }
+    }
+    probe.fact_parts.push_back(Product(std::move(fact_factors)));
+    probe.dim_parts.push_back(Product(std::move(dim_factors)));
+  }
+  probe.dim = &dims[0];
+  return AggStrategy::kDimProbe;
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation maintenance plan + action functions
+// ---------------------------------------------------------------------------
+
+/// Shared state of the (up to three) action functions maintaining one
+/// aggregation view. All statements are prepared once at generation time;
+/// firings execute frozen plans with parameter bindings only.
+struct AggPlan {
+  std::vector<bool> item_is_count;  // per view aggregate, select order
+  PreparedStatementPtr update;      // UPDATE view SET a += ?,... WHERE g = ?
+  PreparedStatementPtr upsert;      // INSERT for groups absent from the view
+  PreparedStatementPtr count_check;  // SELECT _count FROM view WHERE g = ?
+  PreparedStatementPtr erase;    // DELETE ... WHERE g = ? AND _count <= 0
+  PreparedStatementPtr probe;    // dim probe by join key (kDimProbe only)
+  bool track_count = false;
+  /// Every function maintaining this view; the erase sweep runs only when
+  /// none of them has queued work.
+  std::vector<std::string> sibling_functions;
+
+  /// Groups whose APPLIED count reached zero. Erasing eagerly would be
+  /// wrong: unique-transaction merging can reorder deltas across tasks, so
+  /// a group at applied-count zero may still have a queued insert delta
+  /// about to resurrect it — and erasing would also destroy sum deltas
+  /// already applied by other tasks. The sweep below defers the DELETE to
+  /// a firing at which no maintenance task is queued; at that point
+  /// applied count == true count and the erase is exact.
+  std::mutex mu;
+  std::unordered_set<Value, ValueHash> zero_set;
+  std::vector<Value> zero_groups;  // first-seen order (determinism)
+};
+
+Status ApplyGroup(FunctionContext& ctx, AggPlan& plan, const Value& group,
+                  const std::vector<double>& sums, int64_t cnt) {
+  bool all_zero = cnt == 0;
+  for (size_t i = 0; all_zero && i < sums.size(); ++i) {
+    all_zero = sums[i] == 0.0;
+  }
+  if (all_zero) return Status::OK();
+  // Parameter order matches the generated texts: per-item deltas left to
+  // right, then the hidden count delta, then the group key.
+  std::vector<Value> upd_params;
+  upd_params.reserve(plan.item_is_count.size() + 2);
+  size_t s = 0;
+  for (bool is_count : plan.item_is_count) {
+    upd_params.push_back(is_count ? Value::Int(cnt)
+                                  : Value::Double(sums[s++]));
+  }
+  if (plan.track_count) upd_params.push_back(Value::Int(cnt));
+  upd_params.push_back(group);
+  STRIP_ASSIGN_OR_RETURN(int n, ctx.Exec(*plan.update, upd_params));
+  bool upserted = false;
+  if (n == 0) {
+    if (plan.upsert == nullptr) {
+      return Status::Internal(StrFormat(
+          "maintenance update for key '%s' matched no view row",
+          group.ToString().c_str()));
+    }
+    // INSERT text lists the group column first.
+    std::vector<Value> ins_params;
+    ins_params.reserve(upd_params.size());
+    ins_params.push_back(group);
+    ins_params.insert(ins_params.end(), upd_params.begin(),
+                      upd_params.end() - 1);
+    STRIP_ASSIGN_OR_RETURN(n, ctx.Exec(*plan.upsert, ins_params));
+    upserted = true;
+  }
+  if (n != 1) {
+    return Status::Internal(StrFormat(
+        "maintenance update for key '%s' touched %d rows",
+        group.ToString().c_str(), n));
+  }
+  if (plan.track_count && (cnt < 0 || (upserted && cnt <= 0))) {
+    STRIP_ASSIGN_OR_RETURN(TempTable r, ctx.Query(*plan.count_check, {group}));
+    if (r.size() == 1 && r.Get(0, 0).as_int() <= 0) {
+      std::lock_guard<std::mutex> lock(plan.mu);
+      if (plan.zero_set.insert(group).second) {
+        plan.zero_groups.push_back(group);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Deletes rows of emptied groups, but only when no sibling maintenance
+/// task is queued (see AggPlan::zero_groups). The DELETE re-checks
+/// `_count <= 0`, so a candidate resurrected between noting and sweeping
+/// is left alone. Threaded executors can in principle start a new sibling
+/// between the idle check and the DELETE; the predicate bounds the damage
+/// to groups that are empty at that instant anyway.
+Status SweepIfIdle(FunctionContext& ctx, AggPlan& plan) {
+  {
+    std::lock_guard<std::mutex> lock(plan.mu);
+    if (plan.zero_groups.empty()) return Status::OK();
+  }
+  UniqueTxnManager& uniq = ctx.db().rules().unique_manager();
+  for (const std::string& fn : plan.sibling_functions) {
+    if (uniq.NumQueued(fn) > 0) return Status::OK();
+  }
+  std::vector<Value> groups;
+  {
+    std::lock_guard<std::mutex> lock(plan.mu);
+    groups.swap(plan.zero_groups);
+    plan.zero_set.clear();
+  }
+  for (const Value& g : groups) {
+    STRIP_ASSIGN_OR_RETURN(int n, ctx.Exec(*plan.erase, {g}));
+    (void)n;  // 0 if the group was resurrected meanwhile
+  }
+  return Status::OK();
+}
+
+/// The action function for an aggregation view. `positive` rows contribute
+/// (+values, +1) keyed by `_key`; `negative` rows contribute (-values, -1)
+/// keyed by `_old_key` (update layout) or `_key` (delete layout). The
+/// contributions are folded to one net delta per key — a batched unique
+/// transaction applies a whole delay window in O(|delta|) — then applied
+/// directly (group key == delta key) or fanned out through the dimension
+/// probe.
+UserFunction MakeAggregateMaintainer(std::shared_ptr<AggPlan> plan,
+                                     std::string bound_name, bool positive,
+                                     bool negative) {
+  return [plan, bound_name, positive,
+          negative](FunctionContext& ctx) -> Status {
     const TempTable* deltas = ctx.BoundTable(bound_name);
     if (deltas == nullptr) {
       return Status::NotFound(
           StrFormat("bound table '%s' missing", bound_name.c_str()));
     }
-    int key_col = deltas->schema().FindColumn("_group");
-    int new_col = deltas->schema().FindColumn("_new_val");
-    int old_col = deltas->schema().FindColumn("_old_val");
-    if (key_col < 0 || new_col < 0 || old_col < 0) {
+    const Schema& ds = deltas->schema();
+    int key_col = ds.FindColumn("_key");
+    int old_key_col = ds.FindColumn("_old_key");
+    size_t num_sums = 0;
+    for (bool is_count : plan->item_is_count) {
+      if (!is_count) ++num_sums;
+    }
+    std::vector<int> new_cols, old_cols;
+    for (size_t i = 0; i < num_sums; ++i) {
+      if (positive) new_cols.push_back(ds.FindColumn(StrFormat("_new%zu", i)));
+      if (negative) old_cols.push_back(ds.FindColumn(StrFormat("_old%zu", i)));
+    }
+    bool missing = key_col < 0 || (positive && negative && old_key_col < 0);
+    for (int c : new_cols) missing = missing || c < 0;
+    for (int c : old_cols) missing = missing || c < 0;
+    if (missing) {
       return Status::Internal("generated bound table misses columns");
     }
-    std::unordered_map<std::string, double> diff;
-    std::unordered_map<std::string, Value> keys;
+
+    std::vector<GroupDelta> contrib;
+    contrib.reserve(deltas->size() * ((positive ? 1 : 0) + (negative ? 1 : 0)));
     for (size_t i = 0; i < deltas->size(); ++i) {
-      const Value& k = deltas->Get(i, key_col);
-      diff[k.ToString()] += deltas->Get(i, new_col).as_double() -
-                            deltas->Get(i, old_col).as_double();
-      keys.emplace(k.ToString(), k);
-    }
-    for (const auto& [ks, change] : diff) {
-      STRIP_ASSIGN_OR_RETURN(
-          int n,
-          ctx.Exec(*update, {Value::Double(change), keys.at(ks)}));
-      if (n == 0 && upsert != nullptr) {
-        STRIP_ASSIGN_OR_RETURN(
-            n, ctx.Exec(*upsert, {Value::Double(change), keys.at(ks)}));
+      if (positive) {
+        GroupDelta d;
+        d.key = deltas->Get(i, key_col);
+        d.count = 1;
+        d.sums.reserve(num_sums);
+        for (int c : new_cols) d.sums.push_back(deltas->Get(i, c).as_double());
+        contrib.push_back(std::move(d));
       }
-      if (n != 1) {
-        return Status::Internal(StrFormat(
-            "maintenance update for key '%s' touched %d rows", ks.c_str(),
-            n));
+      if (negative) {
+        GroupDelta d;
+        d.key = deltas->Get(i, old_key_col >= 0 ? old_key_col : key_col);
+        d.count = -1;
+        d.sums.reserve(num_sums);
+        for (int c : old_cols) d.sums.push_back(-deltas->Get(i, c).as_double());
+        contrib.push_back(std::move(d));
       }
     }
+    std::vector<GroupDelta> folded = FoldGroupDeltas(std::move(contrib));
+
+    for (const GroupDelta& fd : folded) {
+      bool all_zero = fd.count == 0;
+      for (size_t i = 0; all_zero && i < fd.sums.size(); ++i) {
+        all_zero = fd.sums[i] == 0.0;
+      }
+      if (all_zero) continue;  // e.g. an update that kept key and values
+      if (plan->probe != nullptr) {
+        STRIP_ASSIGN_OR_RETURN(TempTable rows,
+                               ctx.Query(*plan->probe, {fd.key}));
+        for (size_t r = 0; r < rows.size(); ++r) {
+          const Value& group = rows.Get(r, 0);
+          std::vector<double> scaled;
+          scaled.reserve(num_sums);
+          for (size_t s = 0; s < num_sums; ++s) {
+            scaled.push_back(fd.sums[s] *
+                             rows.Get(r, static_cast<int>(1 + s)).as_double());
+          }
+          STRIP_RETURN_IF_ERROR(ApplyGroup(ctx, *plan, group, scaled,
+                                           fd.count));
+        }
+      } else {
+        STRIP_RETURN_IF_ERROR(ApplyGroup(ctx, *plan, fd.key, fd.sums,
+                                         fd.count));
+      }
+    }
+    if (plan->track_count) return SweepIfIdle(ctx, *plan);
     return Status::OK();
   };
 }
@@ -203,12 +531,12 @@ UserFunction MakeProjectionMaintainer(std::shared_ptr<const Statement> update,
     if (key_col < 0 || recalc->schema().num_columns() != num_values + 1) {
       return Status::Internal("generated bound table misses columns");
     }
-    std::unordered_map<std::string, size_t> last_row;
+    std::unordered_map<Value, size_t, ValueHash> last_row;
     for (size_t i = 0; i < recalc->size(); ++i) {
-      last_row[recalc->Get(i, key_col).ToString()] = i;
+      last_row[recalc->Get(i, key_col)] = i;
     }
-    for (const auto& [ks, i] : last_row) {
-      (void)ks;
+    for (const auto& [key, i] : last_row) {
+      (void)key;
       std::vector<Value> params;
       for (int v = 0; v < num_values; ++v) {
         // Value columns follow the key in the generated select list.
@@ -222,6 +550,56 @@ UserFunction MakeProjectionMaintainer(std::shared_ptr<const Statement> update,
     }
     return Status::OK();
   };
+}
+
+// ---------------------------------------------------------------------------
+// Statement text generation
+// ---------------------------------------------------------------------------
+
+/// `update <view> set a += ?, b += ?[, _count += ?] where g = ?`.
+/// Parameters are positional '?' (the parser numbers them left to right),
+/// so the texts below keep the order: item deltas, count delta, group key.
+std::string UpdateText(const std::string& view, const ViewShape& shape,
+                       bool track_count) {
+  std::string sql = "update " + view + " set ";
+  for (size_t i = 0; i < shape.aggs.size(); ++i) {
+    if (i > 0) sql += ", ";
+    sql += shape.aggs[i].output + " += ?";
+  }
+  if (track_count) sql += ", _count += ?";
+  sql += " where " + shape.group_output + " = ?";
+  return sql;
+}
+
+/// `insert into <view> (g, a, b[, _count]) values (?, ?, ?[, ?])`.
+std::string UpsertText(const std::string& view, const ViewShape& shape,
+                       bool track_count) {
+  std::string cols = shape.group_output;
+  std::string vals = "?";
+  for (const AggItem& item : shape.aggs) {
+    cols += ", " + item.output;
+    vals += ", ?";
+  }
+  if (track_count) {
+    cols += ", _count";
+    vals += ", ?";
+  }
+  return "insert into " + view + " (" + cols + ") values (" + vals + ")";
+}
+
+/// `select <group>, <dim part>... from <dim> where <dim jk> = ? and ...`.
+std::string ProbeText(const ViewShape& shape, const ProbeParts& probe) {
+  std::string sql = "select " + shape.group_expr->ToString();
+  for (const ExprPtr& part : probe.dim_parts) {
+    sql += ", " + part->ToString();
+  }
+  sql += " from " + probe.dim->table;
+  if (!probe.dim->alias.empty()) sql += " " + probe.dim->alias;
+  sql += " where " + probe.dim_jk->ToString() + " = ?";
+  for (const ExprPtr& c : probe.dim_conjuncts) {
+    sql += " and " + c->ToString();
+  }
+  return sql;
 }
 
 }  // namespace
@@ -267,7 +645,249 @@ Result<GeneratedRule> GenerateMaintenanceRule(Database& db,
   std::string function_name = "maintain_" + view_name;
   std::string rule_name = "do_maintain_" + view_name;
 
-  // --- build the condition query ------------------------------------------
+  GeneratedRule out;
+  out.rule_name = rule_name;
+  out.function_name = function_name;
+
+  if (shape.is_aggregation) {
+    ProbeParts probe;
+    AggStrategy strategy = ChooseStrategy(*view, shape, fact, fact_schema,
+                                          dims, dim_schemas, probe);
+    out.strategy = strategy == AggStrategy::kDirect      ? "direct"
+                   : strategy == AggStrategy::kDimProbe ? "dim-probe"
+                                                        : "join-in-condition";
+
+    // Hidden count: only useful when deletes are maintained at all.
+    bool track_count =
+        options.track_group_count && options.handle_insert_delete;
+    if (track_count) {
+      for (const AggItem& item : shape.aggs) {
+        if (item.output == "_count") {
+          return Status::InvalidArgument(
+              "view column '_count' collides with the hidden group count");
+        }
+      }
+      STRIP_RETURN_IF_ERROR(db.views().EnableHiddenCount(view_name));
+    }
+
+    auto plan = std::make_shared<AggPlan>();
+    plan->track_count = track_count;
+    for (const AggItem& item : shape.aggs) {
+      plan->item_is_count.push_back(item.is_count);
+    }
+    STRIP_ASSIGN_OR_RETURN(
+        plan->update, db.Prepare(UpdateText(view_name, shape, track_count)));
+    if (options.handle_insert_delete) {
+      STRIP_ASSIGN_OR_RETURN(
+          plan->upsert, db.Prepare(UpsertText(view_name, shape, track_count)));
+    }
+    if (track_count) {
+      STRIP_ASSIGN_OR_RETURN(
+          plan->count_check,
+          db.Prepare(StrFormat("select _count from %s where %s = ?",
+                               view_name.c_str(),
+                               shape.group_output.c_str())));
+      STRIP_ASSIGN_OR_RETURN(
+          plan->erase,
+          db.Prepare(StrFormat(
+              "delete from %s where %s = ? and _count <= 0",
+              view_name.c_str(), shape.group_output.c_str())));
+    }
+    if (strategy == AggStrategy::kDimProbe) {
+      STRIP_ASSIGN_OR_RETURN(plan->probe,
+                             db.Prepare(ProbeText(shape, probe)));
+    }
+
+    // The `updated [columns]` transition predicate: every fact column the
+    // view reads — SUM arguments, the group key, and the WHERE clause
+    // (join keys), so key-moving updates fire too.
+    std::vector<std::string> updated_columns;
+    for (const AggItem& item : shape.aggs) {
+      if (item.arg != nullptr) {
+        CollectFactColumns(*item.arg, fact, fact_schema, updated_columns);
+      }
+    }
+    CollectFactColumns(*shape.group_expr, fact, fact_schema, updated_columns);
+    if (view->query.where != nullptr) {
+      CollectFactColumns(*view->query.where, fact, fact_schema,
+                         updated_columns);
+    }
+
+    // Three companion rules: updates carry both delta halves, inserts the
+    // positive half, deletes the negative half. Each needs its own
+    // function — rules sharing a function must define their bound tables
+    // identically (§2), and these condition queries differ.
+    struct RuleSpec {
+      const char* suffix;
+      RuleEventKind event;
+      bool positive;
+      bool negative;
+    };
+    std::vector<RuleSpec> specs = {{"", RuleEventKind::kUpdated, true, true}};
+    if (options.handle_insert_delete) {
+      specs.push_back({"_ins", RuleEventKind::kInserted, true, false});
+      specs.push_back({"_del", RuleEventKind::kDeleted, false, true});
+    }
+    for (const RuleSpec& spec : specs) {
+      plan->sibling_functions.push_back(function_name + spec.suffix);
+    }
+
+    for (const RuleSpec& spec : specs) {
+      const char* pos_src = spec.event == RuleEventKind::kInserted
+                                ? "inserted"
+                                : "new";
+      const char* neg_src = spec.event == RuleEventKind::kDeleted
+                                ? "deleted"
+                                : "old";
+      SelectStmt cond;
+      ExprPtr where;
+      auto clone_to = [&](const Expr& e,
+                          const char* target) -> Result<ExprPtr> {
+        // Dim-probe condition queries see no dimension tables, so pass an
+        // empty dimension list: bare fact columns rewrite unconditionally
+        // (strategy selection already excluded ambiguous references).
+        static const std::vector<const Schema*> kNoDims;
+        return CloneRewritten(
+            e, fact, fact_schema,
+            strategy == AggStrategy::kDimProbe ? kNoDims : dim_schemas,
+            target);
+      };
+      if (strategy == AggStrategy::kDimProbe) {
+        // Fact-local query: `_key` is the fact join key, the delta columns
+        // the factored fact parts. Old and new keys ship separately, so
+        // join-key updates maintain both groups exactly.
+        const char* key_src = spec.positive ? pos_src : neg_src;
+        cond.from.push_back(TableRef{key_src, ""});
+        if (spec.positive && spec.negative) {
+          cond.from.push_back(TableRef{neg_src, ""});
+          where = MakeBinary(BinaryOp::kEq,
+                             MakeColumnRef(pos_src, "execute_order"),
+                             MakeColumnRef(neg_src, "execute_order"));
+        }
+        STRIP_ASSIGN_OR_RETURN(ExprPtr key,
+                               clone_to(*probe.fact_jk, key_src));
+        cond.items.push_back(SelectItem{std::move(key), "_key"});
+        if (spec.positive && spec.negative) {
+          STRIP_ASSIGN_OR_RETURN(ExprPtr old_key,
+                                 clone_to(*probe.fact_jk, neg_src));
+          cond.items.push_back(SelectItem{std::move(old_key), "_old_key"});
+        }
+        for (size_t i = 0; i < probe.fact_parts.size(); ++i) {
+          if (spec.positive) {
+            STRIP_ASSIGN_OR_RETURN(ExprPtr e,
+                                   clone_to(*probe.fact_parts[i], pos_src));
+            cond.items.push_back(
+                SelectItem{std::move(e), StrFormat("_new%zu", i)});
+          }
+          if (spec.negative) {
+            STRIP_ASSIGN_OR_RETURN(ExprPtr e,
+                                   clone_to(*probe.fact_parts[i], neg_src));
+            cond.items.push_back(
+                SelectItem{std::move(e), StrFormat("_old%zu", i)});
+          }
+        }
+      } else {
+        // Direct / join-in-condition: the query computes the group key and
+        // SUM arguments itself (joining the dimensions when present).
+        // Known fallback limits: the WHERE and the dimension join see the
+        // positive image, so with dimensions a join-key-changing update
+        // mis-attributes the old half (use dim-probe shapes to avoid).
+        cond.from = dims;
+        const char* main_src = spec.positive ? pos_src : neg_src;
+        cond.from.push_back(TableRef{main_src, ""});
+        if (spec.positive && spec.negative) {
+          cond.from.push_back(TableRef{neg_src, ""});
+          where = MakeBinary(BinaryOp::kEq,
+                             MakeColumnRef(pos_src, "execute_order"),
+                             MakeColumnRef(neg_src, "execute_order"));
+        }
+        if (view->query.where != nullptr) {
+          STRIP_ASSIGN_OR_RETURN(ExprPtr w,
+                                 clone_to(*view->query.where, main_src));
+          where = where == nullptr
+                      ? std::move(w)
+                      : MakeBinary(BinaryOp::kAnd, std::move(where),
+                                   std::move(w));
+        }
+        STRIP_ASSIGN_OR_RETURN(ExprPtr key,
+                               clone_to(*shape.group_expr, main_src));
+        cond.items.push_back(SelectItem{std::move(key), "_key"});
+        if (spec.positive && spec.negative) {
+          STRIP_ASSIGN_OR_RETURN(ExprPtr old_key,
+                                 clone_to(*shape.group_expr, neg_src));
+          cond.items.push_back(SelectItem{std::move(old_key), "_old_key"});
+        }
+        size_t sum_idx = 0;
+        for (const AggItem& item : shape.aggs) {
+          if (item.is_count) continue;
+          if (spec.positive) {
+            STRIP_ASSIGN_OR_RETURN(ExprPtr e, clone_to(*item.arg, pos_src));
+            cond.items.push_back(
+                SelectItem{std::move(e), StrFormat("_new%zu", sum_idx)});
+          }
+          if (spec.negative) {
+            STRIP_ASSIGN_OR_RETURN(ExprPtr e, clone_to(*item.arg, neg_src));
+            cond.items.push_back(
+                SelectItem{std::move(e), StrFormat("_old%zu", sum_idx)});
+          }
+          ++sum_idx;
+        }
+      }
+      cond.where = std::move(where);
+
+      std::string fn = function_name + spec.suffix;
+      std::string bound = bound_name + spec.suffix;
+      STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+          fn, MakeAggregateMaintainer(plan, bound, spec.positive,
+                                      spec.negative)));
+
+      CreateRuleStmt rule;
+      rule.rule_name = rule_name + spec.suffix;
+      rule.table = fact;
+      RuleEvent ev;
+      ev.kind = spec.event;
+      if (spec.event == RuleEventKind::kUpdated) {
+        ev.columns = updated_columns;
+      }
+      rule.events.push_back(std::move(ev));
+      RuleQuery rq;
+      rq.query = std::move(cond);
+      rq.bind_as = bound;
+      rule.condition.push_back(std::move(rq));
+      rule.function_name = fn;
+      rule.unique = options.unique;
+      if (!options.unique_columns.empty()) {
+        rule.unique_columns = options.unique_columns;
+      } else if (options.unique) {
+        // §8 rule of thumb: batch on the delta key — same-key deltas are
+        // exactly the ones the fold collapses.
+        rule.unique_columns = {"_key"};
+      }
+      rule.delay_seconds = options.delay_seconds;
+
+      if (spec.suffix[0] == '\0') {
+        out.rule_sql = StrFormat(
+            "create rule %s on %s when updated %s if %s bind as %s then "
+            "execute %s%s%s after %g seconds",
+            rule.rule_name.c_str(), fact.c_str(),
+            Join(rule.events[0].columns, ", ").c_str(),
+            rule.condition[0].query.ToString().c_str(), bound.c_str(),
+            fn.c_str(), rule.unique ? " unique" : "",
+            rule.unique_columns.empty()
+                ? ""
+                : (" on " + Join(rule.unique_columns, ", ")).c_str(),
+            options.delay_seconds);
+      } else {
+        out.extra_rule_names.push_back(rule.rule_name);
+      }
+      STRIP_RETURN_IF_ERROR(db.rules().CreateRule(std::move(rule)));
+    }
+    STRIP_RETURN_IF_ERROR(db.views().MarkMaintained(view_name));
+    return out;
+  }
+
+  // --- projection view ------------------------------------------------------
+  out.strategy = "projection";
   SelectStmt cond;
   cond.from = dims;
   cond.from.push_back(TableRef{"new", ""});
@@ -277,174 +897,40 @@ Result<GeneratedRule> GenerateMaintenanceRule(Database& db,
                                                  fact_schema, dim_schemas,
                                                  "new"));
   }
-
   std::vector<std::string> updated_columns;
-  std::vector<std::string> extra_rule_names;
-  CreateRuleStmt rule;
-
-  if (shape.is_aggregation) {
-    cond.from.push_back(TableRef{"old", ""});
-    // Pair old/new images of the same change (§3, Figure 3).
-    ExprPtr pair = MakeBinary(BinaryOp::kEq,
-                              MakeColumnRef("new", "execute_order"),
-                              MakeColumnRef("old", "execute_order"));
-    where = where == nullptr
-                ? std::move(pair)
-                : MakeBinary(BinaryOp::kAnd, std::move(where),
-                             std::move(pair));
+  STRIP_ASSIGN_OR_RETURN(
+      ExprPtr key_new, CloneRewritten(*shape.key_expr, fact, fact_schema,
+                                      dim_schemas, "new"));
+  cond.items.push_back(SelectItem{std::move(key_new), "_key"});
+  for (size_t i = 0; i < shape.value_exprs.size(); ++i) {
     STRIP_ASSIGN_OR_RETURN(
-        ExprPtr group_new,
-        CloneRewritten(*shape.group_expr, fact, fact_schema, dim_schemas,
-                       "new"));
-    STRIP_ASSIGN_OR_RETURN(
-        ExprPtr sum_new, CloneRewritten(*shape.sum_arg, fact, fact_schema,
-                                        dim_schemas, "new"));
-    STRIP_ASSIGN_OR_RETURN(
-        ExprPtr sum_old, CloneRewritten(*shape.sum_arg, fact, fact_schema,
-                                        dim_schemas, "old"));
-    cond.items.push_back(SelectItem{std::move(group_new), "_group"});
-    cond.items.push_back(SelectItem{std::move(sum_new), "_new_val"});
-    cond.items.push_back(SelectItem{std::move(sum_old), "_old_val"});
-    CollectFactColumns(*shape.sum_arg, fact, fact_schema, updated_columns);
-
-    // UPDATE view SET <sum_col> += ?1 WHERE <group_col> = ?2
-    UpdateStmt upd;
-    upd.table = view_name;
-    upd.sets.push_back(UpdateStmt::SetClause{
-        shape.sum_output,
-        MakeBinary(BinaryOp::kAdd, MakeColumnRef("", shape.sum_output),
-                   MakeParameter(0))});
-    upd.where = MakeBinary(BinaryOp::kEq,
-                           MakeColumnRef("", shape.group_output),
-                           MakeParameter(1));
-    auto update = std::make_shared<Statement>(std::move(upd));
-    // Upsert for groups not yet in the view (fact INSERTs):
-    //   INSERT INTO view (<group_col>, <sum_col>) VALUES (?2, ?1)
-    std::shared_ptr<Statement> upsert;
-    if (options.handle_insert_delete) {
-      InsertStmt ins;
-      ins.table = view_name;
-      ins.columns = {shape.group_output, shape.sum_output};
-      std::vector<ExprPtr> row;
-      row.push_back(MakeParameter(1));  // key
-      row.push_back(MakeParameter(0));  // delta
-      ins.rows.push_back(std::move(row));
-      upsert = std::make_shared<Statement>(std::move(ins));
-    }
-    STRIP_RETURN_IF_ERROR(db.RegisterFunction(
-        function_name,
-        MakeAggregateMaintainer(update, upsert, bound_name)));
-
-    if (options.unique && options.unique_columns.empty()) {
-      // §8 rule of thumb: batch on the view's own key.
-      rule.unique_columns = {"_group"};
-    }
-
-    // Companion rules for fact INSERTs (+e) and DELETEs (-e). Each needs
-    // its own function: rules sharing a function must define their bound
-    // tables identically (§2), and these condition queries differ.
-    if (options.handle_insert_delete) {
-      struct Companion {
-        const char* suffix;
-        const char* source;  // transition table providing the fact rows
-        RuleEventKind event;
-        bool positive;       // +e (insert) or -e (delete)
-      };
-      const Companion kCompanions[] = {
-          {"_ins", "inserted", RuleEventKind::kInserted, true},
-          {"_del", "deleted", RuleEventKind::kDeleted, false},
-      };
-      for (const Companion& c : kCompanions) {
-        SelectStmt q;
-        q.from = dims;
-        q.from.push_back(TableRef{c.source, ""});
-        if (view->query.where != nullptr) {
-          STRIP_ASSIGN_OR_RETURN(
-              q.where, CloneRewritten(*view->query.where, fact, fact_schema,
-                                      dim_schemas, c.source));
-        }
-        STRIP_ASSIGN_OR_RETURN(
-            ExprPtr g, CloneRewritten(*shape.group_expr, fact, fact_schema,
-                                      dim_schemas, c.source));
-        STRIP_ASSIGN_OR_RETURN(
-            ExprPtr e, CloneRewritten(*shape.sum_arg, fact, fact_schema,
-                                      dim_schemas, c.source));
-        q.items.push_back(SelectItem{std::move(g), "_group"});
-        if (c.positive) {
-          q.items.push_back(SelectItem{std::move(e), "_new_val"});
-          q.items.push_back(
-              SelectItem{MakeLiteral(Value::Double(0)), "_old_val"});
-        } else {
-          q.items.push_back(
-              SelectItem{MakeLiteral(Value::Double(0)), "_new_val"});
-          q.items.push_back(SelectItem{std::move(e), "_old_val"});
-        }
-        std::string companion_fn = function_name + c.suffix;
-        std::string companion_bound = bound_name + c.suffix;
-        STRIP_RETURN_IF_ERROR(db.RegisterFunction(
-            companion_fn,
-            MakeAggregateMaintainer(update, upsert, companion_bound)));
-        CreateRuleStmt companion;
-        companion.rule_name = rule_name + c.suffix;
-        companion.table = fact;
-        companion.events.push_back(RuleEvent{c.event, {}});
-        RuleQuery crq;
-        crq.query = std::move(q);
-        crq.bind_as = companion_bound;
-        companion.condition.push_back(std::move(crq));
-        companion.function_name = companion_fn;
-        companion.unique = options.unique;
-        companion.unique_columns =
-            options.unique_columns.empty() && options.unique
-                ? std::vector<std::string>{"_group"}
-                : options.unique_columns;
-        companion.delay_seconds = options.delay_seconds;
-        STRIP_RETURN_IF_ERROR(db.rules().CreateRule(std::move(companion)));
-        extra_rule_names.push_back(rule_name + c.suffix);
-      }
-    }
-  } else {
-    STRIP_ASSIGN_OR_RETURN(
-        ExprPtr key_new, CloneRewritten(*shape.key_expr, fact, fact_schema,
-                                        dim_schemas, "new"));
-    cond.items.push_back(SelectItem{std::move(key_new), "_key"});
-    for (size_t i = 0; i < shape.value_exprs.size(); ++i) {
-      STRIP_ASSIGN_OR_RETURN(
-          ExprPtr val_new,
-          CloneRewritten(*shape.value_exprs[i], fact, fact_schema,
-                         dim_schemas, "new"));
-      cond.items.push_back(
-          SelectItem{std::move(val_new), StrFormat("_v%zu", i)});
-      CollectFactColumns(*shape.value_exprs[i], fact, fact_schema,
-                         updated_columns);
-    }
-
-    // UPDATE view SET c1 = ?1, ..., cn = ?n WHERE key = ?n+1
-    UpdateStmt upd;
-    upd.table = view_name;
-    for (size_t i = 0; i < shape.value_outputs.size(); ++i) {
-      upd.sets.push_back(UpdateStmt::SetClause{
-          shape.value_outputs[i], MakeParameter(static_cast<int>(i))});
-    }
-    upd.where = MakeBinary(
-        BinaryOp::kEq, MakeColumnRef("", shape.key_output),
-        MakeParameter(static_cast<int>(shape.value_outputs.size())));
-    auto update = std::make_shared<Statement>(std::move(upd));
-    STRIP_RETURN_IF_ERROR(db.RegisterFunction(
-        function_name,
-        MakeProjectionMaintainer(update, bound_name,
-                                 static_cast<int>(shape.value_exprs.size()))));
-
-    if (options.unique && options.unique_columns.empty()) {
-      // Batching per view row would flood the system when the fact ->
-      // view fan-out is high (§5.2); batch per fact key instead is left
-      // to the caller — the generator defaults to coarse batching here.
-      rule.unique_columns = {};
-    }
+        ExprPtr val_new,
+        CloneRewritten(*shape.value_exprs[i], fact, fact_schema,
+                       dim_schemas, "new"));
+    cond.items.push_back(
+        SelectItem{std::move(val_new), StrFormat("_v%zu", i)});
+    CollectFactColumns(*shape.value_exprs[i], fact, fact_schema,
+                       updated_columns);
   }
   cond.where = std::move(where);
 
-  // --- assemble and install the rule ---------------------------------------
+  // UPDATE view SET c1 = ?1, ..., cn = ?n WHERE key = ?n+1
+  UpdateStmt upd;
+  upd.table = view_name;
+  for (size_t i = 0; i < shape.value_outputs.size(); ++i) {
+    upd.sets.push_back(UpdateStmt::SetClause{
+        shape.value_outputs[i], MakeParameter(static_cast<int>(i))});
+  }
+  upd.where = MakeBinary(
+      BinaryOp::kEq, MakeColumnRef("", shape.key_output),
+      MakeParameter(static_cast<int>(shape.value_outputs.size())));
+  auto update = std::make_shared<Statement>(std::move(upd));
+  STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+      function_name,
+      MakeProjectionMaintainer(update, bound_name,
+                               static_cast<int>(shape.value_exprs.size()))));
+
+  CreateRuleStmt rule;
   rule.rule_name = rule_name;
   rule.table = fact;
   RuleEvent ev;
@@ -457,15 +943,14 @@ Result<GeneratedRule> GenerateMaintenanceRule(Database& db,
   rule.condition.push_back(std::move(rq));
   rule.function_name = function_name;
   rule.unique = options.unique;
+  // Batching per view row would flood the system when the fact -> view
+  // fan-out is high (§5.2); the generator defaults to coarse batching and
+  // leaves per-fact-key batching to the caller via unique_columns.
   if (!options.unique_columns.empty()) {
     rule.unique_columns = options.unique_columns;
   }
   rule.delay_seconds = options.delay_seconds;
 
-  GeneratedRule out;
-  out.rule_name = rule_name;
-  out.function_name = function_name;
-  out.extra_rule_names = std::move(extra_rule_names);
   out.rule_sql = StrFormat(
       "create rule %s on %s when updated %s if %s bind as %s then execute "
       "%s%s%s after %g seconds",
@@ -479,6 +964,7 @@ Result<GeneratedRule> GenerateMaintenanceRule(Database& db,
       options.delay_seconds);
 
   STRIP_RETURN_IF_ERROR(db.rules().CreateRule(std::move(rule)));
+  STRIP_RETURN_IF_ERROR(db.views().MarkMaintained(view_name));
   return out;
 }
 

@@ -14,21 +14,40 @@ class Database;
 /// Options for generated maintenance rules. The paper's §8 conjectures
 /// that the [CW91] approach of deriving maintenance rules from view
 /// definitions extends to deriving the unit of batching and the delay
-/// window as well; this module implements that conjecture for two view
-/// shapes (exactly the two the evaluation uses):
+/// window as well; this module implements that conjecture for the view
+/// shapes the evaluation uses:
 ///
-///  - aggregation views:  SELECT g, SUM(e) FROM fact [, dims...]
-///                        WHERE equi-joins GROUP BY g
-///    maintained incrementally (delta = e(new) - e(old)), like do_comps3;
+///  - aggregation views:  SELECT g, SUM(e)... [, COUNT(*)]
+///                        FROM fact [, dims...] WHERE equi-joins GROUP BY g
+///    maintained from the bound-table delta. Three derivation strategies,
+///    picked automatically:
+///      * direct     — no dimensions: deltas keyed by the group column;
+///      * dim-probe  — one dimension, group key and weights on the
+///        dimension side (the comp_prices shape): the condition query
+///        projects only fact-local delta columns, and the action probes
+///        the dimension through a prepared index lookup per net key — the
+///        compute_comps3 pattern of §4.3, generated;
+///      * join-in-condition — general fallback: the condition query joins
+///        the dimensions at commit time and emits per-group deltas.
+///    All strategies fold same-key deltas (rules/net_effect) before
+///    applying, so a batched unique transaction applies one net delta per
+///    group: maintenance cost O(|delta|), not O(|group|).
 ///
 ///  - projection views:   SELECT k, exprs... FROM fact [, dims...]
 ///                        WHERE equi-joins
 ///    maintained by recomputing affected rows (e.g. Black-Scholes option
 ///    prices), like do_options.
+///
+/// Known fallback limitation: with several dimensions (join-in-condition
+/// strategy), an UPDATE that changes the fact-side join key matches the
+/// old image against the new image's dimension rows. The dim-probe
+/// strategy handles join-key updates exactly (old and new keys are probed
+/// separately).
 struct RuleGenOptions {
   /// Batch with a unique transaction. When true and `unique_columns` is
-  /// empty, the generator picks the unit of batching itself: the view's
-  /// group / key column — "just large enough to take advantage of the
+  /// empty, the generator picks the unit of batching itself: the delta
+  /// key — the view's group column (direct / join strategies) or the fact
+  /// join key (dim-probe) — "just large enough to take advantage of the
   /// redundancy in the recomputation but no larger" (§8).
   bool unique = true;
   std::vector<std::string> unique_columns;
@@ -36,10 +55,17 @@ struct RuleGenOptions {
   /// Aggregation views only: also generate rules maintaining the view
   /// under INSERTs and DELETEs of fact rows (delta = +e for inserts,
   /// -e for deletes; a delta for a group not yet in the view inserts the
-  /// row). Limitation, documented from [CW91]: without a per-group
-  /// count column, a group whose members are all deleted keeps a zero-sum
-  /// row rather than disappearing.
+  /// row).
   bool handle_insert_delete = true;
+  /// Aggregation views only (and only with handle_insert_delete): track
+  /// membership in a hidden per-group `_count` column on the backing
+  /// table, and delete a group's row once its count reaches zero — fixing
+  /// the documented [CW91] limitation where a fully-deleted group left a
+  /// zero-sum row behind. Row deletion is deferred to the first
+  /// maintenance firing that sees no queued sibling tasks, so out-of-order
+  /// batched firings can never erase a group that a pending delta will
+  /// resurrect.
+  bool track_group_count = true;
 };
 
 /// What the generator produced (for inspection / documentation).
@@ -50,6 +76,9 @@ struct GeneratedRule {
   /// Companion rules for insert/delete events (aggregation views with
   /// handle_insert_delete).
   std::vector<std::string> extra_rule_names;
+  /// Which derivation the generator picked: "direct", "dim-probe",
+  /// "join-in-condition", or "projection".
+  std::string strategy;
 };
 
 /// Generates and installs the maintenance rule + action function for the

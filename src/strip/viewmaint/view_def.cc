@@ -1,8 +1,11 @@
 #include "strip/viewmaint/view_def.h"
 
+#include <utility>
+
 #include "strip/common/string_util.h"
 #include "strip/engine/database.h"
 #include "strip/storage/record.h"
+#include "strip/storage/table.h"
 
 namespace strip {
 
@@ -21,6 +24,15 @@ Status InsertRows(Database& db, Transaction* txn, Table* table,
 }
 
 }  // namespace
+
+SelectStmt MaintenanceQuery(const ViewDef& def) {
+  SelectStmt q = def.query.Clone();
+  if (def.hidden_count) {
+    q.items.push_back(
+        SelectItem{MakeAggregate("count", {}, /*star_arg=*/true), "_count"});
+  }
+  return q;
+}
 
 Status ViewManager::CreateView(CreateViewStmt stmt) {
   stmt.name = ToLower(stmt.name);
@@ -92,11 +104,12 @@ Status ViewManager::RefreshView(const std::string& name) {
         "view '%s' is not materialized", key.c_str()));
   }
   STRIP_ASSIGN_OR_RETURN(Table * table, db_->catalog().GetTable(key));
+  SelectStmt query = MaintenanceQuery(def);
   STRIP_ASSIGN_OR_RETURN(Transaction * txn, db_->Begin());
   auto run = [&]() -> Status {
     // Recompute BEFORE clearing so the query sees consistent base data and
     // cannot read the half-cleared view through a self-reference.
-    STRIP_ASSIGN_OR_RETURN(TempTable data, db_->Query(txn, def.query));
+    STRIP_ASSIGN_OR_RETURN(TempTable data, db_->Query(txn, query));
     STRIP_RETURN_IF_ERROR(db_->locks().Acquire(
         txn, LockKey::WholeTable(table), LockMode::kExclusive));
     while (!table->rows().empty()) {
@@ -113,6 +126,71 @@ Status ViewManager::RefreshView(const std::string& name) {
     return st;
   }
   return db_->Commit(txn);
+}
+
+Status ViewManager::EnableHiddenCount(const std::string& name) {
+  std::string key = ToLower(name);
+  auto it = views_.find(key);
+  if (it == views_.end()) {
+    return Status::NotFound(StrFormat("no view '%s'", key.c_str()));
+  }
+  ViewDef& def = *it->second;
+  if (!def.materialized) {
+    return Status::FailedPrecondition(StrFormat(
+        "view '%s' is not materialized", key.c_str()));
+  }
+  if (def.hidden_count) return Status::OK();
+  if (def.query.group_by.empty()) {
+    return Status::FailedPrecondition(StrFormat(
+        "view '%s' has no GROUP BY; a per-group count makes no sense",
+        key.c_str()));
+  }
+  STRIP_ASSIGN_OR_RETURN(Table * old_table, db_->catalog().GetTable(key));
+
+  // Evaluate the augmented query before touching the backing table.
+  def.hidden_count = true;
+  SelectStmt query = MaintenanceQuery(def);
+  STRIP_ASSIGN_OR_RETURN(Transaction * read_txn, db_->Begin());
+  auto data = db_->Query(read_txn, query);
+  if (!data.ok()) {
+    def.hidden_count = false;
+    Status ignored = db_->Abort(read_txn);
+    (void)ignored;
+    return data.status();
+  }
+  STRIP_RETURN_IF_ERROR(db_->Commit(read_txn));
+
+  // Remember the old table's indexes so the rebuilt table keeps them
+  // (maintenance updates probe the view by its group column).
+  std::vector<std::pair<std::string, IndexKind>> indexes;
+  for (const auto& col : old_table->schema().columns()) {
+    const Index* idx = old_table->FindIndex(col.name);
+    if (idx != nullptr) indexes.emplace_back(col.name, idx->kind());
+  }
+
+  STRIP_RETURN_IF_ERROR(db_->catalog().DropTable(key));
+  STRIP_ASSIGN_OR_RETURN(Table * table,
+                         db_->catalog().CreateTable(key, data->schema()));
+  for (const auto& [column, kind] : indexes) {
+    STRIP_RETURN_IF_ERROR(table->CreateTableIndex(column, kind));
+  }
+  STRIP_ASSIGN_OR_RETURN(Transaction * txn, db_->Begin());
+  Status st = InsertRows(*db_, txn, table, *data);
+  if (!st.ok()) {
+    Status ignored = db_->Abort(txn);
+    (void)ignored;
+    return st;
+  }
+  return db_->Commit(txn);
+}
+
+Status ViewManager::MarkMaintained(const std::string& name) {
+  auto it = views_.find(ToLower(name));
+  if (it == views_.end()) {
+    return Status::NotFound(StrFormat("no view '%s'", name.c_str()));
+  }
+  it->second->maintained = true;
+  return Status::OK();
 }
 
 const ViewDef* ViewManager::Find(const std::string& name) const {

@@ -18,7 +18,21 @@ struct ViewDef {
   std::string name;
   bool materialized = false;
   SelectStmt query;
+  /// The backing table carries a hidden `_count` column (count(*) per
+  /// group) appended after the defining query's columns. Maintenance
+  /// rules use it to delete a group's row when its last member is
+  /// deleted — the [CW91] zero-sum-row limitation fixed.
+  bool hidden_count = false;
+  /// A generated maintenance rule keeps this view incrementally up to
+  /// date (set by GenerateMaintenanceRule). At quiescence such a view
+  /// must equal a from-scratch recompute — chaos invariant (f).
+  bool maintained = false;
 };
+
+/// The query whose result the backing table must equal: the defining
+/// query, plus a trailing `count(*) as _count` item when the view tracks
+/// the hidden per-group count.
+SelectStmt MaintenanceQuery(const ViewDef& def);
 
 /// Manages view definitions. Materialized views get a backing standard
 /// table populated from the defining query; the paper's applications then
@@ -40,8 +54,18 @@ class ViewManager {
 
   /// Recomputes a materialized view from scratch: deletes every row of the
   /// backing table and re-inserts the query result, in one transaction.
-  /// This is the non-incremental baseline maintenance strategy.
+  /// This is the non-incremental baseline maintenance strategy. Views
+  /// with a hidden count recompute it too (count(*) per group).
   Status RefreshView(const std::string& name);
+
+  /// Rebuilds the backing table with the hidden `_count` column appended
+  /// (existing indexes are recreated). Idempotent. The rule generator
+  /// calls this before installing count-tracking maintenance rules.
+  Status EnableHiddenCount(const std::string& name);
+
+  /// Marks the view as kept up to date by generated maintenance rules
+  /// (consulted by chaos invariant f).
+  Status MarkMaintained(const std::string& name);
 
   const ViewDef* Find(const std::string& name) const;
   std::vector<std::string> ListViews() const;

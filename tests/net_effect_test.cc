@@ -149,5 +149,56 @@ TEST_F(NetEffectTest, MissingTransitionTablesRejected) {
             StatusCode::kInvalidArgument);
 }
 
+// ---------------------------------------------------------------------------
+// FoldGroupDeltas
+// ---------------------------------------------------------------------------
+
+TEST(FoldGroupDeltasTest, NetsSumsAndCountsPerKey) {
+  std::vector<GroupDelta> rows;
+  rows.push_back({Value::Str("a"), {10.0, 1.0}, 1});   // insert into a
+  rows.push_back({Value::Str("b"), {5.0}, 1});         // insert into b
+  rows.push_back({Value::Str("a"), {-4.0, 0.5}, -1});  // delete from a
+  rows.push_back({Value::Str("a"), {1.0, 1.0}, 0});    // update within a
+  std::vector<GroupDelta> out = FoldGroupDeltas(std::move(rows));
+  ASSERT_EQ(out.size(), 2u);
+  // First-seen key order is preserved.
+  EXPECT_EQ(out[0].key, Value::Str("a"));
+  ASSERT_EQ(out[0].sums.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].sums[0], 7.0);
+  EXPECT_DOUBLE_EQ(out[0].sums[1], 2.5);
+  EXPECT_EQ(out[0].count, 0);
+  EXPECT_EQ(out[1].key, Value::Str("b"));
+  EXPECT_DOUBLE_EQ(out[1].sums[0], 5.0);
+  EXPECT_EQ(out[1].count, 1);
+}
+
+TEST(FoldGroupDeltasTest, InsertThenDeleteCancelsToZeroDelta) {
+  // The window's net effect on the group is nothing; the fold reports the
+  // zero row rather than dropping it (callers skip all-zero deltas).
+  std::vector<GroupDelta> rows;
+  rows.push_back({Value::Int(7), {3.0}, 1});
+  rows.push_back({Value::Int(7), {-3.0}, -1});
+  std::vector<GroupDelta> out = FoldGroupDeltas(std::move(rows));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].sums[0], 0.0);
+  EXPECT_EQ(out[0].count, 0);
+}
+
+TEST(FoldGroupDeltasTest, IntAndDoubleKeysFoldAlike) {
+  // Value equality treats 2 and 2.0 as the same key, so deltas arriving
+  // with mixed numeric types still collapse (no string round trip).
+  std::vector<GroupDelta> rows;
+  rows.push_back({Value::Int(2), {1.0}, 1});
+  rows.push_back({Value::Double(2.0), {2.0}, 1});
+  std::vector<GroupDelta> out = FoldGroupDeltas(std::move(rows));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].sums[0], 3.0);
+  EXPECT_EQ(out[0].count, 2);
+}
+
+TEST(FoldGroupDeltasTest, EmptyInput) {
+  EXPECT_TRUE(FoldGroupDeltas({}).empty());
+}
+
 }  // namespace
 }  // namespace strip

@@ -207,8 +207,10 @@ TEST_F(RuleGenTest, UnsupportedShapesRejected) {
     create table t (g string, v double);
     insert into t values ('a', 1.0);
     create materialized view star_view as select * from t;
-    create materialized view multi_agg as
-      select g, sum(v) as a, count(*) as b from t group by g;
+    create materialized view min_agg as
+      select g, min(v) as lo from t group by g;
+    create materialized view two_keys as
+      select g, v, sum(v) as s from t group by g, v;
     create materialized view one_col as select g from t;
     create view not_materialized as select g, v from t;
   )"));
@@ -216,7 +218,11 @@ TEST_F(RuleGenTest, UnsupportedShapesRejected) {
   EXPECT_EQ(GenerateMaintenanceRule(db_, "star_view", "t", gen)
                 .status().code(),
             StatusCode::kUnimplemented);
-  EXPECT_EQ(GenerateMaintenanceRule(db_, "multi_agg", "t", gen)
+  // MIN/MAX cannot be maintained from deltas under deletes.
+  EXPECT_EQ(GenerateMaintenanceRule(db_, "min_agg", "t", gen)
+                .status().code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(GenerateMaintenanceRule(db_, "two_keys", "t", gen)
                 .status().code(),
             StatusCode::kUnimplemented);
   EXPECT_EQ(GenerateMaintenanceRule(db_, "one_col", "t", gen)
@@ -248,6 +254,8 @@ TEST_F(RuleGenTest, InsertAndDeleteEventsMaintainAggregationView) {
   ASSERT_EQ(rule.extra_rule_names.size(), 2u);
   EXPECT_NE(db_.rules().FindRule("do_maintain_rev_ins"), nullptr);
   EXPECT_NE(db_.rules().FindRule("do_maintain_rev_del"), nullptr);
+  EXPECT_TRUE(db_.views().Find("rev")->hidden_count);
+  EXPECT_TRUE(db_.views().Find("rev")->maintained);
 
   // Insert into an existing group, insert a NEW group, delete a row.
   ASSERT_OK(db_.Execute("insert into sales values ('eu', 5.0)").status());
@@ -256,13 +264,109 @@ TEST_F(RuleGenTest, InsertAndDeleteEventsMaintainAggregationView) {
       "delete from sales where region = 'us' and amount = 20.0").status());
   Quiesce();
 
+  // The emptied 'us' group is GONE (hidden-count tracking), not a
+  // lingering zero-sum row — the [CW91] limitation fixed.
   auto rs = db_.Execute("select region, total from rev order by region");
   ASSERT_OK(rs.status());
-  ASSERT_EQ(rs->num_rows(), 3u);
-  EXPECT_DOUBLE_EQ(rs->rows[0][1].as_double(), 15.0);  // eu
-  EXPECT_DOUBLE_EQ(rs->rows[1][1].as_double(), 7.0);   // jp (new group)
-  // us emptied: the documented limitation keeps a zero-sum row.
-  EXPECT_NEAR(rs->rows[2][1].as_double(), 0.0, 1e-9);
+  ASSERT_EQ(rs->num_rows(), 2u);
+  EXPECT_EQ(rs->rows[0][0].as_string(), "eu");
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].as_double(), 15.0);
+  EXPECT_EQ(rs->rows[1][0].as_string(), "jp");
+  EXPECT_DOUBLE_EQ(rs->rows[1][1].as_double(), 7.0);
+  // The hidden count is a real column of the backing table.
+  auto cnt = db_.Execute("select _count from rev where region = 'eu'");
+  ASSERT_OK(cnt.status());
+  ASSERT_EQ(cnt->num_rows(), 1u);
+  EXPECT_EQ(cnt->rows[0][0].as_int(), 2);
+}
+
+TEST_F(RuleGenTest, LegacyZeroSumRowWithoutCountTracking) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table sales (region string, amount double);
+    create index on sales (region);
+    insert into sales values ('eu', 10.0), ('us', 20.0);
+    create materialized view rev as
+      select region, sum(amount) as total from sales group by region;
+  )"));
+  RuleGenOptions gen;
+  gen.delay_seconds = 0.5;
+  gen.track_group_count = false;  // opt out of the hidden count
+  ASSERT_OK(GenerateMaintenanceRule(db_, "rev", "sales", gen).status());
+  EXPECT_FALSE(db_.views().Find("rev")->hidden_count);
+
+  ASSERT_OK(db_.Execute(
+      "delete from sales where region = 'us' and amount = 20.0").status());
+  Quiesce();
+
+  // Without count tracking the emptied group keeps a zero-sum row ([CW91]).
+  auto rs = db_.Execute("select region, total from rev order by region");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs->num_rows(), 2u);
+  EXPECT_EQ(rs->rows[1][0].as_string(), "us");
+  EXPECT_NEAR(rs->rows[1][1].as_double(), 0.0, 1e-9);
+}
+
+TEST_F(RuleGenTest, MultiAggregateViewWithCountMaintained) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table t (g string, v double);
+    create index on t (g);
+    insert into t values ('a', 1.0), ('a', 2.0), ('b', 5.0);
+    create materialized view agg as
+      select g, sum(v) as s, count(*) as n, sum(v * 2.0) as s2
+      from t group by g;
+  )"));
+  RuleGenOptions gen;
+  gen.delay_seconds = 0.5;
+  ASSERT_OK_AND_ASSIGN(GeneratedRule rule,
+                       GenerateMaintenanceRule(db_, "agg", "t", gen));
+  EXPECT_EQ(rule.strategy, "direct");
+
+  ASSERT_OK(db_.Execute("insert into t values ('a', 4.0)").status());
+  ASSERT_OK(db_.Execute("update t set v += 1.0 where g = 'b'").status());
+  ASSERT_OK(db_.Execute("delete from t where g = 'a' and v = 1.0").status());
+  Quiesce();
+
+  auto rs = db_.Execute("select g, s, n, s2 from agg order by g");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].as_double(), 6.0);  // 2 + 4
+  EXPECT_EQ(rs->rows[0][2].as_int(), 2);
+  EXPECT_DOUBLE_EQ(rs->rows[0][3].as_double(), 12.0);
+  EXPECT_DOUBLE_EQ(rs->rows[1][1].as_double(), 6.0);  // 5 + 1
+  EXPECT_EQ(rs->rows[1][2].as_int(), 1);
+  EXPECT_DOUBLE_EQ(rs->rows[1][3].as_double(), 12.0);
+}
+
+TEST_F(RuleGenTest, UpdateMovingGroupKeyMaintainsBothGroups) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table t (g string, v double);
+    create index on t (g);
+    insert into t values ('a', 1.0), ('a', 2.0), ('b', 5.0);
+    create materialized view agg as
+      select g, sum(v) as total from t group by g;
+  )"));
+  RuleGenOptions gen;
+  gen.delay_seconds = 0.5;
+  ASSERT_OK(GenerateMaintenanceRule(db_, "agg", "t", gen).status());
+
+  // Move a row from group 'a' to group 'b': the update rule ships both
+  // the old and the new group key, so both sides adjust — and a move of
+  // the LAST row of a group removes the group entirely.
+  ASSERT_OK(db_.Execute("update t set g = 'b' where v = 2.0").status());
+  Quiesce();
+  auto rs = db_.Execute("select g, total from agg order by g");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs->num_rows(), 2u);
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].as_double(), 1.0);  // a
+  EXPECT_DOUBLE_EQ(rs->rows[1][1].as_double(), 7.0);  // b
+
+  ASSERT_OK(db_.Execute("update t set g = 'b' where g = 'a'").status());
+  Quiesce();
+  rs = db_.Execute("select g, total from agg order by g");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs->num_rows(), 1u);  // 'a' emptied by the move and erased
+  EXPECT_EQ(rs->rows[0][0].as_string(), "b");
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].as_double(), 8.0);
 }
 
 TEST_F(RuleGenTest, MixedInsertUpdateDeleteStreamStaysConsistent) {
@@ -303,18 +407,19 @@ TEST_F(RuleGenTest, MixedInsertUpdateDeleteStreamStaysConsistent) {
   }
   Quiesce();
 
-  // Maintained view equals a recompute for every group present in base
-  // data (emptied groups may linger with zero sums — documented).
+  // Count tracking makes the maintained view EXACTLY a recompute: same
+  // groups (emptied ones erased at the idle sweep), same sums.
   auto fresh = db_.Execute(
       "select g, sum(v) as total from t group by g order by g");
+  auto got = db_.Execute("select g, total from agg order by g");
   ASSERT_OK(fresh.status());
-  for (const auto& row : fresh->rows) {
-    auto got = db_.Execute("select total from agg where g = '" +
-                           row[0].as_string() + "'");
-    ASSERT_OK(got.status());
-    ASSERT_EQ(got->num_rows(), 1u) << row[0].ToString();
-    EXPECT_NEAR(got->rows[0][0].as_double(), row[1].as_double(), 1e-7)
-        << "group " << row[0].ToString();
+  ASSERT_OK(got.status());
+  ASSERT_EQ(got->num_rows(), fresh->num_rows());
+  for (size_t i = 0; i < fresh->num_rows(); ++i) {
+    EXPECT_EQ(got->rows[i][0], fresh->rows[i][0]);
+    EXPECT_NEAR(got->rows[i][1].as_double(), fresh->rows[i][1].as_double(),
+                1e-7)
+        << "group " << fresh->rows[i][0].ToString();
   }
 }
 
@@ -375,6 +480,98 @@ TEST_P(RuleGenPropertyTest, IncrementalEqualsRecompute) {
 INSTANTIATE_TEST_SUITE_P(
     Sweep, RuleGenPropertyTest,
     ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(0.25, 1.0, 3.0)));
+
+/// Property sweep over the dim-probe strategy: a weighted-sum join view
+/// under random insert / update / join-key-move / delete streams must end
+/// exactly equal to a from-scratch recompute — including the ABSENCE of
+/// emptied groups (hidden-count erasure).
+class JoinViewPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(JoinViewPropertyTest, DimProbeEqualsRecompute) {
+  auto [seed, delay] = GetParam();
+  Database db(LogicalTime());
+  ASSERT_OK(db.ExecuteScript(R"(
+    create table px (sym string, price double);
+    create index on px (sym);
+    create table members (grp string, sym string, w double);
+    create index on members (sym);
+    insert into members values
+      ('g0', 's0', 0.5), ('g0', 's1', 0.25), ('g1', 's1', 1.0),
+      ('g1', 's2', 0.5), ('g2', 's3', 2.0), ('g2', 's0', 1.0);
+  )"));
+  Rng rng(static_cast<uint64_t>(seed) * 7919 + 17);
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_OK(db.Execute("insert into px values ('s" +
+                         std::to_string(rng.UniformInt(0, 4)) + "', " +
+                         std::to_string(rng.UniformInt(1, 50)) + ".0)")
+                  .status());
+  }
+  ASSERT_OK(db.Execute("create materialized view idx as "
+                       "select grp, sum(px.price * w) as total "
+                       "from px, members where px.sym = members.sym "
+                       "group by grp")
+                .status());
+  RuleGenOptions gen;
+  gen.delay_seconds = delay;
+  ASSERT_OK_AND_ASSIGN(GeneratedRule rule,
+                       GenerateMaintenanceRule(db, "idx", "px", gen));
+  EXPECT_EQ(rule.strategy, "dim-probe");
+
+  for (int i = 0; i < 80; ++i) {
+    std::string sym = "s" + std::to_string(rng.UniformInt(0, 4));
+    switch (static_cast<int>(rng.UniformInt(0, 3))) {
+      case 0:
+        ASSERT_OK(db.Execute("insert into px values ('" + sym + "', " +
+                             std::to_string(rng.UniformInt(1, 50)) + ".0)")
+                      .status());
+        break;
+      case 1:
+        ASSERT_OK(
+            db.Execute("update px set price += 2.0 where sym = '" + sym +
+                       "'")
+                .status());
+        break;
+      case 2: {
+        // Join-key move: rows change symbol, so both the old and the new
+        // symbol's groups must adjust (exact under dim-probe).
+        std::string to = "s" + std::to_string(rng.UniformInt(0, 4));
+        ASSERT_OK(db.Execute("update px set sym = '" + to +
+                             "' where sym = '" + sym + "' and price > 40.0")
+                      .status());
+        break;
+      }
+      default:
+        ASSERT_OK(db.Execute("delete from px where sym = '" + sym +
+                             "' and price > 45.0")
+                      .status());
+        break;
+    }
+    if (rng.Bernoulli(0.3)) {
+      db.simulated()->RunUntil(db.Now() + SecondsToMicros(delay / 2));
+    }
+  }
+  db.simulated()->RunUntilQuiescent();
+
+  auto got = db.Execute("select grp, total from idx order by grp");
+  auto fresh = db.Execute(
+      "select grp, sum(px.price * w) as total from px, members "
+      "where px.sym = members.sym group by grp order by grp");
+  ASSERT_OK(got.status());
+  ASSERT_OK(fresh.status());
+  ASSERT_EQ(got->num_rows(), fresh->num_rows());
+  for (size_t i = 0; i < fresh->num_rows(); ++i) {
+    EXPECT_EQ(got->rows[i][0], fresh->rows[i][0]);
+    EXPECT_NEAR(got->rows[i][1].as_double(),
+                fresh->rows[i][1].as_double(), 1e-6)
+        << "group " << fresh->rows[i][0].ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JoinViewPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
                        ::testing::Values(0.25, 1.0, 3.0)));
 
 }  // namespace
