@@ -1,22 +1,269 @@
-// Staleness vs delay window (§7): the cost of batching is temporal
-// staleness of the derived data. The same scaled PTA trace is replayed
-// against the unique-on-comp rule (Figure 7) at several delay windows;
-// for every recompute commit the engine's staleness probe records the age
-// of the oldest batched change consumed (action commit time minus feed
-// arrival time of the quote). Longer windows batch more firings per task
-// — fewer, cheaper recomputes — but the derived comp_prices are staler.
+// Observability benchmark, three scenarios:
+//
+// 1. Staleness vs delay window (§7): the cost of batching is temporal
+//    staleness of the derived data. The same scaled PTA trace is replayed
+//    against the unique-on-comp rule (Figure 7) at several delay windows;
+//    for every recompute commit the engine's staleness probe records the
+//    age of the oldest batched change consumed. Longer windows batch more
+//    firings per task — fewer, cheaper recomputes — but staler data.
+//
+// 2. Burst overload: a 4-worker threaded database under a trickle of
+//    updates, then a burst far beyond capacity, then a drain. A Watchdog
+//    with a queue-wait p99 SLO is evaluated throughout; the scenario must
+//    show the full ok -> shed -> ok cycle (breach hysteresis on the way
+//    in, clean-interval hysteresis on the way out) and leaves the
+//    per-rule queue/lock/exec histograms populated in the snapshot.
+//
+// 3. Tracing overhead A/B: the same threaded PTA workload with the
+//    observability layer on vs off (--no-metrics equivalent); full
+//    tracing must cost <= 5% wall time at 4 workers.
 //
 // Usage: bench_observability [--full | --scale=F] [--seed=N]
 //
 // Emits BENCH_observability.json (canonical BenchReport schema) with one
-// entry per delay window: staleness p50/p95/max, the batching factor, and
-// the final run's full metrics-registry snapshot (the export surface the
-// paper-era system lacked).
+// entry per delay window, the burst-overload watchdog timeline, and the
+// overhead ratio (the export surface the paper-era system lacked).
+
+#include <atomic>
+#include <chrono>
+#include <thread>
 
 #include "pta_bench_common.h"
+#include "strip/common/string_util.h"
+#include "strip/engine/database.h"
+#include "strip/obs/watchdog.h"
 
 namespace strip::bench {
 namespace {
+
+// ---------------------------------------------------------------------------
+// Scenario 2: burst overload.
+
+struct BurstEval {
+  std::string phase;          // trickle / burst / drain
+  WatchdogState state;
+  std::string verdict_json;   // WatchdogVerdict::ToJson()
+};
+
+struct BurstOutcome {
+  std::vector<BurstEval> timeline;
+  bool reached_shed = false;
+  bool recovered = false;     // shed happened AND final state is ok
+  uint64_t updates_submitted = 0;
+  double wall_seconds = 0;
+  std::string metrics_json;   // registry snapshot after the drain
+};
+
+constexpr int kBurstSyms = 32;
+constexpr int kTrickleUpdates = 90;
+constexpr int kBurstUpdates = 1500;
+// Injected per-update service time during the burst: guarantees the
+// backlog drains over ~100 ms of wall time so several watchdog intervals
+// observe breaching queue waits, independent of host speed.
+constexpr int kBurstServiceMicros = 200;
+
+Result<BurstOutcome> RunBurstOverload() {
+  Database::Options db_opts;
+  db_opts.mode = ExecutorMode::kThreaded;
+  db_opts.num_workers = 4;
+  db_opts.enable_metrics = true;
+  Database db(db_opts);
+
+  STRIP_RETURN_IF_ERROR(db.ExecuteScript(R"(
+    create table quotes (sym string, price double);
+    create index on quotes (sym);
+    create table latest (sym string, price double, firings int);
+    create index on latest (sym);
+  )"));
+  std::vector<Value> symbols;
+  for (int i = 0; i < kBurstSyms; ++i) {
+    std::string sym = StrFormat("B%02d", i);
+    STRIP_RETURN_IF_ERROR(
+        db.Execute(StrFormat("insert into quotes values ('%s', 100.0)",
+                             sym.c_str()))
+            .status());
+    STRIP_RETURN_IF_ERROR(
+        db.Execute(StrFormat("insert into latest values ('%s', 100.0, 0)",
+                             sym.c_str()))
+            .status());
+    symbols.push_back(Value::Str(sym));
+  }
+
+  // Maintained computation: latest mirrors the last committed quote price,
+  // one unique-on-sym firing per symbol per window (Figure 7's shape).
+  STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+      "track_latest", [](FunctionContext& ctx) -> Status {
+        const TempTable* changed = ctx.BoundTable("changed");
+        if (changed == nullptr || changed->size() == 0) {
+          return Status::Internal("track_latest: empty bound table");
+        }
+        const std::string sym = changed->Get(0, 0).as_string();
+        Result<TempTable> price = ctx.Query(StrFormat(
+            "select price from quotes where sym = '%s'", sym.c_str()));
+        STRIP_RETURN_IF_ERROR(price.status());
+        if (price->size() != 1) {
+          return Status::Internal("track_latest: bad quote row count");
+        }
+        return ctx.Exec(StrFormat("update latest set price = %f, "
+                                  "firings += 1 where sym = '%s'",
+                                  price->Get(0, 0).as_double(), sym.c_str()))
+            .status();
+      }));
+  STRIP_RETURN_IF_ERROR(db.Execute(R"(
+    create rule track_latest on quotes when updated price
+    if select new.sym as sym from new bind as changed
+    then execute track_latest unique on sym after 0.01 seconds
+  )")
+                            .status());
+
+  STRIP_ASSIGN_OR_RETURN(
+      PreparedStatementPtr update_stmt,
+      db.Prepare("update quotes set price = ? where sym = ?"));
+
+  BurstOutcome out;
+  std::atomic<uint64_t> submitted{0};
+
+  // One update task per quote, wait-die retry loop like the threaded PTA
+  // runner. `service_micros` models per-update downstream work (parsing,
+  // enrichment) OUTSIDE the transaction, so the burst backlog drains at a
+  // bounded rate without inflating lock hold times.
+  auto submit_update = [&](int i, int service_micros) {
+    TaskPtr task = db.NewTask();
+    task->function_name = "apply_quote";
+    const Value price = Value::Double(100.0 + (i % 50));
+    const Value& symbol = symbols[static_cast<size_t>(i % kBurstSyms)];
+    task->work = [&db, &update_stmt, price, symbol,
+                  service_micros](TaskControlBlock&) -> Status {
+      if (service_micros > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(service_micros));
+      }
+      Status last;
+      uint64_t priority = 0;
+      for (int attempt = 0; attempt <= 10; ++attempt) {
+        STRIP_ASSIGN_OR_RETURN(Transaction * txn, db.Begin(priority));
+        if (priority == 0) priority = txn->priority();
+        auto n = update_stmt->ExecuteDml(txn, {price, symbol});
+        Status st = n.ok() ? db.Commit(txn) : n.status();
+        if (!n.ok()) {
+          Status ignored = db.Abort(txn);
+          (void)ignored;
+        }
+        if (st.ok()) return Status::OK();
+        if (st.code() != StatusCode::kAborted) return st;
+        last = st;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return last;
+    };
+    db.Submit(std::move(task));
+    submitted.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  // The SLO under test: queue-wait p99 of 2 ms. Trickle-phase waits are
+  // tens of microseconds; the burst backlog pushes them to tens of
+  // milliseconds. Staleness is left un-SLO'd (the delay window is a
+  // deliberate 10 ms) and the lock-abort threshold is generous — this
+  // scenario is about queueing, not contention.
+  WatchdogSlo slo;
+  slo.queue_wait_p99_us = 2000;
+  slo.max_lock_abort_rate = 0.5;
+  Watchdog dog(&db.metrics(), slo);
+  std::atomic<int> shed_callbacks{0};
+  dog.set_on_shed([&](const WatchdogVerdict&) {
+    shed_callbacks.fetch_add(1, std::memory_order_relaxed);
+  });
+
+  auto observe = [&](const char* phase) {
+    WatchdogVerdict v = dog.Evaluate(db.Now());
+    out.timeline.push_back({phase, v.state, v.ToJson()});
+    if (v.state == WatchdogState::kShed) out.reached_shed = true;
+    std::printf("  [%s] watchdog %s%s%s\n", phase, WatchdogStateName(v.state),
+                v.worst_signal.empty() ? "" : " worst=",
+                v.worst_signal.c_str());
+  };
+
+  Timestamp t0 = db.Now();
+  observe("baseline");  // first evaluation only records baselines
+
+  // Phase 1: trickle — one update every 2 ms, watchdog stays ok.
+  for (int i = 0; i < kTrickleUpdates; ++i) {
+    submit_update(i, /*service_micros=*/0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (i % 30 == 29) observe("trickle");
+  }
+
+  // Phase 2: burst — far beyond 4-worker capacity, submitted all at once.
+  // Evaluate every 25 ms while the backlog drains; the queue-wait SLO
+  // breaches on consecutive intervals and trips the watchdog to shed.
+  for (int i = 0; i < kBurstUpdates; ++i) {
+    submit_update(kTrickleUpdates + i, kBurstServiceMicros);
+  }
+  for (int evals = 0; dog.state() != WatchdogState::kShed && evals < 40;
+       ++evals) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    observe("burst");
+  }
+
+  // Phase 3: drain to quiescence, then clean intervals clear the verdict
+  // back to ok (the recovery half of the hysteresis).
+  db.threaded()->Drain();
+  for (int evals = 0; dog.state() != WatchdogState::kOk && evals < 40;
+       ++evals) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    observe("drain");
+  }
+
+  out.recovered = out.reached_shed && dog.state() == WatchdogState::kOk &&
+                  shed_callbacks.load() >= 1;
+  out.updates_submitted = submitted.load();
+  out.wall_seconds = static_cast<double>(db.Now() - t0) / 1e6;
+  out.metrics_json = db.metrics().SnapshotJson();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Scenario 3: tracing overhead A/B.
+
+struct OverheadOutcome {
+  double wall_seconds_metrics = 0;     // best of kReps, observability on
+  double wall_seconds_no_metrics = 0;  // best of kReps, observability off
+  double overhead_fraction = 0;        // (on - off) / off, clamped at 0
+};
+
+Result<OverheadOutcome> RunOverheadAb(const SweepOptions& opts) {
+  ThreadedPtaOptions base;
+  base.num_workers = 4;
+  base.scale = opts.scale;
+  base.seed = opts.seed;
+  // No injected order-submission stall: the A/B measures the engine's own
+  // CPU path, and a 20 ms sleep per firing would drown the difference.
+  base.order_latency_micros = 0;
+
+  // Best-of-N wall time per configuration filters scheduler noise, which
+  // at smoke scales is far larger than the effect being measured.
+  constexpr int kReps = 3;
+  auto best_wall = [&](bool enable_metrics) -> Result<double> {
+    double best = 0;
+    for (int r = 0; r < kReps; ++r) {
+      ThreadedPtaOptions o = base;
+      o.enable_metrics = enable_metrics;
+      STRIP_ASSIGN_OR_RETURN(ThreadedPtaResult res, RunThreadedPta(o));
+      if (r == 0 || res.wall_seconds < best) best = res.wall_seconds;
+    }
+    return best;
+  };
+
+  OverheadOutcome out;
+  STRIP_ASSIGN_OR_RETURN(out.wall_seconds_no_metrics, best_wall(false));
+  STRIP_ASSIGN_OR_RETURN(out.wall_seconds_metrics, best_wall(true));
+  if (out.wall_seconds_no_metrics > 0) {
+    out.overhead_fraction =
+        (out.wall_seconds_metrics - out.wall_seconds_no_metrics) /
+        out.wall_seconds_no_metrics;
+    if (out.overhead_fraction < 0) out.overhead_fraction = 0;
+  }
+  return out;
+}
 
 int Run(const SweepOptions& opts) {
   TraceOptions trace_opts = TraceOptions::Scaled(opts.scale);
@@ -51,6 +298,32 @@ int Run(const SweepOptions& opts) {
                 static_cast<unsigned long long>(r.num_recomputes));
   }
 
+  std::printf("\nburst overload (4 workers, %d trickle + %d burst) ...\n",
+              kTrickleUpdates, kBurstUpdates);
+  auto burst = RunBurstOverload();
+  if (!burst.ok()) {
+    std::fprintf(stderr, "burst scenario failed: %s\n",
+                 burst.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("burst: reached_shed=%s recovered=%s (%zu evaluations, "
+              "%.2f s)\n",
+              burst->reached_shed ? "yes" : "NO",
+              burst->recovered ? "yes" : "NO", burst->timeline.size(),
+              burst->wall_seconds);
+
+  std::printf("\ntracing overhead A/B (4 workers, best of 3) ...\n");
+  auto overhead = RunOverheadAb(opts);
+  if (!overhead.ok()) {
+    std::fprintf(stderr, "overhead A/B failed: %s\n",
+                 overhead.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("overhead: metrics %.3f s vs no-metrics %.3f s -> %.1f%%\n",
+              overhead->wall_seconds_metrics,
+              overhead->wall_seconds_no_metrics,
+              100.0 * overhead->overhead_fraction);
+
   BenchReport report("observability");
   report.Config([&](JsonWriter& w) {
     w.Key("scale").Double(opts.scale);
@@ -82,6 +355,41 @@ int Run(const SweepOptions& opts) {
     // Full registry snapshot of the last (longest-delay) run: counters,
     // callback gauges, and the per-rule staleness histograms themselves.
     w.Key("registry").Raw(results.back().metrics_json);
+
+    // Burst-overload scenario: the watchdog's verdict timeline and the
+    // post-drain snapshot (its rules.{queue_wait,lock_wait,exec}_us.*
+    // histograms are the per-rule breakdown CI validates).
+    w.Key("burst_overload").BeginObject();
+    w.Key("workers").Int(4);
+    w.Key("trickle_updates").Int(kTrickleUpdates);
+    w.Key("burst_updates").Int(kBurstUpdates);
+    w.Key("queue_wait_slo_p99_us").Int(2000);
+    w.Key("updates_submitted").Uint(burst->updates_submitted);
+    w.Key("wall_seconds").Double(burst->wall_seconds);
+    w.Key("reached_shed").Bool(burst->reached_shed);
+    w.Key("recovered").Bool(burst->recovered);
+    w.Key("timeline").BeginArray();
+    for (const BurstEval& e : burst->timeline) {
+      w.BeginObject();
+      w.Key("phase").String(e.phase);
+      w.Key("state").String(WatchdogStateName(e.state));
+      w.Key("verdict").Raw(e.verdict_json);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("registry").Raw(burst->metrics_json);
+    w.EndObject();
+
+    // Tracing-overhead A/B: identical threaded PTA workloads with the
+    // observability layer on vs off.
+    w.Key("tracing_overhead").BeginObject();
+    w.Key("workers").Int(4);
+    w.Key("wall_seconds_metrics").Double(overhead->wall_seconds_metrics);
+    w.Key("wall_seconds_no_metrics")
+        .Double(overhead->wall_seconds_no_metrics);
+    w.Key("overhead_fraction").Double(overhead->overhead_fraction);
+    w.Key("meets_5pct_target").Bool(overhead->overhead_fraction <= 0.05);
+    w.EndObject();
   });
   if (!report.WriteFile("BENCH_observability.json")) {
     std::fprintf(stderr, "cannot write BENCH_observability.json\n");

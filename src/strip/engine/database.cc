@@ -51,12 +51,14 @@ void Database::RegisterBuiltinMetrics() {
   if (options_.enable_metrics) {
     batch_factor_hist_ = metrics_.histogram(
         "rules.batch_factor", Histogram::DefaultCountBounds());
+    rule_cost_ = std::make_unique<RuleCostTracker>(&metrics_);
     // The executors feed the lifecycle ring and latency histograms; hooks
     // must be installed before the first Submit (see ExecutorObs).
     ExecutorObs eobs;
     eobs.trace = &trace_ring_;
     eobs.queue_wait_us = metrics_.histogram("task.queue_wait_us");
     eobs.run_us = metrics_.histogram("task.run_us");
+    eobs.rule_cost = rule_cost_.get();
     executor_->set_obs(eobs);
   }
 
@@ -113,6 +115,9 @@ void Database::RegisterBuiltinMetrics() {
   metrics_.RegisterCallback("trace.events_recorded", [this] {
     return static_cast<double>(trace_ring_.total_recorded());
   });
+  metrics_.RegisterCallback("trace.dropped_events", [this] {
+    return static_cast<double>(trace_ring_.total_dropped());
+  });
 }
 
 void Database::RecordActionCommit(TaskControlBlock& task) {
@@ -168,7 +173,8 @@ Status Database::Commit(Transaction* txn) {
   txn->MarkCommitted(commit_time);
   locks_.ReleaseAll(txn);
   txn_commits_->Add();
-  trace_ring_.Record(TraceEventKind::kCommit, txn->id(), commit_time);
+  trace_ring_.Record(TraceEventKind::kCommit, txn->id(), commit_time, "",
+                     txn->trace().trace_id);
   {
     std::lock_guard<std::mutex> lk(txns_mu_);
     txns_.erase(txn->id());
@@ -190,7 +196,8 @@ Status Database::Abort(Transaction* txn) {
   txn->MarkAborted();
   locks_.ReleaseAll(txn);
   txn_aborts_->Add();
-  trace_ring_.Record(TraceEventKind::kAbort, txn->id(), Now());
+  trace_ring_.Record(TraceEventKind::kAbort, txn->id(), Now(), "",
+                     txn->trace().trace_id);
   {
     std::lock_guard<std::mutex> lk(txns_mu_);
     txns_.erase(txn->id());
@@ -261,6 +268,8 @@ void Database::SubmitPeriodicTick(
   TaskPtr task = NewTask();
   task->release_time = Now() + period;
   task->function_name = function_name;
+  // Each tick is its own causal root (nothing upstream caused it).
+  task->trace = NewTraceContext();
   task->work = [this, function_name, period,
                 cancelled](TaskControlBlock& tcb) -> Status {
     if (cancelled->load()) return Status::OK();
@@ -270,6 +279,8 @@ void Database::SubmitPeriodicTick(
           StrFormat("no user function '%s'", function_name.c_str()));
     }
     STRIP_ASSIGN_OR_RETURN(Transaction * txn, Begin());
+    txn->set_trace(ChildOf(tcb.trace));
+    txn->set_lock_wait_sink(&tcb.lock_wait_micros);
     FunctionContext ctx(*this, *txn, tcb);
     Status st = (*fn)(ctx);
     if (st.ok()) {
@@ -303,6 +314,13 @@ Status Database::RunActionTask(TaskControlBlock& task) {
   for (int attempt = 0; attempt <= options_.action_retry_limit; ++attempt) {
     STRIP_ASSIGN_OR_RETURN(Transaction * txn, Begin(priority));
     if (priority == 0) priority = txn->priority();
+    // The action transaction is a child span of the task: retries mint
+    // fresh spans but stay inside the same trace, so the exported timeline
+    // shows every attempt hanging off the firing that caused it.
+    txn->set_trace(ChildOf(task.trace));
+    // Mirror lock waits into the task (the txn dies inside Commit/Abort,
+    // taking its own accumulator with it); the task outlives the commit.
+    txn->set_lock_wait_sink(&task.lock_wait_micros);
     FunctionContext ctx(*this, *txn, task);
     Status st = (*fn)(ctx);
     if (st.ok()) {
@@ -317,9 +335,10 @@ Status Database::RunActionTask(TaskControlBlock& task) {
     }
     if (st.code() != StatusCode::kAborted) return st;  // real failure
     last = st;  // wait-die victim: restart with the ORIGINAL priority
+    ++task.lock_restarts;
     action_restarts_->Add();
     trace_ring_.Record(TraceEventKind::kRestart, task.id(), Now(),
-                       task.function_name.c_str());
+                       task.function_name.c_str(), task.trace.trace_id);
     if (threaded_ != nullptr) {
       // Back off so the conflicting older transaction can finish; the
       // simulated executor is single-threaded and never needs this.
@@ -429,6 +448,7 @@ Result<ResultSet> Database::ExecuteStatement(Transaction* txn,
   ctx.locks = &locks_;
   ctx.txn = txn;
   ctx.bound = task != nullptr ? &task->bound_tables : nullptr;
+  ctx.rows_scanned = task != nullptr ? &task->rows_scanned : nullptr;
   ctx.funcs = &scalar_funcs_;
   ctx.params = params;
   ctx.disable_compiled_exprs = !options_.enable_compiled_exprs;
@@ -462,6 +482,7 @@ Result<TempTable> Database::Query(Transaction* txn, const SelectStmt& stmt,
   ctx.locks = &locks_;
   ctx.txn = txn;
   ctx.bound = task != nullptr ? &task->bound_tables : nullptr;
+  ctx.rows_scanned = task != nullptr ? &task->rows_scanned : nullptr;
   ctx.funcs = &scalar_funcs_;
   ctx.params = params;
   ctx.disable_compiled_exprs = !options_.enable_compiled_exprs;
@@ -478,6 +499,7 @@ Result<int> Database::ExecuteDml(Transaction* txn, const Statement& stmt,
   ctx.locks = &locks_;
   ctx.txn = txn;
   ctx.bound = task != nullptr ? &task->bound_tables : nullptr;
+  ctx.rows_scanned = task != nullptr ? &task->rows_scanned : nullptr;
   ctx.funcs = &scalar_funcs_;
   ctx.params = &params;
   ctx.disable_compiled_exprs = !options_.enable_compiled_exprs;

@@ -15,6 +15,7 @@
 #include "strip/engine/function_registry.h"
 #include "strip/engine/prepared_statement.h"
 #include "strip/obs/metrics.h"
+#include "strip/obs/rule_cost.h"
 #include "strip/obs/trace_ring.h"
 #include "strip/rules/rule_engine.h"
 #include "strip/sql/executor.h"
@@ -289,6 +290,9 @@ class Database {
   /// Null when !options_.enable_metrics: batching-factor histogram
   /// (firings consumed per executed rule task).
   Histogram* batch_factor_hist_ = nullptr;
+  /// Null when !options_.enable_metrics: per-rule latency breakdown and
+  /// cost counters, fed by the executors at task finish (ExecutorObs).
+  std::unique_ptr<RuleCostTracker> rule_cost_;
 };
 
 }  // namespace strip

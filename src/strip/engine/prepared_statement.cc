@@ -380,6 +380,7 @@ Result<TempTable> PreparedStatement::Query(Transaction* txn,
     ctx.locks = &db_->locks_;
     ctx.txn = txn;
     ctx.bound = task != nullptr ? &task->bound_tables : nullptr;
+  ctx.rows_scanned = task != nullptr ? &task->rows_scanned : nullptr;
     ctx.funcs = &db_->scalar_funcs_;
     ctx.params = &params;
     ctx.precompiled = &plan->precompiled;

@@ -52,8 +52,14 @@ FeedImporter::FeedImporter(Database* db, Table* table, Statement update_stmt,
       update_stmt_(std::move(update_stmt)),
       insert_stmt_(std::move(insert_stmt)) {}
 
-Status FeedImporter::Apply(const FeedRecord& rec) {
+Status FeedImporter::Apply(const FeedRecord& rec, TaskControlBlock* tcb) {
   STRIP_ASSIGN_OR_RETURN(Transaction * txn, db_->Begin());
+  if (tcb != nullptr) {
+    // The record's root context, stamped in Submit: the feed upsert is the
+    // first span of everything this record causes downstream.
+    txn->set_trace(ChildOf(tcb->trace));
+    txn->set_lock_wait_sink(&tcb->lock_wait_micros);
+  }
   auto run = [&]() -> Status {
     // Upsert: try the keyed update, insert on miss.
     std::vector<Value> update_params(rec.values.begin() + 1,
@@ -96,8 +102,12 @@ Status FeedImporter::Submit(FeedRecord rec) {
   }
   TaskPtr task = db_->NewTask();
   task->release_time = rec.at;
-  task->work = [this, rec = std::move(rec)](TaskControlBlock&) {
-    return Apply(rec);
+  // Every feed record starts its own causal trace: spans of the upsert
+  // transaction, any rules it fires, and their view commits all chain back
+  // to this root (ISSUE: trace stamped at feed ingestion).
+  task->trace = NewTraceContext();
+  task->work = [this, rec = std::move(rec)](TaskControlBlock& tcb) {
+    return Apply(rec, &tcb);
   };
   db_->Submit(std::move(task));
   submitted_.fetch_add(1, std::memory_order_relaxed);

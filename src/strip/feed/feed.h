@@ -55,7 +55,10 @@ class FeedImporter {
   FeedImporter(Database* db, Table* table, Statement update_stmt,
                Statement insert_stmt);
 
-  Status Apply(const FeedRecord& rec);
+  /// Applies one record inside its own transaction. When run from a
+  /// submitted task, `tcb` carries the record's root trace context into
+  /// the transaction (and receives its lock waits).
+  Status Apply(const FeedRecord& rec, TaskControlBlock* tcb);
 
   /// Best-effort capacity reservation for `incoming` upserts, under a
   /// short whole-table exclusive lock.

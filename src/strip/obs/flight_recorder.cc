@@ -1,0 +1,41 @@
+#include "strip/obs/flight_recorder.h"
+
+#include <fstream>
+
+#include "strip/common/string_util.h"
+#include "strip/obs/json.h"
+
+namespace strip {
+
+Status WriteFlightRecord(const std::string& path, const std::string& reason,
+                         const std::string& verdict_json,
+                         const TraceRing& ring,
+                         const MetricsRegistry& metrics) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("reason").String(reason);
+  w.Key("wall_micros").Int(TraceRing::WallMicros());
+  if (verdict_json.empty()) {
+    w.Key("verdict").Null();
+  } else {
+    w.Key("verdict").Raw(verdict_json);
+  }
+  w.Key("trace").Raw(ring.ToChromeJson());
+  w.Key("metrics").Raw(metrics.SnapshotJson());
+  w.EndObject();
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::Internal(
+        StrFormat("cannot open flight record '%s'", path.c_str()));
+  }
+  out << w.str() << "\n";
+  out.close();
+  if (!out) {
+    return Status::Internal(
+        StrFormat("short write to flight record '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+}  // namespace strip

@@ -1,0 +1,32 @@
+#ifndef STRIP_OBS_FLIGHT_RECORDER_H_
+#define STRIP_OBS_FLIGHT_RECORDER_H_
+
+#include <string>
+
+#include "strip/common/status.h"
+#include "strip/obs/metrics.h"
+#include "strip/obs/trace_ring.h"
+
+namespace strip {
+
+/// Dumps the system's black box to `path` as one JSON object:
+///
+///   {"reason": "<why the dump happened>",
+///    "wall_micros": <TraceRing::WallMicros() at dump time>,
+///    "verdict": <watchdog verdict object, or null>,
+///    "trace": <TraceRing::ToChromeJson(): {"traceEvents": [...], ...}>,
+///    "metrics": <MetricsRegistry::SnapshotJson()>}
+///
+/// Written when the chaos harness's invariant checker trips or the
+/// watchdog enters shed — the last `ring.capacity()` lifecycle events plus
+/// a full metrics snapshot are usually enough to reconstruct what the
+/// system was doing when it went wrong. `verdict_json` may be empty (no
+/// watchdog involved); when present it must be valid JSON.
+Status WriteFlightRecord(const std::string& path, const std::string& reason,
+                         const std::string& verdict_json,
+                         const TraceRing& ring,
+                         const MetricsRegistry& metrics);
+
+}  // namespace strip
+
+#endif  // STRIP_OBS_FLIGHT_RECORDER_H_

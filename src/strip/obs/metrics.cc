@@ -183,6 +183,19 @@ const Histogram* MetricsRegistry::FindHistogram(
   return it == histograms_.end() ? nullptr : it->second.get();
 }
 
+std::vector<std::pair<std::string, const Histogram*>>
+MetricsRegistry::Histograms(const std::string& prefix) const {
+  std::vector<std::pair<std::string, const Histogram*>> out;
+  std::lock_guard<std::mutex> lk(mu_);
+  // std::map iterates in name order, so the matching range is contiguous.
+  for (auto it = histograms_.lower_bound(prefix); it != histograms_.end();
+       ++it) {
+    if (it->first.compare(0, prefix.size(), prefix) != 0) break;
+    out.emplace_back(it->first, it->second.get());
+  }
+  return out;
+}
+
 std::string MetricsRegistry::SnapshotJson() const {
   std::map<std::string, uint64_t> counters = CounterValues();
   std::map<std::string, double> gauges = GaugeValues();

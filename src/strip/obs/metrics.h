@@ -112,6 +112,12 @@ class MetricsRegistry {
   /// Finds an existing histogram (nullptr if never registered).
   const Histogram* FindHistogram(const std::string& name) const;
 
+  /// All histograms whose name starts with `prefix` (all of them for "").
+  /// The pointers are stable for the registry's lifetime, so consumers
+  /// (watchdog SLO evaluation, shell `.health`) can hold them across calls.
+  std::vector<std::pair<std::string, const Histogram*>> Histograms(
+      const std::string& prefix = "") const;
+
   /// Full snapshot as a JSON object:
   ///   {"counters": {...}, "gauges": {...},
   ///    "histograms": {name: {count,sum,min,max,mean,p50,p95,p99,max,

@@ -1,0 +1,61 @@
+#ifndef STRIP_OBS_TRACE_CONTEXT_H_
+#define STRIP_OBS_TRACE_CONTEXT_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace strip {
+
+/// Causal identity carried through the firing pipeline: feed record ->
+/// feed transaction -> rule firing -> (possibly merged) action task ->
+/// action transaction -> view commit. Every hop keeps `trace_id` and mints
+/// a fresh `span_id` whose `parent_span_id` points at the hop that caused
+/// it, so an exported trace reconstructs the causal chain even across
+/// unique-transaction merging and executor work stealing.
+///
+/// An all-zero context means "untraced" (e.g. ad-hoc SQL through the
+/// shell); consumers must not mint children off it.
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+
+  bool traced() const { return trace_id != 0; }
+};
+
+namespace internal {
+inline std::atomic<uint64_t>& TraceIdCounter() {
+  static std::atomic<uint64_t> next{1};
+  return next;
+}
+}  // namespace internal
+
+/// Allocates a process-unique non-zero id (shared pool for trace and span
+/// ids — uniqueness is all that matters, not density).
+inline uint64_t NextTraceId() {
+  return internal::TraceIdCounter().fetch_add(1, std::memory_order_relaxed);
+}
+
+/// A fresh root context: new trace id, new span, no parent.
+inline TraceContext NewTraceContext() {
+  TraceContext ctx;
+  ctx.trace_id = NextTraceId();
+  ctx.span_id = NextTraceId();
+  ctx.parent_span_id = 0;
+  return ctx;
+}
+
+/// A child span within the parent's trace. For an untraced parent this
+/// starts a fresh root instead (never fabricates a child of trace 0).
+inline TraceContext ChildOf(const TraceContext& parent) {
+  if (!parent.traced()) return NewTraceContext();
+  TraceContext ctx;
+  ctx.trace_id = parent.trace_id;
+  ctx.span_id = NextTraceId();
+  ctx.parent_span_id = parent.span_id;
+  return ctx;
+}
+
+}  // namespace strip
+
+#endif  // STRIP_OBS_TRACE_CONTEXT_H_

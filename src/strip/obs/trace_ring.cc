@@ -36,10 +36,11 @@ TraceRing::TraceRing(size_t capacity) : capacity_(capacity) {
 }
 
 void TraceRing::Record(TraceEventKind kind, uint64_t id, Timestamp ts,
-                       const char* name) {
+                       const char* name, uint64_t trace_id) {
   if (capacity_ == 0) return;
   TraceEvent e;
   e.id = id;
+  e.trace_id = trace_id;
   e.ts = ts;
   e.kind = kind;
   if (name != nullptr) {
@@ -51,6 +52,11 @@ void TraceRing::Record(TraceEventKind kind, uint64_t id, Timestamp ts,
   // exporting a trace whose ring order and wall_ts order disagree (events
   // appear to run backwards in time once the ring wraps).
   e.wall_ts = WallMicros();
+  if (next_ >= capacity_) {
+    // The slot we are about to reuse still holds a live event; count the
+    // eviction so consumers can tell a truncated trace from a complete one.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
   slots_[next_ % capacity_] = e;
   ++next_;
 }
@@ -117,6 +123,7 @@ std::string TraceRing::ToChromeJson() const {
     w.Key("tid").Uint(e.id);
     w.Key("args").BeginObject();
     w.Key("id").Uint(e.id);
+    w.Key("trace_id").Uint(e.trace_id);
     w.Key("wall_ts").Int(e.wall_ts);
     w.EndObject();
     w.EndObject();
@@ -139,6 +146,7 @@ std::string TraceRing::ToChromeJson() const {
     w.Key("s").String("t");
     w.Key("args").BeginObject();
     w.Key("id").Uint(e.id);
+    w.Key("trace_id").Uint(e.trace_id);
     w.Key("wall_ts").Int(e.wall_ts);
     w.EndObject();
     w.EndObject();

@@ -1,6 +1,7 @@
 #ifndef STRIP_OBS_TRACE_RING_H_
 #define STRIP_OBS_TRACE_RING_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -32,6 +33,7 @@ const char* TraceEventKindName(TraceEventKind k);
 /// simulated executor still interleave correctly with real time.
 struct TraceEvent {
   uint64_t id = 0;  // task id (lifecycle) or transaction id (commit/abort)
+  uint64_t trace_id = 0;  // causal trace this event belongs to (0 = untraced)
   Timestamp ts = 0;
   Timestamp wall_ts = 0;
   TraceEventKind kind = TraceEventKind::kSubmit;
@@ -48,12 +50,18 @@ class TraceRing {
   explicit TraceRing(size_t capacity);
 
   void Record(TraceEventKind kind, uint64_t id, Timestamp ts,
-              const char* name = "");
+              const char* name = "", uint64_t trace_id = 0);
 
   bool enabled() const { return capacity_ != 0; }
   size_t capacity() const { return capacity_; }
   /// Events recorded over the ring's lifetime (>= capacity once wrapped).
   uint64_t total_recorded() const;
+  /// Events silently evicted because writers outran the ring: every write
+  /// past capacity overwrites (drops) the oldest retained event. Relaxed
+  /// read — safe from any thread, exported as `trace.dropped_events`.
+  uint64_t total_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
   /// The retained events, oldest first.
   std::vector<TraceEvent> Snapshot() const;
@@ -73,6 +81,7 @@ class TraceRing {
   mutable SpinLock lock_;
   std::vector<TraceEvent> slots_;
   uint64_t next_ = 0;  // total appended; next_ % capacity_ is the write slot
+  std::atomic<uint64_t> dropped_{0};  // overwritten (evicted) events
 };
 
 }  // namespace strip

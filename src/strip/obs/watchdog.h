@@ -1,0 +1,123 @@
+#ifndef STRIP_OBS_WATCHDOG_H_
+#define STRIP_OBS_WATCHDOG_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "strip/common/clock.h"
+#include "strip/obs/metrics.h"
+
+namespace strip {
+
+/// Service-level objectives the watchdog evaluates per interval. A
+/// threshold of 0 (or a non-positive rate) disables that check.
+struct WatchdogSlo {
+  /// p99 of rule-commit staleness over the interval, micros
+  /// (histograms under `staleness_prefix`).
+  int64_t staleness_p99_us = 0;
+  /// p99 of task queue wait over the interval, micros
+  /// (histograms under `queue_wait_prefix`).
+  int64_t queue_wait_p99_us = 0;
+  /// Wait-die aborts per lock acquire over the interval
+  /// (locks.wait_die_aborts / locks.acquires deltas).
+  double max_lock_abort_rate = 0.0;
+
+  /// Fraction of a threshold at which the verdict escalates to `warn`.
+  double warn_fraction = 0.75;
+  /// Consecutive breaching intervals before entering `shed`.
+  int trip_intervals = 2;
+  /// Consecutive clean intervals before `shed` clears back to `ok`.
+  int clear_intervals = 2;
+
+  /// Histogram name prefixes the two latency signals aggregate over. The
+  /// defaults cover every rule's staleness histogram and the global task
+  /// queue; narrow them to watch a single rule.
+  std::string staleness_prefix = "rules.staleness_us.";
+  std::string queue_wait_prefix = "task.queue_wait_us";
+};
+
+/// `ok` -> `warn` -> `shed`: warn is advisory (approaching a threshold or
+/// breaching one without having tripped yet); shed means the system should
+/// drop load (the paper's overload regime, §7 — staleness grows without
+/// bound once the rule system cannot keep up).
+enum class WatchdogState { kOk, kWarn, kShed };
+
+const char* WatchdogStateName(WatchdogState s);
+
+/// One evaluated signal of a verdict.
+struct WatchdogSignal {
+  std::string name;       // "staleness_p99_us" / "queue_wait_p99_us" / ...
+  double observed = 0;    // this interval's value
+  double threshold = 0;   // the SLO it is judged against
+  uint64_t samples = 0;   // observations the value is based on
+  bool breached = false;  // observed > threshold
+};
+
+/// The structured overload verdict published by Evaluate().
+struct WatchdogVerdict {
+  WatchdogState state = WatchdogState::kOk;
+  Timestamp at = 0;  // evaluation time (caller's clock)
+  int consecutive_breaches = 0;
+  int consecutive_clean = 0;
+  /// The signal furthest over (or closest to) its threshold; empty while
+  /// everything is comfortably under.
+  std::string worst_signal;
+  std::vector<WatchdogSignal> signals;
+
+  std::string ToJson() const;
+};
+
+/// Overload watchdog: call Evaluate() periodically; each call judges the
+/// *interval since the previous call* — histogram bucket-count deltas and
+/// lock-counter deltas, never lifetime aggregates — against the SLOs, and
+/// runs the ok/warn/shed state machine with hysteresis (trip_intervals to
+/// enter shed, clear_intervals of clean air to leave it). An interval with
+/// no observations is clean: a drained system recovers.
+///
+/// The first Evaluate() after construction (and the first sighting of any
+/// newly registered per-rule histogram) only records a baseline — history
+/// predating the watchdog is never judged.
+///
+/// Not thread-safe: evaluate from one thread (the probe/monitor thread).
+class Watchdog {
+ public:
+  Watchdog(MetricsRegistry* metrics, WatchdogSlo slo);
+
+  const WatchdogSlo& slo() const { return slo_; }
+  WatchdogState state() const { return state_; }
+  const WatchdogVerdict& last_verdict() const { return last_verdict_; }
+
+  /// Invoked (synchronously, inside Evaluate) on every transition *into*
+  /// shed — the flight-recorder hook.
+  void set_on_shed(std::function<void(const WatchdogVerdict&)> fn) {
+    on_shed_ = std::move(fn);
+  }
+
+  WatchdogVerdict Evaluate(Timestamp now);
+
+ private:
+  /// Interval p99 across all histograms under `prefix`, from bucket-count
+  /// deltas vs. the previous evaluation. `samples` gets the interval's
+  /// total observation count.
+  double IntervalP99(const std::string& prefix, uint64_t* samples);
+
+  MetricsRegistry* metrics_;
+  WatchdogSlo slo_;
+  WatchdogState state_ = WatchdogState::kOk;
+  WatchdogVerdict last_verdict_;
+  int consecutive_breaches_ = 0;
+  int consecutive_clean_ = 0;
+  bool baselined_ = false;
+  /// Previous bucket counts per histogram name (count appended last).
+  std::map<std::string, std::vector<uint64_t>> prev_buckets_;
+  double prev_aborts_ = 0;
+  double prev_acquires_ = 0;
+  std::function<void(const WatchdogVerdict&)> on_shed_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_OBS_WATCHDOG_H_

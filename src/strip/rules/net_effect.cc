@@ -155,6 +155,12 @@ std::vector<GroupDelta> FoldGroupDeltas(std::vector<GroupDelta> rows) {
     }
     for (size_t i = 0; i < row.sums.size(); ++i) acc.sums[i] += row.sums[i];
     acc.count += row.count;
+    // Min-fold the change time (ignoring unknowns): the folded delta is as
+    // old as the oldest contribution it nets over.
+    if (row.change_time >= 0 &&
+        (acc.change_time < 0 || row.change_time < acc.change_time)) {
+      acc.change_time = row.change_time;
+    }
   }
   return out;
 }

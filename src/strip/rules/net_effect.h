@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "strip/common/clock.h"
 #include "strip/common/status.h"
 #include "strip/storage/bound_table_set.h"
 #include "strip/storage/record.h"
@@ -44,6 +45,11 @@ struct GroupDelta {
   Value key;
   std::vector<double> sums;
   int64_t count = 0;
+  /// Feed-arrival / change time of the base update this delta came from
+  /// (-1 = unknown). FoldGroupDeltas keeps the MINIMUM across folded
+  /// contributions: netting must not make a view commit look fresher than
+  /// the oldest update it actually applied (the §7 staleness probe).
+  Timestamp change_time = -1;
 };
 
 /// Folds a contribution stream into one net delta per distinct key,

@@ -87,6 +87,7 @@ std::vector<std::string> RuleEngine::ListRules() const {
 
 TaskPtr RuleEngine::NewActionTask(const RuleDef& rule, Timestamp commit_time,
                                   Timestamp change_time,
+                                  const TraceContext& parent_trace,
                                   BoundTableSet&& tables) {
   auto task = std::make_shared<TaskControlBlock>(
       deps_.task_ids->fetch_add(1, std::memory_order_relaxed));
@@ -95,6 +96,10 @@ TaskPtr RuleEngine::NewActionTask(const RuleDef& rule, Timestamp commit_time,
   task->bound_tables = std::move(tables);
   task->oldest_change_time = change_time;
   task->newest_change_time = change_time;
+  // The firing continues the triggering transaction's causal trace; an
+  // untraced trigger (ad-hoc SQL) starts a root here so the action and any
+  // rules it cascades into still share one trace.
+  task->trace = ChildOf(parent_trace);
   task->work = deps_.action_runner;
   stats_.tasks_created.fetch_add(1, std::memory_order_relaxed);
   return task;
@@ -146,8 +151,8 @@ Status RuleEngine::FireRule(const RuleDef& rule, Transaction* txn,
 
   const Timestamp change_time = txn->arrival_time();
   if (!rule.unique()) {
-    out.push_back(
-        NewActionTask(rule, commit_time, change_time, std::move(bound)));
+    out.push_back(NewActionTask(rule, commit_time, change_time, txn->trace(),
+                                std::move(bound)));
     return Status::OK();
   }
 
@@ -161,15 +166,17 @@ Status RuleEngine::FireRule(const RuleDef& rule, Transaction* txn,
         TaskPtr created,
         unique_.MergeOrCreate(
             rule.function_name(), key, std::move(tables), change_time,
+            txn->trace().trace_id,
             [&](const std::vector<Value>&, BoundTableSet&& t) {
               return NewActionTask(rule, commit_time, change_time,
-                                   std::move(t));
+                                   txn->trace(), std::move(t));
             }));
     if (created != nullptr) {
       out.push_back(std::move(created));
     } else if (deps_.trace != nullptr) {
       deps_.trace->Record(TraceEventKind::kMerge, txn->id(), commit_time,
-                          rule.function_name().c_str());
+                          rule.function_name().c_str(),
+                          txn->trace().trace_id);
     }
   }
   stats_.firings_merged.store(unique_.merge_count(), std::memory_order_relaxed);

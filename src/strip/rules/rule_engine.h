@@ -93,9 +93,12 @@ class RuleEngine {
                   std::vector<TaskPtr>& out);
 
   /// `change_time` is the triggering transaction's data arrival time; it
-  /// seeds the task's staleness stamps.
+  /// seeds the task's staleness stamps. The task runs as a child span of
+  /// `parent_trace` (a fresh root if the triggering txn was untraced).
   TaskPtr NewActionTask(const RuleDef& rule, Timestamp commit_time,
-                        Timestamp change_time, BoundTableSet&& tables);
+                        Timestamp change_time,
+                        const TraceContext& parent_trace,
+                        BoundTableSet&& tables);
 
   RuleEngineDeps deps_;
   // Definition order matters for deterministic processing; the paper notes

@@ -172,7 +172,7 @@ void UniqueTxnManager::EnsureFunction(const std::string& function_name) {
 Result<TaskPtr> UniqueTxnManager::MergeOrCreate(
     const std::string& function_name, const std::vector<Value>& key,
     BoundTableSet&& tables, Timestamp change_time,
-    const TaskFactory& factory) {
+    uint64_t parent_trace_id, const TaskFactory& factory) {
   FuncTable* ft = GetOrCreate(function_name);
   SpinLockGuard g(ft->lock);
   auto it = ft->queued.find(key);
@@ -190,6 +190,9 @@ Result<TaskPtr> UniqueTxnManager::MergeOrCreate(
         queued->newest_change_time = change_time;
       }
       ++queued->batched_firings;
+      if (parent_trace_id != 0) {
+        queued->merged_parent_traces.push_back(parent_trace_id);
+      }
       merge_count_.fetch_add(1, std::memory_order_relaxed);
       return TaskPtr(nullptr);  // merged; nothing to submit
     }

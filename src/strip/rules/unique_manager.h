@@ -58,12 +58,26 @@ class UniqueTxnManager {
   /// started no longer accepts merges (§2): a fresh task replaces it.
   /// `change_time` is the feed-arrival time of the triggering change; the
   /// queued task's staleness stamps (oldest/newest change, batched firing
-  /// count) are folded under its merge lock.
+  /// count) are folded under its merge lock. `parent_trace_id` is the
+  /// triggering transaction's trace (0 = untraced); a merged firing
+  /// appends it to the queued task's merged_parent_traces so the causal
+  /// link survives the fold.
   Result<TaskPtr> MergeOrCreate(const std::string& function_name,
                                 const std::vector<Value>& key,
                                 BoundTableSet&& tables,
                                 Timestamp change_time,
+                                uint64_t parent_trace_id,
                                 const TaskFactory& factory);
+
+  /// Untraced convenience overload (tests / benches without a trace).
+  Result<TaskPtr> MergeOrCreate(const std::string& function_name,
+                                const std::vector<Value>& key,
+                                BoundTableSet&& tables,
+                                Timestamp change_time,
+                                const TaskFactory& factory) {
+    return MergeOrCreate(function_name, key, std::move(tables), change_time,
+                         /*parent_trace_id=*/0, factory);
+  }
 
   /// Removes the task's hash entry; called when the task begins to run
   /// (§6.3). Idempotent.

@@ -369,6 +369,7 @@ Status SqlExecutor::ScanInput(
     PageManager::ScanPos pos;
     ScanBatch batch;
     while (in.table->NextBatch(pos, batch)) {
+      if (ctx_.rows_scanned != nullptr) *ctx_.rows_scanned += batch.count;
       for (size_t i = 0; i < batch.count; ++i) {
         ScanItem item;
         item.rec = batch.rows[i]->rec;
@@ -1073,7 +1074,7 @@ namespace {
 Result<std::vector<RowHandle>> CollectMatchingRows(
     Table* table, const Expr* where, const ScalarFuncRegistry* funcs,
     const std::map<std::string, Value>* pseudo,
-    const std::vector<Value>* params) {
+    const std::vector<Value>* params, uint64_t* rows_scanned = nullptr) {
   std::vector<RowHandle> out;
   SingleTableRowContext ctx(table->name(), &table->schema(), pseudo);
 
@@ -1123,6 +1124,7 @@ Result<std::vector<RowHandle>> CollectMatchingRows(
   PageManager::ScanPos pos;
   ScanBatch batch;
   while (table->NextBatch(pos, batch)) {
+    if (rows_scanned != nullptr) *rows_scanned += batch.count;
     for (size_t i = 0; i < batch.count; ++i) {
       STRIP_ASSIGN_OR_RETURN(bool ok, matches(batch.rows[i]->rec));
       if (ok) out.push_back(batch.rows[i]);
@@ -1204,7 +1206,7 @@ Result<int> SqlExecutor::ExecuteUpdate(const UpdateStmt& stmt) {
   STRIP_ASSIGN_OR_RETURN(
       std::vector<RowHandle> targets,
       CollectMatchingRows(table, stmt.where.get(), ctx_.funcs, ctx_.pseudo,
-                          ctx_.params));
+                          ctx_.params, ctx_.rows_scanned));
 
   SingleTableRowContext ctx(table->name(), &schema, ctx_.pseudo);
   for (RowHandle it : targets) {
@@ -1236,7 +1238,7 @@ Result<int> SqlExecutor::ExecuteDelete(const DeleteStmt& stmt) {
   STRIP_ASSIGN_OR_RETURN(
       std::vector<RowHandle> targets,
       CollectMatchingRows(table, stmt.where.get(), ctx_.funcs, ctx_.pseudo,
-                          ctx_.params));
+                          ctx_.params, ctx_.rows_scanned));
 
   for (RowHandle it : targets) {
     ctx_.txn->log().Append(LogOp::kDelete, table, it->id, it->rec, nullptr);

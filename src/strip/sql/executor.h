@@ -46,6 +46,10 @@ struct ExecContext {
   /// Forces interpreted expression evaluation
   /// (Database::Options::enable_compiled_exprs = false).
   bool disable_compiled_exprs = false;
+  /// When non-null, batched scans add the rows they visit here — the
+  /// engine points it at the executing task's rows_scanned so per-rule
+  /// cost counters can attribute scan work (src/strip/obs/rule_cost.h).
+  uint64_t* rows_scanned = nullptr;
 };
 
 /// Executes parsed statements. Stateless between calls; cheap to construct.

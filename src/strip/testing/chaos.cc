@@ -7,6 +7,7 @@
 
 #include "strip/common/string_util.h"
 #include "strip/engine/database.h"
+#include "strip/obs/flight_recorder.h"
 #include "strip/viewmaint/rule_gen.h"
 
 namespace strip {
@@ -353,11 +354,22 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   Database db(db_opts);
 
   auto fail = [&](const Status& st, const char* where) {
-    if (report.failure.empty()) {
-      report.failure = StrFormat("[seed %llu, step %llu, %s] %s",
-                                 static_cast<unsigned long long>(options.seed),
-                                 static_cast<unsigned long long>(report.steps),
-                                 where, st.ToString().c_str());
+    if (!report.failure.empty()) return;
+    report.failure = StrFormat("[seed %llu, step %llu, %s] %s",
+                               static_cast<unsigned long long>(options.seed),
+                               static_cast<unsigned long long>(report.steps),
+                               where, st.ToString().c_str());
+    // Black-box dump at first failure: the retained lifecycle events and
+    // the full metrics snapshot, while the wreckage is still warm.
+    if (!options.flight_record_path.empty()) {
+      Status wrote =
+          WriteFlightRecord(options.flight_record_path, report.failure,
+                            /*verdict_json=*/"", db.trace_ring(),
+                            db.metrics());
+      if (!wrote.ok()) {
+        report.failure += StrFormat(" (flight record failed: %s)",
+                                    wrote.ToString().c_str());
+      }
     }
   };
 
@@ -415,8 +427,21 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   }
 
   InvariantChecker checker(&db, options.invariants);
+  bool planted = false;
   while (sim->RunOneStep()) {
     ++report.steps;
+    if (options.plant_failure_at_step > 0 && !planted &&
+        report.steps >= options.plant_failure_at_step) {
+      // Corrupt the audit ledger outside any rule firing: nothing watches
+      // audit_total, so unlike a derived-table corruption (which a later
+      // chaos_recompute firing would silently repair) this is permanent
+      // and invariant (d) MUST catch it at quiescence.
+      planted = true;
+      Status st =
+          db.Execute("update audit_total set n += 1000000 where k = 'all'")
+              .status();
+      if (!st.ok()) fail(st, "planting failure");
+    }
     if (options.check_every_step) {
       Status st = checker.CheckStep();
       if (!st.ok()) {

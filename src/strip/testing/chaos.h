@@ -65,6 +65,18 @@ struct ChaosOptions {
   /// Run the step-invariant suite after every executor step (the default;
   /// the shrinker can turn it off to isolate a shadow-recompute failure).
   bool check_every_step = true;
+
+  // --- flight recorder (obs/flight_recorder.h) --------------------------
+  /// When non-empty, the first invariant / workload failure dumps the
+  /// trace ring + metrics snapshot to this path (one JSON object; load
+  /// the "trace" member in chrome://tracing, or validate the whole dump
+  /// with tools/validate_trace.py).
+  std::string flight_record_path;
+  /// When > 0, deliberately corrupts the derived table after this many
+  /// executor steps so the invariant suite MUST trip — the end-to-end
+  /// exercise of the failure path and the flight recorder. The run's
+  /// failure is expected; its dump is the artifact under test.
+  uint64_t plant_failure_at_step = 0;
 };
 
 /// What a chaos run produced. `execute_order` is the deterministic

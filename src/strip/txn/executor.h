@@ -11,6 +11,7 @@
 namespace strip {
 
 class Histogram;
+class RuleCostTracker;
 class TraceRing;
 
 /// Aggregate execution counters. Atomics so threaded-executor workers can
@@ -31,6 +32,9 @@ struct ExecutorObs {
   TraceRing* trace = nullptr;
   Histogram* queue_wait_us = nullptr;  // max(enqueue, release) -> start
   Histogram* run_us = nullptr;         // task body execution cost
+  /// Per-rule latency breakdown + cost counters, fed at task finish for
+  /// tasks that carry a function name (see src/strip/obs/rule_cost.h).
+  RuleCostTracker* rule_cost = nullptr;
 };
 
 /// Called after each task finishes (stats collection in benchmarks).

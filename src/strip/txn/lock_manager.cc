@@ -64,9 +64,10 @@ Status LockManager::Acquire(Transaction* txn, const LockKey& key,
       if (conflicts && holder_older) {
         stats_.wait_die_aborts.fetch_add(1, std::memory_order_relaxed);
         if (waited) {
-          stats_.wait_micros.fetch_add(
-              static_cast<uint64_t>(blocked.ElapsedMicros()),
-              std::memory_order_relaxed);
+          Timestamp us = static_cast<Timestamp>(blocked.ElapsedMicros());
+          stats_.wait_micros.fetch_add(static_cast<uint64_t>(us),
+                                       std::memory_order_relaxed);
+          txn->AddLockWaitMicros(us);
         }
         if (ls->holders.empty() && ls->waiters == 0) {
           // Erase by key: the insertion iterator may have been invalidated
@@ -92,9 +93,10 @@ Status LockManager::Acquire(Transaction* txn, const LockKey& key,
     // holders and waiters are gone.
   }
   if (waited) {
-    stats_.wait_micros.fetch_add(
-        static_cast<uint64_t>(blocked.ElapsedMicros()),
-        std::memory_order_relaxed);
+    Timestamp us = static_cast<Timestamp>(blocked.ElapsedMicros());
+    stats_.wait_micros.fetch_add(static_cast<uint64_t>(us),
+                                 std::memory_order_relaxed);
+    txn->AddLockWaitMicros(us);
   }
 
   // Granted.

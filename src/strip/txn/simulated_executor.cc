@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "strip/obs/metrics.h"
+#include "strip/obs/rule_cost.h"
 #include "strip/obs/trace_ring.h"
 #include "strip/testing/fault_injector.h"
 
@@ -13,13 +14,11 @@ Timestamp ExecuteTaskBody(TaskControlBlock& task, Timestamp now,
   task.start_time = now;
   if (obs.trace != nullptr) {
     obs.trace->Record(TraceEventKind::kStart, task.id(), now,
-                      task.function_name.c_str());
+                      task.function_name.c_str(), task.trace.trace_id);
   }
-  if (obs.queue_wait_us != nullptr) {
-    obs.queue_wait_us->Observe(
-        std::max<Timestamp>(0, now - std::max(task.enqueue_time,
-                                              task.release_time)));
-  }
+  Timestamp queue_wait = std::max<Timestamp>(
+      0, now - std::max(task.enqueue_time, task.release_time));
+  if (obs.queue_wait_us != nullptr) obs.queue_wait_us->Observe(queue_wait);
   StopWatch watch;
   Status st = task.work ? task.work(task) : Status::OK();
   int64_t nanos = watch.ElapsedNanos();
@@ -34,6 +33,19 @@ Timestamp ExecuteTaskBody(TaskControlBlock& task, Timestamp now,
   if (!st.ok()) stats.tasks_failed.fetch_add(1, std::memory_order_relaxed);
   stats.busy_micros.fetch_add(cost, std::memory_order_relaxed);
   if (obs.run_us != nullptr) obs.run_us->Observe(cost);
+  // Per-rule breakdown: where did this firing's latency go, and what did
+  // it cost? Read after `work` returned, so the plain cost fields the body
+  // accumulated (lock waits, scanned rows, folded deltas) are complete.
+  if (obs.rule_cost != nullptr && !task.function_name.empty()) {
+    const RuleCostHandles* h = obs.rule_cost->Handles(task.function_name);
+    h->queue_wait_us->Observe(queue_wait);
+    h->lock_wait_us->Observe(task.lock_wait_micros);
+    h->exec_us->Observe(cost);
+    h->cpu_micros->Add(static_cast<uint64_t>(cost));
+    if (task.rows_scanned > 0) h->rows_scanned->Add(task.rows_scanned);
+    if (task.deltas_folded > 0) h->deltas_folded->Add(task.deltas_folded);
+    if (task.lock_restarts > 0) h->lock_aborts->Add(task.lock_restarts);
+  }
   return cost;
 }
 
@@ -41,7 +53,7 @@ void SimulatedExecutor::Submit(TaskPtr task) {
   task->enqueue_time = clock_.Now();
   if (obs_.trace != nullptr) {
     obs_.trace->Record(TraceEventKind::kSubmit, task->id(), clock_.Now(),
-                       task->function_name.c_str());
+                       task->function_name.c_str(), task->trace.trace_id);
   }
   if (injector_ != nullptr) {
     // Deterministic cost: measured wall-nanos would make virtual time (and
@@ -57,12 +69,13 @@ void SimulatedExecutor::Submit(TaskPtr task) {
   if (task->release_time > clock_.Now()) {
     if (obs_.trace != nullptr) {
       obs_.trace->Record(TraceEventKind::kDelayed, task->id(),
-                         task->release_time);
+                         task->release_time, "", task->trace.trace_id);
     }
     delay_.Push(std::move(task));
   } else {
     if (obs_.trace != nullptr) {
-      obs_.trace->Record(TraceEventKind::kReady, task->id(), clock_.Now());
+      obs_.trace->Record(TraceEventKind::kReady, task->id(), clock_.Now(),
+                         "", task->trace.trace_id);
     }
     ready_.Push(std::move(task));
   }
@@ -72,7 +85,8 @@ bool SimulatedExecutor::StepOnce() {
   // Release everything due at the current virtual time.
   for (TaskPtr& t : delay_.PopReleased(clock_.Now())) {
     if (obs_.trace != nullptr) {
-      obs_.trace->Record(TraceEventKind::kReady, t->id(), clock_.Now());
+      obs_.trace->Record(TraceEventKind::kReady, t->id(), clock_.Now(), "",
+                         t->trace.trace_id);
     }
     ready_.Push(std::move(t));
   }
@@ -89,7 +103,7 @@ bool SimulatedExecutor::StepOnce() {
   task->finish_time = clock_.Now();
   if (obs_.trace != nullptr) {
     obs_.trace->Record(TraceEventKind::kFinish, task->id(), clock_.Now(),
-                       task->function_name.c_str());
+                       task->function_name.c_str(), task->trace.trace_id);
   }
   if (observer_) observer_(*task);
   return true;

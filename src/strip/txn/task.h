@@ -10,6 +10,7 @@
 #include "strip/common/clock.h"
 #include "strip/common/spin_lock.h"
 #include "strip/common/status.h"
+#include "strip/obs/trace_context.h"
 #include "strip/storage/bound_table_set.h"
 #include "strip/storage/value.h"
 
@@ -81,6 +82,31 @@ class TaskControlBlock {
   /// oldest batched change at commit time (-1 = never committed / not a
   /// rule action).
   Timestamp commit_staleness_micros = -1;
+
+  // --- causal tracing (see src/strip/obs/trace_context.h) ---------------
+  /// Trace context this task runs under: the feed importer stamps a root
+  /// context per record, rule firings mint children of the triggering
+  /// transaction's context, and action transactions mint children of this.
+  /// Written once before Submit; read-only afterwards.
+  TraceContext trace;
+  /// Trace ids of firings merged into this queued unique task after
+  /// creation (§6.3): the causal links that would otherwise vanish when
+  /// MergeOrCreate folds a firing away. Guarded by merge_lock.
+  std::vector<uint64_t> merged_parent_traces;
+
+  // --- per-rule cost attribution ----------------------------------------
+  // Plain fields: each is written only by the single thread currently
+  // executing the task (executors hand a task to exactly one worker) and
+  // read after finish, same contract as start_time/cpu_micros below.
+  /// Micros the task's transactions spent blocked in lock acquisition.
+  Timestamp lock_wait_micros = 0;
+  /// Wait-die restarts the task's action transactions suffered.
+  uint64_t lock_restarts = 0;
+  /// Rows visited by batched table scans on behalf of this task.
+  uint64_t rows_scanned = 0;
+  /// Group deltas netted away by FoldGroupDeltas (input minus output
+  /// deltas), credited by the view-maintenance functions.
+  uint64_t deltas_folded = 0;
 
   // Filled in by the executor.
   Timestamp enqueue_time = 0;

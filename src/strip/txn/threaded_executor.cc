@@ -29,12 +29,12 @@ void ThreadedExecutor::Submit(TaskPtr task) {
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   if (obs_.trace != nullptr) {
     obs_.trace->Record(TraceEventKind::kSubmit, task->id(), clock_.Now(),
-                       task->function_name.c_str());
+                       task->function_name.c_str(), task->trace.trace_id);
   }
   if (task->release_time > clock_.Now()) {
     if (obs_.trace != nullptr) {
       obs_.trace->Record(TraceEventKind::kDelayed, task->id(),
-                         task->release_time);
+                         task->release_time, "", task->trace.trace_id);
     }
     {
       std::lock_guard<std::mutex> lk(delay_mu_);
@@ -53,7 +53,8 @@ void ThreadedExecutor::set_task_observer(TaskObserver observer) {
 
 void ThreadedExecutor::PushReady(TaskPtr task) {
   if (obs_.trace != nullptr) {
-    obs_.trace->Record(TraceEventKind::kReady, task->id(), clock_.Now());
+    obs_.trace->Record(TraceEventKind::kReady, task->id(), clock_.Now(), "",
+                       task->trace.trace_id);
   }
   size_t idx = next_shard_.fetch_add(1, std::memory_order_relaxed) %
                shards_.size();
@@ -127,7 +128,8 @@ void ThreadedExecutor::WorkerLoop(size_t worker_index) {
         if (obs_.trace != nullptr) {
           obs_.trace->Record(TraceEventKind::kFinish, task->id(),
                              task->finish_time,
-                             task->function_name.c_str());
+                             task->function_name.c_str(),
+                             task->trace.trace_id);
         }
         if (observer) observer(*task);
       }

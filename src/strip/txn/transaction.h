@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "strip/common/clock.h"
+#include "strip/obs/trace_context.h"
 #include "strip/txn/txn_log.h"
 
 namespace strip {
@@ -81,6 +82,28 @@ class Transaction {
   /// seed. Same threading contract as the shard mask above.
   uint64_t NextAcquireSeq() { return next_acquire_seq_++; }
 
+  // --- causal tracing / cost attribution --------------------------------
+  // Same single-thread contract as the shard mask: written by the code
+  // running the transaction on its own thread, so plain fields suffice.
+  /// Trace context of the work this transaction performs (zero trace id =
+  /// untraced, e.g. ad-hoc SQL).
+  const TraceContext& trace() const { return trace_; }
+  void set_trace(const TraceContext& t) { trace_ = t; }
+
+  /// Micros this transaction spent blocked inside LockManager::Acquire
+  /// (accumulated across acquires; survives into the post-abort autopsy).
+  Timestamp lock_wait_micros() const { return lock_wait_micros_; }
+  void AddLockWaitMicros(Timestamp us) {
+    lock_wait_micros_ += us;
+    if (lock_wait_sink_ != nullptr) *lock_wait_sink_ += us;
+  }
+
+  /// Optional sink mirroring lock waits into a longer-lived accumulator
+  /// (the owning task's lock_wait_micros). The transaction is destroyed
+  /// inside Commit/Abort, so waits incurred by commit-time event checking
+  /// would otherwise be unattributable; the sink must outlive the commit.
+  void set_lock_wait_sink(Timestamp* sink) { lock_wait_sink_ = sink; }
+
  private:
   uint64_t id_;
   uint64_t priority_;
@@ -90,6 +113,9 @@ class Transaction {
   Timestamp arrival_time_ = -1;  // -1: defaults to start_time_
   uint32_t lock_shard_mask_ = 0;
   uint64_t next_acquire_seq_ = 0;
+  TraceContext trace_;
+  Timestamp lock_wait_micros_ = 0;
+  Timestamp* lock_wait_sink_ = nullptr;
   TxnLog log_;
 };
 

@@ -464,6 +464,11 @@ UserFunction MakeAggregateMaintainer(std::shared_ptr<AggPlan> plan,
       return Status::Internal("generated bound table misses columns");
     }
 
+    // Every bound row is at least as old as the task's oldest batched
+    // change (merges min-fold it); stamping that time onto each
+    // contribution lets the fold carry it through netting.
+    TaskControlBlock& tcb = ctx.task();
+    const Timestamp change_time = tcb.oldest_change_time;
     std::vector<GroupDelta> contrib;
     contrib.reserve(deltas->size() * ((positive ? 1 : 0) + (negative ? 1 : 0)));
     for (size_t i = 0; i < deltas->size(); ++i) {
@@ -471,6 +476,7 @@ UserFunction MakeAggregateMaintainer(std::shared_ptr<AggPlan> plan,
         GroupDelta d;
         d.key = deltas->Get(i, key_col);
         d.count = 1;
+        d.change_time = change_time;
         d.sums.reserve(num_sums);
         for (int c : new_cols) d.sums.push_back(deltas->Get(i, c).as_double());
         contrib.push_back(std::move(d));
@@ -479,12 +485,25 @@ UserFunction MakeAggregateMaintainer(std::shared_ptr<AggPlan> plan,
         GroupDelta d;
         d.key = deltas->Get(i, old_key_col >= 0 ? old_key_col : key_col);
         d.count = -1;
+        d.change_time = change_time;
         d.sums.reserve(num_sums);
         for (int c : old_cols) d.sums.push_back(-deltas->Get(i, c).as_double());
         contrib.push_back(std::move(d));
       }
     }
+    const size_t contributions = contrib.size();
     std::vector<GroupDelta> folded = FoldGroupDeltas(std::move(contrib));
+    // Cost attribution: contributions netted away by the fold, credited to
+    // this rule's rules.cost.deltas_folded counter at task finish.
+    tcb.deltas_folded += contributions - folded.size();
+    // Staleness probe correctness under netting: the commit must be judged
+    // against the oldest folded update, never a fresher survivor.
+    for (const GroupDelta& fd : folded) {
+      if (fd.change_time >= 0 && (tcb.oldest_change_time < 0 ||
+                                  fd.change_time < tcb.oldest_change_time)) {
+        tcb.oldest_change_time = fd.change_time;
+      }
+    }
 
     for (const GroupDelta& fd : folded) {
       bool all_zero = fd.count == 0;

@@ -200,5 +200,32 @@ TEST(FoldGroupDeltasTest, EmptyInput) {
   EXPECT_TRUE(FoldGroupDeltas({}).empty());
 }
 
+TEST(FoldGroupDeltasTest, KeepsMinimumChangeTimeAcrossFoldedRows) {
+  // Netting must not make a commit look fresher than the oldest update it
+  // applied: the folded delta carries the MINIMUM change time, and rows
+  // with an unknown time (-1) neither win nor erase a known one.
+  std::vector<GroupDelta> rows;
+  rows.push_back({Value::Str("a"), {1.0}, 1, /*change_time=*/500});
+  rows.push_back({Value::Str("a"), {2.0}, 1, /*change_time=*/-1});
+  rows.push_back({Value::Str("a"), {3.0}, 1, /*change_time=*/200});
+  rows.push_back({Value::Str("a"), {4.0}, 1, /*change_time=*/900});
+  rows.push_back({Value::Str("b"), {5.0}, 1, /*change_time=*/-1});
+  rows.push_back({Value::Str("b"), {6.0}, 1, /*change_time=*/40});
+  std::vector<GroupDelta> out = FoldGroupDeltas(std::move(rows));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].change_time, 200);
+  // An unknown first-seen time is replaced by the first known one.
+  EXPECT_EQ(out[1].change_time, 40);
+}
+
+TEST(FoldGroupDeltasTest, AllUnknownChangeTimesStayUnknown) {
+  std::vector<GroupDelta> rows;
+  rows.push_back({Value::Str("a"), {1.0}, 1});
+  rows.push_back({Value::Str("a"), {2.0}, 1});
+  std::vector<GroupDelta> out = FoldGroupDeltas(std::move(rows));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].change_time, -1);
+}
+
 }  // namespace
 }  // namespace strip

@@ -5,6 +5,9 @@
 // SimulatedExecutor.
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -13,9 +16,12 @@
 
 #include "strip/common/logging.h"
 #include "strip/engine/database.h"
+#include "strip/obs/flight_recorder.h"
 #include "strip/obs/json.h"
 #include "strip/obs/metrics.h"
 #include "strip/obs/trace_ring.h"
+#include "strip/obs/watchdog.h"
+#include "tests/test_util.h"
 
 namespace strip {
 namespace {
@@ -279,6 +285,205 @@ TEST(TraceRing, ConcurrentRecordsAllLand) {
   EXPECT_EQ(ring.total_recorded(),
             static_cast<uint64_t>(kThreads * kPerThread));
   EXPECT_EQ(ring.Snapshot().size(), 64u);
+}
+
+TEST(TraceRing, DroppedEventsAreCountedWhenWritersOutrunTheRing) {
+  TraceRing ring(4);
+  for (uint64_t i = 0; i < 7; ++i) {
+    ring.Record(TraceEventKind::kSubmit, i, static_cast<Timestamp>(i));
+  }
+  EXPECT_EQ(ring.total_recorded(), 7u);
+  EXPECT_EQ(ring.total_dropped(), 3u);  // 7 writes into 4 slots
+  EXPECT_EQ(ring.Snapshot().size(), 4u);
+
+  // A database exports the same counter as the trace.dropped_events gauge.
+  Database::Options opts;
+  opts.mode = ExecutorMode::kSimulated;
+  opts.advance_clock_by_cost = false;
+  Database db(opts);
+  auto gauges = db.metrics().GaugeValues();
+  ASSERT_TRUE(gauges.count("trace.dropped_events"));
+  EXPECT_EQ(gauges.at("trace.dropped_events"), 0.0);
+}
+
+TEST(MetricsRegistry, HistogramsPrefixReturnsOrderedMatchingRange) {
+  MetricsRegistry reg;
+  reg.histogram("rules.exec_us.b")->Observe(1);
+  reg.histogram("rules.exec_us.a")->Observe(1);
+  reg.histogram("rules.queue_wait_us.a")->Observe(1);
+  reg.histogram("task.run_us")->Observe(1);
+
+  auto all = reg.Histograms("");
+  EXPECT_EQ(all.size(), 4u);
+  auto exec = reg.Histograms("rules.exec_us.");
+  ASSERT_EQ(exec.size(), 2u);
+  EXPECT_EQ(exec[0].first, "rules.exec_us.a");  // name-ordered
+  EXPECT_EQ(exec[1].first, "rules.exec_us.b");
+  EXPECT_TRUE(reg.Histograms("no.such.prefix").empty());
+}
+
+// --- Watchdog --------------------------------------------------------------
+
+TEST(Watchdog, FirstEvaluateOnlyBaselinesExistingHistory) {
+  MetricsRegistry reg;
+  Histogram* q = reg.histogram("task.queue_wait_us");
+  // History predating the watchdog: wildly over any SLO.
+  for (int i = 0; i < 100; ++i) q->Observe(500000);
+
+  WatchdogSlo slo;
+  slo.queue_wait_p99_us = 1000;
+  Watchdog dog(&reg, slo);
+  WatchdogVerdict v = dog.Evaluate(10);
+  EXPECT_EQ(v.state, WatchdogState::kOk);
+  EXPECT_EQ(v.consecutive_breaches, 0);
+
+  // A histogram registered AFTER construction is baselined on first
+  // sighting too — its backlog is not judged either.
+  Histogram* late = reg.histogram("rules.staleness_us.late");
+  for (int i = 0; i < 100; ++i) late->Observe(900000000);
+  WatchdogSlo slo2;
+  slo2.staleness_p99_us = 1000;
+  Watchdog dog2(&reg, slo2);
+  EXPECT_EQ(dog2.Evaluate(10).state, WatchdogState::kOk);  // baseline all
+  Histogram* later = reg.histogram("rules.staleness_us.later");
+  for (int i = 0; i < 100; ++i) later->Observe(900000000);
+  EXPECT_EQ(dog2.Evaluate(20).state, WatchdogState::kOk);  // first sighting
+  for (int i = 0; i < 100; ++i) later->Observe(900000000);
+  EXPECT_NE(dog2.Evaluate(30).state, WatchdogState::kOk);  // now judged
+}
+
+TEST(Watchdog, TripsAfterConsecutiveBreachesAndRecoversOnCleanAir) {
+  MetricsRegistry reg;
+  Histogram* q = reg.histogram("task.queue_wait_us");
+  WatchdogSlo slo;
+  slo.queue_wait_p99_us = 1000;  // trip_intervals = clear_intervals = 2
+  Watchdog dog(&reg, slo);
+  int shed_calls = 0;
+  dog.set_on_shed([&](const WatchdogVerdict& v) {
+    ++shed_calls;
+    EXPECT_EQ(v.state, WatchdogState::kShed);
+    EXPECT_EQ(v.worst_signal, "queue_wait_p99_us");
+  });
+
+  dog.Evaluate(0);  // baseline
+  auto breach = [&] {
+    for (int i = 0; i < 50; ++i) q->Observe(50000);
+  };
+  breach();
+  WatchdogVerdict v1 = dog.Evaluate(10);
+  EXPECT_EQ(v1.state, WatchdogState::kWarn);  // breach 1 of 2: not yet shed
+  EXPECT_EQ(v1.consecutive_breaches, 1);
+  ASSERT_EQ(v1.signals.size(), 1u);
+  EXPECT_TRUE(v1.signals[0].breached);
+  EXPECT_EQ(v1.signals[0].samples, 50u);
+
+  breach();
+  WatchdogVerdict v2 = dog.Evaluate(20);
+  EXPECT_EQ(v2.state, WatchdogState::kShed);
+  EXPECT_EQ(shed_calls, 1);
+
+  breach();
+  EXPECT_EQ(dog.Evaluate(30).state, WatchdogState::kShed);
+  EXPECT_EQ(shed_calls, 1);  // only fired on the transition INTO shed
+
+  // Two empty (clean) intervals clear the verdict: a drained system
+  // recovers without any new observations.
+  WatchdogVerdict v4 = dog.Evaluate(40);
+  EXPECT_EQ(v4.state, WatchdogState::kShed);  // clean 1 of 2
+  EXPECT_EQ(v4.consecutive_clean, 1);
+  WatchdogVerdict v5 = dog.Evaluate(50);
+  EXPECT_EQ(v5.state, WatchdogState::kOk);
+  EXPECT_EQ(shed_calls, 1);
+
+  // The verdict round-trips its essentials through ToJson.
+  EXPECT_NE(v2.ToJson().find("\"state\":\"shed\""), std::string::npos);
+  EXPECT_NE(v2.ToJson().find("\"worst_signal\":\"queue_wait_p99_us\""),
+            std::string::npos);
+}
+
+TEST(Watchdog, WarnsWhenApproachingTheThreshold) {
+  MetricsRegistry reg;
+  Histogram* q = reg.histogram("task.queue_wait_us");
+  WatchdogSlo slo;
+  slo.queue_wait_p99_us = 1000;  // warn_fraction 0.75 -> warn above 750
+  Watchdog dog(&reg, slo);
+  dog.Evaluate(0);
+  // 850 lands in the (300, 1000] bucket: interval p99 interpolates to
+  // ~993 us — under the SLO but inside the warn band.
+  for (int i = 0; i < 100; ++i) q->Observe(850);
+  WatchdogVerdict v = dog.Evaluate(10);
+  EXPECT_EQ(v.state, WatchdogState::kWarn);
+  ASSERT_EQ(v.signals.size(), 1u);
+  EXPECT_FALSE(v.signals[0].breached);
+  EXPECT_EQ(v.consecutive_breaches, 0);
+  EXPECT_EQ(v.worst_signal, "queue_wait_p99_us");
+}
+
+TEST(Watchdog, LockAbortRateJudgesIntervalDeltas) {
+  MetricsRegistry reg;
+  double acquires = 1000;  // pre-watchdog history
+  double aborts = 900;     // (ancient 90% abort rate must not trip it)
+  reg.RegisterCallback("locks.acquires", [&] { return acquires; });
+  reg.RegisterCallback("locks.wait_die_aborts", [&] { return aborts; });
+  WatchdogSlo slo;
+  slo.max_lock_abort_rate = 0.10;
+  slo.trip_intervals = 1;
+  Watchdog dog(&reg, slo);
+  dog.Evaluate(0);  // baseline swallows the history
+
+  acquires += 100;  // clean interval: 2% aborts
+  aborts += 2;
+  WatchdogVerdict v1 = dog.Evaluate(10);
+  EXPECT_EQ(v1.state, WatchdogState::kOk);
+  ASSERT_EQ(v1.signals.size(), 1u);
+  EXPECT_NEAR(v1.signals[0].observed, 0.02, 1e-9);
+
+  acquires += 100;  // overload interval: 50% aborts
+  aborts += 50;
+  WatchdogVerdict v2 = dog.Evaluate(20);
+  EXPECT_EQ(v2.state, WatchdogState::kShed);  // trip_intervals = 1
+  EXPECT_EQ(v2.worst_signal, "lock_abort_rate");
+
+  // No acquires at all -> no evidence -> clean.
+  WatchdogVerdict v3 = dog.Evaluate(30);
+  EXPECT_FALSE(v3.signals[0].breached);
+}
+
+// --- Flight recorder -------------------------------------------------------
+
+TEST(FlightRecorder, DumpBundlesReasonVerdictTraceAndMetrics) {
+  TraceRing ring(8);
+  ring.Record(TraceEventKind::kSubmit, 1, 5, "work", 42);
+  ring.Record(TraceEventKind::kStart, 1, 10, "work", 42);
+  ring.Record(TraceEventKind::kFinish, 1, 30, "work", 42);
+  MetricsRegistry reg;
+  reg.counter("txn.commits")->Add(3);
+
+  const std::string path = "flight_record_test_tmp.json";
+  ASSERT_OK(WriteFlightRecord(path, "invariant (d): shadow mismatch",
+                              "{\"state\":\"shed\"}", ring, reg));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string dump = buf.str();
+  std::remove(path.c_str());
+
+  EXPECT_NE(dump.find("\"reason\":\"invariant (d): shadow mismatch\""),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"verdict\":{\"state\":\"shed\"}"),
+            std::string::npos);
+  EXPECT_NE(dump.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(dump.find("\"counters\""), std::string::npos);
+  EXPECT_NE(dump.find("\"txn.commits\":3"), std::string::npos);
+
+  // Without a verdict the member is null, keeping the schema stable.
+  ASSERT_OK(WriteFlightRecord(path, "manual", "", ring, reg));
+  std::ifstream in2(path);
+  std::stringstream buf2;
+  buf2 << in2.rdbuf();
+  EXPECT_NE(buf2.str().find("\"verdict\":null"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 // --- Leveled logging -------------------------------------------------------

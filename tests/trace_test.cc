@@ -1,0 +1,363 @@
+// Causal-tracing tests (end-to-end trace propagation): TraceContext
+// algebra, feed-to-action trace continuity on the deterministic simulated
+// executor, parent-trace bookkeeping across unique-transaction merging,
+// staleness propagation through delta folding (the net-effect path), and a
+// threaded stress variant the TSan CI job runs.
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "strip/common/string_util.h"
+#include "strip/feed/feed.h"
+#include "strip/obs/metrics.h"
+#include "strip/obs/trace_context.h"
+#include "strip/viewmaint/rule_gen.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+Database::Options LogicalTime() {
+  Database::Options o;
+  o.mode = ExecutorMode::kSimulated;
+  o.advance_clock_by_cost = false;
+  return o;
+}
+
+// --- TraceContext ----------------------------------------------------------
+
+TEST(TraceContext, RootsAreNonZeroAndUnique) {
+  TraceContext a = NewTraceContext();
+  TraceContext b = NewTraceContext();
+  EXPECT_TRUE(a.traced());
+  EXPECT_NE(a.trace_id, 0u);
+  EXPECT_NE(a.span_id, 0u);
+  EXPECT_EQ(a.parent_span_id, 0u);
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_NE(a.span_id, b.span_id);
+}
+
+TEST(TraceContext, ChildKeepsTraceAndLinksParentSpan) {
+  TraceContext root = NewTraceContext();
+  TraceContext child = ChildOf(root);
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_NE(child.span_id, root.span_id);
+  EXPECT_EQ(child.parent_span_id, root.span_id);
+  TraceContext grandchild = ChildOf(child);
+  EXPECT_EQ(grandchild.trace_id, root.trace_id);
+  EXPECT_EQ(grandchild.parent_span_id, child.span_id);
+}
+
+TEST(TraceContext, ChildOfUntracedStartsAFreshRoot) {
+  TraceContext untraced;
+  EXPECT_FALSE(untraced.traced());
+  TraceContext c = ChildOf(untraced);
+  EXPECT_TRUE(c.traced());
+  EXPECT_EQ(c.parent_span_id, 0u);  // never a child of trace 0
+}
+
+// --- End-to-end propagation (simulated, deterministic) ---------------------
+
+/// Everything the observer needs from a finished task.
+struct SeenTask {
+  std::string function_name;
+  TraceContext trace;
+  std::vector<uint64_t> merged_parent_traces;
+  Timestamp commit_staleness_micros;
+  uint64_t deltas_folded;
+};
+
+class TracePropagationTest : public ::testing::Test {
+ protected:
+  TracePropagationTest() : db_(LogicalTime()) {}
+
+  void SetUp() override {
+    ASSERT_OK(db_.ExecuteScript(R"(
+      create table quotes (symbol string, price double);
+      create index on quotes (symbol);
+      insert into quotes values ('ibm', 1.0), ('hp', 1.0);
+      create table derived (symbol string, last double, fires int);
+      create index on derived (symbol);
+      insert into derived values ('ibm', 0.0, 0), ('hp', 0.0, 0);
+    )"));
+    ASSERT_OK(db_.RegisterFunction(
+        "track", [](FunctionContext& ctx) -> Status {
+          const TempTable* changed = ctx.BoundTable("changed");
+          if (changed == nullptr || changed->size() == 0) {
+            return Status::Internal("track: empty bound table");
+          }
+          const std::string sym = changed->Get(0, 0).as_string();
+          return ctx.Exec(StrFormat("update derived set fires += 1 "
+                                    "where symbol = '%s'",
+                                    sym.c_str()))
+              .status();
+        }));
+    ASSERT_OK(db_.Execute(R"(
+      create rule track on quotes when updated price
+      if select new.symbol as symbol from new bind as changed
+      then execute track unique on symbol after 0.5 seconds
+    )")
+                  .status());
+    db_.executor().set_task_observer([this](const TaskControlBlock& t) {
+      seen_.push_back({t.function_name, t.trace, t.merged_parent_traces,
+                       t.commit_staleness_micros, t.deltas_folded});
+    });
+  }
+
+  void TearDown() override { db_.executor().set_task_observer(nullptr); }
+
+  const SeenTask* Find(const std::string& fn) const {
+    for (const SeenTask& s : seen_) {
+      if (s.function_name == fn) return &s;
+    }
+    return nullptr;
+  }
+
+  Database db_;
+  std::vector<SeenTask> seen_;
+};
+
+TEST_F(TracePropagationTest, FeedRecordTraceReachesTheActionTask) {
+  ASSERT_OK_AND_ASSIGN(auto importer, FeedImporter::Create(&db_, "quotes"));
+  ASSERT_OK(importer->Submit(
+      FeedRecord{100, {Value::Str("ibm"), Value::Double(50.0)}}));
+  db_.simulated()->RunUntilQuiescent();
+
+  // Two tasks ran: the feed upsert (unnamed) and the rule action.
+  ASSERT_EQ(seen_.size(), 2u);
+  const SeenTask& feed = seen_[0];
+  const SeenTask* action = Find("track");
+  ASSERT_NE(action, nullptr);
+  // The feed task carries the root of the causal trace...
+  EXPECT_TRUE(feed.trace.traced());
+  EXPECT_EQ(feed.trace.parent_span_id, 0u);
+  // ...and the action task continues the SAME trace, linked through the
+  // feed transaction's span (feed root -> txn span -> action task span).
+  EXPECT_EQ(action->trace.trace_id, feed.trace.trace_id);
+  EXPECT_NE(action->trace.span_id, feed.trace.span_id);
+  EXPECT_NE(action->trace.parent_span_id, 0u);
+  EXPECT_EQ(action->merged_parent_traces.size(), 0u);
+}
+
+TEST_F(TracePropagationTest, MergedFiringRecordsItsTriggersTraceId) {
+  ASSERT_OK_AND_ASSIGN(auto importer, FeedImporter::Create(&db_, "quotes"));
+  // Two records for the same symbol inside one 0.5 s delay window: the
+  // second firing merges into the queued unique task.
+  ASSERT_OK(importer->Submit(
+      FeedRecord{0, {Value::Str("ibm"), Value::Double(50.0)}}));
+  ASSERT_OK(importer->Submit(FeedRecord{
+      SecondsToMicros(0.1), {Value::Str("ibm"), Value::Double(51.0)}}));
+  db_.simulated()->RunUntilQuiescent();
+  EXPECT_EQ(db_.rules().stats().firings_merged.load(), 1u);
+
+  ASSERT_EQ(seen_.size(), 3u);  // two feed upserts, ONE merged action
+  const SeenTask& feed1 = seen_[0];
+  const SeenTask& feed2 = seen_[1];
+  const SeenTask* action = Find("track");
+  ASSERT_NE(action, nullptr);
+  EXPECT_NE(feed1.trace.trace_id, feed2.trace.trace_id);
+  // The task belongs to the first trigger's trace; the merged trigger's
+  // trace id is preserved alongside so neither causal chain is lost.
+  EXPECT_EQ(action->trace.trace_id, feed1.trace.trace_id);
+  ASSERT_EQ(action->merged_parent_traces.size(), 1u);
+  EXPECT_EQ(action->merged_parent_traces[0], feed2.trace.trace_id);
+}
+
+TEST_F(TracePropagationTest, CascadedRuleContinuesTheTrace) {
+  // A second rule fires off the first rule's action commit; the cascade
+  // must stay inside the original feed record's trace.
+  ASSERT_OK(db_.ExecuteScript("create table audit (n int);"
+                              "insert into audit values (0);"));
+  ASSERT_OK(db_.RegisterFunction(
+      "cascade", [](FunctionContext& ctx) -> Status {
+        return ctx.Exec("update audit set n += 1").status();
+      }));
+  ASSERT_OK(db_.Execute(R"(
+    create rule cascade on derived when updated fires
+    then execute cascade unique after 0.1 seconds
+  )")
+                .status());
+
+  ASSERT_OK_AND_ASSIGN(auto importer, FeedImporter::Create(&db_, "quotes"));
+  ASSERT_OK(importer->Submit(
+      FeedRecord{100, {Value::Str("hp"), Value::Double(20.0)}}));
+  db_.simulated()->RunUntilQuiescent();
+
+  const SeenTask& feed = seen_[0];
+  const SeenTask* first = Find("track");
+  const SeenTask* second = Find("cascade");
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first->trace.trace_id, feed.trace.trace_id);
+  EXPECT_EQ(second->trace.trace_id, feed.trace.trace_id);
+  EXPECT_NE(second->trace.span_id, first->trace.span_id);
+}
+
+// --- Staleness through delta folding (satellite of the probe work) ---------
+
+TEST(StalenessFold, CommitStalenessReflectsOldestFoldedUpdate) {
+  // Two same-group base updates at t=0 and t=1 s batch into ONE generated
+  // maintenance firing (2 s window). The contributions fold to a single
+  // net delta; the commit's staleness must still be measured from the
+  // OLDEST update (t=0), not the one that survived the fold.
+  Database db(LogicalTime());
+  ASSERT_OK(db.ExecuteScript(R"(
+    create table sales (region string, amount double);
+    create index on sales (region);
+    insert into sales values ('eu', 10.0), ('eu', 20.0);
+    create materialized view rev as
+      select region, sum(amount) as total from sales group by region;
+  )"));
+  RuleGenOptions gen;
+  gen.delay_seconds = 2.0;
+  ASSERT_OK_AND_ASSIGN(GeneratedRule rule,
+                       GenerateMaintenanceRule(db, "rev", "sales", gen));
+
+  Timestamp staleness = -1;
+  uint64_t folded = 0;
+  uint32_t batched = 0;
+  db.executor().set_task_observer([&](const TaskControlBlock& t) {
+    if (t.function_name != rule.function_name) return;
+    staleness = t.commit_staleness_micros;
+    folded = t.deltas_folded;
+    batched = t.batched_firings;
+  });
+
+  // t=0: first change; the maintenance task queues for release at t=2s.
+  ASSERT_OK(
+      db.Execute("update sales set amount += 1.0 where region = 'eu'")
+          .status());
+  db.simulated()->RunUntil(SecondsToMicros(1.0));
+  // t=1s: second change merges into the queued task.
+  ASSERT_OK(
+      db.Execute("update sales set amount += 2.0 where region = 'eu'")
+          .status());
+  EXPECT_EQ(db.rules().stats().firings_merged.load(), 1u);
+  db.simulated()->RunUntilQuiescent();
+  db.executor().set_task_observer(nullptr);
+
+  EXPECT_EQ(batched, 2u);
+  // Commit at t=2s, oldest batched change at t=0: staleness is 2 s even
+  // though that contribution was folded away.
+  EXPECT_EQ(staleness, SecondsToMicros(2.0));
+  // Both updates touched the same group: 4 transition deltas (old+new per
+  // update) collapsed into fewer net rows, and the fold was credited.
+  EXPECT_GT(folded, 0u);
+
+  // The view converged to the base data.
+  auto rs = db.Execute("select total from rev where region = 'eu'");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(rs->rows[0][0].as_double(), 36.0);  // 13 + 23
+}
+
+// --- Threaded stress (runs under TSan in CI) -------------------------------
+
+TEST(ThreadedTraceStress, TracesSurviveWorkStealingAndMerging) {
+  constexpr int kRecords = 300;
+  constexpr int kSyms = 8;
+  Database::Options opts;
+  opts.mode = ExecutorMode::kThreaded;
+  opts.num_workers = 4;
+  Database db(opts);
+  ASSERT_OK(db.ExecuteScript(R"(
+    create table quotes (symbol string, price double);
+    create index on quotes (symbol);
+    create table counts (symbol string, fires int);
+    create index on counts (symbol);
+  )"));
+  for (int i = 0; i < kSyms; ++i) {
+    // Pre-populate both tables: every feed record is then a keyed UPDATE
+    // (the rule's event), like the PTA experiments' populated stocks.
+    ASSERT_OK(
+        db.Execute(StrFormat("insert into quotes values ('s%d', 1.0)", i))
+            .status());
+    ASSERT_OK(db.Execute(StrFormat("insert into counts values ('s%d', 0)", i))
+                  .status());
+  }
+  ASSERT_OK(db.RegisterFunction(
+      "count_fire", [](FunctionContext& ctx) -> Status {
+        const TempTable* changed = ctx.BoundTable("changed");
+        if (changed == nullptr || changed->size() == 0) {
+          return Status::Internal("count_fire: empty bound table");
+        }
+        const std::string sym = changed->Get(0, 0).as_string();
+        return ctx.Exec(StrFormat("update counts set fires += 1 "
+                                  "where symbol = '%s'",
+                                  sym.c_str()))
+            .status();
+      }));
+  ASSERT_OK(db.Execute(R"(
+    create rule count_fire on quotes when updated price
+    if select new.symbol as symbol from new bind as changed
+    then execute count_fire unique on symbol after 0.01 seconds
+  )")
+                .status());
+
+  std::mutex mu;
+  std::set<uint64_t> feed_traces;
+  std::vector<SeenTask> actions;
+  uint64_t ok_actions = 0;
+  db.executor().set_task_observer([&](const TaskControlBlock& t) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (t.function_name.empty()) {
+      feed_traces.insert(t.trace.trace_id);
+    } else if (t.function_name == "count_fire") {
+      if (t.result.ok()) ++ok_actions;
+      actions.push_back({t.function_name, t.trace, t.merged_parent_traces,
+                         t.commit_staleness_micros, t.deltas_folded});
+    }
+  });
+
+  ASSERT_OK_AND_ASSIGN(auto importer, FeedImporter::Create(&db, "quotes"));
+  for (int i = 0; i < kRecords; ++i) {
+    ASSERT_OK(importer->Submit(FeedRecord{
+        0,
+        {Value::Str(StrFormat("s%d", i % kSyms)),
+         Value::Double(100.0 + i)}}));
+  }
+  db.threaded()->Drain();
+  db.executor().set_task_observer(nullptr);
+
+  std::lock_guard<std::mutex> lk(mu);
+  // The importer applies one attempt per record (wait-die victims in the
+  // same-instant burst are simply dropped — the feed's documented policy),
+  // so only completeness of the ledger is asserted, not zero failures.
+  EXPECT_EQ(importer->records_submitted(), (uint64_t)kRecords);
+  EXPECT_EQ(importer->records_applied() + importer->records_failed(),
+            (uint64_t)kRecords);
+  EXPECT_GT(importer->records_applied(), 0u);
+  ASSERT_FALSE(actions.empty());
+  // Every action task belongs to some feed record's trace — stolen or
+  // merged, no firing lost its causal identity — and every merged parent
+  // is a real feed trace distinct from the task's own.
+  for (const SeenTask& a : actions) {
+    EXPECT_TRUE(a.trace.traced());
+    EXPECT_TRUE(feed_traces.count(a.trace.trace_id)) << a.trace.trace_id;
+    for (uint64_t merged : a.merged_parent_traces) {
+      EXPECT_TRUE(feed_traces.count(merged));
+      EXPECT_NE(merged, a.trace.trace_id);
+    }
+  }
+  // The per-rule cost instruments agree with what the observer saw.
+  const Histogram* exec =
+      db.metrics().FindHistogram("rules.exec_us.count_fire");
+  ASSERT_NE(exec, nullptr);
+  EXPECT_EQ(exec->count(), actions.size());
+  const Histogram* qw =
+      db.metrics().FindHistogram("rules.queue_wait_us.count_fire");
+  ASSERT_NE(qw, nullptr);
+  EXPECT_EQ(qw->count(), actions.size());
+  // All successful fires landed: counts sums to the number of committed
+  // actions (merging batches firings, so actions <= records).
+  auto rs = db.Execute("select sum(fires) as n from counts");
+  ASSERT_OK(rs.status());
+  EXPECT_EQ(rs->rows[0][0].as_double(), static_cast<double>(ok_actions));
+}
+
+}  // namespace
+}  // namespace strip

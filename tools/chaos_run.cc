@@ -6,6 +6,13 @@
 //
 //   chaos_run --seed N [--events E] [--syms S] [--shrink] [--verbose]
 //   chaos_run --seeds N,M,K            # several seeds, stop at first fail
+//   chaos_run --seed N --flight-record=PATH   # dump trace+metrics on fail
+//   chaos_run --seed N --plant-failure=STEP   # force a failure at STEP
+//
+// --plant-failure corrupts the derived table after STEP executor steps so
+// the invariant suite must trip; combined with --flight-record it produces
+// a known-good flight-recorder dump (the CI observability smoke validates
+// one with tools/validate_trace.py). A planted run exits 1 by design.
 //
 // Exit code: 0 = all seeds passed, 1 = a seed failed (the reproducer and
 // its shrunken form are printed to stderr).
@@ -25,7 +32,8 @@ void Usage() {
   std::fprintf(stderr,
                "usage: chaos_run --seed N | --seeds N,M,K\n"
                "                 [--events E] [--syms S] [--shrink]\n"
-               "                 [--verbose]\n");
+               "                 [--verbose] [--flight-record=PATH]\n"
+               "                 [--plant-failure=STEP]\n");
   std::exit(2);
 }
 
@@ -83,6 +91,11 @@ int main(int argc, char** argv) {
       shrink = true;
     } else if (!std::strcmp(argv[i], "--verbose")) {
       verbose = true;
+    } else if (!std::strncmp(argv[i], "--flight-record=", 16)) {
+      base.flight_record_path = argv[i] + 16;
+    } else if (!std::strncmp(argv[i], "--plant-failure=", 16)) {
+      base.plant_failure_at_step =
+          std::strtoull(argv[i] + 16, nullptr, 0);
     } else {
       Usage();
     }

@@ -12,6 +12,7 @@
 //   .run             drain the simulated executor (fire due rule actions)
 //   .advance <sec>   advance virtual time by <sec> seconds, running tasks
 //   .stats           rule / executor counters
+//   .health          watchdog verdict + top rules by exec-time share
 //   .metrics         full metrics-registry snapshot as JSON
 //   .trace <file>    write the lifecycle trace ring as Chrome trace JSON
 //                    (load in chrome://tracing); no arg prints to stdout
@@ -24,7 +25,12 @@
 #include <sstream>
 #include <string>
 
+#include <algorithm>
+#include <memory>
+#include <vector>
+
 #include "strip/engine/database.h"
+#include "strip/obs/watchdog.h"
 #include "strip/sql/parser.h"
 #include "strip/viewmaint/view_def.h"
 
@@ -149,6 +155,42 @@ bool HandleMeta(Database& db, const std::string& line) {
     Database::PlanCacheStats ps = db.plan_cache_stats();
     std::printf("plan cache: %zu entries (cap %zu), %zu hits, %zu misses\n",
                 ps.entries, ps.capacity, ps.hits, ps.misses);
+    return true;
+  }
+  if (cmd == ".health") {
+    // One watchdog for the shell's lifetime: each .health judges the
+    // interval since the previous one (the first only sets baselines).
+    static std::unique_ptr<Watchdog> dog;
+    if (dog == nullptr) {
+      WatchdogSlo slo;
+      slo.staleness_p99_us = SecondsToMicros(0.5);
+      slo.queue_wait_p99_us = SecondsToMicros(0.5);
+      slo.max_lock_abort_rate = 0.05;
+      dog = std::make_unique<Watchdog>(&db.metrics(), slo);
+    }
+    WatchdogVerdict v = dog->Evaluate(db.Now());
+    std::printf("watchdog: %s\n", v.ToJson().c_str());
+    // Top rules by share of total rule execution time.
+    auto hists = db.metrics().Histograms("rules.exec_us.");
+    double total = 0;
+    std::vector<std::pair<std::string, double>> shares;
+    for (const auto& [name, h] : hists) {
+      double us = static_cast<double>(h->sum());
+      total += us;
+      shares.emplace_back(name.substr(std::string("rules.exec_us.").size()),
+                          us);
+    }
+    std::sort(shares.begin(), shares.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    if (shares.empty() || total == 0) {
+      std::printf("no rule executions recorded yet\n");
+    } else {
+      size_t top = std::min<size_t>(3, shares.size());
+      for (size_t i = 0; i < top; ++i) {
+        std::printf("  %-24s %8.0f us  %5.1f%%\n", shares[i].first.c_str(),
+                    shares[i].second, 100.0 * shares[i].second / total);
+      }
+    }
     return true;
   }
   if (cmd == ".metrics") {

@@ -122,6 +122,61 @@ def find_registries(node, where="metrics"):
             yield from find_registries(v, f"{where}[{i}]")
 
 
+#: Per-rule breakdown histogram families the observability bench must
+#: populate (at least one non-empty histogram per prefix).
+_RULE_BREAKDOWN_PREFIXES = ("rules.queue_wait_us.", "rules.lock_wait_us.",
+                            "rules.exec_us.")
+
+_WATCHDOG_STATES = ("ok", "warn", "shed")
+
+
+def check_observability(path, metrics):
+    """Extra checks for BENCH_observability.json: the burst-overload
+    watchdog timeline must show the full ok -> shed -> ok cycle, the
+    post-burst registry must carry the per-rule breakdown histograms, and
+    the tracing-overhead A/B must be present and sane."""
+    burst = metrics.get("burst_overload")
+    if not isinstance(burst, dict):
+        fail(path, "metrics missing 'burst_overload' object")
+    for flag in ("reached_shed", "recovered"):
+        if burst.get(flag) is not True:
+            fail(path, f"burst_overload.{flag} is not true — the scenario "
+                       "did not demonstrate the ok->shed->ok cycle")
+    timeline = burst.get("timeline")
+    if not isinstance(timeline, list) or not timeline:
+        fail(path, "burst_overload.timeline is not a non-empty list")
+    for i, entry in enumerate(timeline):
+        where = f"burst_overload.timeline[{i}]"
+        if not isinstance(entry.get("phase"), str):
+            fail(path, f"{where}: missing 'phase'")
+        if entry.get("state") not in _WATCHDOG_STATES:
+            fail(path, f"{where}: state {entry.get('state')!r} invalid")
+        if not isinstance(entry.get("verdict"), dict):
+            fail(path, f"{where}: 'verdict' is not an object")
+    if not any(e["state"] == "shed" for e in timeline):
+        fail(path, "burst_overload.timeline never reaches 'shed'")
+    if timeline[-1]["state"] != "ok":
+        fail(path, "burst_overload.timeline does not end at 'ok'")
+    registry = burst.get("registry")
+    if not isinstance(registry, dict) or "histograms" not in registry:
+        fail(path, "burst_overload.registry has no histograms")
+    hists = registry["histograms"]
+    for prefix in _RULE_BREAKDOWN_PREFIXES:
+        populated = [n for n in hists
+                     if n.startswith(prefix) and hists[n].get("count", 0) > 0]
+        if not populated:
+            fail(path, f"no populated per-rule histogram under '{prefix}'")
+    overhead = metrics.get("tracing_overhead")
+    if not isinstance(overhead, dict):
+        fail(path, "metrics missing 'tracing_overhead' object")
+    for field in ("wall_seconds_metrics", "wall_seconds_no_metrics",
+                  "overhead_fraction"):
+        v = overhead.get(field)
+        if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+            fail(path, f"tracing_overhead.{field} is not a non-negative "
+                       "finite number")
+
+
 def check_bench(path, f=None):
     doc = load_strict(path, f if f is not None else open(path))
     for field, want in (("name", str), ("repo_rev", str),
@@ -134,6 +189,8 @@ def check_bench(path, f=None):
         fail(path, "'name' is empty")
     for where, snap in find_registries(doc["metrics"]):
         check_registry_snapshot(path, snap, where)
+    if doc["name"] == "observability":
+        check_observability(path, doc["metrics"])
     print(f"{path}: ok (name={doc['name']}, rev={doc['repo_rev'][:12]})")
 
 
@@ -182,14 +239,67 @@ _BAD_BENCHES = {
     "bucket sum mismatch": _GOOD_BENCH.replace('[1, 1]', '[1, 5]'),
 }
 
+_OBS_HIST = ('{"count": 1, "sum": 5, "min": 5, "max": 5, "mean": 5, '
+             '"p50": 5, "p95": 5, "p99": 5, "buckets": [[10, 1]]}')
+
+_GOOD_OBS_BENCH = """{
+  "name": "observability", "repo_rev": "deadbeef", "config": {},
+  "metrics": {
+    "burst_overload": {
+      "reached_shed": true, "recovered": true,
+      "timeline": [
+        {"phase": "baseline", "state": "ok", "verdict": {"state": "ok"}},
+        {"phase": "burst", "state": "shed", "verdict": {"state": "shed"}},
+        {"phase": "drain", "state": "ok", "verdict": {"state": "ok"}}
+      ],
+      "registry": {
+        "counters": {}, "gauges": {},
+        "histograms": {
+          "rules.queue_wait_us.track": %s,
+          "rules.lock_wait_us.track": %s,
+          "rules.exec_us.track": %s
+        }
+      }
+    },
+    "tracing_overhead": {"wall_seconds_metrics": 0.5,
+                         "wall_seconds_no_metrics": 0.49,
+                         "overhead_fraction": 0.02,
+                         "meets_5pct_target": true}
+  }
+}""" % (_OBS_HIST, _OBS_HIST, _OBS_HIST)
+
+_BAD_OBS_BENCHES = {
+    "never sheds": _GOOD_OBS_BENCH.replace('"reached_shed": true',
+                                           '"reached_shed": false'),
+    "never recovers": _GOOD_OBS_BENCH.replace('"recovered": true',
+                                              '"recovered": false'),
+    "invalid timeline state": _GOOD_OBS_BENCH.replace(
+        '"state": "shed", "verdict"', '"state": "panic", "verdict"'),
+    "timeline ends shed": _GOOD_OBS_BENCH.replace(
+        '{"phase": "drain", "state": "ok", "verdict": {"state": "ok"}}',
+        '{"phase": "drain", "state": "shed", "verdict": {"state": "shed"}}'),
+    "empty exec breakdown": _GOOD_OBS_BENCH.replace(
+        '"rules.exec_us.track": {"count": 1',
+        '"rules.exec_us.track": {"count": 0', 1).replace(
+        '"rules.exec_us.track": {"count": 0, "sum": 5, "min": 5, "max": 5, '
+        '"mean": 5, "p50": 5, "p95": 5, "p99": 5, "buckets": [[10, 1]]}',
+        '"rules.exec_us.track": {"count": 0, "sum": 0, "min": 0, "max": 0, '
+        '"mean": 0, "p50": 0, "p95": 0, "p99": 0, "buckets": []}'),
+    "missing overhead": _GOOD_OBS_BENCH.replace(
+        '"tracing_overhead"', '"tracing_overhead_gone"'),
+    "negative overhead": _GOOD_OBS_BENCH.replace(
+        '"overhead_fraction": 0.02', '"overhead_fraction": -0.02'),
+}
+
 
 def self_test():
     import io
 
     check_bench("<good>", io.StringIO(_GOOD_BENCH))
+    check_bench("<good observability>", io.StringIO(_GOOD_OBS_BENCH))
 
     accepted = []
-    for name, doc in _BAD_BENCHES.items():
+    for name, doc in {**_BAD_BENCHES, **_BAD_OBS_BENCHES}.items():
         try:
             check_bench(f"<bad: {name}>", io.StringIO(doc))
             accepted.append(name)

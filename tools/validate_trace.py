@@ -1,0 +1,246 @@
+#!/usr/bin/env python3
+"""Validate causal-trace exports: Chrome trace JSON and flight records.
+
+  validate_trace.py FILE [...]
+      Each FILE is either a Chrome trace_event document (TraceRing's
+      ToChromeJson / the shell's .trace output) or a flight-recorder dump
+      (obs/flight_recorder.h: {"reason", "wall_micros", "verdict",
+      "trace", "metrics"}); the kind is auto-detected.
+
+  validate_trace.py --self-test
+      Runs the validator against embedded good and bad documents.
+
+Beyond the schema, this checks the *semantics* a causal trace must obey:
+
+  - every event carries args.id and args.trace_id;
+  - per task track (tid), "X" slices properly nest — partial overlap
+    would mean two executions of one task interleaved, which the
+    executors cannot produce;
+  - per task track, lifecycle order is monotonic: submit <= ready <=
+    start, start + dur <= any later slice start, and the delayed
+    release point never precedes the submit;
+  - flight records name a reason, carry a null-or-object verdict with a
+    valid state, and embed a well-formed metrics-registry snapshot.
+
+Exits non-zero with a message on the first violation. Used by the CI
+observability smoke step on a planted-failure chaos dump.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from validate_bench_json import check_registry_snapshot, fail, load_strict
+
+
+_KINDS = ("submit", "delayed", "ready", "start", "finish",
+          "commit", "abort", "restart", "merge")
+
+
+def _event_kind(e):
+    """Lifecycle kind of an instant, parsed from its label."""
+    name = e.get("name", "")
+    kind = name.split(":", 1)[0]
+    return kind if kind in _KINDS else None
+
+
+def check_chrome_trace(path, doc, where="$"):
+    if doc.get("displayTimeUnit") != "ms":
+        fail(path, f"{where}: missing displayTimeUnit 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail(path, f"{where}: 'traceEvents' is not a list")
+
+    tracks = {}  # tid -> {"slices": [(ts, dur)], "instants": {kind: [ts]}}
+    for i, e in enumerate(events):
+        here = f"{where}.traceEvents[{i}]"
+        for field in ("name", "cat", "ph", "ts", "pid", "tid", "args"):
+            if field not in e:
+                fail(path, f"{here}: missing '{field}'")
+        args = e["args"]
+        if not isinstance(args, dict):
+            fail(path, f"{here}: 'args' is not an object")
+        for field in ("id", "trace_id"):
+            if not isinstance(args.get(field), int) or args[field] < 0:
+                fail(path, f"{here}: args.{field} is not a non-negative int")
+        track = tracks.setdefault(e["tid"], {"slices": [], "instants": {}})
+        if e["ph"] == "X":
+            if "dur" not in e or e["dur"] < 1:
+                fail(path, f"{here}: 'X' slice without positive dur")
+            track["slices"].append((e["ts"], e["dur"]))
+        elif e["ph"] == "i":
+            if e.get("s") != "t":
+                fail(path, f"{here}: instant without scope 's':'t'")
+            kind = _event_kind(e)
+            if kind is not None:
+                track["instants"].setdefault(kind, []).append(e["ts"])
+        else:
+            fail(path, f"{here}: phase {e['ph']!r} "
+                       "(TraceRing only emits 'X' and 'i')")
+
+    for tid, track in tracks.items():
+        here = f"{where}: tid {tid}"
+        # Slices on one track must properly nest: partial overlap would
+        # mean one task executing twice at once.
+        slices = sorted(track["slices"])
+        for (ts_a, dur_a), (ts_b, dur_b) in zip(slices, slices[1:]):
+            if ts_b < ts_a + dur_a and ts_b + dur_b > ts_a + dur_a:
+                fail(path, f"{here}: slices [{ts_a},{ts_a + dur_a}] and "
+                           f"[{ts_b},{ts_b + dur_b}] partially overlap")
+        # Monotonic lifecycle: submit <= ready <= first execution start;
+        # the delayed release point cannot precede the submit. (The ring
+        # evicts oldest-first, so a kind may be absent — only orderings
+        # whose both sides survived are judged.)
+        inst = track["instants"]
+        first_submit = min(inst.get("submit", [])) if "submit" in inst else None
+        if first_submit is not None:
+            for kind in ("delayed", "ready"):
+                for ts in inst.get(kind, []):
+                    if ts < first_submit:
+                        fail(path, f"{here}: {kind} at {ts} precedes "
+                                   f"submit at {first_submit}")
+            for ts, _ in slices:
+                if ts < first_submit:
+                    fail(path, f"{here}: start at {ts} precedes "
+                               f"submit at {first_submit}")
+        for ready in inst.get("ready", []):
+            if slices and ready > max(ts + dur for ts, dur in slices):
+                fail(path, f"{here}: ready at {ready} after the last "
+                           "execution finished")
+    n = len(events)
+    return n
+
+
+def check_flight_record(path, doc):
+    reason = doc.get("reason")
+    if not isinstance(reason, str) or not reason:
+        fail(path, "flight record 'reason' is not a non-empty string")
+    wall = doc.get("wall_micros")
+    if not isinstance(wall, int) or wall < 0:
+        fail(path, "flight record 'wall_micros' is not a non-negative int")
+    if "verdict" not in doc:
+        fail(path, "flight record missing 'verdict' (null when none)")
+    verdict = doc["verdict"]
+    if verdict is not None:
+        if not isinstance(verdict, dict):
+            fail(path, "flight record 'verdict' is neither null nor object")
+        if verdict.get("state") not in ("ok", "warn", "shed"):
+            fail(path, f"flight record verdict state "
+                       f"{verdict.get('state')!r} invalid")
+    trace = doc.get("trace")
+    if not isinstance(trace, dict):
+        fail(path, "flight record 'trace' is not an object")
+    n = check_chrome_trace(path, trace, where="$.trace")
+    metrics = doc.get("metrics")
+    check_registry_snapshot(path, metrics, "$.metrics")
+    return n
+
+
+def check_file(path, f=None):
+    doc = load_strict(path, f if f is not None else open(path))
+    if not isinstance(doc, dict):
+        fail(path, "top level is not an object")
+    if "reason" in doc or "metrics" in doc:
+        n = check_flight_record(path, doc)
+        print(f"{path}: ok (flight record, {n} trace events)")
+    else:
+        n = check_chrome_trace(path, doc)
+        print(f"{path}: ok (chrome trace, {n} trace events)")
+
+
+# --- self-test ---------------------------------------------------------------
+
+_GOOD_TRACE = """{
+  "displayTimeUnit": "ms",
+  "traceEvents": [
+    {"name": "work", "cat": "task", "ph": "X", "ts": 10, "dur": 20,
+     "pid": 1, "tid": 7, "args": {"id": 7, "trace_id": 3, "wall_ts": 1}},
+    {"name": "submit:work", "cat": "lifecycle", "ph": "i", "ts": 2,
+     "pid": 1, "tid": 7, "s": "t",
+     "args": {"id": 7, "trace_id": 3, "wall_ts": 0}},
+    {"name": "ready", "cat": "lifecycle", "ph": "i", "ts": 9,
+     "pid": 1, "tid": 7, "s": "t",
+     "args": {"id": 7, "trace_id": 3, "wall_ts": 1}},
+    {"name": "commit", "cat": "lifecycle", "ph": "i", "ts": 29,
+     "pid": 1, "tid": 101, "s": "t",
+     "args": {"id": 101, "trace_id": 3, "wall_ts": 2}}
+  ]
+}"""
+
+_GOOD_FLIGHT = """{
+  "reason": "invariant (d): shadow mismatch",
+  "wall_micros": 1234,
+  "verdict": {"state": "shed"},
+  "trace": %s,
+  "metrics": {
+    "counters": {"txn.commits": 3},
+    "gauges": {"trace.dropped_events": 0},
+    "histograms": {"task.run_us": {"count": 1, "sum": 5, "min": 5,
+                                   "max": 5, "mean": 5, "p50": 5,
+                                   "p95": 5, "p99": 5,
+                                   "buckets": [[10, 1]]}}
+  }
+}""" % _GOOD_TRACE
+
+_BAD_TRACES = {
+    "ready precedes submit": _GOOD_TRACE.replace('"ts": 9', '"ts": 1'),
+    "start precedes submit": _GOOD_TRACE.replace('"ts": 10', '"ts": 1'),
+    "zero duration slice": _GOOD_TRACE.replace('"dur": 20', '"dur": 0'),
+    "missing trace_id": _GOOD_TRACE.replace(
+        '"args": {"id": 7, "trace_id": 3, "wall_ts": 1}},\n    {"name": "submit:work"',
+        '"args": {"id": 7}},\n    {"name": "submit:work"'),
+    "unknown phase": _GOOD_TRACE.replace('"ph": "X"', '"ph": "B"'),
+    "instant without scope": _GOOD_TRACE.replace(
+        '"ts": 29,\n     "pid": 1, "tid": 101, "s": "t"',
+        '"ts": 29,\n     "pid": 1, "tid": 101'),
+    "partial slice overlap": _GOOD_TRACE.replace(
+        '{"name": "ready"',
+        """{"name": "work", "cat": "task", "ph": "X", "ts": 15, "dur": 20,
+     "pid": 1, "tid": 7, "args": {"id": 7, "trace_id": 3, "wall_ts": 1}},
+    {"name": "ready\"""", 1),
+}
+
+_BAD_FLIGHTS = {
+    "empty reason": _GOOD_FLIGHT.replace(
+        '"invariant (d): shadow mismatch"', '""'),
+    "invalid verdict state": _GOOD_FLIGHT.replace(
+        '{"state": "shed"}', '{"state": "panic"}'),
+    "negative wall clock": _GOOD_FLIGHT.replace(
+        '"wall_micros": 1234', '"wall_micros": -1'),
+    "histogram bucket mismatch": _GOOD_FLIGHT.replace(
+        '"buckets": [[10, 1]]', '"buckets": [[10, 7]]'),
+}
+
+
+def self_test():
+    import io
+
+    check_file("<good trace>", io.StringIO(_GOOD_TRACE))
+    check_file("<good flight>", io.StringIO(_GOOD_FLIGHT))
+
+    accepted = []
+    for name, doc in {**_BAD_TRACES, **_BAD_FLIGHTS}.items():
+        try:
+            check_file(f"<bad: {name}>", io.StringIO(doc))
+            accepted.append(name)
+        except SystemExit as e:
+            print(f"rejected as expected [{name}]: {e}")
+    if accepted:
+        sys.exit(f"self-test FAILED: accepted bad documents: {accepted}")
+    print("self-test: ok")
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 2
+    if argv[1] == "--self-test":
+        self_test()
+        return 0
+    for path in argv[1:]:
+        check_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
