@@ -1,0 +1,204 @@
+// Shared-nothing scale-up of the PTA workload on the in-process cluster
+// (DESIGN.md §2.5): the same partitioned quote burst run at several shard
+// counts, each shard a full threaded engine maintaining its partial
+// composite view with tier-1 rules and shipping folded group deltas to the
+// merge engine. Firing throughput comes from the per-shard order rule,
+// whose action blocks on the exchange round-trip — shards overlap those
+// stalls exactly as extra pool workers do in bench_threaded_pta, one
+// architectural level up.
+//
+// Every configuration's final merged view is checked for EXACT equality
+// against a single simulated engine replaying the identical record stream
+// through a plain tier-1 maintained view (all prices and weights are small
+// dyadic rationals, so SUMs are exact in doubles). A mismatch fails the
+// bench: speedup that loses deltas is not speedup.
+//
+// Usage: bench_sharded_pta [--shards 1,2,4] [--workers N] [--updates N]
+//                          [--syms N] [--comps N] [--stall US] [--delay S]
+//                          [--seed N] [--out FILE] [--no-metrics]
+//
+// Emits BENCH_sharded_pta.json (canonical BenchReport schema) with one
+// entry per shard count and the 4-vs-1 shard speedup (the ISSUE's >= 3x
+// acceptance number).
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "pta_bench_common.h"
+#include "strip/market/sharded_pta.h"
+
+namespace strip {
+namespace {
+
+std::vector<int> ParseIntList(const std::string& s) {
+  std::vector<int> out;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::atoi(s.substr(pos, comma - pos).c_str()));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+void PrintResult(const ShardedPtaResult& r) {
+  std::printf(
+      "%7d %8d %9llu %9llu %12.1f %8llu %8llu %8llu %10.3f\n",
+      r.num_shards, r.num_workers,
+      static_cast<unsigned long long>(r.num_records),
+      static_cast<unsigned long long>(r.num_firings), r.firings_per_second,
+      static_cast<unsigned long long>(r.deltas_shipped),
+      static_cast<unsigned long long>(r.staging_failed),
+      static_cast<unsigned long long>(r.wait_die_aborts), r.wall_seconds);
+}
+
+}  // namespace
+}  // namespace strip
+
+int main(int argc, char** argv) {
+  using namespace strip;
+
+  std::vector<int> shards = {1, 2, 4};
+  ShardedPtaOptions base;
+  std::string out_path = "BENCH_sharded_pta.json";
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", argv[i]);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--shards") == 0) {
+      shards = ParseIntList(next());
+    } else if (std::strcmp(argv[i], "--workers") == 0) {
+      base.num_workers = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--updates") == 0) {
+      base.num_updates = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--syms") == 0) {
+      base.num_syms = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--comps") == 0) {
+      base.num_comps = std::atoi(next());
+    } else if (std::strcmp(argv[i], "--stall") == 0) {
+      base.order_latency_micros = std::atoll(next());
+    } else if (std::strcmp(argv[i], "--delay") == 0) {
+      double d = std::atof(next());
+      base.tier1_delay_seconds = d;
+      base.export_delay_seconds = d;
+      base.merge_delay_seconds = d;
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      base.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      out_path = next();
+    } else if (std::strcmp(argv[i], "--no-metrics") == 0) {
+      base.enable_metrics = false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+
+  // The reference view depends only on the record stream, not the shard
+  // count: one simulated replay guards every configuration.
+  auto reference = RunSingleEnginePta(base);
+  if (!reference.ok()) {
+    std::fprintf(stderr, "single-engine reference: %s\n",
+                 reference.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("single-engine reference: %zu groups\n", reference->size());
+
+  std::printf(
+      "%7s %8s %9s %9s %12s %8s %8s %8s %10s\n", "shards", "workers",
+      "records", "firings", "firing/s", "deltas", "dropped", "wd_kill",
+      "wall_s");
+  std::vector<ShardedPtaResult> results;
+  for (int k : shards) {
+    ShardedPtaOptions opts = base;
+    opts.num_shards = k;
+    auto r = RunShardedPta(opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "shards=%d: %s\n", k,
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    PrintResult(*r);
+    Status eq = CompareMergedViews(r->merged_view, *reference);
+    if (!eq.ok()) {
+      std::fprintf(stderr,
+                   "shards=%d: merged view != single-engine reference: %s\n",
+                   k, eq.ToString().c_str());
+      return 1;
+    }
+    if (r->staging_failed != 0) {
+      std::fprintf(stderr, "shards=%d: %llu delta shipments dropped\n", k,
+                   static_cast<unsigned long long>(r->staging_failed));
+      return 1;
+    }
+    results.push_back(std::move(*r));
+  }
+  std::printf("merged views match the single-engine reference exactly\n");
+
+  double speedup_4v1 = 0;
+  {
+    const ShardedPtaResult* s1 = nullptr;
+    const ShardedPtaResult* s4 = nullptr;
+    for (const auto& r : results) {
+      if (r.num_shards == 1) s1 = &r;
+      if (r.num_shards == 4) s4 = &r;
+    }
+    if (s1 != nullptr && s4 != nullptr && s1->firings_per_second > 0) {
+      speedup_4v1 = s4->firings_per_second / s1->firings_per_second;
+      std::printf("\n4-shard vs 1-shard firing throughput: %.2fx\n",
+                  speedup_4v1);
+    }
+  }
+
+  bench::BenchReport report("sharded_pta");
+  report.Config([&](JsonWriter& w) {
+    w.Key("workers_per_engine").Int(base.num_workers);
+    w.Key("num_syms").Int(base.num_syms);
+    w.Key("num_comps").Int(base.num_comps);
+    w.Key("num_updates").Int(base.num_updates);
+    w.Key("order_latency_micros").Int(base.order_latency_micros);
+    w.Key("tier1_delay_seconds").Double(base.tier1_delay_seconds);
+    w.Key("export_delay_seconds").Double(base.export_delay_seconds);
+    w.Key("merge_delay_seconds").Double(base.merge_delay_seconds);
+    w.Key("seed").Uint(base.seed);
+    w.Key("metrics_enabled").Bool(base.enable_metrics);
+  });
+  report.Metrics([&](JsonWriter& w) {
+    w.Key("runs").BeginArray();
+    for (const ShardedPtaResult& r : results) {
+      w.BeginObject();
+      w.Key("shards").Int(r.num_shards);
+      w.Key("workers").Int(r.num_workers);
+      w.Key("records").Uint(r.num_records);
+      w.Key("firings").Uint(r.num_firings);
+      w.Key("firings_per_second").Double(r.firings_per_second);
+      w.Key("firing_window_seconds").Double(r.firing_window_seconds);
+      w.Key("deltas_shipped").Uint(r.deltas_shipped);
+      w.Key("staging_failed").Uint(r.staging_failed);
+      w.Key("wait_die_aborts").Uint(r.wait_die_aborts);
+      w.Key("wall_seconds").Double(r.wall_seconds);
+      w.Key("merged_groups").Uint(r.merged_view.size());
+      w.Key("matches_single_engine").Bool(true);
+      w.Key("registry").Raw(r.metrics_json);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.Key("speedup_4_shards_vs_1").Double(speedup_4v1);
+    w.Key("meets_3x_target").Bool(speedup_4v1 >= 3.0);
+  });
+  if (!report.WriteFile(out_path)) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,135 @@
+#ifndef STRIP_CLUSTER_CLUSTER_H_
+#define STRIP_CLUSTER_CLUSTER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "strip/cluster/feed_router.h"
+#include "strip/engine/database.h"
+#include "strip/feed/feed.h"
+#include "strip/viewmaint/rule_gen.h"
+
+namespace strip {
+
+/// An in-process shared-nothing cluster: N independent `strip::Database`
+/// shard engines plus one merge engine, behind a symbol-hash FeedRouter
+/// (DESIGN.md §2.5). Every engine has its own executor, lock manager,
+/// catalog, rule engine, and unique-transaction manager — the only things
+/// crossing an engine boundary are wire-encoded feed records (feed/wire.h):
+/// routed base updates going in, and folded group deltas shipped from each
+/// shard's partial view to the merge engine's staging table.
+///
+/// Running everything in one process (threads, not processes) keeps the
+/// whole cluster inside the reach of the chaos harness, ASan, and TSan,
+/// while the byte-level protocol keeps the architecture honest: promoting
+/// a shard to a real remote process changes transport, not semantics.
+struct ClusterOptions {
+  int num_shards = 4;
+  /// Per-shard engine options (each shard gets its own copy).
+  Database::Options shard;
+  /// Merge engine options.
+  Database::Options merge;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  Database& shard(int i) { return *shards_[static_cast<size_t>(i)]; }
+  Database& merge() { return *merge_; }
+
+  /// Runs a DDL / DML script on every shard engine (e.g. creating the
+  /// fact and dimension tables of the sharded schema).
+  Status ExecuteOnShards(const std::string& sql);
+
+  /// Same, shards plus the merge engine.
+  Status ExecuteEverywhere(const std::string& sql);
+
+  /// Opens a routed feed into `table` (which must exist on every shard,
+  /// keyed + indexed on its first column): creates one FeedImporter per
+  /// shard and returns a router whose inboxes decode the wire bytes and
+  /// submit the record to the owning shard. The router is owned by the
+  /// cluster and stays valid for its lifetime.
+  Result<FeedRouter*> OpenFeed(const std::string& table);
+
+  struct TwoTierOptions {
+    /// Tier-1 options for the per-shard partial-view maintenance rules.
+    RuleGenOptions tier1;
+    /// Shard-side export window (one shipment per window per shard).
+    double export_delay_seconds = 0.5;
+    /// Merge-side window (staged deltas folded into one application pass).
+    double merge_delay_seconds = 0.5;
+  };
+
+  /// Wires up two-tier maintenance for the materialized aggregation view
+  /// `view_name` (already created on every shard) over `fact_table`:
+  ///
+  ///   1. tier-1 maintenance rules on each shard keep its PARTIAL view
+  ///      (GenerateMaintenanceRule);
+  ///   2. the top-level view table (same layout incl. `_count`) is created
+  ///      on the merge engine, seeded from the shard partials' current
+  ///      contents, plus its `<view>_deltas` staging table and merge rule
+  ///      (GenerateMergeRule);
+  ///   3. export rules on each shard fold the partial view's changes into
+  ///      net group deltas and ship them — wire-encoded — to the staging
+  ///      importer (GenerateShardDeltaExport).
+  Status ConnectTwoTier(const std::string& view_name,
+                        const std::string& fact_table,
+                        const TwoTierOptions& options);
+
+  /// Drives every engine to quiescence, including the cross-engine
+  /// cascade: shard export rules may ship deltas into the merge engine
+  /// while draining, so engines are drained in passes until a full pass
+  /// ships nothing new. Works in both executor modes.
+  Status DrainAll();
+
+  /// Group deltas shipped across the shard->merge boundary so far.
+  uint64_t deltas_shipped() const {
+    return deltas_shipped_.load(std::memory_order_relaxed);
+  }
+
+  /// The staging importer ConnectTwoTier installed for `view_name`, or
+  /// nullptr. Its submitted/applied/failed counters tell whether every
+  /// shipped delta actually landed — a failed staging upsert is a delta
+  /// lost in flight, which the chaos harness treats as an invariant
+  /// violation in its own right.
+  const FeedImporter* staging_importer(const std::string& view_name) const {
+    auto it = staging_importers_.find(view_name);
+    return it == staging_importers_.end() ? nullptr : it->second.get();
+  }
+
+  /// One JSON object with every engine's metrics snapshot, keyed
+  /// "shard0".."shardN-1" and "merge", plus cluster-level counters.
+  std::string MetricsJson() const;
+
+  /// All engines' trace rings spliced into one Chrome trace document, one
+  /// process lane per engine ("shard0".."shardN-1", "merge") — a routed
+  /// record's causal trace reads across lanes via its shared trace_id.
+  std::string ChromeTraceJson() const;
+
+ private:
+  struct Feed {
+    std::vector<std::unique_ptr<FeedImporter>> importers;  // one per shard
+    std::unique_ptr<FeedRouter> router;
+  };
+
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<Database>> shards_;
+  std::unique_ptr<Database> merge_;
+  std::map<std::string, Feed> feeds_;
+  /// Staging importers created by ConnectTwoTier, keyed by view name.
+  std::map<std::string, std::unique_ptr<FeedImporter>> staging_importers_;
+  std::atomic<uint64_t> deltas_shipped_{0};
+};
+
+}  // namespace strip
+
+#endif  // STRIP_CLUSTER_CLUSTER_H_

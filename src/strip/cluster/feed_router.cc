@@ -1,0 +1,119 @@
+#include "strip/cluster/feed_router.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "strip/common/string_util.h"
+#include "strip/feed/wire.h"
+
+namespace strip {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+uint64_t Fnv1a(uint64_t h, const void* data, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// splitmix64 finalizer: FNV's low bits correlate for short keys (stock
+/// symbols are 4-6 bytes); the mix spreads them so ShardFor's modulo sees
+/// uniform bits even at 2 shards.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+uint64_t RouteHash(const Value& key) {
+  uint64_t h = kFnvOffset;
+  switch (key.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+    case ValueType::kDouble: {
+      // Canonical numeric form: integral doubles hash as their int value,
+      // consistent with Value equality (Int(3) == Double(3.0)).
+      double d = key.as_double();
+      int64_t i = static_cast<int64_t>(d);
+      if (static_cast<double>(i) == d) {
+        h = Fnv1a(h, &i, sizeof(i));
+      } else {
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof(bits));
+        h = Fnv1a(h, &bits, sizeof(bits));
+      }
+      break;
+    }
+    case ValueType::kString: {
+      const std::string& s = key.as_string();
+      h = Fnv1a(h, s.data(), s.size());
+      break;
+    }
+  }
+  return Mix(h);
+}
+
+int ShardFor(const Value& key, int num_shards) {
+  if (num_shards <= 1) return 0;
+  return static_cast<int>(RouteHash(key) %
+                          static_cast<uint64_t>(num_shards));
+}
+
+FeedRouter::FeedRouter(std::vector<Inbox> inboxes)
+    : inboxes_(std::move(inboxes)) {
+  counts_.reserve(inboxes_.size());
+  for (size_t i = 0; i < inboxes_.size(); ++i) {
+    counts_.push_back(std::make_unique<std::atomic<uint64_t>>(0));
+  }
+}
+
+Status FeedRouter::Route(const FeedRecord& rec) {
+  if (inboxes_.empty()) {
+    return Status::FailedPrecondition("router has no shards");
+  }
+  if (rec.values.empty()) {
+    return Status::InvalidArgument("feed record has no key column");
+  }
+  int shard = ShardFor(rec.values[0], num_shards());
+  std::string bytes;
+  if (rec.trace.traced()) {
+    bytes = EncodeFeedRecord(rec);
+  } else {
+    // The routing hop is where the record enters the cluster: root the
+    // causal trace here so shard-side spans chain back across the wire.
+    FeedRecord traced = rec;
+    traced.trace = NewTraceContext();
+    bytes = EncodeFeedRecord(traced);
+  }
+  STRIP_RETURN_IF_ERROR(inboxes_[static_cast<size_t>(shard)](bytes));
+  counts_[static_cast<size_t>(shard)]->fetch_add(1,
+                                                 std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FeedRouter::RouteAll(const std::vector<FeedRecord>& stream) {
+  for (const FeedRecord& rec : stream) {
+    STRIP_RETURN_IF_ERROR(Route(rec));
+  }
+  return Status::OK();
+}
+
+uint64_t FeedRouter::total_routed() const {
+  uint64_t total = 0;
+  for (const auto& c : counts_) {
+    total += c->load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+}  // namespace strip

@@ -1,5 +1,9 @@
 #include "strip/feed/feed.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 #include "strip/common/string_util.h"
 #include "strip/sql/parser.h"
 
@@ -53,44 +57,67 @@ FeedImporter::FeedImporter(Database* db, Table* table, Statement update_stmt,
       insert_stmt_(std::move(insert_stmt)) {}
 
 Status FeedImporter::Apply(const FeedRecord& rec, TaskControlBlock* tcb) {
-  STRIP_ASSIGN_OR_RETURN(Transaction * txn, db_->Begin());
-  if (tcb != nullptr) {
-    // The record's root context, stamped in Submit: the feed upsert is the
-    // first span of everything this record causes downstream.
-    txn->set_trace(ChildOf(tcb->trace));
-    txn->set_lock_wait_sink(&tcb->lock_wait_micros);
-  }
-  auto run = [&]() -> Status {
-    // Upsert: try the keyed update, insert on miss.
-    std::vector<Value> update_params(rec.values.begin() + 1,
-                                     rec.values.end());
-    update_params.push_back(rec.values[0]);
-    STRIP_ASSIGN_OR_RETURN(int n,
-                           db_->ExecuteDml(txn, update_stmt_, update_params));
-    if (n == 0) {
-      STRIP_ASSIGN_OR_RETURN(n,
-                             db_->ExecuteDml(txn, insert_stmt_, rec.values));
+  // Feed upserts retry wait-die aborts under the engine's action-retry
+  // policy, keeping the first attempt's priority (same discipline as
+  // Database::RunActionTask). The feed is at-least-once: a record dropped
+  // on an abort is simply lost — harmless for an idempotent market quote,
+  // but fatal for a cluster delta shipment, where a lost record desyncs
+  // the merged view from its shards for good.
+  Status last;
+  uint64_t priority = 0;
+  for (int attempt = 0; attempt <= db_->options().action_retry_limit;
+       ++attempt) {
+    STRIP_ASSIGN_OR_RETURN(Transaction * txn, db_->Begin(priority));
+    if (priority == 0) priority = txn->priority();
+    if (tcb != nullptr) {
+      // The record's root context, stamped in Submit: the feed upsert is
+      // the first span of everything this record causes downstream.
+      txn->set_trace(ChildOf(tcb->trace));
+      txn->set_lock_wait_sink(&tcb->lock_wait_micros);
     }
-    if (n != 1) {
-      return Status::Internal(StrFormat(
-          "feed upsert touched %d rows in '%s'", n, table_->name().c_str()));
+    auto run = [&]() -> Status {
+      // Upsert: try the keyed update, insert on miss.
+      std::vector<Value> update_params(rec.values.begin() + 1,
+                                       rec.values.end());
+      update_params.push_back(rec.values[0]);
+      STRIP_ASSIGN_OR_RETURN(
+          int n, db_->ExecuteDml(txn, update_stmt_, update_params));
+      if (n == 0) {
+        STRIP_ASSIGN_OR_RETURN(
+            n, db_->ExecuteDml(txn, insert_stmt_, rec.values));
+      }
+      if (n != 1) {
+        return Status::Internal(StrFormat(
+            "feed upsert touched %d rows in '%s'", n,
+            table_->name().c_str()));
+      }
+      return Status::OK();
+    };
+    Status st = run();
+    if (st.ok()) {
+      st = db_->Commit(txn);
+      if (st.ok()) {
+        applied_.fetch_add(1, std::memory_order_relaxed);
+        return st;
+      }
+    } else {
+      Status ignored = db_->Abort(txn);
+      (void)ignored;
     }
-    return Status::OK();
-  };
-  Status st = run();
-  if (!st.ok()) {
-    Status ignored = db_->Abort(txn);
-    (void)ignored;
-    failed_.fetch_add(1, std::memory_order_relaxed);
-    return st;
+    if (st.code() != StatusCode::kAborted) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      return st;  // real failure; retrying cannot help
+    }
+    last = st;
+    if (db_->threaded() != nullptr) {
+      // Back off so the conflicting older transaction can finish; the
+      // simulated executor is single-threaded and never needs this.
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          std::min(1 << std::min(attempt, 5), 32)));
+    }
   }
-  st = db_->Commit(txn);
-  if (st.ok()) {
-    applied_.fetch_add(1, std::memory_order_relaxed);
-  } else {
-    failed_.fetch_add(1, std::memory_order_relaxed);
-  }
-  return st;
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  return last;
 }
 
 Status FeedImporter::Submit(FeedRecord rec) {
@@ -104,8 +131,10 @@ Status FeedImporter::Submit(FeedRecord rec) {
   task->release_time = rec.at;
   // Every feed record starts its own causal trace: spans of the upsert
   // transaction, any rules it fires, and their view commits all chain back
-  // to this root (ISSUE: trace stamped at feed ingestion).
-  task->trace = NewTraceContext();
+  // to this root (ISSUE: trace stamped at feed ingestion). Records that
+  // already carry a context — routed across cluster shards — keep it, so
+  // the trace spans router -> shard firing -> merge commit.
+  task->trace = rec.trace.traced() ? rec.trace : NewTraceContext();
   task->work = [this, rec = std::move(rec)](TaskControlBlock& tcb) {
     return Apply(rec, &tcb);
   };

@@ -10,6 +10,7 @@
 #include "strip/common/clock.h"
 #include "strip/common/status.h"
 #include "strip/engine/database.h"
+#include "strip/obs/trace_context.h"
 
 namespace strip {
 
@@ -25,6 +26,12 @@ namespace strip {
 struct FeedRecord {
   Timestamp at = 0;
   std::vector<Value> values;  // full row in schema order
+  /// Causal context the record travels under. Untraced (all-zero) records
+  /// get a fresh root context at Submit — the single-engine feed path.
+  /// A traced record keeps its context, so a record forwarded between
+  /// cluster shards (or a shard delta shipped to the merge engine)
+  /// continues the trace that began at the original ingestion point.
+  TraceContext trace{};
 };
 
 /// Imports an external stream into one table as keyed upserts: if a row

@@ -1,0 +1,194 @@
+#include "strip/feed/wire.h"
+
+#include <cstring>
+
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+namespace {
+
+constexpr uint8_t kMagic = 'R';
+
+void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutDouble(double d, std::string* out) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(d));
+  std::memcpy(&bits, &d, sizeof(bits));
+  PutU64(bits, out);
+}
+
+/// Bounds-checked little-endian reader over the stream.
+class Reader {
+ public:
+  Reader(std::string_view buf, size_t offset) : buf_(buf), pos_(offset) {}
+
+  size_t pos() const { return pos_; }
+
+  Result<uint8_t> U8() {
+    STRIP_RETURN_IF_ERROR(Need(1));
+    return static_cast<uint8_t>(buf_[pos_++]);
+  }
+
+  Result<uint32_t> U32() {
+    STRIP_RETURN_IF_ERROR(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(buf_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> U64() {
+    STRIP_RETURN_IF_ERROR(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(buf_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<double> Double() {
+    STRIP_ASSIGN_OR_RETURN(uint64_t bits, U64());
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+  }
+
+  Result<std::string> Bytes(size_t n) {
+    STRIP_RETURN_IF_ERROR(Need(n));
+    std::string s(buf_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  Status Need(size_t n) {
+    if (pos_ + n > buf_.size()) {
+      return Status::InvalidArgument(StrFormat(
+          "wire record truncated at offset %zu (need %zu bytes, have %zu)",
+          pos_, n, buf_.size() - pos_));
+    }
+    return Status::OK();
+  }
+
+  std::string_view buf_;
+  size_t pos_;
+};
+
+}  // namespace
+
+void AppendFeedRecord(const FeedRecord& rec, std::string* out) {
+  PutU8(kMagic, out);
+  PutU8(kWireVersion, out);
+  PutU64(static_cast<uint64_t>(rec.at), out);
+  PutU64(rec.trace.trace_id, out);
+  PutU64(rec.trace.span_id, out);
+  PutU64(rec.trace.parent_span_id, out);
+  PutU32(static_cast<uint32_t>(rec.values.size()), out);
+  for (const Value& v : rec.values) {
+    PutU8(static_cast<uint8_t>(v.type()), out);
+    switch (v.type()) {
+      case ValueType::kNull:
+        break;
+      case ValueType::kInt:
+        PutU64(static_cast<uint64_t>(v.as_int()), out);
+        break;
+      case ValueType::kDouble:
+        PutDouble(v.as_double(), out);
+        break;
+      case ValueType::kString:
+        PutU32(static_cast<uint32_t>(v.as_string().size()), out);
+        out->append(v.as_string());
+        break;
+    }
+  }
+}
+
+std::string EncodeFeedRecord(const FeedRecord& rec) {
+  std::string out;
+  AppendFeedRecord(rec, &out);
+  return out;
+}
+
+Result<FeedRecord> DecodeFeedRecord(std::string_view buf, size_t* offset) {
+  Reader r(buf, *offset);
+  STRIP_ASSIGN_OR_RETURN(uint8_t magic, r.U8());
+  if (magic != kMagic) {
+    return Status::InvalidArgument(StrFormat(
+        "bad wire magic 0x%02x at offset %zu", magic, *offset));
+  }
+  STRIP_ASSIGN_OR_RETURN(uint8_t version, r.U8());
+  if (version != kWireVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "unsupported wire version %u (expected %u)", version, kWireVersion));
+  }
+  FeedRecord rec;
+  STRIP_ASSIGN_OR_RETURN(uint64_t at, r.U64());
+  rec.at = static_cast<Timestamp>(at);
+  STRIP_ASSIGN_OR_RETURN(rec.trace.trace_id, r.U64());
+  STRIP_ASSIGN_OR_RETURN(rec.trace.span_id, r.U64());
+  STRIP_ASSIGN_OR_RETURN(rec.trace.parent_span_id, r.U64());
+  STRIP_ASSIGN_OR_RETURN(uint32_t count, r.U32());
+  rec.values.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    STRIP_ASSIGN_OR_RETURN(uint8_t tag, r.U8());
+    switch (static_cast<ValueType>(tag)) {
+      case ValueType::kNull:
+        rec.values.push_back(Value::Null());
+        break;
+      case ValueType::kInt: {
+        STRIP_ASSIGN_OR_RETURN(uint64_t v, r.U64());
+        rec.values.push_back(Value::Int(static_cast<int64_t>(v)));
+        break;
+      }
+      case ValueType::kDouble: {
+        STRIP_ASSIGN_OR_RETURN(double d, r.Double());
+        rec.values.push_back(Value::Double(d));
+        break;
+      }
+      case ValueType::kString: {
+        STRIP_ASSIGN_OR_RETURN(uint32_t len, r.U32());
+        STRIP_ASSIGN_OR_RETURN(std::string s, r.Bytes(len));
+        rec.values.push_back(Value::Str(std::move(s)));
+        break;
+      }
+      default:
+        return Status::InvalidArgument(StrFormat(
+            "bad wire value tag %u at offset %zu", tag, r.pos() - 1));
+    }
+  }
+  *offset = r.pos();
+  return rec;
+}
+
+Result<std::vector<FeedRecord>> DecodeFeedStream(std::string_view buf) {
+  std::vector<FeedRecord> out;
+  size_t offset = 0;
+  while (offset < buf.size()) {
+    STRIP_ASSIGN_OR_RETURN(FeedRecord rec, DecodeFeedRecord(buf, &offset));
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+}  // namespace strip

@@ -1,0 +1,50 @@
+#ifndef STRIP_FEED_WIRE_H_
+#define STRIP_FEED_WIRE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/feed/feed.h"
+
+namespace strip {
+
+/// Binary wire format for feed records: the shard-to-shard protocol of the
+/// in-process cluster (src/strip/cluster). The router serializes each
+/// record before handing it to the owning shard, and shard delta exports
+/// travel to the merge shard the same way — every hop crosses the same
+/// byte boundary a socket would, so the format (not shared pointers) is
+/// the contract between engines.
+///
+/// Layout per record, little-endian:
+///   u8  magic 'R'        u8  version (kWireVersion)
+///   i64 at               (release timestamp, receiver's clock domain)
+///   u64 trace_id         u64 span_id          u64 parent_span_id
+///   u32 value count      then per value:
+///     u8 type tag (ValueType)  payload:
+///       kNull   — none
+///       kInt    — i64
+///       kDouble — 8-byte IEEE-754 bit pattern (exact round trip)
+///       kString — u32 length + bytes
+/// Records concatenate into a stream with no framing beyond the per-record
+/// magic; decode errors name the offset so a torn stream is diagnosable.
+
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Appends the encoding of `rec` to `out`.
+void AppendFeedRecord(const FeedRecord& rec, std::string* out);
+
+/// Encodes one record.
+std::string EncodeFeedRecord(const FeedRecord& rec);
+
+/// Decodes one record starting at `buf[*offset]`; advances `*offset` past
+/// it. Fails (offset untouched) on bad magic, version, tag, or truncation.
+Result<FeedRecord> DecodeFeedRecord(std::string_view buf, size_t* offset);
+
+/// Decodes a whole stream of concatenated records.
+Result<std::vector<FeedRecord>> DecodeFeedStream(std::string_view buf);
+
+}  // namespace strip
+
+#endif  // STRIP_FEED_WIRE_H_

@@ -1,0 +1,81 @@
+#ifndef STRIP_MARKET_SHARDED_PTA_H_
+#define STRIP_MARKET_SHARDED_PTA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "strip/common/status.h"
+
+namespace strip {
+
+/// The partitioned PTA workload on the in-process cluster (DESIGN.md
+/// §2.5): stock quotes route by symbol hash across N threaded shard
+/// engines, each maintaining its partial composite-price view with tier-1
+/// rules, while the merge engine folds shipped deltas into the top-level
+/// `comp_prices`. Every quote also fires a per-shard order-submission rule
+/// whose action blocks on a simulated exchange round-trip — the stall that
+/// serializes a single engine and overlaps across shards, so firing
+/// throughput scales with the shard count even on one CPU (the same
+/// mechanism RunThreadedPta uses for worker scale-up, applied a level up).
+struct ShardedPtaOptions {
+  int num_shards = 4;
+  /// Worker-pool size of EVERY engine (each shard and the merge).
+  int num_workers = 4;
+  int num_syms = 64;
+  int num_comps = 12;
+  /// Quote updates in the measured burst phase.
+  int num_updates = 1600;
+  /// Blocking order-submission latency per firing (0 disables the stall).
+  int64_t order_latency_micros = 20000;
+  /// Batching windows of the two-tier maintenance pipeline.
+  double tier1_delay_seconds = 0.05;
+  double export_delay_seconds = 0.05;
+  double merge_delay_seconds = 0.05;
+  uint64_t seed = 42;
+  bool enable_metrics = true;
+};
+
+/// One group of the merged view, for the exact-equality guard. All prices
+/// and weights in the workload are small dyadic rationals, so SUM columns
+/// are exact in doubles and `==` across run modes is legitimate.
+struct MergedGroup {
+  std::string comp;
+  double total = 0;
+  int64_t count = 0;
+};
+
+struct ShardedPtaResult {
+  int num_shards = 0;
+  int num_workers = 0;
+  uint64_t num_records = 0;  // routed records, all three phases
+  uint64_t num_firings = 0;  // order submissions in the burst phase
+  double wall_seconds = 0;   // burst submit -> cluster quiescent
+  double firing_window_seconds = 0;  // first order start -> last finish
+  double firings_per_second = 0;
+  uint64_t deltas_shipped = 0;
+  uint64_t staging_failed = 0;  // shipments dropped (must be 0)
+  uint64_t wait_die_aborts = 0;  // summed across engines
+  /// Final merged `comp_prices` (comp, total, _count), sorted by comp.
+  std::vector<MergedGroup> merged_view;
+  std::string metrics_json;  // Cluster::MetricsJson() (or "{}")
+};
+
+/// Runs the three-phase workload (seed inserts, measured quote burst,
+/// deterministic closing quotes) on a threaded cluster and returns the
+/// throughput numbers plus the final merged view.
+Result<ShardedPtaResult> RunShardedPta(const ShardedPtaOptions& options);
+
+/// Replays the identical record stream through ONE simulated engine with a
+/// plain tier-1 maintained view — the reference for the equality guard.
+Result<std::vector<MergedGroup>> RunSingleEnginePta(
+    const ShardedPtaOptions& options);
+
+/// Exact comparison of a cluster-merged view against the single-engine
+/// reference; Internal error naming the first mismatch.
+Status CompareMergedViews(const std::vector<MergedGroup>& merged,
+                          const std::vector<MergedGroup>& reference);
+
+}  // namespace strip
+
+#endif  // STRIP_MARKET_SHARDED_PTA_H_

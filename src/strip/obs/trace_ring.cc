@@ -80,7 +80,8 @@ std::vector<TraceEvent> TraceRing::Snapshot() const {
   return out;
 }
 
-std::string TraceRing::ToChromeJson() const {
+std::string TraceRing::ToChromeJson(int pid, const std::string& process_name,
+                                    bool bare) const {
   std::vector<TraceEvent> events = Snapshot();
 
   // Pair starts with finishes per task id to form complete slices; a start
@@ -108,9 +109,24 @@ std::string TraceRing::ToChromeJson() const {
   }
 
   JsonWriter w;
-  w.BeginObject();
-  w.Key("displayTimeUnit").String("ms");
-  w.Key("traceEvents").BeginArray();
+  if (!bare) {
+    w.BeginObject();
+    w.Key("displayTimeUnit").String("ms");
+    w.Key("traceEvents").BeginArray();
+  } else {
+    w.BeginArray();
+  }
+  if (!process_name.empty()) {
+    // Metadata event naming the pid's lane in the viewer.
+    w.BeginObject();
+    w.Key("name").String("process_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Int(pid);
+    w.Key("args").BeginObject();
+    w.Key("name").String(process_name);
+    w.EndObject();
+    w.EndObject();
+  }
   for (const Slice& s : slices) {
     const TraceEvent& e = events[s.start_idx];
     w.BeginObject();
@@ -119,7 +135,7 @@ std::string TraceRing::ToChromeJson() const {
     w.Key("ph").String("X");
     w.Key("ts").Int(e.ts);
     w.Key("dur").Int(s.dur < 1 ? 1 : s.dur);
-    w.Key("pid").Int(1);
+    w.Key("pid").Int(pid);
     w.Key("tid").Uint(e.id);
     w.Key("args").BeginObject();
     w.Key("id").Uint(e.id);
@@ -141,7 +157,7 @@ std::string TraceRing::ToChromeJson() const {
     w.Key("cat").String("lifecycle");
     w.Key("ph").String("i");
     w.Key("ts").Int(e.ts);
-    w.Key("pid").Int(1);
+    w.Key("pid").Int(pid);
     w.Key("tid").Uint(e.id);
     w.Key("s").String("t");
     w.Key("args").BeginObject();
@@ -152,7 +168,7 @@ std::string TraceRing::ToChromeJson() const {
     w.EndObject();
   }
   w.EndArray();
-  w.EndObject();
+  if (!bare) w.EndObject();
   return w.str();
 }
 

@@ -70,7 +70,15 @@ class TraceRing {
   /// become complete ("X") slices on one track per task; the remaining
   /// lifecycle points become instant ("i") events. Load via
   /// chrome://tracing or https://ui.perfetto.dev.
-  std::string ToChromeJson() const;
+  ///
+  /// `pid` / `process_name` label the track: the cluster exports each
+  /// engine's ring under its own process ("shard0".."shardN", "merge") so a
+  /// routed record's causal trace reads across engine lanes. Pass
+  /// `bare = true` to emit only the event array items (no enclosing
+  /// document), letting the cluster splice several rings into one file.
+  std::string ToChromeJson(int pid = 1,
+                           const std::string& process_name = "",
+                           bool bare = false) const;
 
   /// Monotonic process wall clock shared by every ring (micros since the
   /// first use in the process).

@@ -165,4 +165,39 @@ std::vector<GroupDelta> FoldGroupDeltas(std::vector<GroupDelta> rows) {
   return out;
 }
 
+std::vector<Value> EncodeGroupDeltaRow(const GroupDelta& delta, int64_t seq) {
+  std::vector<Value> row;
+  row.reserve(delta.sums.size() + 4);
+  row.push_back(Value::Int(seq));
+  row.push_back(delta.key);
+  for (double s : delta.sums) row.push_back(Value::Double(s));
+  row.push_back(Value::Int(delta.count));
+  row.push_back(Value::Int(delta.change_time));
+  return row;
+}
+
+Result<GroupDelta> DecodeGroupDeltaRow(const std::vector<Value>& row) {
+  if (row.size() < 4) {
+    return Status::InvalidArgument("group-delta row too short");
+  }
+  GroupDelta d;
+  d.key = row[1];
+  d.sums.reserve(row.size() - 4);
+  for (size_t i = 2; i + 2 < row.size(); ++i) {
+    if (!row[i].is_numeric()) {
+      return Status::InvalidArgument("group-delta sum slot is not numeric");
+    }
+    d.sums.push_back(row[i].as_double());
+  }
+  const Value& cnt = row[row.size() - 2];
+  const Value& ct = row[row.size() - 1];
+  if (cnt.type() != ValueType::kInt || ct.type() != ValueType::kInt) {
+    return Status::InvalidArgument(
+        "group-delta count / change-time slots must be integers");
+  }
+  d.count = cnt.as_int();
+  d.change_time = ct.as_int();
+  return d;
+}
+
 }  // namespace strip

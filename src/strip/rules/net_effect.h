@@ -61,6 +61,23 @@ struct GroupDelta {
 /// hash and compare as Values directly — no string round trip per row.
 std::vector<GroupDelta> FoldGroupDeltas(std::vector<GroupDelta> rows);
 
+/// Row layout of a group delta crossing the shard boundary (the cluster's
+/// two-tier maintenance, DESIGN.md §2.5): deltas are ALWAYS folded with
+/// FoldGroupDeltas before encoding — the shard ships one net delta per
+/// group per export window, never raw contributions — then travel as feed
+/// records into the merge shard's staging table:
+///
+///   [_seq int, key, sum0 double, ..., sumK double, _cnt int, _ct int]
+///
+/// `seq` is a cluster-unique sequence number (shard id in the high bits)
+/// making every staged row a fresh insert; `_ct` carries the delta's
+/// change_time so commit staleness survives the hop (-1 = unknown).
+std::vector<Value> EncodeGroupDeltaRow(const GroupDelta& delta, int64_t seq);
+
+/// Inverse of EncodeGroupDeltaRow (the sum count is derived from the row
+/// arity). Fails on rows too short or with non-numeric slots.
+Result<GroupDelta> DecodeGroupDeltaRow(const std::vector<Value>& row);
+
 }  // namespace strip
 
 #endif  // STRIP_RULES_NET_EFFECT_H_

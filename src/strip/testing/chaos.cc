@@ -5,6 +5,9 @@
 #include <utility>
 #include <vector>
 
+#include <map>
+
+#include "strip/cluster/cluster.h"
 #include "strip/common/string_util.h"
 #include "strip/engine/database.h"
 #include "strip/obs/flight_recorder.h"
@@ -477,6 +480,318 @@ ChaosReport RunChaos(const ChaosOptions& options) {
   sim->set_task_observer(nullptr);
   sim->set_fault_injector(nullptr);
   db.locks().set_fault_injector(nullptr);
+
+  report.ok = report.failure.empty();
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Sharded-cluster chaos: invariant (g)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Invariant (g): the merge engine's composite view must exactly equal a
+/// from-scratch recompute over the UNION of the shard base tables. The
+/// recompute never reads maintained state — it re-joins each shard's base
+/// against its (replicated) sectors dimension and aggregates in plain
+/// C++ — so agreement means the whole two-tier pipeline (tier-1 partials,
+/// folded shipments, merge application) preserved the data, not that two
+/// maintained copies drifted together. Weights are 0.5 and prices
+/// integral, so every comparison is exact.
+Status CheckClusterComposite(Cluster& cluster) {
+  struct Agg {
+    double total = 0.0;
+    int64_t count = 0;
+  };
+  std::map<std::string, Agg> want;
+  for (int i = 0; i < cluster.num_shards(); ++i) {
+    Result<ResultSet> pairs = cluster.shard(i).Execute(
+        "select sec, base.price, w from base, sectors "
+        "where base.sym = sectors.sym");
+    STRIP_RETURN_IF_ERROR(pairs.status());
+    for (const std::vector<Value>& row : pairs->rows) {
+      Agg& a = want[row[0].as_string()];
+      a.total += row[1].as_double() * row[2].as_double();
+      ++a.count;
+    }
+  }
+
+  Result<ResultSet> got = cluster.merge().Execute(
+      "select sec, total, _count from chaos_view order by sec");
+  STRIP_RETURN_IF_ERROR(got.status());
+  if (got->num_rows() != want.size()) {
+    return Status::Internal(StrFormat(
+        "invariant g: merged view has %zu groups but the shard union "
+        "recomputes %zu",
+        got->num_rows(), want.size()));
+  }
+  auto it = want.begin();
+  for (size_t i = 0; i < got->num_rows(); ++i, ++it) {
+    const std::string sec = got->rows[i][0].as_string();
+    if (sec != it->first) {
+      return Status::Internal(StrFormat(
+          "invariant g: merged group '%s' but recompute says '%s'",
+          sec.c_str(), it->first.c_str()));
+    }
+    double total = got->rows[i][1].as_double();
+    int64_t count = got->rows[i][2].as_int();
+    if (total != it->second.total || count != it->second.count) {
+      // Split the failure between the tiers: the per-shard partial rows
+      // for this group (tier 1) versus what the shipments made of them
+      // (tier 2), plus the staging importer's delivery counters — a
+      // `failed` shipment is a delta lost in flight.
+      std::string detail;
+      double fold_total = 0.0;
+      int64_t fold_count = 0;
+      for (int s = 0; s < cluster.num_shards(); ++s) {
+        Result<ResultSet> part = cluster.shard(s).Execute(
+            StrFormat("select total, _count from chaos_view "
+                      "where sec = '%s'",
+                      sec.c_str()));
+        if (!part.ok()) continue;
+        for (const std::vector<Value>& row : part->rows) {
+          detail += StrFormat(" shard%d=(%.4f,%lld)", s,
+                              row[0].as_double(),
+                              static_cast<long long>(row[1].as_int()));
+          fold_total += row[0].as_double();
+          fold_count += row[1].as_int();
+        }
+      }
+      const FeedImporter* staging = cluster.staging_importer("chaos_view");
+      if (staging != nullptr) {
+        detail += StrFormat(
+            " staging submitted=%llu applied=%llu failed=%llu",
+            static_cast<unsigned long long>(staging->records_submitted()),
+            static_cast<unsigned long long>(staging->records_applied()),
+            static_cast<unsigned long long>(staging->records_failed()));
+      }
+      return Status::Internal(StrFormat(
+          "invariant g: merged('%s') = (%.4f, %lld) but shard-union "
+          "recompute says (%.4f, %lld); partials fold to (%.4f, %lld):%s",
+          sec.c_str(), total, static_cast<long long>(count),
+          it->second.total, static_cast<long long>(it->second.count),
+          fold_total, static_cast<long long>(fold_count), detail.c_str()));
+    }
+  }
+
+  // Every staged delta must have been consumed and deleted by the merge
+  // rule — residue means a shipment was applied twice or never.
+  Result<ResultSet> staged =
+      cluster.merge().Execute("select _seq from chaos_view_deltas");
+  STRIP_RETURN_IF_ERROR(staged.status());
+  if (staged->num_rows() != 0) {
+    return Status::Internal(StrFormat(
+        "invariant g: %zu staged deltas left at quiescence",
+        staged->num_rows()));
+  }
+  return Status::OK();
+}
+
+Status SetUpClusterWorkload(Cluster& cluster, const ChaosOptions& o) {
+  STRIP_RETURN_IF_ERROR(cluster.ExecuteOnShards(R"(
+    create table base (sym string, price double, ver int);
+    create index on base (sym);
+    create table sectors (sym string, sec string, w double);
+    create index on sectors (sym);
+  )"));
+  // The dimension is replicated: every shard can resolve any symbol's
+  // sector locally, so a routed fact row never needs a cross-shard probe.
+  std::string dims;
+  for (int i = 0; i < o.num_syms; ++i) {
+    dims += StrFormat("insert into sectors values ('%s', 'SEC%d', 0.5);\n",
+                      SymName(i).c_str(), i % 3);
+  }
+  STRIP_RETURN_IF_ERROR(cluster.ExecuteOnShards(dims));
+  STRIP_RETURN_IF_ERROR(cluster.ExecuteOnShards(R"(
+    create materialized view chaos_view as
+      select sec, sum(base.price * w) as total
+      from base, sectors
+      where base.sym = sectors.sym
+      group by sec;
+    create index on chaos_view (sec);
+  )"));
+
+  Cluster::TwoTierOptions tt;
+  tt.tier1.delay_seconds = o.view_delay_seconds;
+  tt.export_delay_seconds = o.view_delay_seconds;
+  tt.merge_delay_seconds = o.view_delay_seconds;
+  return cluster.ConnectTwoTier("chaos_view", "base", tt);
+}
+
+}  // namespace
+
+ChaosReport RunClusterChaos(const ChaosOptions& options, int num_shards) {
+  ChaosReport report;
+
+  ClusterOptions copts;
+  copts.num_shards = num_shards < 1 ? 1 : num_shards;
+  copts.shard.mode = ExecutorMode::kSimulated;
+  copts.shard.policy = options.policy;
+  copts.shard.advance_clock_by_cost = true;
+  copts.merge = copts.shard;
+  Cluster cluster(copts);
+
+  const int engines = cluster.num_shards() + 1;  // shards + merge
+  auto engine = [&](int i) -> Database& {
+    return i < cluster.num_shards() ? cluster.shard(i) : cluster.merge();
+  };
+  auto engine_name = [&](int i) -> std::string {
+    return i < cluster.num_shards() ? StrFormat("shard%d", i)
+                                    : std::string("merge");
+  };
+
+  auto fail = [&](const Status& st, const std::string& where) {
+    if (!report.failure.empty()) return;
+    report.failure = StrFormat("[seed %llu, step %llu, %s] %s",
+                               static_cast<unsigned long long>(options.seed),
+                               static_cast<unsigned long long>(report.steps),
+                               where.c_str(), st.ToString().c_str());
+    // The merge engine is where invariant (g) failures land; its ring and
+    // metrics are the most useful black box for a cluster failure.
+    if (!options.flight_record_path.empty()) {
+      Status wrote = WriteFlightRecord(
+          options.flight_record_path, report.failure, /*verdict_json=*/"",
+          cluster.merge().trace_ring(), cluster.merge().metrics());
+      if (!wrote.ok()) {
+        report.failure += StrFormat(" (flight record failed: %s)",
+                                    wrote.ToString().c_str());
+      }
+    }
+  };
+
+  Status setup = SetUpClusterWorkload(cluster, options);
+  if (!setup.ok()) {
+    fail(setup, "setup");
+    return report;
+  }
+  Result<FeedRouter*> router = cluster.OpenFeed("base");
+  if (!router.ok()) {
+    fail(router.status(), "setup");
+    return report;
+  }
+
+  // One injector per engine, each drawing from its own seed stream —
+  // faults on one shard must not shift another shard's draws.
+  std::vector<std::unique_ptr<FaultInjector>> injectors;
+  std::vector<InvariantChecker> checkers;
+  checkers.reserve(static_cast<size_t>(engines));
+  for (int i = 0; i < engines; ++i) {
+    FaultInjectorConfig c = options.faults;
+    c.seed = options.seed ^
+             (0x9e3779b97f4a7c15ull * (static_cast<uint64_t>(i) + 1));
+    injectors.push_back(std::make_unique<FaultInjector>(c));
+    engine(i).locks().set_fault_injector(injectors.back().get());
+    engine(i).simulated()->set_fault_injector(injectors.back().get());
+    checkers.emplace_back(&engine(i), options.invariants);
+    std::string name = engine_name(i);
+    engine(i).simulated()->set_task_observer(
+        [&report, &fail, name](const TaskControlBlock& t) {
+          ++report.tasks_run;
+          report.execute_order += StrFormat(
+              "%s task=%llu fn=%s rel=%lld start=%lld finish=%lld cost=%lld "
+              "rc=%d\n",
+              name.c_str(), static_cast<unsigned long long>(t.id()),
+              t.function_name.empty() ? "-" : t.function_name.c_str(),
+              static_cast<long long>(t.release_time),
+              static_cast<long long>(t.start_time),
+              static_cast<long long>(t.finish_time),
+              static_cast<long long>(t.cpu_micros),
+              static_cast<int>(t.result.code()));
+          // Feed upserts do not retry wait-die deaths; an aborted record
+          // simply never lands, which both sides of invariant (g) agree
+          // on. Anything other than a clean abort is a real failure.
+          if (!t.result.ok() && t.result.code() != StatusCode::kAborted) {
+            fail(t.result, name + " task result");
+          }
+        });
+  }
+
+  // The same perturbed feed, entering through the router: each record is
+  // wire-encoded, hash-routed by symbol, and upserted by the owning
+  // shard's importer at its release time.
+  std::vector<FeedEvent> events = MakeFeed(options);
+  report.feed_events = events.size();
+  for (const FeedEvent& e : events) {
+    FeedRecord rec;
+    rec.at = e.at;
+    rec.values = {Value::Str(SymName(e.sym)), Value::Double(e.price),
+                  Value::Int(static_cast<int64_t>(e.priority))};
+    Status st = (*router)->Route(rec);
+    if (!st.ok()) {
+      fail(st, "routing");
+      break;
+    }
+  }
+
+  // Round-robin, one virtual step per engine per pass. A shard's export
+  // firing enqueues merge work mid-pass, so the loop only exits after a
+  // full pass in which NO engine had anything to run.
+  bool planted = false;
+  bool any = true;
+  while (any && report.failure.empty()) {
+    any = false;
+    for (int i = 0; i < engines && report.failure.empty(); ++i) {
+      if (!engine(i).simulated()->RunOneStep()) continue;
+      any = true;
+      ++report.steps;
+      if (options.plant_failure_at_step > 0 && !planted &&
+          report.steps >= options.plant_failure_at_step) {
+        // A bogus group in the merged view: no delta will ever key it, so
+        // nothing repairs it and invariant (g) MUST trip at quiescence.
+        planted = true;
+        Status st = cluster.merge()
+                        .Execute("insert into chaos_view values "
+                                 "('BOGUS', 1000000.0, 1)")
+                        .status();
+        if (!st.ok()) fail(st, "planting failure");
+      }
+      if (options.check_every_step) {
+        Status st = checkers[static_cast<size_t>(i)].CheckStep();
+        if (!st.ok()) fail(st, engine_name(i) + " step invariants");
+      }
+    }
+  }
+
+  if (report.failure.empty()) {
+    // Quiescent validation runs real queries; it must not draw faults.
+    for (int i = 0; i < engines; ++i) {
+      engine(i).locks().set_fault_injector(nullptr);
+    }
+    // Per-engine quiescent suite: invariant (f) checks each shard's
+    // partial view against its local from-scratch recompute; the cross-
+    // shard shadow is invariant (g) below.
+    for (int i = 0; i < engines && report.failure.empty(); ++i) {
+      Status st = checkers[static_cast<size_t>(i)].CheckQuiescent(nullptr);
+      if (!st.ok()) fail(st, engine_name(i) + " quiescence");
+    }
+    if (report.failure.empty()) {
+      Status st = CheckClusterComposite(cluster);
+      if (!st.ok()) fail(st, "quiescence");
+    }
+  }
+
+  report.applied_updates = (*router)->total_routed();
+  report.deltas_shipped = cluster.deltas_shipped();
+  for (int i = 0; i < engines; ++i) {
+    Database& db = engine(i);
+    report.rule_tasks_created += db.rules().stats().tasks_created;
+    report.firings_merged += db.rules().stats().firings_merged;
+    report.wait_die_aborts +=
+        db.locks().stats().wait_die_aborts.load(std::memory_order_relaxed);
+    const FaultInjectionStats& fi = injectors[static_cast<size_t>(i)]->stats();
+    report.injected.lock_aborts +=
+        fi.lock_aborts.load(std::memory_order_relaxed);
+    report.injected.stalls += fi.stalls.load(std::memory_order_relaxed);
+    report.injected.extra_delays +=
+        fi.extra_delays.load(std::memory_order_relaxed);
+    report.injected.costs_assigned +=
+        fi.costs_assigned.load(std::memory_order_relaxed);
+    // Detach hooks before the cluster (and its executors) outlive them.
+    db.simulated()->set_task_observer(nullptr);
+    db.simulated()->set_fault_injector(nullptr);
+    db.locks().set_fault_injector(nullptr);
+  }
 
   report.ok = report.failure.empty();
   return report;

@@ -96,6 +96,7 @@ struct ChaosReport {
   uint64_t rule_tasks_created = 0;
   uint64_t firings_merged = 0;
   uint64_t wait_die_aborts = 0;   // injected + organic, from lock stats
+  uint64_t deltas_shipped = 0;    // cluster runs: shard->merge shipments
 
   struct InjectedCounts {
     uint64_t lock_aborts = 0;
@@ -109,6 +110,33 @@ struct ChaosReport {
 /// checks every invariant class. Never throws; failures land in
 /// `report.failure`.
 ChaosReport RunChaos(const ChaosOptions& options);
+
+/// Sharded-cluster chaos (invariant g): the same seeded perturbed feed,
+/// symbol-hash routed — over the wire format — across `num_shards`
+/// simulated shard engines that maintain per-shard partial views, with
+/// folded group deltas shipped to a merge engine's staging table
+/// (cluster/cluster.h two-tier wiring). Engines are stepped round-robin,
+/// one virtual step each, with the step-invariant suite run per engine;
+/// each engine draws from its own seed-derived fault injector. At
+/// quiescence every engine passes its per-engine quiescent checks —
+/// invariant (f) covers each shard's partial view — and invariant (g)
+/// demands the merge engine's composite view exactly equal a from-scratch
+/// recompute over the UNION of the shard base tables (weights are 0.5 and
+/// prices integral, so equality is exact), with the staging table fully
+/// consumed.
+///
+/// Differences from the single-engine run: the feed enters through
+/// FeedImporter upserts, which retry wait-die deaths under the engine's
+/// action-retry policy but can still exhaust it under injected aborts, so
+/// `kAborted` task results are tolerated (a dropped base record leaves
+/// base untouched — both sides of invariant (g) see the same state; a
+/// dropped delta shipment surfaces in the staging importer's `failed`
+/// counter, printed with any (g) mismatch); `churn_rate` and
+/// `with_maintained_view` are ignored (the composite view is always on,
+/// updates-and-inserts only); `plant_failure_at_step` plants a bogus group
+/// row in the merge engine's composite view, which nothing repairs and
+/// invariant (g) MUST catch.
+ChaosReport RunClusterChaos(const ChaosOptions& options, int num_shards);
 
 /// Greedy seed shrinker: given options whose run fails, repeatedly tries
 /// smaller feeds and disabled fault classes, keeping each change only if

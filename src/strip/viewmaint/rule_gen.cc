@@ -1,5 +1,6 @@
 #include "strip/viewmaint/rule_gen.h"
 
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -7,6 +8,7 @@
 #include <utility>
 #include <vector>
 
+#include "strip/common/logging.h"
 #include "strip/common/string_util.h"
 #include "strip/engine/database.h"
 #include "strip/engine/prepared_statement.h"
@@ -136,10 +138,15 @@ ExprPtr Product(std::vector<ExprPtr> factors) {
 // View shape analysis
 // ---------------------------------------------------------------------------
 
-/// One aggregate of the view's select list: SUM(arg) or COUNT(*).
+/// One aggregate of the view's select list: SUM(arg), AVG(arg), or
+/// COUNT(*). AVG is maintained as SUM/`_count` without storing the sum:
+/// the action recovers the group's running sum as avg * _count, folds the
+/// delta in, and writes the new quotient back (satellite of ROADMAP item
+/// 3; nearly free because both ingredients were already maintained).
 struct AggItem {
   bool is_count = false;
-  const Expr* arg = nullptr;  // SUM argument; null for COUNT(*)
+  bool is_avg = false;
+  const Expr* arg = nullptr;  // SUM/AVG argument; null for COUNT(*)
   std::string output;         // view column holding the aggregate
 };
 
@@ -149,7 +156,8 @@ struct ViewShape {
   const Expr* group_expr = nullptr;
   std::string group_output;
   std::vector<AggItem> aggs;
-  size_t num_sums = 0;  // aggs that are SUMs (carry a delta column)
+  size_t num_sums = 0;  // aggs carrying a delta column (SUM and AVG)
+  bool has_avg = false;
   // Projection: SELECT k AS kname, e1 AS c1, ... (first item = key).
   const Expr* key_expr = nullptr;
   std::string key_output;
@@ -175,15 +183,19 @@ Result<ViewShape> AnalyzeView(const ViewDef& view) {
       std::string name = q.items[i].OutputName(static_cast<int>(i));
       if (e.kind == ExprKind::kAggregate) {
         if (e.func_name == "sum" && e.args.size() == 1) {
-          shape.aggs.push_back(AggItem{false, e.args[0].get(), name});
+          shape.aggs.push_back(AggItem{false, false, e.args[0].get(), name});
           ++shape.num_sums;
+        } else if (e.func_name == "avg" && e.args.size() == 1) {
+          shape.aggs.push_back(AggItem{false, true, e.args[0].get(), name});
+          ++shape.num_sums;
+          shape.has_avg = true;
         } else if (e.func_name == "count" && e.star_arg) {
-          shape.aggs.push_back(AggItem{true, nullptr, name});
+          shape.aggs.push_back(AggItem{true, false, nullptr, name});
         } else {
           return Status::Unimplemented(StrFormat(
               "aggregate '%s' cannot be maintained from deltas (only "
-              "SUM(expr) and COUNT(*): MIN/MAX/AVG need the group's rows "
-              "under deletes)",
+              "SUM(expr), AVG(expr), and COUNT(*): MIN/MAX need the "
+              "group's rows under deletes)",
               e.func_name.c_str()));
         }
       } else if (!e.ContainsAggregate()) {
@@ -326,11 +338,16 @@ AggStrategy ChooseStrategy(const ViewDef& view, const ViewShape& shape,
 /// firings execute frozen plans with parameter bindings only.
 struct AggPlan {
   std::vector<bool> item_is_count;  // per view aggregate, select order
+  std::vector<bool> item_is_avg;    // parallel to item_is_count
+  bool has_avg = false;
   PreparedStatementPtr update;      // UPDATE view SET a += ?,... WHERE g = ?
   PreparedStatementPtr upsert;      // INSERT for groups absent from the view
   PreparedStatementPtr count_check;  // SELECT _count FROM view WHERE g = ?
   PreparedStatementPtr erase;    // DELETE ... WHERE g = ? AND _count <= 0
   PreparedStatementPtr probe;    // dim probe by join key (kDimProbe only)
+  /// AVG views: SELECT _count, <avg columns> FROM view WHERE g = ? — the
+  /// running state the quotient update is computed from.
+  PreparedStatementPtr avg_read;
   bool track_count = false;
   /// Every function maintaining this view; the erase sweep runs only when
   /// none of them has queued work.
@@ -355,14 +372,47 @@ Status ApplyGroup(FunctionContext& ctx, AggPlan& plan, const Value& group,
     all_zero = sums[i] == 0.0;
   }
   if (all_zero) return Status::OK();
+  // AVG columns store the quotient, not a delta, so the update needs the
+  // group's current (count, avg) state: new avg = (avg * count +
+  // delta_sum) / (count + delta_count). The read shares the action
+  // transaction's locks, so the state cannot move under the update.
+  int64_t cur_count = 0;
+  std::vector<double> cur_avgs;  // per AVG item, select order
+  if (plan.has_avg) {
+    STRIP_ASSIGN_OR_RETURN(TempTable cur, ctx.Query(*plan.avg_read, {group}));
+    if (cur.size() == 1) {
+      cur_count = cur.Get(0, 0).as_int();
+      for (int c = 1; c < cur.schema().num_columns(); ++c) {
+        cur_avgs.push_back(cur.Get(0, c).as_double());
+      }
+    }
+  }
   // Parameter order matches the generated texts: per-item deltas left to
   // right, then the hidden count delta, then the group key.
   std::vector<Value> upd_params;
   upd_params.reserve(plan.item_is_count.size() + 2);
   size_t s = 0;
-  for (bool is_count : plan.item_is_count) {
-    upd_params.push_back(is_count ? Value::Int(cnt)
-                                  : Value::Double(sums[s++]));
+  size_t a = 0;
+  for (size_t i = 0; i < plan.item_is_count.size(); ++i) {
+    if (plan.item_is_count[i]) {
+      upd_params.push_back(Value::Int(cnt));
+      continue;
+    }
+    double delta = sums[s++];
+    if (plan.item_is_avg[i]) {
+      // A missing row reads as (count 0, avg 0): the quotient below is
+      // then delta/cnt, which is exactly the value the upsert must seed.
+      double cur_avg = a < cur_avgs.size() ? cur_avgs[a] : 0.0;
+      ++a;
+      int64_t new_count = cur_count + cnt;
+      double quotient = new_count > 0
+          ? (cur_avg * static_cast<double>(cur_count) + delta) /
+                static_cast<double>(new_count)
+          : 0.0;  // emptied group; the zero-count sweep erases the row
+      upd_params.push_back(Value::Double(quotient));
+    } else {
+      upd_params.push_back(Value::Double(delta));
+    }
   }
   if (plan.track_count) upd_params.push_back(Value::Int(cnt));
   upd_params.push_back(group);
@@ -583,10 +633,22 @@ std::string UpdateText(const std::string& view, const ViewShape& shape,
   std::string sql = "update " + view + " set ";
   for (size_t i = 0; i < shape.aggs.size(); ++i) {
     if (i > 0) sql += ", ";
-    sql += shape.aggs[i].output + " += ?";
+    // SUM/COUNT columns take a delta; AVG columns take the recomputed
+    // quotient as an absolute value (see ApplyGroup).
+    sql += shape.aggs[i].output + (shape.aggs[i].is_avg ? " = ?" : " += ?");
   }
   if (track_count) sql += ", _count += ?";
   sql += " where " + shape.group_output + " = ?";
+  return sql;
+}
+
+/// `select _count, a1, ... from <view> where g = ?` (AVG columns only).
+std::string AvgReadText(const std::string& view, const ViewShape& shape) {
+  std::string sql = "select _count";
+  for (const AggItem& item : shape.aggs) {
+    if (item.is_avg) sql += ", " + item.output;
+  }
+  sql += " from " + view + " where " + shape.group_output + " = ?";
   return sql;
 }
 
@@ -619,6 +681,46 @@ std::string ProbeText(const ViewShape& shape, const ProbeParts& probe) {
     sql += " and " + c->ToString();
   }
   return sql;
+}
+
+// ---------------------------------------------------------------------------
+// Dimension-change fallback
+// ---------------------------------------------------------------------------
+
+/// Installs one coarse rule per dimension table whose action falls back to
+/// a from-scratch recompute of the view. The counter + warning make the
+/// known dim-side gap of the delta rules observable instead of silent.
+Status InstallDimFallback(Database& db, const std::string& view_name,
+                          const std::vector<TableRef>& dims,
+                          const RuleGenOptions& options, GeneratedRule& out) {
+  if (!options.dim_change_fallback || dims.empty()) return Status::OK();
+  std::string fn = "dim_refresh_" + view_name;
+  STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+      fn, [view_name](FunctionContext& ctx) -> Status {
+        ctx.db().metrics().counter("viewmaint.dim_fallback_recompute")->Add();
+        STRIP_LOG(WARN,
+                  "dimension change hit the recompute fallback for view "
+                  "'%s' (generated delta rules cover fact-table changes "
+                  "only)",
+                  view_name.c_str());
+        return ctx.db().views().RefreshView(view_name);
+      }));
+  for (const TableRef& dim : dims) {
+    CreateRuleStmt rule;
+    rule.rule_name = "dim_fallback_" + view_name + "_" + ToLower(dim.table);
+    std::string rule_name = rule.rule_name;
+    rule.table = ToLower(dim.table);
+    rule.events = {RuleEvent{RuleEventKind::kInserted, {}},
+                   RuleEvent{RuleEventKind::kDeleted, {}},
+                   RuleEvent{RuleEventKind::kUpdated, {}}};
+    rule.function_name = fn;
+    // One recompute per delay window, however much dim churn it batches.
+    rule.unique = true;
+    rule.delay_seconds = options.delay_seconds;
+    STRIP_RETURN_IF_ERROR(db.rules().CreateRule(std::move(rule)));
+    out.extra_rule_names.push_back(std::move(rule_name));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -676,9 +778,16 @@ Result<GeneratedRule> GenerateMaintenanceRule(Database& db,
                    : strategy == AggStrategy::kDimProbe ? "dim-probe"
                                                         : "join-in-condition";
 
-    // Hidden count: only useful when deletes are maintained at all.
+    // Hidden count: needed when deletes are maintained — and always by
+    // AVG, whose quotient update divides by the group's membership.
+    if (shape.has_avg && !options.track_group_count) {
+      return Status::InvalidArgument(
+          "AVG maintenance requires track_group_count (the quotient is "
+          "recovered from the hidden per-group _count)");
+    }
     bool track_count =
-        options.track_group_count && options.handle_insert_delete;
+        options.track_group_count &&
+        (options.handle_insert_delete || shape.has_avg);
     if (track_count) {
       for (const AggItem& item : shape.aggs) {
         if (item.output == "_count") {
@@ -691,11 +800,17 @@ Result<GeneratedRule> GenerateMaintenanceRule(Database& db,
 
     auto plan = std::make_shared<AggPlan>();
     plan->track_count = track_count;
+    plan->has_avg = shape.has_avg;
     for (const AggItem& item : shape.aggs) {
       plan->item_is_count.push_back(item.is_count);
+      plan->item_is_avg.push_back(item.is_avg);
     }
     STRIP_ASSIGN_OR_RETURN(
         plan->update, db.Prepare(UpdateText(view_name, shape, track_count)));
+    if (shape.has_avg) {
+      STRIP_ASSIGN_OR_RETURN(plan->avg_read,
+                             db.Prepare(AvgReadText(view_name, shape)));
+    }
     if (options.handle_insert_delete) {
       STRIP_ASSIGN_OR_RETURN(
           plan->upsert, db.Prepare(UpsertText(view_name, shape, track_count)));
@@ -901,6 +1016,8 @@ Result<GeneratedRule> GenerateMaintenanceRule(Database& db,
       }
       STRIP_RETURN_IF_ERROR(db.rules().CreateRule(std::move(rule)));
     }
+    STRIP_RETURN_IF_ERROR(
+        InstallDimFallback(db, view_name, dims, options, out));
     STRIP_RETURN_IF_ERROR(db.views().MarkMaintained(view_name));
     return out;
   }
@@ -983,7 +1100,407 @@ Result<GeneratedRule> GenerateMaintenanceRule(Database& db,
       options.delay_seconds);
 
   STRIP_RETURN_IF_ERROR(db.rules().CreateRule(std::move(rule)));
+  STRIP_RETURN_IF_ERROR(InstallDimFallback(db, view_name, dims, options, out));
   STRIP_RETURN_IF_ERROR(db.views().MarkMaintained(view_name));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Two-tier maintenance: shard delta export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared state of the three export action functions of one partial view.
+struct ExportPlan {
+  ShardDeltaSink sink;
+  uint64_t shard_bits = 0;  // shard id << 48, high bits of every _seq
+  std::atomic<uint64_t> next_seq{1};
+};
+
+/// Parses a generated SELECT text into a rule condition query.
+Result<SelectStmt> ParseSelectText(const std::string& sql) {
+  STRIP_ASSIGN_OR_RETURN(Statement stmt, Parser::ParseStatement(sql));
+  if (!std::holds_alternative<SelectStmt>(stmt)) {
+    return Status::Internal("generated text is not a SELECT");
+  }
+  return std::get<SelectStmt>(std::move(stmt));
+}
+
+/// The export action: net the window's view-table changes to one delta
+/// per group (the fold REQUIRED before anything crosses the shard
+/// boundary), then hand each to the sink as a staging-layout feed record
+/// tracing back to this firing.
+UserFunction MakeDeltaExporter(std::shared_ptr<ExportPlan> plan,
+                               std::string bound_name, size_t num_sums) {
+  return [plan, bound_name, num_sums](FunctionContext& ctx) -> Status {
+    const TempTable* rows = ctx.BoundTable(bound_name);
+    if (rows == nullptr) {
+      return Status::NotFound(
+          StrFormat("bound table '%s' missing", bound_name.c_str()));
+    }
+    const Schema& s = rows->schema();
+    int key_col = s.FindColumn("_key");
+    int cnt_col = s.FindColumn("_dc");
+    std::vector<int> sum_cols;
+    for (size_t i = 0; i < num_sums; ++i) {
+      sum_cols.push_back(s.FindColumn(StrFormat("_d%zu", i)));
+    }
+    bool missing = key_col < 0 || cnt_col < 0;
+    for (int c : sum_cols) missing = missing || c < 0;
+    if (missing) {
+      return Status::Internal("generated export bound table misses columns");
+    }
+
+    TaskControlBlock& tcb = ctx.task();
+    std::vector<GroupDelta> contrib;
+    contrib.reserve(rows->size());
+    for (size_t i = 0; i < rows->size(); ++i) {
+      GroupDelta d;
+      d.key = rows->Get(i, key_col);
+      for (int c : sum_cols) d.sums.push_back(rows->Get(i, c).as_double());
+      d.count = rows->Get(i, cnt_col).as_int();
+      d.change_time = tcb.oldest_change_time;
+      contrib.push_back(std::move(d));
+    }
+    const size_t contributions = contrib.size();
+    std::vector<GroupDelta> folded = FoldGroupDeltas(std::move(contrib));
+    tcb.deltas_folded += contributions - folded.size();
+
+    for (const GroupDelta& d : folded) {
+      bool all_zero = d.count == 0;
+      for (size_t i = 0; all_zero && i < d.sums.size(); ++i) {
+        all_zero = d.sums[i] == 0.0;
+      }
+      if (all_zero) continue;
+      uint64_t seq =
+          plan->shard_bits |
+          plan->next_seq.fetch_add(1, std::memory_order_relaxed);
+      FeedRecord rec;
+      rec.at = 0;  // release immediately on the merge engine's clock
+      rec.values = EncodeGroupDeltaRow(d, static_cast<int64_t>(seq));
+      // The shipped record continues this firing's trace, so the merge
+      // commit chains back through the shard firing to the router root.
+      rec.trace = ChildOf(tcb.trace);
+      STRIP_RETURN_IF_ERROR(plan->sink(rec));
+    }
+    return Status::OK();
+  };
+}
+
+}  // namespace
+
+Result<ShardExportSpec> GenerateShardDeltaExport(
+    Database& db, const std::string& view_name,
+    const ShardExportOptions& options, ShardDeltaSink sink) {
+  const ViewDef* view = db.views().Find(view_name);
+  if (view == nullptr) {
+    return Status::NotFound(StrFormat("no view '%s'", view_name.c_str()));
+  }
+  if (!view->maintained || !view->hidden_count) {
+    return Status::FailedPrecondition(StrFormat(
+        "view '%s' must be maintained with the hidden _count before its "
+        "deltas can be exported",
+        view_name.c_str()));
+  }
+  STRIP_ASSIGN_OR_RETURN(ViewShape shape, AnalyzeView(*view));
+  if (!shape.is_aggregation) {
+    return Status::Unimplemented(
+        "delta export covers aggregation views only");
+  }
+  for (const AggItem& item : shape.aggs) {
+    if (item.is_avg || item.is_count) {
+      return Status::Unimplemented(
+          "partial views for two-tier maintenance must be pure SUM "
+          "aggregates over the hidden _count (AVG quotients and COUNT "
+          "columns do not ship as deltas; derive them on the merge side)");
+    }
+  }
+
+  auto plan = std::make_shared<ExportPlan>();
+  plan->sink = std::move(sink);
+  plan->shard_bits = static_cast<uint64_t>(options.shard_id) << 48;
+
+  // Delta columns of the partial view, in select order.
+  std::vector<std::string> sum_cols;
+  for (const AggItem& item : shape.aggs) sum_cols.push_back(item.output);
+  const std::string& g = shape.group_output;
+
+  // Per event kind, the netting query over the view table's transition
+  // tables: _key, _d<i> (per SUM column), _dc (hidden count).
+  struct ExportSpecRow {
+    const char* suffix;
+    RuleEventKind event;
+    std::string query;
+  };
+  std::string upd = "select new." + g + " as _key";
+  std::string ins = "select " + g + " as _key";
+  std::string del = "select " + g + " as _key";
+  for (size_t i = 0; i < sum_cols.size(); ++i) {
+    upd += StrFormat(", new.%s - old.%s as _d%zu", sum_cols[i].c_str(),
+                     sum_cols[i].c_str(), i);
+    ins += StrFormat(", %s as _d%zu", sum_cols[i].c_str(), i);
+    del += StrFormat(", 0 - %s as _d%zu", sum_cols[i].c_str(), i);
+  }
+  upd += ", new._count - old._count as _dc from new, old "
+         "where new.execute_order = old.execute_order";
+  ins += ", _count as _dc from inserted";
+  del += ", 0 - _count as _dc from deleted";
+  std::vector<ExportSpecRow> specs = {
+      {"_upd", RuleEventKind::kUpdated, upd},
+      {"_ins", RuleEventKind::kInserted, ins},
+      {"_del", RuleEventKind::kDeleted, del},
+  };
+
+  ShardExportSpec out;
+  for (const ExportSpecRow& spec : specs) {
+    std::string fn = "export_" + view_name + spec.suffix;
+    std::string bound = view_name + "_export" + spec.suffix;
+    STRIP_RETURN_IF_ERROR(db.RegisterFunction(
+        fn, MakeDeltaExporter(plan, bound, sum_cols.size())));
+
+    CreateRuleStmt rule;
+    rule.rule_name = "do_export_" + view_name + spec.suffix;
+    rule.table = view_name;
+    RuleEvent ev;
+    ev.kind = spec.event;
+    rule.events.push_back(std::move(ev));
+    RuleQuery rq;
+    STRIP_ASSIGN_OR_RETURN(rq.query, ParseSelectText(spec.query));
+    rq.bind_as = bound;
+    rule.condition.push_back(std::move(rq));
+    rule.function_name = fn;
+    rule.unique = true;  // one shipment per export window
+    rule.delay_seconds = options.delay_seconds;
+    out.rule_names.push_back(rule.rule_name);
+    out.function_names.push_back(fn);
+    STRIP_RETURN_IF_ERROR(db.rules().CreateRule(std::move(rule)));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Two-tier maintenance: merge rule
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared state of the merge action: frozen plans against the top-level
+/// view plus the staging cleanup statement and the deferred zero-count
+/// sweep (same contract as AggPlan's).
+struct MergePlan {
+  PreparedStatementPtr update;       // UPDATE view SET s += ?.. WHERE g = ?
+  PreparedStatementPtr insert;       // INSERT INTO view VALUES (...)
+  PreparedStatementPtr count_check;  // SELECT _count WHERE g = ?
+  PreparedStatementPtr erase;  // DELETE WHERE g = ? AND _count <= 0 AND s = 0
+  PreparedStatementPtr del_staging;  // DELETE FROM staging WHERE _seq = ?
+  std::string function_name;
+  size_t num_sums = 0;
+
+  std::mutex mu;
+  std::unordered_set<Value, ValueHash> zero_set;
+  std::vector<Value> zero_groups;
+};
+
+UserFunction MakeMergeMaintainer(std::shared_ptr<MergePlan> plan,
+                                 std::string bound_name) {
+  return [plan, bound_name](FunctionContext& ctx) -> Status {
+    const TempTable* rows = ctx.BoundTable(bound_name);
+    if (rows == nullptr) {
+      return Status::NotFound(
+          StrFormat("bound table '%s' missing", bound_name.c_str()));
+    }
+    TaskControlBlock& tcb = ctx.task();
+    std::vector<GroupDelta> staged;
+    std::vector<Value> seqs;
+    staged.reserve(rows->size());
+    seqs.reserve(rows->size());
+    for (size_t i = 0; i < rows->size(); ++i) {
+      std::vector<Value> row = rows->MaterializeRow(i);
+      seqs.push_back(row.empty() ? Value::Null() : row[0]);
+      STRIP_ASSIGN_OR_RETURN(GroupDelta d, DecodeGroupDeltaRow(row));
+      if (d.sums.size() != plan->num_sums) {
+        return Status::Internal("staged delta arity mismatch");
+      }
+      // The shipped change time survives the hop: the merge commit is
+      // judged against the oldest shard-side update it applies.
+      if (d.change_time >= 0 && (tcb.oldest_change_time < 0 ||
+                                 d.change_time < tcb.oldest_change_time)) {
+        tcb.oldest_change_time = d.change_time;
+      }
+      staged.push_back(std::move(d));
+    }
+    const size_t contributions = staged.size();
+    std::vector<GroupDelta> folded = FoldGroupDeltas(std::move(staged));
+    tcb.deltas_folded += contributions - folded.size();
+
+    for (const GroupDelta& d : folded) {
+      bool all_zero = d.count == 0;
+      for (size_t i = 0; all_zero && i < d.sums.size(); ++i) {
+        all_zero = d.sums[i] == 0.0;
+      }
+      if (all_zero) continue;
+      std::vector<Value> params;
+      params.reserve(d.sums.size() + 2);
+      for (double s : d.sums) params.push_back(Value::Double(s));
+      params.push_back(Value::Int(d.count));
+      params.push_back(d.key);
+      STRIP_ASSIGN_OR_RETURN(int n, ctx.Exec(*plan->update, params));
+      bool inserted = false;
+      if (n == 0) {
+        std::vector<Value> ins;
+        ins.reserve(params.size());
+        ins.push_back(d.key);
+        ins.insert(ins.end(), params.begin(), params.end() - 1);
+        STRIP_ASSIGN_OR_RETURN(n, ctx.Exec(*plan->insert, ins));
+        inserted = true;
+      }
+      if (n != 1) {
+        return Status::Internal(StrFormat(
+            "merge update for key '%s' touched %d rows",
+            d.key.ToString().c_str(), n));
+      }
+      // Any delta that moved _count can leave the group at or below zero:
+      // a genuine delete wave, but also an out-of-order interim — shard
+      // export rules (_ins / _upd / _del) batch in independent windows, so
+      // an update delta can reach the merge before the insert delta that
+      // logically precedes it, landing a row at count 0 with nonzero sums.
+      // Both get flagged; the sweep below tells them apart.
+      if (inserted || d.count != 0) {
+        STRIP_ASSIGN_OR_RETURN(TempTable r,
+                               ctx.Query(*plan->count_check, {d.key}));
+        if (r.size() == 1 && r.Get(0, 0).as_int() <= 0) {
+          std::lock_guard<std::mutex> lock(plan->mu);
+          if (plan->zero_set.insert(d.key).second) {
+            plan->zero_groups.push_back(d.key);
+          }
+        }
+      }
+    }
+
+    // Consumed staged rows are spent; remove them so the staging table
+    // stays O(in-flight deltas), not O(history).
+    for (const Value& seq : seqs) {
+      STRIP_ASSIGN_OR_RETURN(int n, ctx.Exec(*plan->del_staging, {seq}));
+      (void)n;
+    }
+
+    // Deferred zero-count sweep, tier-1's contract: erase only at a firing
+    // with no queued sibling merge work, re-checking the count. Unlike
+    // tier-1, the erase also demands every SUM column be exactly zero:
+    // NumQueued can only see shipments already staged HERE, not windows
+    // still batching on a shard, so a count-0 row with nonzero sums is an
+    // out-of-order interim (its insert delta is still in flight) and must
+    // survive. A truly emptied group's shipments telescope — each is a
+    // difference of stored backing values — so under exactly-representable
+    // deltas (the generator's contract; see GenerateShardDeltaExport) a
+    // dead group reaches exact zeros and the stricter predicate never
+    // strands it.
+    {
+      std::lock_guard<std::mutex> lock(plan->mu);
+      if (plan->zero_groups.empty()) return Status::OK();
+    }
+    if (ctx.db().rules().unique_manager().NumQueued(plan->function_name) >
+        0) {
+      return Status::OK();
+    }
+    std::vector<Value> groups;
+    {
+      std::lock_guard<std::mutex> lock(plan->mu);
+      groups.swap(plan->zero_groups);
+      plan->zero_set.clear();
+    }
+    for (const Value& g : groups) {
+      STRIP_ASSIGN_OR_RETURN(int n, ctx.Exec(*plan->erase, {g}));
+      (void)n;  // 0 if the group was resurrected meanwhile
+    }
+    return Status::OK();
+  };
+}
+
+}  // namespace
+
+Result<MergeRuleSpec> GenerateMergeRule(Database& db,
+                                        const std::string& view_table,
+                                        const MergeRuleOptions& options) {
+  STRIP_ASSIGN_OR_RETURN(Table * table, db.catalog().GetTable(view_table));
+  const Schema& schema = table->schema();
+  int count_col = schema.FindColumn("_count");
+  if (schema.num_columns() < 2 ||
+      count_col != schema.num_columns() - 1) {
+    return Status::InvalidArgument(StrFormat(
+        "merge view table '%s' must end in a _count column (group key "
+        "first, SUM columns between)",
+        view_table.c_str()));
+  }
+  const std::string g = schema.column(0).name;
+  std::vector<std::string> sum_cols;
+  for (int c = 1; c < count_col; ++c) sum_cols.push_back(schema.column(c).name);
+
+  MergeRuleSpec out;
+  out.staging_table = view_table + "_deltas";
+  out.function_name = "merge_" + view_table;
+  out.rule_name = "do_merge_" + view_table;
+
+  // Staging table in the EncodeGroupDeltaRow layout, keyed + indexed on
+  // _seq so the cluster's staging FeedImporter can ingest shipped records.
+  std::string ddl = "create table " + out.staging_table + " (_seq int, _g " +
+                    ValueTypeName(schema.column(0).type);
+  for (size_t i = 0; i < sum_cols.size(); ++i) {
+    ddl += StrFormat(", _s%zu double", i);
+  }
+  ddl += ", _cnt int, _ct int); create index on " + out.staging_table +
+         " (_seq);";
+  STRIP_RETURN_IF_ERROR(db.ExecuteScript(ddl));
+
+  auto plan = std::make_shared<MergePlan>();
+  plan->function_name = out.function_name;
+  plan->num_sums = sum_cols.size();
+  std::string upd = "update " + view_table + " set ";
+  for (const std::string& s : sum_cols) upd += s + " += ?, ";
+  upd += "_count += ? where " + g + " = ?";
+  STRIP_ASSIGN_OR_RETURN(plan->update, db.Prepare(upd));
+  std::string ins = "insert into " + view_table + " values (?";
+  for (size_t i = 0; i < sum_cols.size() + 1; ++i) ins += ", ?";
+  ins += ")";
+  STRIP_ASSIGN_OR_RETURN(plan->insert, db.Prepare(ins));
+  STRIP_ASSIGN_OR_RETURN(
+      plan->count_check,
+      db.Prepare("select _count from " + view_table + " where " + g + " = ?"));
+  std::string erase_sql =
+      "delete from " + view_table + " where " + g + " = ? and _count <= 0";
+  for (const std::string& s : sum_cols) erase_sql += " and " + s + " = 0.0";
+  STRIP_ASSIGN_OR_RETURN(plan->erase, db.Prepare(erase_sql));
+  STRIP_ASSIGN_OR_RETURN(
+      plan->del_staging,
+      db.Prepare("delete from " + out.staging_table + " where _seq = ?"));
+
+  std::string bound = "_merge_" + view_table;
+  STRIP_RETURN_IF_ERROR(
+      db.RegisterFunction(out.function_name,
+                          MakeMergeMaintainer(plan, bound)));
+
+  // Explicit column list (not SELECT *): the bound rows must match the
+  // DecodeGroupDeltaRow layout exactly, without the transition table's
+  // trailing execute_order.
+  std::string cond = "select _seq, _g";
+  for (size_t i = 0; i < sum_cols.size(); ++i) cond += StrFormat(", _s%zu", i);
+  cond += ", _cnt, _ct from inserted";
+
+  CreateRuleStmt rule;
+  rule.rule_name = out.rule_name;
+  rule.table = out.staging_table;
+  RuleEvent ev;
+  ev.kind = RuleEventKind::kInserted;
+  rule.events.push_back(std::move(ev));
+  RuleQuery rq;
+  STRIP_ASSIGN_OR_RETURN(rq.query, ParseSelectText(cond));
+  rq.bind_as = bound;
+  rule.condition.push_back(std::move(rq));
+  rule.function_name = out.function_name;
+  rule.unique = true;  // fold a whole merge window into one pass
+  rule.delay_seconds = options.delay_seconds;
+  STRIP_RETURN_IF_ERROR(db.rules().CreateRule(std::move(rule)));
   return out;
 }
 

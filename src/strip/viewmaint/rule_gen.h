@@ -1,10 +1,12 @@
 #ifndef STRIP_VIEWMAINT_RULE_GEN_H_
 #define STRIP_VIEWMAINT_RULE_GEN_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "strip/common/status.h"
+#include "strip/feed/feed.h"
 #include "strip/sql/ast.h"
 
 namespace strip {
@@ -66,6 +68,14 @@ struct RuleGenOptions {
   /// batched firings can never erase a group that a pending delta will
   /// resurrect.
   bool track_group_count = true;
+  /// Generated delta rules maintain the view under FACT-table changes
+  /// only; dimension tables are assumed slowly changing (§3). With this
+  /// set, the generator also installs a rule on every dimension table
+  /// whose action recomputes the view from scratch (RefreshView), bumps
+  /// the `viewmaint.dim_fallback_recompute` counter, and logs a warning —
+  /// so a dim change is correct but visibly expensive in `.metrics`,
+  /// instead of silently leaving the view stale.
+  bool dim_change_fallback = true;
 };
 
 /// What the generator produced (for inspection / documentation).
@@ -90,6 +100,69 @@ Result<GeneratedRule> GenerateMaintenanceRule(Database& db,
                                               const std::string& view_name,
                                               const std::string& fact_table,
                                               const RuleGenOptions& options);
+
+// ---------------------------------------------------------------------------
+// Two-tier maintenance across the cluster's shard boundary (DESIGN.md §2.5)
+// ---------------------------------------------------------------------------
+// Tier 1 is the ordinary generated rule set above, keeping a PARTIAL
+// SUM/`_count` aggregate view on each shard from that shard's slice of the
+// fact table. Tier 2 watches the partial view itself: export rules fold
+// each window's changes to net group deltas (rules/net_effect) and ship
+// them — encoded as feed records in the EncodeGroupDeltaRow staging-row
+// layout — to the merge engine, whose merge rule folds the staged deltas
+// again and applies them to the top-level view. Both hops stay in delta
+// form (DBSP-style composition): recomputed groups never cross the
+// boundary.
+
+/// Receives each folded group delta leaving the shard, as a feed record in
+/// the staging-row layout. The cluster's sink wire-encodes the record,
+/// crosses the shard boundary as bytes, and submits the decoded record to
+/// the merge engine's staging importer.
+using ShardDeltaSink = std::function<Status(const FeedRecord&)>;
+
+struct ShardExportOptions {
+  /// Stamped into the high bits of every `_seq` this shard emits, making
+  /// staged rows unique across the cluster.
+  int shard_id = 0;
+  /// Export batching window: one shipment per window, folding everything
+  /// the tier-1 rules did to the partial view meanwhile.
+  double delay_seconds = 0.5;
+};
+
+struct ShardExportSpec {
+  std::vector<std::string> rule_names;      // _upd / _ins / _del
+  std::vector<std::string> function_names;
+};
+
+/// Installs the tier-2 export rules on a shard engine, watching the
+/// backing table of `view_name` (a maintained SUM/COUNT aggregation view
+/// with the hidden `_count` — AVG partials are rejected, quotients do not
+/// ship as deltas). Call after GenerateMaintenanceRule.
+Result<ShardExportSpec> GenerateShardDeltaExport(
+    Database& db, const std::string& view_name,
+    const ShardExportOptions& options, ShardDeltaSink sink);
+
+struct MergeRuleOptions {
+  /// Merge-side batching window: staged deltas accumulating within it are
+  /// folded into one application pass over the top-level view.
+  double delay_seconds = 0.5;
+};
+
+struct MergeRuleSpec {
+  std::string staging_table;  // `<view>_deltas`, keyed + indexed on _seq
+  std::string rule_name;
+  std::string function_name;
+};
+
+/// Installs the tier-2 merge side on the merge engine: creates the staging
+/// table for `view_table` (which must already exist there with the shard
+/// partial views' column layout — group key first, SUM columns, `_count`
+/// last) and the merge rule applying folded staged deltas to it. Groups
+/// whose `_count` reaches zero are erased by the same deferred sweep the
+/// tier-1 rules use.
+Result<MergeRuleSpec> GenerateMergeRule(Database& db,
+                                        const std::string& view_table,
+                                        const MergeRuleOptions& options);
 
 }  // namespace strip
 

@@ -177,6 +177,66 @@ TEST(ChaosTest, MaintainedViewSeedStaysConsistentDeterministically) {
   EXPECT_GT(first.firings_merged, 0u);  // deltas composed inside windows
 }
 
+// --- Sharded-cluster chaos: invariant (g) ----------------------------------
+
+// Frozen multi-shard seeds: the perturbed feed is symbol-hash routed over
+// the wire across simulated shard engines, each maintaining a partial view
+// whose folded deltas ship to the merge engine — all under per-engine
+// fault injectors. At quiescence the merged composite view must exactly
+// equal a from-scratch recompute over the union of the shard base tables
+// (invariant g). Same freeze discipline as kCannedSeeds: if one fails,
+// the (seed, shards) pair is the reproducer — fix the bug, don't change
+// the seed.
+constexpr uint64_t kClusterSeeds[] = {0x5a4d, 20260808};
+
+TEST(ClusterChaosTest, FrozenMultiShardSeedsHoldInvariantG) {
+  for (int shards : {2, 3}) {
+    for (uint64_t seed : kClusterSeeds) {
+      ChaosOptions o;
+      o.seed = seed;
+      ChaosReport r = RunClusterChaos(o, shards);
+      EXPECT_TRUE(r.ok) << "seed " << seed << " shards " << shards << ": "
+                        << r.failure;
+      EXPECT_GT(r.steps, 0u);
+      // The cross-engine pipeline actually ran: shipments crossed the
+      // shard->merge boundary and the merge rule fired.
+      EXPECT_GT(r.deltas_shipped, 0u)
+          << "seed " << seed << " shards " << shards;
+      EXPECT_NE(r.execute_order.find("merge task="), std::string::npos);
+      EXPECT_NE(r.execute_order.find("fn=merge_chaos_view"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(ClusterChaosTest, ClusterSeedReplaysByteIdentical) {
+  ChaosOptions o;
+  o.seed = kClusterSeeds[0];
+  ChaosReport first = RunClusterChaos(o, 2);
+  ChaosReport second = RunClusterChaos(o, 2);
+  ASSERT_TRUE(first.ok) << first.failure;
+  ASSERT_TRUE(second.ok) << second.failure;
+  EXPECT_EQ(first.execute_order, second.execute_order)
+      << "cluster seed diverged between two runs";
+  EXPECT_EQ(first.steps, second.steps);
+  EXPECT_EQ(first.deltas_shipped, second.deltas_shipped);
+  EXPECT_EQ(first.injected.lock_aborts, second.injected.lock_aborts);
+  // Sharding changes the schedule: the same seed on a different shard
+  // count is a different cluster, not a replay.
+  ChaosReport other = RunClusterChaos(o, 3);
+  ASSERT_TRUE(other.ok) << other.failure;
+  EXPECT_NE(other.execute_order, first.execute_order);
+}
+
+TEST(ClusterChaosTest, PlantedBogusGroupTripsInvariantG) {
+  ChaosOptions o;
+  o.seed = kClusterSeeds[0];
+  o.plant_failure_at_step = 40;
+  ChaosReport r = RunClusterChaos(o, 2);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.failure.find("invariant g"), std::string::npos) << r.failure;
+}
+
 TEST(ChaosTest, DifferentSeedsProduceDifferentSchedules) {
   ChaosOptions a, b;
   a.seed = kCannedSeeds[0];

@@ -1,0 +1,342 @@
+// In-process cluster tests: symbol-hash router determinism and skew,
+// wire round trips through the router path (with reordered and duplicated
+// streams), and end-to-end two-tier view maintenance — shard partials
+// folding into the merge engine's top-level view across the byte boundary.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "strip/cluster/cluster.h"
+#include "strip/cluster/feed_router.h"
+#include "strip/feed/wire.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+Database::Options LogicalTime() {
+  Database::Options o;
+  o.mode = ExecutorMode::kSimulated;
+  o.advance_clock_by_cost = false;
+  return o;
+}
+
+ClusterOptions SimCluster(int shards) {
+  ClusterOptions o;
+  o.num_shards = shards;
+  o.shard = LogicalTime();
+  o.merge = LogicalTime();
+  return o;
+}
+
+// ---------------------------------------------------------------------------
+// Router hashing
+// ---------------------------------------------------------------------------
+
+TEST(FeedRouterTest, HashIsDeterministicAndEqualityConsistent) {
+  EXPECT_EQ(RouteHash(Value::Str("IBM")), RouteHash(Value::Str("IBM")));
+  EXPECT_NE(RouteHash(Value::Str("IBM")), RouteHash(Value::Str("AAPL")));
+  // Int(3) == Double(3.0) under Value equality; they must route together.
+  EXPECT_EQ(RouteHash(Value::Int(3)), RouteHash(Value::Double(3.0)));
+  EXPECT_EQ(ShardFor(Value::Str("IBM"), 4), ShardFor(Value::Str("IBM"), 4));
+}
+
+TEST(FeedRouterTest, SkewStaysBoundedAcrossShardCounts) {
+  // 4096 short symbol-like keys; per-shard share must stay within 30% of
+  // the uniform share at every cluster size the bench uses. A regression
+  // here (e.g. hashing only the first byte) would silently serialize the
+  // cluster through one shard.
+  const int kKeys = 4096;
+  for (int shards : {1, 2, 4, 8}) {
+    std::vector<int> counts(static_cast<size_t>(shards), 0);
+    for (int i = 0; i < kKeys; ++i) {
+      Value key = Value::Str("SYM" + std::to_string(i));
+      int s = ShardFor(key, shards);
+      ASSERT_GE(s, 0);
+      ASSERT_LT(s, shards);
+      ++counts[static_cast<size_t>(s)];
+    }
+    double uniform = static_cast<double>(kKeys) / shards;
+    for (int s = 0; s < shards; ++s) {
+      EXPECT_GT(counts[static_cast<size_t>(s)], 0.7 * uniform)
+          << shards << " shards, shard " << s;
+      EXPECT_LT(counts[static_cast<size_t>(s)], 1.3 * uniform)
+          << shards << " shards, shard " << s;
+    }
+  }
+}
+
+TEST(FeedRouterTest, RoutesEveryRecordToItsHashShardOverTheWire) {
+  // Inboxes decode the wire bytes and record what arrived where.
+  const int kShards = 4;
+  std::vector<std::vector<FeedRecord>> arrived(kShards);
+  std::vector<FeedRouter::Inbox> inboxes;
+  for (int s = 0; s < kShards; ++s) {
+    inboxes.push_back([&arrived, s](std::string_view bytes) -> Status {
+      STRIP_ASSIGN_OR_RETURN(std::vector<FeedRecord> recs,
+                             DecodeFeedStream(bytes));
+      for (auto& r : recs) arrived[static_cast<size_t>(s)].push_back(r);
+      return Status::OK();
+    });
+  }
+  FeedRouter router(std::move(inboxes));
+  for (int i = 0; i < 64; ++i) {
+    FeedRecord rec;
+    rec.at = i;
+    rec.values = {Value::Str("K" + std::to_string(i)), Value::Double(i)};
+    ASSERT_OK(router.Route(rec));
+  }
+  EXPECT_EQ(router.total_routed(), 64u);
+  uint64_t seen = 0;
+  for (int s = 0; s < kShards; ++s) {
+    EXPECT_EQ(router.routed(s), arrived[static_cast<size_t>(s)].size());
+    for (const FeedRecord& r : arrived[static_cast<size_t>(s)]) {
+      EXPECT_EQ(ShardFor(r.values[0], kShards), s);
+      // The router stamped a root trace before encoding.
+      EXPECT_TRUE(r.trace.traced());
+      seen += 1;
+    }
+  }
+  EXPECT_EQ(seen, 64u);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster feeds
+// ---------------------------------------------------------------------------
+
+constexpr const char* kTradesDdl =
+    "create table trades (symbol string, sector string, price double,"
+    " qty int); create index on trades (symbol);";
+
+TEST(ClusterTest, RoutedFeedUpsertsIntoOwningShards) {
+  Cluster cluster(SimCluster(2));
+  ASSERT_OK(cluster.ExecuteOnShards(kTradesDdl));
+  ASSERT_OK_AND_ASSIGN(FeedRouter * router, cluster.OpenFeed("trades"));
+  for (int i = 0; i < 20; ++i) {
+    FeedRecord rec;
+    rec.at = i;
+    rec.values = {Value::Str("S" + std::to_string(i)), Value::Str("tech"),
+                  Value::Double(100.0 + i), Value::Int(1)};
+    ASSERT_OK(router->Route(rec));
+  }
+  ASSERT_OK(cluster.DrainAll());
+  size_t total = 0;
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    ASSERT_OK_AND_ASSIGN(
+        ResultSet rows,
+        cluster.shard(s).Execute("select symbol from trades"));
+    for (const auto& row : rows.rows) {
+      // Shard-local data is exactly the hash-owned slice: shared-nothing.
+      EXPECT_EQ(ShardFor(row[0], cluster.num_shards()), s);
+    }
+    total += rows.num_rows();
+  }
+  EXPECT_EQ(total, 20u);
+}
+
+TEST(ClusterTest, ReorderedAndDuplicatedStreamConvergesToSameState) {
+  // The same logical stream — upserts keyed by symbol, release times
+  // encoding feed order — must converge to the same table state when
+  // submitted shuffled and with duplicated records: the simulated
+  // executor releases by `at`, and upserts are idempotent per (key, at).
+  std::vector<FeedRecord> stream;
+  for (int i = 0; i < 30; ++i) {
+    FeedRecord rec;
+    rec.at = i * 100;
+    rec.values = {Value::Str("S" + std::to_string(i % 10)), Value::Str("fin"),
+                  Value::Double(10.0 * i), Value::Int(i)};
+    stream.push_back(rec);
+  }
+
+  auto run = [&](std::vector<FeedRecord> recs) -> std::string {
+    Cluster cluster(SimCluster(2));
+    EXPECT_OK(cluster.ExecuteOnShards(kTradesDdl));
+    auto router = cluster.OpenFeed("trades");
+    EXPECT_TRUE(router.ok());
+    EXPECT_OK((*router)->RouteAll(recs));
+    EXPECT_OK(cluster.DrainAll());
+    std::string state;
+    for (int s = 0; s < cluster.num_shards(); ++s) {
+      auto rows = cluster.shard(s).Execute(
+          "select symbol, price, qty from trades order by symbol");
+      EXPECT_TRUE(rows.ok());
+      for (const auto& row : rows->rows) {
+        state += row[0].ToString() + "=" + row[1].ToString() + "/" +
+                 row[2].ToString() + ";";
+      }
+    }
+    return state;
+  };
+
+  std::string in_order = run(stream);
+
+  std::vector<FeedRecord> shuffled = stream;
+  std::mt19937 rng(7);
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+  EXPECT_EQ(run(shuffled), in_order);
+
+  std::vector<FeedRecord> duplicated = stream;
+  duplicated.insert(duplicated.end(), stream.begin(), stream.begin() + 15);
+  EXPECT_EQ(run(duplicated), in_order);
+}
+
+// ---------------------------------------------------------------------------
+// Two-tier maintenance end to end
+// ---------------------------------------------------------------------------
+
+constexpr const char* kSectorViewDdl =
+    "create materialized view sector_tot as "
+    "select sector, sum(price * qty) as notional from trades group by sector;";
+
+/// Expected top-level view: recompute over the union of all shard tables.
+std::map<std::string, std::pair<double, int64_t>> RecomputeUnion(
+    Cluster& cluster) {
+  std::map<std::string, std::pair<double, int64_t>> want;
+  for (int s = 0; s < cluster.num_shards(); ++s) {
+    auto rows = cluster.shard(s).Execute(
+        "select sector, price, qty from trades");
+    EXPECT_TRUE(rows.ok());
+    for (const auto& row : rows->rows) {
+      auto& slot = want[row[0].as_string()];
+      slot.first += row[1].as_double() * row[2].as_double();
+      slot.second += 1;
+    }
+  }
+  return want;
+}
+
+void ExpectMergedViewMatches(Cluster& cluster) {
+  auto want = RecomputeUnion(cluster);
+  auto rows = cluster.merge().Execute(
+      "select sector, notional, _count from sector_tot order by sector");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->num_rows(), want.size());
+  for (const auto& row : rows->rows) {
+    auto it = want.find(row[0].as_string());
+    ASSERT_NE(it, want.end()) << "unexpected group " << row[0].ToString();
+    // Dyadic prices and integer quantities: double sums are exact, so the
+    // cross-shard view must EQUAL the recompute, not approximate it.
+    EXPECT_EQ(row[1].as_double(), it->second.first)
+        << "group " << row[0].ToString();
+    EXPECT_EQ(row[2].as_int(), it->second.second)
+        << "group " << row[0].ToString();
+  }
+}
+
+TEST(ClusterTest, TwoTierMaintainsCrossShardCompositeView) {
+  Cluster cluster(SimCluster(4));
+  ASSERT_OK(cluster.ExecuteOnShards(std::string(kTradesDdl) + kSectorViewDdl));
+
+  Cluster::TwoTierOptions opts;
+  opts.tier1.delay_seconds = 0.2;
+  opts.export_delay_seconds = 0.3;
+  opts.merge_delay_seconds = 0.3;
+  ASSERT_OK(cluster.ConnectTwoTier("sector_tot", "trades", opts));
+  ASSERT_OK_AND_ASSIGN(FeedRouter * router, cluster.OpenFeed("trades"));
+
+  // Sectors deliberately span shards: every sector holds symbols whose
+  // hashes land on different shards, so the top-level groups only exist
+  // through the merge.
+  const char* sectors[] = {"tech", "fin", "energy"};
+  for (int i = 0; i < 60; ++i) {
+    FeedRecord rec;
+    rec.at = i * 10;
+    rec.values = {Value::Str("SYM" + std::to_string(i)),
+                  Value::Str(sectors[i % 3]),
+                  Value::Double((i % 16) * 0.0625 + 10.0),  // dyadic: exact
+                  Value::Int(1 + i % 5)};
+    ASSERT_OK(router->Route(rec));
+  }
+  ASSERT_OK(cluster.DrainAll());
+  EXPECT_GT(cluster.deltas_shipped(), 0u);
+  ExpectMergedViewMatches(cluster);
+
+  // Updates: re-route a third of the symbols with new prices. Tier-1 nets
+  // new-old on each shard; the merge applies the shipped net deltas.
+  for (int i = 0; i < 60; i += 3) {
+    FeedRecord rec;
+    rec.at = 1000 + i;
+    rec.values = {Value::Str("SYM" + std::to_string(i)),
+                  Value::Str(sectors[i % 3]),
+                  Value::Double((i % 8) * 0.125 + 20.0), Value::Int(2)};
+    ASSERT_OK(router->Route(rec));
+  }
+  ASSERT_OK(cluster.DrainAll());
+  ExpectMergedViewMatches(cluster);
+}
+
+TEST(ClusterTest, TwoTierSeedsFromPrePopulatedShardsAndHandlesDeletes) {
+  Cluster cluster(SimCluster(2));
+  ASSERT_OK(cluster.ExecuteOnShards(kTradesDdl));
+  // Pre-populate BEFORE the view and two-tier wiring exist: the merge
+  // engine's top table must seed from the shard partials' current contents.
+  ASSERT_OK(cluster.shard(0).ExecuteScript(
+      "insert into trades values ('A0', 'tech', 10.5, 2),"
+      " ('A1', 'fin', 8.25, 1);"));
+  ASSERT_OK(cluster.shard(1).ExecuteScript(
+      "insert into trades values ('B0', 'tech', 4.0, 3),"
+      " ('B1', 'solo', 7.0, 1);"));
+  ASSERT_OK(cluster.ExecuteOnShards(kSectorViewDdl));
+
+  Cluster::TwoTierOptions opts;
+  ASSERT_OK(cluster.ConnectTwoTier("sector_tot", "trades", opts));
+  ASSERT_OK(cluster.DrainAll());
+  ExpectMergedViewMatches(cluster);  // seeded cross-shard fold: tech on both
+
+  // Deleting the last member of a group on its shard must, after the
+  // shipped negative delta, erase the group's row from the merged view.
+  ASSERT_OK(
+      cluster.shard(1).Execute("delete from trades where symbol = 'B1'")
+          .status());
+  ASSERT_OK(cluster.DrainAll());
+  ExpectMergedViewMatches(cluster);
+  auto rows = cluster.merge().Execute(
+      "select sector from sector_tot where sector = 'solo'");
+  ASSERT_OK(rows.status());
+  EXPECT_EQ(rows->num_rows(), 0u);
+}
+
+TEST(ClusterTest, MetricsAndTraceExportCoverEveryEngine) {
+  Cluster cluster(SimCluster(2));
+  ASSERT_OK(cluster.ExecuteOnShards(std::string(kTradesDdl) + kSectorViewDdl));
+  Cluster::TwoTierOptions opts;
+  ASSERT_OK(cluster.ConnectTwoTier("sector_tot", "trades", opts));
+  ASSERT_OK_AND_ASSIGN(FeedRouter * router, cluster.OpenFeed("trades"));
+  for (int i = 0; i < 8; ++i) {
+    FeedRecord rec;
+    rec.at = i;
+    rec.values = {Value::Str("S" + std::to_string(i)), Value::Str("tech"),
+                  Value::Double(1.0), Value::Int(1)};
+    ASSERT_OK(router->Route(rec));
+  }
+  ASSERT_OK(cluster.DrainAll());
+
+  std::string metrics = cluster.MetricsJson();
+  EXPECT_NE(metrics.find("\"shard0\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"shard1\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"merge\""), std::string::npos);
+  EXPECT_NE(metrics.find("\"deltas_shipped\""), std::string::npos);
+
+  std::string trace = cluster.ChromeTraceJson();
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  // Process-name metadata labels each engine's lane.
+  EXPECT_NE(trace.find("\"shard0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"merge\""), std::string::npos);
+}
+
+TEST(ClusterTest, ShardExportRejectsAvgPartials) {
+  Cluster cluster(SimCluster(2));
+  ASSERT_OK(cluster.ExecuteOnShards(
+      std::string(kTradesDdl) +
+      "create materialized view bad as "
+      "select sector, avg(price) as p from trades group by sector;"));
+  Cluster::TwoTierOptions opts;
+  EXPECT_EQ(cluster.ConnectTwoTier("bad", "trades", opts).code(),
+            StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace strip

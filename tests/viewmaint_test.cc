@@ -574,5 +574,292 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3),
                        ::testing::Values(0.25, 1.0, 3.0)));
 
+// ---------------------------------------------------------------------------
+// AVG maintenance (AVG = SUM / hidden _count)
+// ---------------------------------------------------------------------------
+
+TEST_F(RuleGenTest, AvgViewMaintainedUnderInsertUpdateDelete) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table t (g string, v double);
+    create index on t (g);
+    insert into t values ('a', 1.0), ('a', 3.0), ('b', 10.0);
+    create materialized view m as
+      select g, avg(v) as mean, sum(v) as s from t group by g;
+  )"));
+  RuleGenOptions gen;
+  gen.delay_seconds = 0.5;
+  ASSERT_OK(GenerateMaintenanceRule(db_, "m", "t", gen).status());
+
+  ASSERT_OK(db_.Execute("insert into t values ('a', 8.0)").status());
+  ASSERT_OK(db_.Execute("update t set v += 2.0 where g = 'b'").status());
+  ASSERT_OK(db_.Execute("delete from t where g = 'a' and v = 1.0").status());
+  Quiesce();
+
+  auto rs = db_.Execute("select g, mean, s from m order by g");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs->num_rows(), 2u);
+  EXPECT_NEAR(rs->rows[0][1].as_double(), (3.0 + 8.0) / 2, 1e-9);
+  EXPECT_NEAR(rs->rows[0][2].as_double(), 11.0, 1e-9);
+  EXPECT_NEAR(rs->rows[1][1].as_double(), 12.0, 1e-9);
+}
+
+TEST_F(RuleGenTest, AvgRequiresCountTracking) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table t (g string, v double);
+    create index on t (g);
+    create materialized view m as
+      select g, avg(v) as mean from t group by g;
+  )"));
+  // AVG maintenance divides by the hidden per-group count; without it the
+  // quotient cannot be updated incrementally.
+  RuleGenOptions gen;
+  gen.track_group_count = false;
+  EXPECT_EQ(GenerateMaintenanceRule(db_, "m", "t", gen).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+/// Delta-maintained AVG vs from-scratch recompute under randomized streams:
+/// the satellite's equivalence requirement. The quotient accumulates float
+/// error across incremental updates, so comparison is to tolerance, not
+/// bit-exact.
+class AvgPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(AvgPropertyTest, DeltaAvgEqualsRecompute) {
+  auto [seed, delay] = GetParam();
+  Database db(LogicalTime());
+  ASSERT_OK(db.ExecuteScript(R"(
+    create table t (g string, v double);
+    create index on t (g);
+  )"));
+  Rng rng(static_cast<uint64_t>(seed) * 131 + 7);
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_OK(db.Execute("insert into t values ('g" +
+                         std::to_string(rng.UniformInt(0, 3)) + "', " +
+                         std::to_string(rng.UniformReal(1, 100)) + ")")
+                  .status());
+  }
+  ASSERT_OK(db.Execute("create materialized view m as "
+                       "select g, avg(v) as mean from t group by g")
+                .status());
+  RuleGenOptions gen;
+  gen.delay_seconds = delay;
+  ASSERT_OK(GenerateMaintenanceRule(db, "m", "t", gen).status());
+
+  for (int i = 0; i < 70; ++i) {
+    std::string g = "g" + std::to_string(rng.UniformInt(0, 3));
+    switch (static_cast<int>(rng.UniformInt(0, 2))) {
+      case 0:
+        ASSERT_OK(db.Execute("insert into t values ('" + g + "', " +
+                             std::to_string(rng.UniformReal(1, 100)) + ")")
+                      .status());
+        break;
+      case 1:
+        ASSERT_OK(db.Execute("update t set v += " +
+                             std::to_string(rng.UniformReal(-10, 10)) +
+                             " where g = '" + g + "'")
+                      .status());
+        break;
+      default:
+        ASSERT_OK(db.Execute("delete from t where g = '" + g +
+                             "' and v > 90.0")
+                      .status());
+        break;
+    }
+    if (rng.Bernoulli(0.3)) {
+      db.simulated()->RunUntil(db.Now() + SecondsToMicros(delay / 2));
+    }
+  }
+  db.simulated()->RunUntilQuiescent();
+
+  auto got = db.Execute("select g, mean from m order by g");
+  auto fresh =
+      db.Execute("select g, avg(v) as mean from t group by g order by g");
+  ASSERT_OK(got.status());
+  ASSERT_OK(fresh.status());
+  ASSERT_EQ(got->num_rows(), fresh->num_rows());
+  for (size_t i = 0; i < fresh->num_rows(); ++i) {
+    EXPECT_EQ(got->rows[i][0], fresh->rows[i][0]);
+    EXPECT_NEAR(got->rows[i][1].as_double(), fresh->rows[i][1].as_double(),
+                1e-6)
+        << "group " << fresh->rows[i][0].ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AvgPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(0.25, 1.0)));
+
+// ---------------------------------------------------------------------------
+// Dimension-change recompute fallback
+// ---------------------------------------------------------------------------
+
+TEST_F(RuleGenTest, DimChangeFallsBackToRecomputeAndCounts) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table px (sym string, price double);
+    create index on px (sym);
+    create table members (grp string, sym string, w double);
+    create index on members (sym);
+    insert into px values ('s1', 10.0), ('s2', 20.0);
+    insert into members values ('g1', 's1', 1.0);
+    create materialized view idx as
+      select grp, sum(px.price * w) as total
+      from px, members where px.sym = members.sym group by grp;
+  )"));
+  RuleGenOptions gen;
+  gen.delay_seconds = 0.5;
+  ASSERT_OK_AND_ASSIGN(GeneratedRule rule,
+                       GenerateMaintenanceRule(db_, "idx", "px", gen));
+  // The fallback rule on the dimension table rode along.
+  EXPECT_NE(db_.rules().FindRule("dim_fallback_idx_members"), nullptr);
+  uint64_t before =
+      db_.metrics().counter("viewmaint.dim_fallback_recompute")->Get();
+
+  // A dimension change the delta rules cannot see: new member row.
+  ASSERT_OK(
+      db_.Execute("insert into members values ('g1', 's2', 0.5)").status());
+  Quiesce();
+
+  auto rs = db_.Execute("select grp, total from idx");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs->num_rows(), 1u);
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].as_double(), 10.0 + 0.5 * 20.0);
+  EXPECT_EQ(db_.metrics().counter("viewmaint.dim_fallback_recompute")->Get(),
+            before + 1);
+
+  // Fact-side deltas still work after a refresh.
+  ASSERT_OK(db_.Execute("update px set price = 30.0 where sym = 's2'")
+                .status());
+  Quiesce();
+  rs = db_.Execute("select grp, total from idx");
+  ASSERT_OK(rs.status());
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].as_double(), 10.0 + 0.5 * 30.0);
+}
+
+TEST_F(RuleGenTest, DimFallbackCanBeDisabled) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table px (sym string, price double);
+    create index on px (sym);
+    create table members (grp string, sym string, w double);
+    create index on members (sym);
+    insert into px values ('s1', 10.0);
+    insert into members values ('g1', 's1', 1.0);
+    create materialized view idx as
+      select grp, sum(px.price * w) as total
+      from px, members where px.sym = members.sym group by grp;
+  )"));
+  RuleGenOptions gen;
+  gen.dim_change_fallback = false;
+  ASSERT_OK(GenerateMaintenanceRule(db_, "idx", "px", gen).status());
+  EXPECT_EQ(db_.rules().FindRule("dim_fallback_idx_members"), nullptr);
+
+  // Without the fallback a dim change leaves the view stale — the
+  // documented §3 assumption, now opt-in instead of silent.
+  ASSERT_OK(
+      db_.Execute("insert into members values ('g1', 's1', 9.0)").status());
+  Quiesce();
+  auto rs = db_.Execute("select total from idx");
+  ASSERT_OK(rs.status());
+  EXPECT_DOUBLE_EQ(rs->rows[0][0].as_double(), 10.0);  // stale
+}
+
+// ---------------------------------------------------------------------------
+// Two-tier shard export / merge (unit level; cluster_test covers the
+// cross-engine path)
+// ---------------------------------------------------------------------------
+
+TEST_F(RuleGenTest, ShardExportShipsFoldedDeltasAndMergeApplies) {
+  // One "shard" engine and one "merge" engine, wired by hand.
+  Database merge_db(LogicalTime());
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table t (g string, v double);
+    create index on t (g);
+    insert into t values ('a', 1.0), ('b', 2.0);
+    create materialized view agg as
+      select g, sum(v) as s from t group by g;
+  )"));
+  RuleGenOptions gen;
+  gen.delay_seconds = 0.2;
+  ASSERT_OK(GenerateMaintenanceRule(db_, "agg", "t", gen).status());
+
+  ASSERT_OK(merge_db.ExecuteScript(
+      "create table agg (g string, s double, _count int);"
+      "create index on agg (g);"));
+  MergeRuleOptions merge_opts;
+  merge_opts.delay_seconds = 0.2;
+  ASSERT_OK_AND_ASSIGN(MergeRuleSpec merge_spec,
+                       GenerateMergeRule(merge_db, "agg", merge_opts));
+  EXPECT_EQ(merge_spec.staging_table, "agg_deltas");
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<FeedImporter> staging,
+      FeedImporter::Create(&merge_db, merge_spec.staging_table));
+
+  size_t shipped = 0;
+  ShardExportOptions export_opts;
+  export_opts.shard_id = 3;
+  export_opts.delay_seconds = 0.2;
+  ASSERT_OK(GenerateShardDeltaExport(
+                db_, "agg", export_opts,
+                [&](const FeedRecord& rec) -> Status {
+                  ++shipped;
+                  // _seq carries the shard id in its high bits.
+                  EXPECT_EQ(rec.values[0].as_int() >> 48, 3);
+                  return staging->Submit(rec);
+                })
+                .status());
+
+  // Two same-group changes inside one export window must fold to ONE
+  // shipped delta; the merge rule applies the net effect.
+  ASSERT_OK(db_.Execute("insert into t values ('a', 10.0)").status());
+  ASSERT_OK(db_.Execute("update t set v += 5.0 where g = 'a' and v = 1.0")
+                .status());
+  Quiesce();
+  merge_db.simulated()->RunUntilQuiescent();
+  Quiesce();
+  merge_db.simulated()->RunUntilQuiescent();
+
+  EXPECT_EQ(shipped, 1u);
+  auto rs = merge_db.Execute("select g, s, _count from agg");
+  ASSERT_OK(rs.status());
+  ASSERT_EQ(rs->num_rows(), 1u);
+  EXPECT_EQ(rs->rows[0][0].as_string(), "a");
+  EXPECT_DOUBLE_EQ(rs->rows[0][1].as_double(), 15.0);  // +10 insert, +5 upd
+  EXPECT_EQ(rs->rows[0][2].as_int(), 1);
+  // Consumed staging rows were cleaned up.
+  auto staged = merge_db.Execute("select _seq from agg_deltas");
+  ASSERT_OK(staged.status());
+  EXPECT_EQ(staged->num_rows(), 0u);
+}
+
+TEST_F(RuleGenTest, ShardExportRequiresMaintainedSumView) {
+  ASSERT_OK(db_.ExecuteScript(R"(
+    create table t (g string, v double);
+    create index on t (g);
+    create materialized view agg as
+      select g, sum(v) as s from t group by g;
+  )"));
+  auto sink = [](const FeedRecord&) { return Status::OK(); };
+  // Not maintained yet -> no hidden count to ship.
+  EXPECT_EQ(GenerateShardDeltaExport(db_, "agg", ShardExportOptions{}, sink)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(GenerateShardDeltaExport(db_, "zzz", ShardExportOptions{}, sink)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(RuleGenTest, MergeRuleRejectsWrongLayout) {
+  Database merge_db(LogicalTime());
+  ASSERT_OK(merge_db.ExecuteScript(
+      "create table nocount (g string, s double);"));
+  EXPECT_EQ(GenerateMergeRule(merge_db, "nocount", MergeRuleOptions{})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace strip

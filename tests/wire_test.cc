@@ -1,0 +1,122 @@
+// Feed wire format (feed/wire.h): the byte-level shard-to-shard protocol.
+// Round trips must be exact (doubles travel as bit patterns), and decode
+// must reject torn or corrupted buffers without advancing the offset.
+
+#include <gtest/gtest.h>
+
+#include "strip/feed/wire.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+FeedRecord SampleRecord() {
+  FeedRecord rec;
+  rec.at = 1234567;
+  rec.trace.trace_id = 7;
+  rec.trace.span_id = 8;
+  rec.trace.parent_span_id = 9;
+  rec.values = {Value::Str("IBM"), Value::Double(101.625), Value::Int(-42),
+                Value::Null(), Value::Str("")};
+  return rec;
+}
+
+void ExpectSameRecord(const FeedRecord& a, const FeedRecord& b) {
+  EXPECT_EQ(a.at, b.at);
+  EXPECT_EQ(a.trace.trace_id, b.trace.trace_id);
+  EXPECT_EQ(a.trace.span_id, b.trace.span_id);
+  EXPECT_EQ(a.trace.parent_span_id, b.trace.parent_span_id);
+  ASSERT_EQ(a.values.size(), b.values.size());
+  for (size_t i = 0; i < a.values.size(); ++i) {
+    EXPECT_EQ(a.values[i].type(), b.values[i].type()) << "value " << i;
+    EXPECT_EQ(a.values[i], b.values[i]) << "value " << i;
+  }
+}
+
+TEST(WireTest, RoundTripsOneRecord) {
+  FeedRecord rec = SampleRecord();
+  std::string bytes = EncodeFeedRecord(rec);
+  size_t offset = 0;
+  ASSERT_OK_AND_ASSIGN(FeedRecord back, DecodeFeedRecord(bytes, &offset));
+  EXPECT_EQ(offset, bytes.size());
+  ExpectSameRecord(rec, back);
+}
+
+TEST(WireTest, DoubleRoundTripIsBitExact) {
+  // Values that decimal formatting would mangle: the wire carries the
+  // IEEE-754 bit pattern, so equality is exact, not approximate.
+  for (double d : {0.1, 1.0 / 3.0, 1e-308, 1.7976931348623157e308,
+                   -0.0, 101.0 + 5.0 / 8.0}) {
+    FeedRecord rec;
+    rec.values = {Value::Str("k"), Value::Double(d)};
+    size_t offset = 0;
+    ASSERT_OK_AND_ASSIGN(FeedRecord back,
+                         DecodeFeedRecord(EncodeFeedRecord(rec), &offset));
+    EXPECT_EQ(back.values[1].as_double(), d);
+  }
+}
+
+TEST(WireTest, StreamOfConcatenatedRecordsDecodes) {
+  std::string stream;
+  std::vector<FeedRecord> sent;
+  for (int i = 0; i < 5; ++i) {
+    FeedRecord rec;
+    rec.at = i * 1000;
+    rec.values = {Value::Str("S" + std::to_string(i)), Value::Double(i * 1.5)};
+    AppendFeedRecord(rec, &stream);
+    sent.push_back(rec);
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<FeedRecord> got, DecodeFeedStream(stream));
+  ASSERT_EQ(got.size(), sent.size());
+  for (size_t i = 0; i < sent.size(); ++i) {
+    ExpectSameRecord(sent[i], got[i]);
+  }
+}
+
+TEST(WireTest, TruncationAtEveryPrefixFailsCleanly) {
+  std::string bytes = EncodeFeedRecord(SampleRecord());
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    size_t offset = 0;
+    auto r = DecodeFeedRecord(std::string_view(bytes.data(), cut), &offset);
+    EXPECT_FALSE(r.ok()) << "prefix of " << cut << " bytes decoded";
+    EXPECT_EQ(offset, 0u) << "offset advanced on failure at " << cut;
+  }
+}
+
+TEST(WireTest, RejectsBadMagicVersionAndTag) {
+  std::string bytes = EncodeFeedRecord(SampleRecord());
+  size_t offset = 0;
+
+  std::string bad_magic = bytes;
+  bad_magic[0] = 'X';
+  EXPECT_FALSE(DecodeFeedRecord(bad_magic, &offset).ok());
+  EXPECT_EQ(offset, 0u);
+
+  std::string bad_version = bytes;
+  bad_version[1] = static_cast<char>(kWireVersion + 1);
+  EXPECT_FALSE(DecodeFeedRecord(bad_version, &offset).ok());
+
+  // Corrupt the first value's type tag (right after the fixed header:
+  // magic + version + at + 3 trace ids + count).
+  std::string bad_tag = bytes;
+  bad_tag[1 + 1 + 8 + 24 + 4] = 0x7f;
+  EXPECT_FALSE(DecodeFeedRecord(bad_tag, &offset).ok());
+}
+
+TEST(WireTest, SecondRecordDecodesAfterFirst) {
+  FeedRecord a = SampleRecord();
+  FeedRecord b;
+  b.at = 99;
+  b.values = {Value::Int(1), Value::Int(2)};
+  std::string stream = EncodeFeedRecord(a);
+  AppendFeedRecord(b, &stream);
+  size_t offset = 0;
+  ASSERT_OK_AND_ASSIGN(FeedRecord first, DecodeFeedRecord(stream, &offset));
+  ASSERT_OK_AND_ASSIGN(FeedRecord second, DecodeFeedRecord(stream, &offset));
+  EXPECT_EQ(offset, stream.size());
+  ExpectSameRecord(a, first);
+  ExpectSameRecord(b, second);
+}
+
+}  // namespace
+}  // namespace strip

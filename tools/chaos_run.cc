@@ -8,6 +8,13 @@
 //   chaos_run --seeds N,M,K            # several seeds, stop at first fail
 //   chaos_run --seed N --flight-record=PATH   # dump trace+metrics on fail
 //   chaos_run --seed N --plant-failure=STEP   # force a failure at STEP
+//   chaos_run --seed N --cluster=SHARDS       # sharded run, invariant (g)
+//
+// --cluster=SHARDS routes the feed across SHARDS simulated shard engines
+// behind the symbol-hash router, with two-tier view maintenance shipping
+// folded deltas to a merge engine; at quiescence the merged composite view
+// must equal a recompute over the union of shard tables (invariant g).
+// --shrink is single-engine only and is ignored with --cluster.
 //
 // --plant-failure corrupts the derived table after STEP executor steps so
 // the invariant suite must trip; combined with --flight-record it produces
@@ -33,7 +40,7 @@ void Usage() {
                "usage: chaos_run --seed N | --seeds N,M,K\n"
                "                 [--events E] [--syms S] [--shrink]\n"
                "                 [--verbose] [--flight-record=PATH]\n"
-               "                 [--plant-failure=STEP]\n");
+               "                 [--plant-failure=STEP] [--cluster=SHARDS]\n");
   std::exit(2);
 }
 
@@ -54,14 +61,15 @@ std::vector<uint64_t> ParseSeeds(const char* arg) {
 
 void PrintReport(const strip::ChaosReport& r) {
   std::printf("  steps=%llu tasks=%llu feed=%llu applied=%llu "
-              "rule_tasks=%llu merged=%llu wait_die=%llu\n",
+              "rule_tasks=%llu merged=%llu wait_die=%llu deltas=%llu\n",
               static_cast<unsigned long long>(r.steps),
               static_cast<unsigned long long>(r.tasks_run),
               static_cast<unsigned long long>(r.feed_events),
               static_cast<unsigned long long>(r.applied_updates),
               static_cast<unsigned long long>(r.rule_tasks_created),
               static_cast<unsigned long long>(r.firings_merged),
-              static_cast<unsigned long long>(r.wait_die_aborts));
+              static_cast<unsigned long long>(r.wait_die_aborts),
+              static_cast<unsigned long long>(r.deltas_shipped));
   std::printf("  injected: lock_aborts=%llu stalls=%llu delays=%llu "
               "costs=%llu\n",
               static_cast<unsigned long long>(r.injected.lock_aborts),
@@ -77,6 +85,7 @@ int main(int argc, char** argv) {
   strip::ChaosOptions base;
   bool shrink = false;
   bool verbose = false;
+  int cluster_shards = 0;  // 0 = single-engine RunChaos
 
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
@@ -96,6 +105,9 @@ int main(int argc, char** argv) {
     } else if (!std::strncmp(argv[i], "--plant-failure=", 16)) {
       base.plant_failure_at_step =
           std::strtoull(argv[i] + 16, nullptr, 0);
+    } else if (!std::strncmp(argv[i], "--cluster=", 10)) {
+      cluster_shards = std::atoi(argv[i] + 10);
+      if (cluster_shards < 1) Usage();
     } else {
       Usage();
     }
@@ -105,16 +117,31 @@ int main(int argc, char** argv) {
   for (uint64_t seed : seeds) {
     strip::ChaosOptions o = base;
     o.seed = seed;
-    std::printf("chaos seed %llu (%d events, %d syms) ... ",
-                static_cast<unsigned long long>(seed), o.num_events,
-                o.num_syms);
+    if (cluster_shards > 0) {
+      std::printf("chaos seed %llu (%d events, %d syms, %d shards) ... ",
+                  static_cast<unsigned long long>(seed), o.num_events,
+                  o.num_syms, cluster_shards);
+    } else {
+      std::printf("chaos seed %llu (%d events, %d syms) ... ",
+                  static_cast<unsigned long long>(seed), o.num_events,
+                  o.num_syms);
+    }
     std::fflush(stdout);
-    strip::ChaosReport r = strip::RunChaos(o);
+    strip::ChaosReport r = cluster_shards > 0
+                               ? strip::RunClusterChaos(o, cluster_shards)
+                               : strip::RunChaos(o);
     std::printf("%s\n", r.ok ? "ok" : "FAIL");
     if (verbose || !r.ok) PrintReport(r);
     if (r.ok) continue;
 
     std::fprintf(stderr, "chaos FAILURE: %s\n", r.failure.c_str());
+    if (cluster_shards > 0) {
+      std::fprintf(stderr, "reproduce: chaos_run --seed %llu --events %d "
+                           "--syms %d --cluster=%d\n",
+                   static_cast<unsigned long long>(seed), o.num_events,
+                   o.num_syms, cluster_shards);
+      return 1;  // the shrinker is single-engine only
+    }
     std::fprintf(stderr, "reproduce: chaos_run --seed %llu --events %d "
                          "--syms %d\n",
                  static_cast<unsigned long long>(seed), o.num_events,

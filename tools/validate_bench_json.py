@@ -69,6 +69,16 @@ def check_registry_snapshot(path, snap, where):
         fail(path, f"{where}: registry snapshot is not an object")
     if not snap:  # "{}" when metrics were disabled for the run
         return
+    if "merge" in snap and "counters" not in snap:
+        # Cluster snapshot (Cluster::MetricsJson): per-engine registries
+        # keyed "shard0".."shardN-1" and "merge", plus cluster counters.
+        for k, v in snap.items():
+            if k == "merge" or k.startswith("shard"):
+                check_registry_snapshot(path, v, f"{where}.{k}")
+            elif not isinstance(v, int) or v < 0:
+                fail(path, f"{where}: cluster counter '{k}' is not a "
+                           "non-negative int")
+        return
     for section in ("counters", "gauges", "histograms"):
         if section not in snap:
             fail(path, f"{where}: snapshot missing '{section}'")
@@ -177,6 +187,45 @@ def check_observability(path, metrics):
                        "finite number")
 
 
+def check_sharded(path, metrics):
+    """Extra checks for BENCH_sharded_pta.json: every configuration's run
+    entry must show an intact delta pipeline (no dropped shipments) and a
+    merged view verified against the single-engine replay, and the headline
+    shard-speedup fields must be present and finite."""
+    runs = metrics.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail(path, "metrics.runs is not a non-empty list")
+    for i, run in enumerate(runs):
+        where = f"runs[{i}]"
+        if not isinstance(run, dict):
+            fail(path, f"{where}: not an object")
+        for field in ("shards", "firings", "deltas_shipped"):
+            v = run.get(field)
+            if not isinstance(v, int) or v < 0:
+                fail(path, f"{where}: '{field}' is not a non-negative int")
+        if run["shards"] < 1:
+            fail(path, f"{where}: 'shards' must be >= 1")
+        fps = run.get("firings_per_second")
+        if not isinstance(fps, (int, float)) or not math.isfinite(fps) \
+                or fps < 0:
+            fail(path, f"{where}: 'firings_per_second' is not a "
+                       "non-negative finite number")
+        if run.get("staging_failed") != 0:
+            fail(path, f"{where}: staging_failed is not 0 — delta "
+                       "shipments were dropped on the shard->merge boundary")
+        if run.get("matches_single_engine") is not True:
+            fail(path, f"{where}: matches_single_engine is not true — the "
+                       "merged view was not verified against the "
+                       "single-engine replay")
+    speedup = metrics.get("speedup_4_shards_vs_1")
+    if not isinstance(speedup, (int, float)) or not math.isfinite(speedup) \
+            or speedup < 0:
+        fail(path, "metrics.speedup_4_shards_vs_1 is not a non-negative "
+                   "finite number")
+    if not isinstance(metrics.get("meets_3x_target"), bool):
+        fail(path, "metrics.meets_3x_target is not a bool")
+
+
 def check_bench(path, f=None):
     doc = load_strict(path, f if f is not None else open(path))
     for field, want in (("name", str), ("repo_rev", str),
@@ -191,6 +240,8 @@ def check_bench(path, f=None):
         check_registry_snapshot(path, snap, where)
     if doc["name"] == "observability":
         check_observability(path, doc["metrics"])
+    if doc["name"] == "sharded_pta":
+        check_sharded(path, doc["metrics"])
     print(f"{path}: ok (name={doc['name']}, rev={doc['repo_rev'][:12]})")
 
 
@@ -268,6 +319,52 @@ _GOOD_OBS_BENCH = """{
   }
 }""" % (_OBS_HIST, _OBS_HIST, _OBS_HIST)
 
+_GOOD_SHARDED_BENCH = """{
+  "name": "sharded_pta", "repo_rev": "deadbeef", "config": {},
+  "metrics": {
+    "runs": [
+      {"shards": 1, "workers": 4, "firings": 100,
+       "firings_per_second": 50.0, "deltas_shipped": 20,
+       "staging_failed": 0, "matches_single_engine": true,
+       "registry": {}},
+      {"shards": 4, "workers": 4, "firings": 100,
+       "firings_per_second": 175.0, "deltas_shipped": 60,
+       "staging_failed": 0, "matches_single_engine": true,
+       "registry": {"num_shards": 4, "deltas_shipped": 60,
+                    "shard0": {"counters": {"c": 1}, "gauges": {},
+                               "histograms": {}},
+                    "merge": {"counters": {}, "gauges": {},
+                              "histograms": {}}}}
+    ],
+    "speedup_4_shards_vs_1": 3.5,
+    "meets_3x_target": true
+  }
+}"""
+
+_BAD_SHARDED_BENCHES = {
+    "dropped shipment": _GOOD_SHARDED_BENCH.replace(
+        '"staging_failed": 0, "matches_single_engine": true,\n'
+        '       "registry": {}},', '"staging_failed": 2, '
+        '"matches_single_engine": true,\n       "registry": {}},', 1),
+    "unverified merge": _GOOD_SHARDED_BENCH.replace(
+        '"matches_single_engine": true', '"matches_single_engine": false',
+        1),
+    "zero shards": _GOOD_SHARDED_BENCH.replace('"shards": 1', '"shards": 0'),
+    "missing speedup": _GOOD_SHARDED_BENCH.replace(
+        '"speedup_4_shards_vs_1"', '"speedup_gone"'),
+    "no target flag": _GOOD_SHARDED_BENCH.replace(
+        '"meets_3x_target": true', '"meets_3x_target": "yes"'),
+    "empty runs": _GOOD_SHARDED_BENCH.replace(
+        '"runs": [', '"runs_gone": [').replace(
+        '"speedup_4_shards_vs_1": 3.5',
+        '"runs": [], "speedup_4_shards_vs_1": 3.5'),
+    "bad shard sub-snapshot": _GOOD_SHARDED_BENCH.replace(
+        '"shard0": {"counters": {"c": 1}',
+        '"shard0": {"counters": {"c": -1}'),
+    "bad cluster counter": _GOOD_SHARDED_BENCH.replace(
+        '"num_shards": 4', '"num_shards": -4'),
+}
+
 _BAD_OBS_BENCHES = {
     "never sheds": _GOOD_OBS_BENCH.replace('"reached_shed": true',
                                            '"reached_shed": false'),
@@ -297,9 +394,11 @@ def self_test():
 
     check_bench("<good>", io.StringIO(_GOOD_BENCH))
     check_bench("<good observability>", io.StringIO(_GOOD_OBS_BENCH))
+    check_bench("<good sharded>", io.StringIO(_GOOD_SHARDED_BENCH))
 
     accepted = []
-    for name, doc in {**_BAD_BENCHES, **_BAD_OBS_BENCHES}.items():
+    for name, doc in {**_BAD_BENCHES, **_BAD_OBS_BENCHES,
+                      **_BAD_SHARDED_BENCHES}.items():
         try:
             check_bench(f"<bad: {name}>", io.StringIO(doc))
             accepted.append(name)
