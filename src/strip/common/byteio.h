@@ -1,0 +1,148 @@
+#ifndef STRIP_COMMON_BYTEIO_H_
+#define STRIP_COMMON_BYTEIO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "strip/common/status.h"
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+/// Little-endian byte-buffer primitives shared by everything above the v1
+/// record codec: the v2 frame envelope, the session protocol, and the WAL.
+/// Writers append to a std::string; ByteReader is a bounds-checked cursor
+/// that fails with InvalidArgument (never reads past the end) on
+/// truncation, which the callers surface as "torn" input.
+
+inline void PutU8(uint8_t v, std::string* out) {
+  out->push_back(static_cast<char>(v));
+}
+
+inline void PutU16(uint16_t v, std::string* out) {
+  for (int i = 0; i < 2; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+inline void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+/// u32 length prefix + bytes. Strings on the wire are opaque octets.
+inline void PutLengthPrefixed(std::string_view s, std::string* out) {
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->append(s);
+}
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view buf, size_t offset = 0)
+      : buf_(buf), pos_(offset) {}
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return buf_.size() - pos_; }
+
+  /// True once every byte has been consumed — strict decoders require this
+  /// so a payload with trailing garbage is rejected, not silently accepted.
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+  Result<uint8_t> U8() {
+    STRIP_RETURN_IF_ERROR(Need(1));
+    return static_cast<uint8_t>(buf_[pos_++]);
+  }
+
+  Result<uint16_t> U16() {
+    STRIP_RETURN_IF_ERROR(Need(2));
+    uint16_t v = 0;
+    for (int i = 0; i < 2; ++i) {
+      v = static_cast<uint16_t>(
+          v | static_cast<uint16_t>(static_cast<uint8_t>(buf_[pos_ + i]))
+                  << (8 * i));
+    }
+    pos_ += 2;
+    return v;
+  }
+
+  Result<uint32_t> U32() {
+    STRIP_RETURN_IF_ERROR(Need(4));
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(buf_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  Result<uint64_t> U64() {
+    STRIP_RETURN_IF_ERROR(Need(8));
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(buf_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<std::string> Bytes(size_t n) {
+    STRIP_RETURN_IF_ERROR(Need(n));
+    std::string s(buf_.substr(pos_, n));
+    pos_ += n;
+    return s;
+  }
+
+  /// Reads a u32 length prefix, then that many bytes. The length is
+  /// validated against the remaining buffer before any allocation.
+  Result<std::string> LengthPrefixed() {
+    STRIP_ASSIGN_OR_RETURN(uint32_t n, U32());
+    if (n > remaining()) {
+      return Status::InvalidArgument(StrFormat(
+          "length prefix %u exceeds the %zu remaining bytes at offset %zu",
+          n, remaining(), pos_ - 4));
+    }
+    return Bytes(n);
+  }
+
+  /// Advances past `n` bytes without materializing them (used when a
+  /// nested codec already consumed them from the underlying buffer).
+  Status Skip(size_t n) {
+    STRIP_RETURN_IF_ERROR(Need(n));
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// The rest of the buffer (possibly empty); consumes it.
+  std::string Rest() {
+    std::string s(buf_.substr(pos_));
+    pos_ = buf_.size();
+    return s;
+  }
+
+ private:
+  Status Need(size_t n) {
+    if (n > remaining()) {
+      return Status::InvalidArgument(StrFormat(
+          "buffer truncated at offset %zu (need %zu bytes, have %zu)",
+          pos_, n, remaining()));
+    }
+    return Status::OK();
+  }
+
+  std::string_view buf_;
+  size_t pos_;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_COMMON_BYTEIO_H_

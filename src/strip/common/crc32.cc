@@ -1,0 +1,34 @@
+#include "strip/common/crc32.h"
+
+#include <array>
+
+namespace strip {
+
+namespace {
+
+/// The reflected-polynomial lookup table, built once on first use.
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32(uint32_t crc, const void* data, size_t n) {
+  static const std::array<uint32_t, 256> table = BuildTable();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFF] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace strip

@@ -1,0 +1,27 @@
+#ifndef STRIP_COMMON_CRC32_H_
+#define STRIP_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace strip {
+
+/// CRC-32 (ISO-HDLC / zlib polynomial 0xEDB88320), the checksum guarding
+/// every v2 wire frame and every WAL entry. Table-driven, byte-at-a-time:
+/// the payloads it covers are small (frames cap at kMaxFramePayload) and
+/// the durability path is dominated by fsync, so simplicity beats a
+/// slice-by-8 implementation here.
+///
+/// `Crc32(data)` is the one-shot form. The (crc, data) overload continues
+/// a running checksum so multi-buffer callers (WAL header + payload) can
+/// fold without concatenating.
+uint32_t Crc32(uint32_t crc, const void* data, size_t n);
+
+inline uint32_t Crc32(std::string_view data) {
+  return Crc32(0, data.data(), data.size());
+}
+
+}  // namespace strip
+
+#endif  // STRIP_COMMON_CRC32_H_

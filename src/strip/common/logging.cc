@@ -1,6 +1,7 @@
 #include "strip/common/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -81,6 +82,25 @@ void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
 void FatalError(const char* file, int line, const char* msg) {
   LogMessage(LogLevel::kFatal, file, line, "%s", msg);
   std::abort();  // unreachable: LogMessage aborts on kFatal
+}
+
+bool LogRateLimiter::ShouldLog(uint64_t* suppressed) {
+  int64_t now = std::chrono::duration_cast<std::chrono::microseconds>(
+                    std::chrono::steady_clock::now().time_since_epoch())
+                    .count();
+  int64_t next = next_allowed_us_.load(std::memory_order_relaxed);
+  while (now >= next) {
+    if (next_allowed_us_.compare_exchange_weak(next, now + interval_us_,
+                                               std::memory_order_relaxed)) {
+      if (suppressed != nullptr) {
+        *suppressed = suppressed_.exchange(0, std::memory_order_relaxed);
+      }
+      return true;
+    }
+    // `next` reloaded by the failed CAS; another thread won this window.
+  }
+  suppressed_.fetch_add(1, std::memory_order_relaxed);
+  return false;
 }
 
 }  // namespace strip

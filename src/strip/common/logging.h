@@ -1,6 +1,8 @@
 #ifndef STRIP_COMMON_LOGGING_H_
 #define STRIP_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <string>
 
@@ -41,6 +43,27 @@ void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
 /// violations where returning Status::Internal is impossible (destructors,
 /// noexcept paths).
 [[noreturn]] void FatalError(const char* file, int line, const char* msg);
+
+/// Throttle for log statements on hot paths: ShouldLog() returns true at
+/// most once per `interval_us` (the first call always passes) and reports
+/// how many calls it swallowed since the last pass, so the emitted message
+/// can say "N similar suppressed" instead of the N messages. Counters the
+/// statement accompanies stay exact — only the log line is throttled.
+/// Thread-safe and wait-free (one CAS per passing call).
+class LogRateLimiter {
+ public:
+  explicit LogRateLimiter(int64_t interval_us = 5'000'000)
+      : interval_us_(interval_us) {}
+
+  /// True when the caller should emit. On true, *suppressed (may be null)
+  /// gets the number of calls swallowed since the last emission.
+  bool ShouldLog(uint64_t* suppressed = nullptr);
+
+ private:
+  const int64_t interval_us_;
+  std::atomic<int64_t> next_allowed_us_{0};
+  std::atomic<uint64_t> suppressed_{0};
+};
 
 // Spellable enumerator aliases so STRIP_LOG(INFO, ...) reads naturally at
 // the call site while staying a compile-time constant for the level gate.

@@ -1,0 +1,137 @@
+#include "strip/durability/durable_log.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "strip/common/logging.h"
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+DurableLog::DurableLog(Options options)
+    : options_(std::move(options)),
+      wal_path_(options_.dir + "/feed.wal"),
+      snapshot_path_(options_.dir + "/state.snap") {}
+
+Result<DurableLog::RecoveryStats> DurableLog::Recover(
+    Database& db, const ImporterResolver& resolver) {
+  std::lock_guard<std::mutex> lk(mu_);
+  STRIP_CHECK_MSG(wal_ == nullptr, "DurableLog::Recover called twice");
+  RecoveryStats stats;
+
+  // 1. Snapshot, if one has ever been checkpointed.
+  auto snap = LoadSnapshot(snapshot_path_);
+  if (snap.ok()) {
+    STRIP_RETURN_IF_ERROR(RestoreSnapshot(db, *snap));
+    stats.snapshot_loaded = true;
+    stats.snapshot_lsn = snap->lsn;
+    for (const TableSnapshot& ts : snap->tables) {
+      stats.snapshot_rows += ts.rows.size();
+    }
+  } else if (snap.status().code() != StatusCode::kNotFound) {
+    return snap.status();  // a corrupt snapshot is not silently skipped
+  }
+
+  // 2. Replay the WAL tail through the ordinary feed path.
+  STRIP_ASSIGN_OR_RETURN(
+      WalReplayResult replay,
+      WalReplay(wal_path_, stats.snapshot_lsn + 1,
+                [&](const WalEntry& entry) -> Status {
+                  STRIP_ASSIGN_OR_RETURN(FeedImporter * imp,
+                                         resolver(entry.table));
+                  // Synchronous, in LSN order — the same total order the
+                  // live server applied (its dispatch lock serializes
+                  // appends), so the recovered tables are byte-identical.
+                  // Re-stamp arrival onto THIS process's clock: the logged
+                  // `at` belongs to the dead process's epoch; the replayed
+                  // batch arrives "now" and delay windows re-open from
+                  // here, which is what rebuilds the in-flight unique
+                  // transactions.
+                  FeedRecord rec = entry.record;
+                  rec.at = db.Now();
+                  return imp->ApplyNow(rec);
+                }));
+  stats.entries_replayed = replay.entries_replayed;
+  stats.torn_bytes_discarded = replay.torn_bytes;
+  stats.next_lsn = replay.next_lsn;
+  if (stats.snapshot_lsn + 1 > stats.next_lsn) {
+    // Empty / truncated WAL after a checkpoint: the snapshot is ahead.
+    stats.next_lsn = stats.snapshot_lsn + 1;
+  }
+
+  // 3. Drop the torn tail so reopened appends extend the *valid* prefix —
+  // appending after garbage would turn a tolerated torn tail into fatal
+  // interior corruption on the next recovery.
+  if (replay.torn_bytes > 0) {
+    if (::truncate(wal_path_.c_str(),
+                   static_cast<off_t>(replay.valid_bytes)) != 0) {
+      return Status::Internal(StrFormat(
+          "truncate('%s', %llu) failed: %s", wal_path_.c_str(),
+          static_cast<unsigned long long>(replay.valid_bytes),
+          std::strerror(errno)));
+    }
+  }
+
+  STRIP_ASSIGN_OR_RETURN(
+      wal_, WalWriter::Open(wal_path_, stats.next_lsn, options_.sync));
+  STRIP_LOG(INFO,
+            "recovery: snapshot %s (lsn %llu, %llu rows), %llu WAL entries "
+            "replayed, %llu torn bytes discarded, next lsn %llu",
+            stats.snapshot_loaded ? "loaded" : "absent",
+            static_cast<unsigned long long>(stats.snapshot_lsn),
+            static_cast<unsigned long long>(stats.snapshot_rows),
+            static_cast<unsigned long long>(stats.entries_replayed),
+            static_cast<unsigned long long>(stats.torn_bytes_discarded),
+            static_cast<unsigned long long>(stats.next_lsn));
+  return stats;
+}
+
+Result<uint64_t> DurableLog::Append(const std::string& table,
+                                    const FeedRecord& rec) {
+  std::lock_guard<std::mutex> lk(mu_);
+  STRIP_CHECK_MSG(wal_ != nullptr, "DurableLog::Append before Recover");
+  return wal_->Append(table, rec);
+}
+
+Status DurableLog::Sync() {
+  std::lock_guard<std::mutex> lk(mu_);
+  STRIP_CHECK_MSG(wal_ != nullptr, "DurableLog::Sync before Recover");
+  return wal_->Sync();
+}
+
+Result<uint64_t> DurableLog::Checkpoint(Database& db) {
+  std::lock_guard<std::mutex> lk(mu_);
+  STRIP_CHECK_MSG(wal_ != nullptr, "DurableLog::Checkpoint before Recover");
+  uint64_t lsn = wal_->next_lsn() - 1;
+  SnapshotData snap = CaptureSnapshot(db, lsn);
+  STRIP_RETURN_IF_ERROR(WriteSnapshot(snap, snapshot_path_));
+  // The snapshot covers every logged entry, so the WAL restarts empty.
+  // Order matters: snapshot is durably in place first; a crash between
+  // the rename and this truncate only means a few entries get replayed
+  // on top of a snapshot that already contains them — idempotent upserts.
+  wal_.reset();
+  if (::truncate(wal_path_.c_str(), 0) != 0) {
+    return Status::Internal(StrFormat(
+        "truncate('%s') failed: %s", wal_path_.c_str(),
+        std::strerror(errno)));
+  }
+  STRIP_ASSIGN_OR_RETURN(
+      wal_, WalWriter::Open(wal_path_, lsn + 1, options_.sync));
+  STRIP_LOG(INFO, "checkpoint: snapshot through lsn %llu, WAL truncated",
+            static_cast<unsigned long long>(lsn));
+  return lsn;
+}
+
+uint64_t DurableLog::next_lsn() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return wal_ == nullptr ? 1 : wal_->next_lsn();
+}
+
+uint64_t DurableLog::wal_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return wal_ == nullptr ? 0 : wal_->size_bytes();
+}
+
+}  // namespace strip

@@ -1,0 +1,253 @@
+#include "strip/durability/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "strip/common/byteio.h"
+#include "strip/common/crc32.h"
+#include "strip/common/string_util.h"
+#include "strip/feed/wire.h"
+
+namespace strip {
+
+namespace {
+
+Status SyncFd(int fd, const char* what) {
+  if (::fsync(fd) != 0) {
+    return Status::Internal(StrFormat(
+        "fsync(%s) failed: %s", what, std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// fsyncs the directory containing `path` so the rename itself is durable.
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::Internal(StrFormat(
+        "open('%s') for dirsync failed: %s", dir.c_str(),
+        std::strerror(errno)));
+  }
+  Status st = SyncFd(fd, dir.c_str());
+  ::close(fd);
+  return st;
+}
+
+}  // namespace
+
+SnapshotData CaptureSnapshot(Database& db, uint64_t lsn) {
+  SnapshotData snap;
+  snap.lsn = lsn;
+  for (const std::string& name : db.catalog().ListTables()) {
+    const Table* table = db.catalog().FindTable(name);
+    if (table == nullptr) continue;
+    TableSnapshot ts;
+    ts.name = table->name();
+    ts.columns = table->schema().columns();
+    ts.rows.reserve(table->size());
+    table->ForEachRecord([&](const RecordRef& rec) {
+      ts.rows.push_back(rec->values);
+    });
+    snap.tables.push_back(std::move(ts));
+  }
+  return snap;
+}
+
+Status WriteSnapshot(const SnapshotData& snap, const std::string& path) {
+  std::string body;
+  PutU32(static_cast<uint32_t>(snap.tables.size()), &body);
+  for (const TableSnapshot& ts : snap.tables) {
+    PutLengthPrefixed(ts.name, &body);
+    PutU32(static_cast<uint32_t>(ts.columns.size()), &body);
+    for (const Column& col : ts.columns) {
+      PutLengthPrefixed(col.name, &body);
+      PutU8(static_cast<uint8_t>(col.type), &body);
+    }
+    PutU64(ts.rows.size(), &body);
+    for (const std::vector<Value>& row : ts.rows) {
+      for (const Value& v : row) AppendValue(v, &body);
+    }
+  }
+
+  std::string file;
+  PutU32(kSnapshotMagic, &file);
+  PutU32(kSnapshotVersion, &file);
+  PutU64(snap.lsn, &file);
+  PutU32(static_cast<uint32_t>(body.size()), &file);
+  PutU32(Crc32(body), &file);
+  file += body;
+
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::Internal(StrFormat(
+        "open('%s') failed: %s", tmp.c_str(), std::strerror(errno)));
+  }
+  const char* data = file.data();
+  size_t n = file.size();
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return Status::Internal(StrFormat(
+          "write('%s') failed: %s", tmp.c_str(), std::strerror(err)));
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  Status st = SyncFd(fd, tmp.c_str());
+  ::close(fd);
+  STRIP_RETURN_IF_ERROR(st);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal(StrFormat(
+        "rename('%s' -> '%s') failed: %s", tmp.c_str(), path.c_str(),
+        std::strerror(errno)));
+  }
+  return SyncParentDir(path);
+}
+
+Result<SnapshotData> LoadSnapshot(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::NotFound(StrFormat(
+        "no snapshot at '%s': %s", path.c_str(), std::strerror(errno)));
+  }
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return Status::Internal(StrFormat(
+          "read('%s') failed: %s", path.c_str(), std::strerror(err)));
+    }
+    if (r == 0) break;
+    data.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+
+  ByteReader r(data);
+  STRIP_ASSIGN_OR_RETURN(uint32_t magic, r.U32());
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument(StrFormat(
+        "'%s' is not a snapshot (magic 0x%08x)", path.c_str(), magic));
+  }
+  STRIP_ASSIGN_OR_RETURN(uint32_t version, r.U32());
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot '%s' has unsupported version %u", path.c_str(), version));
+  }
+  SnapshotData snap;
+  STRIP_ASSIGN_OR_RETURN(snap.lsn, r.U64());
+  STRIP_ASSIGN_OR_RETURN(uint32_t body_len, r.U32());
+  STRIP_ASSIGN_OR_RETURN(uint32_t crc, r.U32());
+  if (body_len != r.remaining()) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot '%s' truncated: header names %u body bytes, file has %zu "
+        "(crash mid-checkpoint should be impossible — checkpoints rename "
+        "into place)",
+        path.c_str(), body_len, r.remaining()));
+  }
+  std::string_view body(data.data() + r.pos(), body_len);
+  if (Crc32(body) != crc) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot '%s' failed its CRC check", path.c_str()));
+  }
+
+  ByteReader br(body);
+  STRIP_ASSIGN_OR_RETURN(uint32_t ntables, br.U32());
+  snap.tables.reserve(std::min<size_t>(ntables, br.remaining()));
+  for (uint32_t t = 0; t < ntables; ++t) {
+    TableSnapshot ts;
+    STRIP_ASSIGN_OR_RETURN(ts.name, br.LengthPrefixed());
+    STRIP_ASSIGN_OR_RETURN(uint32_t ncols, br.U32());
+    if (ncols == 0 || ncols > br.remaining()) {
+      return Status::InvalidArgument(StrFormat(
+          "snapshot '%s': table '%s' names %u columns", path.c_str(),
+          ts.name.c_str(), ncols));
+    }
+    for (uint32_t c = 0; c < ncols; ++c) {
+      Column col;
+      STRIP_ASSIGN_OR_RETURN(col.name, br.LengthPrefixed());
+      STRIP_ASSIGN_OR_RETURN(uint8_t type, br.U8());
+      if (type > static_cast<uint8_t>(ValueType::kString)) {
+        return Status::InvalidArgument(StrFormat(
+            "snapshot '%s': column '%s.%s' has bad type tag %u",
+            path.c_str(), ts.name.c_str(), col.name.c_str(), type));
+      }
+      col.type = static_cast<ValueType>(type);
+      ts.columns.push_back(std::move(col));
+    }
+    STRIP_ASSIGN_OR_RETURN(uint64_t nrows, br.U64());
+    // Each row costs at least one tag byte per column.
+    ts.rows.reserve(std::min<uint64_t>(nrows, br.remaining() / ncols));
+    for (uint64_t row = 0; row < nrows; ++row) {
+      std::vector<Value> values;
+      values.reserve(ncols);
+      for (uint32_t c = 0; c < ncols; ++c) {
+        size_t off = br.pos();
+        STRIP_ASSIGN_OR_RETURN(Value v, DecodeValue(body, &off));
+        STRIP_RETURN_IF_ERROR(br.Skip(off - br.pos()));
+        values.push_back(std::move(v));
+      }
+      ts.rows.push_back(std::move(values));
+    }
+    snap.tables.push_back(std::move(ts));
+  }
+  if (!br.exhausted()) {
+    return Status::InvalidArgument(StrFormat(
+        "snapshot '%s' has %zu trailing body bytes", path.c_str(),
+        br.remaining()));
+  }
+  return snap;
+}
+
+Status RestoreSnapshot(Database& db, const SnapshotData& snap) {
+  for (const TableSnapshot& ts : snap.tables) {
+    STRIP_ASSIGN_OR_RETURN(Table * table, db.catalog().GetTable(ts.name));
+    if (table->size() != 0) {
+      return Status::FailedPrecondition(StrFormat(
+          "cannot restore into non-empty table '%s' (%zu rows)",
+          ts.name.c_str(), table->size()));
+    }
+    const Schema& live = table->schema();
+    if (live.num_columns() != static_cast<int>(ts.columns.size())) {
+      return Status::FailedPrecondition(StrFormat(
+          "snapshot table '%s' has %zu columns, live schema has %d — the "
+          "schema script diverged from the snapshot",
+          ts.name.c_str(), ts.columns.size(), live.num_columns()));
+    }
+    for (int c = 0; c < live.num_columns(); ++c) {
+      const Column& want = ts.columns[static_cast<size_t>(c)];
+      if (!EqualsIgnoreCase(live.column(c).name, want.name) ||
+          live.column(c).type != want.type) {
+        return Status::FailedPrecondition(StrFormat(
+            "snapshot table '%s' column %d is %s %s, live schema has %s %s",
+            ts.name.c_str(), c, want.name.c_str(),
+            ValueTypeName(want.type), live.column(c).name.c_str(),
+            ValueTypeName(live.column(c).type)));
+      }
+    }
+    table->Reserve(ts.rows.size());
+    for (const std::vector<Value>& row : ts.rows) {
+      STRIP_ASSIGN_OR_RETURN(RowHandle handle,
+                             table->Insert(MakeRecord(row)));
+      (void)handle;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace strip

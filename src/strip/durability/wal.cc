@@ -1,0 +1,231 @@
+#include "strip/durability/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "strip/common/byteio.h"
+#include "strip/common/crc32.h"
+#include "strip/common/logging.h"
+#include "strip/common/string_util.h"
+#include "strip/feed/wire.h"
+
+namespace strip {
+
+namespace {
+
+/// Fixed part of every entry: magic + lsn + length + crc.
+constexpr size_t kEntryHeaderSize = 4 + 8 + 4 + 4;
+
+Status WriteAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(StrFormat(
+          "WAL write failed: %s", std::strerror(errno)));
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadWholeFile(const std::string& path, bool* exists) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      *exists = false;
+      return std::string();
+    }
+    return Status::Internal(StrFormat(
+        "open('%s') failed: %s", path.c_str(), std::strerror(errno)));
+  }
+  *exists = true;
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      int err = errno;
+      ::close(fd);
+      return Status::Internal(StrFormat(
+          "read('%s') failed: %s", path.c_str(), std::strerror(err)));
+    }
+    if (r == 0) break;
+    data.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return data;
+}
+
+/// True if a complete, CRC-valid entry exists anywhere in data[from..).
+/// Used to tell a torn tail from interior corruption: the writer emits one
+/// entry per write() in one thread, so a crash tears only the LAST entry —
+/// bad bytes with a whole valid entry after them cannot be a tear.
+bool TailHidesValidEntry(std::string_view data, size_t from) {
+  for (size_t pos = from; pos + kEntryHeaderSize <= data.size(); ++pos) {
+    ByteReader r(data, pos);
+    if (r.U32().take() != kWalEntryMagic) continue;
+    r.U64().take();  // lsn
+    uint32_t len = r.U32().take();
+    uint32_t crc = r.U32().take();
+    if (len > data.size() - pos - kEntryHeaderSize) continue;
+    if (Crc32(data.substr(pos + kEntryHeaderSize, len)) == crc) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   uint64_t next_lsn,
+                                                   WalSyncPolicy policy) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC,
+                  0644);
+  if (fd < 0) {
+    return Status::Internal(StrFormat(
+        "open('%s') for WAL append failed: %s", path.c_str(),
+        std::strerror(errno)));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    int err = errno;
+    ::close(fd);
+    return Status::Internal(StrFormat(
+        "lseek('%s') failed: %s", path.c_str(), std::strerror(err)));
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(
+      fd, next_lsn, policy, static_cast<uint64_t>(size)));
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> WalWriter::Append(const std::string& table,
+                                   const FeedRecord& rec) {
+  uint64_t lsn = next_lsn_;
+  // Payload first (its length and CRC go into the header).
+  std::string payload;
+  PutLengthPrefixed(table, &payload);
+  AppendFeedRecord(rec, &payload);
+
+  buf_.clear();
+  PutU32(kWalEntryMagic, &buf_);
+  PutU64(lsn, &buf_);
+  PutU32(static_cast<uint32_t>(payload.size()), &buf_);
+  PutU32(Crc32(payload), &buf_);
+  buf_ += payload;
+
+  // One write() for the whole entry: O_APPEND makes it a single atomic-ish
+  // extension, so a concurrent crash tears at most this one entry's tail —
+  // exactly the case Replay discards.
+  STRIP_RETURN_IF_ERROR(WriteAll(fd_, buf_.data(), buf_.size()));
+  size_bytes_ += buf_.size();
+  next_lsn_ = lsn + 1;
+  if (policy_ == WalSyncPolicy::kEveryAppend) {
+    STRIP_RETURN_IF_ERROR(Sync());
+  }
+  return lsn;
+}
+
+Status WalWriter::Sync() {
+  if (::fdatasync(fd_) != 0) {
+    return Status::Internal(StrFormat(
+        "fdatasync failed: %s", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<WalReplayResult> WalReplay(
+    const std::string& path, uint64_t from_lsn,
+    const std::function<Status(const WalEntry&)>& fn) {
+  WalReplayResult result;
+  bool exists = false;
+  STRIP_ASSIGN_OR_RETURN(std::string data, ReadWholeFile(path, &exists));
+  if (!exists) return result;
+
+  size_t pos = 0;
+  uint64_t expect_lsn = 0;  // 0 = take the first entry's lsn as the base
+  while (pos < data.size()) {
+    // Anything that fails to parse from here on is either a torn tail
+    // (tolerated: the entry was never acknowledged) or interior corruption
+    // (fatal). The distinction: a torn tail is by construction the LAST
+    // entry — the writer emits one entry per write() in one thread, so a
+    // full valid entry cannot follow torn bytes. Truncation and CRC
+    // failures end the scan here; whether they were really the tail is
+    // settled below by TailHidesValidEntry.
+    size_t remaining = data.size() - pos;
+    if (remaining < kEntryHeaderSize) break;  // torn header
+    ByteReader r(std::string_view(data), pos);
+    uint32_t magic = r.U32().take();
+    uint64_t lsn = r.U64().take();
+    uint32_t len = r.U32().take();
+    uint32_t crc = r.U32().take();
+    if (magic != kWalEntryMagic) {
+      return Status::Internal(StrFormat(
+          "WAL '%s': bad entry magic 0x%08x at offset %zu", path.c_str(),
+          magic, pos));
+    }
+    if (remaining - kEntryHeaderSize < len) break;  // torn payload
+    std::string_view payload(data.data() + pos + kEntryHeaderSize, len);
+    if (Crc32(payload) != crc) break;  // torn mid-entry overwrite
+    if (expect_lsn != 0 && lsn != expect_lsn) {
+      return Status::Internal(StrFormat(
+          "WAL '%s': LSN %llu follows %llu (chain broken) at offset %zu",
+          path.c_str(), static_cast<unsigned long long>(lsn),
+          static_cast<unsigned long long>(expect_lsn - 1), pos));
+    }
+
+    WalEntry entry;
+    entry.lsn = lsn;
+    ByteReader pr(payload);
+    STRIP_ASSIGN_OR_RETURN(entry.table, pr.LengthPrefixed());
+    size_t rec_off = pr.pos();
+    STRIP_ASSIGN_OR_RETURN(entry.record,
+                           DecodeFeedRecord(payload, &rec_off));
+    if (rec_off != payload.size()) {
+      return Status::Internal(StrFormat(
+          "WAL '%s': entry %llu has %zu trailing payload bytes",
+          path.c_str(), static_cast<unsigned long long>(lsn),
+          payload.size() - rec_off));
+    }
+
+    if (entry.lsn >= from_lsn) {
+      STRIP_RETURN_IF_ERROR(fn(entry));
+      ++result.entries_replayed;
+    }
+    expect_lsn = lsn + 1;
+    pos += kEntryHeaderSize + len;
+  }
+
+  result.valid_bytes = pos;
+  result.torn_bytes = data.size() - pos;
+  if (expect_lsn != 0) result.next_lsn = expect_lsn;
+  if (result.torn_bytes > 0 &&
+      TailHidesValidEntry(std::string_view(data), pos + 1)) {
+    // A whole valid entry past the bad bytes: these are acknowledged
+    // records after a damaged one — interior corruption, not a crash tear.
+    // Truncating here would silently lose them, so refuse to recover.
+    return Status::Internal(StrFormat(
+        "WAL '%s': entry at offset %zu is corrupt but valid entries follow "
+        "(interior corruption, not a torn tail)",
+        path.c_str(), pos));
+  }
+  if (result.torn_bytes > 0) {
+    STRIP_LOG(WARN,
+              "WAL '%s': discarding %llu torn tail bytes after %llu valid "
+              "entries (crash mid-append; the torn records were never "
+              "acknowledged)",
+              path.c_str(),
+              static_cast<unsigned long long>(result.torn_bytes),
+              static_cast<unsigned long long>(result.entries_replayed));
+  }
+  return result;
+}
+
+}  // namespace strip

@@ -1,0 +1,119 @@
+#ifndef STRIP_DURABILITY_WAL_H_
+#define STRIP_DURABILITY_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "strip/common/status.h"
+#include "strip/feed/feed.h"
+
+namespace strip {
+
+/// The replayable write-ahead feed log (DESIGN.md §2.6). STRIP's tables
+/// are main-memory; what makes a restarted server equal to the one that
+/// crashed is that the *input stream* is durable: every ingested feed
+/// record is appended (and fsynced, per policy) here before its upsert is
+/// acknowledged, so recovery = load the last snapshot, then re-run the
+/// tail of the feed through the same FeedImporter path. Rule firings —
+/// including the in-flight unique transactions that were queued inside a
+/// delay window at crash time — are not logged at all: replay re-triggers
+/// them, which is both simpler and *more* faithful than logging task state
+/// (the rule system is deterministic given the input stream and
+/// quiescence).
+///
+/// Entry layout (little-endian), one per ingested record:
+///
+///   u32 magic 'WALE'    u64 lsn
+///   u32 payload length  u32 CRC-32 of payload
+///   payload = u32 table-name length + name + wire-v1 FeedRecord
+///
+/// LSNs increase by 1 per entry, starting at first_lsn (1 for a fresh
+/// log). A kill -9 can tear the final entry mid-write; Replay treats a
+/// truncated or CRC-failing *tail* as the end of the log (those records
+/// were never acknowledged), but a bad entry *followed by a good one* is
+/// real corruption and fails recovery.
+
+inline constexpr uint32_t kWalEntryMagic = 0x454C4157;  // 'WALE'
+
+/// One durable feed record with its position in the log.
+struct WalEntry {
+  uint64_t lsn = 0;
+  std::string table;
+  FeedRecord record;
+};
+
+/// When appends reach the disk platter.
+enum class WalSyncPolicy {
+  /// fdatasync before every Append returns — a positive ack means the
+  /// record survives power loss. The latency floor is the device sync.
+  kEveryAppend,
+  /// Group commit: the caller syncs explicitly (the server syncs once per
+  /// FeedAppend batch before acking, amortizing the fsync over the batch).
+  kManual,
+};
+
+/// Appender. Not thread-safe: the server serializes appends through its
+/// ingest path (one writer is the log's ordering guarantee).
+class WalWriter {
+ public:
+  /// Opens (creating if absent) the log at `path` for appending. `next_lsn`
+  /// must be one past the last valid entry already in the file — Recover /
+  /// WalReplay report it.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 uint64_t next_lsn,
+                                                 WalSyncPolicy policy);
+
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record bound for `table`; returns its LSN. Under
+  /// kEveryAppend the entry is synced before returning.
+  Result<uint64_t> Append(const std::string& table, const FeedRecord& rec);
+
+  /// Forces everything appended so far to stable storage.
+  Status Sync();
+
+  /// LSN the next Append will get.
+  uint64_t next_lsn() const { return next_lsn_; }
+
+  /// Bytes in the log file (appended this session plus pre-existing).
+  uint64_t size_bytes() const { return size_bytes_; }
+
+ private:
+  WalWriter(int fd, uint64_t next_lsn, WalSyncPolicy policy,
+            uint64_t size_bytes)
+      : fd_(fd), next_lsn_(next_lsn), policy_(policy),
+        size_bytes_(size_bytes) {}
+
+  int fd_;
+  uint64_t next_lsn_;
+  WalSyncPolicy policy_;
+  uint64_t size_bytes_;
+  std::string buf_;  // reused encode buffer
+};
+
+/// Replay outcome: entries handed to the callback plus how the log ended.
+struct WalReplayResult {
+  uint64_t entries_replayed = 0;
+  uint64_t next_lsn = 1;        // one past the last valid entry
+  uint64_t valid_bytes = 0;     // file prefix that parsed cleanly
+  uint64_t torn_bytes = 0;      // discarded tail (crash mid-append)
+};
+
+/// Streams every valid entry with lsn >= `from_lsn` to `fn`, in order.
+/// Entries below `from_lsn` (already covered by a snapshot) are decoded —
+/// the CRC chain is still verified — but not delivered. A missing file is
+/// an empty log, not an error. Stops cleanly at a torn tail; fails on
+/// interior corruption or on the callback's first error.
+Result<WalReplayResult> WalReplay(
+    const std::string& path, uint64_t from_lsn,
+    const std::function<Status(const WalEntry&)>& fn);
+
+}  // namespace strip
+
+#endif  // STRIP_DURABILITY_WAL_H_

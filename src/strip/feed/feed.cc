@@ -120,6 +120,17 @@ Status FeedImporter::Apply(const FeedRecord& rec, TaskControlBlock* tcb) {
   return last;
 }
 
+Status FeedImporter::ApplyNow(const FeedRecord& rec) {
+  if (static_cast<int>(rec.values.size()) !=
+      table_->schema().num_columns()) {
+    return Status::InvalidArgument(StrFormat(
+        "feed record arity %zu does not match table '%s'",
+        rec.values.size(), table_->name().c_str()));
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return Apply(rec, nullptr);
+}
+
 Status FeedImporter::Submit(FeedRecord rec) {
   if (static_cast<int>(rec.values.size()) !=
       table_->schema().num_columns()) {

@@ -49,6 +49,14 @@ class FeedImporter {
   /// Submits one record as a task released at `rec.at`.
   Status Submit(FeedRecord rec);
 
+  /// Applies one record synchronously in the caller's thread: the upsert
+  /// runs (and commits, firing rules) before this returns; only the
+  /// triggered action tasks stay asynchronous. The network server uses
+  /// this instead of Submit so that per-key apply order equals WAL append
+  /// order — the property that makes crash-recovery replay land on the
+  /// byte-identical final state (DESIGN.md §2.6).
+  Status ApplyNow(const FeedRecord& rec);
+
   /// Submits a whole pre-loaded stream (the paper loads its trace into
   /// memory before the experiment, §4.1). Pre-reserves table capacity for
   /// the stream so the burst does not rehash the row directory mid-flight.

@@ -1,0 +1,138 @@
+#include "strip/feed/framing.h"
+
+#include "strip/common/crc32.h"
+#include "strip/common/logging.h"
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint32_t GetU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(p[i])) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* FrameTypeName(FrameType t) {
+  switch (t) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloOk: return "hello_ok";
+    case FrameType::kPrepare: return "prepare";
+    case FrameType::kPrepared: return "prepared";
+    case FrameType::kExec: return "exec";
+    case FrameType::kRows: return "rows";
+    case FrameType::kFeedAppend: return "feed_append";
+    case FrameType::kAppended: return "appended";
+    case FrameType::kPing: return "ping";
+    case FrameType::kPong: return "pong";
+    case FrameType::kAdmin: return "admin";
+    case FrameType::kAdminOk: return "admin_ok";
+    case FrameType::kError: return "error";
+  }
+  return "unknown";
+}
+
+Status AppendFrame(const Frame& frame, std::string* out) {
+  if (frame.payload.size() > kMaxFramePayload) {
+    return Status::InvalidArgument(StrFormat(
+        "frame payload of %zu bytes exceeds the %u-byte limit",
+        frame.payload.size(), kMaxFramePayload));
+  }
+  out->push_back(static_cast<char>(kFrameMagic));
+  out->push_back(static_cast<char>(kFrameVersion));
+  out->push_back(static_cast<char>(frame.type));
+  out->push_back(static_cast<char>(frame.flags));
+  PutU64(frame.seq, out);
+  PutU32(static_cast<uint32_t>(frame.payload.size()), out);
+  PutU32(Crc32(frame.payload), out);
+  out->append(frame.payload);
+  return Status::OK();
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  Status st = AppendFrame(frame, &out);
+  STRIP_CHECK_MSG(st.ok(), "EncodeFrame: oversized payload");
+  return out;
+}
+
+FrameDecode TryDecodeFrame(std::string_view buf, size_t* offset, Frame* out,
+                           std::string* error) {
+  const size_t start = *offset;
+  const size_t avail = buf.size() - start;
+  // Header fields are validated as soon as their bytes are present, so a
+  // hostile length or bad magic is rejected without waiting for (or
+  // allocating) a payload.
+  if (avail >= 1 && static_cast<uint8_t>(buf[start]) != kFrameMagic) {
+    *error = StrFormat("bad frame magic 0x%02x at offset %zu",
+                       static_cast<uint8_t>(buf[start]), start);
+    return FrameDecode::kCorrupt;
+  }
+  if (avail >= 2 && static_cast<uint8_t>(buf[start + 1]) != kFrameVersion) {
+    *error = StrFormat("unsupported frame version %u (expected %u)",
+                       static_cast<uint8_t>(buf[start + 1]), kFrameVersion);
+    return FrameDecode::kCorrupt;
+  }
+  if (avail >= 3) {
+    uint8_t type = static_cast<uint8_t>(buf[start + 2]);
+    if (type == 0 || type > kMaxFrameType) {
+      *error = StrFormat("bad frame type %u at offset %zu", type, start + 2);
+      return FrameDecode::kCorrupt;
+    }
+  }
+  if (avail >= 16) {
+    uint32_t len = GetU32(buf.data() + start + 12);
+    if (len > kMaxFramePayload) {
+      *error = StrFormat("frame payload length %u exceeds the %u-byte limit",
+                         len, kMaxFramePayload);
+      return FrameDecode::kCorrupt;
+    }
+  }
+  if (avail < kFrameHeaderSize) return FrameDecode::kNeedMore;
+
+  uint32_t len = GetU32(buf.data() + start + 12);
+  uint32_t crc = GetU32(buf.data() + start + 16);
+  if (avail < kFrameHeaderSize + len) return FrameDecode::kNeedMore;
+
+  std::string_view payload = buf.substr(start + kFrameHeaderSize, len);
+  uint32_t actual = Crc32(payload);
+  if (actual != crc) {
+    *error = StrFormat(
+        "frame CRC mismatch at offset %zu (header 0x%08x, payload 0x%08x)",
+        start, crc, actual);
+    return FrameDecode::kCorrupt;
+  }
+  out->type = static_cast<FrameType>(static_cast<uint8_t>(buf[start + 2]));
+  out->flags = static_cast<uint8_t>(buf[start + 3]);
+  out->seq = GetU64(buf.data() + start + 4);
+  out->payload.assign(payload);
+  *offset = start + kFrameHeaderSize + len;
+  return FrameDecode::kFrame;
+}
+
+}  // namespace strip

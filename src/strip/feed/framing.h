@@ -1,0 +1,98 @@
+#ifndef STRIP_FEED_FRAMING_H_
+#define STRIP_FEED_FRAMING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "strip/common/status.h"
+
+namespace strip {
+
+/// Wire v2: the framed request/response envelope the network front-end
+/// speaks (DESIGN.md §2.6). Where wire v1 (wire.h) concatenates bare feed
+/// records — fine between in-process cluster engines that trust each other
+/// — a socket carries bytes from arbitrary peers over a transport that can
+/// deliver partial reads, so v2 wraps every message in a self-delimiting,
+/// checksummed frame:
+///
+///   u8  magic 'F'         u8  version (kFrameVersion)
+///   u8  type (FrameType)  u8  flags
+///   u64 seq               (request id; responses echo their request's seq)
+///   u32 payload length    u32 CRC-32 of the payload bytes
+///   payload...
+///
+/// All integers little-endian; header is kFrameHeaderSize bytes. The
+/// payload encoding per type is net/protocol.h's business; this layer only
+/// guarantees that a decoded frame arrived whole and uncorrupted.
+///
+/// Decoding is incremental (TryDecodeFrame): a prefix of a frame is
+/// kNeedMore — the connection keeps reading — while a bad magic, version,
+/// type, an over-limit length, or a CRC mismatch is kCorrupt, after which
+/// the stream has lost sync and the connection must be dropped (there is
+/// no resynchronization marker; TCP gives us ordering, not framing).
+
+inline constexpr uint8_t kFrameMagic = 'F';
+inline constexpr uint8_t kFrameVersion = 2;
+inline constexpr size_t kFrameHeaderSize = 20;
+
+/// Hard ceiling on a single frame's payload. A length field above this is
+/// treated as corruption (or hostility), not as a request to buffer 4 GB:
+/// the decoder rejects the frame before allocating anything.
+inline constexpr uint32_t kMaxFramePayload = 16u << 20;  // 16 MiB
+
+/// Message kinds of the session protocol. Requests are odd-numbered, their
+/// responses even (kError answers any request).
+enum class FrameType : uint8_t {
+  kHello = 1,       // client -> server: protocol version + priority
+  kHelloOk = 2,     // server -> client: session accepted
+  kPrepare = 3,     // SQL text -> prepared-statement handle
+  kPrepared = 4,
+  kExec = 5,        // handle + '?' params -> rows / affected count
+  kRows = 6,
+  kFeedAppend = 7,  // wire-v1 feed records -> durable ack with WAL lsn
+  kAppended = 8,
+  kPing = 9,
+  kPong = 10,
+  kAdmin = 11,      // drain / checkpoint / stats (tests, smoke, ops)
+  kAdminOk = 12,
+  kError = 13,      // server -> client: status code + message
+};
+
+inline constexpr uint8_t kMaxFrameType = 13;
+
+const char* FrameTypeName(FrameType t);
+
+/// One decoded (or to-be-encoded) frame.
+struct Frame {
+  FrameType type = FrameType::kError;
+  uint8_t flags = 0;
+  uint64_t seq = 0;
+  std::string payload;
+};
+
+/// Appends the complete encoding of `frame` (header + payload) to `out`.
+/// Fails only if the payload exceeds kMaxFramePayload.
+Status AppendFrame(const Frame& frame, std::string* out);
+
+/// Convenience: encode into a fresh string (payload must be within limit;
+/// CHECK-fails otherwise — callers building oversized frames are bugs, not
+/// input errors).
+std::string EncodeFrame(const Frame& frame);
+
+/// Incremental decode outcome; see TryDecodeFrame.
+enum class FrameDecode {
+  kFrame,     // *out holds a whole verified frame; *offset advanced
+  kNeedMore,  // buf[*offset..] is a valid proper prefix; read more bytes
+  kCorrupt,   // stream lost sync (details in *error); drop the connection
+};
+
+/// Attempts to decode one frame starting at `buf[*offset]`. On kFrame the
+/// offset advances past it; otherwise the offset is untouched. `error` is
+/// filled only for kCorrupt.
+FrameDecode TryDecodeFrame(std::string_view buf, size_t* offset, Frame* out,
+                           std::string* error);
+
+}  // namespace strip
+
+#endif  // STRIP_FEED_FRAMING_H_

@@ -1,5 +1,6 @@
 #include "strip/feed/wire.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "strip/common/string_util.h"
@@ -95,7 +96,57 @@ class Reader {
   size_t pos_;
 };
 
+/// Decodes one tagged value through an already-positioned reader.
+Result<Value> ReadValue(Reader& r) {
+  STRIP_ASSIGN_OR_RETURN(uint8_t tag, r.U8());
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kInt: {
+      STRIP_ASSIGN_OR_RETURN(uint64_t v, r.U64());
+      return Value::Int(static_cast<int64_t>(v));
+    }
+    case ValueType::kDouble: {
+      STRIP_ASSIGN_OR_RETURN(double d, r.Double());
+      return Value::Double(d);
+    }
+    case ValueType::kString: {
+      STRIP_ASSIGN_OR_RETURN(uint32_t len, r.U32());
+      STRIP_ASSIGN_OR_RETURN(std::string s, r.Bytes(len));
+      return Value::Str(std::move(s));
+    }
+    default:
+      return Status::InvalidArgument(StrFormat(
+          "bad wire value tag %u at offset %zu", tag, r.pos() - 1));
+  }
+}
+
 }  // namespace
+
+void AppendValue(const Value& v, std::string* out) {
+  PutU8(static_cast<uint8_t>(v.type()), out);
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      PutU64(static_cast<uint64_t>(v.as_int()), out);
+      break;
+    case ValueType::kDouble:
+      PutDouble(v.as_double(), out);
+      break;
+    case ValueType::kString:
+      PutU32(static_cast<uint32_t>(v.as_string().size()), out);
+      out->append(v.as_string());
+      break;
+  }
+}
+
+Result<Value> DecodeValue(std::string_view buf, size_t* offset) {
+  Reader r(buf, *offset);
+  STRIP_ASSIGN_OR_RETURN(Value v, ReadValue(r));
+  *offset = r.pos();
+  return v;
+}
 
 void AppendFeedRecord(const FeedRecord& rec, std::string* out) {
   PutU8(kMagic, out);
@@ -106,21 +157,7 @@ void AppendFeedRecord(const FeedRecord& rec, std::string* out) {
   PutU64(rec.trace.parent_span_id, out);
   PutU32(static_cast<uint32_t>(rec.values.size()), out);
   for (const Value& v : rec.values) {
-    PutU8(static_cast<uint8_t>(v.type()), out);
-    switch (v.type()) {
-      case ValueType::kNull:
-        break;
-      case ValueType::kInt:
-        PutU64(static_cast<uint64_t>(v.as_int()), out);
-        break;
-      case ValueType::kDouble:
-        PutDouble(v.as_double(), out);
-        break;
-      case ValueType::kString:
-        PutU32(static_cast<uint32_t>(v.as_string().size()), out);
-        out->append(v.as_string());
-        break;
-    }
+    AppendValue(v, out);
   }
 }
 
@@ -149,33 +186,16 @@ Result<FeedRecord> DecodeFeedRecord(std::string_view buf, size_t* offset) {
   STRIP_ASSIGN_OR_RETURN(rec.trace.span_id, r.U64());
   STRIP_ASSIGN_OR_RETURN(rec.trace.parent_span_id, r.U64());
   STRIP_ASSIGN_OR_RETURN(uint32_t count, r.U32());
-  rec.values.reserve(count);
+  // `count` is untrusted input: every value costs at least its 1-byte tag,
+  // so the bytes remaining after the header bound how many values could
+  // possibly follow. Reserving the raw u32 would let one corrupt byte
+  // demand a multi-GB allocation before the per-value bounds checks ever
+  // ran; the clamped reserve is exact for well-formed input (null-only
+  // records) and the loop below still rejects the torn stream.
+  rec.values.reserve(std::min<size_t>(count, buf.size() - r.pos()));
   for (uint32_t i = 0; i < count; ++i) {
-    STRIP_ASSIGN_OR_RETURN(uint8_t tag, r.U8());
-    switch (static_cast<ValueType>(tag)) {
-      case ValueType::kNull:
-        rec.values.push_back(Value::Null());
-        break;
-      case ValueType::kInt: {
-        STRIP_ASSIGN_OR_RETURN(uint64_t v, r.U64());
-        rec.values.push_back(Value::Int(static_cast<int64_t>(v)));
-        break;
-      }
-      case ValueType::kDouble: {
-        STRIP_ASSIGN_OR_RETURN(double d, r.Double());
-        rec.values.push_back(Value::Double(d));
-        break;
-      }
-      case ValueType::kString: {
-        STRIP_ASSIGN_OR_RETURN(uint32_t len, r.U32());
-        STRIP_ASSIGN_OR_RETURN(std::string s, r.Bytes(len));
-        rec.values.push_back(Value::Str(std::move(s)));
-        break;
-      }
-      default:
-        return Status::InvalidArgument(StrFormat(
-            "bad wire value tag %u at offset %zu", tag, r.pos() - 1));
-    }
+    STRIP_ASSIGN_OR_RETURN(Value v, ReadValue(r));
+    rec.values.push_back(std::move(v));
   }
   *offset = r.pos();
   return rec;

@@ -32,6 +32,16 @@ namespace strip {
 
 inline constexpr uint8_t kWireVersion = 1;
 
+/// Appends one tagged value (the per-value layout above). The same value
+/// encoding is shared by the v2 frame envelope (feed/framing.h), the
+/// session protocol (net/protocol.h), and the WAL (durability/wal.h), so
+/// a Value crosses every byte boundary in the system the same way.
+void AppendValue(const Value& v, std::string* out);
+
+/// Decodes one tagged value starting at `buf[*offset]`; advances `*offset`
+/// past it. Fails (offset untouched) on a bad tag or truncation.
+Result<Value> DecodeValue(std::string_view buf, size_t* offset);
+
 /// Appends the encoding of `rec` to `out`.
 void AppendFeedRecord(const FeedRecord& rec, std::string* out);
 

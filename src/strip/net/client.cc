@@ -1,0 +1,158 @@
+#include "strip/net/client.h"
+
+#include <cstring>
+#include <utility>
+
+#include "strip/common/byteio.h"
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+Result<std::unique_ptr<Client>> Client::Connect(
+    const std::string& host, uint16_t port, SessionPriority priority,
+    const std::string& client_name) {
+  STRIP_ASSIGN_OR_RETURN(Socket sock, Socket::Connect(host, port));
+
+  HelloRequest hello;
+  hello.protocol_version = kFrameVersion;
+  hello.priority = priority;
+  hello.client_name = client_name;
+  Frame req;
+  req.type = FrameType::kHello;
+  req.seq = 1;
+  req.payload = Encode(hello);
+  STRIP_RETURN_IF_ERROR(sock.WriteAll(EncodeFrame(req)));
+
+  STRIP_ASSIGN_OR_RETURN(Frame resp, ReadFrame(sock));
+  if (resp.type == FrameType::kError) {
+    STRIP_ASSIGN_OR_RETURN(ErrorResponse err,
+                           DecodeErrorResponse(resp.payload));
+    return ToStatus(err);
+  }
+  if (resp.type != FrameType::kHelloOk || resp.seq != req.seq) {
+    return Status::Internal(StrFormat(
+        "handshake: expected HelloOk seq 1, got type %u seq %llu",
+        static_cast<unsigned>(resp.type),
+        static_cast<unsigned long long>(resp.seq)));
+  }
+  STRIP_ASSIGN_OR_RETURN(HelloResponse ok, DecodeHelloResponse(resp.payload));
+  std::unique_ptr<Client> client(
+      new Client(std::move(sock), ok.session_id));
+  client->next_seq_ = 2;
+  return client;
+}
+
+Result<Frame> Client::ReadFrame(Socket& sock) {
+  char header[kFrameHeaderSize];
+  STRIP_RETURN_IF_ERROR(sock.ReadFully(header, sizeof(header)));
+  // payload_len lives at byte 12 (magic, version, type, flags, u64 seq).
+  uint32_t payload_len;
+  std::memcpy(&payload_len, header + 12, sizeof(payload_len));
+  if (payload_len > kMaxFramePayload) {
+    return Status::InvalidArgument(StrFormat(
+        "server announced a %u-byte payload (cap %u) — stream corrupt",
+        payload_len, kMaxFramePayload));
+  }
+  std::string buf(header, sizeof(header));
+  if (payload_len > 0) {
+    size_t off = buf.size();
+    buf.resize(off + payload_len);
+    STRIP_RETURN_IF_ERROR(sock.ReadFully(&buf[off], payload_len));
+  }
+  Frame frame;
+  size_t pos = 0;
+  std::string error;
+  switch (TryDecodeFrame(buf, &pos, &frame, &error)) {
+    case FrameDecode::kFrame:
+      return frame;
+    case FrameDecode::kNeedMore:
+      return Status::Internal("frame decoder wants more than the header "
+                              "promised");
+    case FrameDecode::kCorrupt:
+    default:
+      return Status::InvalidArgument(StrFormat(
+          "corrupt frame from server: %s", error.c_str()));
+  }
+}
+
+Result<Frame> Client::RoundTrip(FrameType type, std::string payload,
+                                FrameType expect) {
+  Frame req;
+  req.type = type;
+  req.seq = next_seq_++;
+  req.payload = std::move(payload);
+  std::string wire;
+  STRIP_RETURN_IF_ERROR(AppendFrame(req, &wire));
+  STRIP_RETURN_IF_ERROR(sock_.WriteAll(wire));
+
+  STRIP_ASSIGN_OR_RETURN(Frame resp, ReadFrame(sock_));
+  if (resp.seq != req.seq) {
+    return Status::Internal(StrFormat(
+        "response seq %llu does not match request seq %llu",
+        static_cast<unsigned long long>(resp.seq),
+        static_cast<unsigned long long>(req.seq)));
+  }
+  if (resp.type == FrameType::kError) {
+    STRIP_ASSIGN_OR_RETURN(ErrorResponse err,
+                           DecodeErrorResponse(resp.payload));
+    return ToStatus(err);
+  }
+  if (resp.type != expect) {
+    return Status::Internal(StrFormat(
+        "expected frame type %u, got %u", static_cast<unsigned>(expect),
+        static_cast<unsigned>(resp.type)));
+  }
+  return resp;
+}
+
+Result<PrepareResponse> Client::Prepare(const std::string& sql) {
+  PrepareRequest req;
+  req.sql = sql;
+  STRIP_ASSIGN_OR_RETURN(
+      Frame resp,
+      RoundTrip(FrameType::kPrepare, Encode(req), FrameType::kPrepared));
+  return DecodePrepareResponse(resp.payload);
+}
+
+Result<ExecResponse> Client::Exec(uint64_t handle,
+                                  const std::vector<Value>& params) {
+  ExecRequest req;
+  req.handle = handle;
+  req.params = params;
+  STRIP_ASSIGN_OR_RETURN(
+      Frame resp,
+      RoundTrip(FrameType::kExec, Encode(req), FrameType::kRows));
+  return DecodeExecResponse(resp.payload);
+}
+
+Result<FeedAppendResponse> Client::FeedAppend(
+    const std::string& table, const std::vector<FeedRecord>& records) {
+  FeedAppendRequest req;
+  req.table = table;
+  req.records = records;
+  STRIP_ASSIGN_OR_RETURN(
+      Frame resp,
+      RoundTrip(FrameType::kFeedAppend, Encode(req),
+                FrameType::kAppended));
+  return DecodeFeedAppendResponse(resp.payload);
+}
+
+Result<AdminResponse> Client::Admin(AdminOp op) {
+  AdminRequest req;
+  req.op = op;
+  STRIP_ASSIGN_OR_RETURN(
+      Frame resp,
+      RoundTrip(FrameType::kAdmin, Encode(req), FrameType::kAdminOk));
+  return DecodeAdminResponse(resp.payload);
+}
+
+Status Client::Ping(const std::string& token) {
+  STRIP_ASSIGN_OR_RETURN(
+      Frame resp, RoundTrip(FrameType::kPing, token, FrameType::kPong));
+  if (resp.payload != token) {
+    return Status::Internal("pong payload does not echo the ping token");
+  }
+  return Status::OK();
+}
+
+}  // namespace strip

@@ -1,0 +1,65 @@
+#ifndef STRIP_NET_CLIENT_H_
+#define STRIP_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "strip/feed/feed.h"
+#include "strip/net/protocol.h"
+#include "strip/net/socket.h"
+
+namespace strip {
+
+/// Blocking strip_server client: one TCP connection, strict
+/// request/response (one frame out, one frame back, matching seq). Not
+/// thread-safe — one Client per thread; the swarm driver does exactly
+/// that.
+class Client {
+ public:
+  /// Connects and completes the Hello handshake.
+  static Result<std::unique_ptr<Client>> Connect(
+      const std::string& host, uint16_t port,
+      SessionPriority priority = SessionPriority::kNormal,
+      const std::string& client_name = "");
+
+  uint64_t session_id() const { return session_id_; }
+
+  /// Prepares `sql` server-side; returns the statement handle.
+  Result<PrepareResponse> Prepare(const std::string& sql);
+
+  /// Executes a prepared handle with '?' bindings.
+  Result<ExecResponse> Exec(uint64_t handle,
+                            const std::vector<Value>& params = {});
+
+  /// Appends a feed batch; on success the returned LSN is durable
+  /// (fdatasync'd) server-side before the ack was sent.
+  Result<FeedAppendResponse> FeedAppend(
+      const std::string& table, const std::vector<FeedRecord>& records);
+
+  Result<AdminResponse> Admin(AdminOp op);
+
+  /// Round-trip liveness check; echoes `token`.
+  Status Ping(const std::string& token = "");
+
+ private:
+  Client(Socket sock, uint64_t session_id)
+      : sock_(std::move(sock)), session_id_(session_id) {}
+
+  /// Sends one frame and reads the matching response. A kError response
+  /// is decoded and returned as its carried Status; a mismatched seq or
+  /// unexpected type is a protocol error.
+  Result<Frame> RoundTrip(FrameType type, std::string payload,
+                          FrameType expect);
+
+  static Result<Frame> ReadFrame(Socket& sock);
+
+  Socket sock_;
+  uint64_t session_id_ = 0;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_NET_CLIENT_H_

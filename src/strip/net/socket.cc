@@ -1,0 +1,158 @@
+#include "strip/net/socket.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "strip/common/string_util.h"
+
+namespace strip {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::Internal(StrFormat("%s: %s", what, std::strerror(errno)));
+}
+
+Status SetNoDelay(int fd) {
+  int one = 1;
+  if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) != 0) {
+    return Errno("setsockopt(TCP_NODELAY)");
+  }
+  return Status::OK();
+}
+
+Result<sockaddr_in> ResolveV4(const std::string& host, uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  std::string h = host.empty() ? "0.0.0.0" : host;
+  if (h == "localhost") h = "127.0.0.1";
+  if (::inet_pton(AF_INET, h.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(StrFormat(
+        "'%s' is not an IPv4 address (strip_server resolves no names)",
+        host.c_str()));
+  }
+  return addr;
+}
+
+}  // namespace
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Socket> Socket::Listen(const std::string& host, uint16_t port,
+                              int backlog, uint16_t* bound_port) {
+  STRIP_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveV4(host, port));
+  Socket s(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!s.valid()) return Errno("socket");
+  int one = 1;
+  if (::setsockopt(s.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) !=
+      0) {
+    return Errno("setsockopt(SO_REUSEADDR)");
+  }
+  if (::bind(s.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Errno("bind");
+  }
+  if (::listen(s.fd(), backlog) != 0) return Errno("listen");
+  STRIP_RETURN_IF_ERROR(s.SetNonBlocking(true));
+  if (bound_port != nullptr) {
+    sockaddr_in actual{};
+    socklen_t len = sizeof(actual);
+    if (::getsockname(s.fd(), reinterpret_cast<sockaddr*>(&actual), &len) !=
+        0) {
+      return Errno("getsockname");
+    }
+    *bound_port = ntohs(actual.sin_port);
+  }
+  return s;
+}
+
+Result<Socket> Socket::Connect(const std::string& host, uint16_t port) {
+  STRIP_ASSIGN_OR_RETURN(sockaddr_in addr, ResolveV4(host, port));
+  Socket s(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!s.valid()) return Errno("socket");
+  for (;;) {
+    if (::connect(s.fd(), reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      break;
+    }
+    if (errno == EINTR) continue;
+    return Errno("connect");
+  }
+  STRIP_RETURN_IF_ERROR(SetNoDelay(s.fd()));
+  return s;
+}
+
+Result<Socket> Socket::Accept() {
+  for (;;) {
+    int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK);
+    if (fd >= 0) {
+      Socket s(fd);
+      STRIP_RETURN_IF_ERROR(SetNoDelay(fd));
+      return s;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED) {
+      return Socket();  // nothing pending
+    }
+    return Errno("accept");
+  }
+}
+
+Status Socket::SetNonBlocking(bool nonblocking) {
+  int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags < 0) return Errno("fcntl(F_GETFL)");
+  if (nonblocking) {
+    flags |= O_NONBLOCK;
+  } else {
+    flags &= ~O_NONBLOCK;
+  }
+  if (::fcntl(fd_, F_SETFL, flags) != 0) return Errno("fcntl(F_SETFL)");
+  return Status::OK();
+}
+
+Status Socket::WriteAll(std::string_view data) {
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n > 0) {
+    ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Errno("send");
+    }
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Status Socket::ReadFully(char* buf, size_t n) {
+  while (n > 0) {
+    ssize_t r = ::recv(fd_, buf, n, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Errno("recv");
+    }
+    if (r == 0) {
+      return Status::FailedPrecondition(
+          "peer closed the connection mid-message");
+    }
+    buf += r;
+    n -= static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace strip

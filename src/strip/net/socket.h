@@ -1,0 +1,67 @@
+#ifndef STRIP_NET_SOCKET_H_
+#define STRIP_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "strip/common/status.h"
+
+namespace strip {
+
+/// RAII file descriptor + the few TCP operations the server and client
+/// need. IPv4 loopback/any only — strip_server fronts an engine, not the
+/// open internet; TLS and v6 belong to a proxy in front of it.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void Close();
+
+  /// Releases ownership of the descriptor to the caller.
+  int Release() { return std::exchange(fd_, -1); }
+
+  /// Listening socket bound to `host:port` (port 0 = kernel-assigned;
+  /// bound_port reports the actual one). SO_REUSEADDR, nonblocking.
+  static Result<Socket> Listen(const std::string& host, uint16_t port,
+                               int backlog, uint16_t* bound_port);
+
+  /// Blocking connect to `host:port` with TCP_NODELAY (the protocol is
+  /// request/response; Nagle would serialize small frames).
+  static Result<Socket> Connect(const std::string& host, uint16_t port);
+
+  /// Accepts one pending connection (nonblocking listener): the accepted
+  /// socket (nonblocking, TCP_NODELAY), an invalid Socket when no
+  /// connection is pending, or an error.
+  Result<Socket> Accept();
+
+  Status SetNonBlocking(bool nonblocking);
+
+  /// Blocking exact-count I/O for the client side. ReadFully fails with
+  /// FailedPrecondition on a clean peer close mid-message.
+  Status WriteAll(std::string_view data);
+  Status ReadFully(char* buf, size_t n);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace strip
+
+#endif  // STRIP_NET_SOCKET_H_

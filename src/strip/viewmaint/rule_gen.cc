@@ -695,14 +695,22 @@ Status InstallDimFallback(Database& db, const std::string& view_name,
                           const RuleGenOptions& options, GeneratedRule& out) {
   if (!options.dim_change_fallback || dims.empty()) return Status::OK();
   std::string fn = "dim_refresh_" + view_name;
+  // Every firing counts (the counter stays exact), but a dim-heavy
+  // workload fires this once per delay window per dim table — the WARN is
+  // throttled so steady-state fallback traffic cannot flood the log.
+  auto warn_limit = std::make_shared<LogRateLimiter>();
   STRIP_RETURN_IF_ERROR(db.RegisterFunction(
-      fn, [view_name](FunctionContext& ctx) -> Status {
+      fn, [view_name, warn_limit](FunctionContext& ctx) -> Status {
         ctx.db().metrics().counter("viewmaint.dim_fallback_recompute")->Add();
-        STRIP_LOG(WARN,
-                  "dimension change hit the recompute fallback for view "
-                  "'%s' (generated delta rules cover fact-table changes "
-                  "only)",
-                  view_name.c_str());
+        uint64_t suppressed = 0;
+        if (warn_limit->ShouldLog(&suppressed)) {
+          STRIP_LOG(WARN,
+                    "dimension change hit the recompute fallback for view "
+                    "'%s' (generated delta rules cover fact-table changes "
+                    "only; %llu similar warnings suppressed)",
+                    view_name.c_str(),
+                    static_cast<unsigned long long>(suppressed));
+        }
         return ctx.db().views().RefreshView(view_name);
       }));
   for (const TableRef& dim : dims) {

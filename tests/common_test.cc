@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "strip/common/clock.h"
+#include "strip/common/logging.h"
 #include "strip/common/rng.h"
 #include "strip/common/spin_lock.h"
 #include "strip/common/status.h"
@@ -182,6 +185,51 @@ TEST(SpinLockTest, MutualExclusionUnderContention) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(counter, 40000);
+}
+
+TEST(LogRateLimiterTest, FirstCallPassesThenThrottles) {
+  LogRateLimiter limiter(/*interval_us=*/60'000'000);  // long: no expiry
+  uint64_t suppressed = 123;
+  EXPECT_TRUE(limiter.ShouldLog(&suppressed));
+  EXPECT_EQ(suppressed, 0u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(limiter.ShouldLog());
+  }
+  EXPECT_FALSE(limiter.ShouldLog(&suppressed));  // 12th call overall
+}
+
+TEST(LogRateLimiterTest, IntervalExpiryReportsSuppressedCount) {
+  LogRateLimiter limiter(/*interval_us=*/1);  // effectively always expired
+  uint64_t suppressed = 0;
+  EXPECT_TRUE(limiter.ShouldLog(&suppressed));
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_TRUE(limiter.ShouldLog(&suppressed));
+  EXPECT_EQ(suppressed, 0u);  // nothing was swallowed in between
+
+  LogRateLimiter slow(/*interval_us=*/50'000);
+  EXPECT_TRUE(slow.ShouldLog());
+  int swallowed = 0;
+  while (!slow.ShouldLog(&suppressed)) {
+    ++swallowed;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GT(swallowed, 0);
+  EXPECT_EQ(suppressed, static_cast<uint64_t>(swallowed));
+}
+
+TEST(LogRateLimiterTest, ConcurrentCallersEmitExactlyOncePerInterval) {
+  LogRateLimiter limiter(/*interval_us=*/60'000'000);
+  std::atomic<int> emitted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 1000; ++i) {
+        if (limiter.ShouldLog()) emitted.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(emitted.load(), 1);
 }
 
 TEST(StringUtilTest, ToLower) {

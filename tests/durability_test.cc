@@ -1,0 +1,489 @@
+// Durability layer (durability/): the replayable feed WAL, the checkpoint
+// snapshot, and the DurableLog recovery procedure that makes a restarted
+// server equal to the one that crashed. The torn-tail sweep is the heart
+// of it: a kill -9 can cut the log at ANY byte, and every cut must recover
+// cleanly to exactly the acknowledged prefix.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "strip/common/logging.h"
+#include "strip/durability/durable_log.h"
+#include "strip/durability/snapshot.h"
+#include "strip/durability/wal.h"
+#include "strip/feed/wire.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    std::string tmpl =
+        (fs::temp_directory_path() / "strip_durability_XXXXXX").string();
+    const char* made = ::mkdtemp(tmpl.data());
+    STRIP_CHECK_MSG(made != nullptr, "mkdtemp failed");
+    dir_ = made;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  std::string path(const std::string& name = "") const {
+    return name.empty() ? dir_ : dir_ + "/" + name;
+  }
+
+ private:
+  std::string dir_;
+};
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+}
+
+FeedRecord Rec(const std::string& sym, double px) {
+  FeedRecord r;
+  r.values = {Value::Str(sym), Value::Double(px)};
+  return r;
+}
+
+// Size of one WAL entry: fixed header (magic + lsn + len + crc) plus the
+// length-prefixed table name plus the wire-v1 record.
+size_t EntryBytes(const std::string& table, const FeedRecord& rec) {
+  return 20 + 4 + table.size() + EncodeFeedRecord(rec).size();
+}
+
+// ---------------------------------------------------------------------------
+// WAL
+// ---------------------------------------------------------------------------
+
+TEST(WalTest, RoundTripReplaysEveryEntryInOrder) {
+  TempDir dir;
+  std::string path = dir.path("feed.wal");
+  std::vector<FeedRecord> sent = {Rec("ibm", 50.0), Rec("hp", 20.5),
+                                  Rec("ibm", 51.0)};
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal,
+                         WalWriter::Open(path, 1, WalSyncPolicy::kManual));
+    for (size_t i = 0; i < sent.size(); ++i) {
+      ASSERT_OK_AND_ASSIGN(uint64_t lsn, wal->Append("quotes", sent[i]));
+      EXPECT_EQ(lsn, i + 1);
+    }
+    ASSERT_OK(wal->Sync());
+    EXPECT_EQ(wal->next_lsn(), 4u);
+  }
+
+  std::vector<WalEntry> got;
+  ASSERT_OK_AND_ASSIGN(WalReplayResult r,
+                       WalReplay(path, 1, [&](const WalEntry& e) {
+                         got.push_back(e);
+                         return Status::OK();
+                       }));
+  EXPECT_EQ(r.entries_replayed, 3u);
+  EXPECT_EQ(r.next_lsn, 4u);
+  EXPECT_EQ(r.torn_bytes, 0u);
+  ASSERT_EQ(got.size(), 3u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].lsn, i + 1);
+    EXPECT_EQ(got[i].table, "quotes");
+    ASSERT_EQ(got[i].record.values.size(), 2u);
+    EXPECT_EQ(got[i].record.values[0], sent[i].values[0]);
+    EXPECT_EQ(got[i].record.values[1], sent[i].values[1]);
+  }
+}
+
+TEST(WalTest, ReplayFromLsnDeliversOnlyTheTail) {
+  TempDir dir;
+  std::string path = dir.path("feed.wal");
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal,
+                         WalWriter::Open(path, 1, WalSyncPolicy::kManual));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_OK(wal->Append("quotes", Rec("s", i)).status());
+    }
+    ASSERT_OK(wal->Sync());
+  }
+  std::vector<uint64_t> lsns;
+  ASSERT_OK_AND_ASSIGN(WalReplayResult r,
+                       WalReplay(path, 4, [&](const WalEntry& e) {
+                         lsns.push_back(e.lsn);
+                         return Status::OK();
+                       }));
+  // Entries 1..3 are snapshot-covered: still verified, not delivered.
+  EXPECT_EQ(lsns, (std::vector<uint64_t>{4, 5}));
+  EXPECT_EQ(r.entries_replayed, 2u);
+  EXPECT_EQ(r.next_lsn, 6u);
+}
+
+TEST(WalTest, MissingFileIsAnEmptyLog) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(
+      WalReplayResult r,
+      WalReplay(dir.path("absent.wal"), 1,
+                [](const WalEntry&) { return Status::OK(); }));
+  EXPECT_EQ(r.entries_replayed, 0u);
+  EXPECT_EQ(r.next_lsn, 1u);
+  EXPECT_EQ(r.valid_bytes, 0u);
+}
+
+// Satellite sweep at the WAL layer: truncate a 3-entry log at EVERY byte
+// offset. Each cut must replay exactly the whole entries before the cut
+// and report the rest as a torn tail — never an error, never a crash.
+TEST(WalTest, TornTailTruncationSweepRecoversThePrefix) {
+  TempDir dir;
+  std::string path = dir.path("feed.wal");
+  std::vector<FeedRecord> sent = {Rec("ibm", 50.0), Rec("hp", 20.5),
+                                  Rec("sun", 13.125)};
+  std::vector<size_t> boundaries = {0};
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal,
+                         WalWriter::Open(path, 1, WalSyncPolicy::kManual));
+    for (const FeedRecord& rec : sent) {
+      ASSERT_OK(wal->Append("quotes", rec).status());
+      boundaries.push_back(boundaries.back() + EntryBytes("quotes", rec));
+    }
+    ASSERT_OK(wal->Sync());
+  }
+  std::string full = ReadFile(path);
+  ASSERT_EQ(full.size(), boundaries.back());
+
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::string torn_path = dir.path("torn.wal");
+    WriteFile(torn_path, full.substr(0, cut));
+    uint64_t delivered = 0;
+    auto r = WalReplay(torn_path, 1, [&](const WalEntry&) {
+      ++delivered;
+      return Status::OK();
+    });
+    ASSERT_TRUE(r.ok()) << "cut at " << cut << ": " << r.status().ToString();
+    size_t whole = 0;
+    while (whole + 1 < boundaries.size() && boundaries[whole + 1] <= cut) {
+      ++whole;
+    }
+    EXPECT_EQ(delivered, whole) << "cut at " << cut;
+    EXPECT_EQ(r->valid_bytes, boundaries[whole]) << "cut at " << cut;
+    EXPECT_EQ(r->torn_bytes, cut - boundaries[whole]) << "cut at " << cut;
+    EXPECT_EQ(r->next_lsn, whole + 1) << "cut at " << cut;
+  }
+}
+
+TEST(WalTest, InteriorCorruptionIsFatalNotATear) {
+  TempDir dir;
+  std::string path = dir.path("feed.wal");
+  FeedRecord rec = Rec("ibm", 50.0);
+  {
+    ASSERT_OK_AND_ASSIGN(auto wal,
+                         WalWriter::Open(path, 1, WalSyncPolicy::kManual));
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_OK(wal->Append("quotes", rec).status());
+    }
+    ASSERT_OK(wal->Sync());
+  }
+  std::string full = ReadFile(path);
+  size_t entry = EntryBytes("quotes", rec);
+  auto replay = [&](const std::string& bytes) {
+    WriteFile(path, bytes);
+    return WalReplay(path, 1, [](const WalEntry&) { return Status::OK(); })
+        .status();
+  };
+
+  // A CRC-breaking flip inside entry 1's payload, with entries 2 and 3
+  // intact after it: acknowledged records follow the damage, so replay
+  // must refuse rather than silently truncate them away.
+  std::string flipped = full;
+  flipped[20 + 5] = static_cast<char>(flipped[20 + 5] ^ 0x40);
+  Status st = replay(flipped);
+  EXPECT_FALSE(st.ok());
+
+  // Entry 2's magic destroyed: detected as bad interior magic.
+  std::string bad_magic = full;
+  bad_magic[entry] = 'Z';
+  EXPECT_FALSE(replay(bad_magic).ok());
+
+  // Control: the same flip in the LAST entry is a legitimate tear.
+  std::string torn_last = full;
+  torn_last[2 * entry + 20 + 5] =
+      static_cast<char>(torn_last[2 * entry + 20 + 5] ^ 0x40);
+  EXPECT_OK(replay(torn_last));
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot
+// ---------------------------------------------------------------------------
+
+Database::Options LogicalTime() {
+  Database::Options o;
+  o.mode = ExecutorMode::kSimulated;
+  o.advance_clock_by_cost = false;
+  return o;
+}
+
+constexpr const char* kSchema = R"(
+  create table quotes (symbol string, price double);
+  create index on quotes (symbol);
+  create table counts (k string, n int);
+  create index on counts (k);
+)";
+
+std::vector<std::vector<Value>> Rows(Database& db, const std::string& sql) {
+  auto rs = db.Execute(sql);
+  STRIP_CHECK_MSG(rs.ok(), "query failed in test helper");
+  return rs->rows;
+}
+
+TEST(SnapshotTest, RoundTripRestoresEveryRow) {
+  TempDir dir;
+  Database db(LogicalTime());
+  ASSERT_OK(db.ExecuteScript(kSchema));
+  ASSERT_OK(db.Execute("insert into quotes values ('ibm', 50.5)").status());
+  ASSERT_OK(db.Execute("insert into quotes values ('hp', 20.25)").status());
+  ASSERT_OK(db.Execute("insert into counts values ('a', 7)").status());
+
+  SnapshotData snap = CaptureSnapshot(db, 42);
+  EXPECT_EQ(snap.lsn, 42u);
+  std::string path = dir.path("state.snap");
+  ASSERT_OK(WriteSnapshot(snap, path));
+
+  ASSERT_OK_AND_ASSIGN(SnapshotData loaded, LoadSnapshot(path));
+  EXPECT_EQ(loaded.lsn, 42u);
+
+  Database db2(LogicalTime());
+  ASSERT_OK(db2.ExecuteScript(kSchema));
+  ASSERT_OK(RestoreSnapshot(db2, loaded));
+  EXPECT_EQ(Rows(db2, "select * from quotes order by symbol"),
+            Rows(db, "select * from quotes order by symbol"));
+  EXPECT_EQ(Rows(db2, "select * from counts order by k"),
+            Rows(db, "select * from counts order by k"));
+}
+
+TEST(SnapshotTest, EveryBodyByteFlipIsRejected) {
+  TempDir dir;
+  Database db(LogicalTime());
+  ASSERT_OK(db.ExecuteScript(kSchema));
+  ASSERT_OK(db.Execute("insert into quotes values ('ibm', 50.5)").status());
+  std::string path = dir.path("state.snap");
+  ASSERT_OK(WriteSnapshot(CaptureSnapshot(db, 1), path));
+  std::string good = ReadFile(path);
+
+  // Header: magic + version + lsn + body length + CRC = 24 bytes; the CRC
+  // covers the body, so every body flip must fail the load.
+  for (size_t i = 24; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x01);
+    WriteFile(path, bad);
+    EXPECT_FALSE(LoadSnapshot(path).ok()) << "body byte " << i;
+  }
+
+  std::string bad_magic = good;
+  bad_magic[0] = static_cast<char>(bad_magic[0] ^ 0xff);
+  WriteFile(path, bad_magic);
+  EXPECT_FALSE(LoadSnapshot(path).ok());
+
+  std::string bad_version = good;
+  bad_version[4] = static_cast<char>(bad_version[4] ^ 0xff);
+  WriteFile(path, bad_version);
+  EXPECT_FALSE(LoadSnapshot(path).ok());
+
+  // Truncation at every byte fails too (a partially synced file).
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    WriteFile(path, good.substr(0, cut));
+    EXPECT_FALSE(LoadSnapshot(path).ok()) << "truncated to " << cut;
+  }
+}
+
+TEST(SnapshotTest, MissingFileIsNotFound) {
+  TempDir dir;
+  auto r = LoadSnapshot(dir.path("absent.snap"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotTest, RestoreRejectsMismatchedSchemaAndNonEmptyTables) {
+  Database db(LogicalTime());
+  ASSERT_OK(db.ExecuteScript(kSchema));
+  ASSERT_OK(db.Execute("insert into quotes values ('ibm', 50.5)").status());
+  SnapshotData snap = CaptureSnapshot(db, 1);
+
+  // Same table names, different column type: loud failure, not a zip.
+  Database mismatched(LogicalTime());
+  ASSERT_OK(mismatched.ExecuteScript(R"(
+    create table quotes (symbol string, price string);
+    create index on quotes (symbol);
+    create table counts (k string, n int);
+    create index on counts (k);
+  )"));
+  EXPECT_FALSE(RestoreSnapshot(mismatched, snap).ok());
+
+  // Restoring over live rows would double them.
+  Database occupied(LogicalTime());
+  ASSERT_OK(occupied.ExecuteScript(kSchema));
+  ASSERT_OK(
+      occupied.Execute("insert into quotes values ('x', 1.0)").status());
+  EXPECT_FALSE(RestoreSnapshot(occupied, snap).ok());
+
+  // A table missing entirely.
+  Database missing(LogicalTime());
+  ASSERT_OK(missing.ExecuteScript(R"(
+    create table quotes (symbol string, price double);
+    create index on quotes (symbol);
+  )"));
+  EXPECT_FALSE(RestoreSnapshot(missing, snap).ok());
+}
+
+// ---------------------------------------------------------------------------
+// DurableLog: the full recover -> serve -> checkpoint -> recover cycle.
+// ---------------------------------------------------------------------------
+
+class DurableDb {
+ public:
+  explicit DurableDb(const std::string& dir)
+      : db_(LogicalTime()), log_(DurableLog::Options{dir}) {
+    Status st = db_.ExecuteScript(kSchema);
+    STRIP_CHECK_MSG(st.ok(), "schema failed");
+    auto imp = FeedImporter::Create(&db_, "quotes");
+    STRIP_CHECK_MSG(imp.ok(), "importer failed");
+    importer_ = imp.take();
+  }
+
+  Status Recover() {
+    auto stats = log_.Recover(db_, [this](const std::string& table)
+                                       -> Result<FeedImporter*> {
+      if (table != "quotes") return Status::NotFound("no importer");
+      return importer_.get();
+    });
+    STRIP_RETURN_IF_ERROR(stats.status());
+    stats_ = *stats;
+    return Status::OK();
+  }
+
+  // The server's ingest sequence: WAL append, sync (group commit), apply.
+  Status Ingest(const FeedRecord& rec) {
+    STRIP_RETURN_IF_ERROR(log_.Append("quotes", rec).status());
+    STRIP_RETURN_IF_ERROR(log_.Sync());
+    return importer_->ApplyNow(rec);
+  }
+
+  std::vector<std::vector<Value>> Table() {
+    return Rows(db_, "select * from quotes order by symbol");
+  }
+
+  Database& db() { return db_; }
+  DurableLog& log() { return log_; }
+  const DurableLog::RecoveryStats& stats() const { return stats_; }
+
+ private:
+  Database db_;
+  DurableLog log_;
+  std::unique_ptr<FeedImporter> importer_;
+  DurableLog::RecoveryStats stats_;
+};
+
+TEST(DurableLogTest, CrashReplayCheckpointAndTailRecovery) {
+  TempDir dir;
+  std::vector<std::vector<Value>> live_rows;
+
+  {  // First life: ingest, then "crash" (no checkpoint, just destruction).
+    DurableDb d(dir.path());
+    ASSERT_OK(d.Recover());
+    EXPECT_FALSE(d.stats().snapshot_loaded);
+    EXPECT_EQ(d.stats().entries_replayed, 0u);
+    ASSERT_OK(d.Ingest(Rec("ibm", 50.0)));
+    ASSERT_OK(d.Ingest(Rec("hp", 20.0)));
+    ASSERT_OK(d.Ingest(Rec("ibm", 51.0)));  // upsert: same key, new price
+    live_rows = d.Table();
+    ASSERT_EQ(live_rows.size(), 2u);
+  }
+
+  uint64_t checkpoint_lsn = 0;
+  {  // Second life: WAL-only recovery must rebuild identical tables.
+    DurableDb d(dir.path());
+    ASSERT_OK(d.Recover());
+    EXPECT_FALSE(d.stats().snapshot_loaded);
+    EXPECT_EQ(d.stats().entries_replayed, 3u);
+    EXPECT_EQ(d.stats().next_lsn, 4u);
+    EXPECT_EQ(d.Table(), live_rows);
+
+    ASSERT_OK_AND_ASSIGN(checkpoint_lsn, d.log().Checkpoint(d.db()));
+    EXPECT_EQ(checkpoint_lsn, 3u);
+    EXPECT_EQ(d.log().wal_bytes(), 0u);  // snapshot absorbed the log
+
+    ASSERT_OK(d.Ingest(Rec("sun", 13.0)));  // tail past the checkpoint
+    live_rows = d.Table();
+    ASSERT_EQ(live_rows.size(), 3u);
+  }
+
+  {  // Third life: snapshot + WAL tail.
+    DurableDb d(dir.path());
+    ASSERT_OK(d.Recover());
+    EXPECT_TRUE(d.stats().snapshot_loaded);
+    EXPECT_EQ(d.stats().snapshot_lsn, checkpoint_lsn);
+    EXPECT_EQ(d.stats().entries_replayed, 1u);
+    EXPECT_EQ(d.stats().next_lsn, 5u);
+    EXPECT_EQ(d.Table(), live_rows);
+  }
+}
+
+TEST(DurableLogTest, TornTailIsDiscardedAndLogReopensCleanly) {
+  TempDir dir;
+  std::string wal_path;
+  {
+    DurableDb d(dir.path());
+    ASSERT_OK(d.Recover());
+    ASSERT_OK(d.Ingest(Rec("ibm", 50.0)));
+    ASSERT_OK(d.Ingest(Rec("hp", 20.0)));
+    wal_path = d.log().wal_path();
+  }
+  // Crash mid-append: garbage half-entry at the end of the log.
+  std::string bytes = ReadFile(wal_path);
+  WriteFile(wal_path, bytes + "WA\x01\x02");
+
+  {
+    DurableDb d(dir.path());
+    ASSERT_OK(d.Recover());
+    EXPECT_EQ(d.stats().entries_replayed, 2u);
+    EXPECT_EQ(d.stats().torn_bytes_discarded, 4u);
+    // The tail was truncated away, so appends extend the valid prefix.
+    ASSERT_OK(d.Ingest(Rec("sun", 13.0)));
+  }
+  {
+    DurableDb d(dir.path());
+    ASSERT_OK(d.Recover());
+    EXPECT_EQ(d.stats().entries_replayed, 3u);
+    EXPECT_EQ(d.stats().torn_bytes_discarded, 0u);
+    EXPECT_EQ(d.Table().size(), 3u);
+  }
+}
+
+TEST(DurableLogTest, RecoverFailsOnUnknownFeedTable) {
+  TempDir dir;
+  {
+    DurableDb d(dir.path());
+    ASSERT_OK(d.Recover());
+    ASSERT_OK(d.Ingest(Rec("ibm", 50.0)));
+  }
+  Database db(LogicalTime());
+  ASSERT_OK(db.ExecuteScript(kSchema));
+  DurableLog log(DurableLog::Options{dir.path()});
+  auto stats = log.Recover(db, [](const std::string&) -> Result<FeedImporter*> {
+    return Status::NotFound("importer registry empty");
+  });
+  EXPECT_FALSE(stats.ok());
+}
+
+}  // namespace
+}  // namespace strip

@@ -1,0 +1,227 @@
+// Wire v2 frame envelope (feed/framing.h): the checksummed framing the
+// network front-end speaks. Decoding is incremental and hostile-input
+// hardened: any truncation is kNeedMore, any corruption is kCorrupt with
+// the offset untouched, and a hostile length field must be rejected
+// before anything is allocated.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "strip/feed/framing.h"
+#include "tests/test_util.h"
+
+namespace strip {
+namespace {
+
+Frame SampleFrame(uint64_t seq = 42) {
+  Frame f;
+  f.type = FrameType::kExec;
+  f.flags = 3;
+  f.seq = seq;
+  f.payload = "hello framed world";
+  return f;
+}
+
+TEST(FramingTest, RoundTripsOneFrame) {
+  Frame f = SampleFrame();
+  std::string bytes = EncodeFrame(f);
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize + f.payload.size());
+
+  size_t offset = 0;
+  Frame out;
+  std::string error;
+  ASSERT_EQ(TryDecodeFrame(bytes, &offset, &out, &error), FrameDecode::kFrame)
+      << error;
+  EXPECT_EQ(offset, bytes.size());
+  EXPECT_EQ(out.type, f.type);
+  EXPECT_EQ(out.flags, f.flags);
+  EXPECT_EQ(out.seq, f.seq);
+  EXPECT_EQ(out.payload, f.payload);
+}
+
+TEST(FramingTest, EmptyPayloadRoundTrips) {
+  Frame f;
+  f.type = FrameType::kPing;
+  f.seq = 1;
+  std::string bytes = EncodeFrame(f);
+  ASSERT_EQ(bytes.size(), kFrameHeaderSize);
+  size_t offset = 0;
+  Frame out;
+  std::string error;
+  ASSERT_EQ(TryDecodeFrame(bytes, &offset, &out, &error), FrameDecode::kFrame);
+  EXPECT_TRUE(out.payload.empty());
+}
+
+TEST(FramingTest, DecodesConsecutiveFramesAdvancingOffset) {
+  std::string stream;
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    Frame f = SampleFrame(seq);
+    f.payload = "payload-" + std::to_string(seq);
+    ASSERT_OK(AppendFrame(f, &stream));
+  }
+  size_t offset = 0;
+  Frame out;
+  std::string error;
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    ASSERT_EQ(TryDecodeFrame(stream, &offset, &out, &error),
+              FrameDecode::kFrame)
+        << error;
+    EXPECT_EQ(out.seq, seq);
+    EXPECT_EQ(out.payload, "payload-" + std::to_string(seq));
+  }
+  EXPECT_EQ(offset, stream.size());
+  EXPECT_EQ(TryDecodeFrame(stream, &offset, &out, &error),
+            FrameDecode::kNeedMore);
+}
+
+// Satellite: the torn-stream sweep at the frame layer. A multi-frame
+// stream truncated at EVERY byte offset must decode the complete prefix
+// frames and report kNeedMore for the torn one — never kCorrupt, never a
+// crash, never an offset past the truncation point.
+TEST(FramingTest, TruncationAtEveryByteIsNeedMoreNeverCorrupt) {
+  std::string stream;
+  std::vector<size_t> boundaries = {0};  // offsets where a frame ends
+  for (uint64_t seq = 1; seq <= 3; ++seq) {
+    Frame f = SampleFrame(seq);
+    f.payload.assign(7 * seq, static_cast<char>('a' + seq));
+    ASSERT_OK(AppendFrame(f, &stream));
+    boundaries.push_back(stream.size());
+  }
+
+  for (size_t cut = 0; cut < stream.size(); ++cut) {
+    std::string_view torn(stream.data(), cut);
+    size_t offset = 0;
+    Frame out;
+    std::string error;
+    // Drain every whole frame in the torn prefix.
+    size_t whole = 0;
+    FrameDecode d;
+    while ((d = TryDecodeFrame(torn, &offset, &out, &error)) ==
+           FrameDecode::kFrame) {
+      ++whole;
+    }
+    EXPECT_EQ(d, FrameDecode::kNeedMore) << "cut at " << cut << ": " << error;
+    // The decoded frames are exactly those fully inside the cut.
+    size_t expect_whole = 0;
+    while (expect_whole + 1 < boundaries.size() &&
+           boundaries[expect_whole + 1] <= cut) {
+      ++expect_whole;
+    }
+    EXPECT_EQ(whole, expect_whole) << "cut at " << cut;
+    EXPECT_EQ(offset, boundaries[whole]) << "cut at " << cut;
+  }
+}
+
+// Satellite: a CRC mismatch at any payload byte is kCorrupt — a frame
+// whose checksum fails never reaches the protocol layer.
+TEST(FramingTest, CrcMismatchAtEveryPayloadByteIsCorrupt) {
+  Frame f = SampleFrame();
+  std::string good = EncodeFrame(f);
+  for (size_t i = kFrameHeaderSize; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x5a);
+    size_t offset = 0;
+    Frame out;
+    std::string error;
+    EXPECT_EQ(TryDecodeFrame(bad, &offset, &out, &error),
+              FrameDecode::kCorrupt)
+        << "payload byte " << i << " flip went undetected";
+    EXPECT_EQ(offset, 0u) << "offset advanced on corrupt frame";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(FramingTest, BadMagicVersionAndTypeAreCorrupt) {
+  std::string good = EncodeFrame(SampleFrame());
+  size_t offset = 0;
+  Frame out;
+  std::string error;
+
+  std::string bad_magic = good;
+  bad_magic[0] = 'X';
+  EXPECT_EQ(TryDecodeFrame(bad_magic, &offset, &out, &error),
+            FrameDecode::kCorrupt);
+  EXPECT_EQ(offset, 0u);
+
+  std::string bad_version = good;
+  bad_version[1] = static_cast<char>(kFrameVersion + 1);
+  EXPECT_EQ(TryDecodeFrame(bad_version, &offset, &out, &error),
+            FrameDecode::kCorrupt);
+
+  std::string bad_type = good;
+  bad_type[2] = static_cast<char>(kMaxFrameType + 1);
+  EXPECT_EQ(TryDecodeFrame(bad_type, &offset, &out, &error),
+            FrameDecode::kCorrupt);
+
+  std::string zero_type = good;
+  zero_type[2] = 0;
+  EXPECT_EQ(TryDecodeFrame(zero_type, &offset, &out, &error),
+            FrameDecode::kCorrupt);
+}
+
+// The hostile-length defense: a header advertising a multi-gigabyte
+// payload is rejected from the 20 header bytes alone — kCorrupt, not an
+// allocation and not kNeedMore (which would make the server buffer
+// forever toward a length that never arrives).
+TEST(FramingTest, HostileLengthRejectedFromHeaderAlone) {
+  std::string header = EncodeFrame(SampleFrame());
+  header.resize(kFrameHeaderSize);
+  for (uint32_t evil : {kMaxFramePayload + 1, 0x40000000u, 0xFFFFFFFFu}) {
+    std::string bad = header;
+    std::memcpy(&bad[12], &evil, sizeof(evil));  // payload_len field
+    size_t offset = 0;
+    Frame out;
+    std::string error;
+    EXPECT_EQ(TryDecodeFrame(bad, &offset, &out, &error),
+              FrameDecode::kCorrupt)
+        << "length " << evil << " accepted";
+    EXPECT_EQ(offset, 0u);
+  }
+}
+
+TEST(FramingTest, MaxPayloadBoundaryIsExact) {
+  // kMaxFramePayload itself encodes and decodes; one past fails to encode.
+  Frame f;
+  f.type = FrameType::kRows;
+  f.seq = 9;
+  f.payload.assign(kMaxFramePayload, 'x');
+  std::string bytes;
+  ASSERT_OK(AppendFrame(f, &bytes));
+  size_t offset = 0;
+  Frame out;
+  std::string error;
+  EXPECT_EQ(TryDecodeFrame(bytes, &offset, &out, &error), FrameDecode::kFrame)
+      << error;
+
+  f.payload.push_back('x');
+  std::string rejected;
+  EXPECT_FALSE(AppendFrame(f, &rejected).ok());
+  EXPECT_TRUE(rejected.empty()) << "failed encode left partial bytes";
+}
+
+TEST(FramingTest, CorruptionAfterValidFrameNamesSecondFrame) {
+  // First frame decodes; garbage after it is detected at the new offset.
+  std::string stream = EncodeFrame(SampleFrame(1));
+  size_t first_end = stream.size();
+  stream += EncodeFrame(SampleFrame(2));
+  stream[first_end] = 'Z';  // destroy the second frame's magic
+
+  size_t offset = 0;
+  Frame out;
+  std::string error;
+  ASSERT_EQ(TryDecodeFrame(stream, &offset, &out, &error), FrameDecode::kFrame);
+  EXPECT_EQ(out.seq, 1u);
+  EXPECT_EQ(TryDecodeFrame(stream, &offset, &out, &error),
+            FrameDecode::kCorrupt);
+  EXPECT_EQ(offset, first_end) << "offset moved past the corrupt frame";
+}
+
+TEST(FramingTest, FrameTypeNamesCoverProtocol) {
+  EXPECT_STREQ(FrameTypeName(FrameType::kHello), "hello");
+  EXPECT_STREQ(FrameTypeName(FrameType::kError), "error");
+}
+
+}  // namespace
+}  // namespace strip

@@ -103,6 +103,58 @@ TEST(WireTest, RejectsBadMagicVersionAndTag) {
   EXPECT_FALSE(DecodeFeedRecord(bad_tag, &offset).ok());
 }
 
+// Regression: the value-count field is attacker-controlled. A record
+// header claiming 2^32-1 values must fail on the bytes it actually has,
+// not reserve gigabytes up front (the old code passed the raw count to
+// vector::reserve before reading a single value).
+TEST(WireTest, PoisonedValueCountDoesNotOverAllocate) {
+  std::string bytes = EncodeFeedRecord(SampleRecord());
+  // Count lives after magic + version + at + 3 trace ids.
+  const size_t count_off = 1 + 1 + 8 + 24;
+  for (uint32_t evil : {0xFFFFFFFFu, 0x10000000u, 1000000u}) {
+    std::string bad = bytes;
+    for (int i = 0; i < 4; ++i) {
+      bad[count_off + i] = static_cast<char>((evil >> (8 * i)) & 0xff);
+    }
+    size_t offset = 0;
+    auto r = DecodeFeedRecord(bad, &offset);
+    EXPECT_FALSE(r.ok()) << "count " << evil << " decoded";
+    EXPECT_EQ(offset, 0u);
+  }
+}
+
+// Satellite sweep: a multi-record stream truncated at EVERY byte offset
+// must produce a clean error (the stream decoder is all-or-nothing) —
+// never a crash, never a giant allocation.
+TEST(WireTest, StreamTruncationSweepFailsCleanly) {
+  std::string stream;
+  size_t whole_records = 0;
+  std::vector<size_t> boundaries = {0};
+  for (int i = 0; i < 4; ++i) {
+    FeedRecord rec;
+    rec.at = i;
+    rec.values = {Value::Str("sym" + std::to_string(i)),
+                  Value::Double(i * 2.5), Value::Str(std::string(i * 3, 'x'))};
+    AppendFeedRecord(rec, &stream);
+    boundaries.push_back(stream.size());
+    ++whole_records;
+  }
+  ASSERT_OK_AND_ASSIGN(std::vector<FeedRecord> all, DecodeFeedStream(stream));
+  ASSERT_EQ(all.size(), whole_records);
+
+  for (size_t cut = 0; cut < stream.size(); ++cut) {
+    // Skip exact record boundaries: those prefixes are valid streams.
+    bool on_boundary = false;
+    for (size_t b : boundaries) on_boundary |= (b == cut);
+    auto r = DecodeFeedStream(std::string_view(stream.data(), cut));
+    if (on_boundary) {
+      EXPECT_TRUE(r.ok()) << "boundary cut at " << cut;
+    } else {
+      EXPECT_FALSE(r.ok()) << "torn cut at " << cut << " decoded";
+    }
+  }
+}
+
 TEST(WireTest, SecondRecordDecodesAfterFirst) {
   FeedRecord a = SampleRecord();
   FeedRecord b;

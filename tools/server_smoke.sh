@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test for strip_server (DESIGN.md §2.6).
+#
+# Exercises the real durability path across process death, twice:
+#
+#   1. WAL-only recovery: load the server, dump its state, kill -9 the
+#      process, restart on the same data dir, dump again. The two dumps
+#      must be byte-identical — every acknowledged batch survived.
+#   2. Snapshot + tail recovery: checkpoint, append more load, kill -9,
+#      restart (now snapshot load + WAL tail replay), and compare dumps
+#      the same way.
+#
+# The dump oracle is `strip_client_swarm --dump`: it drains the server so
+# the dump covers the full rule cascade of every acknowledged batch, then
+# prints `quotes` and `quote_stats` as sorted TSV.
+#
+# Usage: tools/server_smoke.sh [BUILD_DIR]   (default: build)
+
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+SERVER="$BUILD_DIR/tools/strip_server"
+SWARM="$BUILD_DIR/tools/strip_client_swarm"
+
+for bin in "$SERVER" "$SWARM"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "server_smoke: missing binary $bin (build first)" >&2
+    exit 2
+  fi
+done
+
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/strip_smoke.XXXXXX")"
+DATA="$WORK/data"
+mkdir -p "$DATA"
+SERVER_PID=""
+PORT=""
+
+cleanup() {
+  if [[ -n "$SERVER_PID" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -9 "$SERVER_PID" 2>/dev/null || true
+    wait "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+start_server() {
+  : >"$WORK/server.log"
+  # --port=0 binds an ephemeral port; the server prints "LISTENING <port>".
+  "$SERVER" --port=0 --data-dir="$DATA" --delay=0.05 --workers=2 \
+    >"$WORK/server.log" 2>&1 &
+  SERVER_PID=$!
+  PORT=""
+  for _ in $(seq 1 100); do
+    PORT="$(awk '/^LISTENING/ {print $2; exit}' "$WORK/server.log")"
+    [[ -n "$PORT" ]] && return 0
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "server_smoke: server exited during startup:" >&2
+      cat "$WORK/server.log" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+  echo "server_smoke: server never printed LISTENING:" >&2
+  cat "$WORK/server.log" >&2
+  exit 1
+}
+
+kill_dash_nine() {
+  # kill -9 by the saved PID — a crash, not a shutdown. The server gets no
+  # chance to checkpoint; recovery must come from what is on disk.
+  kill -9 "$SERVER_PID"
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=""
+}
+
+load() {
+  "$SWARM" --port="$PORT" --clients=4 --seconds="$1" --batch=8 --symbols=16 \
+    >"$WORK/swarm.log" 2>&1
+}
+
+dump() {
+  "$SWARM" --port="$PORT" --dump >"$1"
+  if ! grep -q '^== ' "$1"; then
+    echo "server_smoke: dump $1 looks empty" >&2
+    exit 1
+  fi
+}
+
+compare() {
+  if ! diff -u "$1" "$2" >"$WORK/dump.diff"; then
+    echo "server_smoke: recovered state differs from pre-crash state:" >&2
+    cat "$WORK/dump.diff" >&2
+    exit 1
+  fi
+}
+
+# --- Phase 1: WAL-only recovery across kill -9 -------------------------------
+echo "server_smoke: phase 1 — WAL replay after kill -9"
+start_server
+load 2
+dump "$WORK/pre_crash.tsv"
+kill_dash_nine
+
+start_server
+dump "$WORK/post_crash.tsv"
+compare "$WORK/pre_crash.tsv" "$WORK/post_crash.tsv"
+echo "server_smoke: phase 1 ok — dumps byte-identical"
+
+# --- Phase 2: snapshot + WAL-tail recovery across kill -9 --------------------
+echo "server_smoke: phase 2 — snapshot + tail replay after kill -9"
+"$SWARM" --port="$PORT" --checkpoint >"$WORK/checkpoint.log" 2>&1
+load 1
+dump "$WORK/pre_crash2.tsv"
+kill_dash_nine
+
+start_server
+if [[ ! -f "$DATA/state.snap" ]]; then
+  echo "server_smoke: checkpoint left no $DATA/state.snap" >&2
+  exit 1
+fi
+dump "$WORK/post_crash2.tsv"
+compare "$WORK/pre_crash2.tsv" "$WORK/post_crash2.tsv"
+echo "server_smoke: phase 2 ok — dumps byte-identical"
+
+# --- Graceful shutdown -------------------------------------------------------
+"$SWARM" --port="$PORT" --shutdown >/dev/null 2>&1 || true
+for _ in $(seq 1 50); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$SERVER_PID" 2>/dev/null; then
+  echo "server_smoke: server ignored shutdown request" >&2
+  exit 1
+fi
+SERVER_PID=""
+echo "server_smoke: PASS"

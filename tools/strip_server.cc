@@ -1,0 +1,123 @@
+// strip_server: the network front-end binary (DESIGN.md §2.6).
+//
+//   strip_server --data-dir=/var/lib/strip [--port=7433] [--workers=4]
+//                [--delay=0.5] [--staleness-slo-us=N] [--queue-slo-us=N]
+//                [--watchdog-period=0.25] [--checkpoint-wal-bytes=N]
+//
+// Serves the built-in demo schema: a `quotes` feed table (symbol, price)
+// and a `quote_stats` materialized view (sum/count per symbol) maintained
+// incrementally by generated delta rules with a batching delay window —
+// the paper's feed -> rule -> derived-data pipeline behind a socket.
+//
+// Prints "LISTENING <port>" once accepting; stops on Admin kShutdown.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "strip/net/server.h"
+#include "strip/viewmaint/rule_gen.h"
+
+namespace {
+
+constexpr const char* kDemoSchema = R"(
+  create table quotes (symbol string, price double);
+  create index on quotes (symbol);
+  create materialized view quote_stats as
+    select symbol, sum(price) as total, count(*) as n
+    from quotes group by symbol;
+)";
+
+struct Flags {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  std::string data_dir;
+  int workers = 4;
+  double delay_seconds = 0.2;
+  int64_t staleness_slo_us = 0;
+  int64_t queue_slo_us = 0;
+  double watchdog_period = 0.25;
+  uint64_t checkpoint_wal_bytes = 0;
+};
+
+bool ParseFlag(const char* arg, const char* name, const char** value) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *value = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (ParseFlag(argv[i], "--host", &v)) {
+      flags.host = v;
+    } else if (ParseFlag(argv[i], "--port", &v)) {
+      flags.port = static_cast<uint16_t>(std::atoi(v));
+    } else if (ParseFlag(argv[i], "--data-dir", &v)) {
+      flags.data_dir = v;
+    } else if (ParseFlag(argv[i], "--workers", &v)) {
+      flags.workers = std::atoi(v);
+    } else if (ParseFlag(argv[i], "--delay", &v)) {
+      flags.delay_seconds = std::atof(v);
+    } else if (ParseFlag(argv[i], "--staleness-slo-us", &v)) {
+      flags.staleness_slo_us = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--queue-slo-us", &v)) {
+      flags.queue_slo_us = std::atoll(v);
+    } else if (ParseFlag(argv[i], "--watchdog-period", &v)) {
+      flags.watchdog_period = std::atof(v);
+    } else if (ParseFlag(argv[i], "--checkpoint-wal-bytes", &v)) {
+      flags.checkpoint_wal_bytes =
+          static_cast<uint64_t>(std::atoll(v));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--host=H] [--port=N] [--data-dir=DIR] "
+                   "[--workers=N] [--delay=S] [--staleness-slo-us=N] "
+                   "[--queue-slo-us=N] [--watchdog-period=S] "
+                   "[--checkpoint-wal-bytes=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  strip::ServerOptions options;
+  options.host = flags.host;
+  options.port = flags.port;
+  options.data_dir = flags.data_dir;
+  options.schema_sql = kDemoSchema;
+  options.feed_tables = {"quotes"};
+  options.engine.num_workers = flags.workers;
+  options.checkpoint_wal_bytes = flags.checkpoint_wal_bytes;
+  options.slo.staleness_p99_us = flags.staleness_slo_us;
+  options.slo.queue_wait_p99_us = flags.queue_slo_us;
+  options.watchdog_period_seconds = flags.watchdog_period;
+  double delay = flags.delay_seconds;
+  options.bootstrap = [delay](strip::Database& db) -> strip::Status {
+    strip::RuleGenOptions gen;
+    gen.delay_seconds = delay;
+    STRIP_ASSIGN_OR_RETURN(
+        strip::GeneratedRule rule,
+        strip::GenerateMaintenanceRule(db, "quote_stats", "quotes", gen));
+    (void)rule;
+    return strip::Status::OK();
+  };
+
+  auto server = strip::Server::Start(std::move(options));
+  if (!server.ok()) {
+    std::fprintf(stderr, "strip_server: %s\n",
+                 server.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %u\n", static_cast<unsigned>((*server)->port()));
+  std::fflush(stdout);
+  (*server)->Wait();
+  (*server)->Stop();
+  std::printf("STOPPED\n");
+  return 0;
+}

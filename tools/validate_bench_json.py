@@ -226,6 +226,68 @@ def check_sharded(path, metrics):
         fail(path, "metrics.meets_3x_target is not a bool")
 
 
+def check_server(path, metrics):
+    """Extra checks for BENCH_server.json: the client-observed latency
+    percentiles must be present and ordered, the admission-control block
+    must show the shed path was actually exercised, the health probe must
+    report a valid watchdog state, and the registry must carry populated
+    per-rule staleness histograms (the metric the watchdog sheds on)."""
+    client = metrics.get("client")
+    if not isinstance(client, dict):
+        fail(path, "metrics missing 'client' object")
+    for field in ("ops", "feed_batches", "feed_records", "execs", "errors",
+                  "last_lsn"):
+        v = client.get(field)
+        if not isinstance(v, int) or v < 0:
+            fail(path, f"client.{field} is not a non-negative int")
+    if client["ops"] < 1:
+        fail(path, "client.ops is 0 — the swarm did no work")
+    pcts = []
+    for field in ("p50_us", "p95_us", "p99_us"):
+        v = client.get(field)
+        if not isinstance(v, (int, float)) or not math.isfinite(v) or v < 0:
+            fail(path, f"client.{field} is not a non-negative finite number")
+        pcts.append(v)
+    if not (pcts[0] <= pcts[1] <= pcts[2]):
+        fail(path, "client latency percentiles are not monotone "
+                   f"(p50={pcts[0]}, p95={pcts[1]}, p99={pcts[2]})")
+
+    shed = metrics.get("shed")
+    if not isinstance(shed, dict):
+        fail(path, "metrics missing 'shed' object")
+    for field in ("requests_shed", "sessions_refused",
+                  "overload_batches_admitted"):
+        v = shed.get(field)
+        if not isinstance(v, int) or v < 0:
+            fail(path, f"shed.{field} is not a non-negative int")
+    if shed.get("exercised") is not True:
+        fail(path, "shed.exercised is not true — the run never drove the "
+                   "server into admission control")
+    if shed["requests_shed"] + shed["sessions_refused"] < 1:
+        fail(path, "shed.exercised is true but nothing was actually shed")
+
+    health = metrics.get("health")
+    if not isinstance(health, dict):
+        fail(path, "metrics missing 'health' object")
+    if health.get("state") not in _WATCHDOG_STATES:
+        fail(path, f"health.state {health.get('state')!r} invalid")
+    if not isinstance(health.get("watchdog"), bool):
+        fail(path, "health.watchdog is not a bool")
+
+    registry = metrics.get("registry")
+    if not isinstance(registry, dict) or "histograms" not in registry:
+        fail(path, "metrics.registry has no histograms")
+    hists = registry["histograms"]
+    stale = [n for n in hists if n.startswith("rules.staleness_us.")
+             and hists[n].get("count", 0) > 0]
+    if not stale:
+        fail(path, "no populated per-rule histogram under "
+                   "'rules.staleness_us.' — the watchdog had nothing "
+                   "to judge")
+    if hists.get("server.request_us", {}).get("count", 0) < 1:
+        fail(path, "server.request_us histogram is empty")
+
+
 def check_bench(path, f=None):
     doc = load_strict(path, f if f is not None else open(path))
     for field, want in (("name", str), ("repo_rev", str),
@@ -242,6 +304,8 @@ def check_bench(path, f=None):
         check_observability(path, doc["metrics"])
     if doc["name"] == "sharded_pta":
         check_sharded(path, doc["metrics"])
+    if doc["name"] == "server":
+        check_server(path, doc["metrics"])
     print(f"{path}: ok (name={doc['name']}, rev={doc['repo_rev'][:12]})")
 
 
@@ -365,6 +429,53 @@ _BAD_SHARDED_BENCHES = {
         '"num_shards": 4', '"num_shards": -4'),
 }
 
+_SERVER_HIST = ('{"count": 4, "sum": 40, "min": 5, "max": 15, "mean": 10, '
+                '"p50": 10, "p95": 15, "p99": 15, "buckets": [[16, 4]]}')
+
+_GOOD_SERVER_BENCH = """{
+  "name": "server", "repo_rev": "deadbeef", "config": {"clients": 2},
+  "metrics": {
+    "client": {"ops": 100, "feed_batches": 60, "feed_records": 480,
+               "execs": 40, "errors": 0, "p50_us": 900, "p95_us": 2000,
+               "p99_us": 3000, "last_lsn": 480},
+    "shed": {"requests_shed": 3, "sessions_refused": 7,
+             "overload_batches_admitted": 0, "exercised": true},
+    "health": {"state": "shed", "watchdog": true},
+    "registry": {
+      "counters": {"server.requests": 100}, "gauges": {},
+      "histograms": {
+        "rules.staleness_us.maintain_quote_stats": %s,
+        "server.request_us": %s
+      }
+    }
+  }
+}""" % (_SERVER_HIST, _SERVER_HIST)
+
+_BAD_SERVER_BENCHES = {
+    "shed never exercised": _GOOD_SERVER_BENCH.replace(
+        '"exercised": true', '"exercised": false'),
+    "shed claims without counts": _GOOD_SERVER_BENCH.replace(
+        '"requests_shed": 3, "sessions_refused": 7',
+        '"requests_shed": 0, "sessions_refused": 0'),
+    "latency inversion": _GOOD_SERVER_BENCH.replace(
+        '"p50_us": 900', '"p50_us": 9000'),
+    "zero ops": _GOOD_SERVER_BENCH.replace('"ops": 100', '"ops": 0'),
+    "negative feed records": _GOOD_SERVER_BENCH.replace(
+        '"feed_records": 480', '"feed_records": -1'),
+    "invalid health state": _GOOD_SERVER_BENCH.replace(
+        '"state": "shed"', '"state": "melted"'),
+    "no staleness histogram": _GOOD_SERVER_BENCH.replace(
+        '"rules.staleness_us.maintain_quote_stats"',
+        '"rules.elsewhere_us.maintain_quote_stats"'),
+    "empty request histogram": _GOOD_SERVER_BENCH.replace(
+        '"server.request_us": {"count": 4',
+        '"server.request_us": {"count": 0').replace(
+        '"server.request_us": {"count": 0, "sum": 40, "min": 5, "max": 15, '
+        '"mean": 10, "p50": 10, "p95": 15, "p99": 15, "buckets": [[16, 4]]}',
+        '"server.request_us": {"count": 0, "sum": 0, "min": 0, "max": 0, '
+        '"mean": 0, "p50": 0, "p95": 0, "p99": 0, "buckets": []}'),
+}
+
 _BAD_OBS_BENCHES = {
     "never sheds": _GOOD_OBS_BENCH.replace('"reached_shed": true',
                                            '"reached_shed": false'),
@@ -395,10 +506,12 @@ def self_test():
     check_bench("<good>", io.StringIO(_GOOD_BENCH))
     check_bench("<good observability>", io.StringIO(_GOOD_OBS_BENCH))
     check_bench("<good sharded>", io.StringIO(_GOOD_SHARDED_BENCH))
+    check_bench("<good server>", io.StringIO(_GOOD_SERVER_BENCH))
 
     accepted = []
     for name, doc in {**_BAD_BENCHES, **_BAD_OBS_BENCHES,
-                      **_BAD_SHARDED_BENCHES}.items():
+                      **_BAD_SHARDED_BENCHES,
+                      **_BAD_SERVER_BENCHES}.items():
         try:
             check_bench(f"<bad: {name}>", io.StringIO(doc))
             accepted.append(name)
