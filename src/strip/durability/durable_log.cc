@@ -51,7 +51,24 @@ Result<DurableLog::RecoveryStats> DurableLog::Recover(
                   // transactions.
                   FeedRecord rec = entry.record;
                   rec.at = db.Now();
-                  return imp->ApplyNow(rec);
+                  Status applied = imp->ApplyNow(rec);
+                  if (applied.code() == StatusCode::kInvalidArgument) {
+                    // A record that cannot validate against the current
+                    // schema. The live server validates every batch before
+                    // its first append, so this entry came from an older
+                    // build or predates a schema change. Refusing to boot
+                    // would turn one bad record into a permanently dead
+                    // server; skip it loudly and surface the count.
+                    ++stats.entries_skipped;
+                    STRIP_LOG(WARN,
+                              "recovery: skipping WAL entry %llu for '%s': "
+                              "%s",
+                              static_cast<unsigned long long>(entry.lsn),
+                              entry.table.c_str(),
+                              applied.message().c_str());
+                    return Status::OK();
+                  }
+                  return applied;
                 }));
   stats.entries_replayed = replay.entries_replayed;
   stats.torn_bytes_discarded = replay.torn_bytes;
@@ -78,11 +95,13 @@ Result<DurableLog::RecoveryStats> DurableLog::Recover(
       wal_, WalWriter::Open(wal_path_, stats.next_lsn, options_.sync));
   STRIP_LOG(INFO,
             "recovery: snapshot %s (lsn %llu, %llu rows), %llu WAL entries "
-            "replayed, %llu torn bytes discarded, next lsn %llu",
+            "replayed (%llu skipped), %llu torn bytes discarded, next lsn "
+            "%llu",
             stats.snapshot_loaded ? "loaded" : "absent",
             static_cast<unsigned long long>(stats.snapshot_lsn),
             static_cast<unsigned long long>(stats.snapshot_rows),
             static_cast<unsigned long long>(stats.entries_replayed),
+            static_cast<unsigned long long>(stats.entries_skipped),
             static_cast<unsigned long long>(stats.torn_bytes_discarded),
             static_cast<unsigned long long>(stats.next_lsn));
   return stats;
@@ -101,6 +120,12 @@ Status DurableLog::Sync() {
   return wal_->Sync();
 }
 
+Status DurableLog::RollbackTo(uint64_t wal_bytes, uint64_t next_lsn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  STRIP_CHECK_MSG(wal_ != nullptr, "DurableLog::RollbackTo before Recover");
+  return wal_->TruncateTo(wal_bytes, next_lsn);
+}
+
 Result<uint64_t> DurableLog::Checkpoint(Database& db) {
   std::lock_guard<std::mutex> lk(mu_);
   STRIP_CHECK_MSG(wal_ != nullptr, "DurableLog::Checkpoint before Recover");
@@ -108,17 +133,32 @@ Result<uint64_t> DurableLog::Checkpoint(Database& db) {
   SnapshotData snap = CaptureSnapshot(db, lsn);
   STRIP_RETURN_IF_ERROR(WriteSnapshot(snap, snapshot_path_));
   // The snapshot covers every logged entry, so the WAL restarts empty.
-  // Order matters: snapshot is durably in place first; a crash between
-  // the rename and this truncate only means a few entries get replayed
-  // on top of a snapshot that already contains them — idempotent upserts.
-  wal_.reset();
+  // Order matters twice. First, the snapshot is durably in place before
+  // the truncate: a crash between the rename and the truncate only means
+  // a few entries get replayed on top of a snapshot that already contains
+  // them — idempotent upserts. Second, wal_ is replaced only after the
+  // truncate and the reopen BOTH succeed: a failure on either path keeps
+  // the old writer installed, so later Append/Sync/Checkpoint calls get
+  // an error instead of a STRIP_CHECK abort on a null writer.
   if (::truncate(wal_path_.c_str(), 0) != 0) {
     return Status::Internal(StrFormat(
         "truncate('%s') failed: %s", wal_path_.c_str(),
         std::strerror(errno)));
   }
-  STRIP_ASSIGN_OR_RETURN(
-      wal_, WalWriter::Open(wal_path_, lsn + 1, options_.sync));
+  auto reopened = WalWriter::Open(wal_path_, lsn + 1, options_.sync);
+  if (!reopened.ok()) {
+    // The file is already empty, so resync the kept writer's byte/LSN
+    // accounting to it (a no-op ftruncate): its O_APPEND fd continues at
+    // the emptied file's end, and a later group-commit rollback must not
+    // work from a stale pre-truncate size.
+    Status resync = wal_->TruncateTo(0, lsn + 1);
+    STRIP_LOG(WARN, "checkpoint: WAL reopen failed (%s); keeping the "
+              "previous writer (accounting resync: %s)",
+              reopened.status().message().c_str(),
+              resync.ok() ? "ok" : resync.message().c_str());
+    return reopened.status();
+  }
+  wal_ = std::move(*reopened);
   STRIP_LOG(INFO, "checkpoint: snapshot through lsn %llu, WAL truncated",
             static_cast<unsigned long long>(lsn));
   return lsn;

@@ -51,6 +51,11 @@ class DurableLog {
     uint64_t snapshot_lsn = 0;
     uint64_t snapshot_rows = 0;
     uint64_t entries_replayed = 0;
+    /// Replayed entries that failed validation against the current schema
+    /// (skipped with a WARN instead of refusing to boot — the live server
+    /// validates batches before logging, so these can only come from an
+    /// older build's WAL or a schema change).
+    uint64_t entries_skipped = 0;
     uint64_t torn_bytes_discarded = 0;
     uint64_t next_lsn = 1;
   };
@@ -71,6 +76,12 @@ class DurableLog {
 
   /// Forces appended entries to stable storage (group commit point).
   Status Sync();
+
+  /// Rolls the log back to a position captured (via wal_bytes() /
+  /// next_lsn()) before a batch: the server's group-commit abort path. A
+  /// batch whose append or sync failed midway is cut back out so the log
+  /// never holds entries the client was told failed.
+  Status RollbackTo(uint64_t wal_bytes, uint64_t next_lsn);
 
   /// Writes a snapshot consistent through everything appended so far and
   /// truncates the WAL. The caller must hold the engine quiescent

@@ -108,6 +108,10 @@ WalWriter::~WalWriter() {
 
 Result<uint64_t> WalWriter::Append(const std::string& table,
                                    const FeedRecord& rec) {
+  if (poisoned_) {
+    return Status::Internal(
+        "WAL writer is poisoned by an earlier failed append");
+  }
   uint64_t lsn = next_lsn_;
   // Payload first (its length and CRC go into the header).
   std::string payload;
@@ -124,13 +128,44 @@ Result<uint64_t> WalWriter::Append(const std::string& table,
   // One write() for the whole entry: O_APPEND makes it a single atomic-ish
   // extension, so a concurrent crash tears at most this one entry's tail —
   // exactly the case Replay discards.
-  STRIP_RETURN_IF_ERROR(WriteAll(fd_, buf_.data(), buf_.size()));
+  Status wrote = WriteAll(fd_, buf_.data(), buf_.size());
+  if (!wrote.ok()) {
+    // A prefix of the entry may have reached the file before the failure.
+    // Left in place, a later successful append would land right after the
+    // torn bytes, converting a recoverable torn tail into the interior
+    // corruption Replay refuses. Cut the entry back out; if even that
+    // fails, poison the writer so nothing can ever append after garbage.
+    if (::ftruncate(fd_, static_cast<off_t>(size_bytes_)) != 0) {
+      poisoned_ = true;
+      return Status::Internal(StrFormat(
+          "%s; rollback ftruncate also failed: %s — WAL writer poisoned",
+          wrote.message().c_str(), std::strerror(errno)));
+    }
+    return wrote;
+  }
   size_bytes_ += buf_.size();
   next_lsn_ = lsn + 1;
   if (policy_ == WalSyncPolicy::kEveryAppend) {
     STRIP_RETURN_IF_ERROR(Sync());
   }
   return lsn;
+}
+
+Status WalWriter::TruncateTo(uint64_t size_bytes, uint64_t next_lsn) {
+  STRIP_CHECK_MSG(size_bytes <= size_bytes_ && next_lsn <= next_lsn_,
+                  "WAL rollback must move backwards");
+  if (::ftruncate(fd_, static_cast<off_t>(size_bytes)) != 0) {
+    poisoned_ = true;
+    return Status::Internal(StrFormat(
+        "WAL rollback ftruncate('%llu') failed: %s — writer poisoned",
+        static_cast<unsigned long long>(size_bytes), std::strerror(errno)));
+  }
+  // O_APPEND writes land at the new end-of-file, so the writer continues
+  // cleanly from the restored prefix.
+  size_bytes_ = size_bytes;
+  next_lsn_ = next_lsn;
+  poisoned_ = false;
+  return Status::OK();
 }
 
 Status WalWriter::Sync() {

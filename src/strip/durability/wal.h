@@ -78,6 +78,20 @@ class WalWriter {
   /// Forces everything appended so far to stable storage.
   Status Sync();
 
+  /// Cuts the file back to `size_bytes` and rewinds the LSN counter — the
+  /// group-commit rollback. A batch whose append or sync failed partway is
+  /// removed from the log wholesale, so the file never holds entries the
+  /// server refused to acknowledge. Un-poisons the writer on success (the
+  /// file is back to a known-good prefix); poisons it if the truncate
+  /// itself fails.
+  Status TruncateTo(uint64_t size_bytes, uint64_t next_lsn);
+
+  /// True once a failed append may have left bytes of unknown extent in
+  /// the file AND the cleanup truncate also failed. Every further Append
+  /// refuses: writing after garbage would turn a recoverable torn tail
+  /// into the interior corruption Replay rejects.
+  bool poisoned() const { return poisoned_; }
+
   /// LSN the next Append will get.
   uint64_t next_lsn() const { return next_lsn_; }
 
@@ -94,6 +108,7 @@ class WalWriter {
   uint64_t next_lsn_;
   WalSyncPolicy policy_;
   uint64_t size_bytes_;
+  bool poisoned_ = false;
   std::string buf_;  // reused encode buffer
 };
 

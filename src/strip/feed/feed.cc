@@ -120,24 +120,35 @@ Status FeedImporter::Apply(const FeedRecord& rec, TaskControlBlock* tcb) {
   return last;
 }
 
-Status FeedImporter::ApplyNow(const FeedRecord& rec) {
-  if (static_cast<int>(rec.values.size()) !=
-      table_->schema().num_columns()) {
+Status FeedImporter::Validate(const FeedRecord& rec) const {
+  const Schema& schema = table_->schema();
+  if (static_cast<int>(rec.values.size()) != schema.num_columns()) {
     return Status::InvalidArgument(StrFormat(
         "feed record arity %zu does not match table '%s'",
         rec.values.size(), table_->name().c_str()));
   }
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    const Value& v = rec.values[static_cast<size_t>(i)];
+    if (v.is_null()) continue;
+    ValueType want = schema.column(i).type;
+    if (v.type() == want) continue;
+    if (want == ValueType::kDouble && v.type() == ValueType::kInt) continue;
+    return Status::InvalidArgument(StrFormat(
+        "feed record for table '%s' column '%s': expected %s, got %s",
+        table_->name().c_str(), schema.column(i).name.c_str(),
+        ValueTypeName(want), ValueTypeName(v.type())));
+  }
+  return Status::OK();
+}
+
+Status FeedImporter::ApplyNow(const FeedRecord& rec) {
+  STRIP_RETURN_IF_ERROR(Validate(rec));
   submitted_.fetch_add(1, std::memory_order_relaxed);
   return Apply(rec, nullptr);
 }
 
 Status FeedImporter::Submit(FeedRecord rec) {
-  if (static_cast<int>(rec.values.size()) !=
-      table_->schema().num_columns()) {
-    return Status::InvalidArgument(StrFormat(
-        "feed record arity %zu does not match table '%s'",
-        rec.values.size(), table_->name().c_str()));
-  }
+  STRIP_RETURN_IF_ERROR(Validate(rec));
   TaskPtr task = db_->NewTask();
   task->release_time = rec.at;
   // Every feed record starts its own causal trace: spans of the upsert

@@ -46,6 +46,15 @@ class FeedImporter {
   static Result<std::unique_ptr<FeedImporter>> Create(
       Database* db, const std::string& table);
 
+  /// Checks `rec` against the table schema: arity plus per-column value
+  /// type (null anywhere, exact match, or int into a double column — the
+  /// same rules Table::ValidateRecord enforces at insert). The server runs
+  /// this over a whole batch BEFORE the first WAL append: a record that
+  /// cannot ever apply must be refused at the wire, because once it is
+  /// durably logged every future recovery replays the same failure and the
+  /// server can never boot again.
+  Status Validate(const FeedRecord& rec) const;
+
   /// Submits one record as a task released at `rec.at`.
   Status Submit(FeedRecord rec);
 

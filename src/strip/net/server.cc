@@ -19,6 +19,14 @@ namespace {
 
 constexpr size_t kReadChunk = 64 * 1024;
 
+/// Backpressure water marks on a connection's unflushed output. Above the
+/// high mark the server stops decoding the connection's requests and drops
+/// EPOLLIN interest; below the low mark it resumes. A single reply can be
+/// up to the 16 MiB frame cap — the marks bound how much MORE work gets
+/// dispatched on top of it, not the size of one reply.
+constexpr size_t kOutbufHighWater = 4u << 20;
+constexpr size_t kOutbufLowWater = 1u << 20;
+
 int64_t SteadyMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
@@ -107,6 +115,8 @@ Status Server::Init() {
   shed_requests_ = m.counter("server.shed_requests");
   feed_records_ = m.counter("server.feed_records");
   checkpoints_ = m.counter("server.checkpoints");
+  backpressure_pauses_ = m.counter("server.backpressure_pauses");
+  wal_rollbacks_ = m.counter("server.wal_rollbacks");
   bytes_in_ = m.counter("server.bytes_in");
   bytes_out_ = m.counter("server.bytes_out");
   request_us_ = m.histogram("server.request_us");
@@ -328,7 +338,7 @@ void Server::HandleConnEvent(int fd, uint32_t events) {
     CloseConn(fd);
     return;
   }
-  if ((events & EPOLLIN) != 0 && !conn->closing) {
+  if ((events & EPOLLIN) != 0 && !conn->closing && !conn->paused) {
     char buf[kReadChunk];
     for (;;) {
       ssize_t r = ::recv(fd, buf, sizeof(buf), 0);
@@ -346,14 +356,27 @@ void Server::HandleConnEvent(int fd, uint32_t events) {
       CloseConn(fd);
       return;
     }
-    if (!DrainInbuf(conn)) {
+  }
+  // Decode/dispatch and flush alternate until a fixed point: a flush that
+  // brings a paused connection under the low water mark resumes decoding
+  // of the requests that were deferred while paused.
+  for (;;) {
+    if (!conn->closing && !conn->paused) {
+      if (!DrainInbuf(conn)) {
+        CloseConn(fd);
+        return;
+      }
+    }
+    if (!FlushOut(fd, conn)) {
       CloseConn(fd);
       return;
     }
-  }
-  if (!FlushOut(fd, conn)) {
-    CloseConn(fd);
-    return;
+    if (conn->paused &&
+        conn->outbuf.size() - conn->outpos <= kOutbufLowWater) {
+      conn->paused = false;
+      continue;  // drain deferred frames; FlushOut re-arms EPOLLIN
+    }
+    break;
   }
   if (conn->closing && conn->outpos == conn->outbuf.size()) {
     CloseConn(fd);
@@ -363,6 +386,14 @@ void Server::HandleConnEvent(int fd, uint32_t events) {
 bool Server::DrainInbuf(Connection* conn) {
   size_t pos = 0;
   for (;;) {
+    if (conn->outbuf.size() - conn->outpos >= kOutbufHighWater) {
+      // Backpressure: the peer has not read what it already asked for.
+      // Stop decoding (the remaining inbuf keeps, and EPOLLIN interest is
+      // dropped by the next FlushOut) until a flush reaches the low mark.
+      conn->paused = true;
+      backpressure_pauses_->Add();
+      break;
+    }
     Frame frame;
     std::string error;
     FrameDecode d = TryDecodeFrame(conn->inbuf, &pos, &frame, &error);
@@ -513,32 +544,79 @@ Result<Frame> Server::HandleFeedAppend(Connection* conn,
     return Status::Aborted(
         "server is shedding low-priority feed batches — retry with backoff");
   }
+  if (durable_failed_.load(std::memory_order_relaxed)) {
+    return Status::Internal(
+        "durable feed log is in a failed state — restart the server to "
+        "recover from the WAL");
+  }
   STRIP_ASSIGN_OR_RETURN(FeedImporter * importer, FindImporter(req.table));
 
-  // Group commit: every record of the batch is appended, ONE fdatasync
-  // makes them all durable, and only then does the ack (carrying the last
-  // LSN) go out. A crash before the sync loses only unacked records; a
-  // crash after replays them — idempotent keyed upserts.
+  // The WHOLE batch is validated against the table schema before the
+  // first WAL append. A record that can never apply must be refused at
+  // the wire: once durably logged, every future recovery would replay the
+  // same failure — one bad client record turning into a server that can
+  // never boot again.
   // Arrival stamping: clients send at == 0 ("stamp on arrival") because
   // release times live on the server's executor clock, which the client
   // cannot see. Staleness is then measured from ingestion, per the paper.
   std::vector<FeedRecord> batch = std::move(req.records);
   for (FeedRecord& rec : batch) {
+    STRIP_RETURN_IF_ERROR(importer->Validate(rec));
     if (rec.at == 0) rec.at = db_->Now();
   }
+  // Group commit: every record of the batch is appended, ONE fdatasync
+  // makes them all durable, and only then does the ack (carrying the last
+  // LSN) go out. A crash before the sync loses only unacked records; a
+  // crash after replays them — idempotent keyed upserts.
   uint64_t last_lsn = 0;
   if (durable_ != nullptr) {
-    for (const FeedRecord& rec : batch) {
-      STRIP_ASSIGN_OR_RETURN(last_lsn, durable_->Append(req.table, rec));
+    const uint64_t pre_bytes = durable_->wal_bytes();
+    const uint64_t pre_lsn = durable_->next_lsn();
+    Status logged = [&]() -> Status {
+      for (const FeedRecord& rec : batch) {
+        STRIP_ASSIGN_OR_RETURN(last_lsn, durable_->Append(req.table, rec));
+      }
+      return durable_->Sync();
+    }();
+    if (!logged.ok()) {
+      // Nothing applied yet: cut the batch's entries back out of the WAL
+      // so the log holds exactly what was acknowledged. If even the
+      // rollback fails the file's tail is unknowable — refuse all further
+      // feed writes; recovery's torn-tail handling sorts it out on
+      // restart.
+      Status rb = durable_->RollbackTo(pre_bytes, pre_lsn);
+      if (rb.ok()) {
+        wal_rollbacks_->Add();
+      } else {
+        durable_failed_.store(true, std::memory_order_relaxed);
+        STRIP_LOG(ERROR,
+                  "feed append failed (%s) and WAL rollback failed (%s): "
+                  "refusing further feed writes until restart",
+                  logged.message().c_str(), rb.message().c_str());
+      }
+      return logged;
     }
-    STRIP_RETURN_IF_ERROR(durable_->Sync());
   }
   // Apply synchronously (not via Submit): dispatch_mu_ serializes every
   // request, so per-key apply order equals WAL order — which is what lets
   // replay reproduce the exact pre-crash state. Rule actions triggered by
   // these commits still run asynchronously on the worker pool.
   for (const FeedRecord& rec : batch) {
-    STRIP_RETURN_IF_ERROR(importer->ApplyNow(rec));
+    Status applied = importer->ApplyNow(rec);
+    if (!applied.ok()) {
+      if (durable_ != nullptr) {
+        // The batch is already durable but only partially applied — live
+        // state and WAL now disagree, and a committed upsert cannot be
+        // un-applied. Refuse further feed writes; a restart replays the
+        // WAL (the source of truth) onto the consistent state.
+        durable_failed_.store(true, std::memory_order_relaxed);
+        STRIP_LOG(ERROR,
+                  "feed apply failed mid-batch after the WAL sync (%s): "
+                  "refusing further feed writes until restart",
+                  applied.message().c_str());
+      }
+      return applied;
+    }
   }
   feed_records_->Add(batch.size());
   FeedAppendResponse resp;
@@ -574,9 +652,12 @@ Result<Frame> Server::HandleAdmin(Connection* conn, const Frame& frame) {
     case AdminOp::kHealth:
       // Only the atomic state is safe to read from this thread — the full
       // verdict struct belongs to the housekeeping thread.
-      resp.body = StrFormat("{\"state\": \"%s\", \"watchdog\": %s}",
-                            WatchdogStateName(admission_state()),
-                            watchdog_ == nullptr ? "false" : "true");
+      resp.body = StrFormat(
+          "{\"state\": \"%s\", \"watchdog\": %s, \"feed_writable\": %s}",
+          WatchdogStateName(admission_state()),
+          watchdog_ == nullptr ? "false" : "true",
+          durable_failed_.load(std::memory_order_relaxed) ? "false"
+                                                          : "true");
       break;
     case AdminOp::kShutdown:
       conn->closing = true;
@@ -620,10 +701,14 @@ bool Server::FlushOut(int fd, Connection* conn) {
 
 void Server::UpdateEpollInterest(int fd, Connection* conn) {
   bool want_write = conn->outpos < conn->outbuf.size();
-  if (want_write == conn->want_write) return;
+  bool want_read = !conn->paused;
+  if (want_write == conn->want_write && want_read == conn->want_read) {
+    return;
+  }
   conn->want_write = want_write;
+  conn->want_read = want_read;
   epoll_event ev{};
-  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.events = (want_read ? EPOLLIN : 0u) | (want_write ? EPOLLOUT : 0u);
   ev.data.fd = fd;
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) != 0) {
     STRIP_LOG(WARN, "epoll_ctl(mod): %s", std::strerror(errno));

@@ -109,7 +109,15 @@ class Server {
     std::string outbuf;
     size_t outpos = 0;
     bool want_write = false;  // EPOLLOUT currently armed
+    bool want_read = true;    // EPOLLIN currently armed
     bool closing = false;     // flush outbuf, then close
+    /// Backpressure: set once unflushed output crosses the high water
+    /// mark. While paused the server neither reads this socket nor
+    /// decodes its buffered requests, so a client that pipelines big
+    /// SELECTs without reading gets TCP backpressure instead of growing
+    /// outbuf without bound. Cleared when a flush reaches the low water
+    /// mark.
+    bool paused = false;
     bool hello_done = false;
     SessionPriority priority = SessionPriority::kNormal;
     uint64_t session_id = 0;
@@ -168,6 +176,12 @@ class Server {
   std::unique_ptr<Watchdog> watchdog_;  // housekeeping thread only
   std::atomic<WatchdogState> admission_state_{WatchdogState::kOk};
 
+  /// Set when the WAL and live tables can no longer be reconciled (a
+  /// mid-batch apply failure after the sync, or a failed WAL rollback):
+  /// every further FeedAppend is refused. Only a restart — whose recovery
+  /// replays the WAL as the single source of truth — clears the state.
+  std::atomic<bool> durable_failed_{false};
+
   std::atomic<bool> running_{false};
   std::thread epoll_thread_;
   std::thread housekeeping_thread_;
@@ -185,6 +199,8 @@ class Server {
   Counter* shed_requests_ = nullptr;
   Counter* feed_records_ = nullptr;
   Counter* checkpoints_ = nullptr;
+  Counter* backpressure_pauses_ = nullptr;
+  Counter* wal_rollbacks_ = nullptr;
   Counter* bytes_in_ = nullptr;
   Counter* bytes_out_ = nullptr;
   Histogram* request_us_ = nullptr;

@@ -182,6 +182,44 @@ TEST(WalTest, TornTailTruncationSweepRecoversThePrefix) {
   }
 }
 
+// REVIEW fix (medium): the group-commit rollback. A batch whose append or
+// sync failed midway is truncated back out of the log, and appends after
+// the rollback replay as if the batch never happened.
+TEST(WalTest, TruncateToRollsBackAndAppendsContinueCleanly) {
+  TempDir dir;
+  std::string path = dir.path("feed.wal");
+  ASSERT_OK_AND_ASSIGN(auto wal,
+                       WalWriter::Open(path, 1, WalSyncPolicy::kManual));
+  ASSERT_OK(wal->Append("quotes", Rec("ibm", 1.0)).status());
+  ASSERT_OK(wal->Append("quotes", Rec("hp", 2.0)).status());
+  uint64_t pre_bytes = wal->size_bytes();
+  uint64_t pre_lsn = wal->next_lsn();
+
+  // A "batch" of two more entries that the server then decides to abort.
+  ASSERT_OK(wal->Append("quotes", Rec("sun", 3.0)).status());
+  ASSERT_OK(wal->Append("quotes", Rec("dec", 4.0)).status());
+  ASSERT_OK(wal->TruncateTo(pre_bytes, pre_lsn));
+  EXPECT_EQ(wal->size_bytes(), pre_bytes);
+  EXPECT_EQ(wal->next_lsn(), pre_lsn);
+  EXPECT_FALSE(wal->poisoned());
+
+  // The next append reuses the rolled-back LSN and the file stays a
+  // clean, gap-free chain.
+  ASSERT_OK_AND_ASSIGN(uint64_t lsn, wal->Append("quotes", Rec("mips", 5.0)));
+  EXPECT_EQ(lsn, pre_lsn);
+  ASSERT_OK(wal->Sync());
+
+  std::vector<std::string> syms;
+  ASSERT_OK_AND_ASSIGN(WalReplayResult r,
+                       WalReplay(path, 1, [&](const WalEntry& e) {
+                         syms.push_back(e.record.values[0].as_string());
+                         return Status::OK();
+                       }));
+  EXPECT_EQ(r.entries_replayed, 3u);
+  EXPECT_EQ(r.torn_bytes, 0u);
+  EXPECT_EQ(syms, (std::vector<std::string>{"ibm", "hp", "mips"}));
+}
+
 TEST(WalTest, InteriorCorruptionIsFatalNotATear) {
   TempDir dir;
   std::string path = dir.path("feed.wal");
@@ -467,6 +505,35 @@ TEST(DurableLogTest, TornTailIsDiscardedAndLogReopensCleanly) {
     EXPECT_EQ(d.stats().torn_bytes_discarded, 0u);
     EXPECT_EQ(d.Table().size(), 3u);
   }
+}
+
+// REVIEW fix (high), replay side: a WAL entry that fails validation
+// against the current schema (possible only from an older build's log —
+// the live server now validates before appending) is skipped with a
+// count, instead of refusing to boot forever.
+TEST(DurableLogTest, RecoverSkipsEntriesThatFailValidation) {
+  TempDir dir;
+  {
+    // Hand-craft a WAL with a wrong-arity record between valid ones, the
+    // way a pre-validation server could have logged it.
+    ASSERT_OK_AND_ASSIGN(
+        auto wal, WalWriter::Open(dir.path("feed.wal"), 1,
+                                  WalSyncPolicy::kManual));
+    ASSERT_OK(wal->Append("quotes", Rec("ibm", 50.0)).status());
+    FeedRecord bad;
+    bad.values = {Value::Str("orphan")};  // arity 1 vs 2-column schema
+    ASSERT_OK(wal->Append("quotes", bad).status());
+    ASSERT_OK(wal->Append("quotes", Rec("hp", 20.0)).status());
+    ASSERT_OK(wal->Sync());
+  }
+  DurableDb d(dir.path());
+  ASSERT_OK(d.Recover());
+  EXPECT_EQ(d.stats().entries_replayed, 3u);
+  EXPECT_EQ(d.stats().entries_skipped, 1u);
+  EXPECT_EQ(d.stats().next_lsn, 4u);
+  EXPECT_EQ(d.Table().size(), 2u);  // the two valid records applied
+  // The log stays appendable past the skip.
+  ASSERT_OK(d.Ingest(Rec("sun", 13.0)));
 }
 
 TEST(DurableLogTest, RecoverFailsOnUnknownFeedTable) {

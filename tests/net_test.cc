@@ -188,6 +188,156 @@ TEST(NetTest, KillAndRecoverRebuildsIdenticalState) {
   third->Stop();
 }
 
+// REVIEW fix (high): a malformed record anywhere in a feed batch must be
+// refused BEFORE the first WAL append. Were it logged first, every future
+// recovery would replay the same validation failure and the server could
+// never boot again — a remotely triggerable, persistent recovery failure.
+TEST(NetTest, MalformedFeedBatchIsRefusedBeforeTheWal) {
+  TempDir live_dir;
+  TempDir crash_dir;
+  ServerOptions opts = BaseOptions();
+  opts.data_dir = live_dir.path();
+  ASSERT_OK_AND_ASSIGN(auto server, Server::Start(opts));
+  ASSERT_OK_AND_ASSIGN(auto client,
+                       Client::Connect("127.0.0.1", server->port()));
+
+  ASSERT_OK(client->FeedAppend("quotes", {Rec("ibm", 1.0)}).status());
+  uint64_t wal_bytes = server->durable()->wal_bytes();
+  uint64_t next_lsn = server->durable()->next_lsn();
+
+  // Wrong arity mid-batch: the whole batch is rejected, all-or-nothing.
+  FeedRecord bad_arity;
+  bad_arity.values = {Value::Str("x")};
+  auto r1 = client->FeedAppend(
+      "quotes", {Rec("good1", 2.0), bad_arity, Rec("good2", 3.0)});
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+
+  // Wrong type (string where the schema says double): same refusal.
+  FeedRecord bad_type;
+  bad_type.values = {Value::Str("y"), Value::Str("not a price")};
+  auto r2 = client->FeedAppend("quotes", {bad_type});
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+
+  // Nothing reached the WAL or the table — not even the valid records of
+  // the poisoned batch.
+  EXPECT_EQ(server->durable()->wal_bytes(), wal_bytes);
+  EXPECT_EQ(server->durable()->next_lsn(), next_lsn);
+  EXPECT_EQ(DumpQuotes(*client).size(), 1u);
+
+  // The connection survives and valid traffic still flows...
+  ASSERT_OK(client->FeedAppend("quotes", {Rec("hp", 4.0)}).status());
+  auto before = DumpQuotes(*client);
+
+  // ...and — the actual point — a server restarted from this WAL boots
+  // and replays cleanly. Copy the dir pre-Stop for the kill -9 image.
+  fs::copy(live_dir.path(), crash_dir.path(),
+           fs::copy_options::recursive | fs::copy_options::overwrite_existing);
+  server->Stop();
+
+  ServerOptions crash_opts = BaseOptions();
+  crash_opts.data_dir = crash_dir.path();
+  ASSERT_OK_AND_ASSIGN(auto reborn, Server::Start(crash_opts));
+  EXPECT_EQ(reborn->recovery_stats().entries_skipped, 0u);
+  ASSERT_OK_AND_ASSIGN(auto c2, Client::Connect("127.0.0.1", reborn->port()));
+  EXPECT_EQ(DumpQuotes(*c2), before);
+  reborn->Stop();
+}
+
+// REVIEW fix (medium): a client that pipelines requests with large replies
+// and never reads must hit backpressure — the server stops decoding its
+// requests while unflushed output is over the high water mark, instead of
+// growing outbuf without bound. Every reply must still arrive, in order,
+// once the client does read.
+TEST(NetTest, BackpressurePausesAPipeliningSlowReader) {
+  ASSERT_OK_AND_ASSIGN(auto server, Server::Start(BaseOptions()));
+  ASSERT_OK_AND_ASSIGN(auto loader,
+                       Client::Connect("127.0.0.1", server->port()));
+
+  // ~800 KB of rows: 800 symbols carrying a 1 KB payload each.
+  std::vector<FeedRecord> rows;
+  for (int i = 0; i < 800; ++i) {
+    rows.push_back(
+        Rec(std::string(1000, 'x') + std::to_string(i), i * 1.0));
+  }
+  ASSERT_OK(loader->FeedAppend("quotes", rows).status());
+
+  // Raw socket so we can pipeline without reading (Client is strict
+  // request/response).
+  ASSERT_OK_AND_ASSIGN(Socket sock,
+                       Socket::Connect("127.0.0.1", server->port()));
+  auto read_frame = [&]() -> Result<Frame> {
+    char header[kFrameHeaderSize];
+    STRIP_RETURN_IF_ERROR(sock.ReadFully(header, sizeof(header)));
+    uint32_t len = 0;
+    std::memcpy(&len, header + 12, sizeof(len));
+    std::string whole(header, sizeof(header));
+    whole.resize(kFrameHeaderSize + len);
+    STRIP_RETURN_IF_ERROR(
+        sock.ReadFully(whole.data() + kFrameHeaderSize, len));
+    size_t pos = 0;
+    Frame f;
+    std::string err;
+    if (TryDecodeFrame(whole, &pos, &f, &err) != FrameDecode::kFrame) {
+      return Status::Internal("bad frame in test: " + err);
+    }
+    return f;
+  };
+
+  Frame hello;
+  hello.type = FrameType::kHello;
+  hello.seq = 1;
+  hello.payload = Encode(HelloRequest{});
+  ASSERT_OK(sock.WriteAll(EncodeFrame(hello)));
+  ASSERT_OK_AND_ASSIGN(Frame hello_ok, read_frame());
+  ASSERT_EQ(hello_ok.type, FrameType::kHelloOk);
+
+  Frame prep;
+  prep.type = FrameType::kPrepare;
+  prep.seq = 2;
+  prep.payload = Encode(PrepareRequest{"select symbol, price from quotes"});
+  ASSERT_OK(sock.WriteAll(EncodeFrame(prep)));
+  ASSERT_OK_AND_ASSIGN(Frame prepped, read_frame());
+  ASSERT_EQ(prepped.type, FrameType::kPrepared);
+  ASSERT_OK_AND_ASSIGN(PrepareResponse handle,
+                       DecodePrepareResponse(prepped.payload));
+
+  // Pipeline 60 Execs (~48 MB of replies, far past the 4 MiB high water
+  // plus any kernel socket buffering) in one write, reading nothing.
+  constexpr int kPipelined = 60;
+  std::string burst;
+  for (int i = 0; i < kPipelined; ++i) {
+    Frame exec;
+    exec.type = FrameType::kExec;
+    exec.seq = 3 + static_cast<uint64_t>(i);
+    exec.payload = Encode(ExecRequest{handle.handle, {}});
+    ASSERT_OK(AppendFrame(exec, &burst));
+  }
+  ASSERT_OK(sock.WriteAll(burst));
+
+  // The server must pause this connection rather than buffer ~48 MB.
+  Counter* pauses = server->db().metrics().counter(
+      "server.backpressure_pauses");
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (pauses->Get() == 0) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "backpressure never engaged";
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // Now read everything: every reply arrives, in seq order, complete.
+  for (int i = 0; i < kPipelined; ++i) {
+    ASSERT_OK_AND_ASSIGN(Frame reply, read_frame());
+    ASSERT_EQ(reply.type, FrameType::kRows) << "reply " << i;
+    EXPECT_EQ(reply.seq, 3 + static_cast<uint64_t>(i));
+    ASSERT_OK_AND_ASSIGN(ExecResponse rs, DecodeExecResponse(reply.payload));
+    EXPECT_EQ(rs.rows.size(), 800u) << "reply " << i;
+  }
+  EXPECT_GE(pauses->Get(), 1u);
+  server->Stop();
+}
+
 TEST(NetTest, CorruptFrameDropsTheConnection) {
   ASSERT_OK_AND_ASSIGN(auto server, Server::Start(BaseOptions()));
   ASSERT_OK_AND_ASSIGN(Socket sock,
